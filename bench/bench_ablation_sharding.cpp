@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation of shard-level profiling (Section 2.1): monolithic
+ * application profiles obscure intra-application diversity, so a new
+ * application can only be predicted if it resembles a whole previous
+ * application. Shards relax that constraint -- partial similarity is
+ * enough (Figure 1). This harness trains leave-one-app-out models
+ * from (a) shard-level profiles and (b) monolithic profiles (every
+ * shard replaced by its application's mean characteristics) and
+ * compares extrapolation to the held-out application.
+ */
+#include "bench_common.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_MeanFeatures(benchmark::State &state)
+{
+    bench::Scale scale;
+    scale.shardsPerApp = 8;
+    auto sampler = bench::makeSuiteSampler(scale);
+    const auto &profiles = sampler->profiles(0);
+    for (auto _ : state) {
+        auto m = prof::meanFeatures(profiles);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_MeanFeatures);
+
+/** Replace each record's software features by its app's mean. */
+core::Dataset
+monolithize(const core::Dataset &ds,
+            const core::SpaceSampler &sampler)
+{
+    std::map<std::string, std::array<double, prof::kNumSwFeatures>>
+        app_means;
+    for (std::size_t a = 0; a < sampler.numApps(); ++a)
+        app_means[sampler.app(a).name] =
+            prof::meanFeatures(sampler.profiles(a));
+
+    core::Dataset out;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        core::ProfileRecord rec = ds[i];
+        const auto &mean_f = app_means.at(rec.app);
+        for (std::size_t f = 0; f < prof::kNumSwFeatures; ++f)
+            rec.vars[f] = mean_f[f];
+        out.add(rec);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::Scale scale;
+    auto sampler = bench::makeSuiteSampler(scale);
+    core::GaOptions ga = bench::gaOptions(scale, 13);
+    ga.populationSize = 20;
+    ga.generations = 10;
+
+    TextTable t;
+    t.header({"held app", "sharded med", "sharded rho",
+              "monolithic med", "monolithic rho"});
+    std::vector<double> shard_meds, mono_meds;
+    for (std::size_t held = 0; held < sampler->numApps(); ++held) {
+        std::vector<std::size_t> train_apps;
+        for (std::size_t a = 0; a < sampler->numApps(); ++a)
+            if (a != held)
+                train_apps.push_back(a);
+        const core::Dataset train =
+            sampler->sampleApps(train_apps, 200, 7);
+        const core::Dataset mono_train = monolithize(train, *sampler);
+
+        std::vector<std::size_t> held_idx = {held};
+        const core::Dataset target =
+            sampler->sampleApps(held_idx, 80, 1000 + held);
+        const core::Dataset mono_target =
+            monolithize(target, *sampler);
+
+        core::HwSwModel sharded;
+        sharded.fit(core::GeneticSearch(train, ga).run().best.spec,
+                    train);
+        core::HwSwModel mono;
+        mono.fit(core::GeneticSearch(mono_train, ga).run().best.spec,
+                 mono_train);
+
+        const auto ms = sharded.validate(target);
+        const auto mm = mono.validate(mono_target);
+        shard_meds.push_back(ms.medianAbsPctError);
+        mono_meds.push_back(mm.medianAbsPctError);
+        t.row({sampler->app(held).name,
+               TextTable::pct(ms.medianAbsPctError),
+               TextTable::num(ms.spearman),
+               TextTable::pct(mm.medianAbsPctError),
+               TextTable::num(mm.spearman)});
+    }
+    bench::section("sharded vs monolithic profiles: leave-one-app-out "
+                   "extrapolation");
+    std::printf("%s", t.render().c_str());
+    std::printf("\nmean median error: sharded %s vs monolithic %s\n",
+                TextTable::pct(mean(shard_meds)).c_str(),
+                TextTable::pct(mean(mono_meds)).c_str());
+    std::printf("paper (Section 2.1): sharding increases the value of "
+                "profiles because partial similarity is shareable\n");
+    return 0;
+}

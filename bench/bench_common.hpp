@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses. Each bench binary
+ * reproduces one table or figure from the paper: it prints the
+ * paper-style report to stdout and registers google-benchmark timers
+ * for the computational kernels it exercises.
+ *
+ * Scales are reduced relative to the paper (shards of 16K ops rather
+ * than 10M, and smaller genetic-search budgets) so the full suite
+ * runs on a laptop in minutes; EXPERIMENTS.md records the mapping.
+ */
+
+#ifndef HWSW_BENCH_COMMON_HPP
+#define HWSW_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/descriptive.hpp"
+#include "common/table.hpp"
+#include "core/genetic.hpp"
+#include "core/sampler.hpp"
+
+namespace hwsw::bench {
+
+/** Experiment scale used by the general-model benches. */
+struct Scale
+{
+    std::size_t shardLength = 16 * 1024;
+    std::size_t shardsPerApp = 24;
+    std::size_t trainPairsPerApp = 250;
+    std::size_t populationSize = 32;
+    std::size_t generations = 20;
+};
+
+/** Build the standard seven-application sampler. */
+inline std::shared_ptr<core::SpaceSampler>
+makeSuiteSampler(const Scale &scale)
+{
+    core::SamplerOptions opts;
+    opts.shardLength = scale.shardLength;
+    opts.shardsPerApp = scale.shardsPerApp;
+    return std::make_shared<core::SpaceSampler>(wl::makeSuite(), opts);
+}
+
+/** Default genetic-search options at a given scale. */
+inline core::GaOptions
+gaOptions(const Scale &scale, std::uint64_t seed = 42)
+{
+    core::GaOptions opts;
+    opts.populationSize = scale.populationSize;
+    opts.generations = scale.generations;
+    opts.seed = seed;
+    return opts;
+}
+
+/** Print a section header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Print error boxplots on a shared 0..hi scale. */
+inline void
+errorBoxplots(const std::string &title,
+              const std::vector<std::pair<std::string,
+                                          std::vector<double>>> &groups,
+              double hi = 0.5)
+{
+    section(title);
+    for (const auto &[label, errs] : groups)
+        std::printf("%s\n", renderBoxplot(label, errs, 0.0, hi).c_str());
+}
+
+} // namespace hwsw::bench
+
+#endif // HWSW_BENCH_COMMON_HPP

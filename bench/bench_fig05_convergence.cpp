@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 5: genetic-search convergence -- the sum of per-application
+ * median errors falls as the population evolves, with diminishing
+ * marginal benefit approaching 20 generations.
+ */
+#include "bench_common.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+std::shared_ptr<core::SpaceSampler> g_sampler;
+core::Dataset g_train;
+
+void
+BM_GaGeneration(benchmark::State &state)
+{
+    // Cost of evaluating one candidate model across all folds
+    // (a generation is populationSize of these, embarrassingly
+    // parallel -- Section 4.2's "Modeling Time").
+    core::GaOptions opts = bench::gaOptions(bench::Scale{});
+    core::GeneticSearch search(g_train, opts);
+    Rng rng(7);
+    const core::ModelSpec spec = core::ModelSpec::random(rng, 0.45, 12);
+    for (auto _ : state) {
+        auto fitness = search.evaluate(spec);
+        benchmark::DoNotOptimize(fitness);
+    }
+}
+BENCHMARK(BM_GaGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale;
+    g_sampler = bench::makeSuiteSampler(scale);
+    g_train = g_sampler->sample(scale.trainPairsPerApp, 1);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    core::GeneticSearch search(g_train, bench::gaOptions(scale));
+    const core::GaResult result = search.run();
+
+    bench::section("Figure 5: sum of per-app median errors by "
+                   "generation");
+    TextTable t;
+    t.header({"generation", "sum of median errors", "best fitness",
+              "mean fitness"});
+    for (const auto &h : result.history) {
+        t.row({std::to_string(h.generation),
+               TextTable::num(h.bestSumMedianError, 4),
+               TextTable::num(h.bestFitness, 4),
+               TextTable::num(h.meanFitness, 4)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    const double first = result.history.front().bestSumMedianError;
+    const double last = result.history.back().bestSumMedianError;
+    std::printf("\nimprovement: %.3f -> %.3f (%.0f%% lower)\n", first,
+                last, 100.0 * (first - last) / first);
+    std::printf("paper: errors fall with diminishing returns by "
+                "generation 20\n");
+    std::printf("best model: %s\n",
+                result.best.spec.describe().c_str());
+    return 0;
+}

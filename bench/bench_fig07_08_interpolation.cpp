@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figures 7(a) and 8(a): steady-state interpolation accuracy.
+ *
+ * The integrated hardware-software space is sparsely sampled, the
+ * heuristic produces a model, and accuracy is validated against 140
+ * independently sampled application-architecture pairs (application
+ * performance aggregates per-shard predictions, Section 4.4).
+ *
+ * Expected shape (paper): single-digit median error (5-10%) and
+ * predicted-vs-true correlation rho > 0.9.
+ */
+#include "bench_common.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+std::shared_ptr<core::SpaceSampler> g_sampler;
+core::Dataset g_train;
+core::HwSwModel g_model;
+
+void
+BM_PredictPair(benchmark::State &state)
+{
+    Rng rng(5);
+    const auto cfg = uarch::UarchConfig::randomSample(rng);
+    const auto rec = g_sampler->record(0, 0, cfg);
+    for (auto _ : state) {
+        const double pred = g_model.predict(rec);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_PredictPair);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale;
+    g_sampler = bench::makeSuiteSampler(scale);
+    g_train = g_sampler->sample(scale.trainPairsPerApp, 1);
+
+    std::printf("training profiles: %zu (%zu apps x %zu pairs); "
+                "design grid %llu points\n",
+                g_train.size(), g_sampler->numApps(),
+                scale.trainPairsPerApp,
+                static_cast<unsigned long long>(
+                    uarch::UarchConfig::gridSize()));
+
+    core::GeneticSearch search(g_train, bench::gaOptions(scale));
+    const core::GaResult result = search.run();
+    g_model.fit(result.best.spec, g_train);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    // 140 validation application-architecture pairs (20 per app),
+    // drawn independently of training.
+    Rng rng(777);
+    std::vector<std::pair<std::string, std::vector<double>>> per_app;
+    std::vector<double> preds, truths;
+    for (std::size_t a = 0; a < g_sampler->numApps(); ++a) {
+        std::vector<double> errs;
+        for (int i = 0; i < 20; ++i) {
+            const auto cfg = uarch::UarchConfig::randomSample(rng);
+            double pred = 0.0;
+            for (std::size_t s = 0; s < scale.shardsPerApp; ++s)
+                pred += g_model.predict(g_sampler->record(a, s, cfg));
+            pred /= static_cast<double>(scale.shardsPerApp);
+            const double truth = g_sampler->appCpi(a, cfg);
+            preds.push_back(pred);
+            truths.push_back(truth);
+            errs.push_back(std::abs(pred - truth) / truth);
+        }
+        per_app.emplace_back(g_sampler->app(a).name, errs);
+    }
+
+    bench::errorBoxplots(
+        "Figure 7(a): interpolation error distributions "
+        "(140 app-arch pairs)", per_app);
+
+    std::vector<double> all;
+    for (const auto &[name, errs] : per_app)
+        all.insert(all.end(), errs.begin(), errs.end());
+    const auto m = stats::evaluatePredictions(preds, truths);
+
+    bench::section("Figure 8(a): predicted vs true performance");
+    TextTable t;
+    t.header({"metric", "value", "paper"});
+    t.row({"median error", TextTable::pct(median(all)), "~5-10%"});
+    t.row({"mean error", TextTable::pct(mean(all)), "-"});
+    t.row({"pearson", TextTable::num(m.pearson), ">0.9"});
+    t.row({"spearman rho", TextTable::num(m.spearman), ">0.9"});
+    std::printf("%s", t.render().c_str());
+    std::printf("\nbest model: %zu design columns, %zu interactions\n",
+                g_model.numColumns(),
+                g_model.spec().interactions.size());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 10: shard-level extrapolation. Shards from n-1 applications
+ * train a model that predicts the held application's shard
+ * performance, each application taking a turn as the newcomer.
+ *
+ * Expected shape (paper): low median errors (~8%) and rho >= 0.9 for
+ * applications whose shards resemble the training mix; Section 4.5
+ * documents bwaves as the failure case whose behavior no training
+ * application covers (our gemsFDTD analog shares that difficulty:
+ * it is one of only two FP applications).
+ */
+#include "bench_common.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+std::shared_ptr<core::SpaceSampler> g_sampler;
+
+void
+BM_ShardSignature(benchmark::State &state)
+{
+    const auto shards = wl::makeShards(wl::makeApp("hmmer"), 16384, 1);
+    for (auto _ : state) {
+        auto sig = uarch::computeSignature(shards[0]);
+        benchmark::DoNotOptimize(sig);
+    }
+}
+BENCHMARK(BM_ShardSignature)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::Scale scale;
+    g_sampler = bench::makeSuiteSampler(scale);
+
+    core::GaOptions ga = bench::gaOptions(scale, 17);
+    ga.populationSize = 24;
+    ga.generations = 12;
+
+    std::vector<std::pair<std::string, std::vector<double>>> groups;
+    std::vector<double> all;
+    TextTable t;
+    t.header({"held application", "median err", "spearman rho"});
+    for (std::size_t held = 0; held < g_sampler->numApps(); ++held) {
+        std::vector<std::size_t> train_apps;
+        for (std::size_t a = 0; a < g_sampler->numApps(); ++a)
+            if (a != held)
+                train_apps.push_back(a);
+        const core::Dataset train = g_sampler->sampleApps(
+            train_apps, scale.trainPairsPerApp, 7);
+        core::GeneticSearch search(train, ga);
+        core::HwSwModel model;
+        model.fit(search.run().best.spec, train);
+
+        std::vector<std::size_t> held_idx = {held};
+        // 300 separately profiled shard-architecture pairs.
+        const core::Dataset target =
+            g_sampler->sampleApps(held_idx, 300, 1234 + held);
+        const auto metrics = model.validate(target);
+        const auto errs = stats::absPctErrors(model.predictAll(target),
+                                              target.perfColumn());
+        all.insert(all.end(), errs.begin(), errs.end());
+        groups.emplace_back(g_sampler->app(held).name, errs);
+        t.row({g_sampler->app(held).name,
+               TextTable::pct(metrics.medianAbsPctError),
+               TextTable::num(metrics.spearman)});
+    }
+
+    bench::errorBoxplots(
+        "Figure 10: shard extrapolation error distribution "
+        "(300 shards per held application)", groups, 1.0);
+    bench::section("per-application summary");
+    std::printf("%s", t.render().c_str());
+    std::printf("\noverall median error: %s  (paper: ~8%% with the "
+                "bwaves outlier discussed in Section 4.5)\n",
+                TextTable::pct(median(all)).c_str());
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 12: SpMV blocking parameters vs performance for raefsky3.
+ * 400 samples are drawn from the integrated SpMV-cache space and
+ * average Mflop/s is reported at each block-row / block-column /
+ * fill-ratio level.
+ *
+ * Expected shape (paper): non-monotonic; 8 block rows maximize
+ * performance while 6-7 rows are no better than 2; block columns 1,
+ * 4, and 8 are equally effective (dense substructure in multiples of
+ * 4); fill ratios beyond ~1.25 hurt.
+ */
+#include "bench_common.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_SimulateSpmv(benchmark::State &state)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("raefsky3"), 0.2);
+    const auto s = spmv::BcsrStructure::fromCsr(csr, 4, 4);
+    spmv::SimOptions opts;
+    opts.maxAccesses = 150 * 1000;
+    for (auto _ : state) {
+        auto r = spmv::simulateSpmv(s, spmv::SpmvCacheConfig{}, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SimulateSpmv)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("raefsky3"), 0.2);
+    spmv::SimOptions sim;
+    sim.maxAccesses = 150 * 1000;
+    // 400 samples from the integrated space.
+    const auto samples = spmv::sampleSpmvSpace(csr, 400, 97, sim);
+
+    auto average_by = [&](auto key, int levels, auto level_of) {
+        std::vector<double> acc(levels, 0.0);
+        std::vector<int> cnt(levels, 0);
+        for (const auto &s : samples) {
+            const int l = level_of(s);
+            if (l >= 0 && l < levels) {
+                acc[l] += key(s);
+                ++cnt[l];
+            }
+        }
+        std::vector<double> out(levels, 0.0);
+        for (int l = 0; l < levels; ++l)
+            out[l] = cnt[l] ? acc[l] / cnt[l] : 0.0;
+        return out;
+    };
+
+    bench::section("Figure 12: average Mflop/s by block rows");
+    auto by_rows = average_by(
+        [](const spmv::SpmvSample &s) { return s.mflops; }, 8,
+        [](const spmv::SpmvSample &s) { return int(s.brow) - 1; });
+    TextTable tr;
+    tr.header({"block rows", "avg Mflop/s"});
+    for (int r = 0; r < 8; ++r)
+        tr.row({std::to_string(r + 1), TextTable::num(by_rows[r])});
+    std::printf("%s", tr.render().c_str());
+
+    bench::section("Figure 12: average Mflop/s by block columns");
+    auto by_cols = average_by(
+        [](const spmv::SpmvSample &s) { return s.mflops; }, 8,
+        [](const spmv::SpmvSample &s) { return int(s.bcol) - 1; });
+    TextTable tc;
+    tc.header({"block cols", "avg Mflop/s", "avg fill"});
+    auto fill_cols = average_by(
+        [](const spmv::SpmvSample &s) { return s.fill; }, 8,
+        [](const spmv::SpmvSample &s) { return int(s.bcol) - 1; });
+    for (int c = 0; c < 8; ++c)
+        tc.row({std::to_string(c + 1), TextTable::num(by_cols[c]),
+                TextTable::num(fill_cols[c])});
+    std::printf("%s", tc.render().c_str());
+
+    bench::section("Figure 12: average Mflop/s by fill ratio");
+    TextTable tf;
+    tf.header({"fill band", "avg Mflop/s", "samples"});
+    const std::vector<std::pair<double, double>> bands = {
+        {1.0, 1.05}, {1.05, 1.25}, {1.25, 1.6}, {1.6, 2.5},
+        {2.5, 1e9}};
+    for (const auto &[lo, hi] : bands) {
+        double acc = 0;
+        int cnt = 0;
+        for (const auto &s : samples) {
+            if (s.fill >= lo && s.fill < hi) {
+                acc += s.mflops;
+                ++cnt;
+            }
+        }
+        char label[48];
+        std::snprintf(label, sizeof(label), "[%.2f, %s)", lo,
+                      hi > 1e8 ? "inf" : TextTable::num(hi).c_str());
+        tf.row({label, cnt ? TextTable::num(acc / cnt) : "-",
+                std::to_string(cnt)});
+    }
+    std::printf("%s", tf.render().c_str());
+    std::printf("\npaper: 8 rows best; 6-7 rows no better than 2; "
+                "cols 1/4/8 equally effective; fR > 1.25 harms "
+                "performance\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 14: SpMV performance and power model accuracy across the
+ * eleven Table 4 matrices -- 400 sparse training samples and 100
+ * validation samples per matrix.
+ *
+ * Expected shape (paper): median errors of 4-6% for both performance
+ * and power.
+ */
+#include "bench_common.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_SpmvModelFit(benchmark::State &state)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("memplus"), 0.1);
+    spmv::SimOptions sim;
+    sim.maxAccesses = 60 * 1000;
+    const auto samples = spmv::sampleSpmvSpace(csr, 120, 5, sim);
+    for (auto _ : state) {
+        spmv::SpmvModel m(spmv::SpmvTarget::Mflops);
+        m.fit(samples);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_SpmvModelFit)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::vector<std::pair<std::string, std::vector<double>>> perf_errs;
+    std::vector<std::pair<std::string, std::vector<double>>> power_errs;
+    TextTable t;
+    t.header({"#", "matrix", "perf median", "perf rho",
+              "power median", "power rho"});
+
+    for (const auto &info : spmv::table4()) {
+        const auto csr = spmv::generateMatrix(info, 0.15);
+        spmv::SimOptions sim;
+        sim.maxAccesses = 120 * 1000;
+        const auto train = spmv::sampleSpmvSpace(csr, 400, 17, sim);
+        const auto val = spmv::sampleSpmvSpace(csr, 100, 18, sim);
+
+        spmv::SpmvModel perf(spmv::SpmvTarget::Mflops);
+        perf.fit(train);
+        spmv::SpmvModel power(spmv::SpmvTarget::Power);
+        power.fit(train);
+
+        const auto pm = perf.validate(val);
+        const auto wm = power.validate(val);
+
+        std::vector<double> pe, we;
+        for (const auto &s : val) {
+            pe.push_back(std::abs(perf.predict(s) - s.mflops) /
+                         s.mflops);
+            we.push_back(std::abs(power.predict(s) - s.powerW) /
+                         s.powerW);
+        }
+        perf_errs.emplace_back(info.name, pe);
+        power_errs.emplace_back(info.name, we);
+        t.row({std::to_string(info.id), info.name,
+               TextTable::pct(pm.medianAbsPctError),
+               TextTable::num(pm.spearman),
+               TextTable::pct(wm.medianAbsPctError),
+               TextTable::num(wm.spearman)});
+    }
+
+    bench::errorBoxplots("Figure 14(a): performance prediction error",
+                         perf_errs, 0.3);
+    bench::errorBoxplots("Figure 14(b): power prediction error",
+                         power_errs, 0.3);
+    bench::section("per-matrix summary (400 train / 100 validation)");
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper: median errors between 4-6%% across 11 "
+                "matrices for performance and power\n");
+    return 0;
+}

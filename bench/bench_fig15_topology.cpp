@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 15: profiled vs predicted performance topology over the
+ * 8x8 block-size grid for nasasrb, as speedup over the 1x1 code at a
+ * fixed cache.
+ *
+ * Expected shape (paper): high performance at 3x3, 3x6, 6x3, 6x6
+ * (nasasrb's natural 3x3 substructure); many sizes adjacent to 6x6
+ * are worse than not blocking at all; the model captures both the
+ * peaks and the discontinuities.
+ */
+#include "bench_common.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_TopologySimulation(benchmark::State &state)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("nasasrb"), 0.1);
+    const auto s = spmv::BcsrStructure::fromCsr(csr, 3, 3);
+    spmv::SimOptions opts;
+    opts.maxAccesses = 100 * 1000;
+    for (auto _ : state) {
+        auto r = spmv::simulateSpmv(s, spmv::SpmvCacheConfig{}, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_TopologySimulation)->Unit(benchmark::kMillisecond);
+
+void
+printGrid(const char *title, const double grid[8][8], double base)
+{
+    hwsw::bench::section(title);
+    std::printf("rows\\cols ");
+    for (int c = 0; c < 8; ++c)
+        std::printf("%6d", c + 1);
+    std::printf("\n");
+    for (int r = 0; r < 8; ++r) {
+        std::printf("%8d ", r + 1);
+        for (int c = 0; c < 8; ++c)
+            std::printf("%6.2f", grid[r][c] / base);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("nasasrb"), 0.15);
+    spmv::TunerOptions topts;
+    topts.trainingSamples = 400;
+    topts.validationSamples = 100;
+    topts.sim.maxAccesses = 150 * 1000;
+    spmv::CoordinatedTuner tuner(csr, topts);
+
+    const spmv::SpmvCacheConfig cache; // fixed representative cache
+
+    double profiled[8][8], predicted[8][8];
+    for (int r = 1; r <= 8; ++r) {
+        for (int c = 1; c <= 8; ++c) {
+            profiled[r - 1][c - 1] = tuner.simulate(r, c, cache).mflops;
+            spmv::SpmvSample s;
+            s.brow = r;
+            s.bcol = c;
+            s.fill = tuner.variant(r, c).fillRatio();
+            s.cache = cache.features();
+            predicted[r - 1][c - 1] = tuner.perfModel().predict(s);
+        }
+    }
+
+    const double base = profiled[0][0];
+    printGrid("Figure 15(a): profiled speedup over 1x1", profiled,
+              base);
+    printGrid("Figure 15(b): predicted speedup over 1x1", predicted,
+              predicted[0][0] / (profiled[0][0] / base));
+
+    // Topology agreement: correlation between grids and agreement on
+    // the best cell.
+    std::vector<double> p, q;
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            p.push_back(profiled[r][c]);
+            q.push_back(predicted[r][c]);
+        }
+    }
+    int best_p = 0, best_q = 0;
+    for (int i = 1; i < 64; ++i) {
+        if (p[i] > p[best_p])
+            best_p = i;
+        if (q[i] > q[best_q])
+            best_q = i;
+    }
+    std::printf("\ntopology correlation: pearson %.3f  spearman %.3f\n",
+                pearson(p, q), spearman(p, q));
+    std::printf("profiled best: %dx%d   predicted best: %dx%d\n",
+                best_p / 8 + 1, best_p % 8 + 1, best_q / 8 + 1,
+                best_q % 8 + 1);
+    std::printf("model validation: median %s  rho %.3f\n",
+                TextTable::pct(
+                    tuner.perfModel().validate(
+                        tuner.sampleSpace(100, 999))
+                        .medianAbsPctError)
+                    .c_str(),
+                tuner.perfModel()
+                    .validate(tuner.sampleSpace(100, 999))
+                    .spearman);
+    std::printf("paper: peaks at 3x3/3x6/6x3/6x6; discontinuities "
+                "adjacent to 6x6 captured\n");
+    return 0;
+}

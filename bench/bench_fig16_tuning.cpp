@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 16: performance and energy under application tuning (best
+ * block size, fixed cache), architecture tuning (best cache,
+ * unblocked code), and coordinated tuning, across the Table 4 suite.
+ * All searches rank candidates with the inferred model and validate
+ * the chosen point in the simulator.
+ *
+ * Expected shape (paper): application and architecture tuning give
+ * ~1.6x and ~2.7x; coordinated tuning ~5.0x. Application tuning
+ * reduces energy per flop (17 -> 11 nJ); architecture tuning raises
+ * it (~25 nJ); coordinated tuning wins performance while slightly
+ * reducing energy (~0.9x).
+ */
+#include "bench_common.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_TuneSweep(benchmark::State &state)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("venkat01"), 0.08);
+    spmv::TunerOptions topts;
+    topts.trainingSamples = 100;
+    topts.validationSamples = 30;
+    topts.sim.maxAccesses = 60 * 1000;
+    spmv::CoordinatedTuner tuner(csr, topts);
+    for (auto _ : state) {
+        auto outcome = tuner.tune();
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_TuneSweep)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    TextTable perf;
+    perf.header({"#", "matrix", "base", "app", "arch", "coord",
+                 "app x", "arch x", "coord x"});
+    TextTable energy;
+    energy.header({"#", "matrix", "base nJ/F", "app nJ/F",
+                   "arch nJ/F", "coord nJ/F"});
+
+    std::vector<double> app_spd, arch_spd, coord_spd;
+    std::vector<double> e_base, e_app, e_arch, e_coord;
+    for (const auto &info : spmv::table4()) {
+        const auto csr = spmv::generateMatrix(info, 0.15);
+        spmv::TunerOptions topts;
+        topts.trainingSamples = 300;
+        topts.validationSamples = 60;
+        topts.sim.maxAccesses = 120 * 1000;
+        spmv::CoordinatedTuner tuner(csr, topts);
+        const spmv::TuneOutcome o = tuner.tune();
+
+        const double base = o.baseline.mflops;
+        app_spd.push_back(o.appTuned.mflops / base);
+        arch_spd.push_back(o.archTuned.mflops / base);
+        coord_spd.push_back(o.coordinated.mflops / base);
+        e_base.push_back(o.baseline.nJPerFlop);
+        e_app.push_back(o.appTuned.nJPerFlop);
+        e_arch.push_back(o.archTuned.nJPerFlop);
+        e_coord.push_back(o.coordinated.nJPerFlop);
+
+        perf.row({std::to_string(info.id), info.name,
+                  TextTable::num(base),
+                  TextTable::num(o.appTuned.mflops),
+                  TextTable::num(o.archTuned.mflops),
+                  TextTable::num(o.coordinated.mflops),
+                  TextTable::num(o.appTuned.mflops / base, 3) + "x",
+                  TextTable::num(o.archTuned.mflops / base, 3) + "x",
+                  TextTable::num(o.coordinated.mflops / base, 3) +
+                      "x"});
+        energy.row({std::to_string(info.id), info.name,
+                    TextTable::num(o.baseline.nJPerFlop),
+                    TextTable::num(o.appTuned.nJPerFlop),
+                    TextTable::num(o.archTuned.nJPerFlop),
+                    TextTable::num(o.coordinated.nJPerFlop)});
+    }
+
+    bench::section("Figure 16(a): performance tuning (Mflop/s)");
+    std::printf("%s", perf.render().c_str());
+    std::printf("\nmean speedups: app %.2fx  arch %.2fx  coord %.2fx  "
+                "(paper: 1.6x / 2.7x / 5.0x)\n",
+                mean(app_spd), mean(arch_spd), mean(coord_spd));
+
+    bench::section("Figure 16(b): energy efficiency (nJ per true "
+                   "flop)");
+    std::printf("%s", energy.render().c_str());
+    std::printf("\nmean nJ/flop: base %.1f  app %.1f  arch %.1f  "
+                "coord %.1f\n",
+                mean(e_base), mean(e_app), mean(e_arch),
+                mean(e_coord));
+    std::printf("paper: app tuning reduces energy (17 -> 11 nJ/F); "
+                "arch tuning raises it (~25 nJ/F); coordinated wins "
+                "performance at ~0.9x energy\n");
+    return 0;
+}

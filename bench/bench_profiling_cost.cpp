@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Section 4.3 "Reduced Profiling Costs": the integrated model needs
+ * fewer architectural profiles per application than prior per-
+ * application models, because applications share behavior. And a new
+ * application can ride on existing profiles with only a handful of
+ * its own (the manager's 10-20-profile updates), a much larger
+ * saving.
+ *
+ * Expected shape (paper): 2-4x fewer profiles per application at
+ * matched accuracy; 20-40x when existing profiles extrapolate a new
+ * application.
+ */
+#include "bench_common.hpp"
+
+#include "core/manager.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+/** Rich fixed specification so both approaches share a model class. */
+core::ModelSpec
+richSpec()
+{
+    core::ModelSpec spec;
+    for (std::size_t v = 0; v < core::kNumVars; ++v)
+        spec.genes[v] = v < core::kNumSw ? 2 : 3;
+    for (std::uint16_t x : {0, 1, 5, 6, 7, 8, 9, 12})
+        for (std::uint16_t y = core::kNumSw; y < core::kNumVars; ++y)
+            spec.interactions.push_back({x, y});
+    spec.normalize();
+    return spec;
+}
+
+void
+BM_BasisTable(benchmark::State &state)
+{
+    bench::Scale scale;
+    scale.shardsPerApp = 8;
+    auto sampler = bench::makeSuiteSampler(scale);
+    const core::Dataset train = sampler->sample(100, 3);
+    for (auto _ : state) {
+        auto basis = core::computeBasisTable(train);
+        benchmark::DoNotOptimize(basis);
+    }
+}
+BENCHMARK(BM_BasisTable)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::Scale scale;
+    auto sampler = bench::makeSuiteSampler(scale);
+    const core::ModelSpec spec = richSpec();
+
+    const std::vector<std::size_t> budgets = {10, 15, 25, 40, 60,
+                                              100, 150, 250, 400};
+
+    // Accuracy (mean of per-app median errors) as a function of the
+    // per-application profiling budget, for isolated per-application
+    // models vs. one integrated model sharing all applications' data.
+    std::vector<double> per_app_err, integrated_err;
+    for (std::size_t budget : budgets) {
+        std::vector<double> iso_errs;
+        for (std::size_t a = 0; a < sampler->numApps(); ++a) {
+            std::vector<std::size_t> one = {a};
+            const core::Dataset train =
+                sampler->sampleApps(one, budget, 11 + a);
+            const core::Dataset val =
+                sampler->sampleApps(one, 60, 501 + a);
+            core::HwSwModel m;
+            m.fit(spec, train);
+            iso_errs.push_back(m.validate(val).medianAbsPctError);
+        }
+        per_app_err.push_back(mean(iso_errs));
+
+        const core::Dataset train = sampler->sample(budget, 21);
+        core::HwSwModel m;
+        m.fit(spec, train);
+        std::vector<double> int_errs;
+        for (std::size_t a = 0; a < sampler->numApps(); ++a) {
+            std::vector<std::size_t> one = {a};
+            const core::Dataset val =
+                sampler->sampleApps(one, 60, 601 + a);
+            int_errs.push_back(m.validate(val).medianAbsPctError);
+        }
+        integrated_err.push_back(mean(int_errs));
+    }
+
+    bench::section("accuracy vs per-application profiling budget");
+    TextTable t;
+    t.header({"profiles/app", "per-app models", "integrated model"});
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        t.row({std::to_string(budgets[i]),
+               TextTable::pct(per_app_err[i]),
+               TextTable::pct(integrated_err[i])});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Cost reduction: for each per-app operating point, the smallest
+    // integrated budget reaching the same (or better) accuracy.
+    double best_reduction = 0.0;
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        for (std::size_t j = 0; j < budgets.size(); ++j) {
+            if (integrated_err[j] <= per_app_err[i]) {
+                best_reduction = std::max(
+                    best_reduction,
+                    static_cast<double>(budgets[i]) /
+                        static_cast<double>(budgets[j]));
+                break;
+            }
+        }
+    }
+    std::printf("\nprofiling cost reduction at matched accuracy: up "
+                "to %.1fx (paper: 2-4x)\n", best_reduction);
+    std::printf("extrapolating a new application via model update: "
+                "%.1fx (15 profiles vs %zu; paper: 20-40x)\n",
+                static_cast<double>(budgets.back()) / 15.0,
+                budgets.back());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 3: transformations the genetic search settles on after ~20
+ * generations -- which variables are un-used, linear, polynomial, or
+ * spline-transformed in the best models.
+ *
+ * Expected shape (paper): a mix of all four transformation classes;
+ * rarely-exercised resources (e.g. the second FP multiplier, y12)
+ * are dropped; complex out-of-order resources (y2) get splines.
+ */
+#include "bench_common.hpp"
+
+#include <map>
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_FitBestModel(benchmark::State &state)
+{
+    bench::Scale scale;
+    scale.shardsPerApp = 8;
+    auto sampler = bench::makeSuiteSampler(scale);
+    const core::Dataset train = sampler->sample(120, 3);
+    Rng rng(11);
+    const core::ModelSpec spec = core::ModelSpec::random(rng, 0.5, 16);
+    const core::BasisTable basis = core::computeBasisTable(train);
+    for (auto _ : state) {
+        core::HwSwModel model;
+        model.fit(spec, train, basis);
+        benchmark::DoNotOptimize(model);
+    }
+}
+BENCHMARK(BM_FitBestModel)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::Scale scale;
+    auto sampler = bench::makeSuiteSampler(scale);
+    const core::Dataset train =
+        sampler->sample(scale.trainPairsPerApp, 1);
+    core::GeneticSearch search(train, bench::gaOptions(scale));
+    const core::GaResult result = search.run();
+
+    // Majority transformation per variable over the best quartile of
+    // the final population.
+    const std::size_t n_best =
+        std::max<std::size_t>(result.population.size() / 4, 1);
+    bench::section("Table 3: transformations in the best models after "
+                   + std::to_string(scale.generations) +
+                   " generations");
+    TextTable t;
+    t.header({"variable", "transformation", "votes"});
+    for (std::size_t v = 0; v < core::kNumVars; ++v) {
+        std::map<std::uint8_t, int> votes;
+        for (std::size_t m = 0; m < n_best; ++m)
+            ++votes[result.population[m].spec.genes[v]];
+        auto best = votes.begin();
+        for (auto it = votes.begin(); it != votes.end(); ++it)
+            if (it->second > best->second)
+                best = it;
+        t.row({core::Dataset::varNames()[v],
+               std::string(core::geneTxName(
+                   static_cast<core::GeneTx>(best->first))),
+               std::to_string(best->second) + "/" +
+                   std::to_string(n_best)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper (Table 3): a blend of un-used / linear / "
+                "poly / spline assignments;\n"
+                "insignificant units dropped, complex window "
+                "resources splined\n");
+    return 0;
+}

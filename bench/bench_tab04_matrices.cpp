@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table 4: the eleven-matrix sparse suite. Prints the paper's
+ * published dimension/nnz/sparsity beside the generated synthetic
+ * analog at the experiment scale (structure class preserved; see
+ * DESIGN.md for the substitution rationale).
+ */
+#include "bench_common.hpp"
+
+#include "spmv/bcsr.hpp"
+#include "spmv/matgen.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+void
+BM_GenerateMatrix(benchmark::State &state)
+{
+    const auto &info = spmv::matrixInfo("raefsky3");
+    for (auto _ : state) {
+        auto m = spmv::generateMatrix(info, 0.25);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_GenerateMatrix)->Unit(benchmark::kMillisecond);
+
+void
+BM_BcsrConversion(benchmark::State &state)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo("raefsky3"), 0.25);
+    for (auto _ : state) {
+        auto s = spmv::BcsrStructure::fromCsr(csr, 4, 4);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_BcsrConversion)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const double scale = 0.25;
+    bench::section("Table 4: sparse matrix suite (generated at scale "
+                   + TextTable::num(scale) + ")");
+    TextTable t;
+    t.header({"#", "matrix", "paper dim", "paper nnz", "paper sparsity",
+              "gen dim", "gen nnz", "gen sparsity", "natural block"});
+    for (const auto &info : spmv::table4()) {
+        const spmv::CsrMatrix m = spmv::generateMatrix(info, scale);
+        t.row({std::to_string(info.id), info.name,
+               std::to_string(info.paperDimension),
+               std::to_string(info.paperNnz),
+               TextTable::num(info.paperSparsity(), 3),
+               std::to_string(m.rows()),
+               std::to_string(m.nnz()),
+               TextTable::num(m.sparsity(), 3),
+               std::to_string(info.blockR) + "x" +
+                   std::to_string(info.blockC)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nnote: generated sparsity = paper sparsity / scale "
+                "(row density preserved while the dimension shrinks)\n");
+
+    bench::section("fill ratios at representative block sizes");
+    TextTable f;
+    f.header({"matrix", "2x2", "3x3", "4x4", "6x6", "8x8"});
+    for (const auto &info : spmv::table4()) {
+        const spmv::CsrMatrix m = spmv::generateMatrix(info, 0.1);
+        std::vector<std::string> row = {info.name};
+        for (int b : {2, 3, 4, 6, 8})
+            row.push_back(TextTable::num(spmv::fillRatio(m, b, b), 3));
+        f.row(row);
+    }
+    std::printf("%s", f.render().c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Adaptive-architecture scenario from the paper's introduction: a
+ * reconfigurable chip adapts structural resources to dynamic
+ * application behavior. Shard profiles arrive at run time; the
+ * inferred model predicts each candidate configuration's performance
+ * for the *current* shard, and the chip reconfigures between a
+ * low-power and a high-performance mode when phases change.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/genetic.hpp"
+#include "core/sampler.hpp"
+
+using namespace hwsw;
+
+int
+main()
+{
+    // Candidate run-time configurations of the adaptive core.
+    uarch::UarchConfig eco; // clock-gated mode: small window/caches
+    eco.width = 2;
+    eco.lsq = 11;
+    eco.iq = 22;
+    eco.rob = 64;
+    eco.physRegs = 86;
+    eco.dcacheKB = 16;
+    eco.icacheKB = 16;
+    eco.l2KB = 512;
+    eco.intAlu = 1;
+    eco.fpAlu = 1;
+
+    uarch::UarchConfig turbo; // all resources on
+    turbo.width = 8;
+    turbo.lsq = 36;
+    turbo.iq = 72;
+    turbo.rob = 224;
+    turbo.physRegs = 296;
+    turbo.dcacheKB = 128;
+    turbo.icacheKB = 64;
+    turbo.l2KB = 4096;
+    turbo.intAlu = 4;
+    turbo.fpAlu = 3;
+    turbo.cachePorts = 4;
+
+    // Train the model offline on sparse samples.
+    core::SamplerOptions sopts;
+    sopts.shardLength = 8192;
+    sopts.shardsPerApp = 16;
+    core::SpaceSampler sampler(wl::makeSuite(), sopts);
+    core::GaOptions ga;
+    ga.populationSize = 20;
+    ga.generations = 10;
+    core::GeneticSearch search(sampler.sample(100, 3), ga);
+    core::HwSwModel model;
+    model.fit(search.run().best.spec, sampler.sample(100, 3));
+
+    // "Run" astar: its pointer-chasing phases gain little from the
+    // big window (memory-bound) while its compute phases gain a lot.
+    // For each shard, predict both modes and switch when turbo is not
+    // worth it (here: predicted speedup below 1.4x, a stand-in for
+    // an energy budget).
+    const std::size_t app = 0; // astar
+    std::printf("shard  eco CPI(pred/true)  turbo CPI(pred/true)  "
+                "decision\n");
+    int switches = 0;
+    bool in_turbo = true;
+    double adaptive_cycles = 0, turbo_cycles = 0;
+    for (std::size_t s = 0; s < sopts.shardsPerApp; ++s) {
+        const auto rec_eco = sampler.record(app, s, eco);
+        const auto rec_turbo = sampler.record(app, s, turbo);
+        const double p_eco = model.predict(rec_eco);
+        const double p_turbo = model.predict(rec_turbo);
+        const bool want_turbo = p_eco / p_turbo >= 1.4;
+        // (astar shard speedups straddle this, so phases matter)
+        if (want_turbo != in_turbo) {
+            ++switches;
+            in_turbo = want_turbo;
+        }
+        adaptive_cycles += in_turbo ? rec_turbo.perf : rec_eco.perf;
+        turbo_cycles += rec_turbo.perf;
+        std::printf("%5zu  %8.2f/%5.2f     %8.2f/%5.2f      %s\n", s,
+                    p_eco, rec_eco.perf, p_turbo, rec_turbo.perf,
+                    in_turbo ? "turbo" : "eco");
+    }
+    std::printf("\nreconfigurations: %d\n", switches);
+    std::printf("adaptive total CPI %.1f vs always-turbo %.1f "
+                "(%.0f%% of turbo performance while spending eco "
+                "power on %s shards)\n",
+                adaptive_cycles, turbo_cycles,
+                100.0 * turbo_cycles / adaptive_cycles,
+                switches ? "memory-bound" : "no");
+    return 0;
+}

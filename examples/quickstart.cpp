@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: the full inferred-modeling pipeline in ~60 lines.
+ *
+ *   1. Generate applications and split them into shards.
+ *   2. Profile microarchitecture-independent characteristics.
+ *   3. Sparsely sample the integrated hardware-software space.
+ *   4. Let the genetic search specify a regression model.
+ *   5. Predict performance of unseen hardware-software pairs.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/genetic.hpp"
+#include "core/sampler.hpp"
+
+using namespace hwsw;
+
+int
+main()
+{
+    // 1-2: three applications, profiled into shards by the sampler.
+    core::SamplerOptions sopts;
+    sopts.shardLength = 8192; // the paper uses 10M-instruction shards
+    sopts.shardsPerApp = 12;
+    std::vector<wl::AppSpec> apps = {
+        wl::makeApp("astar"), wl::makeApp("hmmer"),
+        wl::makeApp("bzip2")};
+    core::SpaceSampler sampler(std::move(apps), sopts);
+
+    // 3: sparse random samples of (shard, architecture) pairs --
+    // orders of magnitude fewer than the cross-product space.
+    const core::Dataset train = sampler.sample(120, /*seed=*/1);
+    std::printf("sampled %zu profiles from a %llu-point design grid\n",
+                train.size(),
+                static_cast<unsigned long long>(
+                    uarch::UarchConfig::gridSize()));
+
+    // 4: automated model specification (Section 3.4).
+    core::GaOptions ga;
+    ga.populationSize = 16;
+    ga.generations = 8;
+    core::GeneticSearch search(train, ga);
+    const core::GaResult result = search.run();
+    std::printf("search: fitness %.3f -> %.3f over %zu generations\n",
+                result.history.front().bestFitness,
+                result.history.back().bestFitness,
+                result.history.size());
+
+    core::HwSwModel model;
+    model.fit(result.best.spec, train);
+    std::printf("model: %zu design columns\n", model.numColumns());
+
+    // 5: predict unseen pairs and check accuracy.
+    const core::Dataset validation = sampler.sample(30, /*seed=*/2);
+    const auto metrics = model.validate(validation);
+    std::printf("validation: median error %.1f%%, rho %.3f\n",
+                100.0 * metrics.medianAbsPctError, metrics.spearman);
+
+    // Ask a concrete question: how fast would hmmer run on a wide
+    // machine with a small data cache?
+    uarch::UarchConfig cfg;
+    cfg.width = 8;
+    cfg.dcacheKB = 16;
+    const auto rec = sampler.record(/*app=*/1, /*shard=*/0, cfg);
+    std::printf("hmmer on width-8/16KB-D$: predicted CPI %.2f, "
+                "simulated CPI %.2f\n",
+                model.predict(rec), rec.perf);
+    return 0;
+}

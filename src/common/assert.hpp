@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal/panic distinction:
+ * fatal() is for user errors (bad configuration, invalid arguments);
+ * panic() is for internal invariant violations (library bugs).
+ */
+
+#ifndef HWSW_COMMON_ASSERT_HPP
+#define HWSW_COMMON_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hwsw {
+
+/**
+ * Thrown when the caller supplied an invalid configuration or argument.
+ * Recoverable by the caller; library state is unchanged.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/**
+ * Thrown when an internal invariant is violated, i.e. a library bug.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Report a user error. @param msg description of the bad input. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/** Report an internal invariant violation. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+/** Check a user-facing precondition; throws FatalError when violated. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant; throws PanicError when violated. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_ASSERT_HPP

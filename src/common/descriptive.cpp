@@ -1,0 +1,155 @@
+#include "common/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace hwsw {
+
+double
+mean(std::span<const double> xs)
+{
+    panicIf(xs.empty(), "mean of empty sample");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+        static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+skewness(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 3)
+        return 0.0;
+    const double m = mean(xs);
+    double m2 = 0.0, m3 = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= static_cast<double>(n);
+    m3 /= static_cast<double>(n);
+    if (m2 <= 0.0)
+        return 0.0;
+    const double g1 = m3 / std::pow(m2, 1.5);
+    const double nd = static_cast<double>(n);
+    return g1 * std::sqrt(nd * (nd - 1.0)) / (nd - 2.0);
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    panicIf(xs.empty(), "quantile of empty sample");
+    fatalIf(q < 0.0 || q > 1.0, "quantile fraction must be in [0,1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double h = q * (static_cast<double>(sorted.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = h - std::floor(h);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+median(std::span<const double> xs)
+{
+    return quantile(xs, 0.5);
+}
+
+Summary
+summarize(std::span<const double> xs)
+{
+    panicIf(xs.empty(), "summarize of empty sample");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    auto q = [&](double f) {
+        const double h = f * (static_cast<double>(sorted.size()) - 1.0);
+        const auto lo = static_cast<std::size_t>(std::floor(h));
+        const auto hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = h - std::floor(h);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    };
+    Summary s;
+    s.n = sorted.size();
+    s.min = sorted.front();
+    s.q1 = q(0.25);
+    s.median = q(0.5);
+    s.q3 = q(0.75);
+    s.max = sorted.back();
+    s.mean = mean(xs);
+    return s;
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    panicIf(xs.size() != ys.size(), "pearson needs equal-size samples");
+    panicIf(xs.size() < 2, "pearson needs at least two samples");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+ranks(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> r(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average rank for the tie group [i, j]; ranks are 1-based.
+        const double avg = (static_cast<double>(i) +
+                            static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            r[order[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+double
+spearman(std::span<const double> xs, std::span<const double> ys)
+{
+    const std::vector<double> rx = ranks(xs);
+    const std::vector<double> ry = ranks(ys);
+    return pearson(rx, ry);
+}
+
+} // namespace hwsw

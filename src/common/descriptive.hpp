@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Descriptive statistics over samples: moments, quantiles, and the
+ * five-number summaries used throughout the paper's error boxplots.
+ */
+
+#ifndef HWSW_COMMON_DESCRIPTIVE_HPP
+#define HWSW_COMMON_DESCRIPTIVE_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hwsw {
+
+/** Arithmetic mean. @pre xs is non-empty. */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample variance. Returns 0 for fewer than two samples. */
+double variance(std::span<const double> xs);
+
+/** Sample standard deviation. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Sample skewness (adjusted Fisher-Pearson). Positive values indicate
+ * a long right tail, the shape Figure 3(a) exhibits for re-use
+ * distances. Returns 0 for fewer than three samples or zero variance.
+ */
+double skewness(std::span<const double> xs);
+
+/**
+ * Quantile with linear interpolation between order statistics
+ * (type-7, the R default). @param q in [0, 1]. @pre xs non-empty.
+ */
+double quantile(std::span<const double> xs, double q);
+
+/** Median, i.e. quantile(xs, 0.5). */
+double median(std::span<const double> xs);
+
+/** Five-number summary plus mean, for boxplot-style reporting. */
+struct Summary
+{
+    std::size_t n = 0;
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    double mean = 0;
+};
+
+/** Compute a Summary. @pre xs non-empty. */
+Summary summarize(std::span<const double> xs);
+
+/** Pearson linear correlation coefficient. @pre equal, >=2 sizes. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Spearman rank correlation coefficient (average ranks for ties).
+ * This is the correlation measure the paper reports as rho, which is
+ * what matters when models drive hill-climbing optimization.
+ */
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/** Ranks with ties averaged; helper exposed for testing. */
+std::vector<double> ranks(std::span<const double> xs);
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_DESCRIPTIVE_HPP

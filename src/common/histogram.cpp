@@ -1,0 +1,137 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hwsw {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    fatalIf(bins == 0, "Histogram needs at least one bin");
+    fatalIf(!(hi > lo), "Histogram range must be non-empty");
+}
+
+Histogram
+Histogram::fromSamples(std::span<const double> xs, std::size_t bins)
+{
+    panicIf(xs.empty(), "Histogram::fromSamples needs samples");
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    double lo = *mn;
+    double hi = *mx;
+    if (!(hi > lo))
+        hi = lo + 1.0;
+    Histogram h(lo, hi, bins);
+    h.addAll(xs);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(
+        std::floor(f * static_cast<double>(counts_.size())));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::addAll(std::span<const double> xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[b]) /
+            static_cast<double>(peak) * static_cast<double>(width));
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%12.4g |", binCenter(b));
+        os << buf << std::string(bar, '#') << " " << counts_[b] << "\n";
+    }
+    return os.str();
+}
+
+Log2Histogram::Log2Histogram(std::size_t bins)
+    : counts_(bins, 0)
+{
+    fatalIf(bins == 0, "Log2Histogram needs at least one bin");
+}
+
+void
+Log2Histogram::add(double x)
+{
+    std::size_t bin = 0;
+    if (x >= 1.0) {
+        bin = static_cast<std::size_t>(std::floor(std::log2(x)));
+        bin = std::min(bin, counts_.size() - 1);
+    }
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Log2Histogram::tailFraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t tail = 0;
+    for (std::size_t b = std::min(bin, counts_.size());
+         b < counts_.size(); ++b) {
+        tail += counts_[b];
+    }
+    return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    panicIf(counts_.size() != other.counts_.size(),
+            "Log2Histogram::merge needs equal bin counts");
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    total_ += other.total_;
+}
+
+std::string
+Log2Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] == 0)
+            continue;
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[b]) /
+            static_cast<double>(peak) * static_cast<double>(width));
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "2^%-3zu |", b);
+        os << buf << std::string(bar, '#') << " " << counts_[b] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace hwsw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simple linear- and log-binned histograms with ASCII rendering, used
+ * to reproduce the paper's distribution figures (Figs. 3 and 9) in
+ * console reports.
+ */
+
+#ifndef HWSW_COMMON_HISTOGRAM_HPP
+#define HWSW_COMMON_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hwsw {
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range are
+ * clamped into the first/last bin so no observation is silently lost.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin; must exceed lo.
+     * @param bins number of bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Build a histogram directly from samples. */
+    static Histogram fromSamples(std::span<const double> xs,
+                                 std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Record many samples. */
+    void addAll(std::span<const double> xs);
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::uint64_t total() const { return total_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Midpoint of a bin. */
+    double binCenter(std::size_t bin) const;
+
+    /**
+     * Render a horizontal bar chart, one line per bin.
+     * @param width maximum bar width in characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Power-of-two log-binned histogram for long-tailed non-negative
+ * quantities such as re-use and stack distances. Bin b counts values
+ * in [2^b, 2^(b+1)); values < 1 land in bin 0.
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(std::size_t bins = 40);
+
+    void add(double x);
+    void add(std::uint64_t x) { add(static_cast<double>(x)); }
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples with value >= 2^bin. */
+    double tailFraction(std::size_t bin) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const Log2Histogram &other);
+
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_HISTOGRAM_HPP

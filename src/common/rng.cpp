@@ -1,0 +1,160 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextInt(std::uint64_t bound)
+{
+    panicIf(bound == 0, "Rng::nextInt bound must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::nextRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(span ? nextInt(span) : (*this)());
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextUniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cachedGaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    hasCachedGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    panicIf(mean <= 0.0, "Rng::nextExponential mean must be > 0");
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::nextDiscrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panicIf(w < 0.0, "Rng::nextDiscrete weights must be non-negative");
+        total += w;
+    }
+    panicIf(total <= 0.0, "Rng::nextDiscrete needs a positive weight");
+    double r = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::uint64_t
+Rng::nextPositive(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Exponential rounded up: positive support with approximately the
+    // requested mean and a realistic long tail.
+    const double v = nextExponential(mean - 0.5);
+    const auto n = static_cast<std::uint64_t>(v) + 1;
+    return n;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace hwsw

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (workload generators, design
+ * space sampling, genetic search) draw from this generator so that every
+ * experiment is reproducible from a single seed.  The implementation is
+ * xoshiro256** seeded through SplitMix64, which has good statistical
+ * quality and is much faster than std::mt19937_64.
+ */
+
+#ifndef HWSW_COMMON_RNG_HPP
+#define HWSW_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace hwsw {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be used
+ * with standard distributions, though the convenience members below
+ * cover everything this library needs.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double nextDouble();
+
+    /** Uniform real in [lo, hi). */
+    double nextUniform(double lo, double hi);
+
+    /** Standard normal variate (Box-Muller). */
+    double nextGaussian();
+
+    /** Exponential variate with the given mean. @pre mean > 0. */
+    double nextExponential(double mean);
+
+    /** Bernoulli trial. @param p probability of true, clamped to [0,1]. */
+    bool nextBool(double p);
+
+    /**
+     * Sample an index from an unnormalized discrete distribution.
+     * @param weights non-negative weights; at least one must be > 0.
+     * @return index in [0, weights.size()).
+     */
+    std::size_t nextDiscrete(const std::vector<double> &weights);
+
+    /**
+     * Geometric-like positive integer with the given mean (>= 1).
+     * Used for dependence distances and basic block lengths.
+     */
+    std::uint64_t nextPositive(double mean);
+
+    /** Fork an independent generator (for parallel components). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_RNG_HPP

@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hwsw {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+renderBoxplot(const std::string &label, std::span<const double> xs,
+              double lo, double hi, std::size_t width)
+{
+    panicIf(!(hi > lo), "renderBoxplot needs a non-empty scale");
+    const Summary s = summarize(xs);
+    auto pos = [&](double v) {
+        double f = (v - lo) / (hi - lo);
+        f = std::clamp(f, 0.0, 1.0);
+        return static_cast<std::size_t>(
+            f * static_cast<double>(width - 1));
+    };
+    std::string line(width, ' ');
+    const std::size_t pMin = pos(s.min), pQ1 = pos(s.q1),
+        pMed = pos(s.median), pQ3 = pos(s.q3), pMax = pos(s.max);
+    for (std::size_t i = pMin; i <= pMax; ++i)
+        line[i] = '-';
+    for (std::size_t i = pQ1; i <= pQ3; ++i)
+        line[i] = '=';
+    line[pMin] = '|';
+    line[pMax] = '|';
+    line[pMed] = 'M';
+
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-12s [%s]  med=%s",
+                  label.c_str(), line.c_str(),
+                  TextTable::pct(s.median).c_str());
+    return buf;
+}
+
+} // namespace hwsw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console report helpers: aligned text tables and ASCII boxplots, used
+ * by the benchmark harnesses to print the paper's tables and figures.
+ */
+
+#ifndef HWSW_COMMON_TABLE_HPP
+#define HWSW_COMMON_TABLE_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/descriptive.hpp"
+
+namespace hwsw {
+
+/** Column-aligned text table with an optional header row. */
+class TextTable
+{
+  public:
+    /** Set the header row; resets column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of cells; may be ragged relative to the header. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format as a percentage, e.g. 0.083 -> "8.3%". */
+    static std::string pct(double v, int precision = 1);
+
+    /** Render with single-space-padded, left-aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render a labelled ASCII boxplot row for a sample: whiskers at
+ * min/max, box at the quartiles, '|' at the median. All plots sharing
+ * the same [lo, hi] scale can be stacked to mimic the paper's figures.
+ */
+std::string renderBoxplot(const std::string &label,
+                          std::span<const double> xs,
+                          double lo, double hi,
+                          std::size_t width = 60);
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_TABLE_HPP

@@ -1,0 +1,124 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+ProfileRecord
+makeRecord(const prof::ShardProfile &profile,
+           const uarch::UarchConfig &cfg, double cpi)
+{
+    ProfileRecord rec;
+    rec.app = profile.app;
+    rec.shardIndex = profile.shardIndex;
+    const auto sw = profile.features();
+    const auto hw = cfg.features();
+    for (std::size_t i = 0; i < kNumSw; ++i)
+        rec.vars[i] = sw[i];
+    for (std::size_t i = 0; i < kNumHw; ++i)
+        rec.vars[kNumSw + i] = hw[i];
+    rec.perf = cpi;
+    return rec;
+}
+
+void
+Dataset::add(ProfileRecord rec)
+{
+    if (std::find(apps_.begin(), apps_.end(), rec.app) == apps_.end())
+        apps_.push_back(rec.app);
+    records_.push_back(std::move(rec));
+}
+
+void
+Dataset::addAll(const Dataset &other)
+{
+    for (std::size_t i = 0; i < other.size(); ++i)
+        add(other[i]);
+}
+
+const ProfileRecord &
+Dataset::operator[](std::size_t i) const
+{
+    panicIf(i >= records_.size(), "Dataset index out of range");
+    return records_[i];
+}
+
+std::vector<std::size_t>
+Dataset::indicesForApp(std::string_view app) const
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        if (records_[i].app == app)
+            idx.push_back(i);
+    return idx;
+}
+
+std::vector<double>
+Dataset::column(std::size_t var) const
+{
+    panicIf(var >= kNumVars, "Dataset column out of range");
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = records_[i].vars[var];
+    return out;
+}
+
+std::vector<double>
+Dataset::perfColumn() const
+{
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = records_[i].perf;
+    return out;
+}
+
+const std::vector<std::string> &
+Dataset::varNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &s : prof::ShardProfile::featureNames())
+            n.push_back(s);
+        for (const auto &s : uarch::UarchConfig::featureNames())
+            n.push_back(s);
+        return n;
+    }();
+    return names;
+}
+
+Dataset
+Dataset::subset(std::span<const std::size_t> idx) const
+{
+    Dataset out;
+    for (std::size_t i : idx)
+        out.add((*this)[i]);
+    return out;
+}
+
+Dataset::Split
+Dataset::splitApp(std::string_view app, double train_frac,
+                  Rng &rng) const
+{
+    fatalIf(train_frac <= 0.0 || train_frac >= 1.0,
+            "train fraction must be in (0,1)");
+    std::vector<std::size_t> idx = indicesForApp(app);
+    fatalIf(idx.size() < 2, "splitApp needs >= 2 records for the app");
+    // Fisher-Yates shuffle.
+    for (std::size_t i = idx.size() - 1; i > 0; --i) {
+        const std::size_t j = rng.nextInt(i + 1);
+        std::swap(idx[i], idx[j]);
+    }
+    Split split;
+    auto n_train = static_cast<std::size_t>(
+        train_frac * static_cast<double>(idx.size()));
+    n_train = std::clamp<std::size_t>(n_train, 1, idx.size() - 1);
+    split.train.assign(idx.begin(),
+                       idx.begin() + static_cast<std::ptrdiff_t>(n_train));
+    split.validation.assign(
+        idx.begin() + static_cast<std::ptrdiff_t>(n_train), idx.end());
+    return split;
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Profile datasets for the integrated hardware-software space.
+ *
+ * A ProfileRecord is one sparse sample of the space: the Table 1
+ * software characteristics of a shard, the Table 2 parameters of the
+ * architecture it ran on, and the measured performance (CPI). The
+ * Dataset is the profile store S of Section 3.2, indexed by
+ * application so the modeling heuristic can run its per-application
+ * train/validation inner loop.
+ */
+
+#ifndef HWSW_CORE_DATASET_HPP
+#define HWSW_CORE_DATASET_HPP
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "profiler/profiler.hpp"
+#include "uarch/config.hpp"
+
+namespace hwsw::core {
+
+/** Number of software variables (x1..x13). */
+inline constexpr std::size_t kNumSw = prof::kNumSwFeatures;
+
+/** Number of hardware variables (y1..y13). */
+inline constexpr std::size_t kNumHw = uarch::kNumHwFeatures;
+
+/** Total model variables. Software first, then hardware. */
+inline constexpr std::size_t kNumVars = kNumSw + kNumHw;
+
+/** True when variable index v is a software characteristic. */
+constexpr bool
+isSoftwareVar(std::size_t v)
+{
+    return v < kNumSw;
+}
+
+/** One profiled hardware-software sample. */
+struct ProfileRecord
+{
+    std::string app;
+    std::size_t shardIndex = 0;
+    std::array<double, kNumVars> vars{};
+    double perf = 0.0; ///< measured CPI
+};
+
+/** Assemble a record from a shard profile, a config, and measured CPI. */
+ProfileRecord makeRecord(const prof::ShardProfile &profile,
+                         const uarch::UarchConfig &cfg, double cpi);
+
+/** Profile store with per-application indexing. */
+class Dataset
+{
+  public:
+    void add(ProfileRecord rec);
+    void addAll(const Dataset &other);
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const ProfileRecord &operator[](std::size_t i) const;
+
+    /** Distinct application names, in first-seen order. */
+    const std::vector<std::string> &appNames() const { return apps_; }
+
+    /** Record indices belonging to an application. */
+    std::vector<std::size_t> indicesForApp(std::string_view app) const;
+
+    /** Values of one variable across all records. */
+    std::vector<double> column(std::size_t var) const;
+
+    /** Measured performance across all records. */
+    std::vector<double> perfColumn() const;
+
+    /** Names of all kNumVars variables (x1.., then y1..). */
+    static const std::vector<std::string> &varNames();
+
+    /** Subset by record indices. */
+    Dataset subset(std::span<const std::size_t> idx) const;
+
+    /** Random per-application train/validation split. */
+    struct Split
+    {
+        std::vector<std::size_t> train;
+        std::vector<std::size_t> validation;
+    };
+    Split splitApp(std::string_view app, double train_frac,
+                   Rng &rng) const;
+
+  private:
+    std::vector<ProfileRecord> records_;
+    std::vector<std::string> apps_;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_DATASET_HPP

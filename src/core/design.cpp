@@ -1,0 +1,205 @@
+#include "core/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/descriptive.hpp"
+
+namespace hwsw::core {
+
+std::size_t
+geneColumnCount(GeneTx tx)
+{
+    switch (tx) {
+      case GeneTx::Excluded:
+        return 0;
+      case GeneTx::Linear:
+        return 1;
+      case GeneTx::Quadratic:
+        return 2;
+      case GeneTx::Cubic:
+        return 3;
+      case GeneTx::Spline:
+        return 6; // x, x^2, x^3, three truncated cubics
+    }
+    return 0;
+}
+
+BasisTable
+computeBasisTable(const Dataset &train)
+{
+    fatalIf(train.empty(), "computeBasisTable needs training data");
+    BasisTable table;
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const std::vector<double> col = train.column(v);
+        VarBasis &b = table[v];
+        b.stab = stats::chooseStabilizer(col);
+
+        std::vector<double> stabilized(col.size());
+        for (std::size_t i = 0; i < col.size(); ++i)
+            stabilized[i] = b.stab.apply(col[i]);
+        const auto [mn, mx] =
+            std::minmax_element(stabilized.begin(), stabilized.end());
+        b.lo = *mn;
+        b.hi = *mx > *mn ? *mx : *mn + 1.0;
+
+        // Spline knots at interior quartiles of the normalized scale,
+        // nudged apart when the sample is nearly degenerate.
+        for (int k = 0; k < 3; ++k) {
+            const double q =
+                hwsw::quantile(stabilized, 0.25 * (k + 1));
+            b.knots[k] = (q - b.lo) / (b.hi - b.lo);
+        }
+        for (int k = 1; k < 3; ++k) {
+            if (b.knots[k] <= b.knots[k - 1])
+                b.knots[k] = b.knots[k - 1] + 1e-3;
+        }
+    }
+    return table;
+}
+
+DesignBuilder::DesignBuilder(const ModelSpec &spec,
+                             const BasisTable &basis)
+    : spec_(spec), basis_(basis)
+{
+    spec_.normalize();
+    numColumns_ = 1; // intercept
+    for (std::size_t v = 0; v < kNumVars; ++v)
+        numColumns_ += geneColumnCount(spec_.tx(v));
+    numColumns_ += spec_.interactions.size();
+}
+
+DesignBuilder::DesignBuilder(const ModelSpec &spec, const Dataset &train)
+    : DesignBuilder(spec, computeBasisTable(train))
+{
+}
+
+double
+DesignBuilder::baseValue(const ProfileRecord &rec, std::size_t var) const
+{
+    panicIf(var >= kNumVars, "baseValue var out of range");
+    const VarBasis &b = basis_[var];
+    const double u = (b.stab.apply(rec.vars[var]) - b.lo) / (b.hi - b.lo);
+    // Clamp slightly beyond the training range: cubic and spline
+    // terms explode when extrapolated, and a new application's
+    // characteristics can fall outside every profiled one's. The
+    // clamp makes far extrapolation behave like the nearest profiled
+    // behavior instead of diverging (cf. the tail-linear restricted
+    // splines of Harrell that the paper builds on).
+    return std::clamp(u, -0.25, 1.25);
+}
+
+const stats::Stabilizer &
+DesignBuilder::stabilizer(std::size_t var) const
+{
+    panicIf(var >= kNumVars, "stabilizer var out of range");
+    return basis_[var].stab;
+}
+
+namespace {
+
+/** Positive part cubed. */
+double
+cubePlus(double x)
+{
+    return x > 0.0 ? x * x * x : 0.0;
+}
+
+} // namespace
+
+void
+DesignBuilder::fillRow(const ProfileRecord &rec,
+                       std::span<double> row) const
+{
+    panicIf(row.size() != numColumns_, "fillRow size mismatch");
+    std::size_t c = 0;
+    row[c++] = 1.0;
+
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const GeneTx tx = spec_.tx(v);
+        if (tx == GeneTx::Excluded)
+            continue;
+        const double u = baseValue(rec, v);
+        switch (tx) {
+          case GeneTx::Linear:
+            row[c++] = u;
+            break;
+          case GeneTx::Quadratic:
+            row[c++] = u;
+            row[c++] = u * u;
+            break;
+          case GeneTx::Cubic:
+            row[c++] = u;
+            row[c++] = u * u;
+            row[c++] = u * u * u;
+            break;
+          case GeneTx::Spline: {
+            const auto &knots = basis_[v].knots;
+            row[c++] = u;
+            row[c++] = u * u;
+            row[c++] = u * u * u;
+            row[c++] = cubePlus(u - knots[0]);
+            row[c++] = cubePlus(u - knots[1]);
+            row[c++] = cubePlus(u - knots[2]);
+            break;
+          }
+          default:
+            panic("unreachable gene value");
+        }
+    }
+
+    for (const Interaction &it : spec_.interactions)
+        row[c++] = baseValue(rec, it.a) * baseValue(rec, it.b);
+    panicIf(c != numColumns_, "fillRow column count mismatch");
+}
+
+stats::Matrix
+DesignBuilder::build(const Dataset &ds) const
+{
+    stats::Matrix X(ds.size(), numColumns_);
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        fillRow(ds[r], X.row(r));
+    return X;
+}
+
+std::vector<std::string>
+DesignBuilder::columnNames() const
+{
+    const auto &names = Dataset::varNames();
+    std::vector<std::string> cols;
+    cols.reserve(numColumns_);
+    cols.emplace_back("1");
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const GeneTx tx = spec_.tx(v);
+        const std::string &n = names[v];
+        switch (tx) {
+          case GeneTx::Excluded:
+            break;
+          case GeneTx::Linear:
+            cols.push_back(n);
+            break;
+          case GeneTx::Quadratic:
+            cols.push_back(n);
+            cols.push_back(n + "^2");
+            break;
+          case GeneTx::Cubic:
+            cols.push_back(n);
+            cols.push_back(n + "^2");
+            cols.push_back(n + "^3");
+            break;
+          case GeneTx::Spline:
+            cols.push_back(n);
+            cols.push_back(n + "^2");
+            cols.push_back(n + "^3");
+            for (int k = 1; k <= 3; ++k)
+                cols.push_back(n + ".knot" + std::to_string(k));
+            break;
+        }
+    }
+    for (const Interaction &it : spec_.interactions)
+        cols.push_back(names[it.a] + "*" + names[it.b]);
+    return cols;
+}
+
+} // namespace hwsw::core

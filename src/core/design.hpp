@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Design matrix construction from a model specification.
+ *
+ * The builder uses per-variable basis metadata learned from training
+ * data: a variance-stabilizing power transform (Section 3.1, Figure
+ * 3), a [0,1] normalization for numerical conditioning, and spline
+ * knots at sample quantiles for variables with spline genes. It then
+ * expands any dataset into the regression design matrix: an
+ * intercept, polynomial or spline terms per included variable, and
+ * products for pairwise interactions.
+ *
+ * Basis metadata depends only on the training data, not on the
+ * specification, so the genetic search computes one BasisTable per
+ * training set and shares it across every candidate model.
+ */
+
+#ifndef HWSW_CORE_DESIGN_HPP
+#define HWSW_CORE_DESIGN_HPP
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/spec.hpp"
+#include "stats/matrix.hpp"
+#include "stats/spline.hpp"
+#include "stats/transform.hpp"
+
+namespace hwsw::core {
+
+/** Learned basis metadata for one variable. */
+struct VarBasis
+{
+    stats::Stabilizer stab;         ///< variance stabilizer
+    double lo = 0.0;                ///< stabilized min (training)
+    double hi = 1.0;                ///< stabilized max (training)
+    std::array<double, 3> knots{};  ///< spline knots, normalized scale
+};
+
+/** Basis metadata for all variables. */
+using BasisTable = std::array<VarBasis, kNumVars>;
+
+/**
+ * Learn basis metadata from a training dataset: choose stabilizers,
+ * record normalization ranges, and place spline knots at the 25th,
+ * 50th and 75th percentiles of the normalized values.
+ */
+BasisTable computeBasisTable(const Dataset &train);
+
+/** Expands records into design-matrix rows for a fixed ModelSpec. */
+class DesignBuilder
+{
+  public:
+    /** Use precomputed basis metadata (genetic-search fast path). */
+    DesignBuilder(const ModelSpec &spec, const BasisTable &basis);
+
+    /** Convenience: learn the basis from training data first. */
+    DesignBuilder(const ModelSpec &spec, const Dataset &train);
+
+    /** Total design columns, including the intercept. */
+    std::size_t numColumns() const { return numColumns_; }
+
+    /** Column names for reports ("1", "x6", "x6^2", "x6*y5", ...). */
+    std::vector<std::string> columnNames() const;
+
+    /** Expand a whole dataset. */
+    stats::Matrix build(const Dataset &ds) const;
+
+    /** Expand a single record. @pre row.size() == numColumns(). */
+    void fillRow(const ProfileRecord &rec, std::span<double> row) const;
+
+    const ModelSpec &spec() const { return spec_; }
+
+    /**
+     * Stabilized, normalized base value of a variable; exposed so
+     * reports can show the learned transforms.
+     */
+    double baseValue(const ProfileRecord &rec, std::size_t var) const;
+
+    /** The stabilizer chosen for a variable. */
+    const stats::Stabilizer &stabilizer(std::size_t var) const;
+
+    /** The learned basis metadata (for serialization). */
+    const BasisTable &basis() const { return basis_; }
+
+  private:
+    ModelSpec spec_;
+    BasisTable basis_;
+    std::size_t numColumns_ = 0;
+};
+
+/** Number of design columns contributed by a gene value. */
+std::size_t geneColumnCount(GeneTx tx);
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_DESIGN_HPP

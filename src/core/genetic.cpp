@@ -1,0 +1,212 @@
+#include "core/genetic.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+GeneticSearch::GeneticSearch(const Dataset &data, GaOptions opts)
+    : opts_(opts)
+{
+    fatalIf(data.empty(), "GeneticSearch needs profiles");
+    fatalIf(opts_.populationSize < 4,
+            "population must hold at least 4 models");
+    fatalIf(opts_.eliteFrac <= 0.0 || opts_.eliteFrac >= 1.0,
+            "eliteFrac must be in (0,1)");
+
+    Rng rng(opts_.seed);
+    for (const std::string &app : data.appNames()) {
+        const Dataset::Split split =
+            data.splitApp(app, opts_.trainFrac, rng);
+
+        AppFold fold;
+        fold.app = app;
+        // Training: every other application's profiles, plus (unless
+        // hold-out fitness is requested) the held application's
+        // training slice.
+        std::vector<std::size_t> train_idx;
+        for (std::size_t i = 0; i < data.size(); ++i)
+            if (data[i].app != app)
+                train_idx.push_back(i);
+        const std::size_t others = train_idx.size();
+        if (!opts_.holdOutFitness) {
+            train_idx.insert(train_idx.end(), split.train.begin(),
+                             split.train.end());
+        }
+        fold.train = data.subset(train_idx);
+        if (opts_.holdOutFitness) {
+            // Validate on everything profiled for the held app.
+            std::vector<std::size_t> val_idx = split.train;
+            val_idx.insert(val_idx.end(), split.validation.begin(),
+                           split.validation.end());
+            fold.validation = data.subset(val_idx);
+        } else {
+            fold.validation = data.subset(split.validation);
+        }
+        fold.basis = computeBasisTable(fold.train);
+        if (opts_.trainWeight != 1.0 && !opts_.holdOutFitness) {
+            fold.weights.assign(fold.train.size(), 1.0);
+            for (std::size_t i = others; i < fold.train.size(); ++i)
+                fold.weights[i] = opts_.trainWeight;
+        }
+        folds_.push_back(std::move(fold));
+    }
+}
+
+std::pair<double, double>
+GeneticSearch::evaluate(const ModelSpec &spec) const
+{
+    double sum_err = 0.0;
+    double penalties = 0.0;
+    for (const AppFold &fold : folds_) {
+        HwSwModel model;
+        model.fit(spec, fold.train, fold.basis, fold.weights);
+        const stats::FitMetrics m = model.validate(fold.validation);
+        sum_err += m.medianAbsPctError;
+        penalties += opts_.collinearityPenalty *
+            static_cast<double>(model.numDroppedColumns());
+        penalties += opts_.complexityPenalty *
+            static_cast<double>(model.numColumns());
+    }
+    const auto n = static_cast<double>(folds_.size());
+    return {sum_err / n + penalties / n, sum_err};
+}
+
+std::vector<ScoredSpec>
+GeneticSearch::evaluatePopulation(std::span<const ModelSpec> specs) const
+{
+    std::vector<ScoredSpec> scored(specs.size());
+    std::atomic<std::size_t> next{0};
+    unsigned n_threads = opts_.numThreads
+        ? opts_.numThreads
+        : std::max(1u, std::thread::hardware_concurrency());
+    n_threads = std::min<unsigned>(
+        n_threads, static_cast<unsigned>(specs.size()));
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            const auto [fitness, sum_err] = evaluate(specs[i]);
+            scored[i] = ScoredSpec{specs[i], fitness, sum_err};
+        }
+    };
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return scored;
+}
+
+GaResult
+GeneticSearch::run()
+{
+    return run({});
+}
+
+GaResult
+GeneticSearch::run(std::span<const ModelSpec> seeds)
+{
+    Rng rng(opts_.seed ^ 0xabcdef1234ULL);
+
+    std::vector<ModelSpec> population;
+    population.reserve(opts_.populationSize);
+    for (const ModelSpec &s : seeds) {
+        if (population.size() < opts_.populationSize)
+            population.push_back(s);
+    }
+    while (population.size() < opts_.populationSize) {
+        population.push_back(ModelSpec::random(
+            rng, opts_.includeProb, opts_.maxInteractions / 2));
+    }
+
+    GaResult result;
+    std::vector<ScoredSpec> scored;
+
+    for (std::size_t gen = 0; gen < opts_.generations; ++gen) {
+        scored = evaluatePopulation(population);
+        std::sort(scored.begin(), scored.end(),
+                  [](const ScoredSpec &a, const ScoredSpec &b) {
+                      return a.fitness < b.fitness;
+                  });
+
+        GenerationStats stats;
+        stats.generation = gen;
+        stats.bestFitness = scored.front().fitness;
+        stats.bestSumMedianError = scored.front().sumMedianError;
+        stats.meanFitness = 0.0;
+        for (const ScoredSpec &s : scored)
+            stats.meanFitness += s.fitness;
+        stats.meanFitness /= static_cast<double>(scored.size());
+        result.history.push_back(stats);
+
+        if (gen + 1 == opts_.generations)
+            break;
+
+        // Populate N% of the next generation with this generation's
+        // N% best models; fill the rest with crossovers and mutations.
+        const auto n_elite = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   opts_.eliteFrac *
+                   static_cast<double>(opts_.populationSize)));
+        std::vector<ModelSpec> next;
+        next.reserve(opts_.populationSize);
+        for (std::size_t i = 0; i < n_elite && i < scored.size(); ++i)
+            next.push_back(scored[i].spec);
+
+        auto tournament = [&]() -> const ModelSpec & {
+            const std::size_t a = rng.nextInt(scored.size());
+            const std::size_t b = rng.nextInt(scored.size());
+            return scored[std::min(a, b)].spec; // sorted by fitness
+        };
+
+        while (next.size() < opts_.populationSize) {
+            const ModelSpec &pa = tournament();
+            const ModelSpec &pb = tournament();
+            ModelSpec child = pa;
+            bool changed = false;
+            if (rng.nextBool(opts_.crossoverProb)) {
+                child = crossoverVariable(child, pb, rng);
+                changed = true;
+            }
+            if (rng.nextBool(opts_.crossoverProb)) {
+                child = crossoverInteraction(child, pb, rng);
+                changed = true;
+            }
+            if (rng.nextBool(opts_.crossoverProb)) {
+                child = crossoverNewInteraction(child, pb, rng);
+                changed = true;
+            }
+            if (rng.nextBool(opts_.mutationProb)) {
+                mutateInteraction(child, rng, opts_.maxInteractions);
+                changed = true;
+            }
+            if (rng.nextBool(opts_.mutationProb)) {
+                mutateVariable(child, rng);
+                changed = true;
+            }
+            if (!changed)
+                mutateVariable(child, rng);
+            child.normalize();
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+
+    result.best = scored.front();
+    result.population = std::move(scored);
+    return result;
+}
+
+} // namespace hwsw::core

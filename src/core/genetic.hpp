@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Genetic search over model specifications (Sections 3.3-3.4).
+ *
+ * The heuristic follows the paper's pseudo-code: for each generation,
+ * for each candidate model, for each application, the candidate is
+ * fitted on every other application's profiles plus a training slice
+ * of the held application (optionally weighted), and scored on the
+ * held application's validation slice. Model fitness averages the
+ * per-application scores, so updates accommodate all profiled
+ * applications. The best N% of each generation survives unchanged;
+ * the rest are produced by crossovers C1-C3 (12.5% each) and
+ * mutations M1-M2 (5% each). Candidate evaluation within a
+ * generation is embarrassingly parallel and runs on a thread pool
+ * (the paper uses R's doMC/Multicore the same way).
+ */
+
+#ifndef HWSW_CORE_GENETIC_HPP
+#define HWSW_CORE_GENETIC_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/spec.hpp"
+
+namespace hwsw::core {
+
+/** Tuning knobs for the genetic search. */
+struct GaOptions
+{
+    std::size_t populationSize = 32;
+    std::size_t generations = 20;
+
+    /** Fraction of each generation surviving unchanged (elitism). */
+    double eliteFrac = 0.25;
+
+    /** Per-operator crossover probability (C1, C2, C3). */
+    double crossoverProb = 0.125;
+
+    /** Per-operator mutation probability (M1, M2). */
+    double mutationProb = 0.05;
+
+    /** Cap on a chromosome's interaction list length. */
+    std::size_t maxInteractions = 24;
+
+    /** Fraction of each application's profiles used for training. */
+    double trainFrac = 0.7;
+
+    /**
+     * Weight applied to the held application's training profiles
+     * (the "x w" of the pseudo-code); 1 disables weighting.
+     */
+    double trainWeight = 1.0;
+
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned numThreads = 0;
+
+    std::uint64_t seed = 42;
+
+    /** Fitness penalty per collinear column dropped by the solver. */
+    double collinearityPenalty = 0.002;
+
+    /** Fitness penalty per design column (parsimony pressure). */
+    double complexityPenalty = 0.0001;
+
+    /** Variable inclusion probability in the random population. */
+    double includeProb = 0.45;
+
+    /**
+     * Leave-one-application-out fitness: fit each fold on the other
+     * applications' profiles only (no training slice from the held
+     * application). Selects specifications for cross-application
+     * generalization -- the regime of Figure 10's shard extrapolation
+     * -- rather than steady-state interpolation.
+     */
+    bool holdOutFitness = false;
+};
+
+/** A specification with its evaluated fitness. */
+struct ScoredSpec
+{
+    ModelSpec spec;
+    double fitness = 0.0; ///< mean per-app median error + penalties
+    double sumMedianError = 0.0; ///< Figure 5 metric
+};
+
+/** Per-generation progress record. */
+struct GenerationStats
+{
+    std::size_t generation = 0;
+    double bestFitness = 0.0;
+    double meanFitness = 0.0;
+    double bestSumMedianError = 0.0;
+};
+
+/** Search outcome. */
+struct GaResult
+{
+    ScoredSpec best;
+    std::vector<GenerationStats> history;
+    std::vector<ScoredSpec> population; ///< final, sorted by fitness
+};
+
+/** Genetic search engine over a profile dataset. */
+class GeneticSearch
+{
+  public:
+    /**
+     * Prepare per-application folds. The per-app train/validation
+     * splits are fixed at construction (from the seed) so fitness is
+     * deterministic and comparable across candidates.
+     */
+    GeneticSearch(const Dataset &data, GaOptions opts = {});
+
+    /**
+     * Evaluate one specification.
+     * @return {fitness, sum of per-app median errors}.
+     */
+    std::pair<double, double> evaluate(const ModelSpec &spec) const;
+
+    /** Run from a random initial population. */
+    GaResult run();
+
+    /** Run warm-started from seed specifications (model updates). */
+    GaResult run(std::span<const ModelSpec> seeds);
+
+    /** Number of per-application folds. */
+    std::size_t numFolds() const { return folds_.size(); }
+
+  private:
+    struct AppFold
+    {
+        std::string app;
+        Dataset train;
+        Dataset validation;
+        BasisTable basis;
+        std::vector<double> weights; ///< empty when unweighted
+    };
+
+    std::vector<ScoredSpec> evaluatePopulation(
+        std::span<const ModelSpec> specs) const;
+
+    GaOptions opts_;
+    std::vector<AppFold> folds_;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_GENETIC_HPP

@@ -1,0 +1,114 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+ModelManager::ModelManager(Dataset bootstrap, GaOptions ga,
+                           ManagerOptions opts)
+    : store_(std::move(bootstrap)), ga_(ga), opts_(opts)
+{
+    fatalIf(store_.empty(), "ModelManager needs bootstrap profiles");
+    fatalIf(opts_.profilesForUpdate < 2,
+            "profilesForUpdate must be >= 2");
+}
+
+void
+ModelManager::bootstrapModel()
+{
+    GeneticSearch search(store_, ga_);
+    GaResult result = search.run();
+
+    incumbentSpecs_.clear();
+    for (std::size_t i = 0;
+         i < result.population.size() &&
+         i < opts_.warmStartPopulation; ++i) {
+        incumbentSpecs_.push_back(result.population[i].spec);
+    }
+    steadyMedianError_ = result.best.sumMedianError /
+        static_cast<double>(search.numFolds());
+    model_.fit(result.best.spec, store_);
+}
+
+Observation
+ModelManager::observe(const ProfileRecord &rec)
+{
+    panicIf(!ready(), "ModelManager::observe before bootstrapModel");
+
+    const double pred = model_.predict(rec);
+    const double err = std::abs(pred - rec.perf) /
+        std::max(std::abs(rec.perf), 1e-12);
+
+    // Clamp the steady error so a rough patch cannot widen the band
+    // until everything looks consistent (or narrow it until every
+    // profile demands an update).
+    const double band = opts_.errorBandFactor *
+        std::clamp(steadyMedianError_, 0.02, 0.25);
+    if (err <= band) {
+        // The newcomer shares behavior with observed software; its
+        // profile simply enriches the store, and after enough accrue
+        // the incumbent specification's coefficients are re-fit so
+        // the model tracks gradual drift.
+        store_.add(rec);
+        if (opts_.refitInterval &&
+            ++absorbedSinceRefit_ >= opts_.refitInterval) {
+            refitCoefficients();
+        }
+        return Observation::Consistent;
+    }
+
+    std::vector<ProfileRecord> &queue = pending_[rec.app];
+    queue.push_back(rec);
+    if (queue.size() < opts_.profilesForUpdate)
+        return Observation::NeedMoreProfiles;
+
+    // Enough evidence: insert the pending profiles into S and update
+    // the model specification and coefficients.
+    for (ProfileRecord &p : queue)
+        store_.add(std::move(p));
+    pending_.erase(rec.app);
+    refit(rec.app);
+    ++updateCount_;
+    return Observation::Updated;
+}
+
+void
+ModelManager::refitCoefficients()
+{
+    model_.fit(model_.spec(), store_);
+    absorbedSinceRefit_ = 0;
+}
+
+void
+ModelManager::refit(const std::string &weighted_app)
+{
+    GaOptions update_opts = ga_;
+    update_opts.generations = std::max<std::size_t>(
+        opts_.updateGenerations, 2);
+    update_opts.seed = ga_.seed + updateCount_ + 1;
+
+    GeneticSearch search(store_, update_opts);
+    GaResult result = search.run(incumbentSpecs_);
+
+    incumbentSpecs_.clear();
+    for (std::size_t i = 0;
+         i < result.population.size() &&
+         i < opts_.warmStartPopulation; ++i) {
+        incumbentSpecs_.push_back(result.population[i].spec);
+    }
+    steadyMedianError_ = result.best.sumMedianError /
+        static_cast<double>(search.numFolds());
+
+    // Weighted refit: the perturbing application's profiles count
+    // more so the update actually accommodates it.
+    std::vector<double> weights(store_.size(), 1.0);
+    for (std::size_t i = 0; i < store_.size(); ++i)
+        if (store_[i].app == weighted_app)
+            weights[i] = opts_.newAppWeight;
+    model_.fit(result.best.spec, store_, weights);
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ModelManager: the inductive system-dynamics loop of Sections
+ * 3.2-3.3.
+ *
+ * In steady state the manager holds a profile store S, a fitted model
+ * M, and M's steady-state error envelope. When a profile of a new
+ * application arrives, the manager checks M's prediction against the
+ * measurement. Accurate predictions mean the newcomer shares behavior
+ * with observed software and its profile is simply absorbed.
+ * Inaccurate predictions could be outliers, so the manager requests
+ * more profiles (the paper finds 10-20 sufficient) before triggering
+ * an update: the new application's profiles enter S, the genetic
+ * search re-specifies the model (warm-started from the incumbent
+ * population), and coefficients are refit with the newcomer's
+ * profiles weighted more heavily.
+ */
+
+#ifndef HWSW_CORE_MANAGER_HPP
+#define HWSW_CORE_MANAGER_HPP
+
+#include <map>
+#include <string>
+
+#include "core/genetic.hpp"
+#include "core/model.hpp"
+
+namespace hwsw::core {
+
+/** Manager policy knobs. */
+struct ManagerOptions
+{
+    /**
+     * A prediction is out-of-band when its error exceeds this factor
+     * times the steady-state median error.
+     */
+    double errorBandFactor = 2.5;
+
+    /** Profiles of a new application required before an update. */
+    std::size_t profilesForUpdate = 15;
+
+    /** Generations for the warm-started update search. */
+    std::size_t updateGenerations = 6;
+
+    /** Weight applied to the new application's profiles at refit. */
+    double newAppWeight = 3.0;
+
+    /** Seed specifications carried into the update search. */
+    std::size_t warmStartPopulation = 8;
+
+    /**
+     * Re-fit the incumbent specification's coefficients after this
+     * many absorbed (in-band) profiles, so the model tracks gradual
+     * drift without a full re-specification. 0 disables.
+     */
+    std::size_t refitInterval = 25;
+};
+
+/** Outcome of observing a new profile. */
+enum class Observation
+{
+    Consistent,       ///< prediction in band; profile absorbed
+    NeedMoreProfiles, ///< out of band; waiting for more evidence
+    Updated,          ///< model re-specified and refit
+};
+
+/** Runtime model maintenance over an evolving profile store. */
+class ModelManager
+{
+  public:
+    /**
+     * @param bootstrap initial profile store (benchmark suite data).
+     * @param ga options for both the bootstrap and update searches.
+     * @param opts manager policy.
+     */
+    ModelManager(Dataset bootstrap, GaOptions ga,
+                 ManagerOptions opts = {});
+
+    /** Run the full genetic search and fit the steady-state model. */
+    void bootstrapModel();
+
+    bool ready() const { return model_.fitted(); }
+    const HwSwModel &model() const { return model_; }
+    const Dataset &store() const { return store_; }
+
+    /** Median validation error captured at the last (re)fit. */
+    double steadyMedianError() const { return steadyMedianError_; }
+
+    /** Number of updates performed so far. */
+    std::size_t updateCount() const { return updateCount_; }
+
+    /**
+     * Observe a newly measured profile and react per the policy.
+     * The profile is retained in all cases.
+     */
+    Observation observe(const ProfileRecord &rec);
+
+  private:
+    void refit(const std::string &weighted_app);
+    void refitCoefficients();
+
+    Dataset store_;
+    GaOptions ga_;
+    ManagerOptions opts_;
+
+    HwSwModel model_;
+    std::vector<ModelSpec> incumbentSpecs_;
+    double steadyMedianError_ = 0.1;
+    std::size_t updateCount_ = 0;
+
+    /** Pending out-of-band profiles per application. */
+    std::map<std::string, std::vector<ProfileRecord>> pending_;
+
+    /** In-band profiles absorbed since the last coefficient refit. */
+    std::size_t absorbedSinceRefit_ = 0;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_MANAGER_HPP

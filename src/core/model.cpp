@@ -1,0 +1,124 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+void
+HwSwModel::fit(const ModelSpec &spec, const Dataset &train,
+               std::span<const double> weights)
+{
+    fatalIf(train.empty(), "HwSwModel::fit needs training data");
+    fit(spec, train, computeBasisTable(train), weights);
+}
+
+void
+HwSwModel::fit(const ModelSpec &spec, const Dataset &train,
+               const BasisTable &basis, std::span<const double> weights)
+{
+    fatalIf(train.empty(), "HwSwModel::fit needs training data");
+    builder_ = std::make_shared<const DesignBuilder>(spec, basis);
+    const stats::Matrix X = builder_->build(train);
+    std::vector<double> z = train.perfColumn();
+    if (logResponse_) {
+        for (double &v : z) {
+            fatalIf(v <= 0.0,
+                    "log response requires positive performance");
+            v = std::log(v);
+        }
+    }
+    if (weights.empty()) {
+        lm_.fit(X, z);
+    } else {
+        panicIf(weights.size() != train.size(),
+                "HwSwModel::fit weight count mismatch");
+        lm_.fit(X, z, weights);
+    }
+}
+
+double
+HwSwModel::predict(const ProfileRecord &rec) const
+{
+    panicIf(!fitted(), "HwSwModel::predict before fit");
+    std::vector<double> row(builder_->numColumns());
+    builder_->fillRow(rec, row);
+    const double z = lm_.predictRow(row);
+    // Bound log-scale predictions: CPI outside [0.1, 100] is never
+    // physical in the Table 2 space, and an unbounded exp() would let
+    // a far extrapolation diverge instead of saturating.
+    return logResponse_
+        ? std::exp(std::clamp(z, std::log(0.1), std::log(100.0)))
+        : z;
+}
+
+std::vector<double>
+HwSwModel::predictAll(const Dataset &ds) const
+{
+    panicIf(!fitted(), "HwSwModel::predictAll before fit");
+    std::vector<double> pred = lm_.predict(builder_->build(ds));
+    if (logResponse_) {
+        for (double &v : pred)
+            v = std::exp(std::clamp(v, std::log(0.1),
+                                    std::log(100.0)));
+    }
+    return pred;
+}
+
+stats::FitMetrics
+HwSwModel::validate(const Dataset &validation) const
+{
+    return stats::evaluatePredictions(predictAll(validation),
+                                      validation.perfColumn());
+}
+
+const ModelSpec &
+HwSwModel::spec() const
+{
+    panicIf(!fitted(), "HwSwModel::spec before fit");
+    return builder_->spec();
+}
+
+std::size_t
+HwSwModel::numDroppedColumns() const
+{
+    return lm_.droppedColumns().size();
+}
+
+std::size_t
+HwSwModel::numColumns() const
+{
+    panicIf(!fitted(), "HwSwModel::numColumns before fit");
+    return builder_->numColumns();
+}
+
+const DesignBuilder &
+HwSwModel::builder() const
+{
+    panicIf(!fitted(), "HwSwModel::builder before fit");
+    return *builder_;
+}
+
+const std::vector<double> &
+HwSwModel::coefficients() const
+{
+    panicIf(!fitted(), "HwSwModel::coefficients before fit");
+    return lm_.coeffs();
+}
+
+HwSwModel
+HwSwModel::fromParts(const ModelSpec &spec, const BasisTable &basis,
+                     std::vector<double> coeffs, bool log_response)
+{
+    HwSwModel m;
+    m.logResponse_ = log_response;
+    m.builder_ = std::make_shared<const DesignBuilder>(spec, basis);
+    fatalIf(coeffs.size() != m.builder_->numColumns(),
+            "fromParts: coefficient count does not match the spec");
+    m.lm_.setCoefficients(std::move(coeffs));
+    return m;
+}
+
+} // namespace hwsw::core

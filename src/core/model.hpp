@@ -1,0 +1,93 @@
+/**
+ * @file
+ * HwSwModel: a fitted integrated hardware-software performance model
+ * -- a specification, the basis metadata learned from training data,
+ * and regression coefficients. This is the model M of Section 3.2.
+ */
+
+#ifndef HWSW_CORE_MODEL_HPP
+#define HWSW_CORE_MODEL_HPP
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/design.hpp"
+#include "stats/linear_model.hpp"
+
+namespace hwsw::core {
+
+/** Fitted regression model over the integrated space. */
+class HwSwModel
+{
+  public:
+    HwSwModel() = default;
+
+    /**
+     * Fit on log(performance) and exponentiate predictions.
+     * Performance spans an order of magnitude across the Table 2
+     * space, so the log response stabilizes variance the same way
+     * the x^(1/n) ladder does for predictors (Section 3.1); it also
+     * aligns least squares with the relative-error metrics the paper
+     * reports. Enabled by default.
+     */
+    void setLogResponse(bool enable) { logResponse_ = enable; }
+    bool logResponse() const { return logResponse_; }
+
+    /**
+     * Fit the model.
+     * @param spec the specification (variables/transforms/interactions).
+     * @param train training profiles.
+     * @param weights optional per-record weights (model updates weight
+     *        a new application's profiles more heavily); empty for OLS.
+     */
+    void fit(const ModelSpec &spec, const Dataset &train,
+             std::span<const double> weights = {});
+
+    /** Fit with a precomputed basis table (fast path for search). */
+    void fit(const ModelSpec &spec, const Dataset &train,
+             const BasisTable &basis,
+             std::span<const double> weights = {});
+
+    bool fitted() const { return builder_ != nullptr; }
+
+    /** Predict performance (CPI) of one hardware-software pair. */
+    double predict(const ProfileRecord &rec) const;
+
+    /** Predict every record in a dataset. */
+    std::vector<double> predictAll(const Dataset &ds) const;
+
+    /** Accuracy metrics over a validation dataset. */
+    stats::FitMetrics validate(const Dataset &validation) const;
+
+    const ModelSpec &spec() const;
+
+    /** Columns dropped as collinear during fitting (Section 3.1). */
+    std::size_t numDroppedColumns() const;
+
+    /** Total design columns. */
+    std::size_t numColumns() const;
+
+    const DesignBuilder &builder() const;
+
+    /** Fitted regression coefficients, one per design column. */
+    const std::vector<double> &coefficients() const;
+
+    /**
+     * Assemble a model from serialized parts (see serialize.hpp).
+     * @pre coeffs.size() equals the spec's design column count.
+     */
+    static HwSwModel fromParts(const ModelSpec &spec,
+                               const BasisTable &basis,
+                               std::vector<double> coeffs,
+                               bool log_response);
+
+  private:
+    std::shared_ptr<const DesignBuilder> builder_;
+    stats::LinearModel lm_;
+    bool logResponse_ = true;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_MODEL_HPP

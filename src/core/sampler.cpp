@@ -1,0 +1,79 @@
+#include "core/sampler.hpp"
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+SpaceSampler::SpaceSampler(std::vector<wl::AppSpec> apps,
+                           SamplerOptions opts)
+    : apps_(std::move(apps)), opts_(opts)
+{
+    fatalIf(apps_.empty(), "SpaceSampler needs applications");
+    profiles_.resize(apps_.size());
+    signatures_.resize(apps_.size());
+    for (std::size_t a = 0; a < apps_.size(); ++a) {
+        const std::vector<wl::Shard> shards = wl::makeShards(
+            apps_[a], opts_.shardLength, opts_.shardsPerApp);
+        // Warm profiling and signatures: locality/predictor state
+        // carries across an application's consecutive shards.
+        profiles_[a] = prof::profileShards(shards, apps_[a].name);
+        signatures_[a] = uarch::computeSignatures(shards);
+    }
+}
+
+double
+SpaceSampler::shardCpi(std::size_t app_idx, std::size_t shard_idx,
+                       const uarch::UarchConfig &cfg) const
+{
+    return uarch::shardCpi(signatures_.at(app_idx).at(shard_idx), cfg);
+}
+
+double
+SpaceSampler::appCpi(std::size_t app_idx,
+                     const uarch::UarchConfig &cfg) const
+{
+    const auto &sigs = signatures_.at(app_idx);
+    double acc = 0.0;
+    for (const auto &sig : sigs)
+        acc += uarch::shardCpi(sig, cfg);
+    return acc / static_cast<double>(sigs.size());
+}
+
+ProfileRecord
+SpaceSampler::record(std::size_t app_idx, std::size_t shard_idx,
+                     const uarch::UarchConfig &cfg) const
+{
+    return makeRecord(profiles_.at(app_idx).at(shard_idx), cfg,
+                      shardCpi(app_idx, shard_idx, cfg));
+}
+
+Dataset
+SpaceSampler::sample(std::size_t pairs_per_app,
+                     std::uint64_t seed) const
+{
+    std::vector<std::size_t> all(apps_.size());
+    for (std::size_t a = 0; a < apps_.size(); ++a)
+        all[a] = a;
+    return sampleApps(all, pairs_per_app, seed);
+}
+
+Dataset
+SpaceSampler::sampleApps(std::span<const std::size_t> app_indices,
+                         std::size_t pairs_per_app,
+                         std::uint64_t seed) const
+{
+    Rng rng(seed);
+    Dataset ds;
+    for (std::size_t a : app_indices) {
+        for (std::size_t i = 0; i < pairs_per_app; ++i) {
+            const std::size_t shard =
+                rng.nextInt(profiles_.at(a).size());
+            const uarch::UarchConfig cfg =
+                uarch::UarchConfig::randomSample(rng);
+            ds.add(record(a, shard, cfg));
+        }
+    }
+    return ds;
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SpaceSampler: sparse sampling of the integrated hardware-software
+ * space (Section 4.1).
+ *
+ * The sampler generates each application's shards once, extracting
+ * both the Table 1 profile (what models see) and the detailed
+ * signature (what the ground-truth performance model consumes). It
+ * then draws application-architecture pairs uniformly at random, the
+ * paper's sampling discipline, producing profile datasets many orders
+ * of magnitude smaller than the cross-product space.
+ */
+
+#ifndef HWSW_CORE_SAMPLER_HPP
+#define HWSW_CORE_SAMPLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "profiler/profiler.hpp"
+#include "uarch/perfmodel.hpp"
+#include "uarch/signature.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::core {
+
+/** Sampling scale knobs. */
+struct SamplerOptions
+{
+    /** Ops per shard (the paper's 10M scaled down). */
+    std::size_t shardLength = 16 * 1024;
+
+    /** Shards generated (and profiled) per application. */
+    std::size_t shardsPerApp = 24;
+
+    std::uint64_t seed = 7;
+};
+
+/** Pre-profiled applications plus ground-truth evaluation. */
+class SpaceSampler
+{
+  public:
+    SpaceSampler(std::vector<wl::AppSpec> apps, SamplerOptions opts = {});
+
+    std::size_t numApps() const { return apps_.size(); }
+    const wl::AppSpec &app(std::size_t i) const { return apps_.at(i); }
+
+    const std::vector<prof::ShardProfile> &
+    profiles(std::size_t app_idx) const
+    {
+        return profiles_.at(app_idx);
+    }
+
+    const std::vector<uarch::ShardSignature> &
+    signatures(std::size_t app_idx) const
+    {
+        return signatures_.at(app_idx);
+    }
+
+    /** Ground-truth CPI of one shard on one configuration. */
+    double shardCpi(std::size_t app_idx, std::size_t shard_idx,
+                    const uarch::UarchConfig &cfg) const;
+
+    /** Application CPI: mean over all its shards. */
+    double appCpi(std::size_t app_idx,
+                  const uarch::UarchConfig &cfg) const;
+
+    /** One profile record for a (shard, architecture) pair. */
+    ProfileRecord record(std::size_t app_idx, std::size_t shard_idx,
+                         const uarch::UarchConfig &cfg) const;
+
+    /**
+     * Draw pairs_per_app random (shard, architecture) samples per
+     * application.
+     */
+    Dataset sample(std::size_t pairs_per_app, std::uint64_t seed) const;
+
+    /**
+     * Like sample() but restricted to the given applications
+     * (by index).
+     */
+    Dataset sampleApps(std::span<const std::size_t> app_indices,
+                       std::size_t pairs_per_app,
+                       std::uint64_t seed) const;
+
+  private:
+    std::vector<wl::AppSpec> apps_;
+    SamplerOptions opts_;
+    std::vector<std::vector<prof::ShardProfile>> profiles_;
+    std::vector<std::vector<uarch::ShardSignature>> signatures_;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_SAMPLER_HPP

@@ -1,0 +1,135 @@
+#include "core/serialize.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+namespace {
+
+constexpr const char *kMagic = "hwsw-model";
+constexpr int kVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "model load: expected '" + want + "', got '" + got + "'");
+}
+
+} // namespace
+
+void
+saveModel(const HwSwModel &model, std::ostream &os)
+{
+    fatalIf(!model.fitted(), "saveModel: model is not fitted");
+    const ModelSpec &spec = model.spec();
+    const BasisTable &basis = model.builder().basis();
+    const std::vector<double> &coeffs = model.coefficients();
+
+    os << kMagic << " " << kVersion << "\n";
+    os << "log_response " << (model.logResponse() ? 1 : 0) << "\n";
+
+    os << "genes";
+    for (auto g : spec.genes)
+        os << " " << int{g};
+    os << "\n";
+
+    os << "interactions " << spec.interactions.size();
+    for (const Interaction &it : spec.interactions)
+        os << " " << it.a << " " << it.b;
+    os << "\n";
+
+    os << std::setprecision(17);
+    os << "basis " << basis.size() << "\n";
+    for (const VarBasis &b : basis) {
+        os << static_cast<int>(b.stab.power()) << " " << b.lo << " "
+           << b.hi << " " << b.knots[0] << " " << b.knots[1] << " "
+           << b.knots[2] << "\n";
+    }
+
+    os << "coeffs " << coeffs.size();
+    for (double c : coeffs)
+        os << " " << c;
+    os << "\n";
+}
+
+std::string
+saveModelToString(const HwSwModel &model)
+{
+    std::ostringstream os;
+    saveModel(model, os);
+    return os.str();
+}
+
+HwSwModel
+loadModel(std::istream &is)
+{
+    expectToken(is, kMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kVersion, "model load: unsupported version");
+
+    expectToken(is, "log_response");
+    int log_response = 1;
+    is >> log_response;
+
+    expectToken(is, "genes");
+    ModelSpec spec;
+    for (auto &g : spec.genes) {
+        int v = 0;
+        is >> v;
+        fatalIf(v < 0 || v > kMaxGene, "model load: bad gene value");
+        g = static_cast<std::uint8_t>(v);
+    }
+
+    expectToken(is, "interactions");
+    std::size_t n_inter = 0;
+    is >> n_inter;
+    fatalIf(n_inter > 4096, "model load: implausible interaction count");
+    for (std::size_t i = 0; i < n_inter; ++i) {
+        Interaction it;
+        is >> it.a >> it.b;
+        spec.interactions.push_back(it);
+    }
+
+    expectToken(is, "basis");
+    std::size_t n_basis = 0;
+    is >> n_basis;
+    fatalIf(n_basis != kNumVars, "model load: basis size mismatch");
+    BasisTable basis;
+    for (VarBasis &b : basis) {
+        int power = 0;
+        is >> power >> b.lo >> b.hi >> b.knots[0] >> b.knots[1] >>
+            b.knots[2];
+        fatalIf(power < 0 ||
+                    power > static_cast<int>(stats::Power::Log1p),
+                "model load: bad stabilizer");
+        b.stab = stats::Stabilizer(static_cast<stats::Power>(power));
+    }
+
+    expectToken(is, "coeffs");
+    std::size_t n_coeffs = 0;
+    is >> n_coeffs;
+    fatalIf(n_coeffs > 100000, "model load: implausible coefficients");
+    std::vector<double> coeffs(n_coeffs);
+    for (double &c : coeffs)
+        is >> c;
+    fatalIf(!is, "model load: truncated input");
+
+    return HwSwModel::fromParts(spec, basis, std::move(coeffs),
+                                log_response != 0);
+}
+
+HwSwModel
+loadModelFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return loadModel(is);
+}
+
+} // namespace hwsw::core

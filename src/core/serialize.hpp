@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text serialization for fitted models.
+ *
+ * A deployed manager (datacenter scheduler, adaptive chip firmware)
+ * trains models offline and ships them; re-deriving the genetic
+ * search at every boot would defeat the purpose. The format is a
+ * line-oriented, versioned, human-diffable text encoding of the
+ * specification, the learned basis metadata, and the coefficients.
+ */
+
+#ifndef HWSW_CORE_SERIALIZE_HPP
+#define HWSW_CORE_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace hwsw::core {
+
+/** Serialize a fitted model. @pre model.fitted(). */
+void saveModel(const HwSwModel &model, std::ostream &os);
+
+/** Serialize to a string (convenience). */
+std::string saveModelToString(const HwSwModel &model);
+
+/**
+ * Reconstruct a model saved by saveModel().
+ * @throws FatalError on malformed or version-mismatched input.
+ */
+HwSwModel loadModel(std::istream &is);
+
+/** Load from a string (convenience). */
+HwSwModel loadModelFromString(const std::string &text);
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_SERIALIZE_HPP

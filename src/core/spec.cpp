@@ -1,0 +1,204 @@
+#include "core/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+std::string_view
+geneTxName(GeneTx tx)
+{
+    switch (tx) {
+      case GeneTx::Excluded:
+        return "un-used";
+      case GeneTx::Linear:
+        return "linear";
+      case GeneTx::Quadratic:
+        return "poly, degree 2";
+      case GeneTx::Cubic:
+        return "poly, degree 3";
+      case GeneTx::Spline:
+        return "spline, 3 knots";
+    }
+    return "?";
+}
+
+GeneTx
+ModelSpec::tx(std::size_t var) const
+{
+    panicIf(var >= kNumVars, "ModelSpec::tx out of range");
+    panicIf(genes[var] > kMaxGene, "corrupt gene value");
+    return static_cast<GeneTx>(genes[var]);
+}
+
+std::size_t
+ModelSpec::numActiveVars() const
+{
+    std::size_t n = 0;
+    for (auto g : genes)
+        if (g != 0)
+            ++n;
+    return n;
+}
+
+void
+ModelSpec::normalize()
+{
+    for (Interaction &i : interactions) {
+        if (i.a > i.b)
+            std::swap(i.a, i.b);
+    }
+    std::erase_if(interactions, [](const Interaction &i) {
+        return i.a == i.b || i.a >= kNumVars || i.b >= kNumVars;
+    });
+    std::sort(interactions.begin(), interactions.end());
+    interactions.erase(
+        std::unique(interactions.begin(), interactions.end()),
+        interactions.end());
+}
+
+ModelSpec
+ModelSpec::random(Rng &rng, double include_prob,
+                  std::size_t max_interactions)
+{
+    ModelSpec spec;
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        if (rng.nextBool(include_prob)) {
+            spec.genes[v] = static_cast<std::uint8_t>(
+                1 + rng.nextInt(kMaxGene));
+        }
+    }
+    // Guarantee a non-degenerate model.
+    if (spec.numActiveVars() == 0)
+        spec.genes[rng.nextInt(kNumVars)] = 1;
+
+    const std::size_t n_inter =
+        max_interactions ? rng.nextInt(max_interactions + 1) : 0;
+    for (std::size_t i = 0; i < n_inter; ++i) {
+        Interaction it;
+        it.a = static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+        it.b = static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+        spec.interactions.push_back(it);
+    }
+    spec.normalize();
+    return spec;
+}
+
+std::string
+ModelSpec::describe() const
+{
+    const auto &names = Dataset::varNames();
+    std::ostringstream os;
+    os << "vars:";
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        if (genes[v] != 0)
+            os << " " << names[v] << "(" << int{genes[v]} << ")";
+    }
+    os << " interactions:";
+    for (const Interaction &i : interactions)
+        os << " " << names[i.a] << "*" << names[i.b];
+    return os.str();
+}
+
+ModelSpec
+crossoverVariable(const ModelSpec &a, const ModelSpec &b, Rng &rng)
+{
+    ModelSpec child = a;
+    const std::size_t v = rng.nextInt(kNumVars);
+    child.genes[v] = b.genes[v];
+    return child;
+}
+
+ModelSpec
+crossoverInteraction(const ModelSpec &a, const ModelSpec &b, Rng &rng)
+{
+    ModelSpec child = a;
+    if (!b.interactions.empty()) {
+        const Interaction &donated =
+            b.interactions[rng.nextInt(b.interactions.size())];
+        if (!child.interactions.empty()) {
+            // Exchange: the donated interaction replaces one of ours.
+            child.interactions[rng.nextInt(child.interactions.size())] =
+                donated;
+        } else {
+            child.interactions.push_back(donated);
+        }
+        child.normalize();
+    }
+    return child;
+}
+
+namespace {
+
+/** Pick an active variable from a spec, or any variable if none. */
+std::uint16_t
+pickVariable(const ModelSpec &spec, Rng &rng)
+{
+    std::vector<std::uint16_t> active;
+    for (std::size_t v = 0; v < kNumVars; ++v)
+        if (spec.genes[v] != 0)
+            active.push_back(static_cast<std::uint16_t>(v));
+    if (active.empty())
+        return static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+    return active[rng.nextInt(active.size())];
+}
+
+} // namespace
+
+ModelSpec
+crossoverNewInteraction(const ModelSpec &a, const ModelSpec &b, Rng &rng)
+{
+    ModelSpec child = a;
+    Interaction it;
+    it.a = pickVariable(a, rng);
+    it.b = pickVariable(b, rng);
+    if (it.a != it.b) {
+        child.interactions.push_back(it);
+        child.normalize();
+    }
+    return child;
+}
+
+void
+mutateInteraction(ModelSpec &spec, Rng &rng,
+                  std::size_t max_interactions)
+{
+    const std::uint64_t action = rng.nextInt(3);
+    if (action == 0 && spec.interactions.size() < max_interactions) {
+        // Add a random interaction.
+        Interaction it;
+        it.a = static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+        it.b = static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+        spec.interactions.push_back(it);
+    } else if (action == 1 && !spec.interactions.empty()) {
+        // Remove one.
+        spec.interactions.erase(
+            spec.interactions.begin() +
+            static_cast<std::ptrdiff_t>(
+                rng.nextInt(spec.interactions.size())));
+    } else if (!spec.interactions.empty()) {
+        // Rewire one endpoint.
+        Interaction &it =
+            spec.interactions[rng.nextInt(spec.interactions.size())];
+        const auto nv = static_cast<std::uint16_t>(rng.nextInt(kNumVars));
+        if (rng.nextBool(0.5))
+            it.a = nv;
+        else
+            it.b = nv;
+    }
+    spec.normalize();
+}
+
+void
+mutateVariable(ModelSpec &spec, Rng &rng)
+{
+    const std::size_t v = rng.nextInt(kNumVars);
+    const auto g = static_cast<std::uint8_t>(rng.nextInt(kMaxGene + 1));
+    spec.genes[v] = g;
+    if (spec.numActiveVars() == 0)
+        spec.genes[rng.nextInt(kNumVars)] = 1;
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Model specifications as genetic chromosomes (Section 3.4).
+ *
+ * Each variable gets one gene: 0 excludes it; 1, 2, 3 include it with
+ * a linear, quadratic, or cubic transformation; 4 applies a
+ * piecewise-cubic (truncated power) spline with three inflection
+ * points. The chromosome also carries a dynamically sized list of
+ * pairwise interactions i-j. Crossover operators C1-C3 and mutation
+ * operators M1-M2 follow the paper.
+ */
+
+#ifndef HWSW_CORE_SPEC_HPP
+#define HWSW_CORE_SPEC_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dataset.hpp"
+
+namespace hwsw::core {
+
+/** Gene values: per-variable transformation classes. */
+enum class GeneTx : std::uint8_t
+{
+    Excluded = 0,  ///< variable not in the model
+    Linear = 1,    ///< s(x)
+    Quadratic = 2, ///< s(x), s(x)^2
+    Cubic = 3,     ///< s(x), s(x)^2, s(x)^3
+    Spline = 4,    ///< piecewise cubic, three knots
+};
+
+/** Highest gene value. */
+inline constexpr std::uint8_t kMaxGene = 4;
+
+/** Human-readable transformation name (Table 3 vocabulary). */
+std::string_view geneTxName(GeneTx tx);
+
+/** One pairwise interaction term between variables a < b. */
+struct Interaction
+{
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+
+    bool operator==(const Interaction &o) const = default;
+    auto operator<=>(const Interaction &o) const = default;
+};
+
+/** A model specification chromosome. */
+struct ModelSpec
+{
+    /** One gene per variable, values 0..kMaxGene. */
+    std::array<std::uint8_t, kNumVars> genes{};
+
+    /** Dynamically sized interaction list (kept sorted, unique). */
+    std::vector<Interaction> interactions;
+
+    /** Gene accessor as an enum. */
+    GeneTx tx(std::size_t var) const;
+
+    /** Number of variables with non-zero genes. */
+    std::size_t numActiveVars() const;
+
+    /**
+     * Canonicalize: order each interaction a < b, drop self pairs,
+     * sort and deduplicate the list.
+     */
+    void normalize();
+
+    /**
+     * Random specification.
+     * @param include_prob probability a variable is included.
+     * @param max_interactions cap on initial interaction count.
+     */
+    static ModelSpec random(Rng &rng, double include_prob = 0.5,
+                            std::size_t max_interactions = 12);
+
+    /** One-line description for reports. */
+    std::string describe() const;
+
+    bool operator==(const ModelSpec &o) const = default;
+};
+
+/**
+ * C1: exchange one randomly chosen variable's gene between parents.
+ * Returns a child derived from parent a.
+ */
+ModelSpec crossoverVariable(const ModelSpec &a, const ModelSpec &b,
+                            Rng &rng);
+
+/** C2: exchange a randomly chosen interaction between parents. */
+ModelSpec crossoverInteraction(const ModelSpec &a, const ModelSpec &b,
+                               Rng &rng);
+
+/**
+ * C3: create a new interaction pairing a random active variable from
+ * each parent.
+ */
+ModelSpec crossoverNewInteraction(const ModelSpec &a, const ModelSpec &b,
+                                  Rng &rng);
+
+/** M1: randomly change (add, remove, or rewire) an interaction. */
+void mutateInteraction(ModelSpec &spec, Rng &rng,
+                       std::size_t max_interactions = 32);
+
+/** M2: randomly change one variable's gene. */
+void mutateVariable(ModelSpec &spec, Rng &rng);
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_SPEC_HPP

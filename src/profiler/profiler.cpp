@@ -1,0 +1,203 @@
+#include "profiler/profiler.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace hwsw::prof {
+
+std::array<double, kNumSwFeatures>
+ShardProfile::features() const
+{
+    return {ctrlFrac, takenFrac, fpAluFrac, fpMulFrac, intMulFrac,
+            intAluFrac, memFrac, avgDReuse, avgIReuse,
+            fpAluConsumerDist, fpMulConsumerDist, intMulConsumerDist,
+            avgBasicBlock};
+}
+
+const std::array<std::string, kNumSwFeatures> &
+ShardProfile::featureNames()
+{
+    static const std::array<std::string, kNumSwFeatures> names = {
+        "x1.ctrl", "x2.taken", "x3.fp_alu", "x4.fp_mul", "x5.int_mul",
+        "x6.int_alu", "x7.mem", "x8.d_reuse", "x9.i_reuse",
+        "x10.fp_alu_dist", "x11.fp_mul_dist", "x12.int_mul_dist",
+        "x13.basic_block",
+    };
+    return names;
+}
+
+namespace {
+
+/**
+ * Stateful profiler: last-access maps persist across shards so
+ * re-use distances span shard boundaries (continuous profiling).
+ * The running instruction index is global for the same reason.
+ */
+class Profiler
+{
+  public:
+    explicit Profiler(int block_shift) : blockShift_(block_shift)
+    {
+        dLast_.reserve(1 << 14);
+        iLast_.reserve(1024);
+    }
+
+    ShardProfile profile(std::span<const wl::MicroOp> ops,
+                         std::string app, std::size_t shard_index);
+
+  private:
+    int blockShift_;
+    std::uint64_t globalIndex_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> dLast_, iLast_;
+};
+
+ShardProfile
+Profiler::profile(std::span<const wl::MicroOp> ops, std::string app,
+                  std::size_t shard_index)
+{
+    using wl::OpClass;
+    fatalIf(ops.empty(), "profileShard: empty shard");
+
+    ShardProfile p;
+    p.app = std::move(app);
+    p.shardIndex = shard_index;
+    p.numOps = ops.size();
+
+    std::uint64_t counts[wl::kNumOpClasses] = {};
+    std::uint64_t taken = 0;
+
+    double d_reuse_sum = 0, i_reuse_sum = 0;
+    std::uint64_t d_reuse_n = 0, i_reuse_n = 0;
+
+    double dist_sum[3] = {};
+    std::uint64_t dist_n[3] = {};
+
+    for (const wl::MicroOp &op : ops) {
+        const std::uint64_t i = globalIndex_++;
+        ++counts[static_cast<std::size_t>(op.cls)];
+        if (op.isBranch() && op.taken)
+            ++taken;
+
+        if (op.isMem()) {
+            const std::uint64_t blk = op.addr >> blockShift_;
+            auto [it, fresh] = dLast_.try_emplace(blk, i);
+            if (!fresh) {
+                d_reuse_sum += static_cast<double>(i - it->second);
+                ++d_reuse_n;
+                it->second = i;
+            }
+        }
+        {
+            const std::uint64_t blk = op.pc >> blockShift_;
+            auto [it, fresh] = iLast_.try_emplace(blk, i);
+            if (!fresh) {
+                i_reuse_sum += static_cast<double>(i - it->second);
+                ++i_reuse_n;
+                it->second = i;
+            }
+        }
+
+        if (op.depDist != wl::kNoProducer) {
+            int slot = -1;
+            switch (op.producerCls) {
+              case OpClass::FpAlu:
+                slot = 0;
+                break;
+              case OpClass::FpMulDiv:
+                slot = 1;
+                break;
+              case OpClass::IntMulDiv:
+                slot = 2;
+                break;
+              default:
+                break;
+            }
+            if (slot >= 0) {
+                dist_sum[slot] += op.depDist;
+                ++dist_n[slot];
+            }
+        }
+    }
+
+    const auto n = static_cast<double>(ops.size());
+    auto frac = [&](OpClass c) {
+        return static_cast<double>(
+            counts[static_cast<std::size_t>(c)]) / n;
+    };
+    p.ctrlFrac = frac(OpClass::Branch);
+    p.takenFrac = static_cast<double>(taken) / n;
+    p.fpAluFrac = frac(OpClass::FpAlu);
+    p.fpMulFrac = frac(OpClass::FpMulDiv);
+    p.intMulFrac = frac(OpClass::IntMulDiv);
+    p.intAluFrac = frac(OpClass::IntAlu);
+    p.memFrac = frac(OpClass::Load) + frac(OpClass::Store);
+
+    p.avgDReuse = d_reuse_n ? d_reuse_sum / static_cast<double>(d_reuse_n)
+        : 0.0;
+    p.avgIReuse = i_reuse_n ? i_reuse_sum / static_cast<double>(i_reuse_n)
+        : 0.0;
+    p.sumDReuse = d_reuse_sum;
+
+    p.fpAluConsumerDist = dist_n[0]
+        ? dist_sum[0] / static_cast<double>(dist_n[0]) : 0.0;
+    p.fpMulConsumerDist = dist_n[1]
+        ? dist_sum[1] / static_cast<double>(dist_n[1]) : 0.0;
+    p.intMulConsumerDist = dist_n[2]
+        ? dist_sum[2] / static_cast<double>(dist_n[2]) : 0.0;
+
+    const std::uint64_t branches =
+        counts[static_cast<std::size_t>(OpClass::Branch)];
+    p.avgBasicBlock = n / static_cast<double>(std::max<std::uint64_t>(
+        branches, 1));
+    return p;
+}
+
+int
+blockShiftOf(std::uint64_t block_bytes)
+{
+    fatalIf(block_bytes == 0 || !std::has_single_bit(block_bytes),
+            "profiler block size must be a power of two");
+    return std::countr_zero(block_bytes);
+}
+
+} // namespace
+
+ShardProfile
+profileShard(std::span<const wl::MicroOp> ops, std::string app,
+             std::size_t shard_index, std::uint64_t block_bytes)
+{
+    Profiler profiler(blockShiftOf(block_bytes));
+    return profiler.profile(ops, std::move(app), shard_index);
+}
+
+std::vector<ShardProfile>
+profileShards(std::span<const std::vector<wl::MicroOp>> shards,
+              std::string app, std::uint64_t block_bytes)
+{
+    fatalIf(shards.empty(), "profileShards: no shards");
+    Profiler profiler(blockShiftOf(block_bytes));
+    std::vector<ShardProfile> out;
+    out.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s)
+        out.push_back(profiler.profile(shards[s], app, s));
+    return out;
+}
+
+std::array<double, kNumSwFeatures>
+meanFeatures(std::span<const ShardProfile> profiles)
+{
+    panicIf(profiles.empty(), "meanFeatures: no profiles");
+    std::array<double, kNumSwFeatures> acc{};
+    for (const ShardProfile &p : profiles) {
+        const auto f = p.features();
+        for (std::size_t i = 0; i < kNumSwFeatures; ++i)
+            acc[i] += f[i];
+    }
+    for (double &v : acc)
+        v /= static_cast<double>(profiles.size());
+    return acc;
+}
+
+} // namespace hwsw::prof

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shard profiler: computes the microarchitecture-independent software
+ * characteristics of Table 1 over a shard's micro-op stream.
+ *
+ * The paper embeds these counters in gem5's commit stage; here the
+ * stream is already microarchitecture-independent, so the profiler is
+ * a single pass over committed ops. All characteristics are portable
+ * in the Section 2.2 sense: re-use distance instead of miss rate,
+ * producer-consumer distance instead of issue stalls.
+ */
+
+#ifndef HWSW_PROFILER_PROFILER_HPP
+#define HWSW_PROFILER_PROFILER_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/microop.hpp"
+
+namespace hwsw::prof {
+
+/** Number of software characteristics (x1..x13 in Table 1). */
+inline constexpr std::size_t kNumSwFeatures = 13;
+
+/** Table 1 software characteristics for one shard. */
+struct ShardProfile
+{
+    std::string app;
+    std::size_t shardIndex = 0;
+    std::uint64_t numOps = 0;
+
+    // Instruction mix, as fractions of shard instructions (x1..x7).
+    double ctrlFrac = 0;   ///< x1: control (branches)
+    double takenFrac = 0;  ///< x2: taken branches
+    double fpAluFrac = 0;  ///< x3: FP ALU
+    double fpMulFrac = 0;  ///< x4: FP multiply/divide
+    double intMulFrac = 0; ///< x5: integer multiply/divide
+    double intAluFrac = 0; ///< x6: integer ALU
+    double memFrac = 0;    ///< x7: memory
+
+    // Temporal locality (x8, x9): average instructions between two
+    // consecutive accesses to the same 64B block.
+    double avgDReuse = 0;
+    double avgIReuse = 0;
+
+    // Instruction-level parallelism (x10..x12): average instructions
+    // between a producer of the given class and its consumer.
+    double fpAluConsumerDist = 0;
+    double fpMulConsumerDist = 0;
+    double intMulConsumerDist = 0;
+
+    // x13: average basic block size (#instructions / #branches).
+    double avgBasicBlock = 0;
+
+    /**
+     * Sum of all 64B d-block re-use distances in the shard -- the
+     * long-tailed quantity of Figure 3 (there measured for 256B
+     * blocks; block size is a parameter of profileShard).
+     */
+    double sumDReuse = 0;
+
+    /** x1..x13 as a dense feature vector for modeling. */
+    std::array<double, kNumSwFeatures> features() const;
+
+    /** Names matching features() order. */
+    static const std::array<std::string, kNumSwFeatures> &featureNames();
+};
+
+/**
+ * Profile one shard.
+ * @param ops the shard's committed micro-ops.
+ * @param app application label carried into the profile.
+ * @param shard_index shard position within the application.
+ * @param block_bytes cache block granularity for re-use distances.
+ */
+ShardProfile profileShard(std::span<const wl::MicroOp> ops,
+                          std::string app = {},
+                          std::size_t shard_index = 0,
+                          std::uint64_t block_bytes = 64);
+
+/**
+ * Profile an application's consecutive shards with locality state
+ * warmed across shard boundaries, mirroring continuous commit-stage
+ * profiling (and the warm ground-truth signatures). profileShard()
+ * remains for standalone single-shard analysis.
+ */
+std::vector<ShardProfile>
+profileShards(std::span<const std::vector<wl::MicroOp>> shards,
+              std::string app = {}, std::uint64_t block_bytes = 64);
+
+/** Mean of each feature across a set of profiles. */
+std::array<double, kNumSwFeatures>
+meanFeatures(std::span<const ShardProfile> profiles);
+
+} // namespace hwsw::prof
+
+#endif // HWSW_PROFILER_PROFILER_HPP

@@ -1,0 +1,197 @@
+#include "spmv/bcsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+namespace {
+
+void
+checkBlockDims(std::int32_t br, std::int32_t bc)
+{
+    fatalIf(br < 1 || br > 16 || bc < 1 || bc > 16,
+            "block dimensions must be in [1,16]");
+}
+
+} // namespace
+
+BcsrMatrix
+BcsrMatrix::fromCsr(const CsrMatrix &csr, std::int32_t block_rows,
+                    std::int32_t block_cols)
+{
+    checkBlockDims(block_rows, block_cols);
+
+    BcsrMatrix m;
+    m.rows_ = csr.rows();
+    m.cols_ = csr.cols();
+    m.br_ = block_rows;
+    m.bc_ = block_cols;
+    m.originalNnz_ = csr.nnz();
+
+    const std::int32_t n_block_rows =
+        (csr.rows() + block_rows - 1) / block_rows;
+    m.rowStart_.assign(static_cast<std::size_t>(n_block_rows) + 1, 0);
+
+    const auto row_start = csr.rowStart();
+    const auto col_idx = csr.colIdx();
+    const auto values = csr.values();
+
+    for (std::int32_t brow = 0; brow < n_block_rows; ++brow) {
+        // Collect this block row's blocks: block column -> dense data.
+        std::map<std::int32_t, std::vector<double>> blocks;
+        const std::int32_t r_lo = brow * block_rows;
+        const std::int32_t r_hi = std::min(r_lo + block_rows,
+                                           csr.rows());
+        for (std::int32_t r = r_lo; r < r_hi; ++r) {
+            for (std::uint64_t k = row_start[r]; k < row_start[r + 1];
+                 ++k) {
+                const std::int32_t bcol = col_idx[k] / block_cols;
+                auto [it, fresh] = blocks.try_emplace(
+                    bcol,
+                    std::vector<double>(
+                        static_cast<std::size_t>(block_rows) *
+                        static_cast<std::size_t>(block_cols), 0.0));
+                const std::int32_t lr = r - r_lo;
+                const std::int32_t lc = col_idx[k] - bcol * block_cols;
+                it->second[static_cast<std::size_t>(lr) *
+                           static_cast<std::size_t>(block_cols) +
+                           static_cast<std::size_t>(lc)] = values[k];
+            }
+        }
+        for (auto &[bcol, data] : blocks) {
+            m.colIdx_.push_back(bcol * block_cols);
+            m.values_.insert(m.values_.end(), data.begin(), data.end());
+        }
+        m.rowStart_[static_cast<std::size_t>(brow) + 1] =
+            m.colIdx_.size();
+    }
+    return m;
+}
+
+double
+BcsrMatrix::fillRatio() const
+{
+    panicIf(originalNnz_ == 0, "fill ratio of empty matrix");
+    return static_cast<double>(storedValues()) /
+        static_cast<double>(originalNnz_);
+}
+
+std::int32_t
+BcsrMatrix::numBlockRows() const
+{
+    return (rows_ + br_ - 1) / br_;
+}
+
+std::vector<double>
+BcsrMatrix::multiply(std::span<const double> x) const
+{
+    panicIf(x.size() != static_cast<std::size_t>(cols_),
+            "BcsrMatrix::multiply size mismatch");
+    std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+    const std::size_t block_size =
+        static_cast<std::size_t>(br_) * static_cast<std::size_t>(bc_);
+
+    for (std::int32_t brow = 0; brow < numBlockRows(); ++brow) {
+        const std::int32_t r_lo = brow * br_;
+        for (std::uint64_t b = rowStart_[brow];
+             b < rowStart_[brow + 1]; ++b) {
+            const std::int32_t c_lo = colIdx_[b];
+            const double *blk = values_.data() + b * block_size;
+            for (std::int32_t lr = 0; lr < br_; ++lr) {
+                const std::int32_t r = r_lo + lr;
+                if (r >= rows_)
+                    break;
+                double acc = 0.0;
+                for (std::int32_t lc = 0; lc < bc_; ++lc) {
+                    const std::int32_t c = c_lo + lc;
+                    if (c >= cols_)
+                        break;
+                    acc += blk[lr * bc_ + lc] *
+                        x[static_cast<std::size_t>(c)];
+                }
+                y[static_cast<std::size_t>(r)] += acc;
+            }
+        }
+    }
+    return y;
+}
+
+BcsrStructure
+BcsrStructure::fromCsr(const CsrMatrix &csr, std::int32_t block_rows,
+                       std::int32_t block_cols)
+{
+    checkBlockDims(block_rows, block_cols);
+
+    BcsrStructure s;
+    s.rows = csr.rows();
+    s.cols = csr.cols();
+    s.br = block_rows;
+    s.bc = block_cols;
+    s.originalNnz = csr.nnz();
+
+    const auto row_start = csr.rowStart();
+    const auto col_idx = csr.colIdx();
+    const std::int32_t n_block_rows = s.numBlockRows();
+    s.rowStart.assign(static_cast<std::size_t>(n_block_rows) + 1, 0);
+
+    std::vector<std::int32_t> seen;
+    for (std::int32_t brow = 0; brow < n_block_rows; ++brow) {
+        seen.clear();
+        const std::int32_t r_lo = brow * block_rows;
+        const std::int32_t r_hi = std::min(r_lo + block_rows,
+                                           csr.rows());
+        for (std::int32_t r = r_lo; r < r_hi; ++r) {
+            for (std::uint64_t k = row_start[r]; k < row_start[r + 1];
+                 ++k) {
+                seen.push_back(col_idx[k] / block_cols);
+            }
+        }
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        for (std::int32_t bcol : seen)
+            s.colIdx.push_back(bcol * block_cols);
+        s.rowStart[static_cast<std::size_t>(brow) + 1] =
+            s.colIdx.size();
+    }
+    return s;
+}
+
+double
+fillRatio(const CsrMatrix &csr, std::int32_t block_rows,
+          std::int32_t block_cols)
+{
+    checkBlockDims(block_rows, block_cols);
+    fatalIf(csr.nnz() == 0, "fill ratio of empty matrix");
+
+    const auto row_start = csr.rowStart();
+    const auto col_idx = csr.colIdx();
+    const std::int32_t n_block_rows =
+        (csr.rows() + block_rows - 1) / block_rows;
+
+    std::uint64_t blocks = 0;
+    std::vector<std::int32_t> seen;
+    for (std::int32_t brow = 0; brow < n_block_rows; ++brow) {
+        seen.clear();
+        const std::int32_t r_lo = brow * block_rows;
+        const std::int32_t r_hi = std::min(r_lo + block_rows,
+                                           csr.rows());
+        for (std::int32_t r = r_lo; r < r_hi; ++r) {
+            for (std::uint64_t k = row_start[r]; k < row_start[r + 1];
+                 ++k) {
+                seen.push_back(col_idx[k] / block_cols);
+            }
+        }
+        std::sort(seen.begin(), seen.end());
+        blocks += static_cast<std::uint64_t>(
+            std::unique(seen.begin(), seen.end()) - seen.begin());
+    }
+    return static_cast<double>(blocks) *
+        static_cast<double>(block_rows) *
+        static_cast<double>(block_cols) /
+        static_cast<double>(csr.nnz());
+}
+
+} // namespace hwsw::spmv

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Block compressed sparse row (BCSR) matrices with r x c register
+ * blocks, the data structure of Figure 11. Blocks containing at
+ * least one non-zero are stored densely (row-major within the block),
+ * padding with explicit zeros; the fill ratio quantifies that padding
+ * and is the key software parameter of the Section 5 models.
+ */
+
+#ifndef HWSW_SPMV_BCSR_HPP
+#define HWSW_SPMV_BCSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spmv/csr.hpp"
+
+namespace hwsw::spmv {
+
+/** Immutable BCSR sparse matrix. */
+class BcsrMatrix
+{
+  public:
+    /**
+     * Convert from CSR with r x c blocking.
+     * @param block_rows r in [1, 16].
+     * @param block_cols c in [1, 16].
+     */
+    static BcsrMatrix fromCsr(const CsrMatrix &csr,
+                              std::int32_t block_rows,
+                              std::int32_t block_cols);
+
+    std::int32_t rows() const { return rows_; }
+    std::int32_t cols() const { return cols_; }
+    std::int32_t blockRows() const { return br_; }
+    std::int32_t blockCols() const { return bc_; }
+
+    /** Number of stored (dense) blocks. */
+    std::uint64_t numBlocks() const { return colIdx_.size(); }
+
+    /** Stored values including explicit zeros. */
+    std::uint64_t storedValues() const { return values_.size(); }
+
+    /** Original non-zeros of the source matrix. */
+    std::uint64_t originalNnz() const { return originalNnz_; }
+
+    /** Stored values / original non-zeros (>= 1). */
+    double fillRatio() const;
+
+    /** Block-row pointers into b_col_idx (numBlockRows + 1). */
+    std::span<const std::uint64_t> rowStart() const { return rowStart_; }
+
+    /** First column index of each stored block. */
+    std::span<const std::int32_t> colIdx() const { return colIdx_; }
+
+    /** Dense block values, row-major within each block. */
+    std::span<const double> values() const { return values_; }
+
+    /** Number of block rows: ceil(rows / block_rows). */
+    std::int32_t numBlockRows() const;
+
+    /** y = A x. @pre x.size() == cols(). */
+    std::vector<double> multiply(std::span<const double> x) const;
+
+  private:
+    BcsrMatrix() = default;
+
+    std::int32_t rows_ = 0;
+    std::int32_t cols_ = 0;
+    std::int32_t br_ = 1;
+    std::int32_t bc_ = 1;
+    std::uint64_t originalNnz_ = 0;
+    std::vector<std::uint64_t> rowStart_;
+    std::vector<std::int32_t> colIdx_;
+    std::vector<double> values_;
+};
+
+/**
+ * Fill ratio of blocking a CSR matrix r x c without materializing
+ * the blocked values (structure-only pass).
+ */
+double fillRatio(const CsrMatrix &csr, std::int32_t block_rows,
+                 std::int32_t block_cols);
+
+/**
+ * Structure-only BCSR view: everything the cache simulator needs
+ * (addresses depend only on structure, not values), at a fraction of
+ * a BcsrMatrix's memory. Used to hold all 64 blocking variants of
+ * large matrices simultaneously.
+ */
+struct BcsrStructure
+{
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::int32_t br = 1;
+    std::int32_t bc = 1;
+    std::uint64_t originalNnz = 0;
+    std::vector<std::uint64_t> rowStart; ///< numBlockRows + 1
+    std::vector<std::int32_t> colIdx;    ///< first col of each block
+
+    std::uint64_t numBlocks() const { return colIdx.size(); }
+
+    std::uint64_t
+    storedValues() const
+    {
+        return numBlocks() * static_cast<std::uint64_t>(br) *
+            static_cast<std::uint64_t>(bc);
+    }
+
+    double
+    fillRatio() const
+    {
+        return static_cast<double>(storedValues()) /
+            static_cast<double>(originalNnz);
+    }
+
+    std::int32_t numBlockRows() const { return (rows + br - 1) / br; }
+
+    /** Structure-only conversion from CSR. */
+    static BcsrStructure fromCsr(const CsrMatrix &csr,
+                                 std::int32_t block_rows,
+                                 std::int32_t block_cols);
+};
+
+} // namespace hwsw::spmv
+
+#endif // HWSW_SPMV_BCSR_HPP

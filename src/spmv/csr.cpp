@@ -1,0 +1,89 @@
+#include "spmv/csr.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+CsrMatrix::CsrMatrix(std::int32_t rows, std::int32_t cols,
+                     std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols)
+{
+    fatalIf(rows <= 0 || cols <= 0, "CsrMatrix needs positive dims");
+    for (const Triplet &t : entries) {
+        fatalIf(t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols,
+                "CsrMatrix entry out of range");
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    // Sum duplicates.
+    std::vector<Triplet> merged;
+    merged.reserve(entries.size());
+    for (const Triplet &t : entries) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().value += t.value;
+        } else {
+            merged.push_back(t);
+        }
+    }
+
+    rowStart_.assign(static_cast<std::size_t>(rows) + 1, 0);
+    colIdx_.reserve(merged.size());
+    values_.reserve(merged.size());
+    for (const Triplet &t : merged) {
+        ++rowStart_[static_cast<std::size_t>(t.row) + 1];
+        colIdx_.push_back(t.col);
+        values_.push_back(t.value);
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r)
+        rowStart_[r + 1] += rowStart_[r];
+}
+
+double
+CsrMatrix::sparsity() const
+{
+    return static_cast<double>(nnz()) /
+        (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::vector<double>
+CsrMatrix::multiply(std::span<const double> x) const
+{
+    panicIf(x.size() != static_cast<std::size_t>(cols_),
+            "CsrMatrix::multiply size mismatch");
+    std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r) {
+        double acc = 0.0;
+        for (std::uint64_t k = rowStart_[r]; k < rowStart_[r + 1]; ++k)
+            acc += values_[k] * x[static_cast<std::size_t>(colIdx_[k])];
+        y[r] = acc;
+    }
+    return y;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const std::vector<std::vector<double>> &d)
+{
+    fatalIf(d.empty() || d[0].empty(), "fromDense needs a matrix");
+    std::vector<Triplet> entries;
+    for (std::size_t r = 0; r < d.size(); ++r) {
+        fatalIf(d[r].size() != d[0].size(),
+                "fromDense rows must be equal length");
+        for (std::size_t c = 0; c < d[r].size(); ++c) {
+            if (d[r][c] != 0.0) {
+                entries.push_back({static_cast<std::int32_t>(r),
+                                   static_cast<std::int32_t>(c),
+                                   d[r][c]});
+            }
+        }
+    }
+    return CsrMatrix(static_cast<std::int32_t>(d.size()),
+                     static_cast<std::int32_t>(d[0].size()),
+                     std::move(entries));
+}
+
+} // namespace hwsw::spmv

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compressed sparse row matrices: the reference format SpMV variants
+ * are generated from (Section 5.1).
+ */
+
+#ifndef HWSW_SPMV_CSR_HPP
+#define HWSW_SPMV_CSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hwsw::spmv {
+
+/** One matrix entry. */
+struct Triplet
+{
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+    double value = 0.0;
+};
+
+/** Immutable CSR sparse matrix. */
+class CsrMatrix
+{
+  public:
+    /**
+     * Build from triplets; duplicates are summed, explicit zeros kept.
+     * @param rows,cols matrix dimensions.
+     */
+    CsrMatrix(std::int32_t rows, std::int32_t cols,
+              std::vector<Triplet> entries);
+
+    std::int32_t rows() const { return rows_; }
+    std::int32_t cols() const { return cols_; }
+    std::uint64_t nnz() const { return values_.size(); }
+
+    /** Fraction of non-zero positions: nnz / (rows * cols). */
+    double sparsity() const;
+
+    std::span<const std::uint64_t> rowStart() const { return rowStart_; }
+    std::span<const std::int32_t> colIdx() const { return colIdx_; }
+    std::span<const double> values() const { return values_; }
+
+    /** y = A x. @pre x.size() == cols(). */
+    std::vector<double> multiply(std::span<const double> x) const;
+
+    /** Dense round trip for tests. */
+    static CsrMatrix fromDense(const std::vector<std::vector<double>> &d);
+
+  private:
+    std::int32_t rows_;
+    std::int32_t cols_;
+    std::vector<std::uint64_t> rowStart_; // rows+1 entries
+    std::vector<std::int32_t> colIdx_;
+    std::vector<double> values_;
+};
+
+} // namespace hwsw::spmv
+
+#endif // HWSW_SPMV_CSR_HPP

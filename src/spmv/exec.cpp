@@ -1,0 +1,175 @@
+#include "spmv/exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+namespace {
+
+// Disjoint address regions for the BCSR arrays and vectors.
+constexpr std::uint64_t kRowStartBase = 0x10000000ULL;
+constexpr std::uint64_t kColIdxBase = 0x20000000ULL;
+constexpr std::uint64_t kValueBase = 0x30000000ULL;
+constexpr std::uint64_t kSourceBase = 0x40000000ULL;
+constexpr std::uint64_t kDestBase = 0x50000000ULL;
+constexpr std::uint64_t kKernelBase = 0x00400000ULL;
+
+/** Unrolled kernel code footprint in bytes for an r x c block. */
+std::uint64_t
+kernelBytes(std::int32_t br, std::int32_t bc)
+{
+    return 320 + 40ULL * static_cast<std::uint64_t>(br) *
+        static_cast<std::uint64_t>(bc);
+}
+
+/** Instructions retired per stored block. */
+double
+instrPerBlock(std::int32_t br, std::int32_t bc)
+{
+    // index load + address arithmetic, c source loads, and a
+    // load + multiply-accumulate per stored element, plus per-row
+    // accumulate bookkeeping.
+    return 3.0 + bc + 2.0 * br * bc + br;
+}
+
+/** Instructions retired per block row (loop overhead, v update). */
+double
+instrPerBlockRow(std::int32_t br)
+{
+    return 8.0 + 2.0 * br;
+}
+
+/** Cache access energy in nJ (CACTI-flavored size/ways scaling). */
+double
+accessEnergyNJ(int size_kb, int ways)
+{
+    return 0.15 * std::sqrt(static_cast<double>(size_kb) / 16.0) *
+        (1.0 + 0.12 * static_cast<double>(ways));
+}
+
+/** nJ per 64-bit word transferred from memory (Micron DDR2). */
+constexpr double kMemWordNJ = 6.0;
+
+/** nJ per instruction in the core pipeline. */
+constexpr double kInstrNJ = 0.08;
+
+} // namespace
+
+SpmvResult
+simulateSpmv(const BcsrStructure &mat, const SpmvCacheConfig &cache,
+             const SimOptions &opts)
+{
+    fatalIf(mat.numBlocks() == 0, "simulateSpmv: empty matrix");
+
+    uarch::Cache dcache(cache.dcache(), opts.seed);
+    uarch::Cache icache(cache.icache(), opts.seed + 1);
+
+    const std::int32_t br = mat.br;
+    const std::int32_t bc = mat.bc;
+    const std::uint64_t kbytes = kernelBytes(br, bc);
+    const auto kernel_lines = std::max<std::uint64_t>(
+        kbytes / cache.lineBytes, 1);
+
+    // Estimated accesses per block: data (index + source + values at
+    // line granularity for the streamed arrays) + instruction lines.
+    const double data_per_block = 1.0 + bc + br * bc;
+    const double est_per_block =
+        data_per_block + static_cast<double>(kernel_lines);
+    const std::int32_t n_block_rows = mat.numBlockRows();
+
+    // Choose a contiguous window of block rows within budget.
+    std::int32_t sim_rows = n_block_rows;
+    if (opts.maxAccesses > 0) {
+        const double total_est =
+            est_per_block * static_cast<double>(mat.numBlocks());
+        if (total_est > static_cast<double>(opts.maxAccesses)) {
+            const double frac =
+                static_cast<double>(opts.maxAccesses) / total_est;
+            sim_rows = std::max<std::int32_t>(
+                1, static_cast<std::int32_t>(frac * n_block_rows));
+        }
+    }
+
+    std::uint64_t sim_blocks = 0;
+    for (std::int32_t brow = 0; brow < sim_rows; ++brow) {
+        const std::uint64_t b_lo = mat.rowStart[brow];
+        const std::uint64_t b_hi = mat.rowStart[brow + 1];
+        sim_blocks += b_hi - b_lo;
+
+        // Block-row prologue: row pointers and v accumulators.
+        dcache.access(kRowStartBase + static_cast<std::uint64_t>(brow)
+                      * 8);
+        for (std::int32_t lr = 0; lr < br; ++lr) {
+            const std::uint64_t v_addr = kDestBase +
+                (static_cast<std::uint64_t>(brow) * br + lr) * 8;
+            dcache.access(v_addr); // load accumulator
+        }
+
+        for (std::uint64_t b = b_lo; b < b_hi; ++b) {
+            dcache.access(kColIdxBase + b * 4);
+            const auto col = static_cast<std::uint64_t>(mat.colIdx[b]);
+            // Source vector gather: c consecutive elements.
+            for (std::int32_t lc = 0; lc < bc; ++lc)
+                dcache.access(kSourceBase + (col + lc) * 8);
+            // Dense block values, streamed row-major.
+            const std::uint64_t v_base = kValueBase +
+                b * static_cast<std::uint64_t>(br) * bc * 8;
+            for (std::int32_t e = 0; e < br * bc; ++e)
+                dcache.access(v_base + static_cast<std::uint64_t>(e)
+                              * 8);
+            // Instruction fetch: the unrolled kernel body.
+            for (std::uint64_t l = 0; l < kernel_lines; ++l)
+                icache.access(kKernelBase +
+                              l * static_cast<std::uint64_t>(
+                                      cache.lineBytes));
+        }
+
+        for (std::int32_t lr = 0; lr < br; ++lr) {
+            const std::uint64_t v_addr = kDestBase +
+                (static_cast<std::uint64_t>(brow) * br + lr) * 8;
+            dcache.access(v_addr); // store accumulator
+        }
+    }
+
+    // Scale simulated counts up to the whole matrix.
+    const double scale = static_cast<double>(mat.numBlocks()) /
+        static_cast<double>(std::max<std::uint64_t>(sim_blocks, 1));
+
+    SpmvResult res;
+    res.dAccesses = scale *
+        static_cast<double>(dcache.stats().accesses);
+    res.dMisses = scale * static_cast<double>(dcache.stats().misses);
+    res.iAccesses = scale *
+        static_cast<double>(icache.stats().accesses);
+    res.iMisses = scale * static_cast<double>(icache.stats().misses);
+
+    res.instructions =
+        instrPerBlock(br, bc) * static_cast<double>(mat.numBlocks()) +
+        instrPerBlockRow(br) * static_cast<double>(n_block_rows);
+
+    // Miss penalty: fixed DRAM latency plus line transfer at 8B/cycle.
+    const double penalty = 30.0 +
+        static_cast<double>(cache.lineBytes) / 8.0;
+    res.cycles = res.instructions +
+        (res.dMisses + res.iMisses) * penalty;
+    res.seconds = res.cycles / kClockHz;
+
+    res.trueFlops = 2 * mat.originalNnz;
+    res.storedFlops = 2 * mat.storedValues();
+    res.mflops = static_cast<double>(res.trueFlops) / res.seconds / 1e6;
+
+    res.memWords = (res.dMisses + res.iMisses) *
+        (static_cast<double>(cache.lineBytes) / 8.0);
+    res.energyNJ =
+        res.dAccesses * accessEnergyNJ(cache.dsizeKB, cache.dways) +
+        res.iAccesses * accessEnergyNJ(cache.isizeKB, cache.iways) +
+        res.memWords * kMemWordNJ + res.instructions * kInstrNJ;
+    res.nJPerFlop = res.energyNJ / static_cast<double>(res.trueFlops);
+    res.powerW = res.energyNJ * 1e-9 / res.seconds;
+    return res;
+}
+
+} // namespace hwsw::spmv

@@ -1,0 +1,140 @@
+#include "spmv/machine.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+namespace {
+
+constexpr std::array<int, 4> kLines = {16, 32, 64, 128};
+constexpr std::array<int, 7> kDsize = {4, 8, 16, 32, 64, 128, 256};
+constexpr std::array<int, 4> kWays = {1, 2, 4, 8};
+constexpr std::array<uarch::ReplPolicy, 3> kRepl = {
+    uarch::ReplPolicy::LRU, uarch::ReplPolicy::NMRU,
+    uarch::ReplPolicy::RND,
+};
+constexpr std::array<int, 7> kIsize = {2, 4, 8, 16, 32, 64, 128};
+
+double
+replCode(uarch::ReplPolicy p)
+{
+    switch (p) {
+      case uarch::ReplPolicy::LRU:
+        return 0.0;
+      case uarch::ReplPolicy::NMRU:
+        return 1.0;
+      case uarch::ReplPolicy::RND:
+        return 2.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+std::string_view
+replName(uarch::ReplPolicy p)
+{
+    switch (p) {
+      case uarch::ReplPolicy::LRU:
+        return "LRU";
+      case uarch::ReplPolicy::NMRU:
+        return "NMRU";
+      case uarch::ReplPolicy::RND:
+        return "RND";
+    }
+    return "?";
+}
+
+std::array<double, kNumCacheFeatures>
+SpmvCacheConfig::features() const
+{
+    return {std::log2(static_cast<double>(lineBytes)),
+            std::log2(static_cast<double>(dsizeKB)),
+            std::log2(static_cast<double>(dways)),
+            replCode(drepl),
+            std::log2(static_cast<double>(isizeKB)),
+            std::log2(static_cast<double>(iways)),
+            replCode(irepl)};
+}
+
+const std::array<std::string, kNumCacheFeatures> &
+SpmvCacheConfig::featureNames()
+{
+    static const std::array<std::string, kNumCacheFeatures> names = {
+        "y1.lsize", "y2.dsize", "y3.dways", "y4.drepl",
+        "y5.isize", "y6.iways", "y7.irepl",
+    };
+    return names;
+}
+
+const std::array<int, kNumCacheFeatures> &
+SpmvCacheConfig::levelsPerDim()
+{
+    static const std::array<int, kNumCacheFeatures> levels = {
+        static_cast<int>(kLines.size()),
+        static_cast<int>(kDsize.size()),
+        static_cast<int>(kWays.size()),
+        static_cast<int>(kRepl.size()),
+        static_cast<int>(kIsize.size()),
+        static_cast<int>(kWays.size()),
+        static_cast<int>(kRepl.size()),
+    };
+    return levels;
+}
+
+SpmvCacheConfig
+SpmvCacheConfig::fromIndices(
+    const std::array<int, kNumCacheFeatures> &idx)
+{
+    const auto &levels = levelsPerDim();
+    for (std::size_t d = 0; d < kNumCacheFeatures; ++d) {
+        fatalIf(idx[d] < 0 || idx[d] >= levels[d],
+                "SpmvCacheConfig::fromIndices index out of range");
+    }
+    SpmvCacheConfig c;
+    c.lineBytes = kLines[idx[0]];
+    c.dsizeKB = kDsize[idx[1]];
+    c.dways = kWays[idx[2]];
+    c.drepl = kRepl[idx[3]];
+    c.isizeKB = kIsize[idx[4]];
+    c.iways = kWays[idx[5]];
+    c.irepl = kRepl[idx[6]];
+    return c;
+}
+
+SpmvCacheConfig
+SpmvCacheConfig::randomSample(Rng &rng)
+{
+    std::array<int, kNumCacheFeatures> idx{};
+    const auto &levels = levelsPerDim();
+    for (std::size_t d = 0; d < kNumCacheFeatures; ++d)
+        idx[d] = static_cast<int>(
+            rng.nextInt(static_cast<std::uint64_t>(levels[d])));
+    return fromIndices(idx);
+}
+
+uarch::CacheConfig
+SpmvCacheConfig::dcache() const
+{
+    uarch::CacheConfig c;
+    c.sizeBytes = static_cast<std::uint64_t>(dsizeKB) * 1024;
+    c.lineBytes = static_cast<std::uint32_t>(lineBytes);
+    c.ways = static_cast<std::uint32_t>(dways);
+    c.repl = drepl;
+    return c;
+}
+
+uarch::CacheConfig
+SpmvCacheConfig::icache() const
+{
+    uarch::CacheConfig c;
+    c.sizeBytes = static_cast<std::uint64_t>(isizeKB) * 1024;
+    c.lineBytes = static_cast<std::uint32_t>(lineBytes);
+    c.ways = static_cast<std::uint32_t>(iways);
+    c.repl = irepl;
+    return c;
+}
+
+} // namespace hwsw::spmv

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The SpMV case study's hardware space (Table 5): a reconfigurable
+ * cache architecture on an in-order embedded core (the paper uses a
+ * 400 MHz Tensilica Xtensa). Because SpMV is memory-bound, the
+ * tunable parameters are the data and instruction caches.
+ */
+
+#ifndef HWSW_SPMV_MACHINE_HPP
+#define HWSW_SPMV_MACHINE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "uarch/cache.hpp"
+
+namespace hwsw::spmv {
+
+/** Core clock (Hz). */
+inline constexpr double kClockHz = 400e6;
+
+/** Number of hardware parameters (y1..y7 in Table 5). */
+inline constexpr std::size_t kNumCacheFeatures = 7;
+
+/** One cache architecture from the Table 5 grid. */
+struct SpmvCacheConfig
+{
+    int lineBytes = 32;     ///< y1: 16 :: 2x :: 128
+    int dsizeKB = 32;       ///< y2: 4 :: 2x :: 256
+    int dways = 2;          ///< y3: 1 :: 2x :: 8
+    uarch::ReplPolicy drepl = uarch::ReplPolicy::LRU; ///< y4
+    int isizeKB = 16;       ///< y5: 2 :: 2x :: 128
+    int iways = 2;          ///< y6: 1 :: 2x :: 8
+    uarch::ReplPolicy irepl = uarch::ReplPolicy::LRU; ///< y7
+
+    /** y1..y7 as model features (log2 sizes; policies as 0/1/2). */
+    std::array<double, kNumCacheFeatures> features() const;
+
+    static const std::array<std::string, kNumCacheFeatures> &
+    featureNames();
+
+    static const std::array<int, kNumCacheFeatures> &levelsPerDim();
+
+    static SpmvCacheConfig fromIndices(
+        const std::array<int, kNumCacheFeatures> &idx);
+
+    static SpmvCacheConfig randomSample(Rng &rng);
+
+    /** Data cache geometry for the simulator. */
+    uarch::CacheConfig dcache() const;
+
+    /** Instruction cache geometry for the simulator. */
+    uarch::CacheConfig icache() const;
+
+    bool operator==(const SpmvCacheConfig &o) const = default;
+};
+
+/** Replacement policy short name. */
+std::string_view replName(uarch::ReplPolicy p);
+
+} // namespace hwsw::spmv
+
+#endif // HWSW_SPMV_MACHINE_HPP

@@ -1,0 +1,208 @@
+#include "spmv/matgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hwsw::spmv {
+
+double
+MatrixInfo::paperSparsity() const
+{
+    return static_cast<double>(paperNnz) /
+        (static_cast<double>(paperDimension) *
+         static_cast<double>(paperDimension));
+}
+
+const std::vector<MatrixInfo> &
+table4()
+{
+    using S = MatStructure;
+    static const std::vector<MatrixInfo> infos = {
+        {1, "3dtube", 45330, 1629474, S::FemBlocked, 3, 3, 2},
+        {2, "bayer02", 13935, 63679, S::Banded, 1, 1, 1},
+        {3, "bcsstk35", 30237, 740200, S::FemBlocked, 3, 3, 2},
+        {4, "bmw7st", 141347, 3740507, S::FemBlocked, 3, 3, 2},
+        {5, "crystk02", 13965, 491274, S::FemBlocked, 3, 3, 2},
+        {6, "memplus", 17758, 126150, S::Banded, 1, 1, 1},
+        {7, "nasasrb", 54870, 1366097, S::FemBlocked, 3, 3, 2},
+        {8, "olafu", 16146, 515651, S::FemBlocked, 3, 3, 2},
+        {9, "pwtk", 217918, 5926171, S::FemBlocked, 6, 6, 1},
+        {10, "raefsky3", 21200, 1488768, S::FemBlocked, 8, 4, 2},
+        {11, "venkat01", 62424, 1717792, S::FemBlocked, 4, 4, 1},
+    };
+    return infos;
+}
+
+const MatrixInfo &
+matrixInfo(std::string_view name)
+{
+    for (const MatrixInfo &info : table4())
+        if (info.name == name)
+            return info;
+    fatal("unknown Table 4 matrix: " + std::string(name));
+}
+
+namespace {
+
+/** Round up to a multiple of m. */
+std::int32_t
+roundUp(std::int32_t v, std::int32_t m)
+{
+    return (v + m - 1) / m * m;
+}
+
+CsrMatrix
+generateFem(const MatrixInfo &info, std::int32_t dim,
+            std::uint64_t target_nnz, Rng &rng)
+{
+    const std::int32_t br = info.blockR;
+    const std::int32_t bc = info.blockC;
+    const std::int32_t run = std::max(info.runLength, 1);
+    const std::int32_t n_block_rows = dim / br;
+    const std::int32_t n_block_cols = dim / bc;
+
+    const std::uint64_t block_nnz =
+        static_cast<std::uint64_t>(br) * static_cast<std::uint64_t>(bc);
+    const std::uint64_t blocks_needed =
+        std::max<std::uint64_t>(target_nnz / block_nnz, 1);
+    const auto runs_per_row = std::max<std::uint64_t>(
+        blocks_needed /
+            (static_cast<std::uint64_t>(n_block_rows) *
+             static_cast<std::uint64_t>(run)),
+        1);
+
+    // Mesh bandwidth: block columns cluster near the diagonal.
+    const double band = std::max(4.0, 0.06 * n_block_cols);
+
+    std::vector<Triplet> entries;
+    entries.reserve(target_nnz + target_nnz / 8);
+
+    std::vector<std::int32_t> starts;
+    for (std::int32_t brow = 0; brow < n_block_rows; ++brow) {
+        // Consecutive groups of `run` block rows share run positions,
+        // so dense substructure extends in both dimensions: blocking
+        // at multiples of the natural size (e.g. 6x6 over 3x3
+        // elements) then needs no padding, the Figure 15 topology.
+        if (brow % run == 0 || starts.empty()) {
+            starts.clear();
+            const std::int32_t group = brow / run * run;
+            for (std::uint64_t k = 0; k < runs_per_row; ++k) {
+                double center = group + rng.nextGaussian() * band;
+                // One run per group stays on the diagonal so every
+                // row has its structural diagonal block.
+                if (k == 0)
+                    center = group;
+                auto start = static_cast<std::int32_t>(center);
+                start = std::clamp(start, 0, n_block_cols - run);
+                // Align run starts so adjacent blocks merge cleanly
+                // when blocked at multiples of the natural size.
+                start = start / run * run;
+                starts.push_back(start);
+            }
+            std::sort(starts.begin(), starts.end());
+            starts.erase(std::unique(starts.begin(), starts.end()),
+                         starts.end());
+        }
+
+        for (std::int32_t start : starts) {
+            for (std::int32_t j = 0; j < run; ++j) {
+                const std::int32_t bcol = start + j;
+                // Dense br x bc block at (brow, bcol).
+                for (std::int32_t lr = 0; lr < br; ++lr) {
+                    for (std::int32_t lc = 0; lc < bc; ++lc) {
+                        entries.push_back(
+                            {brow * br + lr, bcol * bc + lc,
+                             0.5 + rng.nextDouble()});
+                    }
+                }
+            }
+        }
+    }
+    return CsrMatrix(dim, dim, std::move(entries));
+}
+
+CsrMatrix
+generateBanded(const MatrixInfo &info, std::int32_t dim,
+               std::uint64_t target_nnz, Rng &rng)
+{
+    (void)info;
+    const auto per_row = std::max<std::uint64_t>(
+        target_nnz / static_cast<std::uint64_t>(dim), 2);
+    const double band = std::max(8.0, 0.05 * dim);
+
+    std::vector<Triplet> entries;
+    entries.reserve(target_nnz + target_nnz / 8);
+    for (std::int32_t r = 0; r < dim; ++r) {
+        entries.push_back({r, r, 1.0 + rng.nextDouble()}); // diagonal
+        for (std::uint64_t k = 1; k < per_row; ++k) {
+            std::int32_t c;
+            if (rng.nextBool(0.15)) {
+                // Scattered long-range coupling.
+                c = static_cast<std::int32_t>(rng.nextInt(dim));
+            } else {
+                c = r + static_cast<std::int32_t>(
+                            rng.nextGaussian() * band);
+                c = std::clamp(c, 0, dim - 1);
+            }
+            entries.push_back({r, c, 0.5 + rng.nextDouble()});
+        }
+    }
+    return CsrMatrix(dim, dim, std::move(entries));
+}
+
+CsrMatrix
+generateIrregular(const MatrixInfo &info, std::int32_t dim,
+                  std::uint64_t target_nnz, Rng &rng)
+{
+    (void)info;
+    const double mean_degree = static_cast<double>(target_nnz) /
+        static_cast<double>(dim);
+
+    std::vector<Triplet> entries;
+    entries.reserve(target_nnz + target_nnz / 8);
+    for (std::int32_t r = 0; r < dim; ++r) {
+        // Power-law-ish degree: exponential mixture with a long tail.
+        auto degree = static_cast<std::uint64_t>(
+            rng.nextExponential(mean_degree));
+        if (rng.nextBool(0.02))
+            degree *= 8; // hub rows
+        degree = std::max<std::uint64_t>(degree, 1);
+        entries.push_back({r, r, 1.0});
+        for (std::uint64_t k = 1; k < degree; ++k) {
+            entries.push_back(
+                {r, static_cast<std::int32_t>(rng.nextInt(dim)),
+                 0.5 + rng.nextDouble()});
+        }
+    }
+    return CsrMatrix(dim, dim, std::move(entries));
+}
+
+} // namespace
+
+CsrMatrix
+generateMatrix(const MatrixInfo &info, double scale, std::uint64_t seed)
+{
+    fatalIf(scale <= 0.0 || scale > 1.0, "matrix scale must be in (0,1]");
+    Rng rng(seed ? seed : 0x5b17 + static_cast<std::uint64_t>(info.id));
+
+    auto dim = static_cast<std::int32_t>(
+        static_cast<double>(info.paperDimension) * scale);
+    dim = std::max(roundUp(dim, 24), 48);
+    const auto target_nnz = static_cast<std::uint64_t>(
+        static_cast<double>(info.paperNnz) * scale);
+
+    switch (info.structure) {
+      case MatStructure::FemBlocked:
+        return generateFem(info, dim, target_nnz, rng);
+      case MatStructure::Banded:
+        return generateBanded(info, dim, target_nnz, rng);
+      case MatStructure::Irregular:
+        return generateIrregular(info, dim, target_nnz, rng);
+    }
+    fatal("unknown matrix structure");
+}
+
+} // namespace hwsw::spmv

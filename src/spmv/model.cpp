@@ -1,0 +1,149 @@
+#include "spmv/model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+SpmvSample
+SpmvSample::make(const BcsrStructure &mat, const SpmvCacheConfig &cfg,
+                 const SpmvResult &res)
+{
+    SpmvSample s;
+    s.brow = mat.br;
+    s.bcol = mat.bc;
+    s.fill = mat.fillRatio();
+    s.cache = cfg.features();
+    s.mflops = res.mflops;
+    s.powerW = res.powerW;
+    s.nJPerFlop = res.nJPerFlop;
+    return s;
+}
+
+namespace {
+
+/**
+ * Fixed domain-specific design: compact polynomial terms on the three
+ * semantic software parameters, linear/quadratic terms on the cache
+ * parameters, and the hardware-software interactions Section 5.2
+ * identifies (fill vs. line size and capacity, block shape vs. line).
+ */
+constexpr std::size_t kColumns = 27;
+
+} // namespace
+
+std::size_t
+SpmvModel::numColumns()
+{
+    return kColumns;
+}
+
+void
+SpmvModel::fillRow(const SpmvSample &s, std::span<double> row)
+{
+    panicIf(row.size() != kColumns, "SpmvModel row size mismatch");
+    const double r = s.brow / 8.0;
+    const double c = s.bcol / 8.0;
+    const double f = s.fill - 1.0; // 0 when no padding
+    const double line = s.cache[0] / 7.0;  // log2(lineBytes) scaled
+    const double dsz = s.cache[1] / 8.0;   // log2(dsizeKB) scaled
+    const double dwy = s.cache[2] / 3.0;
+    const double drp = s.cache[3] / 2.0;
+    const double isz = s.cache[4] / 7.0;
+    const double iwy = s.cache[5] / 3.0;
+    const double irp = s.cache[6] / 2.0;
+
+    std::size_t i = 0;
+    row[i++] = 1.0;
+    row[i++] = r;
+    row[i++] = r * r;
+    row[i++] = r * r * r;
+    row[i++] = c;
+    row[i++] = c * c;
+    row[i++] = c * c * c;
+    row[i++] = f;
+    row[i++] = f * f;
+    row[i++] = r * c;       // block area
+    row[i++] = r * c * r * c;
+    row[i++] = line;
+    row[i++] = line * line;
+    row[i++] = dsz;
+    row[i++] = dsz * dsz;
+    row[i++] = dwy;
+    row[i++] = drp;
+    row[i++] = isz;
+    row[i++] = iwy;
+    row[i++] = irp;
+    // Hardware-software interactions (Section 5.2).
+    row[i++] = f * line;
+    row[i++] = f * dsz;
+    row[i++] = r * line;
+    row[i++] = c * line;
+    row[i++] = line * dsz;
+    row[i++] = dsz * dwy;
+    row[i++] = r * c * line;
+    panicIf(i != kColumns, "SpmvModel column count mismatch");
+}
+
+double
+SpmvModel::targetOf(const SpmvSample &s) const
+{
+    switch (target_) {
+      case SpmvTarget::Mflops:
+        return std::log(std::max(s.mflops, 1e-6));
+      case SpmvTarget::Power:
+        return std::log(std::max(s.powerW, 1e-9));
+      case SpmvTarget::Energy:
+        return std::log(std::max(s.nJPerFlop, 1e-9));
+    }
+    return 0.0;
+}
+
+void
+SpmvModel::fit(std::span<const SpmvSample> samples)
+{
+    fatalIf(samples.size() < 30,
+            "SpmvModel::fit needs at least 30 samples");
+    stats::Matrix X(samples.size(), kColumns);
+    std::vector<double> z(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        fillRow(samples[i], X.row(i));
+        z[i] = targetOf(samples[i]);
+    }
+    lm_.fit(X, z);
+    fitted_ = true;
+}
+
+double
+SpmvModel::predict(const SpmvSample &s) const
+{
+    panicIf(!fitted_, "SpmvModel::predict before fit");
+    std::vector<double> row(kColumns);
+    fillRow(s, row);
+    return std::exp(lm_.predictRow(row));
+}
+
+stats::FitMetrics
+SpmvModel::validate(std::span<const SpmvSample> samples) const
+{
+    panicIf(!fitted_, "SpmvModel::validate before fit");
+    std::vector<double> pred(samples.size()), truth(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        pred[i] = predict(samples[i]);
+        switch (target_) {
+          case SpmvTarget::Mflops:
+            truth[i] = samples[i].mflops;
+            break;
+          case SpmvTarget::Power:
+            truth[i] = samples[i].powerW;
+            break;
+          case SpmvTarget::Energy:
+            truth[i] = samples[i].nJPerFlop;
+            break;
+        }
+    }
+    return stats::evaluatePredictions(pred, truth);
+}
+
+} // namespace hwsw::spmv

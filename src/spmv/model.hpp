@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Domain-specific SpMV performance and power models (Section 5.3).
+ *
+ * Instead of instruction-level characteristics, the model uses three
+ * semantic software parameters -- block rows, block columns, and the
+ * fill ratio -- plus the seven Table 5 cache parameters. Fill ratio
+ * directly encodes the matrix/block-size match, which is what makes
+ * the highly irregular blocking topology (Figure 15) learnable by a
+ * compact regression: fewer, semantic-rich parameters to greater
+ * effect. The model is fit per matrix on sparse random samples of
+ * the integrated block-size x cache space.
+ */
+
+#ifndef HWSW_SPMV_MODEL_HPP
+#define HWSW_SPMV_MODEL_HPP
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "spmv/exec.hpp"
+#include "spmv/machine.hpp"
+#include "stats/linear_model.hpp"
+
+namespace hwsw::spmv {
+
+/** One sample of the integrated SpMV-cache space. */
+struct SpmvSample
+{
+    double brow = 1;  ///< x1: block rows
+    double bcol = 1;  ///< x2: block columns
+    double fill = 1;  ///< x3: fill ratio for (brow, bcol, matrix)
+    std::array<double, kNumCacheFeatures> cache{}; ///< y1..y7
+
+    double mflops = 0; ///< measured true Mflop/s
+    double powerW = 0; ///< measured power
+    double nJPerFlop = 0;
+
+    /** Assemble from a blocking variant, a config, and a result. */
+    static SpmvSample make(const BcsrStructure &mat,
+                           const SpmvCacheConfig &cfg,
+                           const SpmvResult &res);
+};
+
+/** Quantity a model predicts. */
+enum class SpmvTarget
+{
+    Mflops,
+    Power,
+    Energy, ///< nJ per true flop
+};
+
+/** Per-matrix regression over (brow, bcol, fill, cache params). */
+class SpmvModel
+{
+  public:
+    explicit SpmvModel(SpmvTarget target = SpmvTarget::Mflops)
+        : target_(target)
+    {}
+
+    /** Fit on training samples. @pre samples.size() >= 30. */
+    void fit(std::span<const SpmvSample> samples);
+
+    bool fitted() const { return fitted_; }
+
+    /** Predict the target for a sample's inputs. */
+    double predict(const SpmvSample &s) const;
+
+    /** Error/correlation metrics over validation samples. */
+    stats::FitMetrics validate(
+        std::span<const SpmvSample> samples) const;
+
+    SpmvTarget target() const { return target_; }
+
+    /** Number of design-matrix columns (model complexity). */
+    static std::size_t numColumns();
+
+  private:
+    static void fillRow(const SpmvSample &s, std::span<double> row);
+    double targetOf(const SpmvSample &s) const;
+
+    SpmvTarget target_;
+    stats::LinearModel lm_;
+    bool fitted_ = false;
+};
+
+} // namespace hwsw::spmv
+
+#endif // HWSW_SPMV_MODEL_HPP

@@ -1,0 +1,174 @@
+#include "spmv/tuner.hpp"
+
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+
+std::vector<SpmvSample>
+sampleSpmvSpace(const CsrMatrix &matrix, std::size_t count,
+                std::uint64_t seed, const SimOptions &sim)
+{
+    std::vector<BcsrStructure> variants;
+    variants.reserve(kMaxBlockDim * kMaxBlockDim);
+    for (std::int32_t br = 1; br <= kMaxBlockDim; ++br)
+        for (std::int32_t bc = 1; bc <= kMaxBlockDim; ++bc)
+            variants.push_back(BcsrStructure::fromCsr(matrix, br, bc));
+
+    Rng rng(seed);
+    std::vector<SpmvSample> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t v = rng.nextInt(variants.size());
+        const SpmvCacheConfig cache = SpmvCacheConfig::randomSample(rng);
+        const SpmvResult res = simulateSpmv(variants[v], cache, sim);
+        samples.push_back(SpmvSample::make(variants[v], cache, res));
+    }
+    return samples;
+}
+
+CoordinatedTuner::CoordinatedTuner(const CsrMatrix &matrix,
+                                   TunerOptions opts)
+    : opts_(opts)
+{
+    variants_.reserve(kMaxBlockDim * kMaxBlockDim);
+    for (std::int32_t br = 1; br <= kMaxBlockDim; ++br)
+        for (std::int32_t bc = 1; bc <= kMaxBlockDim; ++bc)
+            variants_.push_back(BcsrStructure::fromCsr(matrix, br, bc));
+
+    const std::vector<SpmvSample> train =
+        sampleSpace(opts_.trainingSamples, opts_.seed);
+    perfModel_.fit(train);
+    const std::vector<SpmvSample> validation =
+        sampleSpace(opts_.validationSamples, opts_.seed + 1);
+    modelMetrics_ = perfModel_.validate(validation);
+}
+
+const BcsrStructure &
+CoordinatedTuner::variant(std::int32_t br, std::int32_t bc) const
+{
+    fatalIf(br < 1 || br > kMaxBlockDim || bc < 1 || bc > kMaxBlockDim,
+            "block size out of range");
+    return variants_[static_cast<std::size_t>(br - 1) * kMaxBlockDim +
+                     static_cast<std::size_t>(bc - 1)];
+}
+
+SpmvResult
+CoordinatedTuner::simulate(std::int32_t br, std::int32_t bc,
+                           const SpmvCacheConfig &cache) const
+{
+    return simulateSpmv(variant(br, bc), cache, opts_.sim);
+}
+
+std::vector<SpmvSample>
+CoordinatedTuner::sampleSpace(std::size_t count,
+                              std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<SpmvSample> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto br = static_cast<std::int32_t>(
+            1 + rng.nextInt(kMaxBlockDim));
+        const auto bc = static_cast<std::int32_t>(
+            1 + rng.nextInt(kMaxBlockDim));
+        const SpmvCacheConfig cache =
+            SpmvCacheConfig::randomSample(rng);
+        const SpmvResult res = simulate(br, bc, cache);
+        samples.push_back(SpmvSample::make(variant(br, bc), cache, res));
+    }
+    return samples;
+}
+
+TunePoint
+CoordinatedTuner::measure(std::int32_t br, std::int32_t bc,
+                          const SpmvCacheConfig &cache) const
+{
+    const SpmvResult res = simulate(br, bc, cache);
+    TunePoint p;
+    p.br = br;
+    p.bc = bc;
+    p.cache = cache;
+    p.mflops = res.mflops;
+    p.nJPerFlop = res.nJPerFlop;
+    return p;
+}
+
+TuneOutcome
+CoordinatedTuner::tune()
+{
+    TuneOutcome out;
+    out.modelMetrics = modelMetrics_;
+    out.baseline = measure(1, 1, opts_.baseline);
+
+    auto predicted = [&](std::int32_t br, std::int32_t bc,
+                         const SpmvCacheConfig &cache) {
+        SpmvSample s;
+        s.brow = br;
+        s.bcol = bc;
+        s.fill = variant(br, bc).fillRatio();
+        s.cache = cache.features();
+        return perfModel_.predict(s);
+    };
+
+    // Application tuning: best block size at the baseline cache.
+    {
+        std::int32_t best_br = 1, best_bc = 1;
+        double best = -1.0;
+        for (std::int32_t br = 1; br <= kMaxBlockDim; ++br) {
+            for (std::int32_t bc = 1; bc <= kMaxBlockDim; ++bc) {
+                const double p = predicted(br, bc, opts_.baseline);
+                if (p > best) {
+                    best = p;
+                    best_br = br;
+                    best_bc = bc;
+                }
+            }
+        }
+        out.appTuned = measure(best_br, best_bc, opts_.baseline);
+    }
+
+    // Architecture tuning: best cache for unblocked code, and the
+    // coordinated search over the integrated space, share one sweep
+    // of the Table 5 grid.
+    SpmvCacheConfig best_arch = opts_.baseline;
+    double best_arch_pred = -1.0;
+    std::int32_t coord_br = 1, coord_bc = 1;
+    SpmvCacheConfig coord_cache = opts_.baseline;
+    double best_coord_pred = -1.0;
+
+    const auto &levels = SpmvCacheConfig::levelsPerDim();
+    std::array<int, kNumCacheFeatures> idx{};
+    for (;;) {
+        const SpmvCacheConfig cache = SpmvCacheConfig::fromIndices(idx);
+        const double p11 = predicted(1, 1, cache);
+        if (p11 > best_arch_pred) {
+            best_arch_pred = p11;
+            best_arch = cache;
+        }
+        for (std::int32_t br = 1; br <= kMaxBlockDim; ++br) {
+            for (std::int32_t bc = 1; bc <= kMaxBlockDim; ++bc) {
+                const double p = predicted(br, bc, cache);
+                if (p > best_coord_pred) {
+                    best_coord_pred = p;
+                    coord_br = br;
+                    coord_bc = bc;
+                    coord_cache = cache;
+                }
+            }
+        }
+        // Odometer over the grid.
+        std::size_t d = 0;
+        while (d < kNumCacheFeatures && ++idx[d] == levels[d]) {
+            idx[d] = 0;
+            ++d;
+        }
+        if (d == kNumCacheFeatures)
+            break;
+    }
+
+    out.archTuned = measure(1, 1, best_arch);
+    out.coordinated = measure(coord_br, coord_bc, coord_cache);
+    return out;
+}
+
+} // namespace hwsw::spmv

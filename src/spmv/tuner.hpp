@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Coordinated hardware-software tuning for SpMV (Section 5.3,
+ * Figure 16).
+ *
+ * Application tuning picks the best matrix block size for a fixed
+ * cache; architecture tuning picks the best cache for unblocked code;
+ * coordinated tuning searches the integrated space. All three
+ * searches rank candidates with the inferred model (that is the
+ * tractability argument of the paper -- no exhaustive profiling) and
+ * validate the chosen points with the simulator.
+ */
+
+#ifndef HWSW_SPMV_TUNER_HPP
+#define HWSW_SPMV_TUNER_HPP
+
+#include <vector>
+
+#include "spmv/csr.hpp"
+#include "spmv/model.hpp"
+
+namespace hwsw::spmv {
+
+/** Largest block dimension explored (8 x 8, per the paper). */
+inline constexpr std::int32_t kMaxBlockDim = 8;
+
+/** Tuner knobs. */
+struct TunerOptions
+{
+    /** Fixed cache for the application-tuning-only scenario. */
+    SpmvCacheConfig baseline{
+        .lineBytes = 16, .dsizeKB = 16, .dways = 2,
+        .drepl = uarch::ReplPolicy::LRU,
+        .isizeKB = 8, .iways = 2,
+        .irepl = uarch::ReplPolicy::LRU,
+    };
+
+    std::size_t trainingSamples = 400;
+    std::size_t validationSamples = 100;
+    SimOptions sim{.maxAccesses = 200 * 1000, .seed = 11};
+    std::uint64_t seed = 21;
+};
+
+/** One tuned operating point with measured outcomes. */
+struct TunePoint
+{
+    std::int32_t br = 1;
+    std::int32_t bc = 1;
+    SpmvCacheConfig cache;
+    double mflops = 0;
+    double nJPerFlop = 0;
+};
+
+/** Outcome of the three tuning strategies against the baseline. */
+struct TuneOutcome
+{
+    TunePoint baseline;
+    TunePoint appTuned;   ///< best block size, baseline cache
+    TunePoint archTuned;  ///< unblocked code, best cache
+    TunePoint coordinated; ///< best of the integrated space
+
+    /** Validation metrics of the model used for ranking. */
+    stats::FitMetrics modelMetrics;
+};
+
+/**
+ * Sample the integrated block-size x cache space of a matrix without
+ * constructing a tuner: random (block size, cache) points, each
+ * measured by the simulator. Used by the figure harnesses.
+ */
+std::vector<SpmvSample> sampleSpmvSpace(const CsrMatrix &matrix,
+                                        std::size_t count,
+                                        std::uint64_t seed,
+                                        const SimOptions &sim = {});
+
+/** Precomputes blocking variants, fits models, runs the searches. */
+class CoordinatedTuner
+{
+  public:
+    CoordinatedTuner(const CsrMatrix &matrix, TunerOptions opts = {});
+
+    /** The blocking variant for a block size. @pre 1 <= br,bc <= 8. */
+    const BcsrStructure &variant(std::int32_t br, std::int32_t bc) const;
+
+    /** Ground-truth simulation of one operating point. */
+    SpmvResult simulate(std::int32_t br, std::int32_t bc,
+                        const SpmvCacheConfig &cache) const;
+
+    /** Draw random samples of the integrated space and measure them. */
+    std::vector<SpmvSample> sampleSpace(std::size_t count,
+                                        std::uint64_t seed) const;
+
+    /** Run the three strategies. */
+    TuneOutcome tune();
+
+    const SpmvModel &perfModel() const { return perfModel_; }
+
+  private:
+    TunePoint measure(std::int32_t br, std::int32_t bc,
+                      const SpmvCacheConfig &cache) const;
+
+    TunerOptions opts_;
+    std::vector<BcsrStructure> variants_; // 8x8 grid, row-major
+    SpmvModel perfModel_{SpmvTarget::Mflops};
+    stats::FitMetrics modelMetrics_;
+};
+
+} // namespace hwsw::spmv
+
+#endif // HWSW_SPMV_TUNER_HPP

@@ -1,0 +1,105 @@
+#include "stats/linear_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/descriptive.hpp"
+
+namespace hwsw::stats {
+
+std::vector<double>
+absPctErrors(std::span<const double> pred, std::span<const double> truth)
+{
+    panicIf(pred.size() != truth.size(), "absPctErrors size mismatch");
+    std::vector<double> errs(pred.size());
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        panicIf(truth[i] == 0.0, "absPctErrors: zero ground truth");
+        errs[i] = std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    }
+    return errs;
+}
+
+FitMetrics
+evaluatePredictions(std::span<const double> pred,
+                    std::span<const double> truth)
+{
+    panicIf(pred.size() != truth.size(),
+            "evaluatePredictions size mismatch");
+    panicIf(pred.size() < 2, "evaluatePredictions needs >= 2 samples");
+
+    FitMetrics m;
+    const std::vector<double> errs = absPctErrors(pred, truth);
+    m.medianAbsPctError = median(errs);
+    m.meanAbsPctError = mean(errs);
+    m.maxAbsPctError = *std::max_element(errs.begin(), errs.end());
+    m.pearson = pearson(pred, truth);
+    m.spearman = spearman(pred, truth);
+
+    const double mu = mean(truth);
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+        ssTot += (truth[i] - mu) * (truth[i] - mu);
+    }
+    m.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 0.0;
+    return m;
+}
+
+void
+LinearModel::fit(const Matrix &X, std::span<const double> z)
+{
+    LstsqResult res = lstsq(X, z);
+    coeffs_ = std::move(res.coeffs);
+    dropped_ = std::move(res.dropped);
+    rank_ = res.rank;
+    fitted_ = true;
+}
+
+void
+LinearModel::fit(const Matrix &X, std::span<const double> z,
+                 std::span<const double> w)
+{
+    LstsqResult res = weightedLstsq(X, z, w);
+    coeffs_ = std::move(res.coeffs);
+    dropped_ = std::move(res.dropped);
+    rank_ = res.rank;
+    fitted_ = true;
+}
+
+double
+LinearModel::predictRow(std::span<const double> row) const
+{
+    panicIf(!fitted_, "LinearModel::predictRow before fit");
+    panicIf(row.size() != coeffs_.size(),
+            "LinearModel::predictRow size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i)
+        acc += row[i] * coeffs_[i];
+    return acc;
+}
+
+std::vector<double>
+LinearModel::predict(const Matrix &X) const
+{
+    panicIf(!fitted_, "LinearModel::predict before fit");
+    return X.apply(coeffs_);
+}
+
+void
+LinearModel::setCoefficients(std::vector<double> coeffs)
+{
+    fatalIf(coeffs.empty(), "setCoefficients needs coefficients");
+    coeffs_ = std::move(coeffs);
+    dropped_.clear();
+    rank_ = coeffs_.size();
+    fitted_ = true;
+}
+
+const std::vector<std::size_t> &
+LinearModel::droppedColumns() const
+{
+    return dropped_;
+}
+
+} // namespace hwsw::stats

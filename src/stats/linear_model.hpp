@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fitted linear model over an arbitrary design matrix, plus the
+ * accuracy metrics the paper reports: absolute percentage error
+ * distributions (Figures 7, 10, 14) and predicted-vs-true correlation
+ * coefficients (Figure 8).
+ */
+
+#ifndef HWSW_STATS_LINEAR_MODEL_HPP
+#define HWSW_STATS_LINEAR_MODEL_HPP
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hpp"
+#include "stats/qr.hpp"
+
+namespace hwsw::stats {
+
+/** Accuracy metrics for a set of predictions against ground truth. */
+struct FitMetrics
+{
+    double medianAbsPctError = 0.0; ///< median |pred-true|/true
+    double meanAbsPctError = 0.0;   ///< mean |pred-true|/true
+    double maxAbsPctError = 0.0;    ///< worst-case error
+    double pearson = 0.0;           ///< linear correlation
+    double spearman = 0.0;          ///< rank correlation (paper's rho)
+    double r2 = 0.0;                ///< coefficient of determination
+};
+
+/** Per-observation absolute percentage errors. @pre truth[i] != 0. */
+std::vector<double> absPctErrors(std::span<const double> pred,
+                                 std::span<const double> truth);
+
+/** Metrics over predictions and ground truth of equal size >= 2. */
+FitMetrics evaluatePredictions(std::span<const double> pred,
+                               std::span<const double> truth);
+
+/**
+ * Ordinary/weighted least-squares linear model. The design matrix is
+ * produced elsewhere (core::DesignBuilder applies the specification's
+ * transformations); this class owns only coefficients and metadata.
+ */
+class LinearModel
+{
+  public:
+    /** Fit by OLS. @pre X.rows() == z.size() > 0. */
+    void fit(const Matrix &X, std::span<const double> z);
+
+    /** Fit by WLS with non-negative per-row weights. */
+    void fit(const Matrix &X, std::span<const double> z,
+             std::span<const double> w);
+
+    /** Predict one observation. @pre row.size() == #coefficients. */
+    double predictRow(std::span<const double> row) const;
+
+    /** Predict every row of X. */
+    std::vector<double> predict(const Matrix &X) const;
+
+    bool fitted() const { return fitted_; }
+    const std::vector<double> &coeffs() const { return coeffs_; }
+
+    /**
+     * Install externally supplied coefficients (deserialization);
+     * marks the model fitted with no dropped-column metadata.
+     */
+    void setCoefficients(std::vector<double> coeffs);
+    const std::vector<std::size_t> &droppedColumns() const;
+    std::size_t rank() const { return rank_; }
+
+  private:
+    std::vector<double> coeffs_;
+    std::vector<std::size_t> dropped_;
+    std::size_t rank_ = 0;
+    bool fitted_ = false;
+};
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_LINEAR_MODEL_HPP

@@ -1,0 +1,126 @@
+#include "stats/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto &r : rows) {
+        fatalIf(r.size() != cols_, "Matrix initializer rows must be equal");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+std::span<double>
+Matrix::row(std::size_t r)
+{
+    panicIf(r >= rows_, "Matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double>
+Matrix::row(std::size_t r) const
+{
+    panicIf(r >= rows_, "Matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    panicIf(c >= cols_, "Matrix column out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = data_[r * cols_ + c];
+    return out;
+}
+
+std::vector<double>
+Matrix::apply(std::span<const double> x) const
+{
+    panicIf(x.size() != cols_, "Matrix::apply size mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double *row = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += row[c] * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    panicIf(cols_ != other.rows_, "Matrix::multiply shape mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double v = data_[r * cols_ + k];
+            if (v == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += v * other(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = data_[r * cols_ + c];
+    return out;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out(i, i) = 1.0;
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    panicIf(rows_ != other.rows_ || cols_ != other.cols_,
+            "Matrix::maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+} // namespace hwsw::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dense row-major matrix of doubles, sized for regression design
+ * matrices (hundreds of rows, tens of columns). Only the operations
+ * the regression stack needs are provided.
+ */
+
+#ifndef HWSW_STATS_MATRIX_HPP
+#define HWSW_STATS_MATRIX_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace hwsw::stats {
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer lists; rows must be equal size. */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Contiguous view of row r. */
+    std::span<double> row(std::size_t r);
+    std::span<const double> row(std::size_t r) const;
+
+    /** Copy of column c. */
+    std::vector<double> col(std::size_t c) const;
+
+    /** Matrix-vector product. @pre x.size() == cols(). */
+    std::vector<double> apply(std::span<const double> x) const;
+
+    /** Matrix-matrix product. @pre cols() == other.rows(). */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Identity matrix. */
+    static Matrix identity(std::size_t n);
+
+    /** Max absolute element difference; matrices must be same shape. */
+    double maxAbsDiff(const Matrix &other) const;
+
+    /**
+     * Raw row-major storage for performance-critical kernels (the QR
+     * factorization); element (r, c) lives at data()[r * cols() + c].
+     */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_MATRIX_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Least-squares solver built on Householder QR with column pivoting.
+ *
+ * Column pivoting matters for this library: software characteristics
+ * are often collinear (Section 3.1 of the paper gives temporal vs.
+ * spatial locality as an example), and a plain normal-equations solve
+ * would fail or produce wild coefficients. Rank-deficient columns are
+ * detected and dropped, and the caller is told which ones so the
+ * modeling heuristic can penalize or repair the specification.
+ */
+
+#ifndef HWSW_STATS_QR_HPP
+#define HWSW_STATS_QR_HPP
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace hwsw::stats {
+
+/** Outcome of a least-squares fit. */
+struct LstsqResult
+{
+    /** One coefficient per input column; dropped columns get 0. */
+    std::vector<double> coeffs;
+
+    /** Indices of columns dropped as (near-)collinear. */
+    std::vector<std::size_t> dropped;
+
+    /** Numerical rank of the design matrix. */
+    std::size_t rank = 0;
+
+    /** Euclidean norm of the residual z - X b. */
+    double residualNorm = 0.0;
+};
+
+/**
+ * Solve min_b ||X b - z||_2 + ridge ||b||_2 with automatic
+ * collinearity elimination.
+ *
+ * @param X design matrix (rows = observations, cols = terms).
+ * @param z observations; z.size() must equal X.rows().
+ * @param rcond relative diagonal threshold below which a pivoted
+ *        column is considered linearly dependent and dropped.
+ * @param ridge L2 penalty (Tikhonov) keeping near-collinear columns
+ *        from producing huge cancelling coefficients that explode
+ *        when a model extrapolates to new software behavior. Zero
+ *        disables it.
+ */
+LstsqResult lstsq(const Matrix &X, std::span<const double> z,
+                  double rcond = 1e-10, double ridge = 1e-4);
+
+/**
+ * Weighted least squares: minimizes sum_i w_i (x_i'b - z_i)^2.
+ * Used by the model-update path, which weights profiles of a newly
+ * observed application more heavily (Section 3.3).
+ *
+ * @param w non-negative observation weights, one per row.
+ */
+LstsqResult weightedLstsq(const Matrix &X, std::span<const double> z,
+                          std::span<const double> w,
+                          double rcond = 1e-10, double ridge = 1e-4);
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_QR_HPP

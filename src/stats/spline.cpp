@@ -1,0 +1,106 @@
+#include "stats/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/descriptive.hpp"
+
+namespace hwsw::stats {
+
+namespace {
+
+/** Positive part cubed: max(x, 0)^3. */
+double
+cube_plus(double x)
+{
+    return x > 0.0 ? x * x * x : 0.0;
+}
+
+/**
+ * Knots at interior quantiles. When the sample has few distinct
+ * values, coincident knots are nudged apart so the basis stays
+ * well defined; fully degenerate samples get evenly spaced knots.
+ */
+std::vector<double>
+quantileKnots(std::span<const double> xs, std::size_t num_knots)
+{
+    fatalIf(num_knots == 0, "spline needs at least one knot");
+    std::vector<double> knots(num_knots);
+    for (std::size_t i = 0; i < num_knots; ++i) {
+        const double q = static_cast<double>(i + 1) /
+            static_cast<double>(num_knots + 1);
+        knots[i] = hwsw::quantile(xs, q);
+    }
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    const double span = std::max(*mx - *mn, 1e-9);
+    for (std::size_t i = 1; i < num_knots; ++i) {
+        if (knots[i] <= knots[i - 1])
+            knots[i] = knots[i - 1] + 1e-3 * span;
+    }
+    return knots;
+}
+
+} // namespace
+
+TruncatedCubicSpline::TruncatedCubicSpline(std::vector<double> knots)
+    : knots_(std::move(knots))
+{
+    fatalIf(knots_.empty(), "TruncatedCubicSpline needs knots");
+    fatalIf(!std::is_sorted(knots_.begin(), knots_.end()),
+            "spline knots must be increasing");
+}
+
+TruncatedCubicSpline
+TruncatedCubicSpline::fromQuantiles(std::span<const double> xs,
+                                    std::size_t num_knots)
+{
+    return TruncatedCubicSpline(quantileKnots(xs, num_knots));
+}
+
+void
+TruncatedCubicSpline::eval(double x, std::span<double> out) const
+{
+    panicIf(out.size() != numTerms(), "spline eval output size mismatch");
+    out[0] = x;
+    out[1] = x * x;
+    out[2] = x * x * x;
+    for (std::size_t i = 0; i < knots_.size(); ++i)
+        out[3 + i] = cube_plus(x - knots_[i]);
+}
+
+RestrictedCubicSpline::RestrictedCubicSpline(std::vector<double> knots)
+    : knots_(std::move(knots))
+{
+    fatalIf(knots_.size() < 3, "RestrictedCubicSpline needs >= 3 knots");
+    fatalIf(!std::is_sorted(knots_.begin(), knots_.end()),
+            "spline knots must be increasing");
+}
+
+RestrictedCubicSpline
+RestrictedCubicSpline::fromQuantiles(std::span<const double> xs,
+                                     std::size_t num_knots)
+{
+    fatalIf(num_knots < 3, "RestrictedCubicSpline needs >= 3 knots");
+    return RestrictedCubicSpline(quantileKnots(xs, num_knots));
+}
+
+void
+RestrictedCubicSpline::eval(double x, std::span<double> out) const
+{
+    panicIf(out.size() != numTerms(), "spline eval output size mismatch");
+    const std::size_t k = knots_.size();
+    const double tk = knots_[k - 1];
+    const double tk1 = knots_[k - 2];
+    const double scale = (tk - knots_[0]) * (tk - knots_[0]);
+    out[0] = x;
+    for (std::size_t j = 0; j < k - 2; ++j) {
+        const double tj = knots_[j];
+        double term = cube_plus(x - tj);
+        term -= cube_plus(x - tk1) * (tk - tj) / (tk - tk1);
+        term += cube_plus(x - tk) * (tk1 - tj) / (tk - tk1);
+        out[1 + j] = term / scale;
+    }
+}
+
+} // namespace hwsw::stats

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cubic spline bases for non-linear regression terms.
+ *
+ * The paper's most flexible per-variable transformation is a
+ * piecewise cubic with three inflection points (Section 3.1):
+ *
+ *   S(x) = b0 + b1 x + b2 x^2 + b3 x^3
+ *        + b4 (x-a)^3_+ + b5 (x-b)^3_+ + b6 (x-c)^3_+
+ *
+ * TruncatedCubicSpline implements exactly that basis. A restricted
+ * (natural) cubic spline basis, which is linear beyond the boundary
+ * knots and numerically better behaved [Harrell 2001], is provided as
+ * an alternative.
+ */
+
+#ifndef HWSW_STATS_SPLINE_HPP
+#define HWSW_STATS_SPLINE_HPP
+
+#include <span>
+#include <vector>
+
+namespace hwsw::stats {
+
+/**
+ * Truncated power basis cubic spline: terms x, x^2, x^3 and
+ * (x - k_i)^3_+ for each knot. The intercept is contributed by the
+ * enclosing design matrix, not the basis.
+ */
+class TruncatedCubicSpline
+{
+  public:
+    /** @param knots strictly increasing interior knots. */
+    explicit TruncatedCubicSpline(std::vector<double> knots);
+
+    /** Knots at evenly spaced interior quantiles of the sample. */
+    static TruncatedCubicSpline fromQuantiles(
+        std::span<const double> xs, std::size_t num_knots = 3);
+
+    /** Number of basis terms: 3 + #knots. */
+    std::size_t numTerms() const { return 3 + knots_.size(); }
+
+    /** Evaluate all terms at x. @pre out.size() == numTerms(). */
+    void eval(double x, std::span<double> out) const;
+
+    const std::vector<double> &knots() const { return knots_; }
+
+  private:
+    std::vector<double> knots_;
+};
+
+/**
+ * Restricted (natural) cubic spline basis with k knots and k-1 terms:
+ * x plus k-2 non-linear terms; linear beyond the boundary knots.
+ */
+class RestrictedCubicSpline
+{
+  public:
+    /** @param knots strictly increasing knots; at least 3. */
+    explicit RestrictedCubicSpline(std::vector<double> knots);
+
+    static RestrictedCubicSpline fromQuantiles(
+        std::span<const double> xs, std::size_t num_knots = 5);
+
+    /** Number of basis terms: #knots - 1. */
+    std::size_t numTerms() const { return knots_.size() - 1; }
+
+    void eval(double x, std::span<double> out) const;
+
+    const std::vector<double> &knots() const { return knots_; }
+
+  private:
+    std::vector<double> knots_;
+};
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_SPLINE_HPP

@@ -1,0 +1,87 @@
+#include "stats/transform.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/descriptive.hpp"
+
+namespace hwsw::stats {
+
+double
+Stabilizer::apply(double x) const
+{
+    if (x < 0.0)
+        x = 0.0;
+    switch (power_) {
+      case Power::Identity:
+        return x;
+      case Power::Sqrt:
+        return std::sqrt(x);
+      case Power::CubeRoot:
+        return std::cbrt(x);
+      case Power::FourthRoot:
+        return std::sqrt(std::sqrt(x));
+      case Power::FifthRoot:
+        return std::pow(x, 0.2);
+      case Power::Log1p:
+        return std::log1p(x);
+    }
+    return x;
+}
+
+std::string
+Stabilizer::name() const
+{
+    switch (power_) {
+      case Power::Identity:
+        return "x";
+      case Power::Sqrt:
+        return "x^(1/2)";
+      case Power::CubeRoot:
+        return "x^(1/3)";
+      case Power::FourthRoot:
+        return "x^(1/4)";
+      case Power::FifthRoot:
+        return "x^(1/5)";
+      case Power::Log1p:
+        return "log(1+x)";
+    }
+    return "?";
+}
+
+double
+transformedSkewness(std::span<const double> xs, const Stabilizer &s)
+{
+    std::vector<double> t(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        t[i] = s.apply(xs[i]);
+    return skewness(t);
+}
+
+Stabilizer
+chooseStabilizer(std::span<const double> xs)
+{
+    if (xs.size() < 3)
+        return Stabilizer(Power::Identity);
+
+    static constexpr std::array<Power, 6> ladder = {
+        Power::Identity, Power::Sqrt, Power::CubeRoot,
+        Power::FourthRoot, Power::FifthRoot, Power::Log1p,
+    };
+
+    Power best = Power::Identity;
+    double bestScore = std::abs(transformedSkewness(
+        xs, Stabilizer(Power::Identity)));
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        const double score = std::abs(transformedSkewness(
+            xs, Stabilizer(ladder[i])));
+        if (score < bestScore) {
+            bestScore = score;
+            best = ladder[i];
+        }
+    }
+    return Stabilizer(best);
+}
+
+} // namespace hwsw::stats

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Variance-stabilizing power transformations.
+ *
+ * Software characteristics have long right tails (Figure 3(a) in the
+ * paper): most shards report small re-use distance sums while a few
+ * report values an order of magnitude larger. Such heteroscedasticity
+ * breaks regression assumptions, so variables enter the model as
+ * x^(1/n) or log(1+x). The paper picks the exponent with a power
+ * "ladder" (Stata's ladder command); chooseStabilizer() reproduces
+ * that by minimizing the absolute skewness of the transformed sample.
+ */
+
+#ifndef HWSW_STATS_TRANSFORM_HPP
+#define HWSW_STATS_TRANSFORM_HPP
+
+#include <span>
+#include <string>
+
+namespace hwsw::stats {
+
+/** Rungs of the power ladder for non-negative data. */
+enum class Power
+{
+    Identity,   ///< x
+    Sqrt,       ///< x^(1/2)
+    CubeRoot,   ///< x^(1/3)
+    FourthRoot, ///< x^(1/4)
+    FifthRoot,  ///< x^(1/5) -- the transform of Figure 3(b)
+    Log1p,      ///< log(1 + x)
+};
+
+/** A chosen variance-stabilizing transformation. */
+class Stabilizer
+{
+  public:
+    explicit Stabilizer(Power p = Power::Identity) : power_(p) {}
+
+    /** Apply to one value; negative inputs are clamped to zero. */
+    double apply(double x) const;
+
+    Power power() const { return power_; }
+
+    /** Human-readable name, e.g. "x^(1/5)". */
+    std::string name() const;
+
+  private:
+    Power power_;
+};
+
+/**
+ * Pick the ladder rung minimizing |skewness| of the transformed
+ * sample. Ties and degenerate samples fall back to Identity.
+ */
+Stabilizer chooseStabilizer(std::span<const double> xs);
+
+/** Skewness of the sample after applying the given stabilizer. */
+double transformedSkewness(std::span<const double> xs,
+                           const Stabilizer &s);
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_TRANSFORM_HPP

@@ -1,0 +1,106 @@
+#include "uarch/cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace hwsw::uarch {
+
+Cache::Cache(const CacheConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    fatalIf(cfg_.lineBytes == 0 || !std::has_single_bit(
+                static_cast<std::uint64_t>(cfg_.lineBytes)),
+            "cache line size must be a power of two");
+    fatalIf(cfg_.ways == 0, "cache needs at least one way");
+    const std::uint64_t line_capacity = cfg_.sizeBytes / cfg_.lineBytes;
+    fatalIf(line_capacity < cfg_.ways,
+            "cache too small for its associativity");
+    fatalIf(line_capacity % cfg_.ways != 0,
+            "cache size must be divisible by line size * ways");
+    numSets_ = line_capacity / cfg_.ways;
+    fatalIf(!std::has_single_bit(numSets_),
+            "cache set count must be a power of two");
+    lineShift_ = std::countr_zero(
+        static_cast<std::uint64_t>(cfg_.lineBytes));
+    lines_.resize(numSets_ * cfg_.ways);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const std::uint64_t block = addr >> lineShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> std::countr_zero(numSets_);
+    Line *base = lines_.data() + set * cfg_.ways;
+
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = tick_;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+
+    // Choose a victim: an invalid way if any, else by policy.
+    std::uint32_t victim = 0;
+    bool found_invalid = false;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        switch (cfg_.repl) {
+          case ReplPolicy::LRU: {
+            std::uint64_t oldest = base[0].lastUse;
+            for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+                if (base[w].lastUse < oldest) {
+                    oldest = base[w].lastUse;
+                    victim = w;
+                }
+            }
+            break;
+          }
+          case ReplPolicy::NMRU: {
+            // Random among all ways except the most recently used.
+            std::uint32_t mru = 0;
+            for (std::uint32_t w = 1; w < cfg_.ways; ++w)
+                if (base[w].lastUse > base[mru].lastUse)
+                    mru = w;
+            if (cfg_.ways == 1) {
+                victim = 0;
+            } else {
+                victim = static_cast<std::uint32_t>(
+                    rng_.nextInt(cfg_.ways - 1));
+                if (victim >= mru)
+                    ++victim;
+            }
+            break;
+          }
+          case ReplPolicy::RND:
+            victim = static_cast<std::uint32_t>(rng_.nextInt(cfg_.ways));
+            break;
+        }
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lastUse = tick_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    tick_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace hwsw::uarch

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative cache simulator with LRU, NMRU, and random
+ * replacement. Used directly by the SpMV case study (whose Table 5
+ * space varies replacement policy) and as ground truth in tests for
+ * the stack-distance-based analytic miss model.
+ */
+
+#ifndef HWSW_UARCH_CACHE_HPP
+#define HWSW_UARCH_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hwsw::uarch {
+
+/** Replacement policies of Table 5. */
+enum class ReplPolicy
+{
+    LRU,  ///< least recently used
+    NMRU, ///< random among not-most-recently-used
+    RND,  ///< random
+};
+
+/** Cache geometry and policy. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 2;
+    ReplPolicy repl = ReplPolicy::LRU;
+};
+
+/** Access statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+            static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/**
+ * Functional set-associative cache. Tags only; no data storage.
+ * Writes allocate (write-allocate, write-back is immaterial for the
+ * miss counts this library needs).
+ */
+class Cache
+{
+  public:
+    /** @param cfg geometry; size must be divisible by line*ways. */
+    explicit Cache(const CacheConfig &cfg, std::uint64_t seed = 7);
+
+    /**
+     * Access a byte address.
+     * @return true on hit, false on miss (the line is then filled).
+     */
+    bool access(std::uint64_t addr);
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** Drop all lines and statistics. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig cfg_;
+    std::uint64_t numSets_;
+    int lineShift_;
+    std::vector<Line> lines_; // numSets_ x ways, row-major
+    std::uint64_t tick_ = 0;
+    CacheStats stats_;
+    Rng rng_;
+};
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_CACHE_HPP

@@ -1,0 +1,133 @@
+#include "uarch/config.hpp"
+
+#include "common/assert.hpp"
+
+namespace hwsw::uarch {
+
+namespace {
+
+constexpr std::array<int, 4> kWidths = {1, 2, 4, 8};
+// y2 window levels (index scales all four resources together).
+constexpr std::array<int, 6> kLsq = {11, 16, 21, 26, 31, 36};
+constexpr std::array<int, 6> kRegs = {86, 128, 170, 212, 254, 296};
+constexpr std::array<int, 6> kIq = {22, 32, 42, 52, 62, 72};
+constexpr std::array<int, 6> kRob = {64, 96, 128, 160, 192, 224};
+constexpr std::array<int, 4> kL1Assoc = {1, 2, 4, 8};
+constexpr std::array<int, 4> kL2Assoc = {2, 4, 8, 8};
+constexpr std::array<int, 5> kMshrs = {1, 2, 4, 6, 8};
+constexpr std::array<int, 4> kDcacheKB = {16, 32, 64, 128};
+constexpr std::array<int, 4> kIcacheKB = {16, 32, 64, 128};
+constexpr std::array<int, 5> kL2KB = {256, 512, 1024, 2048, 4096};
+constexpr std::array<int, 5> kL2Lat = {6, 8, 10, 12, 14};
+constexpr std::array<int, 4> kIntAlu = {1, 2, 3, 4};
+constexpr std::array<int, 2> kIntMul = {1, 2};
+constexpr std::array<int, 3> kFpAlu = {1, 2, 3};
+constexpr std::array<int, 2> kFpMul = {1, 2};
+constexpr std::array<int, 4> kPorts = {1, 2, 3, 4};
+
+} // namespace
+
+std::array<double, kNumHwFeatures>
+UarchConfig::features() const
+{
+    // y2 is represented by the load/store queue size; the other three
+    // window resources scale with it by construction, exactly the
+    // collinearity the paper handles by grouping them as one variable.
+    return {static_cast<double>(width),
+            static_cast<double>(lsq),
+            static_cast<double>(l1Assoc),
+            static_cast<double>(mshrs),
+            static_cast<double>(dcacheKB),
+            static_cast<double>(icacheKB),
+            static_cast<double>(l2KB),
+            static_cast<double>(l2Latency),
+            static_cast<double>(intAlu),
+            static_cast<double>(intMulDiv),
+            static_cast<double>(fpAlu),
+            static_cast<double>(fpMul),
+            static_cast<double>(cachePorts)};
+}
+
+const std::array<std::string, kNumHwFeatures> &
+UarchConfig::featureNames()
+{
+    static const std::array<std::string, kNumHwFeatures> names = {
+        "y1.width", "y2.window", "y3.l1_assoc", "y4.mshr",
+        "y5.dcache_kb", "y6.icache_kb", "y7.l2_kb", "y8.l2_lat",
+        "y9.int_alu", "y10.int_mul", "y11.fp_alu", "y12.fp_mul",
+        "y13.ports",
+    };
+    return names;
+}
+
+const std::array<int, kNumHwFeatures> &
+UarchConfig::levelsPerDim()
+{
+    static const std::array<int, kNumHwFeatures> levels = {
+        static_cast<int>(kWidths.size()),
+        static_cast<int>(kLsq.size()),
+        static_cast<int>(kL1Assoc.size()),
+        static_cast<int>(kMshrs.size()),
+        static_cast<int>(kDcacheKB.size()),
+        static_cast<int>(kIcacheKB.size()),
+        static_cast<int>(kL2KB.size()),
+        static_cast<int>(kL2Lat.size()),
+        static_cast<int>(kIntAlu.size()),
+        static_cast<int>(kIntMul.size()),
+        static_cast<int>(kFpAlu.size()),
+        static_cast<int>(kFpMul.size()),
+        static_cast<int>(kPorts.size()),
+    };
+    return levels;
+}
+
+UarchConfig
+UarchConfig::fromIndices(const std::array<int, kNumHwFeatures> &idx)
+{
+    const auto &levels = levelsPerDim();
+    for (std::size_t d = 0; d < kNumHwFeatures; ++d) {
+        fatalIf(idx[d] < 0 || idx[d] >= levels[d],
+                "UarchConfig::fromIndices index out of range");
+    }
+    UarchConfig c;
+    c.width = kWidths[idx[0]];
+    c.lsq = kLsq[idx[1]];
+    c.physRegs = kRegs[idx[1]];
+    c.iq = kIq[idx[1]];
+    c.rob = kRob[idx[1]];
+    c.l1Assoc = kL1Assoc[idx[2]];
+    c.l2Assoc = kL2Assoc[idx[2]];
+    c.mshrs = kMshrs[idx[3]];
+    c.dcacheKB = kDcacheKB[idx[4]];
+    c.icacheKB = kIcacheKB[idx[5]];
+    c.l2KB = kL2KB[idx[6]];
+    c.l2Latency = kL2Lat[idx[7]];
+    c.intAlu = kIntAlu[idx[8]];
+    c.intMulDiv = kIntMul[idx[9]];
+    c.fpAlu = kFpAlu[idx[10]];
+    c.fpMul = kFpMul[idx[11]];
+    c.cachePorts = kPorts[idx[12]];
+    return c;
+}
+
+UarchConfig
+UarchConfig::randomSample(Rng &rng)
+{
+    std::array<int, kNumHwFeatures> idx{};
+    const auto &levels = levelsPerDim();
+    for (std::size_t d = 0; d < kNumHwFeatures; ++d)
+        idx[d] = static_cast<int>(rng.nextInt(
+            static_cast<std::uint64_t>(levels[d])));
+    return fromIndices(idx);
+}
+
+std::uint64_t
+UarchConfig::gridSize()
+{
+    std::uint64_t total = 1;
+    for (int levels : levelsPerDim())
+        total *= static_cast<std::uint64_t>(levels);
+    return total;
+}
+
+} // namespace hwsw::uarch

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The hardware design space of Table 2: thirteen parameters spanning
+ * pipeline width, out-of-order window resources, cache hierarchy, and
+ * functional unit counts. The space deliberately includes extreme
+ * designs so inferred models interpolate interior points accurately.
+ */
+
+#ifndef HWSW_UARCH_CONFIG_HPP
+#define HWSW_UARCH_CONFIG_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hwsw::uarch {
+
+/** Number of hardware parameters (y1..y13 in Table 2). */
+inline constexpr std::size_t kNumHwFeatures = 13;
+
+/** One microarchitecture from the Table 2 space. */
+struct UarchConfig
+{
+    // y1: pipeline width, 1 :: 2x :: 8.
+    int width = 4;
+
+    // y2 scales four window resources together:
+    //   load/store queue 11 :: 5+ :: 36
+    //   physical registers 86 :: 42+ :: 296
+    //   instruction queue 22 :: 10+ :: 72
+    //   reorder buffer 64 :: 32+ :: 224
+    int lsq = 26;
+    int physRegs = 212;
+    int iq = 52;
+    int rob = 160;
+
+    // y3: L1 associativity 1 :: 2x :: 8 (L2 tracks it, 2..8).
+    int l1Assoc = 2;
+    int l2Assoc = 4;
+
+    // y4: miss status holding registers, {1,2,4,6,8}.
+    int mshrs = 4;
+
+    // y5/y6/y7: cache capacities in KB.
+    int dcacheKB = 64;
+    int icacheKB = 32;
+    int l2KB = 1024;
+
+    // y8: L2 hit latency in cycles, 6 :: 2+ :: 14.
+    int l2Latency = 10;
+
+    // y9..y12: functional unit counts.
+    int intAlu = 2;
+    int intMulDiv = 1;
+    int fpAlu = 2;
+    int fpMul = 1;
+
+    // y13: cache read/write ports, 1 :: 1+ :: 4.
+    int cachePorts = 2;
+
+    /** y1..y13 as a dense feature vector for modeling. */
+    std::array<double, kNumHwFeatures> features() const;
+
+    /** Names matching features() order. */
+    static const std::array<std::string, kNumHwFeatures> &featureNames();
+
+    /** Number of levels per dimension in the Table 2 grid. */
+    static const std::array<int, kNumHwFeatures> &levelsPerDim();
+
+    /** Build the configuration at the given grid indices. */
+    static UarchConfig fromIndices(
+        const std::array<int, kNumHwFeatures> &idx);
+
+    /** Uniform random configuration from the grid. */
+    static UarchConfig randomSample(Rng &rng);
+
+    /** Total number of grid points (for reporting). */
+    static std::uint64_t gridSize();
+
+    bool operator==(const UarchConfig &other) const = default;
+};
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_CONFIG_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytic out-of-order performance model: CPI as a function of a
+ * shard signature and a Table 2 configuration.
+ *
+ * The model is interval-analysis flavored (Eyerman/Karkhanis style):
+ * a steady-state core throughput limited by fetch, dataflow ILP
+ * within the effective window, and functional unit bandwidth; plus
+ * additive stall components for branch mispredictions, instruction
+ * cache misses, and data cache misses with MSHR-limited memory-level
+ * parallelism and stride-prefetch-friendly streaming.
+ *
+ * It is the ground truth "simulator" role of gem5 in the paper: rich
+ * enough that all thirteen hardware knobs and their interactions with
+ * software behavior matter, cheap enough to evaluate thousands of
+ * hardware-software pairs per second.
+ */
+
+#ifndef HWSW_UARCH_PERFMODEL_HPP
+#define HWSW_UARCH_PERFMODEL_HPP
+
+#include "uarch/config.hpp"
+#include "uarch/signature.hpp"
+
+namespace hwsw::uarch {
+
+/** Main-memory access latency in cycles (fixed across Table 2). */
+inline constexpr double kMemLatency = 100.0;
+
+/** Additive CPI components. */
+struct CpiBreakdown
+{
+    double base = 0;   ///< fetch/ILP/FU-limited steady state
+    double branch = 0; ///< misprediction stalls
+    double icache = 0; ///< instruction fetch miss stalls
+    double dcache = 0; ///< data miss stalls
+
+    double total() const { return base + branch + icache + dcache; }
+    double ipc() const { return 1.0 / total(); }
+};
+
+/** Predict CPI for a shard signature on a configuration. */
+CpiBreakdown predictCpi(const ShardSignature &sig,
+                        const UarchConfig &cfg);
+
+/** Convenience: total CPI only. */
+double shardCpi(const ShardSignature &sig, const UarchConfig &cfg);
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_PERFMODEL_HPP

@@ -1,0 +1,94 @@
+#include "uarch/powermodel.hpp"
+
+#include <cmath>
+
+namespace hwsw::uarch {
+
+namespace {
+
+/** CACTI-flavored per-access energy scaling for an array. */
+double
+arrayEnergyNJ(double size_kb, int ways, double base_nj)
+{
+    return base_nj * std::sqrt(size_kb / 16.0) *
+        (1.0 + 0.1 * static_cast<double>(ways));
+}
+
+} // namespace
+
+PowerEstimate
+estimatePower(const ShardSignature &sig, const UarchConfig &cfg)
+{
+    using wl::OpClass;
+    auto frac = [&](OpClass c) {
+        return sig.classFrac[static_cast<std::size_t>(c)];
+    };
+    const CpiBreakdown cpi = predictCpi(sig, cfg);
+    const double ipc = cpi.ipc();
+
+    // ---- Per-instruction dynamic energy (nJ) ------------------------
+    // Frontend: fetch/decode/rename width-proportional banks plus the
+    // i-cache read.
+    double e = 0.12 * std::sqrt(static_cast<double>(cfg.width));
+    e += arrayEnergyNJ(cfg.icacheKB, cfg.l1Assoc, 0.08);
+
+    // Out-of-order window: wakeup/select CAMs grow with the queue,
+    // register file with ports ~ width and entries.
+    e += 0.05 * std::log2(static_cast<double>(cfg.iq));
+    e += 0.04 * std::sqrt(static_cast<double>(cfg.physRegs) / 86.0) *
+        std::sqrt(static_cast<double>(cfg.width));
+    e += 0.03 * std::log2(static_cast<double>(cfg.rob));
+
+    // Execution units by mix.
+    e += frac(OpClass::IntAlu) * 0.05;
+    e += frac(OpClass::IntMulDiv) * 0.35;
+    e += frac(OpClass::FpAlu) * 0.22;
+    e += frac(OpClass::FpMulDiv) * 0.45;
+    e += frac(OpClass::Branch) * 0.05;
+
+    // Memory hierarchy: L1 per memory op, L2 per L1 miss, DRAM per
+    // L2 miss (48 nJ per 64B line, the Micron figure per word).
+    const double mem_frac = sig.loadFrac + sig.storeFrac;
+    e += mem_frac *
+        arrayEnergyNJ(cfg.dcacheKB, cfg.l1Assoc,
+                      0.10 + 0.02 * cfg.cachePorts);
+    const double l1d_blocks =
+        cfg.dcacheKB * 1024.0 / 64.0 *
+        (1.0 - std::pow(2.0, -cfg.l1Assoc));
+    const double l2_blocks =
+        cfg.l2KB * 1024.0 / 64.0 * (1.0 - std::pow(2.0, -cfg.l2Assoc));
+    const double l1_miss = sig.missRateAtCapacity(l1d_blocks, true);
+    const double l2_miss =
+        std::min(sig.missRateAtCapacity(l2_blocks, true), l1_miss);
+    e += mem_frac * l1_miss * arrayEnergyNJ(cfg.l2KB / 16.0,
+                                            cfg.l2Assoc, 0.25);
+    e += mem_frac * l2_miss * 48.0;
+
+    // Wrong-path work: each mispredict wastes roughly a width's worth
+    // of frontend energy over the refill.
+    e += sig.mispredictPerOp * 0.3 * static_cast<double>(cfg.width);
+
+    PowerEstimate p;
+    p.dynamicW = e * 1e-9 * ipc * kCoreClockHz;
+
+    // ---- Leakage ----------------------------------------------------
+    p.staticW = 0.25 +
+        0.08 * std::log2(static_cast<double>(cfg.l2KB) / 256.0 + 1.0) +
+        0.02 * (static_cast<double>(cfg.dcacheKB + cfg.icacheKB) /
+                32.0) +
+        0.05 * (static_cast<double>(cfg.rob) / 64.0) +
+        0.03 * static_cast<double>(cfg.intAlu + cfg.fpAlu +
+                                   cfg.intMulDiv + cfg.fpMul);
+    return p;
+}
+
+double
+energyPerInstrNJ(const ShardSignature &sig, const UarchConfig &cfg)
+{
+    const PowerEstimate p = estimatePower(sig, cfg);
+    const double cpi = shardCpi(sig, cfg);
+    // watts x seconds/instr: cycles/instr / (cycles/s).
+    return p.total() * cpi / kCoreClockHz * 1e9;
+}
+
+} // namespace hwsw::uarch

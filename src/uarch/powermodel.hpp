@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Activity-based power model for the Table 2 design space.
+ *
+ * The paper's lineage (Lee & Brooks, ASPLOS'06) models power alongside
+ * performance; the SpMV case study (Section 5.3) predicts power for
+ * the cache space. This model extends the same capability to the
+ * general out-of-order space so inferred models can drive
+ * energy-aware decisions: per-instruction energies scale with the
+ * structures exercised (CACTI-flavored size/associativity/port
+ * scaling), activity comes from the shard signature, and leakage
+ * scales with the resources provisioned.
+ */
+
+#ifndef HWSW_UARCH_POWERMODEL_HPP
+#define HWSW_UARCH_POWERMODEL_HPP
+
+#include "uarch/perfmodel.hpp"
+
+namespace hwsw::uarch {
+
+/** Core clock frequency used to convert energy to power. */
+inline constexpr double kCoreClockHz = 2e9;
+
+/** Power estimate in watts. */
+struct PowerEstimate
+{
+    double dynamicW = 0; ///< activity-proportional
+    double staticW = 0;  ///< leakage, scales with provisioned area
+
+    double total() const { return dynamicW + staticW; }
+};
+
+/** Estimate power for a shard running on a configuration. */
+PowerEstimate estimatePower(const ShardSignature &sig,
+                            const UarchConfig &cfg);
+
+/** Energy per committed instruction in nJ (total power x CPI / f). */
+double energyPerInstrNJ(const ShardSignature &sig,
+                        const UarchConfig &cfg);
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_POWERMODEL_HPP

@@ -1,0 +1,252 @@
+#include "uarch/signature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "uarch/stack_distance.hpp"
+
+namespace hwsw::uarch {
+
+int
+opLatency(wl::OpClass c)
+{
+    using wl::OpClass;
+    switch (c) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMulDiv:
+        return 7;
+      case OpClass::FpAlu:
+        return 3;
+      case OpClass::FpMulDiv:
+        return 5;
+      case OpClass::Load:
+        return 2; // L1 hit; miss stalls are modeled separately
+      case OpClass::Store:
+        return 1;
+      case OpClass::Branch:
+        return 1;
+    }
+    return 1;
+}
+
+double
+ShardSignature::ipcLimitAtWindow(double window) const
+{
+    const auto &ws = kIlpWindows;
+    if (window <= ws.front())
+        return ipcAtWindow.front();
+    if (window >= ws.back())
+        return ipcAtWindow.back();
+    for (std::size_t i = 1; i < ws.size(); ++i) {
+        if (window <= ws[i]) {
+            const double f = (window - ws[i - 1]) /
+                static_cast<double>(ws[i] - ws[i - 1]);
+            return ipcAtWindow[i - 1] +
+                f * (ipcAtWindow[i] - ipcAtWindow[i - 1]);
+        }
+    }
+    return ipcAtWindow.back();
+}
+
+double
+ShardSignature::missRateAtCapacity(double blocks, bool data) const
+{
+    const Log2Histogram &h = data ? dStack : iStack;
+    if (h.total() == 0)
+        return 0.0;
+    if (blocks < 1.0)
+        return 1.0;
+    const double lg = std::log2(blocks);
+    const auto lo_bin = static_cast<std::size_t>(std::floor(lg));
+    const double frac = lg - std::floor(lg);
+    const double tail_lo = h.tailFraction(lo_bin);
+    const double tail_hi = h.tailFraction(lo_bin + 1);
+    return tail_lo + frac * (tail_hi - tail_lo);
+}
+
+namespace {
+
+/** 2-bit bimodal branch predictor indexed by 64B branch site. */
+class BimodalPredictor
+{
+  public:
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &ctr = table_[(pc >> 6) & (kEntries - 1)];
+        const bool predict = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        return predict == taken;
+    }
+
+  private:
+    static constexpr std::size_t kEntries = 4096;
+    std::array<std::uint8_t, kEntries> table_{};
+};
+
+/**
+ * Stateful extractor: locality and predictor state persist across
+ * shards so consecutive shards see warm structures.
+ */
+class SignatureExtractor
+{
+  public:
+    explicit SignatureExtractor(std::size_t total_ops)
+        : dStack_(total_ops), iStack_(total_ops)
+    {
+    }
+
+    ShardSignature extract(std::span<const wl::MicroOp> ops);
+
+  private:
+    StackDistance dStack_;
+    StackDistance iStack_;
+    BimodalPredictor predictor_;
+
+    static constexpr std::size_t kRecent = 32;
+    std::array<std::uint64_t, kRecent> recentBlocks_{};
+    std::size_t recentPos_ = 0;
+};
+
+ShardSignature
+SignatureExtractor::extract(std::span<const wl::MicroOp> ops)
+{
+    using wl::OpClass;
+    fatalIf(ops.empty(), "computeSignature: empty shard");
+
+    ShardSignature sig;
+    sig.numOps = ops.size();
+
+    std::array<std::uint64_t, wl::kNumOpClasses> counts{};
+    std::uint64_t taken = 0, mispredicts = 0;
+    std::uint64_t loads = 0, independent_loads = 0;
+    std::uint64_t streamy = 0;
+
+    for (const wl::MicroOp &op : ops) {
+        ++counts[static_cast<std::size_t>(op.cls)];
+
+        if (op.isBranch()) {
+            if (op.taken)
+                ++taken;
+            if (!predictor_.predictAndUpdate(op.pc, op.taken))
+                ++mispredicts;
+        }
+
+        if (op.isMem()) {
+            const std::uint64_t block = op.addr >> 6;
+            const std::uint64_t dist = dStack_.access(block);
+            if (dist == kColdAccess)
+                sig.dStack.add(1e18); // top bin: guaranteed miss
+            else
+                sig.dStack.add(static_cast<double>(dist) + 1.0);
+            ++sig.dAccesses;
+
+            for (std::uint64_t rb : recentBlocks_) {
+                if (block == rb || block == rb + 1 || block == rb + 2) {
+                    ++streamy;
+                    break;
+                }
+            }
+            recentBlocks_[recentPos_] = block;
+            recentPos_ = (recentPos_ + 1) % kRecent;
+        }
+        {
+            const std::uint64_t dist = iStack_.access(op.pc >> 6);
+            if (dist == kColdAccess)
+                sig.iStack.add(1e18);
+            else
+                sig.iStack.add(static_cast<double>(dist) + 1.0);
+        }
+
+        if (op.cls == OpClass::Load) {
+            ++loads;
+            // Only a load feeding from another recent load serializes
+            // memory-level parallelism (pointer chasing); loads fed by
+            // arithmetic can issue concurrently.
+            const bool chained = op.depDist != wl::kNoProducer &&
+                op.depDist <= 16 && op.producerCls == OpClass::Load;
+            if (!chained)
+                ++independent_loads;
+        }
+    }
+
+    const auto n = static_cast<double>(ops.size());
+    for (std::size_t c = 0; c < wl::kNumOpClasses; ++c)
+        sig.classFrac[c] = static_cast<double>(counts[c]) / n;
+    sig.takenPerOp = static_cast<double>(taken) / n;
+    sig.mispredictPerOp = static_cast<double>(mispredicts) / n;
+    sig.loadFrac = sig.classFrac[static_cast<std::size_t>(OpClass::Load)];
+    sig.storeFrac =
+        sig.classFrac[static_cast<std::size_t>(OpClass::Store)];
+    sig.independentLoadFrac = loads
+        ? static_cast<double>(independent_loads) /
+            static_cast<double>(loads)
+        : 1.0;
+    sig.streamyFrac = sig.dAccesses
+        ? static_cast<double>(streamy) /
+            static_cast<double>(sig.dAccesses)
+        : 0.0;
+    const std::uint64_t branches =
+        counts[static_cast<std::size_t>(OpClass::Branch)];
+    sig.avgBasicBlock =
+        n / static_cast<double>(std::max<std::uint64_t>(branches, 1));
+
+    // Dataflow IPC limit per window size: op i may not complete
+    // before its producer, and may not issue until op i-W completed
+    // (reorder-buffer style windowing). Latencies are L1-hit
+    // latencies; memory stalls are added by the performance model.
+    constexpr std::size_t kRing = 512;
+    static_assert(kRing >= 256, "ring must cover the largest window");
+    std::vector<double> finish(kRing, 0.0);
+    for (std::size_t wi = 0; wi < kIlpWindows.size(); ++wi) {
+        const auto window = static_cast<std::size_t>(kIlpWindows[wi]);
+        std::fill(finish.begin(), finish.end(), 0.0);
+        double makespan = 0.0;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const wl::MicroOp &op = ops[i];
+            double start = 0.0;
+            if (op.depDist != wl::kNoProducer && op.depDist < kRing &&
+                op.depDist <= i) {
+                start = finish[(i - op.depDist) % kRing];
+            }
+            if (i >= window)
+                start = std::max(start, finish[(i - window) % kRing]);
+            const double end = start + opLatency(op.cls);
+            finish[i % kRing] = end;
+            makespan = std::max(makespan, end);
+        }
+        sig.ipcAtWindow[wi] = makespan > 0.0 ? n / makespan : n;
+    }
+    return sig;
+}
+
+} // namespace
+
+ShardSignature
+computeSignature(std::span<const wl::MicroOp> ops)
+{
+    SignatureExtractor extractor(ops.size());
+    return extractor.extract(ops);
+}
+
+std::vector<ShardSignature>
+computeSignatures(std::span<const std::vector<wl::MicroOp>> shards)
+{
+    fatalIf(shards.empty(), "computeSignatures: no shards");
+    std::size_t total = 0;
+    for (const auto &s : shards)
+        total += s.size();
+    SignatureExtractor extractor(total);
+    std::vector<ShardSignature> sigs;
+    sigs.reserve(shards.size());
+    for (const auto &s : shards)
+        sigs.push_back(extractor.extract(s));
+    return sigs;
+}
+
+} // namespace hwsw::uarch

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shard signatures: the detailed, microarchitecture-independent
+ * digest of a shard consumed by the performance model.
+ *
+ * One detailed pass per shard extracts LRU stack-distance histograms
+ * (data and instruction), dataflow IPC limits as a function of window
+ * size, branch predictor behavior, and the instruction mix. Every
+ * Table 2 configuration's CPI is then computed analytically from the
+ * signature, so profiling an application on hundreds of architectures
+ * costs one pass over its stream -- the same economics that let the
+ * paper's profilers cover a large hardware-software space.
+ *
+ * The signature is deliberately much richer than the 13 Table 1
+ * characteristics the regression models see: full distributions
+ * versus their means. The gap between the two is what gives the
+ * inferred models realistic, non-zero error.
+ */
+
+#ifndef HWSW_UARCH_SIGNATURE_HPP
+#define HWSW_UARCH_SIGNATURE_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/histogram.hpp"
+#include "workload/microop.hpp"
+
+namespace hwsw::uarch {
+
+/** Window sizes at which the dataflow IPC limit is sampled. */
+inline constexpr std::array<int, 7> kIlpWindows = {
+    8, 16, 32, 64, 96, 128, 256,
+};
+
+/** Execution latencies per op class used by the dataflow model. */
+int opLatency(wl::OpClass c);
+
+/** Detailed per-shard digest. */
+struct ShardSignature
+{
+    std::uint64_t numOps = 0;
+
+    /** Fraction of ops per class. */
+    std::array<double, wl::kNumOpClasses> classFrac{};
+
+    double takenPerOp = 0;      ///< taken branches per op
+    double mispredictPerOp = 0; ///< bimodal-predictor misses per op
+    double avgBasicBlock = 0;   ///< ops per branch
+
+    /**
+     * LRU stack distances in 64B blocks; cold (first-touch) accesses
+     * land in the top bin so they read as guaranteed misses.
+     */
+    Log2Histogram dStack{40};
+    Log2Histogram iStack{40};
+    std::uint64_t dAccesses = 0;
+
+    /** Dataflow IPC limit at each kIlpWindows entry. */
+    std::array<double, kIlpWindows.size()> ipcAtWindow{};
+
+    double loadFrac = 0;
+    double storeFrac = 0;
+
+    /**
+     * Fraction of loads without a nearby producer; these can issue
+     * concurrently and determine achievable memory-level parallelism.
+     */
+    double independentLoadFrac = 0;
+
+    /**
+     * Fraction of memory accesses that continue a detected sequential
+     * stream (block within +1/+2 of a recently touched block); a
+     * stride prefetcher hides most of their miss latency.
+     */
+    double streamyFrac = 0;
+
+    /** Interpolated dataflow IPC limit at an arbitrary window size. */
+    double ipcLimitAtWindow(double window) const;
+
+    /**
+     * Fraction of accesses whose stack distance is >= the given
+     * number of blocks (i.e. the miss rate of a fully-associative
+     * LRU cache of that capacity), log-interpolated between bins.
+     * @param data true for the data stream, false for instructions.
+     */
+    double missRateAtCapacity(double blocks, bool data) const;
+};
+
+/**
+ * Extract the signature of one shard with cold caches and predictor.
+ * For multi-shard applications prefer computeSignatures(), which
+ * carries warm state across consecutive shards -- short shards
+ * otherwise overstate compulsory misses, an artifact the paper's
+ * 10M-instruction shards do not have.
+ */
+ShardSignature computeSignature(std::span<const wl::MicroOp> ops);
+
+/**
+ * Extract per-shard signatures over an application's consecutive
+ * shards, warming locality and predictor state across boundaries
+ * (continuous profiling, as gem5's commit-stage counters see it).
+ */
+std::vector<ShardSignature>
+computeSignatures(std::span<const std::vector<wl::MicroOp>> shards);
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_SIGNATURE_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * LRU stack-distance computation (Mattson et al.) in O(N log N) via a
+ * Fenwick tree over access timestamps. The stack distance of an
+ * access is the number of *distinct* blocks touched since the
+ * previous access to the same block; for a fully-associative LRU
+ * cache of C blocks, an access hits iff its stack distance < C. This
+ * single per-shard pass makes miss rates for every cache capacity in
+ * Table 2 available analytically.
+ */
+
+#ifndef HWSW_UARCH_STACK_DISTANCE_HPP
+#define HWSW_UARCH_STACK_DISTANCE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hwsw::uarch {
+
+/** Fenwick (binary indexed) tree over [0, n) with point updates. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+    /** Add delta at position i. */
+    void
+    add(std::size_t i, int delta)
+    {
+        panicIf(i + 1 >= tree_.size() + 1, "Fenwick index out of range");
+        for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1))
+            tree_[k] += delta;
+    }
+
+    /** Sum of positions [0, i]. */
+    std::int64_t
+    prefix(std::size_t i) const
+    {
+        std::int64_t s = 0;
+        for (std::size_t k = std::min(i + 1, tree_.size() - 1); k > 0;
+             k -= k & (~k + 1)) {
+            s += tree_[k];
+        }
+        return s;
+    }
+
+    /** Sum of positions [a, b]; zero when a > b. */
+    std::int64_t
+    range(std::size_t a, std::size_t b) const
+    {
+        if (a > b)
+            return 0;
+        return prefix(b) - (a == 0 ? 0 : prefix(a - 1));
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+/** Sentinel distance for the first access to a block (cold). */
+inline constexpr std::uint64_t kColdAccess =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Streaming LRU stack-distance calculator.
+ * Construct with the number of accesses that will be observed.
+ */
+class StackDistance
+{
+  public:
+    explicit StackDistance(std::size_t max_accesses)
+        : fenwick_(max_accesses)
+    {
+        lastPos_.reserve(max_accesses / 4 + 16);
+    }
+
+    /**
+     * Record an access to a block id.
+     * @return stack distance, or kColdAccess on first touch.
+     */
+    std::uint64_t
+    access(std::uint64_t block)
+    {
+        std::uint64_t dist = kColdAccess;
+        auto [it, fresh] = lastPos_.try_emplace(block, t_);
+        if (!fresh) {
+            const std::size_t prev = it->second;
+            dist = static_cast<std::uint64_t>(
+                fenwick_.range(prev + 1, t_ == 0 ? 0 : t_ - 1));
+            fenwick_.add(prev, -1);
+            it->second = t_;
+        }
+        fenwick_.add(t_, +1);
+        ++t_;
+        return dist;
+    }
+
+  private:
+    Fenwick fenwick_;
+    std::unordered_map<std::uint64_t, std::size_t> lastPos_;
+    std::size_t t_ = 0;
+};
+
+} // namespace hwsw::uarch
+
+#endif // HWSW_UARCH_STACK_DISTANCE_HPP

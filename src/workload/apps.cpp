@@ -1,0 +1,479 @@
+#include "workload/apps.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hwsw::wl {
+
+namespace {
+
+/** Build a mix array from per-class weights (branch slot unused). */
+std::array<double, kNumOpClasses>
+mix(double int_alu, double int_mul, double fp_alu, double fp_mul,
+    double load, double store)
+{
+    std::array<double, kNumOpClasses> m{};
+    m[static_cast<std::size_t>(OpClass::IntAlu)] = int_alu;
+    m[static_cast<std::size_t>(OpClass::IntMulDiv)] = int_mul;
+    m[static_cast<std::size_t>(OpClass::FpAlu)] = fp_alu;
+    m[static_cast<std::size_t>(OpClass::FpMulDiv)] = fp_mul;
+    m[static_cast<std::size_t>(OpClass::Load)] = load;
+    m[static_cast<std::size_t>(OpClass::Store)] = store;
+    return m;
+}
+
+MemStreamSpec
+seq(std::uint64_t ws, double weight, std::uint32_t region)
+{
+    MemStreamSpec s;
+    s.kind = MemStreamSpec::Kind::Sequential;
+    s.workingSetBytes = ws;
+    s.weight = weight;
+    s.region = region;
+    return s;
+}
+
+MemStreamSpec
+strided(std::uint64_t ws, std::uint64_t stride, double weight,
+        std::uint32_t region)
+{
+    MemStreamSpec s;
+    s.kind = MemStreamSpec::Kind::Strided;
+    s.workingSetBytes = ws;
+    s.strideBytes = stride;
+    s.weight = weight;
+    s.region = region;
+    return s;
+}
+
+MemStreamSpec
+random_(std::uint64_t ws, double weight, std::uint32_t region)
+{
+    MemStreamSpec s;
+    s.kind = MemStreamSpec::Kind::Random;
+    s.workingSetBytes = ws;
+    s.weight = weight;
+    s.region = region;
+    return s;
+}
+
+/** Skewed random stream: most accesses hit a hot subset. */
+MemStreamSpec
+hotRandom(std::uint64_t ws, std::uint64_t hot, double hot_frac,
+          double weight, std::uint32_t region)
+{
+    MemStreamSpec s = random_(ws, weight, region);
+    s.hotBytes = hot;
+    s.hotFraction = hot_frac;
+    return s;
+}
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+// ---- Phase archetype library -------------------------------------
+//
+// Sharing is the paper's premise (Figure 1): a new application is
+// understood through shards that resemble shards of previously
+// profiled applications. The suite therefore composes applications
+// from a small library of phase archetypes -- pointer-chasing,
+// branchy integer, cache-resident integer, streaming integer,
+// streaming FP, compute FP -- with per-application jitter. bwaves
+// deliberately gets behavior no archetype covers (Section 4.5's
+// outlier).
+
+Phase
+pointerChase()
+{
+    Phase p;
+    p.name = "pointer-chase";
+    p.mix = mix(0.40, 0.02, 0.0, 0.0, 0.36, 0.12);
+    p.meanBasicBlock = 5.0;
+    p.branchTakenRate = 0.44;
+    p.branchPredictability = 0.82;
+    p.streams = {hotRandom(1536 * KiB, 256 * KiB, 0.95, 1.0, 10),
+                 seq(128 * KiB, 0.4, 11)};
+    p.depDistInt = 3.0;
+    p.depDistFp = 6.0;
+    p.depDistMem = 3.5;
+    p.codeFootprintBytes = 28 * KiB;
+    return p;
+}
+
+Phase
+branchyInt()
+{
+    Phase p;
+    p.name = "branchy-int";
+    p.mix = mix(0.52, 0.02, 0.0, 0.0, 0.30, 0.08);
+    p.meanBasicBlock = 4.3;
+    p.branchTakenRate = 0.43;
+    p.branchPredictability = 0.78;
+    p.streams = {hotRandom(768 * KiB, 128 * KiB, 0.94, 1.0, 20),
+                 random_(96 * KiB, 0.8, 21)};
+    p.depDistInt = 3.0;
+    p.depDistFp = 5.0;
+    p.depDistMem = 4.0;
+    p.codeFootprintBytes = 18 * KiB;
+    return p;
+}
+
+Phase
+cacheResidentInt()
+{
+    Phase p;
+    p.name = "cache-resident-int";
+    p.mix = mix(0.55, 0.04, 0.0, 0.0, 0.28, 0.10);
+    p.meanBasicBlock = 8.5;
+    p.branchTakenRate = 0.54;
+    p.branchPredictability = 0.93;
+    p.streams = {seq(96 * KiB, 2.0, 30),
+                 strided(512 * KiB, 24, 1.0, 31)};
+    p.depDistInt = 7.0;
+    p.depDistFp = 8.0;
+    p.depDistMem = 9.0;
+    p.codeFootprintBytes = 7 * KiB;
+    return p;
+}
+
+Phase
+streamingInt()
+{
+    Phase p;
+    p.name = "streaming-int";
+    p.mix = mix(0.48, 0.03, 0.0, 0.0, 0.32, 0.14);
+    p.meanBasicBlock = 5.5;
+    p.branchTakenRate = 0.45;
+    p.branchPredictability = 0.86;
+    p.streams = {seq(4 * MiB, 1.5, 40),
+                 random_(192 * KiB, 1.0, 41)};
+    p.depDistInt = 3.5;
+    p.depDistFp = 5.0;
+    p.depDistMem = 4.5;
+    p.codeFootprintBytes = 11 * KiB;
+    return p;
+}
+
+Phase
+streamingFp()
+{
+    Phase p;
+    p.name = "streaming-fp";
+    p.mix = mix(0.14, 0.01, 0.28, 0.20, 0.25, 0.12);
+    p.meanBasicBlock = 10.0;
+    p.branchTakenRate = 0.78;
+    p.branchPredictability = 0.96;
+    p.streams = {seq(20 * MiB, 2.0, 50),
+                 strided(8 * MiB, 8192, 0.5, 51)};
+    p.depDistInt = 4.0;
+    p.depDistFp = 5.0;
+    p.depDistMem = 16.0;
+    p.codeFootprintBytes = 18 * KiB;
+    return p;
+}
+
+Phase
+computeFp()
+{
+    Phase p;
+    p.name = "compute-fp";
+    p.mix = mix(0.18, 0.02, 0.32, 0.22, 0.20, 0.06);
+    p.meanBasicBlock = 9.0;
+    p.branchTakenRate = 0.72;
+    p.branchPredictability = 0.95;
+    p.streams = {seq(512 * KiB, 1.0, 60),
+                 random_(64 * KiB, 0.5, 61)};
+    p.depDistInt = 4.5;
+    p.depDistFp = 7.0;
+    p.depDistMem = 8.0;
+    p.codeFootprintBytes = 9 * KiB;
+    return p;
+}
+
+/**
+ * Per-application jitter: scales footprints, dependence slack, and
+ * branch behavior so applications built from shared archetypes stay
+ * individually distinct without leaving the shared behavior family.
+ */
+Phase
+jitter(Phase p, double weight, double ws_scale, double dep_scale,
+       double taken_delta, double code_scale)
+{
+    p.weight = weight;
+    for (MemStreamSpec &s : p.streams) {
+        s.workingSetBytes = std::max<std::uint64_t>(
+            8 * KiB, static_cast<std::uint64_t>(
+                         static_cast<double>(s.workingSetBytes) *
+                         ws_scale));
+        s.hotBytes = std::max<std::uint64_t>(
+            4 * KiB, static_cast<std::uint64_t>(
+                         static_cast<double>(s.hotBytes) * ws_scale));
+    }
+    p.depDistInt *= dep_scale;
+    p.depDistFp *= dep_scale;
+    p.depDistMem *= dep_scale;
+    p.branchTakenRate =
+        std::clamp(p.branchTakenRate + taken_delta, 0.05, 0.95);
+    p.codeFootprintBytes = std::max<std::uint64_t>(
+        2 * KiB, static_cast<std::uint64_t>(
+                     static_cast<double>(p.codeFootprintBytes) *
+                     code_scale));
+    return p;
+}
+
+AppSpec
+makeAstar()
+{
+    AppSpec app;
+    app.name = "astar";
+    app.seed = 1001;
+    app.phases = {
+        jitter(pointerChase(), 0.55, 1.3, 1.0, 0.02, 0.9),
+        jitter(branchyInt(), 0.25, 0.9, 1.1, -0.01, 1.0),
+        jitter(cacheResidentInt(), 0.20, 1.0, 0.9, 0.0, 1.2),
+    };
+    return app;
+}
+
+AppSpec
+makeBwaves()
+{
+    // The deliberate outlier (Section 4.5): FP-heavy, far more taken
+    // branches, far fewer integer/memory ops, bimodal CPI. Its
+    // phases come from no shared archetype.
+    AppSpec app;
+    app.name = "bwaves";
+    app.seed = 1002;
+
+    Phase stencil;
+    stencil.name = "stencil";
+    stencil.mix = mix(0.10, 0.0, 0.45, 0.32, 0.10, 0.03);
+    stencil.meanBasicBlock = 5.0;
+    stencil.branchTakenRate = 0.90;
+    stencil.branchPredictability = 0.98;
+    stencil.streams = {seq(16 * MiB, 2.0, 70),
+                       strided(8 * MiB, 4096, 0.5, 71)};
+    stencil.depDistInt = 4.0;
+    stencil.depDistFp = 3.0;
+    stencil.depDistMem = 18.0;
+    stencil.codeFootprintBytes = 8 * KiB;
+    stencil.weight = 0.5;
+
+    Phase compute;
+    compute.name = "compute";
+    compute.mix = mix(0.10, 0.0, 0.47, 0.33, 0.08, 0.02);
+    compute.meanBasicBlock = 4.5;
+    compute.branchTakenRate = 0.93;
+    compute.branchPredictability = 0.99;
+    compute.streams = {seq(64 * KiB, 1.0, 72)};
+    compute.depDistInt = 5.0;
+    compute.depDistFp = 9.0;
+    compute.depDistMem = 8.0;
+    compute.codeFootprintBytes = 6 * KiB;
+    compute.weight = 0.5;
+
+    app.phases = {stencil, compute};
+    return app;
+}
+
+AppSpec
+makeBzip2()
+{
+    AppSpec app;
+    app.name = "bzip2";
+    app.seed = 1003;
+    app.phases = {
+        jitter(streamingInt(), 0.45, 1.0, 0.9, -0.02, 1.1),
+        jitter(branchyInt(), 0.35, 0.8, 0.95, -0.04, 0.8),
+        jitter(cacheResidentInt(), 0.20, 0.8, 0.85, -0.05, 1.0),
+    };
+    return app;
+}
+
+AppSpec
+makeGemsFDTD()
+{
+    AppSpec app;
+    app.name = "gemsFDTD";
+    app.seed = 1004;
+    app.phases = {
+        jitter(streamingFp(), 0.65, 1.3, 1.1, 0.04, 1.1),
+        jitter(computeFp(), 0.20, 1.2, 0.9, -0.02, 1.3),
+        jitter(streamingInt(), 0.15, 0.6, 1.0, 0.1, 1.0),
+    };
+    return app;
+}
+
+AppSpec
+makeHmmer()
+{
+    AppSpec app;
+    app.name = "hmmer";
+    app.seed = 1005;
+    app.phases = {
+        jitter(cacheResidentInt(), 0.80, 1.0, 1.05, 0.0, 0.85),
+        jitter(streamingInt(), 0.20, 1.0, 1.1, 0.0, 0.9),
+    };
+    return app;
+}
+
+AppSpec
+makeOmnetpp()
+{
+    AppSpec app;
+    app.name = "omnetpp";
+    app.seed = 1006;
+    app.phases = {
+        jitter(pointerChase(), 0.65, 1.4, 0.85, -0.01, 1.6),
+        jitter(branchyInt(), 0.20, 1.3, 0.9, -0.03, 1.4),
+        jitter(streamingInt(), 0.15, 0.7, 1.0, 0.02, 1.1),
+    };
+    return app;
+}
+
+AppSpec
+makeSjeng()
+{
+    AppSpec app;
+    app.name = "sjeng";
+    app.seed = 1007;
+    app.phases = {
+        jitter(branchyInt(), 0.60, 1.1, 1.0, 0.01, 1.1),
+        jitter(cacheResidentInt(), 0.22, 0.7, 0.9, -0.06, 1.3),
+        jitter(pointerChase(), 0.18, 0.5, 1.0, 0.0, 0.8),
+    };
+    return app;
+}
+
+} // namespace
+
+std::string_view
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Base:
+        return "base";
+      case Variant::O1:
+        return "-O1";
+      case Variant::O3:
+        return "-O3";
+      case Variant::V1:
+        return "-v1";
+      case Variant::V2:
+        return "-v2";
+      case Variant::V3:
+        return "-v3";
+    }
+    return "?";
+}
+
+const std::vector<std::string> &
+suiteAppNames()
+{
+    static const std::vector<std::string> names = {
+        "astar", "bwaves", "bzip2", "gemsFDTD",
+        "hmmer", "omnetpp", "sjeng",
+    };
+    return names;
+}
+
+AppSpec
+makeApp(std::string_view name)
+{
+    if (name == "astar")
+        return makeAstar();
+    if (name == "bwaves")
+        return makeBwaves();
+    if (name == "bzip2")
+        return makeBzip2();
+    if (name == "gemsFDTD")
+        return makeGemsFDTD();
+    if (name == "hmmer")
+        return makeHmmer();
+    if (name == "omnetpp")
+        return makeOmnetpp();
+    if (name == "sjeng")
+        return makeSjeng();
+    fatal("unknown application: " + std::string(name));
+}
+
+std::vector<AppSpec>
+makeSuite()
+{
+    std::vector<AppSpec> suite;
+    for (const auto &name : suiteAppNames())
+        suite.push_back(makeApp(name));
+    return suite;
+}
+
+AppSpec
+applyVariant(const AppSpec &app, Variant v)
+{
+    AppSpec out = app;
+    if (v == Variant::Base)
+        return out;
+
+    out.name = app.name + std::string(variantName(v));
+    // Distinct dynamic stream per variant while keeping static
+    // structure (branch site biases) tied to the base application.
+    out.seed = app.seed + static_cast<std::uint64_t>(v) * 7777;
+
+    for (Phase &p : out.phases) {
+        switch (v) {
+          case Variant::O1:
+            // Weaker scheduling: shorter producer-consumer slack,
+            // extra address arithmetic, denser branches.
+            p.depDistInt *= 0.65;
+            p.depDistFp *= 0.65;
+            p.depDistMem *= 0.65;
+            p.meanBasicBlock = std::max(2.0, p.meanBasicBlock * 0.85);
+            p.mix[static_cast<std::size_t>(OpClass::IntAlu)] *= 1.25;
+            p.codeFootprintBytes = static_cast<std::uint64_t>(
+                static_cast<double>(p.codeFootprintBytes) * 0.8);
+            break;
+          case Variant::O3:
+            // Aggressive scheduling and unrolling.
+            p.depDistInt *= 1.5;
+            p.depDistFp *= 1.5;
+            p.depDistMem *= 1.5;
+            p.meanBasicBlock *= 1.25;
+            p.mix[static_cast<std::size_t>(OpClass::IntAlu)] *= 0.85;
+            p.codeFootprintBytes = static_cast<std::uint64_t>(
+                static_cast<double>(p.codeFootprintBytes) * 1.3);
+            break;
+          case Variant::V1:
+            for (MemStreamSpec &s : p.streams) {
+                s.workingSetBytes = std::max<std::uint64_t>(
+                    4 * 1024,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(s.workingSetBytes) * 0.4));
+            }
+            p.branchTakenRate *= 0.95;
+            break;
+          case Variant::V2:
+            for (MemStreamSpec &s : p.streams)
+                s.workingSetBytes = static_cast<std::uint64_t>(
+                    static_cast<double>(s.workingSetBytes) * 1.6);
+            p.branchPredictability =
+                std::min(1.0, p.branchPredictability * 0.97);
+            break;
+          case Variant::V3:
+            for (MemStreamSpec &s : p.streams)
+                s.workingSetBytes = static_cast<std::uint64_t>(
+                    static_cast<double>(s.workingSetBytes) * 2.5);
+            p.branchTakenRate = std::min(0.98, p.branchTakenRate * 1.05);
+            break;
+          default:
+            break;
+        }
+    }
+    if (v == Variant::V3 && out.phases.size() > 1) {
+        // Shift time toward the first phase, changing the blend of
+        // behavior an end-to-end run exhibits.
+        out.phases.front().weight *= 1.4;
+    }
+    return out;
+}
+
+} // namespace hwsw::wl

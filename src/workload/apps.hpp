@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The benchmark suite: seven synthetic applications standing in for
+ * the SPEC2006 subset the paper cross-compiled for gem5 (astar,
+ * bwaves, bzip2, gemsFDTD, hmmer, omnetpp, sjeng), plus the software
+ * variants (-O1/-O3 compiler analogs, -v1/-v2/-v3 input analogs) used
+ * in the extrapolation experiments (Section 4.4).
+ *
+ * Each analog reproduces its namesake's qualitative signature:
+ * bwaves is deliberately the behavioral outlier of Section 4.5 —
+ * FP-heavy, branch-taken-heavy, memory-light, with bimodal CPI.
+ */
+
+#ifndef HWSW_WORKLOAD_APPS_HPP
+#define HWSW_WORKLOAD_APPS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/phase.hpp"
+
+namespace hwsw::wl {
+
+/** Software variants; Base is the reference build and input. */
+enum class Variant
+{
+    Base, ///< reference build (-O2 analog) and input
+    O1,   ///< weaker compiler: shorter dependence slack, more ops
+    O3,   ///< stronger compiler: longer slack, unrolled code
+    V1,   ///< small input: shrunken working sets
+    V2,   ///< large input: grown working sets
+    V3,   ///< largest input: grown working sets, shifted phase mix
+};
+
+/** All variants including Base. */
+inline constexpr std::array<Variant, 6> kAllVariants = {
+    Variant::Base, Variant::O1, Variant::O3,
+    Variant::V1, Variant::V2, Variant::V3,
+};
+
+/** Variant mnemonic, e.g. "-O3" or "-v2". */
+std::string_view variantName(Variant v);
+
+/** Names of the seven suite applications. */
+const std::vector<std::string> &suiteAppNames();
+
+/**
+ * Build the AppSpec for a suite application.
+ * @param name one of suiteAppNames().
+ * @throws FatalError for unknown names.
+ */
+AppSpec makeApp(std::string_view name);
+
+/** All seven base applications. */
+std::vector<AppSpec> makeSuite();
+
+/**
+ * Derive a software variant. Variants perturb dependence distances,
+ * basic-block sizes, instruction mix, and working sets enough to move
+ * performance by tens of percent (the paper reports up to 60%, mean
+ * 26%, across back-end compiler optimizations).
+ */
+AppSpec applyVariant(const AppSpec &app, Variant v);
+
+} // namespace hwsw::wl
+
+#endif // HWSW_WORKLOAD_APPS_HPP

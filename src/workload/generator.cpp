@@ -1,0 +1,257 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hwsw::wl {
+
+std::string_view
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMulDiv:
+        return "IntMulDiv";
+      case OpClass::FpAlu:
+        return "FpAlu";
+      case OpClass::FpMulDiv:
+        return "FpMulDiv";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Stateless 64-bit mix, used to derive per-site branch behavior. */
+std::uint64_t
+hashU64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Code region base for a phase; regions are widely separated. */
+std::uint64_t
+codeBase(std::size_t phase_idx)
+{
+    return 0x400000ULL + static_cast<std::uint64_t>(phase_idx) *
+        (64ULL << 20);
+}
+
+/** Data region base; separate from all code regions. */
+std::uint64_t
+dataBase(std::uint32_t region)
+{
+    return (1ULL << 40) + static_cast<std::uint64_t>(region) *
+        (1ULL << 30);
+}
+
+} // namespace
+
+StreamGenerator::StreamGenerator(const AppSpec &app)
+    : app_(app), rng_(app.seed), ring_(kRingSize, OpClass::IntAlu)
+{
+    fatalIf(app_.phases.empty(), "AppSpec needs at least one phase");
+    fatalIf(app_.segmentLength == 0, "segmentLength must be > 0");
+    cursors_.resize(app_.phases.size());
+    for (std::size_t p = 0; p < app_.phases.size(); ++p) {
+        const Phase &phase = app_.phases[p];
+        fatalIf(phase.meanBasicBlock < 1.0,
+                "meanBasicBlock must be >= 1");
+        const bool has_mem =
+            phase.mix[static_cast<std::size_t>(OpClass::Load)] > 0.0 ||
+            phase.mix[static_cast<std::size_t>(OpClass::Store)] > 0.0;
+        fatalIf(has_mem && phase.streams.empty(),
+                "phase with memory ops needs at least one stream");
+        cursors_[p].assign(phase.streams.size(), 0);
+    }
+    startSegment();
+}
+
+void
+StreamGenerator::startSegment()
+{
+    std::vector<double> weights(app_.phases.size());
+    for (std::size_t p = 0; p < app_.phases.size(); ++p)
+        weights[p] = app_.phases[p].weight;
+    phaseIdx_ = rng_.nextDiscrete(weights);
+    opsLeftInSegment_ = app_.segmentLength;
+    pc_ = codeBase(phaseIdx_);
+}
+
+std::uint64_t
+StreamGenerator::memAddress(const Phase &phase)
+{
+    std::vector<double> weights(phase.streams.size());
+    for (std::size_t s = 0; s < phase.streams.size(); ++s)
+        weights[s] = phase.streams[s].weight;
+    const std::size_t s = rng_.nextDiscrete(weights);
+    const MemStreamSpec &spec = phase.streams[s];
+    std::uint64_t &cursor = cursors_[phaseIdx_][s];
+    const std::uint64_t ws = std::max<std::uint64_t>(
+        spec.workingSetBytes, 8);
+
+    std::uint64_t offset = 0;
+    switch (spec.kind) {
+      case MemStreamSpec::Kind::Sequential:
+        offset = (cursor * 8) % ws;
+        ++cursor;
+        break;
+      case MemStreamSpec::Kind::Strided:
+        offset = (cursor * std::max<std::uint64_t>(spec.strideBytes, 8))
+            % ws;
+        ++cursor;
+        break;
+      case MemStreamSpec::Kind::Random:
+        if (spec.hotFraction > 0.0) {
+            // Skewed references over a continuous footprint spectrum:
+            // each access first draws an effective footprint between
+            // hotBytes and the full working set (log-uniform, skewed
+            // toward hotBytes by hotFraction), then references
+            // uniformly within it. This yields the smooth, long-
+            // tailed locality profiles of pointer-heavy codes rather
+            // than a two-level step.
+            const std::uint64_t hot = std::clamp<std::uint64_t>(
+                spec.hotBytes, 8, ws);
+            const double skew = 1.0 + 8.0 * spec.hotFraction;
+            const double u = std::pow(rng_.nextDouble(), skew);
+            const double span = static_cast<double>(ws) /
+                static_cast<double>(hot);
+            const auto footprint = static_cast<std::uint64_t>(
+                static_cast<double>(hot) * std::pow(span, u));
+            offset = rng_.nextInt(std::max<std::uint64_t>(
+                                      footprint / 8, 1)) * 8;
+        } else {
+            offset = rng_.nextInt(ws / 8) * 8;
+        }
+        break;
+    }
+    return dataBase(spec.region) + offset;
+}
+
+bool
+StreamGenerator::branchOutcome(const Phase &phase, std::uint64_t pc)
+{
+    // Per-site behavior is a pure function of the site address so a
+    // dynamic predictor in the performance model sees stable biases.
+    // Sites are 64B code regions: real branches are revisited static
+    // instructions, not fresh addresses every dynamic instance.
+    const std::uint64_t h = hashU64((pc >> 6) ^ (app_.seed * 0x9e37ULL));
+    const double u_site = static_cast<double>(h & 0xffff) / 65536.0;
+    const double u_bias =
+        static_cast<double>((h >> 16) & 0xffff) / 65536.0;
+
+    double p_taken;
+    if (u_site < phase.branchPredictability) {
+        // Strongly biased site: nearly always or nearly never taken.
+        p_taken = (u_bias < phase.branchTakenRate) ? 0.97 : 0.03;
+    } else {
+        // Weak site: outcome close to a coin flip.
+        p_taken = 0.3 + 0.4 * u_bias;
+    }
+    return rng_.nextBool(p_taken);
+}
+
+MicroOp
+StreamGenerator::next()
+{
+    if (opsLeftInSegment_ == 0)
+        startSegment();
+    --opsLeftInSegment_;
+
+    const Phase &phase = app_.phases[phaseIdx_];
+    MicroOp op;
+    op.pc = pc_;
+
+    const bool is_branch = rng_.nextBool(1.0 / phase.meanBasicBlock);
+    if (is_branch) {
+        op.cls = OpClass::Branch;
+        op.taken = branchOutcome(phase, pc_);
+        if (op.taken) {
+            const std::uint64_t fp = std::max<std::uint64_t>(
+                phase.codeFootprintBytes, 64);
+            const std::uint64_t target =
+                (hashU64(pc_ * 31 + 7) % (fp / 4)) * 4;
+            pc_ = codeBase(phaseIdx_) + target;
+        } else {
+            pc_ += 4;
+        }
+    } else {
+        std::vector<double> weights(kNumOpClasses, 0.0);
+        for (std::size_t c = 0; c < kNumOpClasses; ++c)
+            weights[c] = phase.mix[c];
+        weights[static_cast<std::size_t>(OpClass::Branch)] = 0.0;
+        op.cls = static_cast<OpClass>(rng_.nextDiscrete(weights));
+        if (op.isMem())
+            op.addr = memAddress(phase);
+        pc_ += 4;
+    }
+
+    // Wrap the PC within the phase's code footprint.
+    const std::uint64_t fp = std::max<std::uint64_t>(
+        phase.codeFootprintBytes, 64);
+    if (pc_ >= codeBase(phaseIdx_) + fp)
+        pc_ = codeBase(phaseIdx_);
+
+    // Producer-consumer dependence.
+    double dep_mean;
+    switch (op.cls) {
+      case OpClass::FpAlu:
+      case OpClass::FpMulDiv:
+        dep_mean = phase.depDistFp;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        dep_mean = phase.depDistMem;
+        break;
+      default:
+        dep_mean = phase.depDistInt;
+        break;
+    }
+    const std::uint64_t dist = rng_.nextPositive(dep_mean);
+    if (dist < kRingSize && dist <= opIndex_) {
+        op.depDist = static_cast<std::uint32_t>(dist);
+        op.producerCls = ring_[(opIndex_ - dist) % kRingSize];
+    }
+
+    ring_[opIndex_ % kRingSize] = op.cls;
+    ++opIndex_;
+    return op;
+}
+
+std::vector<MicroOp>
+StreamGenerator::generate(std::size_t n)
+{
+    std::vector<MicroOp> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+std::vector<Shard>
+makeShards(const AppSpec &app, std::size_t shard_len, std::size_t count)
+{
+    fatalIf(shard_len == 0, "shard length must be > 0");
+    StreamGenerator gen(app);
+    std::vector<Shard> shards;
+    shards.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+        shards.push_back(gen.generate(shard_len));
+    return shards;
+}
+
+} // namespace hwsw::wl

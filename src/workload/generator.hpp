@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic micro-op stream generator for synthetic applications,
+ * plus the shard splitter of Section 2.1.
+ */
+
+#ifndef HWSW_WORKLOAD_GENERATOR_HPP
+#define HWSW_WORKLOAD_GENERATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/microop.hpp"
+#include "workload/phase.hpp"
+
+namespace hwsw::wl {
+
+/** A fixed-length slice of an application's dynamic stream. */
+using Shard = std::vector<MicroOp>;
+
+/**
+ * Generates the dynamic micro-op stream of an AppSpec. The stream is
+ * a deterministic function of the spec (including its seed), so any
+ * component can regenerate identical shards independently.
+ */
+class StreamGenerator
+{
+  public:
+    explicit StreamGenerator(const AppSpec &app);
+
+    /** Produce the next op. */
+    MicroOp next();
+
+    /** Produce n ops. */
+    std::vector<MicroOp> generate(std::size_t n);
+
+    /** Index of the phase the next op will be drawn from. */
+    std::size_t currentPhase() const { return phaseIdx_; }
+
+  private:
+    void startSegment();
+    std::uint64_t memAddress(const Phase &phase);
+    bool branchOutcome(const Phase &phase, std::uint64_t pc);
+
+    const AppSpec app_;
+    Rng rng_;
+
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t opsLeftInSegment_ = 0;
+    std::uint64_t opIndex_ = 0;
+    std::uint64_t pc_ = 0;
+
+    /** Per-phase, per-stream walk cursors. */
+    std::vector<std::vector<std::uint64_t>> cursors_;
+
+    /** Ring buffer of recent op classes for producer lookups. */
+    static constexpr std::size_t kRingSize = 512;
+    std::vector<OpClass> ring_;
+};
+
+/**
+ * Split an application's stream into equal-instruction shards
+ * (the paper uses 10M-instruction shards; experiments here scale the
+ * length down, which preserves the shards-shorter-than-phases
+ * property because segmentLength scales with it).
+ */
+std::vector<Shard> makeShards(const AppSpec &app, std::size_t shard_len,
+                              std::size_t count);
+
+} // namespace hwsw::wl
+
+#endif // HWSW_WORKLOAD_GENERATOR_HPP

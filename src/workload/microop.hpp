@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The dynamic micro-operation record produced by workload generators
+ * and consumed by the profiler and the microarchitecture model.
+ *
+ * This is the substitute for gem5's committed-instruction stream: the
+ * paper profiles SPEC2006 at the commit stage so that software
+ * characteristics are independent of the out-of-order engine; here the
+ * stream itself is microarchitecture-independent by construction.
+ */
+
+#ifndef HWSW_WORKLOAD_MICROOP_HPP
+#define HWSW_WORKLOAD_MICROOP_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hwsw::wl {
+
+/** Operation classes, mirroring the paper's instruction-mix rows. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,    ///< integer ALU
+    IntMulDiv, ///< integer multiply/divide
+    FpAlu,     ///< floating-point add/sub/compare
+    FpMulDiv,  ///< floating-point multiply/divide
+    Load,      ///< memory read
+    Store,     ///< memory write
+    Branch,    ///< control (conditional/unconditional)
+};
+
+/** Number of distinct OpClass values. */
+inline constexpr std::size_t kNumOpClasses = 7;
+
+/** Short mnemonic for an OpClass. */
+std::string_view opClassName(OpClass c);
+
+/** Sentinel for "no producer tracked". */
+inline constexpr std::uint32_t kNoProducer = 0;
+
+/** One committed micro-operation. */
+struct MicroOp
+{
+    /** Byte address touched; meaningful for Load/Store only. */
+    std::uint64_t addr = 0;
+
+    /** Program counter of this op (4-byte granularity). */
+    std::uint64_t pc = 0;
+
+    /**
+     * Distance in dynamic ops back to the producer of this op's
+     * source operand, or kNoProducer when untracked. Drives both the
+     * ILP characteristics (Table 1, x10-x12) and the dependence model
+     * in the performance simulator.
+     */
+    std::uint32_t depDist = kNoProducer;
+
+    OpClass cls = OpClass::IntAlu;
+
+    /** Producer's op class; valid only when depDist != kNoProducer. */
+    OpClass producerCls = OpClass::IntAlu;
+
+    /** Branch outcome; meaningful for Branch only. */
+    bool taken = false;
+
+    bool isMem() const
+    {
+        return cls == OpClass::Load || cls == OpClass::Store;
+    }
+    bool isBranch() const { return cls == OpClass::Branch; }
+};
+
+} // namespace hwsw::wl
+
+#endif // HWSW_WORKLOAD_MICROOP_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Phase descriptors for synthetic applications.
+ *
+ * An application is a sequence of phases, each with a distinct
+ * statistical signature. Shards (Section 2.1 of the paper) are chosen
+ * shorter than phases so intra-application diversity survives
+ * profiling; the generator interleaves phases in segments several
+ * times longer than a shard to reproduce that structure.
+ */
+
+#ifndef HWSW_WORKLOAD_PHASE_HPP
+#define HWSW_WORKLOAD_PHASE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/microop.hpp"
+
+namespace hwsw::wl {
+
+/** One memory reference stream within a phase. */
+struct MemStreamSpec
+{
+    enum class Kind
+    {
+        Sequential, ///< unit-stride walk; high spatial locality
+        Strided,    ///< fixed stride walk; locality set by stride
+        Random,     ///< uniform references; locality set by footprint
+    };
+
+    Kind kind = Kind::Sequential;
+
+    /** Footprint the stream wanders over, in bytes. */
+    std::uint64_t workingSetBytes = 1 << 16;
+
+    /** Stride in bytes; used by Strided only. */
+    std::uint64_t strideBytes = 64;
+
+    /**
+     * For Random streams: probability an access targets the hot
+     * subset of the footprint (skewed, pointer-chase-like locality).
+     * 0 means uniform over the whole working set.
+     */
+    double hotFraction = 0.0;
+
+    /** Size of the hot subset in bytes; used when hotFraction > 0. */
+    std::uint64_t hotBytes = 64 * 1024;
+
+    /** Relative probability a memory op uses this stream. */
+    double weight = 1.0;
+
+    /**
+     * Address region id. Streams with equal ids in different phases
+     * share data, modeling cross-phase data reuse.
+     */
+    std::uint32_t region = 0;
+};
+
+/** Statistical signature of one application phase. */
+struct Phase
+{
+    std::string name;
+
+    /**
+     * Relative weights over non-branch classes, indexed by OpClass
+     * (Branch slot ignored; branch frequency comes from meanBasicBlock).
+     */
+    std::array<double, kNumOpClasses> mix{};
+
+    /** Mean instructions per basic block (#instr / #branches). */
+    double meanBasicBlock = 6.0;
+
+    /** P(taken) for a typical branch site. */
+    double branchTakenRate = 0.4;
+
+    /**
+     * Fraction of branch sites that are strongly biased (and thus
+     * easy for a dynamic predictor); the rest flip near 50/50.
+     */
+    double branchPredictability = 0.9;
+
+    /** Memory streams; at least one required if mix has Load/Store. */
+    std::vector<MemStreamSpec> streams;
+
+    /** Mean producer-consumer distance for integer consumers. */
+    double depDistInt = 4.0;
+
+    /** Mean producer-consumer distance for FP consumers. */
+    double depDistFp = 6.0;
+
+    /** Mean producer-consumer distance for memory address operands. */
+    double depDistMem = 8.0;
+
+    /** Static code footprint in bytes (drives i-cache behavior). */
+    std::uint64_t codeFootprintBytes = 16 << 10;
+
+    /** Fraction of the application's instructions in this phase. */
+    double weight = 1.0;
+};
+
+/** A named synthetic application: phases plus a generator seed. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<Phase> phases;
+    std::uint64_t seed = 1;
+
+    /**
+     * Length of a phase segment in ops. Phases are visited
+     * round-robin (weighted) in segments of this size, which should
+     * exceed the shard length so shards sample mostly-pure phases.
+     */
+    std::uint64_t segmentLength = 24 * 1024;
+};
+
+} // namespace hwsw::wl
+
+#endif // HWSW_WORKLOAD_PHASE_HPP

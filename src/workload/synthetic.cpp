@@ -1,0 +1,109 @@
+#include "workload/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hwsw::wl {
+
+namespace {
+
+/** Log-uniform draw in [lo, hi]. */
+std::uint64_t
+logUniform(Rng &rng, std::uint64_t lo, std::uint64_t hi)
+{
+    const double llo = std::log2(static_cast<double>(lo));
+    const double lhi = std::log2(static_cast<double>(hi));
+    return static_cast<std::uint64_t>(
+        std::exp2(rng.nextUniform(llo, lhi)));
+}
+
+Phase
+samplePhase(Rng &rng, std::size_t phase_idx,
+            const SyntheticOptions &opts)
+{
+    Phase p;
+    p.name = "synthetic-phase-" + std::to_string(phase_idx);
+    p.weight = rng.nextUniform(0.5, 1.5);
+
+    const bool fp = rng.nextBool(opts.fpPhaseProb);
+    const double mem = rng.nextUniform(0.1, 0.5);
+    const double store_share = rng.nextUniform(0.15, 0.4);
+    double fp_alu = 0.0, fp_mul = 0.0, int_mul = 0.0;
+    if (fp) {
+        fp_alu = rng.nextUniform(0.15, 0.5);
+        fp_mul = rng.nextUniform(0.1, 0.35);
+    } else {
+        int_mul = rng.nextUniform(0.0, 0.05);
+    }
+    const double int_alu =
+        std::max(0.05, 1.0 - mem - fp_alu - fp_mul - int_mul);
+    p.mix[static_cast<std::size_t>(OpClass::IntAlu)] = int_alu;
+    p.mix[static_cast<std::size_t>(OpClass::IntMulDiv)] = int_mul;
+    p.mix[static_cast<std::size_t>(OpClass::FpAlu)] = fp_alu;
+    p.mix[static_cast<std::size_t>(OpClass::FpMulDiv)] = fp_mul;
+    p.mix[static_cast<std::size_t>(OpClass::Load)] =
+        mem * (1.0 - store_share);
+    p.mix[static_cast<std::size_t>(OpClass::Store)] = mem * store_share;
+
+    p.meanBasicBlock = rng.nextUniform(3.5, 14.0);
+    p.branchTakenRate = rng.nextUniform(0.3, 0.95);
+    p.branchPredictability = rng.nextUniform(0.72, 0.995);
+
+    // One skewed-random stream plus one sequential stream, footprints
+    // log-uniform so small and large working sets are equally likely.
+    MemStreamSpec rnd;
+    rnd.kind = MemStreamSpec::Kind::Random;
+    rnd.workingSetBytes =
+        logUniform(rng, opts.minFootprint, opts.maxFootprint);
+    rnd.hotBytes = std::max<std::uint64_t>(
+        4096, rnd.workingSetBytes / (1 + rng.nextInt(32)));
+    rnd.hotFraction = rng.nextUniform(0.6, 0.97);
+    rnd.weight = rng.nextUniform(0.3, 1.5);
+    rnd.region = static_cast<std::uint32_t>(200 + phase_idx * 2);
+
+    MemStreamSpec strm;
+    strm.kind = MemStreamSpec::Kind::Sequential;
+    strm.workingSetBytes =
+        logUniform(rng, opts.minFootprint, opts.maxFootprint);
+    strm.weight = rng.nextUniform(0.2, 2.0);
+    strm.region = static_cast<std::uint32_t>(201 + phase_idx * 2);
+    p.streams = {rnd, strm};
+
+    p.depDistInt = rng.nextUniform(2.5, 8.0);
+    p.depDistFp = rng.nextUniform(3.0, 10.0);
+    p.depDistMem = rng.nextUniform(3.0, 18.0);
+    p.codeFootprintBytes = logUniform(rng, 4 << 10, 64 << 10);
+    return p;
+}
+
+} // namespace
+
+AppSpec
+makeSyntheticApp(std::uint64_t seed, const SyntheticOptions &opts)
+{
+    fatalIf(opts.numPhases == 0, "synthetic app needs phases");
+    fatalIf(opts.minFootprint > opts.maxFootprint,
+            "synthetic footprint bounds inverted");
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    AppSpec app;
+    app.name = "synthetic" + std::to_string(seed);
+    app.seed = seed;
+    for (std::size_t i = 0; i < opts.numPhases; ++i)
+        app.phases.push_back(samplePhase(rng, i, opts));
+    return app;
+}
+
+std::vector<AppSpec>
+makeSyntheticSuite(std::size_t count, std::uint64_t first_seed,
+                   const SyntheticOptions &opts)
+{
+    std::vector<AppSpec> apps;
+    apps.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        apps.push_back(makeSyntheticApp(first_seed + i, opts));
+    return apps;
+}
+
+} // namespace hwsw::wl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic benchmark generation (the future-work avenue of Section
+ * 4.5): real applications populate the software space sparsely and
+ * non-uniformly, so models cannot be trained on behavior no
+ * application exhibits. Synthetic benchmarks give explicit control
+ * over software behavior and enable uniform coverage of the space;
+ * coordinated with real profiles, they shrink the outlier problem
+ * (e.g. bwaves).
+ *
+ * makeSyntheticApp() draws every phase parameter -- instruction mix,
+ * locality footprints, dependence slack, branch behavior -- uniformly
+ * from the ranges the archetype library spans (and beyond, toward the
+ * FP-heavy corner real integer suites leave empty).
+ */
+
+#ifndef HWSW_WORKLOAD_SYNTHETIC_HPP
+#define HWSW_WORKLOAD_SYNTHETIC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/phase.hpp"
+
+namespace hwsw::wl {
+
+/** Knobs bounding the sampled behavior space. */
+struct SyntheticOptions
+{
+    /** Phases per synthetic application. */
+    std::size_t numPhases = 2;
+
+    /** Probability a phase is FP-flavored (covers the sparse corner). */
+    double fpPhaseProb = 0.4;
+
+    /** Footprint bounds for data streams, bytes. */
+    std::uint64_t minFootprint = 16 << 10;
+    std::uint64_t maxFootprint = 24 << 20;
+};
+
+/**
+ * Draw one synthetic application with uniformly sampled behavior.
+ * Deterministic in (seed); distinct seeds give distinct apps named
+ * "synthetic<seed>".
+ */
+AppSpec makeSyntheticApp(std::uint64_t seed,
+                         const SyntheticOptions &opts = {});
+
+/** A batch of synthetic applications with consecutive seeds. */
+std::vector<AppSpec> makeSyntheticSuite(
+    std::size_t count, std::uint64_t first_seed = 9000,
+    const SyntheticOptions &opts = {});
+
+} // namespace hwsw::wl
+
+#endif // HWSW_WORKLOAD_SYNTHETIC_HPP

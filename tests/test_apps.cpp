@@ -1,0 +1,165 @@
+// Tests for the SPEC2006-analog suite, parameterized across the
+// seven applications and six variants.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "profiler/profiler.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::wl {
+namespace {
+
+class SuiteAppTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteAppTest, SpecIsWellFormed)
+{
+    const AppSpec app = makeApp(GetParam());
+    EXPECT_EQ(app.name, GetParam());
+    ASSERT_FALSE(app.phases.empty());
+    for (const Phase &p : app.phases) {
+        EXPECT_GE(p.meanBasicBlock, 1.0);
+        EXPECT_GT(p.weight, 0.0);
+        EXPECT_GE(p.branchTakenRate, 0.0);
+        EXPECT_LE(p.branchTakenRate, 1.0);
+        EXPECT_GE(p.branchPredictability, 0.0);
+        EXPECT_LE(p.branchPredictability, 1.0);
+        EXPECT_FALSE(p.streams.empty());
+        EXPECT_GT(p.codeFootprintBytes, 0u);
+    }
+}
+
+TEST_P(SuiteAppTest, GeneratesDeterministically)
+{
+    const AppSpec app = makeApp(GetParam());
+    StreamGenerator a(app), b(app);
+    for (int i = 0; i < 2000; ++i) {
+        const MicroOp x = a.next(), y = b.next();
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+    }
+}
+
+TEST_P(SuiteAppTest, ProfileMatchesDesignIntent)
+{
+    const AppSpec app = makeApp(GetParam());
+    StreamGenerator gen(app);
+    const auto ops = gen.generate(60000);
+    const auto p = prof::profileShard(ops, app.name, 0);
+
+    // Fractions sum to one (every op belongs to a class).
+    const double total = p.ctrlFrac + p.fpAluFrac + p.fpMulFrac +
+        p.intMulFrac + p.intAluFrac + p.memFrac;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(p.avgBasicBlock, 1.0);
+    EXPECT_GT(p.avgDReuse, 0.0);
+    EXPECT_GT(p.avgIReuse, 0.0);
+
+    if (GetParam() == "bwaves") {
+        // The Section 4.5 outlier: FP heavy, memory light.
+        EXPECT_GT(p.fpAluFrac + p.fpMulFrac, 0.4);
+        EXPECT_LT(p.memFrac, 0.2);
+    } else {
+        EXPECT_EQ(p.fpAluFrac + p.fpMulFrac > 0.3,
+                  GetParam() == "gemsFDTD");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SuiteAppTest,
+                         ::testing::ValuesIn(suiteAppNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Suite, HasSevenApps)
+{
+    EXPECT_EQ(suiteAppNames().size(), 7u);
+    EXPECT_EQ(makeSuite().size(), 7u);
+}
+
+TEST(Suite, UnknownAppIsFatal)
+{
+    EXPECT_THROW(makeApp("gcc"), FatalError);
+}
+
+TEST(Suite, BwavesHasMoreTakenBranchesPerInstruction)
+{
+    // Figure 9(a): bwaves has far more taken branches than the rest.
+    double bwaves_taken = 0, others_taken = 0;
+    int others = 0;
+    for (const auto &name : suiteAppNames()) {
+        StreamGenerator gen(makeApp(name));
+        const auto ops = gen.generate(40000);
+        const auto p = prof::profileShard(ops, name, 0);
+        if (name == "bwaves") {
+            bwaves_taken = p.takenFrac;
+        } else {
+            others_taken += p.takenFrac;
+            ++others;
+        }
+    }
+    EXPECT_GT(bwaves_taken, 1.5 * others_taken / others);
+}
+
+class VariantTest : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(VariantTest, VariantChangesBehavior)
+{
+    const AppSpec base = makeApp("bzip2");
+    const AppSpec var = applyVariant(base, GetParam());
+    if (GetParam() == Variant::Base) {
+        EXPECT_EQ(var.name, base.name);
+        return;
+    }
+    EXPECT_NE(var.name, base.name);
+    EXPECT_NE(var.seed, base.seed);
+
+    // The dynamic stream must actually differ.
+    StreamGenerator a(base), b(var);
+    int diff = 0;
+    for (int i = 0; i < 2000; ++i)
+        diff += (a.next().addr != b.next().addr);
+    EXPECT_GT(diff, 100);
+}
+
+TEST_P(VariantTest, VariantName)
+{
+    EXPECT_FALSE(std::string(variantName(GetParam())).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantTest,
+    ::testing::Values(Variant::Base, Variant::O1, Variant::O3,
+                      Variant::V1, Variant::V2, Variant::V3));
+
+TEST(Variants, O3IncreasesDependenceSlack)
+{
+    const AppSpec base = makeApp("hmmer");
+    const AppSpec o3 = applyVariant(base, Variant::O3);
+    const AppSpec o1 = applyVariant(base, Variant::O1);
+    for (std::size_t p = 0; p < base.phases.size(); ++p) {
+        EXPECT_GT(o3.phases[p].depDistInt, base.phases[p].depDistInt);
+        EXPECT_LT(o1.phases[p].depDistInt, base.phases[p].depDistInt);
+    }
+}
+
+TEST(Variants, InputVariantsScaleWorkingSets)
+{
+    const AppSpec base = makeApp("omnetpp");
+    const AppSpec v1 = applyVariant(base, Variant::V1);
+    const AppSpec v3 = applyVariant(base, Variant::V3);
+    for (std::size_t p = 0; p < base.phases.size(); ++p) {
+        for (std::size_t s = 0; s < base.phases[p].streams.size(); ++s) {
+            EXPECT_LT(v1.phases[p].streams[s].workingSetBytes,
+                      base.phases[p].streams[s].workingSetBytes);
+            EXPECT_GT(v3.phases[p].streams[s].workingSetBytes,
+                      base.phases[p].streams[s].workingSetBytes);
+        }
+    }
+}
+
+} // namespace
+} // namespace hwsw::wl

@@ -1,0 +1,178 @@
+// Unit tests for BCSR, including the exact Figure 11 example.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "common/rng.hpp"
+#include "spmv/bcsr.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+/** The 4x6 matrix of Figure 11. */
+CsrMatrix
+figure11Matrix()
+{
+    // A = [ a00 a01  0   0   0   0
+    //       a10 a11  0   0  a14 a15
+    //        0   0  a22  0  a24 a25
+    //        0   0   0  a33 a34 a35 ]
+    // Distinct values encode their position: value(r,c) = 10r + c + 1.
+    auto v = [](int r, int c) { return 10.0 * r + c + 1.0; };
+    return CsrMatrix(4, 6,
+                     {{0, 0, v(0, 0)}, {0, 1, v(0, 1)},
+                      {1, 0, v(1, 0)}, {1, 1, v(1, 1)},
+                      {1, 4, v(1, 4)}, {1, 5, v(1, 5)},
+                      {2, 2, v(2, 2)}, {2, 4, v(2, 4)},
+                      {2, 5, v(2, 5)}, {3, 3, v(3, 3)},
+                      {3, 4, v(3, 4)}, {3, 5, v(3, 5)}});
+}
+
+TEST(Bcsr, Figure11Layout)
+{
+    const CsrMatrix csr = figure11Matrix();
+    const BcsrMatrix m = BcsrMatrix::fromCsr(csr, 2, 2);
+
+    // b_row_start = (0 2 4): block row 0 has 2 blocks, row 1 has 2.
+    ASSERT_EQ(m.rowStart().size(), 3u);
+    EXPECT_EQ(m.rowStart()[0], 0u);
+    EXPECT_EQ(m.rowStart()[1], 2u);
+    EXPECT_EQ(m.rowStart()[2], 4u);
+
+    // b_col_idx = (0 4 2 4): first column of each stored block.
+    ASSERT_EQ(m.colIdx().size(), 4u);
+    EXPECT_EQ(m.colIdx()[0], 0);
+    EXPECT_EQ(m.colIdx()[1], 4);
+    EXPECT_EQ(m.colIdx()[2], 2);
+    EXPECT_EQ(m.colIdx()[3], 4);
+
+    // b_value, row-major within 2x2 blocks:
+    // (a00 a01 a10 a11 | 0 0 a14 a15 | a22 0 0 a33 | a24 a25 a34 a35)
+    auto v = [](int r, int c) { return 10.0 * r + c + 1.0; };
+    const std::vector<double> expect = {
+        v(0, 0), v(0, 1), v(1, 0), v(1, 1),
+        0.0, 0.0, v(1, 4), v(1, 5),
+        v(2, 2), 0.0, 0.0, v(3, 3),
+        v(2, 4), v(2, 5), v(3, 4), v(3, 5),
+    };
+    ASSERT_EQ(m.values().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_DOUBLE_EQ(m.values()[i], expect[i]) << "index " << i;
+
+    // Four explicit zeros stored: fill ratio 16/12.
+    EXPECT_EQ(m.storedValues(), 16u);
+    EXPECT_EQ(m.originalNnz(), 12u);
+    EXPECT_NEAR(m.fillRatio(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(Bcsr, Fill11IsAlwaysOne)
+{
+    const CsrMatrix csr = figure11Matrix();
+    const BcsrMatrix m = BcsrMatrix::fromCsr(csr, 1, 1);
+    EXPECT_DOUBLE_EQ(m.fillRatio(), 1.0);
+    EXPECT_EQ(m.numBlocks(), csr.nnz());
+}
+
+TEST(Bcsr, MultiplyMatchesCsrForAllBlockSizes)
+{
+    Rng rng(7);
+    // Random 20x20 sparse matrix; every block size 1..8 x 1..8 must
+    // produce the same product as CSR (property sweep).
+    std::vector<Triplet> entries;
+    for (int k = 0; k < 90; ++k) {
+        entries.push_back({static_cast<std::int32_t>(rng.nextInt(20)),
+                           static_cast<std::int32_t>(rng.nextInt(20)),
+                           rng.nextUniform(0.5, 2.0)});
+    }
+    const CsrMatrix csr(20, 20, entries);
+    std::vector<double> x(20);
+    for (auto &v : x)
+        v = rng.nextUniform(-1, 1);
+    const auto want = csr.multiply(x);
+
+    for (std::int32_t br = 1; br <= 8; ++br) {
+        for (std::int32_t bc = 1; bc <= 8; ++bc) {
+            const BcsrMatrix m = BcsrMatrix::fromCsr(csr, br, bc);
+            const auto got = m.multiply(x);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                ASSERT_NEAR(got[i], want[i], 1e-10)
+                    << br << "x" << bc << " row " << i;
+            }
+        }
+    }
+}
+
+TEST(Bcsr, NonDividingDimensions)
+{
+    // 5x7 matrix with 3x2 blocks: ragged edge blocks must work.
+    Rng rng(9);
+    std::vector<Triplet> entries;
+    for (int k = 0; k < 20; ++k) {
+        entries.push_back({static_cast<std::int32_t>(rng.nextInt(5)),
+                           static_cast<std::int32_t>(rng.nextInt(7)),
+                           1.0});
+    }
+    const CsrMatrix csr(5, 7, entries);
+    const BcsrMatrix m = BcsrMatrix::fromCsr(csr, 3, 2);
+    std::vector<double> x(7, 1.0);
+    const auto want = csr.multiply(x);
+    const auto got = m.multiply(x);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-12);
+    EXPECT_EQ(m.numBlockRows(), 2);
+}
+
+TEST(Bcsr, FillRatioGrowsWithBlockSizeOnScatteredMatrix)
+{
+    // Scattered entries: bigger blocks need more padding.
+    Rng rng(11);
+    std::vector<Triplet> entries;
+    for (int k = 0; k < 60; ++k) {
+        entries.push_back({static_cast<std::int32_t>(rng.nextInt(48)),
+                           static_cast<std::int32_t>(rng.nextInt(48)),
+                           1.0});
+    }
+    const CsrMatrix csr(48, 48, entries);
+    EXPECT_DOUBLE_EQ(fillRatio(csr, 1, 1), 1.0);
+    EXPECT_GT(fillRatio(csr, 4, 4), 2.0);
+    EXPECT_GE(fillRatio(csr, 8, 8), fillRatio(csr, 4, 4) * 0.9);
+}
+
+TEST(Bcsr, FillRatioFunctionMatchesMaterialized)
+{
+    const CsrMatrix csr = figure11Matrix();
+    for (std::int32_t br = 1; br <= 4; ++br) {
+        for (std::int32_t bc = 1; bc <= 4; ++bc) {
+            const BcsrMatrix m = BcsrMatrix::fromCsr(csr, br, bc);
+            EXPECT_NEAR(fillRatio(csr, br, bc), m.fillRatio(), 1e-12);
+        }
+    }
+}
+
+TEST(Bcsr, StructureMatchesMatrix)
+{
+    const CsrMatrix csr = figure11Matrix();
+    const BcsrMatrix m = BcsrMatrix::fromCsr(csr, 2, 2);
+    const BcsrStructure s = BcsrStructure::fromCsr(csr, 2, 2);
+    EXPECT_EQ(s.numBlocks(), m.numBlocks());
+    EXPECT_EQ(s.storedValues(), m.storedValues());
+    EXPECT_NEAR(s.fillRatio(), m.fillRatio(), 1e-12);
+    ASSERT_EQ(s.rowStart.size(), m.rowStart().size());
+    for (std::size_t i = 0; i < s.rowStart.size(); ++i)
+        EXPECT_EQ(s.rowStart[i], m.rowStart()[i]);
+    ASSERT_EQ(s.colIdx.size(), m.colIdx().size());
+    for (std::size_t i = 0; i < s.colIdx.size(); ++i)
+        EXPECT_EQ(s.colIdx[i], m.colIdx()[i]);
+}
+
+TEST(Bcsr, RejectsBadBlockDims)
+{
+    const CsrMatrix csr = figure11Matrix();
+    EXPECT_THROW(BcsrMatrix::fromCsr(csr, 0, 1), FatalError);
+    EXPECT_THROW(BcsrMatrix::fromCsr(csr, 1, 17), FatalError);
+    EXPECT_THROW(fillRatio(csr, -1, 2), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::spmv

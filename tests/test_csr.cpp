@@ -1,0 +1,87 @@
+// Unit tests for CSR matrices.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "spmv/csr.hpp"
+#include "common/assert.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+TEST(Csr, BuildAndQuery)
+{
+    CsrMatrix m(3, 4, {{0, 1, 2.0}, {2, 3, 5.0}, {0, 0, 1.0}});
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 3.0 / 12.0);
+    // Row 0 sorted by column.
+    EXPECT_EQ(m.rowStart()[0], 0u);
+    EXPECT_EQ(m.rowStart()[1], 2u);
+    EXPECT_EQ(m.rowStart()[2], 2u);
+    EXPECT_EQ(m.rowStart()[3], 3u);
+    EXPECT_EQ(m.colIdx()[0], 0);
+    EXPECT_EQ(m.colIdx()[1], 1);
+    EXPECT_DOUBLE_EQ(m.values()[0], 1.0);
+}
+
+TEST(Csr, DuplicatesAreSummed)
+{
+    CsrMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+    EXPECT_EQ(m.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(m.values()[0], 3.5);
+}
+
+TEST(Csr, OutOfRangeEntryIsFatal)
+{
+    EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), FatalError);
+    EXPECT_THROW(CsrMatrix(2, 2, {{0, -1, 1.0}}), FatalError);
+    EXPECT_THROW(CsrMatrix(0, 2, {}), FatalError);
+}
+
+TEST(Csr, MultiplyMatchesDense)
+{
+    const std::vector<std::vector<double>> dense = {
+        {1, 0, 2}, {0, 0, 0}, {3, 4, 0}};
+    const CsrMatrix m = CsrMatrix::fromDense(dense);
+    const std::vector<double> x = {1, 2, 3};
+    const auto y = m.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_DOUBLE_EQ(y[2], 11.0);
+}
+
+TEST(Csr, MultiplySizeMismatchPanics)
+{
+    const CsrMatrix m = CsrMatrix::fromDense({{1.0}});
+    std::vector<double> x = {1, 2};
+    EXPECT_THROW(m.multiply(x), PanicError);
+}
+
+TEST(Csr, RandomRoundTripThroughDense)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 3; ++trial) {
+        const int n = 12;
+        std::vector<std::vector<double>> dense(
+            n, std::vector<double>(n, 0.0));
+        for (int k = 0; k < 40; ++k) {
+            dense[rng.nextInt(n)][rng.nextInt(n)] =
+                rng.nextUniform(0.5, 2.0);
+        }
+        const CsrMatrix m = CsrMatrix::fromDense(dense);
+        std::vector<double> x(n);
+        for (auto &v : x)
+            v = rng.nextUniform(-1, 1);
+        const auto y = m.multiply(x);
+        for (int r = 0; r < n; ++r) {
+            double want = 0;
+            for (int c = 0; c < n; ++c)
+                want += dense[r][c] * x[c];
+            EXPECT_NEAR(y[r], want, 1e-12);
+        }
+    }
+}
+
+} // namespace
+} // namespace hwsw::spmv

@@ -1,0 +1,164 @@
+// Unit tests for the profile dataset.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <set>
+
+#include "core/dataset.hpp"
+
+namespace hwsw::core {
+namespace {
+
+ProfileRecord
+rec(const std::string &app, double perf, double x0 = 0.0)
+{
+    ProfileRecord r;
+    r.app = app;
+    r.perf = perf;
+    r.vars[0] = x0;
+    return r;
+}
+
+TEST(Dataset, AddAndIndex)
+{
+    Dataset ds;
+    EXPECT_TRUE(ds.empty());
+    ds.add(rec("a", 1.0));
+    ds.add(rec("b", 2.0));
+    ds.add(rec("a", 3.0));
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds[2].app, "a");
+    EXPECT_THROW(ds[3], PanicError);
+}
+
+TEST(Dataset, AppNamesFirstSeenOrder)
+{
+    Dataset ds;
+    ds.add(rec("z", 1.0));
+    ds.add(rec("a", 1.0));
+    ds.add(rec("z", 1.0));
+    ASSERT_EQ(ds.appNames().size(), 2u);
+    EXPECT_EQ(ds.appNames()[0], "z");
+    EXPECT_EQ(ds.appNames()[1], "a");
+}
+
+TEST(Dataset, IndicesForApp)
+{
+    Dataset ds;
+    ds.add(rec("a", 1.0));
+    ds.add(rec("b", 2.0));
+    ds.add(rec("a", 3.0));
+    const auto idx = ds.indicesForApp("a");
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 2u);
+    EXPECT_TRUE(ds.indicesForApp("nope").empty());
+}
+
+TEST(Dataset, Columns)
+{
+    Dataset ds;
+    ds.add(rec("a", 1.0, 10.0));
+    ds.add(rec("a", 2.0, 20.0));
+    const auto col = ds.column(0);
+    EXPECT_DOUBLE_EQ(col[0], 10.0);
+    EXPECT_DOUBLE_EQ(col[1], 20.0);
+    const auto perf = ds.perfColumn();
+    EXPECT_DOUBLE_EQ(perf[1], 2.0);
+    EXPECT_THROW(ds.column(kNumVars), PanicError);
+}
+
+TEST(Dataset, VarNamesCoverSoftwareAndHardware)
+{
+    const auto &names = Dataset::varNames();
+    ASSERT_EQ(names.size(), kNumVars);
+    EXPECT_EQ(names[0], "x1.ctrl");
+    EXPECT_EQ(names[kNumSw], "y1.width");
+    EXPECT_TRUE(isSoftwareVar(0));
+    EXPECT_TRUE(isSoftwareVar(kNumSw - 1));
+    EXPECT_FALSE(isSoftwareVar(kNumSw));
+}
+
+TEST(Dataset, Subset)
+{
+    Dataset ds;
+    ds.add(rec("a", 1.0));
+    ds.add(rec("b", 2.0));
+    ds.add(rec("c", 3.0));
+    std::vector<std::size_t> idx = {2, 0};
+    const Dataset sub = ds.subset(idx);
+    ASSERT_EQ(sub.size(), 2u);
+    EXPECT_EQ(sub[0].app, "c");
+    EXPECT_EQ(sub[1].app, "a");
+}
+
+TEST(Dataset, SplitAppPartitions)
+{
+    Dataset ds;
+    for (int i = 0; i < 20; ++i)
+        ds.add(rec("a", i));
+    for (int i = 0; i < 5; ++i)
+        ds.add(rec("b", i));
+    Rng rng(3);
+    const auto split = ds.splitApp("a", 0.7, rng);
+    EXPECT_EQ(split.train.size(), 14u);
+    EXPECT_EQ(split.validation.size(), 6u);
+
+    // Disjoint, covering, and all from app "a".
+    std::set<std::size_t> all(split.train.begin(), split.train.end());
+    for (std::size_t i : split.validation) {
+        EXPECT_TRUE(all.insert(i).second);
+        EXPECT_EQ(ds[i].app, "a");
+    }
+    EXPECT_EQ(all.size(), 20u);
+}
+
+TEST(Dataset, SplitAppRejectsBadFraction)
+{
+    Dataset ds;
+    ds.add(rec("a", 1.0));
+    ds.add(rec("a", 2.0));
+    Rng rng(1);
+    EXPECT_THROW(ds.splitApp("a", 0.0, rng), FatalError);
+    EXPECT_THROW(ds.splitApp("a", 1.0, rng), FatalError);
+}
+
+TEST(Dataset, SplitAppNeedsTwoRecords)
+{
+    Dataset ds;
+    ds.add(rec("a", 1.0));
+    Rng rng(1);
+    EXPECT_THROW(ds.splitApp("a", 0.5, rng), FatalError);
+}
+
+TEST(Dataset, MakeRecordPacksFeatures)
+{
+    prof::ShardProfile p;
+    p.app = "demo";
+    p.shardIndex = 4;
+    p.memFrac = 0.4;
+    p.avgDReuse = 123.0;
+    uarch::UarchConfig cfg;
+    cfg.width = 8;
+    const ProfileRecord r = makeRecord(p, cfg, 1.7);
+    EXPECT_EQ(r.app, "demo");
+    EXPECT_EQ(r.shardIndex, 4u);
+    EXPECT_DOUBLE_EQ(r.perf, 1.7);
+    EXPECT_DOUBLE_EQ(r.vars[6], 0.4);   // x7 mem
+    EXPECT_DOUBLE_EQ(r.vars[7], 123.0); // x8 d_reuse
+    EXPECT_DOUBLE_EQ(r.vars[kNumSw], 8.0); // y1 width
+}
+
+TEST(Dataset, AddAllMerges)
+{
+    Dataset a, b;
+    a.add(rec("x", 1.0));
+    b.add(rec("y", 2.0));
+    a.addAll(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.appNames().size(), 2u);
+}
+
+} // namespace
+} // namespace hwsw::core

@@ -1,0 +1,138 @@
+// Unit tests for descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+#include <vector>
+
+#include "common/descriptive.hpp"
+#include "common/rng.hpp"
+
+namespace hwsw {
+namespace {
+
+TEST(Descriptive, MeanAndVariance)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+    EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero)
+{
+    std::vector<double> xs = {4.2};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Descriptive, MeanOfEmptyPanics)
+{
+    std::vector<double> xs;
+    EXPECT_THROW(mean(xs), PanicError);
+}
+
+TEST(Descriptive, SkewnessSignReflectsTail)
+{
+    // Long right tail => positive skewness (Figure 3(a) shape).
+    std::vector<double> right = {1, 1, 1, 2, 2, 3, 50};
+    EXPECT_GT(skewness(right), 1.0);
+    std::vector<double> left = {-50, 1, 1, 1, 2, 2, 3};
+    EXPECT_LT(skewness(left), -1.0);
+    std::vector<double> sym = {-2, -1, 0, 1, 2};
+    EXPECT_NEAR(skewness(sym), 0.0, 1e-12);
+}
+
+TEST(Descriptive, SkewnessOfConstantIsZero)
+{
+    std::vector<double> xs = {3, 3, 3, 3};
+    EXPECT_DOUBLE_EQ(skewness(xs), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolates)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput)
+{
+    std::vector<double> xs = {40, 10, 30, 20};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadFraction)
+{
+    std::vector<double> xs = {1, 2};
+    EXPECT_THROW(quantile(xs, -0.1), FatalError);
+    EXPECT_THROW(quantile(xs, 1.1), FatalError);
+}
+
+TEST(Descriptive, SummaryFields)
+{
+    std::vector<double> xs = {5, 1, 3, 2, 4};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.n, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.q1, 2.0);
+    EXPECT_DOUBLE_EQ(s.q3, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Descriptive, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonZeroForConstant)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {5, 5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Descriptive, SpearmanMonotoneNonlinear)
+{
+    // Monotone but non-linear: rank correlation is exactly 1.
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+    EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Descriptive, RanksAverageTies)
+{
+    std::vector<double> xs = {10, 20, 20, 30};
+    const std::vector<double> r = ranks(xs);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Descriptive, SpearmanInvariantToMonotoneTransform)
+{
+    Rng rng(5);
+    std::vector<double> xs, ys, ys2;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.nextDouble();
+        xs.push_back(x);
+        ys.push_back(x + 0.1 * rng.nextGaussian());
+    }
+    for (double y : ys)
+        ys2.push_back(std::exp(3.0 * y)); // strictly monotone
+    EXPECT_NEAR(spearman(xs, ys), spearman(xs, ys2), 1e-12);
+}
+
+} // namespace
+} // namespace hwsw

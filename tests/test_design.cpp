@@ -1,0 +1,176 @@
+// Unit tests for basis learning and design-matrix construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+#include "core/design.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/** A small synthetic dataset with two variables varying. */
+Dataset
+toyData(std::size_t n = 50)
+{
+    Dataset ds;
+    Rng rng(13);
+    for (std::size_t i = 0; i < n; ++i) {
+        ProfileRecord r;
+        r.app = "toy";
+        r.vars[0] = rng.nextUniform(0.0, 1.0);
+        r.vars[7] = std::exp(rng.nextGaussian() * 2.0 + 5.0); // long tail
+        r.vars[kNumSw] = 1 << rng.nextInt(4); // width-like
+        r.perf = 1.0 + r.vars[0];
+        ds.add(r);
+    }
+    return ds;
+}
+
+TEST(GeneColumnCount, PerTransformation)
+{
+    EXPECT_EQ(geneColumnCount(GeneTx::Excluded), 0u);
+    EXPECT_EQ(geneColumnCount(GeneTx::Linear), 1u);
+    EXPECT_EQ(geneColumnCount(GeneTx::Quadratic), 2u);
+    EXPECT_EQ(geneColumnCount(GeneTx::Cubic), 3u);
+    EXPECT_EQ(geneColumnCount(GeneTx::Spline), 6u);
+}
+
+TEST(BasisTable, StabilizesLongTailedVariables)
+{
+    const BasisTable basis = computeBasisTable(toyData(400));
+    // Variable 7 is log-normal with heavy tail: the ladder must pick
+    // a non-identity transform (Figure 3(b)).
+    EXPECT_NE(basis[7].stab.power(), stats::Power::Identity);
+    EXPECT_LT(basis[7].lo, basis[7].hi);
+    // Knots are increasing within the normalized scale.
+    EXPECT_LT(basis[7].knots[0], basis[7].knots[1]);
+    EXPECT_LT(basis[7].knots[1], basis[7].knots[2]);
+}
+
+TEST(BasisTable, DegenerateConstantVariable)
+{
+    // Variables never varying (most are zero in toyData) must still
+    // produce a usable basis.
+    const BasisTable basis = computeBasisTable(toyData(30));
+    EXPECT_LT(basis[3].lo, basis[3].hi); // synthetic widening
+}
+
+TEST(DesignBuilder, ColumnCountMatchesSpec)
+{
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 1; // linear: 1
+    spec.genes[7] = 4; // spline: 6
+    spec.genes[kNumSw] = 2; // quadratic: 2
+    spec.interactions = {{0, 7}, {0, static_cast<std::uint16_t>(kNumSw)}};
+    const DesignBuilder b(spec, ds);
+    EXPECT_EQ(b.numColumns(), 1u + 1u + 6u + 2u + 2u);
+    EXPECT_EQ(b.columnNames().size(), b.numColumns());
+    EXPECT_EQ(b.columnNames()[0], "1");
+}
+
+TEST(DesignBuilder, BuildShape)
+{
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 3;
+    const DesignBuilder b(spec, ds);
+    const stats::Matrix X = b.build(ds);
+    EXPECT_EQ(X.rows(), ds.size());
+    EXPECT_EQ(X.cols(), b.numColumns());
+    // Intercept column is all ones.
+    for (std::size_t r = 0; r < X.rows(); ++r)
+        EXPECT_DOUBLE_EQ(X(r, 0), 1.0);
+}
+
+TEST(DesignBuilder, BaseValuesNormalizedOnTrainingRange)
+{
+    const Dataset ds = toyData(200);
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    const DesignBuilder b(spec, ds);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const double u = b.baseValue(ds[i], 0);
+        EXPECT_GE(u, -1e-12);
+        EXPECT_LE(u, 1.0 + 1e-12);
+    }
+}
+
+TEST(DesignBuilder, PolynomialColumnsArePowers)
+{
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 3; // cubic
+    const DesignBuilder b(spec, ds);
+    std::vector<double> row(b.numColumns());
+    b.fillRow(ds[5], row);
+    const double u = b.baseValue(ds[5], 0);
+    EXPECT_DOUBLE_EQ(row[1], u);
+    EXPECT_DOUBLE_EQ(row[2], u * u);
+    EXPECT_DOUBLE_EQ(row[3], u * u * u);
+}
+
+TEST(DesignBuilder, InteractionIsProductOfBaseValues)
+{
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    spec.genes[7] = 1;
+    spec.interactions = {{0, 7}};
+    const DesignBuilder b(spec, ds);
+    std::vector<double> row(b.numColumns());
+    b.fillRow(ds[3], row);
+    EXPECT_NEAR(row.back(),
+                b.baseValue(ds[3], 0) * b.baseValue(ds[3], 7), 1e-12);
+}
+
+TEST(DesignBuilder, InteractionAllowedForExcludedVariable)
+{
+    // The chromosome encodes interactions independently of genes.
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    spec.interactions = {{5, 9}}; // neither var has a gene
+    const DesignBuilder b(spec, ds);
+    EXPECT_EQ(b.numColumns(), 1u + 1u + 1u);
+}
+
+TEST(DesignBuilder, SplineColumnsMatchKnots)
+{
+    const Dataset ds = toyData(300);
+    ModelSpec spec;
+    spec.genes[7] = 4;
+    const DesignBuilder b(spec, ds);
+    std::vector<double> row(b.numColumns());
+    b.fillRow(ds[0], row);
+    const double u = b.baseValue(ds[0], 7);
+    EXPECT_DOUBLE_EQ(row[1], u);
+    EXPECT_DOUBLE_EQ(row[2], u * u);
+    EXPECT_DOUBLE_EQ(row[3], u * u * u);
+    // Hinge terms are non-negative and zero when u below the knot.
+    for (int k = 0; k < 3; ++k)
+        EXPECT_GE(row[4 + k], 0.0);
+}
+
+TEST(DesignBuilder, FillRowSizeMismatchPanics)
+{
+    const Dataset ds = toyData();
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    const DesignBuilder b(spec, ds);
+    std::vector<double> bad(b.numColumns() + 1);
+    EXPECT_THROW(b.fillRow(ds[0], bad), PanicError);
+}
+
+TEST(DesignBuilder, EmptyTrainingIsFatal)
+{
+    Dataset empty;
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    EXPECT_THROW(DesignBuilder(spec, empty), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::core

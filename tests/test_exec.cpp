@@ -1,0 +1,158 @@
+// Property tests for the SpMV execution model (Section 5.2 trends).
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "spmv/exec.hpp"
+#include "spmv/matgen.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+const CsrMatrix &
+testMatrix()
+{
+    static const CsrMatrix m =
+        generateMatrix(matrixInfo("olafu"), 0.15, 7);
+    return m;
+}
+
+SpmvResult
+run(std::int32_t br, std::int32_t bc, const SpmvCacheConfig &cache)
+{
+    const BcsrStructure s = BcsrStructure::fromCsr(testMatrix(), br, bc);
+    SimOptions opts;
+    opts.maxAccesses = 120 * 1000;
+    return simulateSpmv(s, cache, opts);
+}
+
+TEST(SpmvExec, BasicInvariants)
+{
+    const SpmvResult r = run(1, 1, SpmvCacheConfig{});
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.instructions, 0.0);
+    EXPECT_GT(r.mflops, 0.0);
+    EXPECT_GT(r.energyNJ, 0.0);
+    EXPECT_GT(r.powerW, 0.0);
+    EXPECT_EQ(r.trueFlops, 2 * testMatrix().nnz());
+    EXPECT_EQ(r.storedFlops, r.trueFlops); // 1x1: no fill
+    EXPECT_GE(r.dMisses, 0.0);
+    EXPECT_LE(r.dMisses, r.dAccesses);
+    EXPECT_LE(r.iMisses, r.iAccesses);
+    EXPECT_NEAR(r.seconds, r.cycles / kClockHz, 1e-15);
+}
+
+TEST(SpmvExec, TrueFlopsExcludeFill)
+{
+    // Blocking at an incommensurate size pads with zeros; true flops
+    // stay fixed while stored flops grow (the paper's metric).
+    const SpmvResult r = run(5, 5, SpmvCacheConfig{});
+    EXPECT_EQ(r.trueFlops, 2 * testMatrix().nnz());
+    EXPECT_GT(r.storedFlops, r.trueFlops);
+}
+
+TEST(SpmvExec, NaturalBlockingImprovesPerformance)
+{
+    // olafu has 3x3 natural blocks: 3x3 blocking must beat 1x1 on
+    // the default cache (fewer index accesses, better locality).
+    const SpmvResult unblocked = run(1, 1, SpmvCacheConfig{});
+    const SpmvResult blocked = run(3, 3, SpmvCacheConfig{});
+    EXPECT_GT(blocked.mflops, unblocked.mflops);
+}
+
+TEST(SpmvExec, HighFillHurtsPerformance)
+{
+    // An incommensurate large block pays for fill without locality
+    // benefit relative to the natural size (Figure 12's fR > 1.25).
+    const SpmvResult natural = run(3, 3, SpmvCacheConfig{});
+    const SpmvResult padded = run(7, 7, SpmvCacheConfig{});
+    const BcsrStructure s7 = BcsrStructure::fromCsr(testMatrix(), 7, 7);
+    ASSERT_GT(s7.fillRatio(), 1.25);
+    EXPECT_LT(padded.mflops, natural.mflops);
+}
+
+TEST(SpmvExec, LongerLinesHelpStreaming)
+{
+    // SpMV streams values: longer cache lines amortize latency
+    // (Figure 13's main trend).
+    SpmvCacheConfig short_line;
+    short_line.lineBytes = 16;
+    SpmvCacheConfig long_line;
+    long_line.lineBytes = 128;
+    const SpmvResult s = run(3, 3, short_line);
+    const SpmvResult l = run(3, 3, long_line);
+    EXPECT_GT(l.mflops, s.mflops);
+}
+
+TEST(SpmvExec, LongerLinesTransferMoreWords)
+{
+    SpmvCacheConfig short_line;
+    short_line.lineBytes = 16;
+    SpmvCacheConfig long_line;
+    long_line.lineBytes = 128;
+    const SpmvResult s = run(1, 1, short_line);
+    const SpmvResult l = run(1, 1, long_line);
+    // More memory traffic per miss with long lines on unblocked
+    // (scattered) access -- the paper's energy argument.
+    EXPECT_GT(l.memWords, s.memWords * 0.9);
+    EXPECT_GT(l.nJPerFlop, s.nJPerFlop * 0.8);
+}
+
+TEST(SpmvExec, BiggerDcacheNeverSlower)
+{
+    SpmvCacheConfig small;
+    small.dsizeKB = 4;
+    SpmvCacheConfig big;
+    big.dsizeKB = 256;
+    EXPECT_GE(run(3, 3, big).mflops, run(3, 3, small).mflops * 0.98);
+}
+
+TEST(SpmvExec, BlockingReducesEnergy)
+{
+    // Figure 16(b): application tuning reduces nJ/Flop via locality.
+    const SpmvResult unblocked = run(1, 1, SpmvCacheConfig{});
+    const SpmvResult blocked = run(3, 3, SpmvCacheConfig{});
+    EXPECT_LT(blocked.nJPerFlop, unblocked.nJPerFlop);
+}
+
+TEST(SpmvExec, SamplingApproximatesFullSimulation)
+{
+    const BcsrStructure s = BcsrStructure::fromCsr(testMatrix(), 3, 3);
+    SimOptions full;
+    full.maxAccesses = 0; // no sampling
+    SimOptions sampled;
+    sampled.maxAccesses = 100 * 1000;
+    const SpmvResult a = simulateSpmv(s, SpmvCacheConfig{}, full);
+    const SpmvResult b = simulateSpmv(s, SpmvCacheConfig{}, sampled);
+    EXPECT_NEAR(b.mflops, a.mflops, 0.15 * a.mflops);
+    EXPECT_NEAR(b.nJPerFlop, a.nJPerFlop, 0.15 * a.nJPerFlop);
+}
+
+TEST(SpmvExec, DeterministicForFixedSeed)
+{
+    const SpmvResult a = run(2, 2, SpmvCacheConfig{});
+    const SpmvResult b = run(2, 2, SpmvCacheConfig{});
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energyNJ, b.energyNJ);
+}
+
+TEST(SpmvExec, EmptyMatrixIsFatal)
+{
+    BcsrStructure empty;
+    EXPECT_THROW(simulateSpmv(empty, SpmvCacheConfig{}), FatalError);
+}
+
+TEST(SpmvExec, TinyICacheThrashesOnBigKernels)
+{
+    // An 8x8 unrolled kernel outgrows a 2KB i-cache.
+    SpmvCacheConfig tiny_i;
+    tiny_i.isizeKB = 2;
+    SpmvCacheConfig big_i;
+    big_i.isizeKB = 128;
+    const SpmvResult t = run(8, 8, tiny_i);
+    const SpmvResult b = run(8, 8, big_i);
+    EXPECT_GT(t.iMisses, b.iMisses * 5.0);
+}
+
+} // namespace
+} // namespace hwsw::spmv

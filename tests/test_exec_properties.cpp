@@ -1,0 +1,83 @@
+// Property sweep of the SpMV execution model across every Table 4
+// matrix (parameterized): sanity, determinism, accounting identities.
+#include <gtest/gtest.h>
+
+#include "spmv/exec.hpp"
+#include "spmv/matgen.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+class ExecAllMatricesTest
+    : public ::testing::TestWithParam<MatrixInfo>
+{
+  protected:
+    static SpmvResult
+    run(const CsrMatrix &csr, std::int32_t br, std::int32_t bc)
+    {
+        const BcsrStructure s = BcsrStructure::fromCsr(csr, br, bc);
+        SimOptions opts;
+        opts.maxAccesses = 60 * 1000;
+        return simulateSpmv(s, SpmvCacheConfig{}, opts);
+    }
+};
+
+TEST_P(ExecAllMatricesTest, MflopsInPlausibleRange)
+{
+    const CsrMatrix csr = generateMatrix(GetParam(), 0.08, 3);
+    for (std::int32_t b : {1, 2, 4}) {
+        const SpmvResult r = run(csr, b, b);
+        EXPECT_GT(r.mflops, 1.0) << GetParam().name << " " << b;
+        EXPECT_LT(r.mflops, 800.0) << GetParam().name << " " << b;
+        EXPECT_GT(r.nJPerFlop, 0.2) << GetParam().name;
+        EXPECT_LT(r.nJPerFlop, 200.0) << GetParam().name;
+    }
+}
+
+TEST_P(ExecAllMatricesTest, AccountingIdentities)
+{
+    const CsrMatrix csr = generateMatrix(GetParam(), 0.08, 3);
+    const SpmvResult r = run(csr, 2, 2);
+    // True flops fixed by the matrix; stored flops by the blocking.
+    EXPECT_EQ(r.trueFlops, 2 * csr.nnz());
+    const BcsrStructure s = BcsrStructure::fromCsr(csr, 2, 2);
+    EXPECT_EQ(r.storedFlops, 2 * s.storedValues());
+    // Memory words follow directly from misses and the line size.
+    EXPECT_NEAR(r.memWords,
+                (r.dMisses + r.iMisses) *
+                    (SpmvCacheConfig{}.lineBytes / 8.0),
+                1e-6 * r.memWords + 1e-9);
+    // Throughput identity.
+    EXPECT_NEAR(r.mflops,
+                static_cast<double>(r.trueFlops) / r.seconds / 1e6,
+                1e-6 * r.mflops);
+}
+
+TEST_P(ExecAllMatricesTest, DeterministicAcrossRuns)
+{
+    const CsrMatrix csr = generateMatrix(GetParam(), 0.05, 9);
+    const SpmvResult a = run(csr, 3, 3);
+    const SpmvResult b = run(csr, 3, 3);
+    EXPECT_DOUBLE_EQ(a.mflops, b.mflops);
+    EXPECT_DOUBLE_EQ(a.energyNJ, b.energyNJ);
+}
+
+TEST_P(ExecAllMatricesTest, FillRatioNeverBelowOne)
+{
+    const CsrMatrix csr = generateMatrix(GetParam(), 0.05, 4);
+    for (std::int32_t br = 1; br <= 8; ++br) {
+        for (std::int32_t bc = 1; bc <= 8; ++bc) {
+            EXPECT_GE(fillRatio(csr, br, bc), 1.0 - 1e-12)
+                << GetParam().name << " " << br << "x" << bc;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, ExecAllMatricesTest,
+                         ::testing::ValuesIn(table4()),
+                         [](const auto &info) {
+                             return info.param.name;
+                         });
+
+} // namespace
+} // namespace hwsw::spmv

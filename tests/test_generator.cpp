@@ -1,0 +1,213 @@
+// Unit tests for the micro-op stream generator.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::wl {
+namespace {
+
+AppSpec
+simpleApp()
+{
+    AppSpec app;
+    app.name = "simple";
+    app.seed = 7;
+    Phase p;
+    p.name = "only";
+    p.mix[static_cast<std::size_t>(OpClass::IntAlu)] = 0.5;
+    p.mix[static_cast<std::size_t>(OpClass::Load)] = 0.3;
+    p.mix[static_cast<std::size_t>(OpClass::Store)] = 0.2;
+    p.meanBasicBlock = 5.0;
+    p.branchTakenRate = 0.5;
+    MemStreamSpec s;
+    s.kind = MemStreamSpec::Kind::Sequential;
+    s.workingSetBytes = 1 << 16;
+    p.streams = {s};
+    app.phases = {p};
+    return app;
+}
+
+TEST(Generator, Deterministic)
+{
+    StreamGenerator a(simpleApp()), b(simpleApp());
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        EXPECT_EQ(x.taken, y.taken);
+        EXPECT_EQ(x.depDist, y.depDist);
+    }
+}
+
+TEST(Generator, BranchFrequencyMatchesBasicBlock)
+{
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(50000);
+    std::size_t branches = 0;
+    for (const auto &op : ops)
+        branches += op.isBranch();
+    const double bb = static_cast<double>(ops.size()) /
+        static_cast<double>(branches);
+    EXPECT_NEAR(bb, 5.0, 0.4);
+}
+
+TEST(Generator, MixMatchesSpecification)
+{
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(50000);
+    std::map<OpClass, std::size_t> counts;
+    std::size_t non_branch = 0;
+    for (const auto &op : ops) {
+        if (!op.isBranch()) {
+            ++counts[op.cls];
+            ++non_branch;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::IntAlu]) /
+                    static_cast<double>(non_branch), 0.5, 0.03);
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::Load]) /
+                    static_cast<double>(non_branch), 0.3, 0.03);
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::Store]) /
+                    static_cast<double>(non_branch), 0.2, 0.03);
+    EXPECT_EQ(counts[OpClass::FpAlu], 0u);
+}
+
+TEST(Generator, MemoryOpsHaveAddresses)
+{
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(10000);
+    for (const auto &op : ops) {
+        if (op.isMem())
+            EXPECT_NE(op.addr, 0u);
+    }
+}
+
+TEST(Generator, SequentialStreamIsSequential)
+{
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(10000);
+    std::uint64_t prev = 0;
+    int sequential = 0, mem = 0;
+    for (const auto &op : ops) {
+        if (!op.isMem())
+            continue;
+        if (mem > 0 && op.addr == prev + 8)
+            ++sequential;
+        prev = op.addr;
+        ++mem;
+    }
+    EXPECT_GT(static_cast<double>(sequential) / mem, 0.9);
+}
+
+TEST(Generator, DepDistPointsToValidProducer)
+{
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(20000);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].depDist != kNoProducer) {
+            ASSERT_LE(ops[i].depDist, i);
+            EXPECT_EQ(static_cast<int>(ops[i].producerCls),
+                      static_cast<int>(ops[i - ops[i].depDist].cls));
+        }
+    }
+}
+
+TEST(Generator, PcStaysInCodeFootprint)
+{
+    AppSpec app = simpleApp();
+    app.phases[0].codeFootprintBytes = 4096;
+    StreamGenerator gen(app);
+    const auto ops = gen.generate(20000);
+    for (const auto &op : ops) {
+        EXPECT_GE(op.pc, 0x400000u);
+        EXPECT_LT(op.pc, 0x400000u + 4096u);
+    }
+}
+
+TEST(Generator, TakenRateTracksSpec)
+{
+    AppSpec app = simpleApp();
+    app.phases[0].branchTakenRate = 0.8;
+    app.phases[0].branchPredictability = 1.0;
+    StreamGenerator gen(app);
+    const auto ops = gen.generate(60000);
+    std::size_t branches = 0, taken = 0;
+    for (const auto &op : ops) {
+        if (op.isBranch()) {
+            ++branches;
+            taken += op.taken;
+        }
+    }
+    // Visitation bias (fall-through regions revisit not-taken sites
+    // more often) pulls the realized rate below the per-site rate.
+    EXPECT_NEAR(static_cast<double>(taken) / branches, 0.72, 0.12);
+}
+
+TEST(Generator, RejectsInvalidSpecs)
+{
+    AppSpec empty;
+    empty.name = "empty";
+    EXPECT_THROW(StreamGenerator{empty}, FatalError);
+
+    AppSpec no_stream = simpleApp();
+    no_stream.phases[0].streams.clear();
+    EXPECT_THROW(StreamGenerator{no_stream}, FatalError);
+
+    AppSpec bad_bb = simpleApp();
+    bad_bb.phases[0].meanBasicBlock = 0.5;
+    EXPECT_THROW(StreamGenerator{bad_bb}, FatalError);
+}
+
+TEST(Generator, MakeShardsSplitsEvenly)
+{
+    const auto shards = makeShards(simpleApp(), 1000, 7);
+    ASSERT_EQ(shards.size(), 7u);
+    for (const auto &s : shards)
+        EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(Generator, MakeShardsMatchesContinuousStream)
+{
+    const auto shards = makeShards(simpleApp(), 500, 4);
+    StreamGenerator gen(simpleApp());
+    const auto ops = gen.generate(2000);
+    for (std::size_t s = 0; s < 4; ++s) {
+        for (std::size_t i = 0; i < 500; ++i) {
+            EXPECT_EQ(shards[s][i].addr, ops[s * 500 + i].addr);
+            EXPECT_EQ(shards[s][i].pc, ops[s * 500 + i].pc);
+        }
+    }
+}
+
+TEST(Generator, HotStreamSkewsAccesses)
+{
+    AppSpec app = simpleApp();
+    MemStreamSpec hot;
+    hot.kind = MemStreamSpec::Kind::Random;
+    hot.workingSetBytes = 8 << 20;
+    hot.hotBytes = 64 << 10;
+    hot.hotFraction = 0.95;
+    app.phases[0].streams = {hot};
+    StreamGenerator gen(app);
+    const auto ops = gen.generate(40000);
+    std::size_t mem = 0, in_hot = 0;
+    for (const auto &op : ops) {
+        if (!op.isMem())
+            continue;
+        ++mem;
+        in_hot += (op.addr & 0x3fffffffULL) < (64u << 10);
+    }
+    // Most accesses land in the hot subset.
+    EXPECT_GT(static_cast<double>(in_hot) / mem, 0.5);
+}
+
+} // namespace
+} // namespace hwsw::wl

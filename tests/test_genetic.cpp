@@ -1,0 +1,203 @@
+// Tests for the genetic search over model specifications.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/**
+ * Synthetic two-app dataset whose ground truth needs a specific
+ * interaction, so search quality is observable.
+ */
+Dataset
+gaData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta"}) {
+        const double base = app[0] == 'a' ? 1.0 : 2.0;
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = rng.nextUniform(10, 1000);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 /
+                    r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+GaOptions
+smallOpts()
+{
+    GaOptions o;
+    o.populationSize = 12;
+    o.generations = 6;
+    o.numThreads = 1;
+    o.seed = 99;
+    return o;
+}
+
+TEST(GeneticSearch, FitnessImprovesOverGenerations)
+{
+    GeneticSearch search(gaData(80, 1), smallOpts());
+    const GaResult result = search.run();
+    ASSERT_EQ(result.history.size(), 6u);
+    EXPECT_LE(result.history.back().bestFitness,
+              result.history.front().bestFitness);
+    EXPECT_GT(result.best.fitness, 0.0);
+}
+
+TEST(GeneticSearch, BestFitnessNeverRegresses)
+{
+    // With elitism the best model survives: best fitness is
+    // monotone non-increasing across generations.
+    GeneticSearch search(gaData(60, 2), smallOpts());
+    const GaResult result = search.run();
+    for (std::size_t g = 1; g < result.history.size(); ++g)
+        EXPECT_LE(result.history[g].bestFitness,
+                  result.history[g - 1].bestFitness + 1e-12);
+}
+
+TEST(GeneticSearch, DeterministicForFixedSeed)
+{
+    const Dataset data = gaData(50, 3);
+    GeneticSearch a(data, smallOpts());
+    GeneticSearch b(data, smallOpts());
+    const GaResult ra = a.run();
+    const GaResult rb = b.run();
+    EXPECT_EQ(ra.best.spec, rb.best.spec);
+    EXPECT_DOUBLE_EQ(ra.best.fitness, rb.best.fitness);
+}
+
+TEST(GeneticSearch, PopulationSortedByFitness)
+{
+    GeneticSearch search(gaData(50, 4), smallOpts());
+    const GaResult result = search.run();
+    ASSERT_EQ(result.population.size(), 12u);
+    for (std::size_t i = 1; i < result.population.size(); ++i)
+        EXPECT_GE(result.population[i].fitness,
+                  result.population[i - 1].fitness);
+    EXPECT_EQ(result.best.spec, result.population.front().spec);
+}
+
+TEST(GeneticSearch, WarmStartSeedsPopulation)
+{
+    const Dataset data = gaData(60, 5);
+    GaOptions opts = smallOpts();
+    GeneticSearch search(data, opts);
+    const GaResult first = search.run();
+
+    // Seeding with the converged best must start at least as good as
+    // the seed itself on the same folds.
+    std::vector<ModelSpec> seeds = {first.best.spec};
+    GaOptions short_opts = opts;
+    short_opts.generations = 2;
+    GeneticSearch warm(data, short_opts);
+    const GaResult second = warm.run(seeds);
+    EXPECT_LE(second.history.front().bestFitness,
+              first.best.fitness + 1e-9);
+}
+
+TEST(GeneticSearch, EvaluateMatchesReportedFitness)
+{
+    const Dataset data = gaData(50, 6);
+    GeneticSearch search(data, smallOpts());
+    const GaResult result = search.run();
+    const auto [fitness, sum_err] = search.evaluate(result.best.spec);
+    EXPECT_NEAR(fitness, result.best.fitness, 1e-12);
+    EXPECT_NEAR(sum_err, result.best.sumMedianError, 1e-12);
+}
+
+TEST(GeneticSearch, FoldPerApplication)
+{
+    GeneticSearch search(gaData(40, 7), smallOpts());
+    EXPECT_EQ(search.numFolds(), 2u);
+}
+
+TEST(GeneticSearch, ParallelEvaluationMatchesSerial)
+{
+    const Dataset data = gaData(40, 8);
+    GaOptions serial = smallOpts();
+    GaOptions parallel = smallOpts();
+    parallel.numThreads = 4;
+    const GaResult rs = GeneticSearch(data, serial).run();
+    const GaResult rp = GeneticSearch(data, parallel).run();
+    EXPECT_EQ(rs.best.spec, rp.best.spec);
+    EXPECT_DOUBLE_EQ(rs.best.fitness, rp.best.fitness);
+}
+
+TEST(GeneticSearch, ComplexityPenaltyPrunesModels)
+{
+    // With a huge complexity penalty the search must prefer small
+    // models.
+    GaOptions opts = smallOpts();
+    opts.complexityPenalty = 0.05;
+    GeneticSearch search(gaData(60, 9), opts);
+    const GaResult result = search.run();
+    std::size_t cols = 1;
+    for (std::size_t v = 0; v < kNumVars; ++v)
+        cols += geneColumnCount(result.best.spec.tx(v));
+    cols += result.best.spec.interactions.size();
+    EXPECT_LT(cols, 30u);
+}
+
+TEST(GeneticSearch, HoldOutFitnessExcludesHeldApp)
+{
+    // Two apps occupy disjoint feature regions with different
+    // performance levels. A spline model fitted WITH the held app's
+    // training slice nails both regions; hold-out folds never see the
+    // held region and must extrapolate, which shows up as much larger
+    // fold error.
+    Dataset ds;
+    Rng rng(31);
+    for (const char *app : {"alpha", "beta"}) {
+        const bool is_alpha = app[0] == 'a';
+        for (int i = 0; i < 60; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = is_alpha ? rng.nextUniform(0.0, 0.4)
+                                 : rng.nextUniform(0.6, 1.0);
+            r.perf = is_alpha ? 1.0 : 3.0;
+            ds.add(r);
+        }
+    }
+    GaOptions inter = smallOpts();
+    GaOptions holdout = smallOpts();
+    holdout.holdOutFitness = true;
+
+    ModelSpec spec;
+    spec.genes[6] = 4; // spline: can represent both levels
+    const auto [fit_inter, e1] =
+        GeneticSearch(ds, inter).evaluate(spec);
+    const auto [fit_hold, e2] =
+        GeneticSearch(ds, holdout).evaluate(spec);
+    EXPECT_LT(fit_inter, 0.1);
+    EXPECT_GT(fit_hold, 3.0 * fit_inter);
+}
+
+TEST(GeneticSearch, RejectsDegenerateOptions)
+{
+    const Dataset data = gaData(20, 10);
+    GaOptions bad = smallOpts();
+    bad.populationSize = 2;
+    EXPECT_THROW(GeneticSearch(data, bad), FatalError);
+    bad = smallOpts();
+    bad.eliteFrac = 1.5;
+    EXPECT_THROW(GeneticSearch(data, bad), FatalError);
+    Dataset empty;
+    EXPECT_THROW(GeneticSearch(empty, smallOpts()), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::core

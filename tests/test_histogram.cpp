@@ -1,0 +1,127 @@
+// Unit tests for histograms.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace hwsw {
+namespace {
+
+TEST(Histogram, BinsCountsCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.9);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, FromSamplesSpansRange)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 100};
+    Histogram h = Histogram::fromSamples(xs, 8);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 100.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0);
+    h.add(1.0);
+    h.add(3.0);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Log2Histogram, PowerOfTwoBinning)
+{
+    Log2Histogram h(10);
+    h.add(0.5);  // bin 0
+    h.add(1.0);  // bin 0
+    h.add(2.0);  // bin 1
+    h.add(3.9);  // bin 1
+    h.add(4.0);  // bin 2
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Log2Histogram, HugeValuesClampToTopBin)
+{
+    Log2Histogram h(8);
+    h.add(1e18);
+    EXPECT_EQ(h.count(7), 1u);
+}
+
+TEST(Log2Histogram, TailFraction)
+{
+    Log2Histogram h(10);
+    h.add(1.0);   // bin 0
+    h.add(2.0);   // bin 1
+    h.add(16.0);  // bin 4
+    h.add(16.0);  // bin 4
+    EXPECT_DOUBLE_EQ(h.tailFraction(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.tailFraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.tailFraction(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.tailFraction(5), 0.0);
+}
+
+TEST(Log2Histogram, TailFractionEmpty)
+{
+    Log2Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.tailFraction(0), 0.0);
+}
+
+TEST(Log2Histogram, MergeAddsCounts)
+{
+    Log2Histogram a(8), b(8);
+    a.add(2.0);
+    b.add(2.0);
+    b.add(64.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.count(6), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Log2Histogram, MergeRejectsMismatchedBins)
+{
+    Log2Histogram a(8), b(9);
+    EXPECT_THROW(a.merge(b), PanicError);
+}
+
+} // namespace
+} // namespace hwsw

@@ -1,0 +1,176 @@
+// End-to-end integration tests: the full pipeline from workload
+// generation through profiling, simulation, genetic model search,
+// and prediction -- a miniature of the paper's Section 4 flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/descriptive.hpp"
+
+#include "core/genetic.hpp"
+#include "core/manager.hpp"
+#include "core/sampler.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/** Small shared sampler: three apps keep the test fast. */
+const SpaceSampler &
+miniSampler()
+{
+    static const SpaceSampler sampler = [] {
+        SamplerOptions opts;
+        opts.shardLength = 8192;
+        opts.shardsPerApp = 8;
+        std::vector<wl::AppSpec> apps = {
+            wl::makeApp("astar"), wl::makeApp("hmmer"),
+            wl::makeApp("bzip2")};
+        return SpaceSampler(std::move(apps), opts);
+    }();
+    return sampler;
+}
+
+TEST(Integration, GeneticSearchProducesUsableModel)
+{
+    const Dataset train = miniSampler().sample(80, 1);
+    const Dataset val = miniSampler().sample(20, 2);
+
+    GaOptions opts;
+    opts.populationSize = 12;
+    opts.generations = 6;
+    opts.numThreads = 1;
+    GeneticSearch search(train, opts);
+    const GaResult result = search.run();
+
+    HwSwModel model;
+    model.fit(result.best.spec, train);
+    const auto metrics = model.validate(val);
+    // Shard-level interpolation within a loose band (the benchmark
+    // harness measures the real numbers at full scale).
+    EXPECT_LT(metrics.medianAbsPctError, 0.35);
+    EXPECT_GT(metrics.spearman, 0.7);
+}
+
+TEST(Integration, InterpolationBeatsNaiveMeanPredictor)
+{
+    const Dataset train = miniSampler().sample(80, 3);
+    const Dataset val = miniSampler().sample(25, 4);
+
+    GaOptions opts;
+    opts.populationSize = 10;
+    opts.generations = 5;
+    opts.numThreads = 1;
+    GeneticSearch search(train, opts);
+    const GaResult result = search.run();
+    HwSwModel model;
+    model.fit(result.best.spec, train);
+
+    // Naive predictor: global mean CPI of the training set.
+    const auto perf = train.perfColumn();
+    const double mean_cpi = hwsw::mean(perf);
+    std::vector<double> naive(val.size(), mean_cpi);
+    const auto naive_metrics =
+        stats::evaluatePredictions(naive, val.perfColumn());
+    const auto model_metrics = model.validate(val);
+    EXPECT_LT(model_metrics.medianAbsPctError,
+              0.5 * naive_metrics.medianAbsPctError);
+}
+
+TEST(Integration, LeaveOneAppOutExtrapolationWorks)
+{
+    // Train on six apps, predict the seventh's shards (Figure 10's
+    // shard extrapolation, miniature scale). sjeng is held out; its
+    // behavior resembles the other integer codes, which is exactly
+    // the sharing the paper exploits.
+    SamplerOptions sopts;
+    sopts.shardLength = 8192;
+    sopts.shardsPerApp = 8;
+    const SpaceSampler sampler(wl::makeSuite(), sopts);
+
+    std::vector<std::size_t> train_apps = {0, 1, 2, 3, 4, 5};
+    const Dataset train = sampler.sampleApps(train_apps, 60, 5);
+
+    GaOptions opts;
+    opts.populationSize = 14;
+    opts.generations = 8;
+    opts.numThreads = 1;
+    GeneticSearch search(train, opts);
+    const GaResult result = search.run();
+    HwSwModel model;
+    model.fit(result.best.spec, train);
+
+    std::vector<std::size_t> held = {6}; // sjeng
+    const Dataset target = sampler.sampleApps(held, 40, 6);
+    const auto metrics = model.validate(target);
+    // Extrapolation is harder than interpolation; require ranking
+    // quality good enough for optimization use (the paper's bar).
+    EXPECT_GT(metrics.spearman, 0.6);
+    EXPECT_LT(metrics.medianAbsPctError, 0.75);
+}
+
+TEST(Integration, ManagerLifecycleOnSimulatedSystem)
+{
+    // Bootstrap on two apps, then stream the third app's profiles
+    // through the manager; it must eventually absorb or adapt.
+    std::vector<std::size_t> boot_apps = {0, 1};
+    const Dataset boot = miniSampler().sampleApps(boot_apps, 60, 7);
+
+    GaOptions ga;
+    ga.populationSize = 10;
+    ga.generations = 4;
+    ga.numThreads = 1;
+    ManagerOptions mo;
+    mo.profilesForUpdate = 8;
+    mo.updateGenerations = 3;
+    ModelManager mgr(boot, ga, mo);
+    mgr.bootstrapModel();
+
+    std::vector<std::size_t> newcomer = {2};
+    const Dataset stream = miniSampler().sampleApps(newcomer, 30, 8);
+    int consistent = 0, updates = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Observation obs = mgr.observe(stream[i]);
+        consistent += (obs == Observation::Consistent);
+        updates += (obs == Observation::Updated);
+    }
+    // Either the newcomer was similar enough to absorb, or the
+    // manager updated; it must not be stuck demanding profiles.
+    EXPECT_TRUE(consistent > 15 || updates >= 1);
+}
+
+TEST(Integration, AppLevelAggregationBeatsShardLevel)
+{
+    // Aggregating shard predictions into application performance
+    // averages shard-level error (Section 4.4's aggregation note).
+    const Dataset train = miniSampler().sample(100, 9);
+    GaOptions opts;
+    opts.populationSize = 10;
+    opts.generations = 5;
+    opts.numThreads = 1;
+    GeneticSearch search(train, opts);
+    HwSwModel model;
+    model.fit(search.run().best.spec, train);
+
+    Rng rng(17);
+    std::vector<double> shard_errs, app_errs;
+    for (int i = 0; i < 15; ++i) {
+        const auto cfg = uarch::UarchConfig::randomSample(rng);
+        for (std::size_t a = 0; a < miniSampler().numApps(); ++a) {
+            double pred_sum = 0;
+            for (std::size_t s = 0; s < 8; ++s) {
+                const auto rec = miniSampler().record(a, s, cfg);
+                const double pred = model.predict(rec);
+                shard_errs.push_back(
+                    std::abs(pred - rec.perf) / rec.perf);
+                pred_sum += pred;
+            }
+            const double truth = miniSampler().appCpi(a, cfg);
+            app_errs.push_back(
+                std::abs(pred_sum / 8.0 - truth) / truth);
+        }
+    }
+    EXPECT_LT(hwsw::median(app_errs), hwsw::median(shard_errs) + 0.02);
+}
+
+} // namespace
+} // namespace hwsw::core

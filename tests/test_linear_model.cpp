@@ -1,0 +1,121 @@
+// Unit tests for LinearModel and prediction metrics.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "common/rng.hpp"
+#include "stats/linear_model.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+TEST(Metrics, AbsPctErrors)
+{
+    std::vector<double> pred = {11, 18};
+    std::vector<double> truth = {10, 20};
+    const auto errs = absPctErrors(pred, truth);
+    EXPECT_NEAR(errs[0], 0.1, 1e-12);
+    EXPECT_NEAR(errs[1], 0.1, 1e-12);
+}
+
+TEST(Metrics, EvaluatePerfectPredictions)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    const FitMetrics m = evaluatePredictions(v, v);
+    EXPECT_DOUBLE_EQ(m.medianAbsPctError, 0.0);
+    EXPECT_DOUBLE_EQ(m.maxAbsPctError, 0.0);
+    EXPECT_NEAR(m.pearson, 1.0, 1e-12);
+    EXPECT_NEAR(m.spearman, 1.0, 1e-12);
+    EXPECT_NEAR(m.r2, 1.0, 1e-12);
+}
+
+TEST(Metrics, KnownErrorDistribution)
+{
+    std::vector<double> truth = {10, 10, 10, 10};
+    std::vector<double> pred = {10.5, 11, 12, 9};
+    const FitMetrics m = evaluatePredictions(pred, truth);
+    EXPECT_NEAR(m.medianAbsPctError, 0.1, 1e-9);
+    EXPECT_NEAR(m.maxAbsPctError, 0.2, 1e-9);
+    EXPECT_NEAR(m.meanAbsPctError, 0.1125, 1e-9);
+}
+
+TEST(Metrics, ZeroTruthPanics)
+{
+    std::vector<double> pred = {1};
+    std::vector<double> truth = {0};
+    EXPECT_THROW(absPctErrors(pred, truth), PanicError);
+}
+
+TEST(LinearModel, FitPredictRoundTrip)
+{
+    Rng rng(3);
+    const std::size_t n = 100;
+    Matrix X(n, 3);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        X(i, 0) = 1.0;
+        X(i, 1) = rng.nextUniform(-1, 1);
+        X(i, 2) = rng.nextUniform(-1, 1);
+        z[i] = 0.5 - 2.0 * X(i, 1) + 0.25 * X(i, 2);
+    }
+    LinearModel m;
+    EXPECT_FALSE(m.fitted());
+    m.fit(X, z);
+    EXPECT_TRUE(m.fitted());
+    EXPECT_EQ(m.rank(), 3u);
+
+    std::vector<double> row = {1.0, 0.3, -0.7};
+    EXPECT_NEAR(m.predictRow(row), 0.5 - 0.6 - 0.175, 1e-3);
+
+    const auto pred = m.predict(X);
+    const FitMetrics metrics = evaluatePredictions(pred, z);
+    EXPECT_LT(metrics.medianAbsPctError, 1e-3);
+}
+
+TEST(LinearModel, PredictBeforeFitPanics)
+{
+    LinearModel m;
+    std::vector<double> row = {1.0};
+    EXPECT_THROW(m.predictRow(row), PanicError);
+}
+
+TEST(LinearModel, PredictRowSizeMismatchPanics)
+{
+    Matrix X = {{1.0}, {1.0}};
+    std::vector<double> z = {1, 1};
+    LinearModel m;
+    m.fit(X, z);
+    std::vector<double> bad = {1.0, 2.0};
+    EXPECT_THROW(m.predictRow(bad), PanicError);
+}
+
+TEST(LinearModel, ReportsDroppedColumns)
+{
+    Matrix X(10, 2);
+    std::vector<double> z(10);
+    Rng rng(5);
+    for (std::size_t i = 0; i < 10; ++i) {
+        X(i, 0) = rng.nextDouble();
+        X(i, 1) = 3.0 * X(i, 0); // collinear
+        z[i] = X(i, 0);
+    }
+    LinearModel m;
+    m.fit(X, z);
+    // With the default ridge both columns become numerically
+    // identifiable but shrunken; either behavior (drop or shrink) is
+    // acceptable as long as predictions stay accurate.
+    EXPECT_LE(m.rank(), 2u);
+}
+
+TEST(LinearModel, WeightedFitUsesWeights)
+{
+    Matrix X = {{1.0}, {1.0}};
+    std::vector<double> z = {0.0, 10.0};
+    std::vector<double> w = {3.0, 1.0};
+    LinearModel m;
+    m.fit(X, z, w);
+    EXPECT_NEAR(m.coeffs()[0], 2.5, 1e-3);
+}
+
+} // namespace
+} // namespace hwsw::stats

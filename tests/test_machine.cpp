@@ -1,0 +1,138 @@
+// Tests for the Table 5 cache architecture space.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <set>
+
+#include "spmv/machine.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+TEST(SpmvCacheConfig, DefaultsAreOnGrid)
+{
+    const SpmvCacheConfig c;
+    EXPECT_EQ(c.lineBytes, 32);
+    EXPECT_EQ(c.dsizeKB, 32);
+    EXPECT_EQ(c.dways, 2);
+}
+
+TEST(SpmvCacheConfig, LevelsMatchTable5)
+{
+    const auto &levels = SpmvCacheConfig::levelsPerDim();
+    EXPECT_EQ(levels[0], 4); // line 16..128
+    EXPECT_EQ(levels[1], 7); // dsize 4..256
+    EXPECT_EQ(levels[2], 4); // ways 1..8
+    EXPECT_EQ(levels[3], 3); // repl
+    EXPECT_EQ(levels[4], 7); // isize 2..128
+    EXPECT_EQ(levels[5], 4);
+    EXPECT_EQ(levels[6], 3);
+}
+
+TEST(SpmvCacheConfig, FromIndicesExtremes)
+{
+    std::array<int, kNumCacheFeatures> lo{}, hi{};
+    const auto &levels = SpmvCacheConfig::levelsPerDim();
+    for (std::size_t d = 0; d < kNumCacheFeatures; ++d)
+        hi[d] = levels[d] - 1;
+    const SpmvCacheConfig weak = SpmvCacheConfig::fromIndices(lo);
+    const SpmvCacheConfig strong = SpmvCacheConfig::fromIndices(hi);
+    EXPECT_EQ(weak.lineBytes, 16);
+    EXPECT_EQ(strong.lineBytes, 128);
+    EXPECT_EQ(weak.dsizeKB, 4);
+    EXPECT_EQ(strong.dsizeKB, 256);
+    EXPECT_EQ(weak.isizeKB, 2);
+    EXPECT_EQ(strong.isizeKB, 128);
+    EXPECT_EQ(weak.drepl, uarch::ReplPolicy::LRU);
+    EXPECT_EQ(strong.drepl, uarch::ReplPolicy::RND);
+}
+
+TEST(SpmvCacheConfig, FromIndicesRejectsOutOfRange)
+{
+    std::array<int, kNumCacheFeatures> idx{};
+    idx[1] = 7;
+    EXPECT_THROW(SpmvCacheConfig::fromIndices(idx), FatalError);
+}
+
+TEST(SpmvCacheConfig, RandomSampleCoversSpace)
+{
+    Rng rng(3);
+    std::set<int> lines, dsizes;
+    std::set<int> repls;
+    for (int i = 0; i < 400; ++i) {
+        const SpmvCacheConfig c = SpmvCacheConfig::randomSample(rng);
+        lines.insert(c.lineBytes);
+        dsizes.insert(c.dsizeKB);
+        repls.insert(static_cast<int>(c.drepl));
+    }
+    EXPECT_EQ(lines.size(), 4u);
+    EXPECT_EQ(dsizes.size(), 7u);
+    EXPECT_EQ(repls.size(), 3u);
+}
+
+TEST(SpmvCacheConfig, FeatureVectorEncodesLogs)
+{
+    SpmvCacheConfig c;
+    c.lineBytes = 64;
+    c.dsizeKB = 128;
+    c.dways = 4;
+    c.drepl = uarch::ReplPolicy::NMRU;
+    const auto f = c.features();
+    EXPECT_DOUBLE_EQ(f[0], 6.0); // log2(64)
+    EXPECT_DOUBLE_EQ(f[1], 7.0); // log2(128)
+    EXPECT_DOUBLE_EQ(f[2], 2.0); // log2(4)
+    EXPECT_DOUBLE_EQ(f[3], 1.0); // NMRU
+    EXPECT_EQ(SpmvCacheConfig::featureNames().size(),
+              kNumCacheFeatures);
+}
+
+TEST(SpmvCacheConfig, CacheGeometriesAreConsistent)
+{
+    SpmvCacheConfig c;
+    c.dsizeKB = 64;
+    c.lineBytes = 32;
+    c.dways = 4;
+    const uarch::CacheConfig d = c.dcache();
+    EXPECT_EQ(d.sizeBytes, 64u * 1024u);
+    EXPECT_EQ(d.lineBytes, 32u);
+    EXPECT_EQ(d.ways, 4u);
+    // The geometry is actually constructible.
+    uarch::Cache cache(d);
+    EXPECT_EQ(cache.numSets(), 64u * 1024u / 32u / 4u);
+    const uarch::CacheConfig i = c.icache();
+    uarch::Cache icache(i);
+    EXPECT_GT(icache.numSets(), 0u);
+}
+
+TEST(SpmvCacheConfig, AllGridGeometriesConstructible)
+{
+    // Property sweep: every point on the Table 5 grid must yield
+    // valid cache geometries (sets a power of two, etc.).
+    const auto &levels = SpmvCacheConfig::levelsPerDim();
+    std::array<int, kNumCacheFeatures> idx{};
+    for (;;) {
+        const SpmvCacheConfig c = SpmvCacheConfig::fromIndices(idx);
+        EXPECT_NO_THROW({
+            uarch::Cache d(c.dcache());
+            uarch::Cache i(c.icache());
+        });
+        std::size_t d = 0;
+        while (d < kNumCacheFeatures && ++idx[d] == levels[d]) {
+            idx[d] = 0;
+            ++d;
+        }
+        if (d == kNumCacheFeatures)
+            break;
+    }
+}
+
+TEST(ReplName, AllPolicies)
+{
+    EXPECT_EQ(replName(uarch::ReplPolicy::LRU), "LRU");
+    EXPECT_EQ(replName(uarch::ReplPolicy::NMRU), "NMRU");
+    EXPECT_EQ(replName(uarch::ReplPolicy::RND), "RND");
+}
+
+} // namespace
+} // namespace hwsw::spmv

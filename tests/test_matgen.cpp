@@ -1,0 +1,124 @@
+// Tests for the Table 4 synthetic matrix generators, parameterized
+// across all eleven matrices.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "spmv/bcsr.hpp"
+#include "spmv/matgen.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+class Table4Test : public ::testing::TestWithParam<MatrixInfo>
+{
+};
+
+TEST_P(Table4Test, ScaledDimensionAndNnz)
+{
+    const MatrixInfo &info = GetParam();
+    const double scale = 0.1;
+    const CsrMatrix m = generateMatrix(info, scale, 1);
+    EXPECT_EQ(m.rows(), m.cols());
+    // Dimension within rounding of the scaled target.
+    EXPECT_NEAR(static_cast<double>(m.rows()),
+                info.paperDimension * scale,
+                0.02 * info.paperDimension * scale + 48);
+    // Non-zeros within 30% of the scaled target (generators are
+    // stochastic and deduplicate).
+    EXPECT_NEAR(static_cast<double>(m.nnz()), info.paperNnz * scale,
+                0.3 * info.paperNnz * scale);
+}
+
+TEST_P(Table4Test, Deterministic)
+{
+    const CsrMatrix a = generateMatrix(GetParam(), 0.05, 9);
+    const CsrMatrix b = generateMatrix(GetParam(), 0.05, 9);
+    EXPECT_EQ(a.nnz(), b.nnz());
+    EXPECT_EQ(a.rows(), b.rows());
+    for (std::size_t i = 0; i < std::min<std::size_t>(a.nnz(), 200); ++i)
+        EXPECT_EQ(a.colIdx()[i], b.colIdx()[i]);
+}
+
+TEST_P(Table4Test, EveryRowHasDiagonalCoverage)
+{
+    const CsrMatrix m = generateMatrix(GetParam(), 0.05, 2);
+    // No empty rows: generators place a diagonal entry per row
+    // (FEM generators per block row).
+    const auto &info = GetParam();
+    const auto rs = m.rowStart();
+    std::int32_t empty = 0;
+    for (std::int32_t r = 0; r < m.rows(); ++r)
+        empty += (rs[r] == rs[r + 1]);
+    if (info.structure == MatStructure::FemBlocked) {
+        EXPECT_LT(empty, m.rows() / 10);
+    } else {
+        EXPECT_EQ(empty, 0);
+    }
+}
+
+TEST_P(Table4Test, NaturalBlockHasLowFill)
+{
+    const MatrixInfo &info = GetParam();
+    if (info.structure != MatStructure::FemBlocked)
+        GTEST_SKIP() << "only FEM matrices have natural blocks";
+    const CsrMatrix m = generateMatrix(info, 0.05, 3);
+    // Blocking at the natural block size needs (almost) no padding...
+    EXPECT_LT(fillRatio(m, info.blockR, info.blockC), 1.1);
+    // ...while an incommensurate size (natural+1) pads considerably.
+    EXPECT_GT(fillRatio(m, info.blockR + 1, info.blockC + 1), 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, Table4Test,
+                         ::testing::ValuesIn(table4()),
+                         [](const auto &info) {
+                             return info.param.name;
+                         });
+
+TEST(Table4, HasElevenEntries)
+{
+    EXPECT_EQ(table4().size(), 11u);
+    for (std::size_t i = 0; i < table4().size(); ++i)
+        EXPECT_EQ(table4()[i].id, static_cast<int>(i) + 1);
+}
+
+TEST(Table4, PaperSparsityMatchesPublishedNumbers)
+{
+    // Spot-check Table 4's sparsity column.
+    EXPECT_NEAR(matrixInfo("3dtube").paperSparsity(), 7.93e-4, 5e-6);
+    EXPECT_NEAR(matrixInfo("pwtk").paperSparsity(), 1.25e-4, 5e-6);
+    EXPECT_NEAR(matrixInfo("raefsky3").paperSparsity(), 3.31e-3, 5e-5);
+}
+
+TEST(Table4, UnknownNameIsFatal)
+{
+    EXPECT_THROW(matrixInfo("does-not-exist"), FatalError);
+}
+
+TEST(Table4, BadScaleIsFatal)
+{
+    EXPECT_THROW(generateMatrix(table4()[0], 0.0), FatalError);
+    EXPECT_THROW(generateMatrix(table4()[0], 1.5), FatalError);
+}
+
+TEST(Table4, Raefsky3ColumnMultiplesOfFour)
+{
+    // Figure 12: for raefsky3, 1, 4, and 8 block columns are equally
+    // effective (fill ~1) because dense substructure arises in
+    // multiples of 4.
+    const CsrMatrix m = generateMatrix(matrixInfo("raefsky3"), 0.1, 4);
+    EXPECT_LT(fillRatio(m, 8, 4), 1.05);
+    EXPECT_LT(fillRatio(m, 8, 8), 1.1);
+    EXPECT_GT(fillRatio(m, 8, 5), 1.2);
+    EXPECT_GT(fillRatio(m, 6, 6), 1.2);
+}
+
+TEST(Table4, BandedMatrixPenalizesAllBlocking)
+{
+    const CsrMatrix m = generateMatrix(matrixInfo("memplus"), 0.1, 5);
+    EXPECT_GT(fillRatio(m, 2, 2), 1.5);
+    EXPECT_GT(fillRatio(m, 4, 4), fillRatio(m, 2, 2));
+}
+
+} // namespace
+} // namespace hwsw::spmv

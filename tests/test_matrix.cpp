@@ -1,0 +1,108 @@
+// Unit tests for the dense matrix type.
+#include <gtest/gtest.h>
+
+#include "stats/matrix.hpp"
+#include "common/assert.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m = {{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, InitializerListRejectsRagged)
+{
+    EXPECT_THROW((Matrix{{1, 2}, {3}}), FatalError);
+}
+
+TEST(Matrix, OutOfRangePanics)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), PanicError);
+    EXPECT_THROW(m(0, 2), PanicError);
+}
+
+TEST(Matrix, RowSpanWritesThrough)
+{
+    Matrix m(2, 2);
+    auto r = m.row(1);
+    r[0] = 7.0;
+    EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, ColExtraction)
+{
+    Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+    const auto c = m.col(1);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[2], 6.0);
+}
+
+TEST(Matrix, ApplyMatchesManual)
+{
+    Matrix m = {{1, 2}, {3, 4}};
+    std::vector<double> x = {5, 6};
+    const auto y = m.apply(x);
+    EXPECT_DOUBLE_EQ(y[0], 17.0);
+    EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, MultiplyMatchesManual)
+{
+    Matrix a = {{1, 2}, {3, 4}};
+    Matrix b = {{5, 6}, {7, 8}};
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 2);
+    EXPECT_THROW(a.multiply(b), PanicError);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix a = {{1, 2, 3}, {4, 5, 6}};
+    const Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t.transposed().maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix a = {{1, 2}, {3, 4}};
+    const Matrix i = Matrix::identity(2);
+    EXPECT_DOUBLE_EQ(a.multiply(i).maxAbsDiff(a), 0.0);
+    EXPECT_DOUBLE_EQ(i.multiply(a).maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a = {{1, 2}, {3, 4}};
+    Matrix b = {{1, 2}, {3, 4.5}};
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.5);
+}
+
+} // namespace
+} // namespace hwsw::stats

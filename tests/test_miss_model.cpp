@@ -1,0 +1,107 @@
+// Cross-validation between the two halves of the substrate: the
+// analytic stack-distance miss model (used by the CPI model) against
+// the functional cache simulator (used by the SpMV case study), on
+// identical address traces.
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hpp"
+#include "uarch/signature.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+/** Simulated miss rate of a fully-associative LRU cache of C lines. */
+double
+simulatedMissRate(const std::vector<wl::MicroOp> &ops,
+                  std::uint64_t capacity_lines)
+{
+    CacheConfig cfg;
+    cfg.lineBytes = 64;
+    cfg.sizeBytes = capacity_lines * 64;
+    cfg.ways = static_cast<std::uint32_t>(capacity_lines);
+    Cache cache(cfg);
+    for (const auto &op : ops) {
+        if (op.isMem())
+            cache.access(op.addr);
+    }
+    return cache.stats().missRate();
+}
+
+class MissModelTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MissModelTest, AnalyticMatchesSimulatedFullyAssociativeLru)
+{
+    // For fully-associative LRU, stack distance theory is exact up to
+    // the histogram's power-of-two binning and cold-start handling.
+    wl::StreamGenerator gen(wl::makeApp(GetParam()));
+    const auto ops = gen.generate(32768);
+    const ShardSignature sig = computeSignature(ops);
+
+    for (std::uint64_t cap : {64u, 256u, 1024u, 4096u}) {
+        const double analytic = sig.missRateAtCapacity(
+            static_cast<double>(cap), true);
+        const double simulated = simulatedMissRate(ops, cap);
+        // Log-binned interpolation admits error within a factor-2
+        // capacity band; require agreement within 8 percentage
+        // points or 35% relative.
+        const double tol =
+            std::max(0.08, 0.35 * std::max(simulated, 0.02));
+        EXPECT_NEAR(analytic, simulated, tol)
+            << GetParam() << " capacity " << cap;
+    }
+}
+
+TEST_P(MissModelTest, AnalyticOrdersCapacitiesLikeSimulation)
+{
+    wl::StreamGenerator gen(wl::makeApp(GetParam()));
+    const auto ops = gen.generate(16384);
+    const ShardSignature sig = computeSignature(ops);
+    // Both views must agree that bigger caches never miss more.
+    double prev_sim = 1.1, prev_ana = 1.1;
+    for (std::uint64_t cap : {32u, 128u, 512u, 2048u}) {
+        const double sim = simulatedMissRate(ops, cap);
+        const double ana = sig.missRateAtCapacity(
+            static_cast<double>(cap), true);
+        EXPECT_LE(sim, prev_sim + 1e-9);
+        EXPECT_LE(ana, prev_ana + 1e-9);
+        prev_sim = sim;
+        prev_ana = ana;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, MissModelTest,
+                         ::testing::ValuesIn(wl::suiteAppNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(MissModel, SetAssociativityCorrectionIsConservative)
+{
+    // A set-associative cache of the same capacity misses at least
+    // as often as fully-associative LRU on the same trace (for these
+    // access patterns), which is what the effective-capacity
+    // correction in the CPI model assumes.
+    wl::StreamGenerator gen(wl::makeApp("astar"));
+    const auto ops = gen.generate(16384);
+
+    CacheConfig fa;
+    fa.lineBytes = 64;
+    fa.sizeBytes = 1024 * 64;
+    fa.ways = 1024;
+    CacheConfig sa = fa;
+    sa.ways = 2;
+    Cache full(fa), set2(sa);
+    for (const auto &op : ops) {
+        if (op.isMem()) {
+            full.access(op.addr);
+            set2.access(op.addr);
+        }
+    }
+    EXPECT_GE(set2.stats().missRate() + 0.01,
+              full.stats().missRate());
+}
+
+} // namespace
+} // namespace hwsw::uarch

@@ -1,0 +1,188 @@
+// Unit tests for HwSwModel fitting and prediction.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <cmath>
+
+#include "core/model.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/**
+ * Synthetic ground truth with known structure: performance is a
+ * smooth positive function of two variables and their interaction.
+ */
+Dataset
+synthData(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        ProfileRecord r;
+        r.app = i % 2 ? "even" : "odd"; // two pseudo-apps
+        r.vars[6] = rng.nextUniform(0.1, 0.6);       // x7 mem
+        r.vars[kNumSw] = 1 << rng.nextInt(4);        // y1 width
+        r.vars[kNumSw + 4] = 16 << rng.nextInt(4);   // y5 dcache
+        r.perf = 0.5 + 2.0 * r.vars[6] +
+            4.0 / r.vars[kNumSw] +
+            20.0 * r.vars[6] / r.vars[kNumSw + 4];
+        ds.add(r);
+    }
+    return ds;
+}
+
+ModelSpec
+goodSpec()
+{
+    ModelSpec spec;
+    spec.genes[6] = 2;
+    spec.genes[kNumSw] = 3;
+    spec.genes[kNumSw + 4] = 3;
+    spec.interactions = {{6, static_cast<std::uint16_t>(kNumSw)},
+                         {6, static_cast<std::uint16_t>(kNumSw + 4)}};
+    spec.normalize();
+    return spec;
+}
+
+TEST(HwSwModel, FitsSmoothGroundTruthAccurately)
+{
+    const Dataset train = synthData(300, 1);
+    const Dataset val = synthData(60, 2);
+    HwSwModel m;
+    EXPECT_FALSE(m.fitted());
+    m.fit(goodSpec(), train);
+    EXPECT_TRUE(m.fitted());
+    const auto metrics = m.validate(val);
+    EXPECT_LT(metrics.medianAbsPctError, 0.05);
+    EXPECT_GT(metrics.spearman, 0.97);
+}
+
+TEST(HwSwModel, PredictMatchesPredictAll)
+{
+    const Dataset train = synthData(200, 3);
+    HwSwModel m;
+    m.fit(goodSpec(), train);
+    const auto all = m.predictAll(train);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(all[i], m.predict(train[i]), 1e-9);
+}
+
+TEST(HwSwModel, LogResponseIsDefaultAndPositive)
+{
+    const Dataset train = synthData(200, 4);
+    HwSwModel m;
+    EXPECT_TRUE(m.logResponse());
+    m.fit(goodSpec(), train);
+    for (std::size_t i = 0; i < train.size(); ++i)
+        EXPECT_GT(m.predict(train[i]), 0.0);
+}
+
+TEST(HwSwModel, LinearResponseOption)
+{
+    const Dataset train = synthData(300, 5);
+    HwSwModel m;
+    m.setLogResponse(false);
+    m.fit(goodSpec(), train);
+    const auto metrics = m.validate(synthData(50, 6));
+    EXPECT_LT(metrics.medianAbsPctError, 0.08);
+}
+
+TEST(HwSwModel, WeightedFitFavorsWeightedApp)
+{
+    // Two apps with conflicting intercepts; weighting one app must
+    // pull predictions toward it.
+    Dataset train;
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        ProfileRecord r;
+        r.app = i % 2 ? "hi" : "lo";
+        r.vars[0] = rng.nextUniform(0, 1);
+        r.perf = (i % 2) ? 4.0 : 1.0;
+        train.add(r);
+    }
+    ModelSpec spec;
+    spec.genes[0] = 1;
+
+    std::vector<double> w(train.size(), 1.0);
+    for (std::size_t i = 0; i < train.size(); ++i)
+        if (train[i].app == "hi")
+            w[i] = 50.0;
+    HwSwModel weighted;
+    weighted.fit(spec, train, w);
+    HwSwModel plain;
+    plain.fit(spec, train);
+    EXPECT_GT(weighted.predict(train[1]), plain.predict(train[1]));
+}
+
+TEST(HwSwModel, ReportsCollinearColumns)
+{
+    // x1 and an interaction x1*x1 cannot both... use two identical
+    // variables instead: vars 0 and 1 always equal.
+    Dataset train;
+    Rng rng(9);
+    for (int i = 0; i < 80; ++i) {
+        ProfileRecord r;
+        r.app = "a";
+        r.vars[0] = rng.nextUniform(0, 1);
+        r.vars[1] = r.vars[0]; // perfectly collinear
+        r.perf = 1.0 + r.vars[0];
+        train.add(r);
+    }
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    spec.genes[1] = 1;
+    HwSwModel m;
+    m.fit(spec, train);
+    EXPECT_GE(m.numDroppedColumns(), 1u);
+    // Predictions still fine despite the drop.
+    EXPECT_LT(m.validate(train).medianAbsPctError, 0.01);
+}
+
+TEST(HwSwModel, SpecAccessorsRequireFit)
+{
+    HwSwModel m;
+    EXPECT_THROW(m.spec(), PanicError);
+    EXPECT_THROW(m.numColumns(), PanicError);
+    ProfileRecord r;
+    EXPECT_THROW(m.predict(r), PanicError);
+}
+
+TEST(HwSwModel, FitOnEmptyDatasetIsFatal)
+{
+    Dataset empty;
+    HwSwModel m;
+    EXPECT_THROW(m.fit(goodSpec(), empty), FatalError);
+}
+
+TEST(HwSwModel, ExtrapolatesTrendBeyondTrainingRange)
+{
+    // Train on widths 1..4, predict width 8: the monotone trend must
+    // persist (prediction for width 8 below width 1's).
+    Dataset train;
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        ProfileRecord r;
+        r.app = "a";
+        r.vars[kNumSw] = 1 << rng.nextInt(3); // 1, 2, 4
+        r.vars[6] = rng.nextUniform(0.2, 0.5);
+        r.perf = 1.0 + 4.0 / r.vars[kNumSw] + r.vars[6];
+        train.add(r);
+    }
+    ModelSpec spec;
+    spec.genes[kNumSw] = 2;
+    spec.genes[6] = 1;
+    HwSwModel m;
+    m.fit(spec, train);
+
+    ProfileRecord narrow, wide;
+    narrow.vars[kNumSw] = 1;
+    narrow.vars[6] = 0.3;
+    wide.vars[kNumSw] = 8;
+    wide.vars[6] = 0.3;
+    EXPECT_GT(m.predict(narrow), m.predict(wide));
+}
+
+} // namespace
+} // namespace hwsw::core

@@ -1,0 +1,208 @@
+// Property tests for the analytic performance model: every Table 2
+// knob must move CPI in the physically sensible direction, across
+// all seven applications (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "uarch/perfmodel.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+/** Cached signatures per app (signature extraction is not free). */
+const ShardSignature &
+sigFor(const std::string &name)
+{
+    static std::map<std::string, ShardSignature> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const auto shards = wl::makeShards(wl::makeApp(name), 16384, 3);
+        const auto sigs = computeSignatures(shards);
+        it = cache.emplace(name, sigs[2]).first; // warm shard
+    }
+    return it->second;
+}
+
+class PerfModelAppTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const ShardSignature &sig() const { return sigFor(GetParam()); }
+};
+
+TEST_P(PerfModelAppTest, CpiIsPositiveAndBounded)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const UarchConfig cfg = UarchConfig::randomSample(rng);
+        const double cpi = shardCpi(sig(), cfg);
+        EXPECT_GT(cpi, 1.0 / 8.0); // cannot beat max width
+        EXPECT_LT(cpi, 100.0);
+    }
+}
+
+TEST_P(PerfModelAppTest, BreakdownSumsToTotal)
+{
+    UarchConfig cfg;
+    const CpiBreakdown b = predictCpi(sig(), cfg);
+    EXPECT_NEAR(b.base + b.branch + b.icache + b.dcache, b.total(),
+                1e-12);
+    EXPECT_GT(b.base, 0.0);
+    EXPECT_GE(b.branch, 0.0);
+    EXPECT_GE(b.icache, 0.0);
+    EXPECT_GE(b.dcache, 0.0);
+    EXPECT_NEAR(b.ipc(), 1.0 / b.total(), 1e-12);
+}
+
+TEST_P(PerfModelAppTest, WiderPipelineNeverHurts)
+{
+    UarchConfig narrow, wide;
+    narrow.width = 1;
+    wide.width = 8;
+    EXPECT_GE(shardCpi(sig(), narrow), shardCpi(sig(), wide));
+}
+
+TEST_P(PerfModelAppTest, BiggerWindowHelpsExceptBranchCost)
+{
+    // A deeper window improves ILP and memory overlap but raises the
+    // misprediction penalty; the non-branch components must improve.
+    UarchConfig small, big;
+    small.lsq = 11;
+    small.iq = 22;
+    small.rob = 64;
+    small.physRegs = 86;
+    big.lsq = 36;
+    big.iq = 72;
+    big.rob = 224;
+    big.physRegs = 296;
+    const CpiBreakdown s = predictCpi(sig(), small);
+    const CpiBreakdown b = predictCpi(sig(), big);
+    EXPECT_GE(s.base + s.icache + s.dcache + 1e-9,
+              b.base + b.icache + b.dcache);
+    EXPECT_LE(s.branch, b.branch + 1e-9);
+}
+
+TEST_P(PerfModelAppTest, BiggerCachesNeverHurt)
+{
+    UarchConfig small, big;
+    small.dcacheKB = 16;
+    small.icacheKB = 16;
+    small.l2KB = 256;
+    big.dcacheKB = 128;
+    big.icacheKB = 128;
+    big.l2KB = 4096;
+    EXPECT_GE(shardCpi(sig(), small) + 1e-9, shardCpi(sig(), big));
+}
+
+TEST_P(PerfModelAppTest, LowerL2LatencyNeverHurts)
+{
+    UarchConfig fast, slow;
+    fast.l2Latency = 6;
+    slow.l2Latency = 14;
+    EXPECT_GE(shardCpi(sig(), slow) + 1e-9, shardCpi(sig(), fast));
+}
+
+TEST_P(PerfModelAppTest, MoreMshrsNeverHurt)
+{
+    UarchConfig one, eight;
+    one.mshrs = 1;
+    eight.mshrs = 8;
+    EXPECT_GE(shardCpi(sig(), one) + 1e-9, shardCpi(sig(), eight));
+}
+
+TEST_P(PerfModelAppTest, MoreFunctionalUnitsNeverHurt)
+{
+    UarchConfig few, many;
+    few.intAlu = 1;
+    few.intMulDiv = 1;
+    few.fpAlu = 1;
+    few.fpMul = 1;
+    few.cachePorts = 1;
+    many.intAlu = 4;
+    many.intMulDiv = 2;
+    many.fpAlu = 3;
+    many.fpMul = 2;
+    many.cachePorts = 4;
+    EXPECT_GE(shardCpi(sig(), few) + 1e-9, shardCpi(sig(), many));
+}
+
+TEST_P(PerfModelAppTest, HigherAssociativityNeverHurts)
+{
+    UarchConfig direct, assoc;
+    direct.l1Assoc = 1;
+    direct.l2Assoc = 2;
+    assoc.l1Assoc = 8;
+    assoc.l2Assoc = 8;
+    EXPECT_GE(shardCpi(sig(), direct) + 1e-9, shardCpi(sig(), assoc));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PerfModelAppTest,
+                         ::testing::ValuesIn(wl::suiteAppNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(PerfModel, MemoryBoundAppBenefitsMoreFromL2)
+{
+    // Hardware-software interaction: growing the L2 must help the
+    // pointer-chasing app more than the cache-resident one.
+    UarchConfig small, big;
+    small.l2KB = 256;
+    big.l2KB = 4096;
+    const double omnet_gain = shardCpi(sigFor("omnetpp"), small) -
+        shardCpi(sigFor("omnetpp"), big);
+    const double hmmer_gain = shardCpi(sigFor("hmmer"), small) -
+        shardCpi(sigFor("hmmer"), big);
+    EXPECT_GT(omnet_gain, hmmer_gain);
+}
+
+TEST(PerfModel, FpUnitsBindOnIndependentFpStream)
+{
+    // A stream of independent FP multiplies is FP-issue bound: the
+    // second multiplier must help it, and must not matter at all to
+    // an integer application like sjeng.
+    std::vector<wl::MicroOp> ops(8192);
+    for (auto &op : ops)
+        op.cls = wl::OpClass::FpMulDiv;
+    const ShardSignature fp_sig = computeSignature(ops);
+
+    UarchConfig one_fp;
+    one_fp.width = 8;
+    one_fp.lsq = 36;
+    one_fp.iq = 72;
+    one_fp.rob = 224;
+    one_fp.physRegs = 296;
+    one_fp.fpMul = 1;
+    UarchConfig two_fp = one_fp;
+    two_fp.fpMul = 2;
+    EXPECT_GT(shardCpi(fp_sig, one_fp),
+              shardCpi(fp_sig, two_fp) + 1e-6);
+    EXPECT_NEAR(shardCpi(sigFor("sjeng"), one_fp),
+                shardCpi(sigFor("sjeng"), two_fp), 1e-9);
+}
+
+TEST(PerfModel, BranchyAppPaysMoreForBranches)
+{
+    // sjeng's hard-to-predict branches must cost more CPI than
+    // bwaves's loop branches on the same deep configuration, and its
+    // mispredict rate must be clearly higher.
+    UarchConfig deep;
+    deep.lsq = 36;
+    deep.iq = 72;
+    deep.rob = 224;
+    deep.physRegs = 296;
+    // Average over a long stream so every phase is represented.
+    const ShardSignature sj = computeSignature(
+        wl::StreamGenerator(wl::makeApp("sjeng")).generate(120000));
+    const ShardSignature bw = computeSignature(
+        wl::StreamGenerator(wl::makeApp("bwaves")).generate(120000));
+    const double sj_per_branch = sj.mispredictPerOp /
+        sj.classFrac[static_cast<std::size_t>(wl::OpClass::Branch)];
+    const double bw_per_branch = bw.mispredictPerOp /
+        bw.classFrac[static_cast<std::size_t>(wl::OpClass::Branch)];
+    EXPECT_GT(sj_per_branch, 1.3 * bw_per_branch);
+    (void)deep;
+}
+
+} // namespace
+} // namespace hwsw::uarch

@@ -1,0 +1,133 @@
+// Property tests for the activity-based power model, parameterized
+// across the application suite.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "uarch/powermodel.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+const ShardSignature &
+sigFor(const std::string &name)
+{
+    static std::map<std::string, ShardSignature> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const auto shards = wl::makeShards(wl::makeApp(name), 16384, 2);
+        it = cache.emplace(name, computeSignatures(shards)[1]).first;
+    }
+    return it->second;
+}
+
+class PowerModelTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const ShardSignature &sig() const { return sigFor(GetParam()); }
+};
+
+TEST_P(PowerModelTest, PlausibleWattage)
+{
+    Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        const UarchConfig cfg = UarchConfig::randomSample(rng);
+        const PowerEstimate p = estimatePower(sig(), cfg);
+        EXPECT_GT(p.dynamicW, 0.01);
+        EXPECT_LT(p.dynamicW, 50.0);
+        EXPECT_GT(p.staticW, 0.1);
+        EXPECT_LT(p.staticW, 5.0);
+    }
+}
+
+TEST_P(PowerModelTest, BiggerMachineBurnsMorePower)
+{
+    UarchConfig small, big;
+    small.width = 1;
+    small.lsq = 11;
+    small.iq = 22;
+    small.rob = 64;
+    small.physRegs = 86;
+    small.dcacheKB = 16;
+    small.icacheKB = 16;
+    small.l2KB = 256;
+    small.intAlu = 1;
+    small.fpAlu = 1;
+    big.width = 8;
+    big.lsq = 36;
+    big.iq = 72;
+    big.rob = 224;
+    big.physRegs = 296;
+    big.dcacheKB = 128;
+    big.icacheKB = 128;
+    big.l2KB = 4096;
+    big.intAlu = 4;
+    big.fpAlu = 3;
+    const PowerEstimate ps = estimatePower(sig(), small);
+    const PowerEstimate pb = estimatePower(sig(), big);
+    EXPECT_GT(pb.total(), ps.total());
+    EXPECT_GT(pb.staticW, ps.staticW);
+}
+
+TEST_P(PowerModelTest, EnergyPerInstructionPositiveAndBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+        const UarchConfig cfg = UarchConfig::randomSample(rng);
+        const double e = energyPerInstrNJ(sig(), cfg);
+        EXPECT_GT(e, 0.05);
+        EXPECT_LT(e, 100.0);
+    }
+}
+
+TEST_P(PowerModelTest, HigherIpcMeansMoreDynamicPower)
+{
+    // Same machine, throttled by a tiny window vs a big one: more
+    // throughput burns proportionally more dynamic power.
+    UarchConfig slow, fast;
+    slow.lsq = 11;
+    slow.iq = 22;
+    slow.rob = 64;
+    slow.physRegs = 86;
+    fast.lsq = 36;
+    fast.iq = 72;
+    fast.rob = 224;
+    fast.physRegs = 296;
+    const double ipc_slow = 1.0 / shardCpi(sig(), slow);
+    const double ipc_fast = 1.0 / shardCpi(sig(), fast);
+    if (ipc_fast > ipc_slow * 1.05) {
+        EXPECT_GT(estimatePower(sig(), fast).dynamicW,
+                  estimatePower(sig(), slow).dynamicW);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PowerModelTest,
+                         ::testing::ValuesIn(wl::suiteAppNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(PowerModel, FpOpsCostMoreThanIntOps)
+{
+    // Controlled streams isolate the functional-unit energy term:
+    // a pure FP-multiply stream must burn more dynamic energy per
+    // instruction than a pure integer-ALU stream on the same machine.
+    std::vector<wl::MicroOp> fp_ops(4096), int_ops(4096);
+    for (auto &op : fp_ops)
+        op.cls = wl::OpClass::FpMulDiv;
+    for (auto &op : int_ops)
+        op.cls = wl::OpClass::IntAlu;
+    const ShardSignature fp_sig = computeSignature(fp_ops);
+    const ShardSignature int_sig = computeSignature(int_ops);
+    UarchConfig cfg;
+    const double fp_ipc = 1.0 / shardCpi(fp_sig, cfg);
+    const double int_ipc = 1.0 / shardCpi(int_sig, cfg);
+    const double fp_dyn_per_instr =
+        estimatePower(fp_sig, cfg).dynamicW / fp_ipc;
+    const double int_dyn_per_instr =
+        estimatePower(int_sig, cfg).dynamicW / int_ipc;
+    EXPECT_GT(fp_dyn_per_instr, int_dyn_per_instr);
+}
+
+} // namespace
+} // namespace hwsw::uarch

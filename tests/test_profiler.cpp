@@ -1,0 +1,170 @@
+// Unit tests for the Table 1 shard profiler, including hand-crafted
+// streams with known re-use distances.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "profiler/profiler.hpp"
+
+namespace hwsw::prof {
+namespace {
+
+using wl::MicroOp;
+using wl::OpClass;
+
+MicroOp
+op(OpClass cls, std::uint64_t addr = 0, std::uint64_t pc = 0x1000)
+{
+    MicroOp o;
+    o.cls = cls;
+    o.addr = addr;
+    o.pc = pc;
+    return o;
+}
+
+TEST(Profiler, InstructionMixCounts)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 4; ++i)
+        ops.push_back(op(OpClass::IntAlu));
+    ops.push_back(op(OpClass::FpAlu));
+    ops.push_back(op(OpClass::FpMulDiv));
+    ops.push_back(op(OpClass::IntMulDiv));
+    ops.push_back(op(OpClass::Load, 0x100));
+    ops.push_back(op(OpClass::Store, 0x200));
+    MicroOp br = op(OpClass::Branch);
+    br.taken = true;
+    ops.push_back(br);
+
+    const ShardProfile p = profileShard(ops, "test", 3);
+    EXPECT_EQ(p.app, "test");
+    EXPECT_EQ(p.shardIndex, 3u);
+    EXPECT_EQ(p.numOps, 10u);
+    EXPECT_DOUBLE_EQ(p.intAluFrac, 0.4);
+    EXPECT_DOUBLE_EQ(p.fpAluFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.fpMulFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.intMulFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.memFrac, 0.2);
+    EXPECT_DOUBLE_EQ(p.ctrlFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.takenFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.avgBasicBlock, 10.0);
+}
+
+TEST(Profiler, ReuseDistanceHandCrafted)
+{
+    // Accesses to the same 64B block at op indices 1 and 5: one
+    // re-use of distance 4. A second block touched once: no re-use.
+    std::vector<MicroOp> ops;
+    ops.push_back(op(OpClass::IntAlu));
+    ops.push_back(op(OpClass::Load, 0x0));    // block A, index 1
+    ops.push_back(op(OpClass::IntAlu));
+    ops.push_back(op(OpClass::Load, 0x1000)); // block B
+    ops.push_back(op(OpClass::IntAlu));
+    ops.push_back(op(OpClass::Load, 0x20));   // block A again, index 5
+    const ShardProfile p = profileShard(ops, "x", 0);
+    EXPECT_DOUBLE_EQ(p.avgDReuse, 4.0);
+    EXPECT_DOUBLE_EQ(p.sumDReuse, 4.0);
+}
+
+TEST(Profiler, ReuseDistanceRespectsBlockGranularity)
+{
+    // 0x0 and 0x40 are different 64B blocks but the same 256B block.
+    std::vector<MicroOp> ops;
+    ops.push_back(op(OpClass::Load, 0x0));
+    ops.push_back(op(OpClass::Load, 0x40));
+    const ShardProfile p64 = profileShard(ops, "x", 0, 64);
+    EXPECT_DOUBLE_EQ(p64.avgDReuse, 0.0); // distinct blocks: no reuse
+    const ShardProfile p256 = profileShard(ops, "x", 0, 256);
+    EXPECT_DOUBLE_EQ(p256.avgDReuse, 1.0);
+}
+
+TEST(Profiler, InstructionReuseTracksPc)
+{
+    // Same 64B code block revisited after 2 ops.
+    std::vector<MicroOp> ops;
+    ops.push_back(op(OpClass::IntAlu, 0, 0x1000));
+    ops.push_back(op(OpClass::IntAlu, 0, 0x2000));
+    ops.push_back(op(OpClass::IntAlu, 0, 0x1004));
+    const ShardProfile p = profileShard(ops, "x", 0);
+    EXPECT_DOUBLE_EQ(p.avgIReuse, 2.0);
+}
+
+TEST(Profiler, ProducerConsumerDistances)
+{
+    std::vector<MicroOp> ops;
+    ops.push_back(op(OpClass::FpAlu));
+    MicroOp consumer = op(OpClass::FpAlu);
+    consumer.depDist = 1;
+    consumer.producerCls = OpClass::FpAlu;
+    ops.push_back(consumer);
+    MicroOp c2 = op(OpClass::IntAlu);
+    c2.depDist = 2;
+    c2.producerCls = OpClass::FpAlu;
+    ops.push_back(c2);
+    MicroOp c3 = op(OpClass::IntAlu);
+    c3.depDist = 3;
+    c3.producerCls = OpClass::IntMulDiv;
+    ops.push_back(c3);
+
+    const ShardProfile p = profileShard(ops, "x", 0);
+    EXPECT_DOUBLE_EQ(p.fpAluConsumerDist, 1.5); // (1+2)/2
+    EXPECT_DOUBLE_EQ(p.intMulConsumerDist, 3.0);
+    EXPECT_DOUBLE_EQ(p.fpMulConsumerDist, 0.0); // none observed
+}
+
+TEST(Profiler, EmptyShardIsFatal)
+{
+    std::vector<MicroOp> ops;
+    EXPECT_THROW(profileShard(ops, "x", 0), FatalError);
+}
+
+TEST(Profiler, NonPowerOfTwoBlockIsFatal)
+{
+    std::vector<MicroOp> ops = {op(OpClass::IntAlu)};
+    EXPECT_THROW(profileShard(ops, "x", 0, 100), FatalError);
+}
+
+TEST(Profiler, FeatureVectorMatchesFields)
+{
+    std::vector<MicroOp> ops = {op(OpClass::Load, 0x10),
+                                op(OpClass::IntAlu)};
+    const ShardProfile p = profileShard(ops, "x", 0);
+    const auto f = p.features();
+    EXPECT_DOUBLE_EQ(f[6], p.memFrac);
+    EXPECT_DOUBLE_EQ(f[7], p.avgDReuse);
+    EXPECT_DOUBLE_EQ(f[12], p.avgBasicBlock);
+    EXPECT_EQ(ShardProfile::featureNames().size(), kNumSwFeatures);
+}
+
+TEST(Profiler, WarmProfilingCarriesReuseAcrossShards)
+{
+    // Block A touched in shard 0 and re-touched early in shard 1:
+    // warm profiling sees the cross-shard re-use, cold does not.
+    std::vector<std::vector<MicroOp>> shards(2);
+    shards[0].push_back(op(OpClass::Load, 0x0));
+    shards[0].push_back(op(OpClass::IntAlu));
+    shards[1].push_back(op(OpClass::Load, 0x8));
+    shards[1].push_back(op(OpClass::IntAlu));
+
+    const auto warm = profileShards(shards, "x");
+    ASSERT_EQ(warm.size(), 2u);
+    EXPECT_DOUBLE_EQ(warm[1].avgDReuse, 2.0);
+
+    const auto cold = profileShard(shards[1], "x", 1);
+    EXPECT_DOUBLE_EQ(cold.avgDReuse, 0.0);
+}
+
+TEST(Profiler, MeanFeaturesAverages)
+{
+    std::vector<MicroOp> a = {op(OpClass::IntAlu), op(OpClass::IntAlu)};
+    std::vector<MicroOp> b = {op(OpClass::Load, 0x10),
+                              op(OpClass::Load, 0x18)};
+    std::vector<ShardProfile> ps = {profileShard(a, "x", 0),
+                                    profileShard(b, "x", 1)};
+    const auto m = meanFeatures(ps);
+    EXPECT_DOUBLE_EQ(m[5], 0.5); // intAluFrac mean
+    EXPECT_DOUBLE_EQ(m[6], 0.5); // memFrac mean
+}
+
+} // namespace
+} // namespace hwsw::prof

@@ -1,0 +1,182 @@
+// Unit tests for the column-pivoted QR least-squares solver.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/qr.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+TEST(Lstsq, ExactSquareSystem)
+{
+    Matrix X = {{1, 0}, {0, 2}};
+    std::vector<double> z = {3, 8};
+    const LstsqResult r = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_EQ(r.rank, 2u);
+    EXPECT_TRUE(r.dropped.empty());
+    EXPECT_NEAR(r.coeffs[0], 3.0, 1e-12);
+    EXPECT_NEAR(r.coeffs[1], 4.0, 1e-12);
+    EXPECT_NEAR(r.residualNorm, 0.0, 1e-12);
+}
+
+TEST(Lstsq, OverdeterminedRecoversTruth)
+{
+    // z = 2 + 3 a - 1.5 b, no noise: exact recovery expected.
+    Rng rng(3);
+    const std::size_t n = 50;
+    Matrix X(n, 3);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.nextUniform(-2, 2);
+        const double b = rng.nextUniform(-2, 2);
+        X(i, 0) = 1.0;
+        X(i, 1) = a;
+        X(i, 2) = b;
+        z[i] = 2.0 + 3.0 * a - 1.5 * b;
+    }
+    const LstsqResult exact = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_EQ(exact.rank, 3u);
+    EXPECT_NEAR(exact.coeffs[0], 2.0, 1e-10);
+    EXPECT_NEAR(exact.coeffs[1], 3.0, 1e-10);
+    EXPECT_NEAR(exact.coeffs[2], -1.5, 1e-10);
+    // The default ridge perturbs coefficients only negligibly.
+    const LstsqResult ridged = lstsq(X, z);
+    EXPECT_NEAR(ridged.coeffs[1], 3.0, 1e-3);
+}
+
+TEST(Lstsq, NoisyFitMinimizesResidual)
+{
+    Rng rng(7);
+    const std::size_t n = 200;
+    Matrix X(n, 2);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.nextUniform(0, 1);
+        X(i, 0) = 1.0;
+        X(i, 1) = a;
+        z[i] = 1.0 + 2.0 * a + 0.01 * rng.nextGaussian();
+    }
+    const LstsqResult r = lstsq(X, z);
+    EXPECT_NEAR(r.coeffs[0], 1.0, 0.01);
+    EXPECT_NEAR(r.coeffs[1], 2.0, 0.02);
+}
+
+TEST(Lstsq, DetectsExactCollinearity)
+{
+    // Column 2 = 2 * column 1: the solver must drop one column, not
+    // blow up (Section 3.1: temporal/spatial locality collinearity).
+    Rng rng(11);
+    const std::size_t n = 40;
+    Matrix X(n, 3);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.nextUniform(-1, 1);
+        X(i, 0) = 1.0;
+        X(i, 1) = a;
+        X(i, 2) = 2.0 * a;
+        z[i] = 5.0 + a;
+    }
+    const LstsqResult r = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_EQ(r.rank, 2u);
+    ASSERT_EQ(r.dropped.size(), 1u);
+    // Predictions must still be exact despite the drop.
+    for (std::size_t i = 0; i < n; ++i) {
+        double pred = 0;
+        for (std::size_t c = 0; c < 3; ++c)
+            pred += X(i, c) * r.coeffs[c];
+        EXPECT_NEAR(pred, z[i], 1e-8);
+    }
+    // The dropped column has a zero coefficient.
+    EXPECT_DOUBLE_EQ(r.coeffs[r.dropped[0]], 0.0);
+}
+
+TEST(Lstsq, DropsDuplicateAndConstantColumns)
+{
+    Rng rng(13);
+    const std::size_t n = 30;
+    Matrix X(n, 4);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.nextUniform(-1, 1);
+        X(i, 0) = 1.0;
+        X(i, 1) = a;
+        X(i, 2) = a;   // duplicate
+        X(i, 3) = 0.0; // all-zero
+        z[i] = a;
+    }
+    const LstsqResult r = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_EQ(r.rank, 2u);
+    EXPECT_EQ(r.dropped.size(), 2u);
+}
+
+TEST(Lstsq, ResidualNormMatchesManual)
+{
+    // Inconsistent system: X = [[1],[1]], z = [0, 2]; best fit b = 1,
+    // residual = sqrt(2).
+    Matrix X = {{1}, {1}};
+    std::vector<double> z = {0, 2};
+    const LstsqResult r = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_NEAR(r.coeffs[0], 1.0, 1e-12);
+    EXPECT_NEAR(r.residualNorm, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Lstsq, RejectsEmpty)
+{
+    Matrix X;
+    std::vector<double> z;
+    EXPECT_THROW(lstsq(X, z), FatalError);
+}
+
+TEST(WeightedLstsq, WeightsPullTheFit)
+{
+    // Two inconsistent points; weights decide the answer.
+    Matrix X = {{1}, {1}};
+    std::vector<double> z = {0, 10};
+    std::vector<double> w_hi = {1, 99};
+    const LstsqResult r = weightedLstsq(X, z, w_hi);
+    EXPECT_NEAR(r.coeffs[0], 9.9, 1e-3);
+
+    std::vector<double> w_eq = {1, 1};
+    const LstsqResult r2 = weightedLstsq(X, z, w_eq);
+    EXPECT_NEAR(r2.coeffs[0], 5.0, 1e-3);
+}
+
+TEST(WeightedLstsq, ZeroWeightIgnoresRow)
+{
+    Matrix X = {{1}, {1}, {1}};
+    std::vector<double> z = {2, 2, 100};
+    std::vector<double> w = {1, 1, 0};
+    const LstsqResult r = weightedLstsq(X, z, w);
+    EXPECT_NEAR(r.coeffs[0], 2.0, 1e-3);
+}
+
+TEST(WeightedLstsq, RejectsNegativeWeights)
+{
+    Matrix X = {{1}};
+    std::vector<double> z = {1};
+    std::vector<double> w = {-1};
+    EXPECT_THROW(weightedLstsq(X, z, w), FatalError);
+}
+
+TEST(Lstsq, WideMatrixUnderdetermined)
+{
+    // More columns than rows: rank <= rows, extra columns dropped.
+    Matrix X = {{1, 2, 3}, {4, 5, 6}};
+    std::vector<double> z = {1, 2};
+    const LstsqResult r = lstsq(X, z, 1e-10, 0.0);
+    EXPECT_LE(r.rank, 2u);
+    double pred0 = 0, pred1 = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+        pred0 += X(0, c) * r.coeffs[c];
+        pred1 += X(1, c) * r.coeffs[c];
+    }
+    EXPECT_NEAR(pred0, 1.0, 1e-8);
+    EXPECT_NEAR(pred1, 2.0, 1e-8);
+}
+
+} // namespace
+} // namespace hwsw::stats

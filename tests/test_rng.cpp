@@ -1,0 +1,161 @@
+// Unit tests for the deterministic random number generator.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hwsw {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a() == b());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextIntWithinBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextInt(bound), bound);
+    }
+}
+
+TEST(Rng, NextIntCoversAllValues)
+{
+    Rng rng(7);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 2000; ++i)
+        ++seen[rng.nextInt(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 250); // each of 5 values ~400 expected
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const int n = 20000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    const int n = 20000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(19);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(23);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.nextDiscrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, DiscreteRejectsAllZero)
+{
+    Rng rng(29);
+    std::vector<double> w = {0.0, 0.0};
+    EXPECT_THROW(rng.nextDiscrete(w), PanicError);
+}
+
+TEST(Rng, PositiveHasRequestedMean)
+{
+    Rng rng(31);
+    const int n = 30000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto v = rng.nextPositive(6.0);
+        ASSERT_GE(v, 1u);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum / n, 6.0, 0.4);
+}
+
+TEST(Rng, PositiveDegenerateMeanIsOne)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextPositive(0.5), 1u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a() == b());
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace hwsw

@@ -1,0 +1,113 @@
+// Tests for the integrated-space sampler.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "core/sampler.hpp"
+
+namespace hwsw::core {
+namespace {
+
+const SpaceSampler &
+sharedSampler()
+{
+    static SpaceSampler sampler = [] {
+        SamplerOptions opts;
+        opts.shardLength = 4096;
+        opts.shardsPerApp = 6;
+        return SpaceSampler(wl::makeSuite(), opts);
+    }();
+    return sampler;
+}
+
+TEST(SpaceSampler, ProfilesAllAppsAndShards)
+{
+    const SpaceSampler &s = sharedSampler();
+    EXPECT_EQ(s.numApps(), 7u);
+    for (std::size_t a = 0; a < s.numApps(); ++a) {
+        EXPECT_EQ(s.profiles(a).size(), 6u);
+        EXPECT_EQ(s.signatures(a).size(), 6u);
+        for (const auto &p : s.profiles(a))
+            EXPECT_EQ(p.app, s.app(a).name);
+    }
+}
+
+TEST(SpaceSampler, ShardCpiPositive)
+{
+    const SpaceSampler &s = sharedSampler();
+    Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        const auto cfg = uarch::UarchConfig::randomSample(rng);
+        const double cpi = s.shardCpi(i % 7, i % 6, cfg);
+        EXPECT_GT(cpi, 0.1);
+        EXPECT_LT(cpi, 100.0);
+    }
+}
+
+TEST(SpaceSampler, AppCpiIsMeanOfShards)
+{
+    const SpaceSampler &s = sharedSampler();
+    const uarch::UarchConfig cfg;
+    double acc = 0;
+    for (std::size_t sh = 0; sh < 6; ++sh)
+        acc += s.shardCpi(0, sh, cfg);
+    EXPECT_NEAR(s.appCpi(0, cfg), acc / 6.0, 1e-12);
+}
+
+TEST(SpaceSampler, RecordCombinesProfileConfigAndCpi)
+{
+    const SpaceSampler &s = sharedSampler();
+    uarch::UarchConfig cfg;
+    cfg.width = 8;
+    const ProfileRecord r = s.record(2, 3, cfg);
+    EXPECT_EQ(r.app, s.app(2).name);
+    EXPECT_EQ(r.shardIndex, 3u);
+    EXPECT_DOUBLE_EQ(r.vars[kNumSw], 8.0);
+    EXPECT_NEAR(r.perf, s.shardCpi(2, 3, cfg), 1e-12);
+}
+
+TEST(SpaceSampler, SampleProducesRequestedCounts)
+{
+    const SpaceSampler &s = sharedSampler();
+    const Dataset ds = s.sample(10, 42);
+    EXPECT_EQ(ds.size(), 70u);
+    EXPECT_EQ(ds.appNames().size(), 7u);
+    for (const auto &app : ds.appNames())
+        EXPECT_EQ(ds.indicesForApp(app).size(), 10u);
+}
+
+TEST(SpaceSampler, SampleDeterministicInSeed)
+{
+    const SpaceSampler &s = sharedSampler();
+    const Dataset a = s.sample(5, 9);
+    const Dataset b = s.sample(5, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].app, b[i].app);
+        EXPECT_DOUBLE_EQ(a[i].perf, b[i].perf);
+    }
+    const Dataset c = s.sample(5, 10);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].perf != c[i].perf;
+    EXPECT_TRUE(differs);
+}
+
+TEST(SpaceSampler, SampleAppsRestricts)
+{
+    const SpaceSampler &s = sharedSampler();
+    std::vector<std::size_t> apps = {1, 3};
+    const Dataset ds = s.sampleApps(apps, 4, 7);
+    EXPECT_EQ(ds.size(), 8u);
+    EXPECT_EQ(ds.appNames().size(), 2u);
+}
+
+TEST(SpaceSampler, EmptyAppListIsFatal)
+{
+    SamplerOptions opts;
+    std::vector<wl::AppSpec> none;
+    EXPECT_THROW(SpaceSampler(none, opts), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::core

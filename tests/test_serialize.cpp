@@ -1,0 +1,121 @@
+// Tests for model serialization round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/genetic.hpp"
+#include "core/serialize.hpp"
+
+namespace hwsw::core {
+namespace {
+
+Dataset
+smallData(std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a", "b"}) {
+        for (int i = 0; i < 60; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = std::exp(rng.nextGaussian() + 4.0);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 2.0 * r.vars[6] + 4.0 / r.vars[kNumSw];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+ModelSpec
+spec()
+{
+    ModelSpec s;
+    s.genes[6] = 2;
+    s.genes[7] = 4; // spline exercises knot serialization
+    s.genes[kNumSw] = 3;
+    s.interactions = {{6, static_cast<std::uint16_t>(kNumSw)}};
+    s.normalize();
+    return s;
+}
+
+TEST(Serialize, RoundTripPredictionsIdentical)
+{
+    const Dataset train = smallData(1);
+    HwSwModel model;
+    model.fit(spec(), train);
+
+    const std::string text = saveModelToString(model);
+    const HwSwModel loaded = loadModelFromString(text);
+
+    EXPECT_EQ(loaded.spec(), model.spec());
+    EXPECT_EQ(loaded.logResponse(), model.logResponse());
+    EXPECT_EQ(loaded.numColumns(), model.numColumns());
+    const Dataset probe = smallData(2);
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+        EXPECT_NEAR(loaded.predict(probe[i]), model.predict(probe[i]),
+                    1e-9);
+    }
+}
+
+TEST(Serialize, RoundTripThroughStream)
+{
+    HwSwModel model;
+    model.fit(spec(), smallData(3));
+    std::stringstream ss;
+    saveModel(model, ss);
+    const HwSwModel loaded = loadModel(ss);
+    EXPECT_EQ(loaded.coefficients().size(),
+              model.coefficients().size());
+}
+
+TEST(Serialize, PreservesLinearResponseFlag)
+{
+    HwSwModel model;
+    model.setLogResponse(false);
+    model.fit(spec(), smallData(4));
+    const HwSwModel loaded =
+        loadModelFromString(saveModelToString(model));
+    EXPECT_FALSE(loaded.logResponse());
+}
+
+TEST(Serialize, TextIsHumanReadable)
+{
+    HwSwModel model;
+    model.fit(spec(), smallData(5));
+    const std::string text = saveModelToString(model);
+    EXPECT_NE(text.find("hwsw-model 1"), std::string::npos);
+    EXPECT_NE(text.find("genes"), std::string::npos);
+    EXPECT_NE(text.find("coeffs"), std::string::npos);
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    EXPECT_THROW(loadModelFromString("not a model"), FatalError);
+    EXPECT_THROW(loadModelFromString("hwsw-model 99\n"), FatalError);
+    EXPECT_THROW(loadModelFromString("hwsw-model 1\nlog_response 1\n"
+                                     "genes 0"),
+                 FatalError);
+}
+
+TEST(Serialize, RejectsTruncatedCoefficients)
+{
+    HwSwModel model;
+    model.fit(spec(), smallData(6));
+    std::string text = saveModelToString(model);
+    text.resize(text.size() - 30); // chop the tail
+    EXPECT_THROW(loadModelFromString(text), FatalError);
+}
+
+TEST(Serialize, UnfittedModelIsFatal)
+{
+    HwSwModel model;
+    std::ostringstream os;
+    EXPECT_THROW(saveModel(model, os), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::core

@@ -1,0 +1,171 @@
+// Unit tests for shard signature extraction.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "uarch/signature.hpp"
+#include "workload/apps.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+using wl::MicroOp;
+using wl::OpClass;
+
+MicroOp
+op(OpClass cls, std::uint64_t addr = 0, std::uint64_t pc = 0x1000)
+{
+    MicroOp o;
+    o.cls = cls;
+    o.addr = addr;
+    o.pc = pc;
+    return o;
+}
+
+TEST(Signature, ClassFractions)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 6; ++i)
+        ops.push_back(op(OpClass::IntAlu));
+    ops.push_back(op(OpClass::Load, 0x100));
+    ops.push_back(op(OpClass::Store, 0x200));
+    ops.push_back(op(OpClass::Branch));
+    ops.push_back(op(OpClass::Branch));
+    const ShardSignature sig = computeSignature(ops);
+    EXPECT_DOUBLE_EQ(
+        sig.classFrac[static_cast<std::size_t>(OpClass::IntAlu)], 0.6);
+    EXPECT_DOUBLE_EQ(sig.loadFrac, 0.1);
+    EXPECT_DOUBLE_EQ(sig.storeFrac, 0.1);
+    EXPECT_DOUBLE_EQ(sig.avgBasicBlock, 5.0);
+    EXPECT_EQ(sig.dAccesses, 2u);
+}
+
+TEST(Signature, IpcWindowMonotone)
+{
+    // Larger windows can never reduce the dataflow IPC limit.
+    wl::StreamGenerator gen(wl::makeApp("hmmer"));
+    const auto ops = gen.generate(16384);
+    const ShardSignature sig = computeSignature(ops);
+    for (std::size_t i = 1; i < sig.ipcAtWindow.size(); ++i)
+        EXPECT_GE(sig.ipcAtWindow[i] + 1e-9, sig.ipcAtWindow[i - 1]);
+    EXPECT_GT(sig.ipcAtWindow[0], 0.0);
+}
+
+TEST(Signature, IpcWindowInterpolation)
+{
+    wl::StreamGenerator gen(wl::makeApp("sjeng"));
+    const auto ops = gen.generate(8192);
+    const ShardSignature sig = computeSignature(ops);
+    // At the sample points, interpolation is exact.
+    EXPECT_DOUBLE_EQ(sig.ipcLimitAtWindow(32), sig.ipcAtWindow[2]);
+    // Between points, value lies between neighbors.
+    const double mid = sig.ipcLimitAtWindow(48);
+    EXPECT_GE(mid, std::min(sig.ipcAtWindow[2], sig.ipcAtWindow[3]));
+    EXPECT_LE(mid, std::max(sig.ipcAtWindow[2], sig.ipcAtWindow[3]));
+    // Beyond the ends, clamped.
+    EXPECT_DOUBLE_EQ(sig.ipcLimitAtWindow(1), sig.ipcAtWindow.front());
+    EXPECT_DOUBLE_EQ(sig.ipcLimitAtWindow(4096), sig.ipcAtWindow.back());
+}
+
+TEST(Signature, SerialChainLimitsIpc)
+{
+    // Every op depends on its predecessor with latency 1: IPC == 1
+    // regardless of window.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 1000; ++i) {
+        MicroOp o = op(OpClass::IntAlu);
+        if (i > 0) {
+            o.depDist = 1;
+            o.producerCls = OpClass::IntAlu;
+        }
+        ops.push_back(o);
+    }
+    const ShardSignature sig = computeSignature(ops);
+    EXPECT_NEAR(sig.ipcAtWindow.back(), 1.0, 0.01);
+}
+
+TEST(Signature, IndependentOpsHaveHighIpc)
+{
+    std::vector<MicroOp> ops(1000, op(OpClass::IntAlu));
+    const ShardSignature sig = computeSignature(ops);
+    EXPECT_GT(sig.ipcAtWindow.back(), 100.0);
+}
+
+TEST(Signature, MissRateAtCapacityMonotone)
+{
+    wl::StreamGenerator gen(wl::makeApp("astar"));
+    const auto ops = gen.generate(16384);
+    const ShardSignature sig = computeSignature(ops);
+    double prev = 1.0;
+    for (double cap : {64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+        const double miss = sig.missRateAtCapacity(cap, true);
+        EXPECT_LE(miss, prev + 1e-12);
+        prev = miss;
+    }
+    EXPECT_DOUBLE_EQ(sig.missRateAtCapacity(0.5, true), 1.0);
+}
+
+TEST(Signature, PredictableBranchesLowMispredicts)
+{
+    wl::AppSpec app = wl::makeApp("bwaves"); // predictability ~0.99
+    wl::StreamGenerator gen(app);
+    const auto ops = gen.generate(30000);
+    const ShardSignature sig = computeSignature(ops);
+    // Mispredicts per *branch* should be small.
+    const double per_branch = sig.mispredictPerOp /
+        sig.classFrac[static_cast<std::size_t>(OpClass::Branch)];
+    EXPECT_LT(per_branch, 0.15);
+}
+
+TEST(Signature, HardBranchesMispredictMore)
+{
+    const auto easy = computeSignature(
+        wl::StreamGenerator(wl::makeApp("bwaves")).generate(30000));
+    const auto hard = computeSignature(
+        wl::StreamGenerator(wl::makeApp("sjeng")).generate(30000));
+    const double easy_rate = easy.mispredictPerOp /
+        easy.classFrac[static_cast<std::size_t>(OpClass::Branch)];
+    const double hard_rate = hard.mispredictPerOp /
+        hard.classFrac[static_cast<std::size_t>(OpClass::Branch)];
+    EXPECT_GT(hard_rate, 1.5 * easy_rate);
+}
+
+TEST(Signature, StreamyFractionSeparatesPatterns)
+{
+    const auto seq = computeSignature(
+        wl::StreamGenerator(wl::makeApp("gemsFDTD")).generate(20000));
+    const auto rnd = computeSignature(
+        wl::StreamGenerator(wl::makeApp("sjeng")).generate(20000));
+    EXPECT_GT(seq.streamyFrac, 0.5);
+    EXPECT_GT(seq.streamyFrac, rnd.streamyFrac + 0.25);
+}
+
+TEST(Signature, WarmSignaturesReduceColdMisses)
+{
+    const auto shards = wl::makeShards(wl::makeApp("omnetpp"), 8192, 6);
+    const auto warm = computeSignatures(shards);
+    const auto cold = computeSignature(shards[5]);
+    // Miss rate at huge capacity reflects only compulsory misses;
+    // warm state must show fewer of them for a later shard.
+    const double warm_cold_rate =
+        warm[5].missRateAtCapacity(1e9, true);
+    const double cold_cold_rate = cold.missRateAtCapacity(1e9, true);
+    EXPECT_LT(warm_cold_rate, cold_cold_rate);
+}
+
+TEST(Signature, EmptyShardIsFatal)
+{
+    std::vector<MicroOp> ops;
+    EXPECT_THROW(computeSignature(ops), FatalError);
+}
+
+TEST(Signature, OpLatencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1);
+    EXPECT_GT(opLatency(OpClass::IntMulDiv), opLatency(OpClass::IntAlu));
+    EXPECT_GT(opLatency(OpClass::FpMulDiv), opLatency(OpClass::Branch));
+}
+
+} // namespace
+} // namespace hwsw::uarch

@@ -1,0 +1,193 @@
+// Property tests for chromosomes and the genetic operators C1-C3,
+// M1-M2 (Section 3.4).
+#include <gtest/gtest.h>
+
+#include "core/spec.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/** Invariants every specification must satisfy. */
+void
+expectValid(const ModelSpec &spec)
+{
+    for (std::size_t v = 0; v < kNumVars; ++v)
+        EXPECT_LE(spec.genes[v], kMaxGene);
+    EXPECT_GE(spec.numActiveVars(), 1u);
+    for (std::size_t i = 0; i < spec.interactions.size(); ++i) {
+        const Interaction &it = spec.interactions[i];
+        EXPECT_LT(it.a, it.b);
+        EXPECT_LT(it.b, kNumVars);
+        if (i > 0) {
+            EXPECT_LT(spec.interactions[i - 1], it); // sorted unique
+        }
+    }
+}
+
+TEST(ModelSpec, NormalizeOrdersAndDeduplicates)
+{
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    spec.interactions = {{5, 2}, {2, 5}, {3, 3}, {1, 4}};
+    spec.normalize();
+    ASSERT_EQ(spec.interactions.size(), 2u);
+    EXPECT_EQ(spec.interactions[0], (Interaction{1, 4}));
+    EXPECT_EQ(spec.interactions[1], (Interaction{2, 5}));
+}
+
+TEST(ModelSpec, NormalizeDropsOutOfRange)
+{
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    spec.interactions = {{0, static_cast<std::uint16_t>(kNumVars)}};
+    spec.normalize();
+    EXPECT_TRUE(spec.interactions.empty());
+}
+
+TEST(ModelSpec, RandomSpecsAreValid)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const ModelSpec spec = ModelSpec::random(rng, 0.4, 10);
+        expectValid(spec);
+        EXPECT_LE(spec.interactions.size(), 10u);
+    }
+}
+
+TEST(ModelSpec, RandomNeverEmpty)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        // Even with inclusion probability 0 a variable is forced in.
+        const ModelSpec spec = ModelSpec::random(rng, 0.0, 0);
+        EXPECT_GE(spec.numActiveVars(), 1u);
+    }
+}
+
+TEST(ModelSpec, GeneTxNames)
+{
+    EXPECT_EQ(geneTxName(GeneTx::Excluded), "un-used");
+    EXPECT_EQ(geneTxName(GeneTx::Linear), "linear");
+    EXPECT_EQ(geneTxName(GeneTx::Quadratic), "poly, degree 2");
+    EXPECT_EQ(geneTxName(GeneTx::Spline), "spline, 3 knots");
+}
+
+TEST(ModelSpec, DescribeMentionsActiveVariables)
+{
+    ModelSpec spec;
+    spec.genes[0] = 1; // x1.ctrl
+    spec.interactions = {{0, 15}};
+    const std::string d = spec.describe();
+    EXPECT_NE(d.find("x1.ctrl"), std::string::npos);
+    EXPECT_NE(d.find("*"), std::string::npos);
+}
+
+TEST(CrossoverC1, ExchangesExactlyOneGene)
+{
+    Rng rng(7);
+    ModelSpec a, b;
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        a.genes[v] = 1;
+        b.genes[v] = 3;
+    }
+    for (int trial = 0; trial < 50; ++trial) {
+        const ModelSpec child = crossoverVariable(a, b, rng);
+        int changed = 0;
+        for (std::size_t v = 0; v < kNumVars; ++v)
+            changed += (child.genes[v] != a.genes[v]);
+        EXPECT_EQ(changed, 1);
+        EXPECT_EQ(child.interactions, a.interactions);
+    }
+}
+
+TEST(CrossoverC2, ExchangesInteraction)
+{
+    Rng rng(11);
+    ModelSpec a, b;
+    a.genes[0] = 1;
+    b.genes[0] = 1;
+    a.interactions = {{0, 1}};
+    b.interactions = {{2, 3}};
+    bool saw_exchange = false;
+    for (int trial = 0; trial < 50; ++trial) {
+        const ModelSpec child = crossoverInteraction(a, b, rng);
+        expectValid(child);
+        EXPECT_EQ(child.interactions.size(), 1u);
+        if (child.interactions[0] == Interaction{2, 3})
+            saw_exchange = true;
+    }
+    EXPECT_TRUE(saw_exchange);
+}
+
+TEST(CrossoverC2, DonatesWhenChildHasNone)
+{
+    Rng rng(13);
+    ModelSpec a, b;
+    a.genes[0] = 1;
+    b.genes[0] = 1;
+    b.interactions = {{4, 7}};
+    const ModelSpec child = crossoverInteraction(a, b, rng);
+    ASSERT_EQ(child.interactions.size(), 1u);
+    EXPECT_EQ(child.interactions[0], (Interaction{4, 7}));
+}
+
+TEST(CrossoverC3, BuildsInteractionFromBothParents)
+{
+    Rng rng(17);
+    ModelSpec a, b;
+    a.genes[2] = 1; // only active var in a
+    b.genes[9] = 2; // only active var in b
+    const ModelSpec child = crossoverNewInteraction(a, b, rng);
+    ASSERT_EQ(child.interactions.size(), 1u);
+    EXPECT_EQ(child.interactions[0], (Interaction{2, 9}));
+    expectValid(child);
+}
+
+TEST(MutationM1, KeepsSpecValidAndBounded)
+{
+    Rng rng(19);
+    ModelSpec spec = ModelSpec::random(rng, 0.5, 8);
+    for (int i = 0; i < 300; ++i) {
+        mutateInteraction(spec, rng, 12);
+        expectValid(spec);
+        EXPECT_LE(spec.interactions.size(), 12u);
+    }
+}
+
+TEST(MutationM1, CanGrowAndShrink)
+{
+    Rng rng(23);
+    ModelSpec spec;
+    spec.genes[0] = 1;
+    std::size_t min_seen = 99, max_seen = 0;
+    for (int i = 0; i < 300; ++i) {
+        mutateInteraction(spec, rng, 6);
+        min_seen = std::min(min_seen, spec.interactions.size());
+        max_seen = std::max(max_seen, spec.interactions.size());
+    }
+    EXPECT_EQ(min_seen, 0u);
+    EXPECT_GE(max_seen, 3u);
+}
+
+TEST(MutationM2, ChangesGenesButNeverEmpties)
+{
+    Rng rng(29);
+    ModelSpec spec;
+    spec.genes[3] = 1;
+    for (int i = 0; i < 300; ++i) {
+        mutateVariable(spec, rng);
+        expectValid(spec);
+    }
+}
+
+TEST(ModelSpec, EqualityIncludesInteractions)
+{
+    ModelSpec a, b;
+    a.genes[0] = b.genes[0] = 1;
+    EXPECT_EQ(a, b);
+    b.interactions = {{0, 1}};
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace hwsw::core

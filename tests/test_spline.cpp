@@ -1,0 +1,141 @@
+// Unit tests for cubic spline bases.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/qr.hpp"
+#include "stats/spline.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+TEST(TruncatedCubicSpline, TermCount)
+{
+    TruncatedCubicSpline s({0.25, 0.5, 0.75});
+    EXPECT_EQ(s.numTerms(), 6u);
+}
+
+TEST(TruncatedCubicSpline, HingeTermsVanishBelowKnot)
+{
+    TruncatedCubicSpline s({0.5});
+    std::vector<double> out(4);
+    s.eval(0.4, out);
+    EXPECT_DOUBLE_EQ(out[0], 0.4);
+    EXPECT_NEAR(out[1], 0.16, 1e-12);
+    EXPECT_NEAR(out[2], 0.064, 1e-12);
+    EXPECT_DOUBLE_EQ(out[3], 0.0); // below the knot
+
+    s.eval(0.7, out);
+    EXPECT_NEAR(out[3], std::pow(0.2, 3), 1e-12); // (x-a)^3_+
+}
+
+TEST(TruncatedCubicSpline, PaperFormulaShape)
+{
+    // S(x) with three inflections a,b,c: coefficient on (x-b)^3_+
+    // only affects x > b.
+    TruncatedCubicSpline s({1.0, 2.0, 3.0});
+    std::vector<double> lo(6), hi(6);
+    s.eval(1.5, lo);
+    s.eval(2.5, hi);
+    EXPECT_DOUBLE_EQ(lo[4], 0.0);
+    EXPECT_GT(hi[4], 0.0);
+    EXPECT_DOUBLE_EQ(lo[5], 0.0);
+    EXPECT_DOUBLE_EQ(hi[5], 0.0);
+}
+
+TEST(TruncatedCubicSpline, FromQuantilesSorted)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(rng.nextDouble());
+    const auto s = TruncatedCubicSpline::fromQuantiles(xs, 3);
+    ASSERT_EQ(s.knots().size(), 3u);
+    EXPECT_LT(s.knots()[0], s.knots()[1]);
+    EXPECT_LT(s.knots()[1], s.knots()[2]);
+    EXPECT_NEAR(s.knots()[1], 0.5, 0.08);
+}
+
+TEST(TruncatedCubicSpline, DegenerateSampleStillValid)
+{
+    std::vector<double> xs(50, 7.0); // constant sample
+    const auto s = TruncatedCubicSpline::fromQuantiles(xs, 3);
+    EXPECT_LT(s.knots()[0], s.knots()[1]);
+    EXPECT_LT(s.knots()[1], s.knots()[2]);
+}
+
+TEST(TruncatedCubicSpline, RejectsUnsortedKnots)
+{
+    EXPECT_THROW(TruncatedCubicSpline({2.0, 1.0}), FatalError);
+    EXPECT_THROW(TruncatedCubicSpline({}), FatalError);
+}
+
+TEST(TruncatedCubicSpline, CanFitNonMonotonicFunction)
+{
+    // A piecewise-cubic basis should fit a sine wave far better than
+    // a line: this is the flexibility Section 3.1 asks of splines.
+    Rng rng(5);
+    const std::size_t n = 300;
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = rng.nextDouble() * 6.28;
+    TruncatedCubicSpline basis =
+        TruncatedCubicSpline::fromQuantiles(xs, 3);
+
+    Matrix X(n, 1 + basis.numTerms());
+    Matrix Xlin(n, 2);
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        X(i, 0) = 1.0;
+        basis.eval(xs[i], X.row(i).subspan(1));
+        Xlin(i, 0) = 1.0;
+        Xlin(i, 1) = xs[i];
+        z[i] = std::sin(xs[i]);
+    }
+    const double res_spline = lstsq(X, z).residualNorm;
+    const double res_linear = lstsq(Xlin, z).residualNorm;
+    EXPECT_LT(res_spline, 0.15 * res_linear);
+}
+
+TEST(RestrictedCubicSpline, TermCount)
+{
+    RestrictedCubicSpline s({0.1, 0.3, 0.5, 0.7, 0.9});
+    EXPECT_EQ(s.numTerms(), 4u);
+}
+
+TEST(RestrictedCubicSpline, RejectsTooFewKnots)
+{
+    EXPECT_THROW(RestrictedCubicSpline({0.1, 0.2}), FatalError);
+}
+
+TEST(RestrictedCubicSpline, LinearBeyondBoundaryKnots)
+{
+    // Natural splines are linear outside the boundary knots: second
+    // differences far above the last knot must vanish.
+    RestrictedCubicSpline s({0.0, 1.0, 2.0});
+    std::vector<double> f1(2), f2(2), f3(2);
+    s.eval(10.0, f1);
+    s.eval(11.0, f2);
+    s.eval(12.0, f3);
+    for (std::size_t t = 0; t < 2; ++t) {
+        const double second_diff = f3[t] - 2.0 * f2[t] + f1[t];
+        EXPECT_NEAR(second_diff, 0.0, 1e-8);
+    }
+}
+
+TEST(RestrictedCubicSpline, ContinuousAtKnots)
+{
+    RestrictedCubicSpline s({0.0, 1.0, 2.0});
+    std::vector<double> below(2), above(2);
+    s.eval(1.0 - 1e-9, below);
+    s.eval(1.0 + 1e-9, above);
+    for (std::size_t t = 0; t < 2; ++t)
+        EXPECT_NEAR(below[t], above[t], 1e-6);
+}
+
+} // namespace
+} // namespace hwsw::stats

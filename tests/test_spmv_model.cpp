@@ -1,0 +1,113 @@
+// Tests for the domain-specific SpMV models (Section 5.3).
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+const CoordinatedTuner &
+sharedTuner()
+{
+    static const CsrMatrix csr =
+        generateMatrix(matrixInfo("crystk02"), 0.2, 3);
+    static TunerOptions opts = [] {
+        TunerOptions o;
+        o.trainingSamples = 120;
+        o.validationSamples = 40;
+        o.sim.maxAccesses = 80 * 1000;
+        return o;
+    }();
+    static const CoordinatedTuner tuner(csr, opts);
+    return tuner;
+}
+
+TEST(SpmvSample, MakePacksFields)
+{
+    const CsrMatrix csr = generateMatrix(matrixInfo("memplus"), 0.05, 1);
+    const BcsrStructure s = BcsrStructure::fromCsr(csr, 2, 3);
+    SpmvCacheConfig cfg;
+    SpmvResult res;
+    res.mflops = 55.0;
+    res.powerW = 0.4;
+    res.nJPerFlop = 12.0;
+    const SpmvSample sample = SpmvSample::make(s, cfg, res);
+    EXPECT_DOUBLE_EQ(sample.brow, 2.0);
+    EXPECT_DOUBLE_EQ(sample.bcol, 3.0);
+    EXPECT_NEAR(sample.fill, s.fillRatio(), 1e-12);
+    EXPECT_DOUBLE_EQ(sample.mflops, 55.0);
+    EXPECT_DOUBLE_EQ(sample.powerW, 0.4);
+}
+
+TEST(SpmvModel, RequiresEnoughSamples)
+{
+    std::vector<SpmvSample> few(10);
+    SpmvModel m;
+    EXPECT_THROW(m.fit(few), FatalError);
+    EXPECT_FALSE(m.fitted());
+}
+
+TEST(SpmvModel, PredictBeforeFitPanics)
+{
+    SpmvModel m;
+    EXPECT_THROW(m.predict(SpmvSample{}), PanicError);
+}
+
+TEST(SpmvModel, PerformanceAccuracyInPaperBand)
+{
+    // The paper reports 4-6% median error; allow headroom for the
+    // small training budget used in tests.
+    const auto val = sharedTuner().sampleSpace(60, 999);
+    const auto metrics = sharedTuner().perfModel().validate(val);
+    EXPECT_LT(metrics.medianAbsPctError, 0.12);
+    EXPECT_GT(metrics.spearman, 0.85);
+}
+
+TEST(SpmvModel, PowerModelFitsToo)
+{
+    const auto train = sharedTuner().sampleSpace(150, 7);
+    const auto val = sharedTuner().sampleSpace(50, 8);
+    SpmvModel power(SpmvTarget::Power);
+    power.fit(train);
+    const auto metrics = power.validate(val);
+    EXPECT_LT(metrics.medianAbsPctError, 0.15);
+    EXPECT_GT(metrics.spearman, 0.8);
+}
+
+TEST(SpmvModel, EnergyModelFitsToo)
+{
+    const auto train = sharedTuner().sampleSpace(150, 9);
+    const auto val = sharedTuner().sampleSpace(50, 10);
+    SpmvModel energy(SpmvTarget::Energy);
+    energy.fit(train);
+    const auto metrics = energy.validate(val);
+    EXPECT_LT(metrics.medianAbsPctError, 0.2);
+}
+
+TEST(SpmvModel, PredictionsArePositive)
+{
+    const auto val = sharedTuner().sampleSpace(40, 11);
+    for (const auto &s : val)
+        EXPECT_GT(sharedTuner().perfModel().predict(s), 0.0);
+}
+
+TEST(SpmvModel, FillRatioDrivesPrediction)
+{
+    // Same block size and cache, higher fill => lower predicted
+    // performance (fill is the key semantic parameter).
+    const SpmvModel &m = sharedTuner().perfModel();
+    SpmvSample lo, hi;
+    lo.brow = hi.brow = 4;
+    lo.bcol = hi.bcol = 4;
+    lo.cache = SpmvCacheConfig{}.features();
+    hi.cache = lo.cache;
+    lo.fill = 1.0;
+    hi.fill = 2.0;
+    EXPECT_GT(m.predict(lo), m.predict(hi));
+}
+
+} // namespace
+} // namespace hwsw::spmv

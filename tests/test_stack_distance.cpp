@@ -1,0 +1,145 @@
+// Unit tests for the Fenwick tree and the O(N log N) LRU stack
+// distance calculator, cross-checked against a naive reference.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "uarch/stack_distance.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+TEST(Fenwick, PrefixSums)
+{
+    Fenwick f(8);
+    f.add(0, 1);
+    f.add(3, 2);
+    f.add(7, 5);
+    EXPECT_EQ(f.prefix(0), 1);
+    EXPECT_EQ(f.prefix(2), 1);
+    EXPECT_EQ(f.prefix(3), 3);
+    EXPECT_EQ(f.prefix(7), 8);
+}
+
+TEST(Fenwick, RangeSums)
+{
+    Fenwick f(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        f.add(i, 1);
+    EXPECT_EQ(f.range(0, 9), 10);
+    EXPECT_EQ(f.range(3, 5), 3);
+    EXPECT_EQ(f.range(5, 3), 0); // empty range
+    EXPECT_EQ(f.range(0, 0), 1);
+}
+
+TEST(Fenwick, NegativeUpdates)
+{
+    Fenwick f(4);
+    f.add(1, 3);
+    f.add(1, -3);
+    EXPECT_EQ(f.prefix(3), 0);
+}
+
+TEST(StackDistance, FirstAccessIsCold)
+{
+    StackDistance sd(10);
+    EXPECT_EQ(sd.access(5), kColdAccess);
+    EXPECT_EQ(sd.access(6), kColdAccess);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero)
+{
+    StackDistance sd(10);
+    sd.access(1);
+    EXPECT_EQ(sd.access(1), 0u);
+}
+
+TEST(StackDistance, CountsDistinctIntermediateBlocks)
+{
+    StackDistance sd(16);
+    sd.access(1);
+    sd.access(2);
+    sd.access(3);
+    sd.access(2); // repeats do not add distinct blocks
+    EXPECT_EQ(sd.access(1), 2u); // blocks {2,3} touched since
+}
+
+TEST(StackDistance, ClassicSequence)
+{
+    // a b c b a: SD(a at end) counts distinct {b, c} = 2;
+    // SD(b second time) counts {c} = 1.
+    StackDistance sd(8);
+    sd.access('a');
+    sd.access('b');
+    sd.access('c');
+    EXPECT_EQ(sd.access('b'), 1u);
+    EXPECT_EQ(sd.access('a'), 2u);
+}
+
+/** Naive reference: distinct blocks since previous access. */
+class NaiveStack
+{
+  public:
+    std::uint64_t
+    access(std::uint64_t block)
+    {
+        std::uint64_t dist = kColdAccess;
+        auto it = lastPos_.find(block);
+        if (it != lastPos_.end()) {
+            std::set<std::uint64_t> seen;
+            for (std::size_t i = it->second + 1; i < trace_.size(); ++i)
+                seen.insert(trace_[i]);
+            dist = seen.size();
+        }
+        lastPos_[block] = trace_.size();
+        trace_.push_back(block);
+        return dist;
+    }
+
+  private:
+    std::vector<std::uint64_t> trace_;
+    std::unordered_map<std::uint64_t, std::size_t> lastPos_;
+};
+
+TEST(StackDistance, MatchesNaiveOnRandomTraces)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::size_t n = 2000;
+        StackDistance fast(n);
+        NaiveStack naive;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t block = rng.nextInt(64);
+            ASSERT_EQ(fast.access(block), naive.access(block))
+                << "trial " << trial << " access " << i;
+        }
+    }
+}
+
+TEST(StackDistance, SequentialStreamMostlyCold)
+{
+    StackDistance sd(1000);
+    std::size_t cold = 0;
+    for (std::uint64_t b = 0; b < 1000; ++b)
+        cold += (sd.access(b) == kColdAccess);
+    EXPECT_EQ(cold, 1000u);
+}
+
+TEST(StackDistance, LoopPatternHasConstantDistance)
+{
+    // Cyclic access over K blocks: steady-state SD is K-1.
+    constexpr std::uint64_t K = 10;
+    StackDistance sd(400);
+    for (int iter = 0; iter < 30; ++iter) {
+        for (std::uint64_t b = 0; b < K; ++b) {
+            const std::uint64_t d = sd.access(b);
+            if (iter > 0)
+                EXPECT_EQ(d, K - 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace hwsw::uarch

@@ -1,0 +1,97 @@
+// Tests for synthetic benchmark generation (Section 4.5 extension).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "profiler/profiler.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace hwsw::wl {
+namespace {
+
+TEST(Synthetic, DeterministicInSeed)
+{
+    const AppSpec a = makeSyntheticApp(5);
+    const AppSpec b = makeSyntheticApp(5);
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t p = 0; p < a.phases.size(); ++p) {
+        EXPECT_EQ(a.phases[p].meanBasicBlock,
+                  b.phases[p].meanBasicBlock);
+        EXPECT_EQ(a.phases[p].streams[0].workingSetBytes,
+                  b.phases[p].streams[0].workingSetBytes);
+    }
+    const AppSpec c = makeSyntheticApp(6);
+    EXPECT_NE(a.phases[0].meanBasicBlock, c.phases[0].meanBasicBlock);
+}
+
+TEST(Synthetic, GeneratesRunnableStreams)
+{
+    for (std::uint64_t seed : {1, 17, 99}) {
+        const AppSpec app = makeSyntheticApp(seed);
+        StreamGenerator gen(app);
+        const auto ops = gen.generate(4096);
+        const auto p = prof::profileShard(ops, app.name, 0);
+        EXPECT_GT(p.avgBasicBlock, 1.0);
+        EXPECT_GT(p.memFrac, 0.05);
+        EXPECT_LT(p.memFrac, 0.6);
+    }
+}
+
+TEST(Synthetic, PhasesRespectOptionBounds)
+{
+    SyntheticOptions opts;
+    opts.numPhases = 4;
+    opts.minFootprint = 32 << 10;
+    opts.maxFootprint = 1 << 20;
+    const AppSpec app = makeSyntheticApp(3, opts);
+    EXPECT_EQ(app.phases.size(), 4u);
+    for (const Phase &p : app.phases) {
+        for (const MemStreamSpec &s : p.streams) {
+            EXPECT_GE(s.workingSetBytes, opts.minFootprint / 2);
+            EXPECT_LE(s.workingSetBytes, 2 * opts.maxFootprint);
+        }
+        EXPECT_GE(p.branchPredictability, 0.7);
+        EXPECT_LE(p.branchPredictability, 1.0);
+    }
+}
+
+TEST(Synthetic, SuiteHasDistinctNames)
+{
+    const auto suite = makeSyntheticSuite(8, 100);
+    ASSERT_EQ(suite.size(), 8u);
+    std::set<std::string> names;
+    for (const auto &app : suite)
+        names.insert(app.name);
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Synthetic, CoversFpBehavior)
+{
+    // With default options a batch must include FP-flavored phases,
+    // the corner real integer suites leave empty.
+    int fp_apps = 0;
+    for (const auto &app : makeSyntheticSuite(12, 50)) {
+        StreamGenerator gen(app);
+        const auto p = prof::profileShard(gen.generate(8192),
+                                          app.name, 0);
+        if (p.fpAluFrac + p.fpMulFrac > 0.2)
+            ++fp_apps;
+    }
+    EXPECT_GE(fp_apps, 3);
+}
+
+TEST(Synthetic, RejectsDegenerateOptions)
+{
+    SyntheticOptions bad;
+    bad.numPhases = 0;
+    EXPECT_THROW(makeSyntheticApp(1, bad), FatalError);
+    bad = SyntheticOptions{};
+    bad.minFootprint = 1 << 20;
+    bad.maxFootprint = 1 << 10;
+    EXPECT_THROW(makeSyntheticApp(1, bad), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::wl

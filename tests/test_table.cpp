@@ -1,0 +1,74 @@
+// Unit tests for console report helpers.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "common/table.hpp"
+
+namespace hwsw {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string out = t.render();
+    // Header separator present, all cells present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Every line before padding trim ends with the same column.
+    const auto lines = [&] {
+        std::vector<std::string> ls;
+        std::size_t pos = 0;
+        while (pos < out.size()) {
+            const std::size_t nl = out.find('\n', pos);
+            ls.push_back(out.substr(pos, nl - pos));
+            pos = nl + 1;
+        }
+        return ls;
+    }();
+    ASSERT_GE(lines.size(), 4u);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 3), "3.14");
+    EXPECT_EQ(TextTable::num(1000.0, 4), "1000");
+}
+
+TEST(TextTable, PctFormatting)
+{
+    EXPECT_EQ(TextTable::pct(0.083), "8.3%");
+    EXPECT_EQ(TextTable::pct(0.5, 0), "50%");
+}
+
+TEST(TextTable, RaggedRowsDoNotCrash)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    EXPECT_FALSE(t.render().empty());
+}
+
+TEST(Boxplot, MarksMedianAndWhiskers)
+{
+    std::vector<double> xs = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const std::string line = renderBoxplot("demo", xs, 0.0, 1.0, 41);
+    EXPECT_NE(line.find('M'), std::string::npos);
+    EXPECT_NE(line.find('|'), std::string::npos);
+    EXPECT_NE(line.find('='), std::string::npos);
+    EXPECT_NE(line.find("demo"), std::string::npos);
+    EXPECT_NE(line.find("med=50.0%"), std::string::npos);
+}
+
+TEST(Boxplot, RejectsEmptyScale)
+{
+    std::vector<double> xs = {0.5};
+    EXPECT_THROW(renderBoxplot("x", xs, 1.0, 1.0), PanicError);
+}
+
+} // namespace
+} // namespace hwsw

@@ -1,0 +1,91 @@
+// Unit tests for variance-stabilizing transformations (Figure 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/transform.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+TEST(Stabilizer, AppliesKnownFunctions)
+{
+    EXPECT_DOUBLE_EQ(Stabilizer(Power::Identity).apply(32.0), 32.0);
+    EXPECT_DOUBLE_EQ(Stabilizer(Power::Sqrt).apply(16.0), 4.0);
+    EXPECT_DOUBLE_EQ(Stabilizer(Power::CubeRoot).apply(27.0), 3.0);
+    EXPECT_DOUBLE_EQ(Stabilizer(Power::FourthRoot).apply(16.0), 2.0);
+    EXPECT_NEAR(Stabilizer(Power::FifthRoot).apply(32.0), 2.0, 1e-12);
+    EXPECT_NEAR(Stabilizer(Power::Log1p).apply(std::exp(1.0) - 1.0),
+                1.0, 1e-12);
+}
+
+TEST(Stabilizer, ClampsNegativeInput)
+{
+    EXPECT_DOUBLE_EQ(Stabilizer(Power::Sqrt).apply(-5.0), 0.0);
+}
+
+TEST(Stabilizer, Names)
+{
+    EXPECT_EQ(Stabilizer(Power::FifthRoot).name(), "x^(1/5)");
+    EXPECT_EQ(Stabilizer(Power::Identity).name(), "x");
+    EXPECT_EQ(Stabilizer(Power::Log1p).name(), "log(1+x)");
+}
+
+TEST(ChooseStabilizer, LongTailGetsStrongTransform)
+{
+    // Re-create the Figure 3 situation: most samples small, a few an
+    // order of magnitude larger. The ladder should pick a strong
+    // variance-stabilizing rung, and the transformed skewness must be
+    // much lower than the raw skewness.
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        // Log-normal: most mass near 5e4 with outliers an order of
+        // magnitude larger, as in Figure 3(a).
+        xs.push_back(5e4 * std::exp(rng.nextGaussian() * 1.2));
+    }
+    const double raw_skew =
+        transformedSkewness(xs, Stabilizer(Power::Identity));
+    const Stabilizer chosen = chooseStabilizer(xs);
+    const double stabilized_skew =
+        std::abs(transformedSkewness(xs, chosen));
+    EXPECT_GT(raw_skew, 1.0);
+    EXPECT_LT(stabilized_skew, std::abs(raw_skew) * 0.5);
+    EXPECT_NE(chosen.power(), Power::Identity);
+}
+
+TEST(ChooseStabilizer, SymmetricDataKeepsIdentity)
+{
+    Rng rng(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i)
+        xs.push_back(100.0 + rng.nextGaussian());
+    EXPECT_EQ(chooseStabilizer(xs).power(), Power::Identity);
+}
+
+TEST(ChooseStabilizer, TinySampleFallsBackToIdentity)
+{
+    std::vector<double> xs = {1.0, 2.0};
+    EXPECT_EQ(chooseStabilizer(xs).power(), Power::Identity);
+}
+
+TEST(ChooseStabilizer, MinimizesAbsoluteSkewness)
+{
+    Rng rng(29);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(std::exp(rng.nextGaussian() * 2.0));
+    const Stabilizer chosen = chooseStabilizer(xs);
+    const double best = std::abs(transformedSkewness(xs, chosen));
+    for (Power p : {Power::Identity, Power::Sqrt, Power::CubeRoot,
+                    Power::FourthRoot, Power::FifthRoot, Power::Log1p}) {
+        EXPECT_LE(best,
+                  std::abs(transformedSkewness(xs, Stabilizer(p))) +
+                      1e-12);
+    }
+}
+
+} // namespace
+} // namespace hwsw::stats

@@ -1,0 +1,100 @@
+// Tests for coordinated hardware-software tuning (Figure 16).
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+namespace hwsw::spmv {
+namespace {
+
+/** One tuned matrix shared across tests (tuning is not free). */
+const TuneOutcome &
+sharedOutcome()
+{
+    static const TuneOutcome outcome = [] {
+        const CsrMatrix csr =
+            generateMatrix(matrixInfo("raefsky3"), 0.12, 5);
+        TunerOptions opts;
+        opts.trainingSamples = 120;
+        opts.validationSamples = 40;
+        opts.sim.maxAccesses = 80 * 1000;
+        CoordinatedTuner tuner(csr, opts);
+        return tuner.tune();
+    }();
+    return outcome;
+}
+
+TEST(Tuner, BaselineIsUnblocked)
+{
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_EQ(o.baseline.br, 1);
+    EXPECT_EQ(o.baseline.bc, 1);
+    EXPECT_GT(o.baseline.mflops, 0.0);
+}
+
+TEST(Tuner, AppTuningKeepsBaselineCache)
+{
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_EQ(o.appTuned.cache, o.baseline.cache);
+    EXPECT_GE(o.appTuned.mflops, o.baseline.mflops);
+}
+
+TEST(Tuner, ArchTuningKeepsUnblockedCode)
+{
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_EQ(o.archTuned.br, 1);
+    EXPECT_EQ(o.archTuned.bc, 1);
+    EXPECT_GE(o.archTuned.mflops, o.baseline.mflops);
+}
+
+TEST(Tuner, CoordinatedBeatsBothSingleStrategies)
+{
+    // Figure 16(a): coordinated > arch-only > app-only > baseline.
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_GE(o.coordinated.mflops, o.appTuned.mflops * 0.99);
+    EXPECT_GE(o.coordinated.mflops, o.archTuned.mflops * 0.99);
+    EXPECT_GT(o.coordinated.mflops, o.baseline.mflops * 1.5);
+}
+
+TEST(Tuner, AppTuningReducesEnergyArchTuningDoesNot)
+{
+    // Figure 16(b): blocking reduces nJ/Flop; architecture-only
+    // tuning does not reduce it.
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_LT(o.appTuned.nJPerFlop, o.baseline.nJPerFlop);
+    EXPECT_GT(o.archTuned.nJPerFlop, o.appTuned.nJPerFlop);
+}
+
+TEST(Tuner, ModelMetricsAreReasonable)
+{
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_LT(o.modelMetrics.medianAbsPctError, 0.15);
+    EXPECT_GT(o.modelMetrics.spearman, 0.85);
+}
+
+TEST(Tuner, VariantAccessorsValidateRange)
+{
+    const CsrMatrix csr = generateMatrix(matrixInfo("memplus"), 0.05, 2);
+    TunerOptions opts;
+    opts.trainingSamples = 60;
+    opts.validationSamples = 30;
+    opts.sim.maxAccesses = 40 * 1000;
+    CoordinatedTuner tuner(csr, opts);
+    EXPECT_EQ(tuner.variant(1, 1).br, 1);
+    EXPECT_EQ(tuner.variant(8, 8).bc, 8);
+    EXPECT_THROW(tuner.variant(0, 1), FatalError);
+    EXPECT_THROW(tuner.variant(1, 9), FatalError);
+}
+
+TEST(Tuner, Raefsky3PrefersLargeBlockRows)
+{
+    // Figure 12: 8 block rows maximize raefsky3 performance; the
+    // coordinated choice should use rows that are a multiple of 4.
+    const TuneOutcome &o = sharedOutcome();
+    EXPECT_EQ(o.coordinated.br % 4, 0);
+}
+
+} // namespace
+} // namespace hwsw::spmv

@@ -1,0 +1,121 @@
+// Unit tests for the Table 2 hardware design space.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include <set>
+
+#include "uarch/config.hpp"
+
+namespace hwsw::uarch {
+namespace {
+
+TEST(UarchConfig, GridSizeMatchesLevels)
+{
+    std::uint64_t expect = 1;
+    for (int l : UarchConfig::levelsPerDim())
+        expect *= static_cast<std::uint64_t>(l);
+    EXPECT_EQ(UarchConfig::gridSize(), expect);
+    EXPECT_GT(UarchConfig::gridSize(), 1000000u);
+}
+
+TEST(UarchConfig, ExtremeDesignsPresent)
+{
+    // Table 2 includes extreme designs so models infer interior
+    // points accurately.
+    const auto &levels = UarchConfig::levelsPerDim();
+    std::array<int, kNumHwFeatures> lo{}, hi{};
+    for (std::size_t d = 0; d < kNumHwFeatures; ++d)
+        hi[d] = levels[d] - 1;
+    const UarchConfig weak = UarchConfig::fromIndices(lo);
+    const UarchConfig strong = UarchConfig::fromIndices(hi);
+    EXPECT_EQ(weak.width, 1);
+    EXPECT_EQ(strong.width, 8);
+    EXPECT_EQ(weak.lsq, 11);
+    EXPECT_EQ(strong.lsq, 36);
+    EXPECT_EQ(weak.rob, 64);
+    EXPECT_EQ(strong.rob, 224);
+    EXPECT_EQ(weak.dcacheKB, 16);
+    EXPECT_EQ(strong.dcacheKB, 128);
+    EXPECT_EQ(weak.l2KB, 256);
+    EXPECT_EQ(strong.l2KB, 4096);
+    EXPECT_EQ(weak.l2Latency, 6);
+    EXPECT_EQ(strong.l2Latency, 14);
+    EXPECT_EQ(weak.mshrs, 1);
+    EXPECT_EQ(strong.mshrs, 8);
+}
+
+TEST(UarchConfig, WindowResourcesScaleTogether)
+{
+    // y2 scales LSQ/registers/IQ/ROB jointly (Table 2 grouping).
+    for (int idx = 0; idx < 6; ++idx) {
+        std::array<int, kNumHwFeatures> grid{};
+        grid[1] = idx;
+        const UarchConfig c = UarchConfig::fromIndices(grid);
+        EXPECT_EQ(c.lsq, 11 + 5 * idx);
+        EXPECT_EQ(c.iq, 22 + 10 * idx);
+        EXPECT_EQ(c.rob, 64 + 32 * idx);
+        EXPECT_EQ(c.physRegs, 86 + 42 * idx);
+    }
+}
+
+TEST(UarchConfig, FromIndicesRejectsOutOfRange)
+{
+    std::array<int, kNumHwFeatures> idx{};
+    idx[0] = 99;
+    EXPECT_THROW(UarchConfig::fromIndices(idx), FatalError);
+    idx[0] = -1;
+    EXPECT_THROW(UarchConfig::fromIndices(idx), FatalError);
+}
+
+TEST(UarchConfig, RandomSampleStaysOnGrid)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const UarchConfig c = UarchConfig::randomSample(rng);
+        EXPECT_TRUE(c.width == 1 || c.width == 2 || c.width == 4 ||
+                    c.width == 8);
+        EXPECT_GE(c.mshrs, 1);
+        EXPECT_LE(c.mshrs, 8);
+        EXPECT_GE(c.dcacheKB, 16);
+        EXPECT_LE(c.dcacheKB, 128);
+        EXPECT_GE(c.l2Latency, 6);
+        EXPECT_LE(c.l2Latency, 14);
+    }
+}
+
+TEST(UarchConfig, RandomSampleCoversDimensions)
+{
+    Rng rng(11);
+    std::set<int> widths, mshrs;
+    for (int i = 0; i < 500; ++i) {
+        const UarchConfig c = UarchConfig::randomSample(rng);
+        widths.insert(c.width);
+        mshrs.insert(c.mshrs);
+    }
+    EXPECT_EQ(widths.size(), 4u);
+    EXPECT_EQ(mshrs.size(), 5u);
+}
+
+TEST(UarchConfig, FeatureVector)
+{
+    UarchConfig c;
+    const auto f = c.features();
+    EXPECT_EQ(f.size(), kNumHwFeatures);
+    EXPECT_DOUBLE_EQ(f[0], c.width);
+    EXPECT_DOUBLE_EQ(f[1], c.lsq);
+    EXPECT_DOUBLE_EQ(f[4], c.dcacheKB);
+    EXPECT_DOUBLE_EQ(f[12], c.cachePorts);
+    EXPECT_EQ(UarchConfig::featureNames().size(), kNumHwFeatures);
+}
+
+TEST(UarchConfig, Equality)
+{
+    UarchConfig a, b;
+    EXPECT_EQ(a, b);
+    b.width = 8;
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace hwsw::uarch

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Command-line front end for the library.
+ *
+ *   hwsw profile <app> [shards] [shard-len]   Table 1 shard profiles
+ *   hwsw cpi <app> [width] [dcacheKB] [l2KB]  simulate CPI
+ *   hwsw train [pairs-per-app] [generations]  fit a model, report
+ *   hwsw spmv <matrix> [scale]                tune one Table 4 matrix
+ *   hwsw list                                 applications & matrices
+ *
+ * Everything is deterministic; re-running a command reproduces its
+ * output exactly.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/genetic.hpp"
+#include "core/sampler.hpp"
+#include "spmv/matgen.hpp"
+#include "spmv/tuner.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+int
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  hwsw list\n"
+        "  hwsw profile <app> [shards=8] [shard-len=16384]\n"
+        "  hwsw cpi <app> [width=4] [dcacheKB=64] [l2KB=1024]\n"
+        "  hwsw train [pairs-per-app=150] [generations=12]\n"
+        "  hwsw spmv <matrix> [scale=0.15]\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    std::printf("applications (SPEC2006 analogs):\n");
+    for (const auto &name : wl::suiteAppNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("\nsparse matrices (Table 4 analogs):\n");
+    for (const auto &info : spmv::table4())
+        std::printf("  %-10s %7d x %-7d %9llu nnz\n",
+                    info.name.c_str(), info.paperDimension,
+                    info.paperDimension,
+                    static_cast<unsigned long long>(info.paperNnz));
+    return 0;
+}
+
+int
+cmdProfile(const std::string &app_name, std::size_t shards,
+           std::size_t shard_len)
+{
+    const wl::AppSpec app = wl::makeApp(app_name);
+    const auto shard_list = wl::makeShards(app, shard_len, shards);
+    const auto profiles = prof::profileShards(shard_list, app.name);
+
+    TextTable t;
+    std::vector<std::string> hdr = {"shard"};
+    for (const auto &n : prof::ShardProfile::featureNames())
+        hdr.push_back(n);
+    t.header(hdr);
+    for (const auto &p : profiles) {
+        std::vector<std::string> row = {std::to_string(p.shardIndex)};
+        for (double f : p.features())
+            row.push_back(TextTable::num(f, 3));
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdCpi(const std::string &app_name, int width, int dcache_kb,
+       int l2_kb)
+{
+    const wl::AppSpec app = wl::makeApp(app_name);
+    const auto shards = wl::makeShards(app, 16384, 8);
+    const auto sigs = uarch::computeSignatures(shards);
+
+    uarch::UarchConfig cfg;
+    cfg.width = width;
+    cfg.dcacheKB = dcache_kb;
+    cfg.l2KB = l2_kb;
+
+    TextTable t;
+    t.header({"shard", "base", "branch", "icache", "dcache", "CPI"});
+    double total = 0.0;
+    for (std::size_t s = 0; s < sigs.size(); ++s) {
+        const auto b = uarch::predictCpi(sigs[s], cfg);
+        total += b.total();
+        t.row({std::to_string(s), TextTable::num(b.base),
+               TextTable::num(b.branch), TextTable::num(b.icache),
+               TextTable::num(b.dcache), TextTable::num(b.total())});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\napplication CPI: %.3f (width %d, %dKB D$, %dKB "
+                "L2)\n", total / static_cast<double>(sigs.size()),
+                width, dcache_kb, l2_kb);
+    return 0;
+}
+
+int
+cmdTrain(std::size_t pairs, std::size_t generations)
+{
+    core::SamplerOptions sopts;
+    sopts.shardLength = 16384;
+    sopts.shardsPerApp = 16;
+    core::SpaceSampler sampler(wl::makeSuite(), sopts);
+    const core::Dataset train = sampler.sample(pairs, 1);
+    const core::Dataset val = sampler.sample(40, 2);
+
+    core::GaOptions ga;
+    ga.populationSize = 24;
+    ga.generations = generations;
+    core::GeneticSearch search(train, ga);
+    const core::GaResult result = search.run();
+
+    core::HwSwModel model;
+    model.fit(result.best.spec, train);
+    const auto metrics = model.validate(val);
+
+    std::printf("trained on %zu profiles, %zu generations\n",
+                train.size(), generations);
+    std::printf("validation: median %.1f%%, mean %.1f%%, rho %.3f\n",
+                100.0 * metrics.medianAbsPctError,
+                100.0 * metrics.meanAbsPctError, metrics.spearman);
+    std::printf("model: %s\n", result.best.spec.describe().c_str());
+    return 0;
+}
+
+int
+cmdSpmv(const std::string &matrix, double scale)
+{
+    const auto csr =
+        spmv::generateMatrix(spmv::matrixInfo(matrix), scale);
+    std::printf("%s analog: %d x %d, %llu nnz\n", matrix.c_str(),
+                csr.rows(), csr.cols(),
+                static_cast<unsigned long long>(csr.nnz()));
+
+    spmv::TunerOptions topts;
+    spmv::CoordinatedTuner tuner(csr, topts);
+    const auto o = tuner.tune();
+    std::printf("model: median %.1f%%, rho %.3f\n",
+                100.0 * o.modelMetrics.medianAbsPctError,
+                o.modelMetrics.spearman);
+    TextTable t;
+    t.header({"strategy", "blocks", "line", "D$", "Mflop/s",
+              "nJ/flop"});
+    auto row = [&](const char *tag, const spmv::TunePoint &p) {
+        t.row({tag,
+               std::to_string(p.br) + "x" + std::to_string(p.bc),
+               std::to_string(p.cache.lineBytes) + "B",
+               std::to_string(p.cache.dsizeKB) + "KB",
+               TextTable::num(p.mflops), TextTable::num(p.nJPerFlop)});
+    };
+    row("baseline", o.baseline);
+    row("application", o.appTuned);
+    row("architecture", o.archTuned);
+    row("coordinated", o.coordinated);
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    auto arg = [&](int i, const char *dflt) {
+        return argc > i ? std::string(argv[i]) : std::string(dflt);
+    };
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "profile" && argc >= 3)
+            return cmdProfile(argv[2],
+                              std::stoul(arg(3, "8")),
+                              std::stoul(arg(4, "16384")));
+        if (cmd == "cpi" && argc >= 3)
+            return cmdCpi(argv[2], std::stoi(arg(3, "4")),
+                          std::stoi(arg(4, "64")),
+                          std::stoi(arg(5, "1024")));
+        if (cmd == "train")
+            return cmdTrain(std::stoul(arg(2, "150")),
+                            std::stoul(arg(3, "12")));
+        if (cmd == "spmv" && argc >= 3)
+            return cmdSpmv(argv[2], std::stod(arg(3, "0.15")));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
