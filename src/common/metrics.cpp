@@ -1,0 +1,35 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hwsw::metrics {
+
+std::string
+renderEntries(const std::vector<Entry> &entries)
+{
+    std::size_t width = 0;
+    for (const Entry &e : entries)
+        width = std::max(width, e.name.size());
+
+    std::string out;
+    char buf[160];
+    for (const Entry &e : entries) {
+        const std::string dots(width + 3 - e.name.size(), '.');
+        const bool whole = e.unit.empty() &&
+            std::abs(e.value - std::round(e.value)) < 1e-9 &&
+            std::abs(e.value) < 1e15;
+        if (whole) {
+            std::snprintf(buf, sizeof buf, "  %s %s %.0f\n",
+                          e.name.c_str(), dots.c_str(), e.value);
+        } else {
+            std::snprintf(buf, sizeof buf, "  %s %s %.3f%s%s\n",
+                          e.name.c_str(), dots.c_str(), e.value,
+                          e.unit.empty() ? "" : " ", e.unit.c_str());
+        }
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace hwsw::metrics

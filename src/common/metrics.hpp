@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight observability: thread-safe counters and wall-clock
+ * timers for instrumenting hot paths (the genetic search's
+ * evaluation loop foremost). Counters are lock-free atomics so they
+ * can sit inside code executed concurrently by a ThreadPool without
+ * perturbing what they measure; snapshots are plain structs suitable
+ * for embedding in results (GaResult) and printing from tools and
+ * benches.
+ */
+
+#ifndef HWSW_COMMON_METRICS_HPP
+#define HWSW_COMMON_METRICS_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwsw::metrics {
+
+/** Monotonic event counter, safe to bump from many threads. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Accumulating wall-clock timer (nanosecond resolution). */
+class Timer
+{
+  public:
+    void addSeconds(double s)
+    {
+        nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9),
+                         std::memory_order_relaxed);
+    }
+
+    double seconds() const
+    {
+        return static_cast<double>(
+                   nanos_.load(std::memory_order_relaxed)) * 1e-9;
+    }
+
+    void reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> nanos_{0};
+};
+
+/** RAII stopwatch: measures a scope into a Timer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &sink)
+        : sink_(sink), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer() { sink_.addSeconds(elapsedSeconds()); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Seconds since construction (without stopping). */
+    double elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    Timer &sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** One name/value row of a metrics report. */
+struct Entry
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit; ///< "", "s", "%", ...
+};
+
+/**
+ * Render entries as an aligned two-column text block, e.g.
+ *
+ *   evaluations ......... 512
+ *   cache hit rate ...... 43.8 %
+ *
+ * Values with no unit print as integers when they are whole.
+ */
+std::string renderEntries(const std::vector<Entry> &entries);
+
+} // namespace hwsw::metrics
+
+#endif // HWSW_COMMON_METRICS_HPP

@@ -1,0 +1,134 @@
+#include "common/pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace hwsw {
+
+void
+WaitGroup::add(std::size_t n)
+{
+    std::lock_guard lock(mutex_);
+    pending_ += n;
+}
+
+void
+WaitGroup::done()
+{
+    // Notify under the lock: a waiter may destroy this WaitGroup the
+    // moment wait() returns, so the condvar must not be touched after
+    // the count is observed at zero outside the critical section.
+    std::lock_guard lock(mutex_);
+    panicIf(pending_ == 0, "WaitGroup::done without matching add");
+    if (--pending_ == 0)
+        idle_.notify_all();
+}
+
+void
+WaitGroup::wait()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [&] { return pending_ == 0; });
+}
+
+std::size_t
+WaitGroup::pending() const
+{
+    std::lock_guard lock(mutex_);
+    return pending_;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        panicIf(stopping_, "submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const std::size_t batches = std::min<std::size_t>(size(), n);
+    // Shared dispatch state must outlive this call even if a worker
+    // retires its batch task after wait() returns the producer.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    WaitGroup wg;
+    wg.add(batches);
+    for (std::size_t b = 0; b < batches; ++b) {
+        submit([next, n, &fn, &wg] {
+            for (;;) {
+                const std::size_t i = next->fetch_add(1);
+                if (i >= n)
+                    break;
+                fn(i);
+            }
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+std::uint64_t
+ThreadPool::tasksExecuted() const
+{
+    std::lock_guard lock(mutex_);
+    return executed_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            ready_.wait(lock,
+                        [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            // Counted at dequeue: once a caller observes its batch
+            // complete (WaitGroup), every one of its tasks has been
+            // dequeued, so the count is exact at quiescence.
+            ++executed_;
+        }
+        task();
+    }
+}
+
+} // namespace hwsw

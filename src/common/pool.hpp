@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Persistent worker-thread pool with a submit/wait-group API.
+ *
+ * The genetic search (Section 4.2) evaluates every candidate of a
+ * generation in parallel. Spawning a fresh std::thread set per
+ * generation costs a clone/join round-trip per worker per generation;
+ * a ThreadPool is created once, owned for the lifetime of the search,
+ * and fed work each generation instead. A WaitGroup (Go-style
+ * counter + condition variable) lets a producer block until the batch
+ * it submitted has drained, without tearing the workers down.
+ *
+ * Determinism note: tasks receive disjoint output slots, so results
+ * are independent of which worker runs which task or in what order --
+ * the pool adds concurrency, never nondeterminism.
+ */
+
+#ifndef HWSW_COMMON_POOL_HPP
+#define HWSW_COMMON_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwsw {
+
+/**
+ * Counts outstanding tasks; wait() blocks until the count returns to
+ * zero. Reusable across rounds: add() before (or while) tasks run,
+ * done() exactly once per added task.
+ */
+class WaitGroup
+{
+  public:
+    /** Register @p n tasks that a later done() will retire. */
+    void add(std::size_t n = 1);
+
+    /** Retire one task; wakes waiters when the count hits zero. */
+    void done();
+
+    /** Block until every added task has called done(). */
+    void wait();
+
+    /** Outstanding task count (racy snapshot, for diagnostics). */
+    std::size_t pending() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    std::size_t pending_ = 0;
+};
+
+/**
+ * Fixed-size pool of worker threads consuming a FIFO task queue.
+ *
+ * Workers live from construction to destruction; destruction drains
+ * every task already submitted (graceful shutdown), then joins.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers; 0 means hardware concurrency.
+     * A pool of size 1 still owns one worker thread -- callers that
+     * want strictly inline execution should not build a pool at all.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains pending tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue one task. Tasks must not throw. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run fn(0) .. fn(n-1) across the workers and block until all
+     * complete. Indices are handed out dynamically (atomic counter),
+     * so uneven task costs load-balance; each index is executed
+     * exactly once. The calling thread does not execute tasks -- with
+     * K workers exactly K batch tasks are enqueued.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Tasks handed to workers since construction (diagnostics).
+     * Exact whenever the pool is quiescent, e.g. after a WaitGroup
+     * for every submitted batch has been waited on.
+     */
+    std::uint64_t tasksExecuted() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    bool stopping_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_POOL_HPP

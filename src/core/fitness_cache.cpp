@@ -1,0 +1,65 @@
+#include "core/fitness_cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace hwsw::core {
+
+FitnessCache::FitnessCache(std::size_t shards)
+{
+    fatalIf(shards == 0, "FitnessCache needs at least one shard");
+    shards = std::bit_ceil(shards);
+    shards_ = std::vector<Shard>(shards);
+    mask_ = shards - 1;
+}
+
+FitnessCache::Shard &
+FitnessCache::shardFor(const ModelSpec &spec) const
+{
+    // Shard on the high bits: unordered_map buckets consume the low
+    // bits of the same hash, and reusing them would leave each
+    // shard's map lopsided.
+    return shards_[(spec.canonicalKey() >> 48) & mask_];
+}
+
+std::optional<FitnessCache::Value>
+FitnessCache::lookup(const ModelSpec &spec) const
+{
+    Shard &shard = shardFor(spec);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(spec);
+    if (it == shard.map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+FitnessCache::insert(const ModelSpec &spec, Value value)
+{
+    Shard &shard = shardFor(spec);
+    std::lock_guard lock(shard.mutex);
+    shard.map.insert_or_assign(spec, value);
+}
+
+std::size_t
+FitnessCache::size() const
+{
+    std::size_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard lock(shard.mutex);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+void
+FitnessCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard lock(shard.mutex);
+        shard.map.clear();
+    }
+}
+
+} // namespace hwsw::core

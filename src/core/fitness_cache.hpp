@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cross-generation fitness memoization for the genetic search.
+ *
+ * Elitist selection carries the best N% of each generation forward
+ * unchanged, and late in a converged search crossover/mutation
+ * reproduce earlier chromosomes verbatim; both would otherwise pay a
+ * full K-fold refit per generation. Fitness is a pure function of the
+ * (normalized) specification given fixed folds, so a concurrency-safe
+ * map keyed by ModelSpec turns those re-evaluations into a hash
+ * lookup. Keys compare full specs -- the canonicalKey() hash only
+ * buckets them -- so hash collisions can never alias distinct specs.
+ *
+ * The cache is sharded by key to keep pool workers from serializing
+ * on one mutex during population evaluation.
+ */
+
+#ifndef HWSW_CORE_FITNESS_CACHE_HPP
+#define HWSW_CORE_FITNESS_CACHE_HPP
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spec.hpp"
+
+namespace hwsw::core {
+
+/** Thread-safe ModelSpec -> fitness memo table. */
+class FitnessCache
+{
+  public:
+    /** Memoized evaluation outcome (GeneticSearch::evaluate pair). */
+    struct Value
+    {
+        double fitness = 0.0;
+        double sumMedianError = 0.0;
+    };
+
+    /** @param shards power-of-two lock shard count. */
+    explicit FitnessCache(std::size_t shards = 16);
+
+    /** Lookup by exact spec equality. */
+    std::optional<Value> lookup(const ModelSpec &spec) const;
+
+    /** Insert or overwrite the memo for @p spec. */
+    void insert(const ModelSpec &spec, Value value);
+
+    /** Entries across all shards. */
+    std::size_t size() const;
+
+    /** Drop every entry (folds changed, cache no longer valid). */
+    void clear();
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<ModelSpec, Value, ModelSpecHash> map;
+    };
+
+    Shard &shardFor(const ModelSpec &spec) const;
+
+    mutable std::vector<Shard> shards_;
+    std::size_t mask_;
+};
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_FITNESS_CACHE_HPP

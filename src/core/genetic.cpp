@@ -1,13 +1,29 @@
 #include "core/genetic.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <functional>
 #include <numeric>
 #include <thread>
+#include <unordered_map>
 
 #include "common/assert.hpp"
 
 namespace hwsw::core {
+
+std::vector<metrics::Entry>
+SearchMetrics::entries() const
+{
+    return {
+        {"evaluations", static_cast<double>(evaluations), ""},
+        {"cache hits", static_cast<double>(cacheHits), ""},
+        {"cache misses", static_cast<double>(cacheMisses), ""},
+        {"cache hit rate", 100.0 * hitRate(), "%"},
+        {"model fits", static_cast<double>(modelFits), ""},
+        {"eval wall time", evalSeconds, "s"},
+        {"total wall time", totalSeconds, "s"},
+        {"pool workers", static_cast<double>(threadsUsed), ""},
+    };
+}
 
 GeneticSearch::GeneticSearch(const Dataset &data, GaOptions opts)
     : opts_(opts)
@@ -55,6 +71,28 @@ GeneticSearch::GeneticSearch(const Dataset &data, GaOptions opts)
         }
         folds_.push_back(std::move(fold));
     }
+
+    // The pool outlives every generation: workers are spawned once
+    // here rather than per evaluatePopulation call. A search asked to
+    // run serially (numThreads == 1) stays genuinely single-threaded.
+    const unsigned n_threads = opts_.numThreads
+        ? opts_.numThreads
+        : std::max(1u, std::thread::hardware_concurrency());
+    if (n_threads > 1)
+        pool_ = std::make_unique<ThreadPool>(n_threads);
+}
+
+SearchMetrics
+GeneticSearch::metricsSnapshot() const
+{
+    SearchMetrics m;
+    m.evaluations = evalCount_.value();
+    m.cacheHits = hitCount_.value();
+    m.cacheMisses = missCount_.value();
+    m.modelFits = fitCount_.value();
+    m.evalSeconds = evalTimer_.seconds();
+    m.threadsUsed = numWorkers();
+    return m;
 }
 
 std::pair<double, double>
@@ -65,6 +103,7 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
     for (const AppFold &fold : folds_) {
         HwSwModel model;
         model.fit(spec, fold.train, fold.basis, fold.weights);
+        fitCount_.add();
         const stats::FitMetrics m = model.validate(fold.validation);
         sum_err += m.medianAbsPctError;
         penalties += opts_.collinearityPenalty *
@@ -79,33 +118,68 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
 std::vector<ScoredSpec>
 GeneticSearch::evaluatePopulation(std::span<const ModelSpec> specs) const
 {
+    metrics::ScopedTimer timer(evalTimer_);
     std::vector<ScoredSpec> scored(specs.size());
-    std::atomic<std::size_t> next{0};
-    unsigned n_threads = opts_.numThreads
-        ? opts_.numThreads
-        : std::max(1u, std::thread::hardware_concurrency());
-    n_threads = std::min<unsigned>(
-        n_threads, static_cast<unsigned>(specs.size()));
+    evalCount_.add(specs.size());
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
-                return;
-            const auto [fitness, sum_err] = evaluate(specs[i]);
-            scored[i] = ScoredSpec{specs[i], fitness, sum_err};
+    // Tasks own disjoint output slots, so results are identical
+    // whatever the worker count or scheduling order.
+    auto run_tasks = [&](std::size_t n,
+                         const std::function<void(std::size_t)> &fn) {
+        if (pool_) {
+            pool_->parallelFor(n, fn);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
         }
     };
-    if (n_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned t = 0; t < n_threads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
+
+    if (!opts_.memoizeFitness) {
+        run_tasks(specs.size(), [&](std::size_t i) {
+            const auto [fitness, sum_err] = evaluate(specs[i]);
+            missCount_.add();
+            scored[i] = ScoredSpec{specs[i], fitness, sum_err};
+        });
+        return scored;
     }
+
+    // Group identical chromosomes first: each unique spec is
+    // resolved exactly once (memo hit or fresh evaluate) and fanned
+    // out to every duplicate slot. Besides skipping work, this keeps
+    // the hit/miss counters deterministic across thread counts --
+    // concurrent workers could otherwise both miss on the same
+    // duplicated offspring.
+    std::unordered_map<ModelSpec, std::vector<std::size_t>,
+                       ModelSpecHash> groups;
+    std::vector<std::size_t> uniques; // first occurrence, in order
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto [it, inserted] = groups.try_emplace(specs[i]);
+        if (inserted)
+            uniques.push_back(i);
+        it->second.push_back(i);
+    }
+
+    run_tasks(uniques.size(), [&](std::size_t u) {
+        const ModelSpec &spec = specs[uniques[u]];
+        FitnessCache::Value value;
+        if (const auto memo = cache_.lookup(spec)) {
+            value = *memo;
+            hitCount_.add();
+        } else {
+            const auto [fitness, sum_err] = evaluate(spec);
+            value = {fitness, sum_err};
+            missCount_.add();
+            cache_.insert(spec, value);
+        }
+        // groups is read-only here; slots are disjoint across tasks.
+        const std::vector<std::size_t> &slots =
+            groups.find(spec)->second;
+        hitCount_.add(slots.size() - 1); // duplicates reuse the memo
+        for (const std::size_t s : slots) {
+            scored[s] =
+                ScoredSpec{spec, value.fitness, value.sumMedianError};
+        }
+    });
     return scored;
 }
 
@@ -118,6 +192,10 @@ GeneticSearch::run()
 GaResult
 GeneticSearch::run(std::span<const ModelSpec> seeds)
 {
+    metrics::Timer run_timer;
+    metrics::ScopedTimer run_scope(run_timer);
+    const SearchMetrics before = metricsSnapshot();
+
     Rng rng(opts_.seed ^ 0xabcdef1234ULL);
 
     std::vector<ModelSpec> population;
@@ -135,6 +213,9 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
     std::vector<ScoredSpec> scored;
 
     for (std::size_t gen = 0; gen < opts_.generations; ++gen) {
+        const double eval_before = evalTimer_.seconds();
+        const std::uint64_t hits_before = hitCount_.value();
+        const std::uint64_t misses_before = missCount_.value();
         scored = evaluatePopulation(population);
         std::sort(scored.begin(), scored.end(),
                   [](const ScoredSpec &a, const ScoredSpec &b) {
@@ -143,6 +224,9 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
 
         GenerationStats stats;
         stats.generation = gen;
+        stats.wallSeconds = evalTimer_.seconds() - eval_before;
+        stats.cacheHits = hitCount_.value() - hits_before;
+        stats.cacheMisses = missCount_.value() - misses_before;
         stats.bestFitness = scored.front().fitness;
         stats.bestSumMedianError = scored.front().sumMedianError;
         stats.meanFitness = 0.0;
@@ -206,6 +290,17 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
 
     result.best = scored.front();
     result.population = std::move(scored);
+
+    // Per-run deltas: the search object's counters accumulate across
+    // run() calls, a GaResult describes only its own run.
+    const SearchMetrics after = metricsSnapshot();
+    result.metrics.evaluations = after.evaluations - before.evaluations;
+    result.metrics.cacheHits = after.cacheHits - before.cacheHits;
+    result.metrics.cacheMisses = after.cacheMisses - before.cacheMisses;
+    result.metrics.modelFits = after.modelFits - before.modelFits;
+    result.metrics.evalSeconds = after.evalSeconds - before.evalSeconds;
+    result.metrics.threadsUsed = after.threadsUsed;
+    result.metrics.totalSeconds = run_scope.elapsedSeconds();
     return result;
 }
 

@@ -19,10 +19,14 @@
 #define HWSW_CORE_GENETIC_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "common/pool.hpp"
 #include "core/dataset.hpp"
+#include "core/fitness_cache.hpp"
 #include "core/model.hpp"
 #include "core/spec.hpp"
 
@@ -57,6 +61,15 @@ struct GaOptions
 
     /** Worker threads; 0 means hardware concurrency. */
     unsigned numThreads = 0;
+
+    /**
+     * Memoize fitness across generations. Elites and duplicate
+     * offspring then cost a hash lookup instead of a K-fold refit.
+     * Results are bit-identical either way (fitness is a pure
+     * function of the spec given fixed folds); the knob exists for
+     * measurement and for memory-constrained callers.
+     */
+    bool memoizeFitness = true;
 
     std::uint64_t seed = 42;
 
@@ -94,6 +107,40 @@ struct GenerationStats
     double bestFitness = 0.0;
     double meanFitness = 0.0;
     double bestSumMedianError = 0.0;
+
+    /** Wall time spent evaluating this generation's population. */
+    double wallSeconds = 0.0;
+
+    /** Memo-cache hits / misses while scoring this generation. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/**
+ * Aggregate observability counters for one run() (wall times vary
+ * run to run; every count is deterministic for a fixed seed).
+ */
+struct SearchMetrics
+{
+    std::uint64_t evaluations = 0;  ///< population slots scored
+    std::uint64_t cacheHits = 0;    ///< memoized scores reused
+    std::uint64_t cacheMisses = 0;  ///< full evaluate() calls
+    std::uint64_t modelFits = 0;    ///< per-fold HwSwModel::fit calls
+    double evalSeconds = 0.0;       ///< inside population evaluation
+    double totalSeconds = 0.0;      ///< whole run()
+    unsigned threadsUsed = 1;       ///< pool workers (1 = inline)
+
+    /** Hit fraction in [0,1]; 0 when nothing was scored. */
+    double hitRate() const
+    {
+        const auto total = cacheHits + cacheMisses;
+        return total ? static_cast<double>(cacheHits) /
+                static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Rows for metrics::renderEntries. */
+    std::vector<metrics::Entry> entries() const;
 };
 
 /** Search outcome. */
@@ -102,6 +149,7 @@ struct GaResult
     ScoredSpec best;
     std::vector<GenerationStats> history;
     std::vector<ScoredSpec> population; ///< final, sorted by fitness
+    SearchMetrics metrics;
 };
 
 /** Genetic search engine over a profile dataset. */
@@ -130,6 +178,25 @@ class GeneticSearch
     /** Number of per-application folds. */
     std::size_t numFolds() const { return folds_.size(); }
 
+    /** Pool workers evaluation runs on (1 = inline, no pool). */
+    unsigned numWorkers() const
+    {
+        return pool_ ? pool_->size() : 1u;
+    }
+
+    /** Entries currently memoized (0 when memoization is off). */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+    /** Drop every memoized fitness (counters are unaffected). */
+    void clearCache() { cache_.clear(); }
+
+    /**
+     * Counters/timers accumulated so far, across run() calls and
+     * direct evaluate() calls. run() also snapshots per-run deltas
+     * into GaResult::metrics.
+     */
+    SearchMetrics metricsSnapshot() const;
+
   private:
     struct AppFold
     {
@@ -145,6 +212,20 @@ class GeneticSearch
 
     GaOptions opts_;
     std::vector<AppFold> folds_;
+
+    /** Persistent workers, created once; null for serial searches. */
+    std::unique_ptr<ThreadPool> pool_;
+
+    /** Cross-generation fitness memo (unused when disabled). */
+    mutable FitnessCache cache_;
+
+    // Observability. Mutable so the logically-const evaluation path
+    // can record what it did; all counters are thread-safe.
+    mutable metrics::Counter evalCount_;
+    mutable metrics::Counter hitCount_;
+    mutable metrics::Counter missCount_;
+    mutable metrics::Counter fitCount_;
+    mutable metrics::Timer evalTimer_;
 };
 
 } // namespace hwsw::core

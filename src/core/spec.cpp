@@ -86,6 +86,60 @@ ModelSpec::random(Rng &rng, double include_prob,
     return spec;
 }
 
+namespace {
+
+/** SplitMix64 finalizer: full-avalanche mixing of one 64-bit word. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+ModelSpec::canonicalKey() const
+{
+    // Hash the canonical form without mutating: specs inside the
+    // search are already normalized, but a caller holding an
+    // un-normalized chromosome must get the same key as its
+    // normalized twin.
+    std::vector<Interaction> canon = interactions;
+    for (Interaction &i : canon) {
+        if (i.a > i.b)
+            std::swap(i.a, i.b);
+    }
+    std::erase_if(canon, [](const Interaction &i) {
+        return i.a == i.b || i.a >= kNumVars || i.b >= kNumVars;
+    });
+    std::sort(canon.begin(), canon.end());
+    canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+    std::uint64_t h = 0x68777377ULL; // "hwsw" tag, arbitrary nonzero
+    // Pack genes eight at a time so kNumVars words feed the mixer.
+    std::uint64_t word = 0;
+    std::size_t packed = 0;
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        word = (word << 8) | genes[v];
+        if (++packed == 8) {
+            h = mix64(h ^ word);
+            word = 0;
+            packed = 0;
+        }
+    }
+    if (packed != 0)
+        h = mix64(h ^ word);
+    h = mix64(h ^ static_cast<std::uint64_t>(canon.size()));
+    for (const Interaction &i : canon) {
+        h = mix64(h ^ (static_cast<std::uint64_t>(i.a) << 16 |
+                       static_cast<std::uint64_t>(i.b)));
+    }
+    return h;
+}
+
 std::string
 ModelSpec::describe() const
 {

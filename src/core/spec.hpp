@@ -81,7 +81,25 @@ struct ModelSpec
     /** One-line description for reports. */
     std::string describe() const;
 
+    /**
+     * 64-bit content hash of the normalized chromosome (genes plus
+     * the sorted interaction list). Two specs that compare equal
+     * after normalize() hash identically, so the value can key a
+     * fitness memoization cache; equality must still be checked on
+     * lookup since distinct specs may collide.
+     */
+    std::uint64_t canonicalKey() const;
+
     bool operator==(const ModelSpec &o) const = default;
+};
+
+/** Hash functor over canonicalKey, for unordered containers. */
+struct ModelSpecHash
+{
+    std::size_t operator()(const ModelSpec &s) const
+    {
+        return static_cast<std::size_t>(s.canonicalKey());
+    }
 };
 
 /**

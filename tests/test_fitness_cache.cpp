@@ -1,0 +1,229 @@
+// Tests for cross-generation fitness memoization and the canonical
+// ModelSpec key it hashes with.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fitness_cache.hpp"
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+namespace {
+
+Dataset
+cacheData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta"}) {
+        const double base = app[0] == 'a' ? 1.0 : 2.0;
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = rng.nextUniform(10, 1000);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 /
+                    r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+GaOptions
+cacheOpts()
+{
+    GaOptions o;
+    o.populationSize = 12;
+    o.generations = 5;
+    o.numThreads = 1;
+    o.seed = 7;
+    return o;
+}
+
+TEST(FitnessCache, LookupReturnsInsertedValue)
+{
+    FitnessCache cache;
+    Rng rng(1);
+    const ModelSpec spec = ModelSpec::random(rng);
+    EXPECT_FALSE(cache.lookup(spec).has_value());
+
+    cache.insert(spec, {0.25, 1.5});
+    const auto hit = cache.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->fitness, 0.25);
+    EXPECT_DOUBLE_EQ(hit->sumMedianError, 1.5);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(spec).has_value());
+}
+
+TEST(FitnessCache, CachedFitnessEqualsFreshEvaluate)
+{
+    // Bit-identical memoization: for random specs, the value the
+    // search memoizes must equal a fresh evaluate() on the same
+    // folds.
+    const Dataset data = cacheData(40, 2);
+    GeneticSearch search(data, cacheOpts());
+    FitnessCache cache;
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        ModelSpec spec = ModelSpec::random(rng, 0.4, 6);
+        const auto [fitness, sum_err] = search.evaluate(spec);
+        cache.insert(spec, {fitness, sum_err});
+        const auto memo = cache.lookup(spec);
+        ASSERT_TRUE(memo.has_value());
+        const auto [again_fit, again_err] = search.evaluate(spec);
+        EXPECT_EQ(memo->fitness, again_fit);
+        EXPECT_EQ(memo->sumMedianError, again_err);
+    }
+}
+
+TEST(FitnessCache, ElitesHitTheCacheAcrossGenerations)
+{
+    // Elitism re-submits the best N% unchanged each generation; with
+    // memoization on, those re-evaluations must be hits, visible in
+    // the metrics counters by generation 2.
+    GeneticSearch search(cacheData(40, 4), cacheOpts());
+    const GaResult result = search.run();
+    ASSERT_GE(result.history.size(), 3u);
+
+    // Generation 0 is all misses (cold cache).
+    EXPECT_EQ(result.history[0].cacheHits, 0u);
+    EXPECT_EQ(result.history[0].cacheMisses, 12u);
+
+    // Elite carry-over guarantees hits from generation 1 on. The
+    // elite fraction is 0.25 of 12 -> at least 3 per generation.
+    for (std::size_t g = 1; g < result.history.size(); ++g)
+        EXPECT_GE(result.history[g].cacheHits, 3u) << "gen " << g;
+
+    EXPECT_GT(result.metrics.cacheHits, 0u);
+    EXPECT_EQ(result.metrics.cacheHits + result.metrics.cacheMisses,
+              result.metrics.evaluations);
+    EXPECT_EQ(result.metrics.modelFits,
+              result.metrics.cacheMisses * search.numFolds());
+    EXPECT_GT(search.cacheSize(), 0u);
+}
+
+TEST(FitnessCache, DisabledMemoizationNeverHits)
+{
+    GaOptions opts = cacheOpts();
+    opts.memoizeFitness = false;
+    GeneticSearch search(cacheData(40, 4), opts);
+    const GaResult result = search.run();
+    EXPECT_EQ(result.metrics.cacheHits, 0u);
+    EXPECT_EQ(result.metrics.cacheMisses, result.metrics.evaluations);
+    EXPECT_EQ(search.cacheSize(), 0u);
+}
+
+TEST(FitnessCache, CanonicalKeyMatchesEqualityOnRandomSpecs)
+{
+    // Property test: equal specs hash equal; distinct specs land in
+    // distinct map entries even if their 64-bit keys were to collide,
+    // because the cache compares full specs.
+    Rng rng(5);
+    std::vector<ModelSpec> specs;
+    for (int i = 0; i < 400; ++i)
+        specs.push_back(ModelSpec::random(rng, 0.35, 8));
+
+    std::unordered_map<ModelSpec, std::size_t, ModelSpecHash> index;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        index.emplace(specs[i], i); // keeps first occurrence
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto it = index.find(specs[i]);
+        ASSERT_NE(it, index.end());
+        // The entry found must be a spec equal to ours, never an
+        // aliased distinct spec.
+        EXPECT_EQ(it->first, specs[i]);
+        ModelSpec copy = specs[i];
+        EXPECT_EQ(copy.canonicalKey(), specs[i].canonicalKey());
+    }
+}
+
+TEST(FitnessCache, CanonicalKeyIsNormalizationInvariant)
+{
+    ModelSpec spec;
+    spec.genes[1] = 2;
+    spec.genes[4] = 1;
+    spec.interactions = {{4, 1}, {1, 4}, {2, 2}, {1, 4}};
+
+    ModelSpec normalized = spec;
+    normalized.normalize();
+    EXPECT_NE(spec.interactions, normalized.interactions);
+    EXPECT_EQ(spec.canonicalKey(), normalized.canonicalKey());
+}
+
+TEST(FitnessCache, CanonicalKeySeparatesNearbySpecs)
+{
+    // Single-gene and single-interaction perturbations must change
+    // the key (these are exactly the mutations the search applies).
+    ModelSpec base;
+    base.genes[0] = 1;
+    base.genes[3] = 4;
+    base.interactions = {{0, 3}};
+    const std::uint64_t k0 = base.canonicalKey();
+
+    std::unordered_set<std::uint64_t> keys{k0};
+    for (std::uint8_t g = 0; g <= kMaxGene; ++g) {
+        if (g == base.genes[3])
+            continue;
+        ModelSpec m = base;
+        m.genes[3] = g;
+        EXPECT_TRUE(keys.insert(m.canonicalKey()).second);
+    }
+    ModelSpec extra = base;
+    extra.interactions.push_back({1, 2});
+    extra.normalize();
+    EXPECT_TRUE(keys.insert(extra.canonicalKey()).second);
+
+    ModelSpec none = base;
+    none.interactions.clear();
+    EXPECT_TRUE(keys.insert(none.canonicalKey()).second);
+}
+
+TEST(FitnessCache, ConcurrentMixedReadersAndWriters)
+{
+    FitnessCache cache(8);
+    Rng seed_rng(6);
+    std::vector<ModelSpec> shared;
+    for (int i = 0; i < 64; ++i)
+        shared.push_back(ModelSpec::random(seed_rng, 0.4, 6));
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < 200; ++round) {
+                const ModelSpec &s =
+                    shared[static_cast<std::size_t>((t * 977 + round * 31)) %
+                           shared.size()];
+                const double fit =
+                    static_cast<double>(s.canonicalKey() % 1000) / 1000.0;
+                if ((round + t) % 3 == 0) {
+                    cache.insert(s, {fit, 2.0 * fit});
+                } else if (const auto v = cache.lookup(s)) {
+                    // Values are keyed to the spec, so whichever
+                    // writer won, the content must be consistent.
+                    EXPECT_DOUBLE_EQ(v->fitness, fit);
+                    EXPECT_DOUBLE_EQ(v->sumMedianError, 2.0 * fit);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_LE(cache.size(), shared.size());
+    EXPECT_GT(cache.size(), 0u);
+}
+
+} // namespace
+} // namespace hwsw::core

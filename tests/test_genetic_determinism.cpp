@@ -1,0 +1,177 @@
+// Determinism suite: the genetic search must produce bit-identical
+// results for a fixed seed regardless of worker count or memoization
+// state. (Wall-clock fields are excluded -- they are the only
+// non-deterministic part of a GaResult.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+namespace {
+
+Dataset
+detData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta", "gamma"}) {
+        const double base = 1.0 + 0.5 * (app[0] - 'a');
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = rng.nextUniform(10, 1000);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 /
+                    r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+GaOptions
+baseOpts()
+{
+    GaOptions o;
+    o.populationSize = 16;
+    o.generations = 6;
+    o.numThreads = 1;
+    o.seed = 1234;
+    return o;
+}
+
+/** Bit-exact equality of everything deterministic in a GaResult. */
+void
+expectSameResult(const GaResult &a, const GaResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.best.spec, b.best.spec);
+    EXPECT_EQ(a.best.fitness, b.best.fitness);
+    EXPECT_EQ(a.best.sumMedianError, b.best.sumMedianError);
+
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        SCOPED_TRACE("generation " + std::to_string(g));
+        EXPECT_EQ(a.history[g].generation, b.history[g].generation);
+        EXPECT_EQ(a.history[g].bestFitness, b.history[g].bestFitness);
+        EXPECT_EQ(a.history[g].meanFitness, b.history[g].meanFitness);
+        EXPECT_EQ(a.history[g].bestSumMedianError,
+                  b.history[g].bestSumMedianError);
+    }
+
+    ASSERT_EQ(a.population.size(), b.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        EXPECT_EQ(a.population[i].spec, b.population[i].spec);
+        EXPECT_EQ(a.population[i].fitness, b.population[i].fitness);
+    }
+}
+
+GaResult
+runWith(const Dataset &data, unsigned threads, bool memoize)
+{
+    GaOptions opts = baseOpts();
+    opts.numThreads = threads;
+    opts.memoizeFitness = memoize;
+    GeneticSearch search(data, opts);
+    return search.run();
+}
+
+TEST(GeneticDeterminism, IdenticalAcrossThreadCounts)
+{
+    const Dataset data = detData(50, 11);
+    const GaResult serial = runWith(data, 1, true);
+    for (unsigned threads : {2u, 8u}) {
+        const GaResult parallel = runWith(data, threads, true);
+        expectSameResult(serial, parallel,
+                         std::to_string(threads) + " threads");
+    }
+}
+
+TEST(GeneticDeterminism, IdenticalWithCacheDisabled)
+{
+    const Dataset data = detData(50, 12);
+    const GaResult memo = runWith(data, 1, true);
+    const GaResult cold = runWith(data, 1, false);
+    expectSameResult(memo, cold, "memoized vs cold, serial");
+
+    // Misses must be a strict subset of the uncached evaluation
+    // count whenever any generation carried elites forward.
+    EXPECT_LT(memo.metrics.cacheMisses, cold.metrics.cacheMisses);
+    EXPECT_EQ(cold.metrics.cacheHits, 0u);
+}
+
+TEST(GeneticDeterminism, ThreadsAndCacheComposeOrthogonally)
+{
+    // The full 3x2 grid of {1,2,8} threads x cache {on,off} collapses
+    // to one result.
+    const Dataset data = detData(40, 13);
+    const GaResult reference = runWith(data, 1, false);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        for (bool memoize : {true, false}) {
+            const GaResult r = runWith(data, threads, memoize);
+            expectSameResult(reference, r,
+                             std::to_string(threads) + " threads, memo " +
+                                 (memoize ? "on" : "off"));
+        }
+    }
+}
+
+TEST(GeneticDeterminism, WarmStartDeterministicAcrossThreads)
+{
+    // Model updates (run with seeds) go down a different population
+    // initialization path; it must be thread-count-invariant too.
+    const Dataset data = detData(40, 14);
+    const GaResult first = runWith(data, 1, true);
+    std::vector<ModelSpec> seeds = {first.best.spec};
+
+    GaOptions opts = baseOpts();
+    opts.generations = 3;
+    GaResult warm_serial, warm_parallel;
+    {
+        GeneticSearch search(data, opts);
+        warm_serial = search.run(seeds);
+    }
+    {
+        opts.numThreads = 8;
+        GeneticSearch search(data, opts);
+        warm_parallel = search.run(seeds);
+    }
+    expectSameResult(warm_serial, warm_parallel, "warm start, 8 threads");
+}
+
+TEST(GeneticDeterminism, RepeatedRunsOnOneSearchShareTheCache)
+{
+    // A second run() on the same object starts with a warm cache:
+    // same result, far fewer misses.
+    const Dataset data = detData(40, 15);
+    GeneticSearch search(data, baseOpts());
+    const GaResult first = search.run();
+    const GaResult second = search.run();
+    expectSameResult(first, second, "second run, warm cache");
+    EXPECT_LT(second.metrics.cacheMisses, first.metrics.cacheMisses);
+    EXPECT_GT(second.metrics.cacheHits, first.metrics.cacheHits);
+}
+
+TEST(GeneticDeterminism, MetricsCountsAreDeterministic)
+{
+    const Dataset data = detData(40, 16);
+    const GaResult a = runWith(data, 1, true);
+    const GaResult b = runWith(data, 8, true);
+    EXPECT_EQ(a.metrics.evaluations, b.metrics.evaluations);
+    EXPECT_EQ(a.metrics.cacheHits, b.metrics.cacheHits);
+    EXPECT_EQ(a.metrics.cacheMisses, b.metrics.cacheMisses);
+    EXPECT_EQ(a.metrics.modelFits, b.metrics.modelFits);
+    EXPECT_EQ(a.metrics.evaluations,
+              static_cast<std::uint64_t>(baseOpts().populationSize *
+                                         baseOpts().generations));
+}
+
+} // namespace
+} // namespace hwsw::core

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/genetic.hpp"
 #include "core/sampler.hpp"
@@ -34,7 +36,10 @@ usage()
         "  hwsw profile <app> [shards=8] [shard-len=16384]\n"
         "  hwsw cpi <app> [width=4] [dcacheKB=64] [l2KB=1024]\n"
         "  hwsw train [pairs-per-app=150] [generations=12]\n"
-        "  hwsw spmv <matrix> [scale=0.15]\n");
+        "  hwsw spmv <matrix> [scale=0.15]\n"
+        "options:\n"
+        "  --threads N   genetic-search worker threads\n"
+        "                (default: hardware concurrency)\n");
     return 2;
 }
 
@@ -107,7 +112,8 @@ cmdCpi(const std::string &app_name, int width, int dcache_kb,
 }
 
 int
-cmdTrain(std::size_t pairs, std::size_t generations)
+cmdTrain(std::size_t pairs, std::size_t generations,
+         unsigned threads)
 {
     core::SamplerOptions sopts;
     sopts.shardLength = 16384;
@@ -119,6 +125,7 @@ cmdTrain(std::size_t pairs, std::size_t generations)
     core::GaOptions ga;
     ga.populationSize = 24;
     ga.generations = generations;
+    ga.numThreads = threads;
     core::GeneticSearch search(train, ga);
     const core::GaResult result = search.run();
 
@@ -132,6 +139,9 @@ cmdTrain(std::size_t pairs, std::size_t generations)
                 100.0 * metrics.medianAbsPctError,
                 100.0 * metrics.meanAbsPctError, metrics.spearman);
     std::printf("model: %s\n", result.best.spec.describe().c_str());
+    std::printf("search metrics:\n%s",
+                metrics::renderEntries(result.metrics.entries())
+                    .c_str());
     return 0;
 }
 
@@ -173,28 +183,54 @@ cmdSpmv(const std::string &matrix, double scale)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    // Split flags from positional arguments so --threads can appear
+    // anywhere on the command line.
+    std::vector<std::string> args;
+    unsigned threads = 0; // 0: hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threads") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --threads needs a value\n");
+                return usage();
+            }
+            try {
+                threads =
+                    static_cast<unsigned>(std::stoul(argv[++i]));
+            } catch (const std::exception &) {
+                std::fprintf(stderr,
+                             "error: bad --threads value '%s'\n",
+                             argv[i]);
+                return usage();
+            }
+        } else {
+            args.push_back(a);
+        }
+    }
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
-    auto arg = [&](int i, const char *dflt) {
-        return argc > i ? std::string(argv[i]) : std::string(dflt);
+    const std::string cmd = args[0];
+    const auto nargs = args.size();
+    auto arg = [&](std::size_t i, const char *dflt) {
+        return nargs > i ? args[i] : std::string(dflt);
     };
     try {
         if (cmd == "list")
             return cmdList();
-        if (cmd == "profile" && argc >= 3)
-            return cmdProfile(argv[2],
-                              std::stoul(arg(3, "8")),
-                              std::stoul(arg(4, "16384")));
-        if (cmd == "cpi" && argc >= 3)
-            return cmdCpi(argv[2], std::stoi(arg(3, "4")),
-                          std::stoi(arg(4, "64")),
-                          std::stoi(arg(5, "1024")));
+        if (cmd == "profile" && nargs >= 2)
+            return cmdProfile(args[1],
+                              std::stoul(arg(2, "8")),
+                              std::stoul(arg(3, "16384")));
+        if (cmd == "cpi" && nargs >= 2)
+            return cmdCpi(args[1], std::stoi(arg(2, "4")),
+                          std::stoi(arg(3, "64")),
+                          std::stoi(arg(4, "1024")));
         if (cmd == "train")
-            return cmdTrain(std::stoul(arg(2, "150")),
-                            std::stoul(arg(3, "12")));
-        if (cmd == "spmv" && argc >= 3)
-            return cmdSpmv(argv[2], std::stod(arg(3, "0.15")));
+            return cmdTrain(std::stoul(arg(1, "150")),
+                            std::stoul(arg(2, "12")), threads);
+        if (cmd == "spmv" && nargs >= 2)
+            return cmdSpmv(args[1], std::stod(arg(2, "0.15")));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
