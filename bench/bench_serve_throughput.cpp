@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Serving-subsystem throughput harness: an in-process `hwsw serve`
+ * instance on an ephemeral loopback port, driven by closed-loop
+ * client threads issuing batch predictions. Reports predictions/s,
+ * client-observed tail latency, and the server's own per-verb
+ * histogram quantiles.
+ *
+ * The second phase is the hot-swap acceptance check from the design:
+ * while clients run at full tilt, the model is republished and rolled
+ * back continuously; every in-flight request must complete against
+ * the snapshot it pinned — the run reports the number of swaps
+ * overlapped and asserts zero failed requests.
+ */
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+core::HwSwModel
+quickModel()
+{
+    core::Dataset ds;
+    Rng rng(1);
+    for (const char *app : {"a", "b"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = std::exp(rng.nextGaussian() + 4.0);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 2.0 * r.vars[6] +
+                     4.0 / r.vars[core::kNumSw];
+            ds.add(r);
+        }
+    }
+    core::ModelSpec s;
+    s.genes[6] = 2;
+    s.genes[7] = 4;
+    s.genes[core::kNumSw] = 3;
+    s.interactions = {{6, static_cast<std::uint16_t>(core::kNumSw)}};
+    s.normalize();
+    core::HwSwModel model;
+    model.fit(s, ds);
+    return model;
+}
+
+serve::FeatureVector
+randomRow(Rng &rng)
+{
+    serve::FeatureVector row{};
+    row[6] = rng.nextUniform(0.1, 0.6);
+    row[7] = std::exp(rng.nextGaussian() + 4.0);
+    row[core::kNumSw] = 1 << rng.nextInt(4);
+    return row;
+}
+
+struct LoadResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t predictions = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t swaps = 0;
+    double seconds = 0.0;
+    std::vector<double> requestLatency; ///< seconds, all clients
+};
+
+/**
+ * Closed-loop load: each of @p num_clients threads keeps exactly one
+ * batch request outstanding for @p seconds. When @p hot_swap is set,
+ * the main thread republishes/rolls back the model for the whole
+ * duration.
+ */
+LoadResult
+runLoad(serve::Server &server,
+        std::shared_ptr<serve::ModelRegistry> registry,
+        const core::HwSwModel &model, int num_clients,
+        std::size_t batch, double seconds, bool hot_swap)
+{
+    std::atomic<bool> go{true};
+    std::atomic<std::uint64_t> requests{0}, shed{0}, failed{0};
+    std::vector<std::vector<double>> latencies(num_clients);
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < num_clients; ++t) {
+        clients.emplace_back([&, t] {
+            serve::Client c("127.0.0.1", server.port());
+            Rng rng(100 + t);
+            std::vector<serve::FeatureVector> rows;
+            for (std::size_t i = 0; i < batch; ++i)
+                rows.push_back(randomRow(rng));
+            while (go.load(std::memory_order_relaxed)) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const serve::ClientPrediction out =
+                    c.predictBatch("default", rows);
+                const auto t1 = std::chrono::steady_clock::now();
+                if (out.ok && out.values.size() == batch) {
+                    requests.fetch_add(1, std::memory_order_relaxed);
+                    latencies[t].push_back(
+                        std::chrono::duration<double>(t1 - t0)
+                            .count());
+                } else if (out.shed) {
+                    shed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    failed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            c.quit();
+        });
+    }
+
+    LoadResult res;
+    const std::string text = core::saveModelToString(model);
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    if (hot_swap) {
+        serve::Client admin("127.0.0.1", server.port());
+        while (elapsed() < seconds) {
+            std::string err;
+            if (res.swaps % 3 == 2) {
+                const auto active =
+                    registry->lookup("default")->version;
+                if (active > 1 &&
+                    admin.swapModel("default", active - 1))
+                    ++res.swaps;
+            } else if (admin.loadModel("default", text, &err)) {
+                ++res.swaps;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+        admin.quit();
+    } else {
+        while (elapsed() < seconds)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    go.store(false, std::memory_order_relaxed);
+    for (auto &t : clients)
+        t.join();
+    res.seconds = elapsed();
+
+    res.requests = requests.load();
+    res.predictions = res.requests * batch;
+    res.shed = shed.load();
+    res.failed = failed.load();
+    for (auto &v : latencies)
+        res.requestLatency.insert(res.requestLatency.end(),
+                                  v.begin(), v.end());
+    std::sort(res.requestLatency.begin(), res.requestLatency.end());
+    return res;
+}
+
+double
+pct(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+serve::Server *g_server = nullptr;
+
+void
+BM_ScalarPredictRoundTrip(benchmark::State &state)
+{
+    serve::Client c("127.0.0.1", g_server->port());
+    Rng rng(7);
+    const serve::FeatureVector row = randomRow(rng);
+    for (auto _ : state) {
+        const auto out = c.predict("default", row);
+        benchmark::DoNotOptimize(out.values);
+    }
+    c.quit();
+}
+BENCHMARK(BM_ScalarPredictRoundTrip)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const core::HwSwModel model = quickModel();
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->publish("default", model, "bench");
+
+    serve::ServerOptions opts;
+    opts.engine.threads = 2;
+    serve::Server server(registry, opts);
+    server.start();
+    g_server = &server;
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const unsigned hw = std::max(1u,
+                                 std::thread::hardware_concurrency());
+    bench::section("closed-loop serving throughput");
+    std::printf("loopback TCP, batch=16, duration ~2s per row, "
+                "engine threads=2, hw threads=%u\n", hw);
+
+    TextTable t;
+    t.header({"clients", "swap", "pred/s", "req p50", "req p95",
+              "req p99", "shed", "failed", "swaps"});
+    bool hot_swap_clean = true;
+    std::uint64_t hot_swap_count = 0;
+    for (const int clients : {1, 2, 4}) {
+        for (const bool hot : {false, true}) {
+            const LoadResult r = runLoad(server, registry, model,
+                                         clients, 16, 2.0, hot);
+            auto us = [&](double q) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.1fus",
+                              pct(r.requestLatency, q) * 1e6);
+                return std::string(buf);
+            };
+            t.row({std::to_string(clients), hot ? "hot" : "-",
+                   std::to_string(static_cast<std::uint64_t>(
+                       static_cast<double>(r.predictions) /
+                       r.seconds)),
+                   us(0.50), us(0.95), us(0.99),
+                   std::to_string(r.shed),
+                   std::to_string(r.failed),
+                   std::to_string(r.swaps)});
+            if (hot) {
+                hot_swap_count += r.swaps;
+                if (r.failed != 0)
+                    hot_swap_clean = false;
+            }
+        }
+    }
+    std::printf("%s", t.render().c_str());
+
+    bench::section("server-side per-verb latency");
+    std::printf("%s", server.statsReport().c_str());
+
+    bench::section("hot-swap acceptance");
+    std::printf("model swaps overlapped with live traffic: %llu\n",
+                static_cast<unsigned long long>(hot_swap_count));
+    std::printf("failed in-flight requests during swaps: %s\n",
+                hot_swap_clean ? "0 (PASS)" : "NONZERO (FAIL)");
+
+    server.stop();
+    return hot_swap_clean ? 0 : 1;
+}

@@ -55,6 +55,57 @@ Histogram::binCenter(std::size_t bin) const
     return lo_ + (static_cast<double>(bin) + 0.5) * w;
 }
 
+namespace {
+
+/**
+ * Shared cumulative-count walk: returns the bin holding the q-th
+ * sample and the fraction of that bin's count below the target rank.
+ */
+std::pair<std::size_t, double>
+quantileBin(const std::vector<std::uint64_t> &counts,
+            std::uint64_t total, double q)
+{
+    fatalIf(total == 0, "quantile of an empty histogram");
+    fatalIf(q < 0.0 || q > 1.0, "quantile order must be in [0, 1]");
+    const double target = q * static_cast<double>(total);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const auto c = static_cast<double>(counts[b]);
+        if (cum + c >= target && c > 0) {
+            const double frac =
+                std::clamp((target - cum) / c, 0.0, 1.0);
+            return {b, frac};
+        }
+        cum += c;
+    }
+    // q == 1 with trailing empty bins: report the last occupied bin.
+    for (std::size_t b = counts.size(); b-- > 0;)
+        if (counts[b] > 0)
+            return {b, 1.0};
+    return {counts.size() - 1, 1.0};
+}
+
+} // namespace
+
+double
+Histogram::quantile(double q) const
+{
+    const auto [bin, frac] = quantileBin(counts_, total_, q);
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + frac) * w;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panicIf(counts_.size() != other.counts_.size() ||
+                lo_ != other.lo_ || hi_ != other.hi_,
+            "Histogram::merge needs identical binning");
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    total_ += other.total_;
+}
+
 std::string
 Histogram::render(std::size_t width) const
 {
@@ -102,6 +153,15 @@ Log2Histogram::tailFraction(std::size_t bin) const
         tail += counts_[b];
     }
     return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+double
+Log2Histogram::quantile(double q) const
+{
+    const auto [bin, frac] = quantileBin(counts_, total_, q);
+    if (bin == 0)
+        return 2.0 * frac;
+    return std::exp2(static_cast<double>(bin) + frac);
 }
 
 void

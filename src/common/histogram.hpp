@@ -50,6 +50,22 @@ class Histogram
     double binCenter(std::size_t bin) const;
 
     /**
+     * Quantile extraction from the recorded counts: the smallest
+     * value x (linearly interpolated inside its bin) such that a
+     * fraction q of the recorded samples is <= x. Exact with respect
+     * to the cumulative bin counts; the only approximation is the
+     * assumption of a uniform distribution inside one bin, so the
+     * result is within one bin width of the true order statistic.
+     *
+     * @param q in [0, 1]; q = 0.5 is the median.
+     * @pre total() > 0.
+     */
+    double quantile(double q) const;
+
+    /** Merge another histogram into this one (same lo/hi/bins). */
+    void merge(const Histogram &other);
+
+    /**
      * Render a horizontal bar chart, one line per bin.
      * @param width maximum bar width in characters.
      */
@@ -81,6 +97,14 @@ class Log2Histogram
 
     /** Fraction of samples with value >= 2^bin. */
     double tailFraction(std::size_t bin) const;
+
+    /**
+     * Quantile extraction with geometric interpolation inside the
+     * power-of-two bin (bin 0, which also holds values < 1, is
+     * interpolated linearly over [0, 2)). Same cumulative-count
+     * semantics as Histogram::quantile. @pre total() > 0.
+     */
+    double quantile(double q) const;
 
     /** Merge another histogram into this one. */
     void merge(const Log2Histogram &other);

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Strict string-to-number parsing for user-supplied input (CLI
+ * arguments, wire-protocol tokens). Unlike std::stoi and friends,
+ * these never throw and never accept partial matches ("8garbage"),
+ * leading whitespace, or out-of-range values: the caller gets an
+ * empty optional and decides how to report the error.
+ */
+
+#ifndef HWSW_COMMON_PARSE_HPP
+#define HWSW_COMMON_PARSE_HPP
+
+#include <charconv>
+#include <cmath>
+#include <optional>
+#include <string_view>
+
+namespace hwsw {
+
+/** Parse a full-string signed integer; nullopt on any defect. */
+inline std::optional<long long>
+parseInt(std::string_view s)
+{
+    long long v = 0;
+    const char *end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+    if (ec != std::errc{} || ptr != end || s.empty())
+        return std::nullopt;
+    return v;
+}
+
+/** Parse a full-string unsigned integer; nullopt on any defect. */
+inline std::optional<unsigned long long>
+parseUnsigned(std::string_view s)
+{
+    unsigned long long v = 0;
+    const char *end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+    if (ec != std::errc{} || ptr != end || s.empty())
+        return std::nullopt;
+    return v;
+}
+
+/** Parse a full-string double; nullopt on any defect (inf/nan count). */
+inline std::optional<double>
+parseDouble(std::string_view s)
+{
+    double v = 0.0;
+    const char *end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+    if (ec != std::errc{} || ptr != end || s.empty())
+        return std::nullopt;
+    if (!std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+} // namespace hwsw
+
+#endif // HWSW_COMMON_PARSE_HPP

@@ -56,6 +56,10 @@ saveModel(const HwSwModel &model, std::ostream &os)
     for (double c : coeffs)
         os << " " << c;
     os << "\n";
+    // Trailing sentinel: without it, truncation inside the digits of
+    // the *last* coefficient would still parse (as a shorter number)
+    // and load a silently corrupted model.
+    os << "end\n";
 }
 
 std::string
@@ -94,6 +98,8 @@ loadModel(std::istream &is)
     for (std::size_t i = 0; i < n_inter; ++i) {
         Interaction it;
         is >> it.a >> it.b;
+        fatalIf(it.a >= kNumVars || it.b >= kNumVars,
+                "model load: interaction index out of range");
         spec.interactions.push_back(it);
     }
 
@@ -120,6 +126,7 @@ loadModel(std::istream &is)
     for (double &c : coeffs)
         is >> c;
     fatalIf(!is, "model load: truncated input");
+    expectToken(is, "end");
 
     return HwSwModel::fromParts(spec, basis, std::move(coeffs),
                                 log_response != 0);

@@ -1,0 +1,199 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "serve/protocol.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+/** Parse "ok <version> <k?> v..." predict/batch responses. */
+ClientPrediction
+parsePrediction(const std::string &response, bool batch)
+{
+    ClientPrediction out;
+    if (response == "shed") {
+        out.shed = true;
+        return out;
+    }
+    if (response.starts_with("error")) {
+        out.error = response.size() > 6 ? response.substr(6)
+                                        : "unspecified";
+        return out;
+    }
+    const auto tokens = splitTokens(splitFirstLine(response).first);
+    const std::size_t header = batch ? 3 : 2; // ok ver [count]
+    if (tokens.size() < header || tokens[0] != "ok") {
+        out.error = "malformed response";
+        return out;
+    }
+    const auto version = parseUnsigned(tokens[1]);
+    if (!version) {
+        out.error = "malformed version";
+        return out;
+    }
+    out.modelVersion = *version;
+    out.values.reserve(tokens.size() - header);
+    for (std::size_t i = header; i < tokens.size(); ++i) {
+        const auto v = parseDouble(tokens[i]);
+        if (!v) {
+            out.error = "malformed prediction";
+            return out;
+        }
+        out.values.push_back(*v);
+    }
+    if (batch) {
+        const auto count = parseUnsigned(tokens[2]);
+        if (!count || *count != out.values.size()) {
+            out.error = "prediction count mismatch";
+            return out;
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace
+
+Client::Client(const std::string &host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd_ < 0, std::string("socket: ") + std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string ip =
+        (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        fatal("bad host address '" + host + "' (IPv4 only)");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string msg = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        fatal("connect " + ip + ":" + std::to_string(port) + ": " +
+              msg);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Client::Client(Client &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+std::string
+Client::roundTrip(const std::string &request)
+{
+    fatalIf(fd_ < 0, "client is not connected");
+    fatalIf(!writeFrame(fd_, request), "connection lost (write)");
+    std::string response;
+    fatalIf(!readFrame(fd_, response), "connection lost (read)");
+    return response;
+}
+
+bool
+Client::ping()
+{
+    return roundTrip(makePingRequest()) == "ok pong";
+}
+
+ClientPrediction
+Client::predict(const std::string &model, const FeatureVector &row)
+{
+    return parsePrediction(roundTrip(makePredictRequest(model, row)),
+                           /*batch=*/false);
+}
+
+ClientPrediction
+Client::predictBatch(const std::string &model,
+                     std::span<const FeatureVector> rows)
+{
+    return parsePrediction(roundTrip(makeBatchRequest(model, rows)),
+                           /*batch=*/true);
+}
+
+std::optional<std::uint64_t>
+Client::loadModel(const std::string &name,
+                  const std::string &model_text, std::string *error)
+{
+    const std::string response =
+        roundTrip(makeLoadRequest(name, model_text));
+    const auto tokens = splitTokens(splitFirstLine(response).first);
+    if (tokens.size() == 2 && tokens[0] == "ok")
+        if (const auto version = parseUnsigned(tokens[1]))
+            return *version;
+    if (error)
+        *error = response;
+    return std::nullopt;
+}
+
+bool
+Client::swapModel(const std::string &name, std::uint64_t version,
+                  std::string *error)
+{
+    const std::string response =
+        roundTrip(makeSwapRequest(name, version));
+    if (response.starts_with("ok "))
+        return true;
+    if (error)
+        *error = response;
+    return false;
+}
+
+std::string
+Client::observe(const std::string &model, const std::string &app,
+                const FeatureVector &row, double perf)
+{
+    const std::string response =
+        roundTrip(makeObserveRequest(model, app, row, perf));
+    if (response.starts_with("ok queued"))
+        return "queued";
+    if (response == "shed")
+        return "shed";
+    return response;
+}
+
+std::string
+Client::stats()
+{
+    const std::string response = roundTrip(makeStatsRequest());
+    const auto [line, body] = splitFirstLine(response);
+    fatalIf(line != "ok", "stats failed: " + response);
+    return std::string(body);
+}
+
+void
+Client::quit()
+{
+    if (fd_ < 0)
+        return;
+    writeFrame(fd_, "quit");
+    std::string response;
+    readFrame(fd_, response); // best-effort "ok bye"
+    ::close(fd_);
+    fd_ = -1;
+}
+
+} // namespace hwsw::serve

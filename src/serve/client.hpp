@@ -1,0 +1,101 @@
+/**
+ * @file
+ * serve::Client — blocking TCP client for the serving protocol.
+ *
+ * One Client owns one connection and multiplexes any number of
+ * sequential requests over it (the protocol is strict
+ * request/response, so a connection is a session, not a single
+ * call). Methods translate wire responses into typed results;
+ * transport failures and protocol violations throw FatalError,
+ * while server-side refusals (shed, unknown model) are first-class
+ * result states the caller is expected to handle.
+ */
+
+#ifndef HWSW_SERVE_CLIENT_HPP
+#define HWSW_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace hwsw::serve {
+
+/** Typed client-side view of a predict/batch response. */
+struct ClientPrediction
+{
+    bool ok = false;
+    bool shed = false;          ///< admission refusal; retry later
+    std::string error;          ///< non-empty on "error" responses
+    std::uint64_t modelVersion = 0;
+    std::vector<double> values; ///< predictions when ok
+};
+
+/** Blocking protocol client over one TCP connection. */
+class Client
+{
+  public:
+    /**
+     * Connect to a serving endpoint.
+     * @param host IPv4 dotted quad or "localhost".
+     * @throws FatalError when the connection cannot be established.
+     */
+    Client(const std::string &host, std::uint16_t port);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+
+    /** Round-trip liveness probe. @return false on a bad response. */
+    bool ping();
+
+    /** Predict one feature row. */
+    ClientPrediction predict(const std::string &model,
+                             const FeatureVector &row);
+
+    /** Predict a batch of rows. */
+    ClientPrediction predictBatch(const std::string &model,
+                                  std::span<const FeatureVector> rows);
+
+    /**
+     * Upload a serialized model (text of core::saveModel) as a new
+     * version of @p name. @return the assigned version, or nullopt
+     * with @p error filled.
+     */
+    std::optional<std::uint64_t> loadModel(const std::string &name,
+                                           const std::string &model_text,
+                                           std::string *error = nullptr);
+
+    /** Re-activate a retained version. */
+    bool swapModel(const std::string &name, std::uint64_t version,
+                   std::string *error = nullptr);
+
+    /**
+     * Stream one observed profile into the online updater.
+     * @return "queued", "shed", or the server's error text.
+     */
+    std::string observe(const std::string &model,
+                        const std::string &app, const FeatureVector &row,
+                        double perf);
+
+    /** Fetch the server's stats report text. */
+    std::string stats();
+
+    /** Polite session close (sends `quit`). */
+    void quit();
+
+  private:
+    /** One request/response exchange. @throws FatalError on I/O. */
+    std::string roundTrip(const std::string &request);
+
+    int fd_ = -1;
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_CLIENT_HPP

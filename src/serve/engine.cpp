@@ -1,0 +1,93 @@
+#include "serve/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+core::ProfileRecord
+recordFromRow(const FeatureVector &row)
+{
+    core::ProfileRecord rec;
+    rec.vars = row;
+    return rec;
+}
+
+} // namespace
+
+PredictionEngine::PredictionEngine(
+    std::shared_ptr<ModelRegistry> registry, EngineOptions opts)
+    : registry_(std::move(registry)), opts_(opts), pool_(opts.threads)
+{
+    panicIf(!registry_, "PredictionEngine needs a registry");
+    fatalIf(opts_.capacity == 0, "engine capacity must be positive");
+}
+
+PredictOutcome
+PredictionEngine::predict(const std::string &model,
+                          std::span<const FeatureVector> rows)
+{
+    PredictOutcome out;
+    if (rows.empty() || rows.size() > opts_.maxBatch) {
+        out.status = PredictStatus::TooLarge;
+        return out;
+    }
+
+    // Admission: reserve the batch's slots up front; on overflow give
+    // them straight back and shed. fetch_add keeps the reserve path
+    // lock-free under concurrent callers.
+    const std::size_t n = rows.size();
+    const std::size_t before =
+        inFlight_.fetch_add(n, std::memory_order_acq_rel);
+    if (before + n > opts_.capacity) {
+        inFlight_.fetch_sub(n, std::memory_order_acq_rel);
+        shed_.fetch_add(n, std::memory_order_relaxed);
+        out.status = PredictStatus::Shed;
+        return out;
+    }
+
+    // Pin the snapshot for the whole batch: a hot swap published
+    // between now and completion does not change what this request
+    // computes, and the snapshot stays alive until `snap` drops.
+    const SnapshotPtr snap = registry_->lookup(model);
+    if (!snap) {
+        inFlight_.fetch_sub(n, std::memory_order_acq_rel);
+        out.status = PredictStatus::NoModel;
+        return out;
+    }
+
+    admitted_.fetch_add(n, std::memory_order_relaxed);
+    out.modelVersion = snap->version;
+    out.predictions.resize(n);
+    if (n <= opts_.inlineBatch) {
+        for (std::size_t i = 0; i < n; ++i)
+            out.predictions[i] =
+                snap->model.predict(recordFromRow(rows[i]));
+    } else {
+        pool_.parallelFor(n, [&](std::size_t i) {
+            out.predictions[i] =
+                snap->model.predict(recordFromRow(rows[i]));
+        });
+    }
+    inFlight_.fetch_sub(n, std::memory_order_acq_rel);
+    return out;
+}
+
+PredictOutcome
+PredictionEngine::predictOne(const std::string &model,
+                             const FeatureVector &row)
+{
+    return predict(model, std::span<const FeatureVector>(&row, 1));
+}
+
+EngineCounters
+PredictionEngine::counters() const
+{
+    EngineCounters c;
+    c.admitted = admitted_.load(std::memory_order_relaxed);
+    c.shed = shed_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace hwsw::serve

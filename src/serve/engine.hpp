@@ -1,0 +1,124 @@
+/**
+ * @file
+ * PredictionEngine: executes single and batched feature-vector
+ * prediction requests against registry snapshots on the shared
+ * common::ThreadPool, with explicit admission control.
+ *
+ * Admission is a bounded in-flight prediction budget: a request whose
+ * size would push the engine past capacity is refused immediately
+ * ("shed") instead of queued, so a saturated server degrades by
+ * answering fast with backpressure rather than by growing an
+ * unbounded queue until every request times out. Callers see the
+ * refusal as a first-class status and can retry with jitter.
+ *
+ * Each admitted request pins the registry snapshot it resolved, so a
+ * concurrent hot swap never affects requests already in flight: they
+ * complete against the version they started with, and the response
+ * carries that version for the client to observe.
+ */
+
+#ifndef HWSW_SERVE_ENGINE_HPP
+#define HWSW_SERVE_ENGINE_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "core/dataset.hpp"
+#include "serve/registry.hpp"
+
+namespace hwsw::serve {
+
+/** One request row: the x1..x13,y1..y13 variables of a record. */
+using FeatureVector = std::array<double, core::kNumVars>;
+
+/** Engine tuning knobs. */
+struct EngineOptions
+{
+    /** Pool workers; 0 means hardware concurrency. */
+    unsigned threads = 0;
+
+    /** Max predictions in flight before requests are shed. */
+    std::size_t capacity = 4096;
+
+    /** Largest admissible batch (protocol safety bound). */
+    std::size_t maxBatch = 4096;
+
+    /**
+     * Batches up to this size run on the calling thread; larger ones
+     * fan out over the pool. Scalar predicts cost microseconds, so
+     * hopping threads for them only adds latency.
+     */
+    std::size_t inlineBatch = 16;
+};
+
+/** Request disposition. */
+enum class PredictStatus
+{
+    Ok,
+    Shed,     ///< refused by admission control; retry later
+    NoModel,  ///< unknown model name
+    TooLarge, ///< batch exceeds EngineOptions::maxBatch
+};
+
+/** Result of a predict call. */
+struct PredictOutcome
+{
+    PredictStatus status = PredictStatus::Ok;
+    std::uint64_t modelVersion = 0; ///< snapshot the batch ran against
+    std::vector<double> predictions; ///< one per input row when Ok
+};
+
+/** Engine counters (all monotonic). */
+struct EngineCounters
+{
+    std::uint64_t admitted = 0; ///< predictions admitted
+    std::uint64_t shed = 0;     ///< predictions refused
+};
+
+/** Concurrent prediction executor over a ModelRegistry. */
+class PredictionEngine
+{
+  public:
+    PredictionEngine(std::shared_ptr<ModelRegistry> registry,
+                     EngineOptions opts = {});
+
+    /**
+     * Predict a batch of rows against the active snapshot of
+     * @p model. Blocking; safe to call from many threads.
+     */
+    PredictOutcome predict(const std::string &model,
+                           std::span<const FeatureVector> rows);
+
+    /** Scalar convenience. */
+    PredictOutcome predictOne(const std::string &model,
+                              const FeatureVector &row);
+
+    /** Predictions currently in flight (racy snapshot). */
+    std::size_t inFlight() const
+    {
+        return inFlight_.load(std::memory_order_relaxed);
+    }
+
+    EngineCounters counters() const;
+
+    const EngineOptions &options() const { return opts_; }
+    ModelRegistry &registry() { return *registry_; }
+
+  private:
+    std::shared_ptr<ModelRegistry> registry_;
+    EngineOptions opts_;
+    ThreadPool pool_;
+    std::atomic<std::size_t> inFlight_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> shed_{0};
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_ENGINE_HPP

@@ -1,0 +1,116 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hwsw::serve {
+
+std::string_view
+verbName(Verb v)
+{
+    switch (v) {
+    case Verb::Ping: return "ping";
+    case Verb::Predict: return "predict";
+    case Verb::Batch: return "batch";
+    case Verb::Load: return "load";
+    case Verb::Swap: return "swap";
+    case Verb::Observe: return "observe";
+    case Verb::Stats: return "stats";
+    case Verb::Count_: break;
+    }
+    panic("verbName: bad verb");
+}
+
+LatencyRecorder::LatencyRecorder() = default;
+
+void
+LatencyRecorder::record(Verb v, double seconds, std::uint64_t items,
+                        bool error)
+{
+    VerbStats &s = verbs_[static_cast<std::size_t>(v)];
+    s.items.add(items);
+    const double log10s = std::log10(std::max(seconds, 1e-9));
+    std::lock_guard lock(s.mutex);
+    s.log10Seconds.add(log10s);
+    ++s.requests;
+    if (error)
+        ++s.errors;
+    s.maxSeconds = std::max(s.maxSeconds, seconds);
+    s.totalSeconds += seconds;
+}
+
+void
+LatencyRecorder::recordShed(Verb v)
+{
+    verbs_[static_cast<std::size_t>(v)].shed.add();
+}
+
+VerbSummary
+LatencyRecorder::summary(Verb v) const
+{
+    const VerbStats &s = verbs_[static_cast<std::size_t>(v)];
+    VerbSummary out;
+    out.shed = s.shed.value();
+    out.items = s.items.value();
+    std::lock_guard lock(s.mutex);
+    out.requests = s.requests;
+    out.errors = s.errors;
+    out.maxSeconds = s.maxSeconds;
+    out.totalSeconds = s.totalSeconds;
+    if (s.requests > 0) {
+        // Clamp to the exact max: in-bin interpolation may otherwise
+        // report a tail quantile slightly above the largest sample.
+        auto q = [&](double p) {
+            return std::min(std::pow(10.0, s.log10Seconds.quantile(p)),
+                            s.maxSeconds);
+        };
+        out.p50 = q(0.50);
+        out.p95 = q(0.95);
+        out.p99 = q(0.99);
+    }
+    return out;
+}
+
+std::string
+LatencyRecorder::report() const
+{
+    std::ostringstream os;
+    os << "verb        requests     items      shed    errors"
+          "      p50       p95       p99       max\n";
+    for (std::size_t i = 0; i < kNumVerbs; ++i) {
+        const auto v = static_cast<Verb>(i);
+        const VerbSummary s = summary(v);
+        if (s.requests == 0 && s.shed == 0)
+            continue;
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "%-10s %9llu %9llu %9llu %9llu %8.1fus %8.1fus "
+                      "%8.1fus %8.1fus\n",
+                      std::string(verbName(v)).c_str(),
+                      static_cast<unsigned long long>(s.requests),
+                      static_cast<unsigned long long>(s.items),
+                      static_cast<unsigned long long>(s.shed),
+                      static_cast<unsigned long long>(s.errors),
+                      s.p50 * 1e6, s.p95 * 1e6, s.p99 * 1e6,
+                      s.maxSeconds * 1e6);
+        os << line;
+    }
+    return os.str();
+}
+
+std::uint64_t
+LatencyRecorder::totalRequests() const
+{
+    std::uint64_t total = 0;
+    for (const VerbStats &s : verbs_) {
+        std::lock_guard lock(s.mutex);
+        total += s.requests;
+    }
+    return total;
+}
+
+} // namespace hwsw::serve

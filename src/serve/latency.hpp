@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-verb latency and throughput observability for the serving
+ * subsystem. Each verb owns a log-scaled latency histogram (100 bins
+ * per decade from 100ns to ~30s, i.e. ~2.3% relative resolution)
+ * from which p50/p95/p99 are extracted with Histogram::quantile,
+ * plus monotonic request/error counters. Recording takes one short
+ * per-verb mutex so it can sit on the request path of a concurrent
+ * server without serializing unrelated verbs.
+ */
+
+#ifndef HWSW_SERVE_LATENCY_HPP
+#define HWSW_SERVE_LATENCY_HPP
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/metrics.hpp"
+
+namespace hwsw::serve {
+
+/** Protocol verbs, also the latency-accounting buckets. */
+enum class Verb
+{
+    Ping = 0,
+    Predict,
+    Batch,
+    Load,
+    Swap,
+    Observe,
+    Stats,
+    Count_ ///< sentinel
+};
+
+inline constexpr std::size_t kNumVerbs =
+    static_cast<std::size_t>(Verb::Count_);
+
+/** Wire / report name of a verb. */
+std::string_view verbName(Verb v);
+
+/** Percentile summary of one verb's traffic. */
+struct VerbSummary
+{
+    std::uint64_t requests = 0;  ///< completed requests
+    std::uint64_t errors = 0;    ///< requests answered with an error
+    std::uint64_t shed = 0;      ///< requests refused by admission
+    std::uint64_t items = 0;     ///< predictions produced (batch aware)
+    double p50 = 0.0;            ///< seconds
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double maxSeconds = 0.0;
+    double totalSeconds = 0.0;
+};
+
+/** Thread-safe per-verb latency/throughput recorder. */
+class LatencyRecorder
+{
+  public:
+    LatencyRecorder();
+
+    /**
+     * Record one completed request.
+     * @param items predictions produced (1 for scalar verbs).
+     * @param error the request was answered with an error response.
+     */
+    void record(Verb v, double seconds, std::uint64_t items = 1,
+                bool error = false);
+
+    /** Record a request refused by admission control. */
+    void recordShed(Verb v);
+
+    VerbSummary summary(Verb v) const;
+
+    /**
+     * Multi-line text report of every verb with traffic; the format
+     * served by the `stats` verb and printed on server shutdown.
+     */
+    std::string report() const;
+
+    /** Total completed requests across all verbs. */
+    std::uint64_t totalRequests() const;
+
+  private:
+    struct VerbStats
+    {
+        mutable std::mutex mutex;
+        Histogram log10Seconds{-7.5, 1.5, 900};
+        std::uint64_t requests = 0;
+        std::uint64_t errors = 0;
+        double maxSeconds = 0.0;
+        double totalSeconds = 0.0;
+        metrics::Counter shed;  ///< atomic: bumped on the refusal path
+        metrics::Counter items;
+    };
+
+    std::array<VerbStats, kNumVerbs> verbs_;
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_LATENCY_HPP

@@ -1,0 +1,223 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/parse.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+bool
+writeAll(int fd, const void *buf, std::size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        // send() instead of write(): MSG_NOSIGNAL turns the SIGPIPE
+        // a dead peer would raise into a plain EPIPE error return.
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *buf, std::size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF (clean only at a frame boundary)
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    unsigned char hdr[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    return writeAll(fd, hdr, sizeof(hdr)) &&
+        writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    unsigned char hdr[4];
+    if (!readAll(fd, hdr, sizeof(hdr)))
+        return false;
+    const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
+        (std::uint32_t{hdr[1]} << 16) | (std::uint32_t{hdr[2]} << 8) |
+        std::uint32_t{hdr[3]};
+    if (len > kMaxFrameBytes)
+        return false;
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len);
+}
+
+std::vector<std::string_view>
+splitTokens(std::string_view line)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t' || line[i] == '\r'))
+            ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+               line[j] != '\r')
+            ++j;
+        if (j > i)
+            out.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+std::pair<std::string_view, std::string_view>
+splitFirstLine(std::string_view payload)
+{
+    const std::size_t nl = payload.find('\n');
+    if (nl == std::string_view::npos)
+        return {payload, {}};
+    return {payload.substr(0, nl), payload.substr(nl + 1)};
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendRow(std::string &out, const FeatureVector &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += formatDouble(row[i]);
+    }
+}
+
+std::optional<FeatureVector>
+parseRow(std::span<const std::string_view> tokens)
+{
+    if (tokens.size() != core::kNumVars)
+        return std::nullopt;
+    FeatureVector row{};
+    for (std::size_t i = 0; i < core::kNumVars; ++i) {
+        const auto v = parseDouble(tokens[i]);
+        if (!v)
+            return std::nullopt;
+        row[i] = *v;
+    }
+    return row;
+}
+
+std::string
+makePingRequest()
+{
+    return "ping";
+}
+
+std::string
+makePredictRequest(std::string_view model, const FeatureVector &row)
+{
+    std::string req = "predict ";
+    req += model;
+    req += ' ';
+    appendRow(req, row);
+    return req;
+}
+
+std::string
+makeBatchRequest(std::string_view model,
+                 std::span<const FeatureVector> rows)
+{
+    std::string req = "batch ";
+    req += model;
+    req += ' ';
+    req += std::to_string(rows.size());
+    for (const FeatureVector &row : rows) {
+        req += '\n';
+        appendRow(req, row);
+    }
+    return req;
+}
+
+std::string
+makeLoadRequest(std::string_view name, std::string_view model_text)
+{
+    std::string req = "load ";
+    req += name;
+    req += '\n';
+    req += model_text;
+    return req;
+}
+
+std::string
+makeSwapRequest(std::string_view name, std::uint64_t version)
+{
+    std::string req = "swap ";
+    req += name;
+    req += ' ';
+    req += std::to_string(version);
+    return req;
+}
+
+std::string
+makeObserveRequest(std::string_view model, std::string_view app,
+                   const FeatureVector &row, double perf)
+{
+    std::string req = "observe ";
+    req += model;
+    req += ' ';
+    req += app;
+    req += ' ';
+    appendRow(req, row);
+    req += ' ';
+    req += formatDouble(perf);
+    return req;
+}
+
+std::string
+makeStatsRequest()
+{
+    return "stats";
+}
+
+} // namespace hwsw::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wire protocol for the serving subsystem: length-prefixed frames
+ * carrying line-oriented text messages over a TCP stream.
+ *
+ * Framing is a 4-byte big-endian payload length followed by the
+ * payload. Text payloads keep the protocol debuggable (`hwsw-model`
+ * files travel verbatim inside `load` frames) while the explicit
+ * length makes message boundaries exact — no in-band delimiter can
+ * be confused by model text, and a reader always knows how much to
+ * trust before parsing.
+ *
+ * Requests put the verb and its scalar arguments on the first line;
+ * bulk payload (batch rows, serialized models) follows on later
+ * lines. Responses start with "ok", "shed", or "error". Doubles
+ * travel as %.17g so predictions and features round-trip exactly.
+ */
+
+#ifndef HWSW_SERVE_PROTOCOL_HPP
+#define HWSW_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace hwsw::serve {
+
+/** Upper bound on one frame; oversized frames end the connection. */
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/**
+ * Write one frame to a connected socket, retrying on partial writes
+ * and EINTR. @return false on any I/O error (connection is dead).
+ */
+bool writeFrame(int fd, std::string_view payload);
+
+/**
+ * Read one frame. @return false on clean EOF, I/O error, or an
+ * oversized length prefix.
+ */
+bool readFrame(int fd, std::string &payload);
+
+/** Split on ASCII whitespace (for one request/response line). */
+std::vector<std::string_view> splitTokens(std::string_view line);
+
+/** First line of a payload, and the remainder after the newline. */
+std::pair<std::string_view, std::string_view>
+splitFirstLine(std::string_view payload);
+
+/** Format a double so it round-trips bit-exactly ("%.17g"). */
+std::string formatDouble(double v);
+
+/** Append a feature row as space-separated doubles. */
+void appendRow(std::string &out, const FeatureVector &row);
+
+/** Parse kNumVars doubles from tokens. nullopt on any defect. */
+std::optional<FeatureVector>
+parseRow(std::span<const std::string_view> tokens);
+
+// Request builders (used by Client; servers parse the inverse).
+std::string makePingRequest();
+std::string makePredictRequest(std::string_view model,
+                               const FeatureVector &row);
+std::string makeBatchRequest(std::string_view model,
+                             std::span<const FeatureVector> rows);
+std::string makeLoadRequest(std::string_view name,
+                            std::string_view model_text);
+std::string makeSwapRequest(std::string_view name,
+                            std::uint64_t version);
+std::string makeObserveRequest(std::string_view model,
+                               std::string_view app,
+                               const FeatureVector &row, double perf);
+std::string makeStatsRequest();
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_PROTOCOL_HPP

@@ -1,0 +1,117 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hwsw::serve {
+
+ModelRegistry::ModelRegistry(std::size_t history)
+    : historyDepth_(history)
+{
+    fatalIf(history == 0,
+            "registry: history depth must retain the active version");
+}
+
+std::shared_ptr<ModelRegistry::Slot>
+ModelRegistry::slotFor(const std::string &name) const
+{
+    std::shared_lock lock(namesMutex_);
+    const auto it = names_.find(name);
+    return it == names_.end() ? nullptr : it->second;
+}
+
+std::uint64_t
+ModelRegistry::publish(const std::string &name, core::HwSwModel model,
+                       std::string source)
+{
+    fatalIf(name.empty(), "registry: model name must be non-empty");
+    fatalIf(!model.fitted(), "registry: cannot publish unfitted model");
+
+    std::shared_ptr<Slot> slot = slotFor(name);
+    if (!slot) {
+        std::unique_lock lock(namesMutex_);
+        auto &entry = names_[name]; // may have raced; reuse either way
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+
+    std::lock_guard pub(slot->publishMutex);
+    auto snap = std::make_shared<ModelSnapshot>();
+    snap->name = name;
+    snap->version = slot->nextVersion++;
+    snap->source = std::move(source);
+    snap->model = std::move(model);
+
+    slot->history.push_back(snap);
+    if (slot->history.size() > historyDepth_)
+        slot->history.erase(slot->history.begin());
+    slot->active.store(snap, std::memory_order_release);
+    return snap->version;
+}
+
+SnapshotPtr
+ModelRegistry::lookup(const std::string &name) const
+{
+    const std::shared_ptr<Slot> slot = slotFor(name);
+    if (!slot)
+        return nullptr;
+    return slot->active.load(std::memory_order_acquire);
+}
+
+bool
+ModelRegistry::swap(const std::string &name, std::uint64_t version)
+{
+    const std::shared_ptr<Slot> slot = slotFor(name);
+    if (!slot)
+        return false;
+    std::lock_guard pub(slot->publishMutex);
+    for (const SnapshotPtr &snap : slot->history) {
+        if (snap->version == version) {
+            slot->active.store(snap, std::memory_order_release);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<ModelInfo>
+ModelRegistry::list() const
+{
+    std::vector<std::pair<std::string, std::shared_ptr<Slot>>> slots;
+    {
+        std::shared_lock lock(namesMutex_);
+        slots.assign(names_.begin(), names_.end());
+    }
+    std::sort(slots.begin(), slots.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    std::vector<ModelInfo> out;
+    out.reserve(slots.size());
+    for (const auto &[name, slot] : slots) {
+        const SnapshotPtr snap =
+            slot->active.load(std::memory_order_acquire);
+        if (!snap)
+            continue;
+        ModelInfo info;
+        info.name = name;
+        info.activeVersion = snap->version;
+        info.source = snap->source;
+        {
+            std::lock_guard pub(slot->publishMutex);
+            info.retainedVersions = slot->history.size();
+        }
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::shared_lock lock(namesMutex_);
+    return names_.size();
+}
+
+} // namespace hwsw::serve

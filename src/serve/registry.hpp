@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Versioned model registry for the serving subsystem.
+ *
+ * A deployed manager answers prediction traffic continuously while
+ * models are re-trained and re-published in the background (the
+ * ModelManager loop of Sections 3.2-3.3). The registry therefore
+ * separates the reader path from the publisher path completely:
+ * every named model is an atomically swappable shared_ptr to an
+ * immutable snapshot, so a predict request pins the snapshot it
+ * started with for its whole lifetime and a concurrent publish or
+ * swap can never block it, tear it, or pull the model out from
+ * under it.
+ *
+ * Publishes retain a bounded history of prior versions per name, so
+ * an operator can roll back ("swap") to a retained version without
+ * re-uploading the model.
+ */
+
+#ifndef HWSW_SERVE_REGISTRY_HPP
+#define HWSW_SERVE_REGISTRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace hwsw::serve {
+
+/** One immutable published model version. */
+struct ModelSnapshot
+{
+    std::string name;
+    std::uint64_t version = 0;
+    std::string source; ///< provenance, e.g. "file:m.txt", "online-update"
+    core::HwSwModel model;
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/** Registry row returned by list(). */
+struct ModelInfo
+{
+    std::string name;
+    std::uint64_t activeVersion = 0;
+    std::size_t retainedVersions = 0;
+    std::string source;
+};
+
+/**
+ * Named, versioned model store with lock-free reader access to the
+ * active snapshot of each name.
+ */
+class ModelRegistry
+{
+  public:
+    /** @param history versions retained per name (>= 1, incl. active). */
+    explicit ModelRegistry(std::size_t history = 4);
+
+    /**
+     * Publish a fitted model as the next version of @p name and make
+     * it active. Creates the name on first publish.
+     * @return the version number assigned.
+     */
+    std::uint64_t publish(const std::string &name, core::HwSwModel model,
+                          std::string source);
+
+    /**
+     * Active snapshot of a name, or nullptr when the name is unknown.
+     * Wait-free with respect to publishers once the name exists.
+     */
+    SnapshotPtr lookup(const std::string &name) const;
+
+    /**
+     * Re-activate a retained version (rollback / roll-forward).
+     * @return true when @p name held @p version; false otherwise
+     *         (the active snapshot is then unchanged).
+     */
+    bool swap(const std::string &name, std::uint64_t version);
+
+    /** Snapshot of every name's active version. */
+    std::vector<ModelInfo> list() const;
+
+    std::size_t size() const;
+
+  private:
+    /**
+     * Per-name slot. The slot object is never destroyed while the
+     * registry lives, so readers resolve the name under a brief
+     * shared lock and then touch only the slot's atomic pointer.
+     */
+    struct Slot
+    {
+        std::atomic<SnapshotPtr> active;
+        mutable std::mutex publishMutex; ///< serializes publish/swap
+        std::vector<SnapshotPtr> history;
+        std::uint64_t nextVersion = 1;
+    };
+
+    std::shared_ptr<Slot> slotFor(const std::string &name) const;
+
+    const std::size_t historyDepth_;
+    mutable std::shared_mutex namesMutex_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> names_;
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_REGISTRY_HPP

@@ -1,0 +1,437 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "core/serialize.hpp"
+#include "serve/protocol.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+std::string
+errorResponse(std::string_view msg)
+{
+    std::string out = "error ";
+    out += msg;
+    return out;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+Verb
+verbOf(std::string_view name)
+{
+    if (name == "predict")
+        return Verb::Predict;
+    if (name == "batch")
+        return Verb::Batch;
+    if (name == "load")
+        return Verb::Load;
+    if (name == "swap")
+        return Verb::Swap;
+    if (name == "observe")
+        return Verb::Observe;
+    if (name == "stats")
+        return Verb::Stats;
+    return Verb::Ping;
+}
+
+} // namespace
+
+Server::Server(std::shared_ptr<ModelRegistry> registry,
+               ServerOptions opts, OnlineUpdater *updater)
+    : registry_(std::move(registry)), opts_(opts), updater_(updater),
+      engine_(registry_, opts.engine)
+{
+    panicIf(!registry_, "Server needs a registry");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    fatalIf(running(), "server already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(listenFd_ < 0,
+            std::string("socket: ") + std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string msg = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("bind: " + msg);
+    }
+    if (::listen(listenFd_, opts_.backlog) != 0) {
+        const std::string msg = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("listen: " + msg);
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    fatalIf(::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0,
+            "getsockname failed");
+    port_ = ntohs(bound.sin_port);
+
+    running_.store(true, std::memory_order_release);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    running_.store(false, std::memory_order_release);
+
+    // shutdown() makes a blocked accept() return without closing the
+    // descriptor, so the acceptor thread can keep reading the fd
+    // value racelessly; the close happens after the join.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // Sever every open connection to unblock handler reads, then
+    // join all handler threads.
+    {
+        std::lock_guard lock(connMutex_);
+        for (const auto &conn : connections_)
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    reapFinished(/*join_all=*/true);
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listener closed (stop) or fatal accept error
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            return;
+        }
+
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        reapFinished(/*join_all=*/false);
+
+        std::lock_guard lock(connMutex_);
+        if (connections_.size() >= opts_.maxConnections) {
+            // Over the cap: answer nothing, close immediately. The
+            // client sees EOF and treats it as backpressure.
+            ::close(fd);
+            continue;
+        }
+        connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        connections_.push_back(std::move(conn));
+        raw->thread = std::thread([this, raw] {
+            handleConnection(raw);
+        });
+    }
+}
+
+void
+Server::reapFinished(bool join_all)
+{
+    // Joining under the lock is fine: finished handlers set `done`
+    // as their last store before returning, so these joins are
+    // near-instant; join_all additionally waits for live handlers
+    // (stop() has already severed their sockets).
+    std::lock_guard lock(connMutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        Connection &conn = **it;
+        if (join_all || conn.done.load(std::memory_order_acquire)) {
+            if (conn.thread.joinable())
+                conn.thread.join();
+            if (conn.fd >= 0)
+                ::close(conn.fd);
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::handleConnection(Connection *conn)
+{
+    std::string payload;
+    while (readFrame(conn->fd, payload)) {
+        bool close_conn = false;
+        const std::string response = dispatch(payload, close_conn);
+        if (!writeFrame(conn->fd, response) || close_conn)
+            break;
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->done.store(true, std::memory_order_release);
+}
+
+std::string
+Server::dispatch(std::string_view payload, bool &close_conn)
+{
+    const auto [line, body] = splitFirstLine(payload);
+    const std::vector<std::string_view> tokens = splitTokens(line);
+    if (tokens.empty())
+        return errorResponse("empty request");
+
+    const std::string_view verb_token = tokens[0];
+    const std::span<const std::string_view> args(tokens.data() + 1,
+                                                 tokens.size() - 1);
+    const Verb verb = verbOf(verb_token);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::string response;
+    std::uint64_t items = 1;
+    if (verb_token == "ping") {
+        response = "ok pong";
+    } else if (verb_token == "quit") {
+        close_conn = true;
+        response = "ok bye";
+    } else if (verb_token == "predict") {
+        response = handlePredict(args);
+    } else if (verb_token == "batch") {
+        response = handleBatch(args, body);
+    } else if (verb_token == "load") {
+        response = handleLoad(args, body);
+    } else if (verb_token == "swap") {
+        response = handleSwap(args);
+    } else if (verb_token == "observe") {
+        response = handleObserve(args);
+    } else if (verb_token == "stats") {
+        response = "ok\n" + statsReport();
+    } else {
+        response = errorResponse("unknown verb");
+    }
+
+    // Shed responses are accounted separately so the histogram keeps
+    // measuring served latency, not refusal latency.
+    if (response == "shed") {
+        latency_.recordShed(verb);
+    } else {
+        if (verb == Verb::Batch && response.starts_with("ok ")) {
+            // "ok <version> <k> ..." — account per-prediction items.
+            const auto rtoks = splitTokens(
+                splitFirstLine(response).first);
+            if (rtoks.size() >= 3)
+                if (const auto k = parseUnsigned(rtoks[2]))
+                    items = *k;
+        }
+        latency_.record(verb, secondsSince(t0), items,
+                        response.starts_with("error"));
+    }
+    return response;
+}
+
+std::string
+Server::handlePredict(std::span<const std::string_view> args)
+{
+    if (args.size() != 1 + core::kNumVars)
+        return errorResponse("predict needs <model> + " +
+                             std::to_string(core::kNumVars) +
+                             " features");
+    const auto row = parseRow(args.subspan(1));
+    if (!row)
+        return errorResponse("bad feature value");
+
+    const PredictOutcome out =
+        engine_.predictOne(std::string(args[0]), *row);
+    switch (out.status) {
+    case PredictStatus::Ok:
+        return "ok " + std::to_string(out.modelVersion) + " " +
+            formatDouble(out.predictions[0]);
+    case PredictStatus::Shed:
+        return "shed";
+    case PredictStatus::NoModel:
+        return errorResponse("no such model");
+    case PredictStatus::TooLarge:
+        return errorResponse("bad batch size");
+    }
+    return errorResponse("internal");
+}
+
+std::string
+Server::handleBatch(std::span<const std::string_view> args,
+                    std::string_view body)
+{
+    if (args.size() != 2)
+        return errorResponse("batch needs <model> <count>");
+    const auto count = parseUnsigned(args[1]);
+    if (!count || *count == 0)
+        return errorResponse("bad batch count");
+
+    std::vector<FeatureVector> rows;
+    rows.reserve(*count);
+    std::string_view rest = body;
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        const auto [line, tail] = splitFirstLine(rest);
+        rest = tail;
+        const auto tokens = splitTokens(line);
+        const auto row = parseRow(tokens);
+        if (!row)
+            return errorResponse("bad row " + std::to_string(i));
+        rows.push_back(*row);
+    }
+
+    const PredictOutcome out =
+        engine_.predict(std::string(args[0]), rows);
+    switch (out.status) {
+    case PredictStatus::Ok:
+        break;
+    case PredictStatus::Shed:
+        return "shed";
+    case PredictStatus::NoModel:
+        return errorResponse("no such model");
+    case PredictStatus::TooLarge:
+        return errorResponse("batch too large");
+    }
+
+    std::string response = "ok " + std::to_string(out.modelVersion) +
+        " " + std::to_string(out.predictions.size());
+    for (double p : out.predictions) {
+        response += ' ';
+        response += formatDouble(p);
+    }
+    return response;
+}
+
+std::string
+Server::handleLoad(std::span<const std::string_view> args,
+                   std::string_view body)
+{
+    if (args.size() != 1)
+        return errorResponse("load needs <name>");
+    if (body.empty())
+        return errorResponse("load needs a model body");
+    try {
+        core::HwSwModel model =
+            core::loadModelFromString(std::string(body));
+        const std::uint64_t version = registry_->publish(
+            std::string(args[0]), std::move(model), "load-verb");
+        return "ok " + std::to_string(version);
+    } catch (const FatalError &e) {
+        return errorResponse(e.what());
+    }
+}
+
+std::string
+Server::handleSwap(std::span<const std::string_view> args)
+{
+    if (args.size() != 2)
+        return errorResponse("swap needs <name> <version>");
+    const auto version = parseUnsigned(args[1]);
+    if (!version)
+        return errorResponse("bad version");
+    if (!registry_->swap(std::string(args[0]), *version))
+        return errorResponse("no such model version");
+    return "ok " + std::to_string(*version);
+}
+
+std::string
+Server::handleObserve(std::span<const std::string_view> args)
+{
+    if (!updater_)
+        return errorResponse("online updates disabled");
+    if (args.size() != 2 + core::kNumVars + 1)
+        return errorResponse("observe needs <model> <app> + " +
+                             std::to_string(core::kNumVars) +
+                             " features + <perf>");
+    if (std::string_view(updater_->modelName()) != args[0])
+        return errorResponse("updater serves a different model");
+
+    const auto row = parseRow(args.subspan(2, core::kNumVars));
+    const auto perf = parseDouble(args.back());
+    if (!row || !perf || *perf <= 0.0)
+        return errorResponse("bad observation");
+
+    core::ProfileRecord rec;
+    rec.app = std::string(args[1]);
+    rec.vars = *row;
+    rec.perf = *perf;
+    if (!updater_->enqueue(std::move(rec)))
+        return "shed";
+    const UpdaterStats st = updater_->stats();
+    return "ok queued " + std::to_string(st.queueDepth);
+}
+
+std::string
+Server::statsReport() const
+{
+    std::ostringstream os;
+    os << "== serve stats ==\n";
+    os << "connections accepted: " << connectionsAccepted() << "\n";
+
+    const EngineCounters ec = engine_.counters();
+    os << "engine: admitted " << ec.admitted << ", shed " << ec.shed
+       << ", in-flight " << engine_.inFlight() << ", capacity "
+       << engine_.options().capacity << "\n";
+
+    os << "models:\n";
+    for (const ModelInfo &info : registry_->list()) {
+        os << "  " << info.name << " v" << info.activeVersion << " ("
+           << info.retainedVersions << " retained, source "
+           << info.source << ")\n";
+    }
+
+    if (updater_) {
+        const UpdaterStats us = updater_->stats();
+        os << "online updater: observed " << us.observed
+           << ", consistent " << us.consistent << ", pending-more "
+           << us.pendingMore << ", updates " << us.updates
+           << ", published " << us.published << ", rejected "
+           << us.rejected << ", queue " << us.queueDepth << "\n";
+    }
+
+    os << "latency:\n" << latency_.report();
+    return os.str();
+}
+
+} // namespace hwsw::serve

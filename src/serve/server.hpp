@@ -1,0 +1,142 @@
+/**
+ * @file
+ * serve::Server — a concurrent TCP front end over the registry,
+ * engine, and (optionally) online updater.
+ *
+ * One acceptor thread listens on a loopback/interface port and
+ * spawns one handler thread per connection (connections are expected
+ * to be long-lived client sessions multiplexing many requests, so
+ * per-connection threads amortize; a hard connection cap refuses
+ * accept floods). Each request frame is dispatched by verb, timed,
+ * and accounted in the LatencyRecorder; prediction verbs run on the
+ * shared PredictionEngine, which pins a registry snapshot per
+ * request so hot swaps never disturb in-flight work.
+ *
+ * Shutdown is graceful and complete: stop() closes the listener,
+ * shuts down every open connection socket to unblock handler reads,
+ * and joins every thread, so a Server can be created and destroyed
+ * inside a test (or a TSan run) without leaking threads.
+ */
+
+#ifndef HWSW_SERVE_SERVER_HPP
+#define HWSW_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "serve/engine.hpp"
+#include "serve/latency.hpp"
+#include "serve/registry.hpp"
+#include "serve/updater.hpp"
+
+namespace hwsw::serve {
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** TCP port; 0 asks the kernel for an ephemeral port. */
+    std::uint16_t port = 0;
+
+    /** listen(2) backlog. */
+    int backlog = 64;
+
+    /** Hard cap on concurrent connections. */
+    std::size_t maxConnections = 256;
+
+    EngineOptions engine;
+};
+
+/** Concurrent model-serving TCP server. */
+class Server
+{
+  public:
+    /**
+     * @param registry shared model store (publishers may be external).
+     * @param opts configuration.
+     * @param updater optional online-update worker; when null the
+     *        `observe` verb answers with an error.
+     */
+    Server(std::shared_ptr<ModelRegistry> registry,
+           ServerOptions opts = {}, OnlineUpdater *updater = nullptr);
+
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start accepting. @throws FatalError. */
+    void start();
+
+    /** Stop accepting, sever connections, join threads. Idempotent. */
+    void stop();
+
+    /** Bound port (useful with ServerOptions::port == 0). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    PredictionEngine &engine() { return engine_; }
+    ModelRegistry &registry() { return *registry_; }
+    const LatencyRecorder &latency() const { return latency_; }
+
+    /** The text served by the `stats` verb. */
+    std::string statsReport() const;
+
+    /** Connections accepted over the server's lifetime. */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connectionsAccepted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void handleConnection(Connection *conn);
+    void reapFinished(bool join_all);
+
+    /** Dispatch one request payload; returns the response payload. */
+    std::string dispatch(std::string_view payload, bool &close_conn);
+
+    std::string handlePredict(std::span<const std::string_view> args);
+    std::string handleBatch(std::span<const std::string_view> args,
+                            std::string_view body);
+    std::string handleLoad(std::span<const std::string_view> args,
+                           std::string_view body);
+    std::string handleSwap(std::span<const std::string_view> args);
+    std::string handleObserve(std::span<const std::string_view> args);
+
+    std::shared_ptr<ModelRegistry> registry_;
+    ServerOptions opts_;
+    OnlineUpdater *updater_;
+    PredictionEngine engine_;
+    LatencyRecorder latency_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread acceptThread_;
+
+    std::mutex connMutex_;
+    std::list<std::unique_ptr<Connection>> connections_;
+    std::atomic<std::uint64_t> connectionsAccepted_{0};
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_SERVER_HPP

@@ -1,0 +1,136 @@
+#include "serve/updater.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hwsw::serve {
+
+OnlineUpdater::OnlineUpdater(std::unique_ptr<core::ModelManager> manager,
+                             std::shared_ptr<ModelRegistry> registry,
+                             std::string model_name,
+                             std::size_t max_queue)
+    : manager_(std::move(manager)), registry_(std::move(registry)),
+      modelName_(std::move(model_name)),
+      maxQueue_(std::max<std::size_t>(max_queue, 1))
+{
+    panicIf(!manager_, "OnlineUpdater needs a manager");
+    panicIf(!registry_, "OnlineUpdater needs a registry");
+    fatalIf(!manager_->ready(),
+            "OnlineUpdater needs a bootstrapped manager");
+    fatalIf(modelName_.empty(), "OnlineUpdater needs a model name");
+}
+
+OnlineUpdater::~OnlineUpdater()
+{
+    stop();
+}
+
+void
+OnlineUpdater::start()
+{
+    std::unique_lock lock(mutex_);
+    if (running_)
+        return;
+    panicIf(stopping_, "OnlineUpdater cannot restart after stop");
+    running_ = true;
+    lock.unlock();
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+void
+OnlineUpdater::stop()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+bool
+OnlineUpdater::enqueue(core::ProfileRecord rec)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_ || !running_ || queue_.size() >= maxQueue_) {
+            ++stats_.rejected;
+            return false;
+        }
+        queue_.push_back(std::move(rec));
+    }
+    ready_.notify_one();
+    return true;
+}
+
+void
+OnlineUpdater::drain()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [&] {
+        return (queue_.empty() && !busy_) || stopping_;
+    });
+}
+
+UpdaterStats
+OnlineUpdater::stats() const
+{
+    std::lock_guard lock(mutex_);
+    UpdaterStats out = stats_;
+    out.queueDepth = queue_.size();
+    return out;
+}
+
+void
+OnlineUpdater::workerLoop()
+{
+    for (;;) {
+        core::ProfileRecord rec;
+        {
+            std::unique_lock lock(mutex_);
+            busy_ = false;
+            idle_.notify_all();
+            ready_.wait(lock,
+                        [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            rec = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+
+        // The expensive part runs unlocked: observe() may kick off a
+        // whole warm-started genetic search.
+        const core::Observation obs = manager_->observe(rec);
+
+        bool publish = false;
+        {
+            std::lock_guard lock(mutex_);
+            ++stats_.observed;
+            switch (obs) {
+            case core::Observation::Consistent:
+                ++stats_.consistent;
+                break;
+            case core::Observation::NeedMoreProfiles:
+                ++stats_.pendingMore;
+                break;
+            case core::Observation::Updated:
+                ++stats_.updates;
+                publish = true;
+                break;
+            }
+        }
+        if (publish) {
+            registry_->publish(modelName_, manager_->model(),
+                               "online-update");
+            std::lock_guard lock(mutex_);
+            ++stats_.published;
+        }
+    }
+}
+
+} // namespace hwsw::serve

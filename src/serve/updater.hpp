@@ -1,0 +1,111 @@
+/**
+ * @file
+ * OnlineUpdater: the background publisher that closes the paper's
+ * inductive loop (Sections 3.2-3.3) inside the serving subsystem.
+ *
+ * Observed profiles arrive from the request path (the `observe`
+ * verb), are queued, and are consumed by one background thread that
+ * drives core::ModelManager::observe(). In-band profiles are simply
+ * absorbed; enough out-of-band evidence from one application
+ * triggers the manager's warm-started re-specification, and the
+ * resulting model is published into the ModelRegistry as a new
+ * version. Because publication is an atomic snapshot swap, in-flight
+ * predictions keep the version they pinned and only subsequent
+ * requests see the update — the serving plane never pauses for the
+ * (comparatively enormous) re-specification cost.
+ *
+ * The queue is bounded: when re-specification falls behind a flood
+ * of observations, enqueue refuses instead of growing without limit,
+ * mirroring the engine's admission policy.
+ */
+
+#ifndef HWSW_SERVE_UPDATER_HPP
+#define HWSW_SERVE_UPDATER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/manager.hpp"
+#include "serve/registry.hpp"
+
+namespace hwsw::serve {
+
+/** Updater progress counters. */
+struct UpdaterStats
+{
+    std::uint64_t observed = 0;   ///< profiles consumed from the queue
+    std::uint64_t consistent = 0; ///< absorbed in band
+    std::uint64_t pendingMore = 0; ///< out of band, awaiting evidence
+    std::uint64_t updates = 0;    ///< re-specifications completed
+    std::uint64_t published = 0;  ///< versions pushed to the registry
+    std::uint64_t rejected = 0;   ///< enqueue refusals (queue full/stopped)
+    std::size_t queueDepth = 0;   ///< profiles waiting right now
+};
+
+/** Background model-update worker feeding a registry. */
+class OnlineUpdater
+{
+  public:
+    /**
+     * @param manager a bootstrapped (ready()) ModelManager.
+     * @param registry destination for updated models.
+     * @param model_name registry name the updates publish under.
+     * @param max_queue bound on buffered observations.
+     */
+    OnlineUpdater(std::unique_ptr<core::ModelManager> manager,
+                  std::shared_ptr<ModelRegistry> registry,
+                  std::string model_name, std::size_t max_queue = 1024);
+
+    ~OnlineUpdater();
+
+    OnlineUpdater(const OnlineUpdater &) = delete;
+    OnlineUpdater &operator=(const OnlineUpdater &) = delete;
+
+    /** Spawn the background worker. Idempotent. */
+    void start();
+
+    /** Drain nothing further; finish the in-progress observation. */
+    void stop();
+
+    /**
+     * Queue one observed profile. @return false when the queue is
+     * full or the updater is stopped (the caller reports backpressure
+     * to its client).
+     */
+    bool enqueue(core::ProfileRecord rec);
+
+    /** Block until every queued observation has been consumed. */
+    void drain();
+
+    UpdaterStats stats() const;
+
+    const std::string &modelName() const { return modelName_; }
+
+  private:
+    void workerLoop();
+
+    std::unique_ptr<core::ModelManager> manager_;
+    std::shared_ptr<ModelRegistry> registry_;
+    std::thread worker_;
+    const std::string modelName_;
+    const std::size_t maxQueue_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_; ///< queue non-empty or stopping
+    std::condition_variable idle_;  ///< queue empty and worker idle
+    std::deque<core::ProfileRecord> queue_;
+    bool stopping_ = false;
+    bool running_ = false;
+    bool busy_ = false;
+
+    UpdaterStats stats_; ///< guarded by mutex_ (queueDepth derived)
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_UPDATER_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared fixtures for the serving-subsystem tests: a quickly fitted
+ * model with a known spec, and random-but-plausible feature rows.
+ */
+
+#ifndef HWSW_TESTS_SERVE_TEST_UTIL_HPP
+#define HWSW_TESTS_SERVE_TEST_UTIL_HPP
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "serve/engine.hpp"
+
+namespace hwsw::serve::testutil {
+
+inline core::Dataset
+fitData(std::uint64_t seed)
+{
+    core::Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a", "b"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = std::exp(rng.nextGaussian() + 4.0);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 2.0 * r.vars[6] +
+                     4.0 / r.vars[core::kNumSw];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+/** A small fitted model (seconds, not minutes, to fit). */
+inline core::HwSwModel
+makeModel(std::uint64_t seed = 1)
+{
+    core::ModelSpec s;
+    s.genes[6] = 2;
+    s.genes[7] = 4;
+    s.genes[core::kNumSw] = 3;
+    s.interactions = {
+        {6, static_cast<std::uint16_t>(core::kNumSw)}};
+    s.normalize();
+    core::HwSwModel model;
+    model.fit(s, fitData(seed));
+    return model;
+}
+
+/** A feature row in the distribution makeModel() was fitted on. */
+inline FeatureVector
+makeRow(Rng &rng)
+{
+    FeatureVector row{};
+    row[6] = rng.nextUniform(0.1, 0.6);
+    row[7] = std::exp(rng.nextGaussian() + 4.0);
+    row[core::kNumSw] = 1 << rng.nextInt(4);
+    return row;
+}
+
+/** The record a row corresponds to (for predicting locally). */
+inline core::ProfileRecord
+rowRecord(const FeatureVector &row)
+{
+    core::ProfileRecord r;
+    r.vars = row;
+    r.perf = 1.0;
+    return r;
+}
+
+} // namespace hwsw::serve::testutil
+
+#endif // HWSW_TESTS_SERVE_TEST_UTIL_HPP

@@ -66,6 +66,85 @@ TEST(Histogram, RenderContainsBars)
     EXPECT_NE(out.find('2'), std::string::npos);
 }
 
+TEST(Histogram, QuantileUniformSamples)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5); // one sample per bin
+    // Exact-at-bin-resolution: the q-th quantile lands inside the
+    // q-th bin, so it is within one bin width of the ideal value.
+    EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, QuantileIsMonotonic)
+{
+    Histogram h(0.0, 10.0, 50);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(2.1);
+    h.add(9.0);
+    double prev = h.quantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = h.quantile(q);
+        EXPECT_GE(cur, prev) << "q=" << q;
+        prev = cur;
+    }
+}
+
+TEST(Histogram, QuantileSingleSample)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.3); // bin 3 spans [3, 4)
+    EXPECT_GE(h.quantile(0.5), 3.0);
+    EXPECT_LE(h.quantile(0.5), 4.0);
+    EXPECT_GE(h.quantile(1.0), 3.0);
+    EXPECT_LE(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileSkipsTrailingEmptyBins)
+{
+    Histogram h(0.0, 100.0, 100);
+    h.add(5.5);
+    h.add(6.5);
+    // All mass is below 10; p100 must not report the empty tail.
+    EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileRejectsBadInput)
+{
+    Histogram empty(0.0, 1.0, 4);
+    EXPECT_THROW(empty.quantile(0.5), FatalError);
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    EXPECT_THROW(h.quantile(-0.1), FatalError);
+    EXPECT_THROW(h.quantile(1.1), FatalError);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(1.5);
+    b.add(1.5);
+    b.add(8.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.count(8), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 20);
+    Histogram c(0.0, 5.0, 10);
+    EXPECT_THROW(a.merge(b), PanicError);
+    EXPECT_THROW(a.merge(c), PanicError);
+}
+
 TEST(Log2Histogram, PowerOfTwoBinning)
 {
     Log2Histogram h(10);
@@ -121,6 +200,27 @@ TEST(Log2Histogram, MergeRejectsMismatchedBins)
 {
     Log2Histogram a(8), b(9);
     EXPECT_THROW(a.merge(b), PanicError);
+}
+
+TEST(Log2Histogram, QuantileGeometricBins)
+{
+    Log2Histogram h(12);
+    for (int i = 0; i < 90; ++i)
+        h.add(3.0);    // bin 1: [2, 4)
+    for (int i = 0; i < 10; ++i)
+        h.add(600.0);  // bin 9: [512, 1024)
+    const double p50 = h.quantile(0.50);
+    EXPECT_GE(p50, 2.0);
+    EXPECT_LT(p50, 4.0);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LT(p99, 1024.0);
+}
+
+TEST(Log2Histogram, QuantileEmptyIsFatal)
+{
+    Log2Histogram h(4);
+    EXPECT_THROW(h.quantile(0.5), FatalError);
 }
 
 } // namespace

@@ -1,0 +1,87 @@
+// Unit tests for strict string-to-number parsing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/parse.hpp"
+
+namespace hwsw {
+namespace {
+
+TEST(Parse, IntAcceptsValid)
+{
+    EXPECT_EQ(parseInt("0").value(), 0);
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-7").value(), -7);
+    EXPECT_EQ(parseInt("9223372036854775807").value(),
+              9223372036854775807LL);
+}
+
+TEST(Parse, IntRejectsDefects)
+{
+    EXPECT_FALSE(parseInt(""));
+    EXPECT_FALSE(parseInt(" 1"));        // leading whitespace
+    EXPECT_FALSE(parseInt("1 "));        // trailing whitespace
+    EXPECT_FALSE(parseInt("8garbage"));  // partial match
+    EXPECT_FALSE(parseInt("1.5"));       // not an integer
+    EXPECT_FALSE(parseInt("x"));
+    EXPECT_FALSE(parseInt("0x10"));      // no radix prefixes
+    EXPECT_FALSE(parseInt("9223372036854775808")); // overflow
+}
+
+TEST(Parse, UnsignedAcceptsValid)
+{
+    EXPECT_EQ(parseUnsigned("0").value(), 0ull);
+    EXPECT_EQ(parseUnsigned("65535").value(), 65535ull);
+    EXPECT_EQ(parseUnsigned("18446744073709551615").value(),
+              18446744073709551615ull);
+}
+
+TEST(Parse, UnsignedRejectsDefects)
+{
+    EXPECT_FALSE(parseUnsigned(""));
+    EXPECT_FALSE(parseUnsigned("-1"));
+    EXPECT_FALSE(parseUnsigned("+1"));
+    EXPECT_FALSE(parseUnsigned("12x"));
+    EXPECT_FALSE(parseUnsigned("18446744073709551616")); // overflow
+}
+
+TEST(Parse, DoubleAcceptsValid)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("0").value(), 0.0);
+    EXPECT_DOUBLE_EQ(parseDouble("-2.5").value(), -2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("1e-3").value(), 1e-3);
+    EXPECT_DOUBLE_EQ(parseDouble("3.25E2").value(), 325.0);
+}
+
+TEST(Parse, DoubleRoundTripsPrecisely)
+{
+    // %.17g is the serialization format; parsing it back must be
+    // bit-exact.
+    const double v = 0.1 + 0.2;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    EXPECT_EQ(parseDouble(buf).value(), v);
+}
+
+TEST(Parse, DoubleRejectsDefects)
+{
+    EXPECT_FALSE(parseDouble(""));
+    EXPECT_FALSE(parseDouble("1.2.3"));
+    EXPECT_FALSE(parseDouble("1,5"));
+    EXPECT_FALSE(parseDouble("abc"));
+    EXPECT_FALSE(parseDouble("1.0x"));
+    EXPECT_FALSE(parseDouble("nan"));
+    EXPECT_FALSE(parseDouble("inf"));
+    EXPECT_FALSE(parseDouble("-inf"));
+    EXPECT_FALSE(parseDouble("1e999")); // overflows to inf
+}
+
+TEST(Parse, WorksOnSubstrings)
+{
+    const std::string line = "predict 42 1.5";
+    EXPECT_EQ(parseUnsigned(std::string_view(line).substr(8, 2)), 42u);
+}
+
+} // namespace
+} // namespace hwsw

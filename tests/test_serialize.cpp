@@ -117,5 +117,109 @@ TEST(Serialize, UnfittedModelIsFatal)
     EXPECT_THROW(saveModel(model, os), FatalError);
 }
 
+// --- Property tests -----------------------------------------------
+//
+// The serving subsystem ships models over the wire as this text
+// format, so the round trip has to be *bit-identical* (doubles are
+// written as %.17g) and any truncation has to die with a clean
+// FatalError, never a crash or a silent partial model.
+
+/** A dataset rich enough that any random spec stays identifiable. */
+Dataset
+richData(std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a", "b", "c"}) {
+        for (int i = 0; i < 120; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            for (std::size_t v = 0; v < kNumVars; ++v)
+                r.vars[v] = std::exp(rng.nextGaussian() * 0.5 + 1.0);
+            double y = 0.4;
+            for (std::size_t v = 0; v < kNumVars; ++v)
+                y += 0.03 * (v % 5) * std::log(r.vars[v] + 1.0);
+            r.perf = y + 0.01 * rng.nextGaussian();
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+TEST(SerializeProperty, RandomModelsRoundTripBitIdentical)
+{
+    const Dataset train = richData(11);
+    const Dataset probe = richData(12);
+    Rng rng(99);
+    int fitted = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+        const ModelSpec s = ModelSpec::random(rng, 0.4, 6);
+        HwSwModel model;
+        try {
+            model.fit(s, train);
+        } catch (const FatalError &) {
+            continue; // degenerate random spec; not what we test here
+        }
+        ++fitted;
+        const HwSwModel loaded =
+            loadModelFromString(saveModelToString(model));
+        EXPECT_EQ(loaded.spec(), model.spec());
+        ASSERT_EQ(loaded.coefficients().size(),
+                  model.coefficients().size());
+        for (std::size_t i = 0; i < model.coefficients().size(); ++i) {
+            EXPECT_EQ(loaded.coefficients()[i],
+                      model.coefficients()[i])
+                << "coefficient " << i << " of trial " << trial;
+        }
+        for (std::size_t i = 0; i < probe.size(); ++i) {
+            EXPECT_EQ(loaded.predict(probe[i]), model.predict(probe[i]))
+                << "prediction " << i << " of trial " << trial;
+        }
+    }
+    EXPECT_GE(fitted, 6) << "random specs almost never fit; test is "
+                            "not exercising the round trip";
+}
+
+TEST(SerializeProperty, EveryTruncationFailsCleanly)
+{
+    HwSwModel model;
+    model.fit(spec(), smallData(7));
+    const std::string text = saveModelToString(model);
+    ASSERT_GT(text.size(), 64u);
+    // Chop at a spread of points across the whole document, plus
+    // every point in the sensitive header region. (Stop short of the
+    // last byte: dropping only the final newline is harmless.)
+    for (std::size_t cut = 0; cut + 1 < text.size();
+         cut += (cut < 64 ? 1 : 17)) {
+        const std::string chopped = text.substr(0, cut);
+        EXPECT_THROW(loadModelFromString(chopped), FatalError)
+            << "truncation at byte " << cut;
+    }
+}
+
+TEST(SerializeProperty, CorruptedTokensFailCleanly)
+{
+    HwSwModel model;
+    model.fit(spec(), smallData(8));
+    const std::string text = saveModelToString(model);
+    Rng rng(5);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::string bad = text;
+        const std::size_t at = static_cast<std::size_t>(
+            rng.nextInt(static_cast<int>(bad.size())));
+        bad[at] = "xz@#"[trial % 4];
+        try {
+            const HwSwModel loaded = loadModelFromString(bad);
+            // A flip inside a numeric literal can still parse (e.g.
+            // a digit changed); the model must then still be usable.
+            (void)loaded.predict(smallData(9)[0]);
+        } catch (const FatalError &) {
+            // Clean rejection is the expected common case.
+        }
+        // Anything else (PanicError, segfault, std::bad_alloc from a
+        // bogus length) fails the test by escaping the catch.
+    }
+}
+
 } // namespace
 } // namespace hwsw::core

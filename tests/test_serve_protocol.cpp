@@ -1,0 +1,246 @@
+// Tests for the length-prefixed wire protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/parse.hpp"
+#include "serve/protocol.hpp"
+
+#include "serve_test_util.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+/** A connected fd pair; frames work on any stream socket. */
+struct FdPair
+{
+    int a = -1;
+    int b = -1;
+
+    FdPair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = fds[0];
+        b = fds[1];
+    }
+
+    ~FdPair()
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+};
+
+TEST(ServeProtocol, FrameRoundTrip)
+{
+    FdPair p;
+    const std::string payload = "predict m 1 2 3\nwith body\n";
+    ASSERT_TRUE(writeFrame(p.a, payload));
+    std::string got;
+    ASSERT_TRUE(readFrame(p.b, got));
+    EXPECT_EQ(got, payload);
+}
+
+TEST(ServeProtocol, EmptyAndBinaryFrames)
+{
+    FdPair p;
+    ASSERT_TRUE(writeFrame(p.a, ""));
+    std::string nul("\0\x01\xff", 3); // length prefix, not delimiters
+    ASSERT_TRUE(writeFrame(p.a, nul));
+    std::string got;
+    ASSERT_TRUE(readFrame(p.b, got));
+    EXPECT_TRUE(got.empty());
+    ASSERT_TRUE(readFrame(p.b, got));
+    EXPECT_EQ(got, nul);
+}
+
+TEST(ServeProtocol, SequentialFramesKeepBoundaries)
+{
+    FdPair p;
+    for (int i = 0; i < 20; ++i)
+        ASSERT_TRUE(writeFrame(p.a, "frame " + std::to_string(i)));
+    for (int i = 0; i < 20; ++i) {
+        std::string got;
+        ASSERT_TRUE(readFrame(p.b, got));
+        EXPECT_EQ(got, "frame " + std::to_string(i));
+    }
+}
+
+TEST(ServeProtocol, ReadFailsOnEofAndTruncation)
+{
+    {
+        FdPair p;
+        ::close(p.a);
+        p.a = -1;
+        std::string got;
+        EXPECT_FALSE(readFrame(p.b, got)); // clean EOF
+    }
+    {
+        FdPair p;
+        // Length prefix promising 100 bytes, then only 3, then EOF.
+        const std::uint8_t prefix[4] = {0, 0, 0, 100};
+        ASSERT_EQ(::write(p.a, prefix, 4), 4);
+        ASSERT_EQ(::write(p.a, "abc", 3), 3);
+        ::close(p.a);
+        p.a = -1;
+        std::string got;
+        EXPECT_FALSE(readFrame(p.b, got));
+    }
+}
+
+TEST(ServeProtocol, ReadRejectsOversizedFrames)
+{
+    FdPair p;
+    const std::uint32_t huge = kMaxFrameBytes + 1;
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(huge >> 24),
+        static_cast<std::uint8_t>(huge >> 16),
+        static_cast<std::uint8_t>(huge >> 8),
+        static_cast<std::uint8_t>(huge)};
+    ASSERT_EQ(::write(p.a, prefix, 4), 4);
+    std::string got;
+    EXPECT_FALSE(readFrame(p.b, got));
+}
+
+TEST(ServeProtocol, WriteFailsOnClosedPeer)
+{
+    FdPair p;
+    ::close(p.b);
+    p.b = -1;
+    // MSG_NOSIGNAL in writeAll: a dead peer means `false`, not a
+    // SIGPIPE that would kill this process.
+    std::string big(1 << 20, 'x');
+    bool ok = true;
+    for (int i = 0; i < 8 && ok; ++i)
+        ok = writeFrame(p.a, big);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ServeProtocol, TokenAndLineSplitting)
+{
+    const auto tokens = splitTokens("  predict   m  1.5\t2 ");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0], "predict");
+    EXPECT_EQ(tokens[3], "2");
+    EXPECT_TRUE(splitTokens("").empty());
+
+    const auto [line, rest] = splitFirstLine("load m\nbody1\nbody2");
+    EXPECT_EQ(line, "load m");
+    EXPECT_EQ(rest, "body1\nbody2");
+    const auto [only, none] = splitFirstLine("bare");
+    EXPECT_EQ(only, "bare");
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(ServeProtocol, DoubleFormatRoundTripsExactly)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const double v =
+            std::exp(rng.nextGaussian() * 20.0) *
+            (rng.nextInt(2) ? 1.0 : -1.0);
+        const std::string s = formatDouble(v);
+        const auto back = parseDouble(s);
+        ASSERT_TRUE(back) << s;
+        EXPECT_EQ(*back, v) << s;
+    }
+}
+
+TEST(ServeProtocol, RowRoundTrip)
+{
+    Rng rng(4);
+    const FeatureVector row = testutil::makeRow(rng);
+    std::string text;
+    appendRow(text, row);
+    const auto tokens = splitTokens(text);
+    ASSERT_EQ(tokens.size(), core::kNumVars);
+    const auto back = parseRow(tokens);
+    ASSERT_TRUE(back);
+    for (std::size_t i = 0; i < core::kNumVars; ++i)
+        EXPECT_EQ((*back)[i], row[i]);
+}
+
+TEST(ServeProtocol, ParseRowRejectsDefects)
+{
+    std::vector<std::string_view> few = {"1.0", "2.0"};
+    EXPECT_FALSE(parseRow(few));
+
+    Rng rng(5);
+    const FeatureVector row = testutil::makeRow(rng);
+    std::string text;
+    appendRow(text, row);
+    auto tokens = splitTokens(text);
+    tokens[3] = "not-a-number";
+    EXPECT_FALSE(parseRow(tokens));
+    tokens[3] = "inf";
+    EXPECT_FALSE(parseRow(tokens));
+}
+
+TEST(ServeProtocol, RequestBuildersAreParseable)
+{
+    Rng rng(6);
+    const FeatureVector row = testutil::makeRow(rng);
+
+    {
+        const std::string req = makePredictRequest("m", row);
+        const auto tokens = splitTokens(splitFirstLine(req).first);
+        ASSERT_EQ(tokens.size(), 2 + core::kNumVars);
+        EXPECT_EQ(tokens[0], "predict");
+        EXPECT_EQ(tokens[1], "m");
+        EXPECT_TRUE(parseRow(
+            std::span(tokens).subspan(2, core::kNumVars)));
+    }
+    {
+        std::vector<FeatureVector> rows = {row, row, row};
+        const std::string req = makeBatchRequest("m", rows);
+        auto [line, body] = splitFirstLine(req);
+        const auto tokens = splitTokens(line);
+        ASSERT_EQ(tokens.size(), 3u);
+        EXPECT_EQ(tokens[0], "batch");
+        EXPECT_EQ(tokens[2], "3");
+        for (int i = 0; i < 3; ++i) {
+            auto [rowline, rest] = splitFirstLine(body);
+            body = rest;
+            EXPECT_TRUE(parseRow(splitTokens(rowline)));
+        }
+    }
+    {
+        const std::string req = makeLoadRequest("m", "model text\nhere");
+        const auto [line, body] = splitFirstLine(req);
+        EXPECT_EQ(line, "load m");
+        EXPECT_EQ(body, "model text\nhere");
+    }
+    {
+        const auto tokens =
+            splitTokens(makeSwapRequest("m", 7));
+        ASSERT_EQ(tokens.size(), 3u);
+        EXPECT_EQ(tokens[0], "swap");
+        EXPECT_EQ(tokens[2], "7");
+    }
+    {
+        const std::string req =
+            makeObserveRequest("m", "app1", row, 2.5);
+        const auto tokens = splitTokens(splitFirstLine(req).first);
+        ASSERT_EQ(tokens.size(), 3 + core::kNumVars + 1);
+        EXPECT_EQ(tokens[0], "observe");
+        EXPECT_EQ(tokens[1], "m");
+        EXPECT_EQ(tokens[2], "app1");
+        EXPECT_EQ(parseDouble(tokens.back()), 2.5);
+    }
+    EXPECT_EQ(makePingRequest(), "ping");
+    EXPECT_EQ(makeStatsRequest(), "stats");
+}
+
+} // namespace
+} // namespace hwsw::serve

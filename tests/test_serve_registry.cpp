@@ -1,0 +1,152 @@
+// Tests for the versioned hot-swap model registry.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "serve/registry.hpp"
+
+#include "serve_test_util.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+TEST(ServeRegistry, PublishAssignsIncreasingVersions)
+{
+    ModelRegistry reg;
+    const core::HwSwModel model = testutil::makeModel();
+    EXPECT_EQ(reg.publish("m", model, "s1"), 1u);
+    EXPECT_EQ(reg.publish("m", model, "s2"), 2u);
+    EXPECT_EQ(reg.publish("other", model, "s3"), 1u); // per-name
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ServeRegistry, LookupReturnsActiveSnapshot)
+{
+    ModelRegistry reg;
+    reg.publish("m", testutil::makeModel(), "boot");
+    const SnapshotPtr snap = reg.lookup("m");
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap->name, "m");
+    EXPECT_EQ(snap->version, 1u);
+    EXPECT_EQ(snap->source, "boot");
+    EXPECT_TRUE(snap->model.fitted());
+
+    EXPECT_EQ(reg.lookup("missing"), nullptr);
+}
+
+TEST(ServeRegistry, PinnedSnapshotSurvivesRepublish)
+{
+    ModelRegistry reg(/*history=*/2);
+    reg.publish("m", testutil::makeModel(1), "v1");
+    const SnapshotPtr pinned = reg.lookup("m");
+    for (int i = 0; i < 6; ++i)
+        reg.publish("m", testutil::makeModel(1), "later");
+    // The pinned snapshot fell out of the history window long ago,
+    // but the reader that pinned it still owns a valid model.
+    EXPECT_EQ(pinned->version, 1u);
+    EXPECT_TRUE(pinned->model.fitted());
+    EXPECT_EQ(reg.lookup("m")->version, 7u);
+}
+
+TEST(ServeRegistry, SwapActivatesRetainedVersion)
+{
+    ModelRegistry reg(/*history=*/4);
+    reg.publish("m", testutil::makeModel(), "v1");
+    reg.publish("m", testutil::makeModel(), "v2");
+    reg.publish("m", testutil::makeModel(), "v3");
+
+    ASSERT_TRUE(reg.swap("m", 2));
+    EXPECT_EQ(reg.lookup("m")->version, 2u);
+    ASSERT_TRUE(reg.swap("m", 3)); // roll forward again
+    EXPECT_EQ(reg.lookup("m")->version, 3u);
+}
+
+TEST(ServeRegistry, SwapRefusesUnknownTargets)
+{
+    ModelRegistry reg(/*history=*/2);
+    reg.publish("m", testutil::makeModel(), "v1");
+    reg.publish("m", testutil::makeModel(), "v2");
+    reg.publish("m", testutil::makeModel(), "v3");
+
+    EXPECT_FALSE(reg.swap("m", 1)); // evicted by history bound
+    EXPECT_FALSE(reg.swap("m", 99));
+    EXPECT_FALSE(reg.swap("nope", 1));
+    EXPECT_EQ(reg.lookup("m")->version, 3u); // unchanged on refusal
+}
+
+TEST(ServeRegistry, ListReportsEveryName)
+{
+    ModelRegistry reg;
+    reg.publish("a", testutil::makeModel(), "sa");
+    reg.publish("b", testutil::makeModel(), "sb");
+    reg.publish("b", testutil::makeModel(), "sb2");
+    const auto rows = reg.list();
+    ASSERT_EQ(rows.size(), 2u);
+    for (const ModelInfo &info : rows) {
+        if (info.name == "a") {
+            EXPECT_EQ(info.activeVersion, 1u);
+        } else {
+            EXPECT_EQ(info.name, "b");
+            EXPECT_EQ(info.activeVersion, 2u);
+            EXPECT_EQ(info.source, "sb2");
+        }
+    }
+}
+
+TEST(ServeRegistry, RejectsBadPublishes)
+{
+    ModelRegistry reg;
+    EXPECT_THROW(reg.publish("", testutil::makeModel(), "s"),
+                 FatalError);
+    EXPECT_THROW(reg.publish("m", core::HwSwModel(), "s"), FatalError);
+    EXPECT_THROW(ModelRegistry(0), FatalError);
+}
+
+TEST(ServeRegistry, ConcurrentReadersAndPublishers)
+{
+    // Readers continuously resolve + use snapshots while two
+    // publishers race on the same name. Run under TSan via the
+    // tier15_serve aggregate.
+    ModelRegistry reg(/*history=*/3);
+    const core::HwSwModel model = testutil::makeModel();
+    reg.publish("m", model, "boot");
+
+    std::atomic<bool> go{true};
+    std::atomic<std::uint64_t> reads{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&] {
+            Rng rng(7);
+            const auto rec = testutil::rowRecord(testutil::makeRow(rng));
+            while (go.load(std::memory_order_relaxed)) {
+                const SnapshotPtr snap = reg.lookup("m");
+                ASSERT_TRUE(snap);
+                ASSERT_GE(snap->version, 1u);
+                (void)snap->model.predict(rec);
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                reg.publish("m", model, "race");
+                if (i % 8 == 0)
+                    reg.swap("m", reg.lookup("m")->version);
+            }
+        });
+    }
+    threads[2].join();
+    threads[3].join();
+    go.store(false, std::memory_order_relaxed);
+    threads[0].join();
+    threads[1].join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(reg.lookup("m")->version, 101u); // 1 + 2 * 50
+}
+
+} // namespace
+} // namespace hwsw::serve

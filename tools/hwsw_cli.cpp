@@ -7,19 +7,31 @@
  *   hwsw train [pairs-per-app] [generations]  fit a model, report
  *   hwsw spmv <matrix> [scale]                tune one Table 4 matrix
  *   hwsw list                                 applications & matrices
+ *   hwsw save <file> [pairs] [generations]    train and serialize
+ *   hwsw serve <model-file>                   serve predictions (TCP)
+ *   hwsw predict --server host:port <app>     query a running server
  *
- * Everything is deterministic; re-running a command reproduces its
- * output exactly.
+ * Offline commands are deterministic; re-running one reproduces its
+ * output exactly. All numeric arguments are parsed strictly: any
+ * malformed value prints the usage text and exits non-zero instead
+ * of crashing on an uncaught exception.
  */
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/genetic.hpp"
 #include "core/sampler.hpp"
+#include "core/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "spmv/matgen.hpp"
 #include "spmv/tuner.hpp"
 
@@ -36,11 +48,49 @@ usage()
         "  hwsw profile <app> [shards=8] [shard-len=16384]\n"
         "  hwsw cpi <app> [width=4] [dcacheKB=64] [l2KB=1024]\n"
         "  hwsw train [pairs-per-app=150] [generations=12]\n"
+        "  hwsw save <model-file> [pairs-per-app=150] "
+        "[generations=12]\n"
         "  hwsw spmv <matrix> [scale=0.15]\n"
+        "  hwsw serve <model-file> [--port P=0] [--threads N]\n"
+        "  hwsw predict --server host:port <app> [width=4] "
+        "[dcacheKB=64] [l2KB=1024] [--model name]\n"
         "options:\n"
-        "  --threads N   genetic-search worker threads\n"
-        "                (default: hardware concurrency)\n");
+        "  --threads N          worker threads (genetic search /\n"
+        "                       serving engine; default: hardware\n"
+        "                       concurrency)\n"
+        "  --port P             serve: TCP port (0 = ephemeral)\n"
+        "  --server host:port   predict: serving endpoint\n"
+        "  --model name         predict: model name "
+        "(default: 'default')\n");
     return 2;
+}
+
+/** Strict numeric argument parsing: bad input => usage, exit 2. */
+template <typename T>
+bool
+parseArg(const std::string &s, const char *what, T &out)
+{
+    if constexpr (std::is_floating_point_v<T>) {
+        const auto v = parseDouble(s);
+        if (v) {
+            out = static_cast<T>(*v);
+            return true;
+        }
+    } else if constexpr (std::is_signed_v<T>) {
+        const auto v = parseInt(s);
+        if (v) {
+            out = static_cast<T>(*v);
+            return true;
+        }
+    } else {
+        const auto v = parseUnsigned(s);
+        if (v) {
+            out = static_cast<T>(*v);
+            return true;
+        }
+    }
+    std::fprintf(stderr, "error: bad %s '%s'\n", what, s.c_str());
+    return false;
 }
 
 int
@@ -111,9 +161,9 @@ cmdCpi(const std::string &app_name, int width, int dcache_kb,
     return 0;
 }
 
-int
-cmdTrain(std::size_t pairs, std::size_t generations,
-         unsigned threads)
+core::HwSwModel
+trainModel(std::size_t pairs, std::size_t generations,
+           unsigned threads, bool verbose)
 {
     core::SamplerOptions sopts;
     sopts.shardLength = 16384;
@@ -131,17 +181,44 @@ cmdTrain(std::size_t pairs, std::size_t generations,
 
     core::HwSwModel model;
     model.fit(result.best.spec, train);
-    const auto metrics = model.validate(val);
+    if (verbose) {
+        const auto metrics = model.validate(val);
+        std::printf("trained on %zu profiles, %zu generations\n",
+                    train.size(), generations);
+        std::printf("validation: median %.1f%%, mean %.1f%%, rho "
+                    "%.3f\n",
+                    100.0 * metrics.medianAbsPctError,
+                    100.0 * metrics.meanAbsPctError,
+                    metrics.spearman);
+        std::printf("model: %s\n", result.best.spec.describe().c_str());
+        std::printf("search metrics:\n%s",
+                    metrics::renderEntries(result.metrics.entries())
+                        .c_str());
+    }
+    return model;
+}
 
-    std::printf("trained on %zu profiles, %zu generations\n",
-                train.size(), generations);
-    std::printf("validation: median %.1f%%, mean %.1f%%, rho %.3f\n",
-                100.0 * metrics.medianAbsPctError,
-                100.0 * metrics.meanAbsPctError, metrics.spearman);
-    std::printf("model: %s\n", result.best.spec.describe().c_str());
-    std::printf("search metrics:\n%s",
-                metrics::renderEntries(result.metrics.entries())
-                    .c_str());
+int
+cmdTrain(std::size_t pairs, std::size_t generations, unsigned threads)
+{
+    trainModel(pairs, generations, threads, /*verbose=*/true);
+    return 0;
+}
+
+int
+cmdSave(const std::string &path, std::size_t pairs,
+        std::size_t generations, unsigned threads)
+{
+    const core::HwSwModel model =
+        trainModel(pairs, generations, threads, /*verbose=*/true);
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    core::saveModel(model, os);
+    std::printf("model saved to %s\n", path.c_str());
     return 0;
 }
 
@@ -178,32 +255,154 @@ cmdSpmv(const std::string &matrix, double scale)
     return 0;
 }
 
+int
+cmdServe(const std::string &model_path, std::uint16_t port,
+         unsigned threads)
+{
+    std::ifstream is(model_path);
+    if (!is) {
+        std::fprintf(stderr, "error: cannot read '%s'\n",
+                     model_path.c_str());
+        return 1;
+    }
+    core::HwSwModel model = core::loadModel(is);
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->publish("default", std::move(model),
+                      "file:" + model_path);
+
+    serve::ServerOptions opts;
+    opts.port = port;
+    opts.engine.threads = threads;
+
+    // Block SIGINT/SIGTERM before spawning server threads (they
+    // inherit the mask), then sigwait: shutdown is synchronous, so
+    // the stats report below always runs.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    serve::Server server(registry, opts);
+    server.start();
+    std::printf("hwsw serve: model '%s' on port %u "
+                "(Ctrl-C to stop)\n",
+                model_path.c_str(), server.port());
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::printf("\nsignal %d: shutting down\n", sig);
+    server.stop();
+    std::printf("%s", server.statsReport().c_str());
+    return 0;
+}
+
+int
+cmdPredict(const std::string &endpoint, const std::string &model_name,
+           const std::string &app_name, int width, int dcache_kb,
+           int l2_kb)
+{
+    const std::size_t colon = endpoint.rfind(':');
+    unsigned long long port_val = 0;
+    if (colon == std::string::npos ||
+        !parseArg(endpoint.substr(colon + 1), "port", port_val) ||
+        port_val == 0 || port_val > 65535) {
+        std::fprintf(stderr, "error: bad --server '%s'\n",
+                     endpoint.c_str());
+        return usage();
+    }
+
+    const wl::AppSpec app = wl::makeApp(app_name);
+    const auto shards = wl::makeShards(app, 16384, 8);
+    const auto profiles = prof::profileShards(shards, app.name);
+
+    uarch::UarchConfig cfg;
+    cfg.width = width;
+    cfg.dcacheKB = dcache_kb;
+    cfg.l2KB = l2_kb;
+
+    std::vector<serve::FeatureVector> rows;
+    rows.reserve(profiles.size());
+    for (const auto &p : profiles)
+        rows.push_back(core::makeRecord(p, cfg, 0.0).vars);
+
+    serve::Client client(endpoint.substr(0, colon),
+                         static_cast<std::uint16_t>(port_val));
+    const serve::ClientPrediction out =
+        client.predictBatch(model_name, rows);
+    if (out.shed) {
+        std::fprintf(stderr,
+                     "server is overloaded (request shed); retry\n");
+        return 1;
+    }
+    if (!out.ok) {
+        std::fprintf(stderr, "error: %s\n", out.error.c_str());
+        return 1;
+    }
+
+    TextTable t;
+    t.header({"shard", "predicted CPI"});
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.values.size(); ++i) {
+        total += out.values[i];
+        t.row({std::to_string(i), TextTable::num(out.values[i])});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npredicted application CPI: %.3f (model '%s' v%llu, "
+                "width %d, %dKB D$, %dKB L2)\n",
+                total / static_cast<double>(out.values.size()),
+                model_name.c_str(),
+                static_cast<unsigned long long>(out.modelVersion),
+                width, dcache_kb, l2_kb);
+    client.quit();
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Split flags from positional arguments so --threads can appear
+    // Split flags from positional arguments so options can appear
     // anywhere on the command line.
     std::vector<std::string> args;
     unsigned threads = 0; // 0: hardware concurrency
+    unsigned long long port = 0;
+    std::string server_endpoint;
+    std::string model_name = "default";
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a == "--threads") {
+        auto flagValue = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "error: --threads needs a value\n");
-                return usage();
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             flag);
+                return nullptr;
             }
-            try {
-                threads =
-                    static_cast<unsigned>(std::stoul(argv[++i]));
-            } catch (const std::exception &) {
-                std::fprintf(stderr,
-                             "error: bad --threads value '%s'\n",
-                             argv[i]);
+            return argv[++i];
+        };
+        if (a == "--threads") {
+            const char *v = flagValue("--threads");
+            if (!v || !parseArg(std::string(v), "--threads value",
+                                threads))
                 return usage();
-            }
+        } else if (a == "--port") {
+            const char *v = flagValue("--port");
+            if (!v ||
+                !parseArg(std::string(v), "--port value", port) ||
+                port > 65535)
+                return usage();
+        } else if (a == "--server") {
+            const char *v = flagValue("--server");
+            if (!v)
+                return usage();
+            server_endpoint = v;
+        } else if (a == "--model") {
+            const char *v = flagValue("--model");
+            if (!v)
+                return usage();
+            model_name = v;
         } else {
             args.push_back(a);
         }
@@ -215,22 +414,63 @@ main(int argc, char **argv)
     auto arg = [&](std::size_t i, const char *dflt) {
         return nargs > i ? args[i] : std::string(dflt);
     };
+
+    // Strictly parsed positional numbers; any defect prints usage
+    // and exits 2 rather than crashing.
+    std::size_t shards = 0, shard_len = 0, pairs = 0, gens = 0;
+    int width = 0, dcache = 0, l2 = 0;
+    double scale = 0.0;
+
     try {
         if (cmd == "list")
             return cmdList();
-        if (cmd == "profile" && nargs >= 2)
-            return cmdProfile(args[1],
-                              std::stoul(arg(2, "8")),
-                              std::stoul(arg(3, "16384")));
-        if (cmd == "cpi" && nargs >= 2)
-            return cmdCpi(args[1], std::stoi(arg(2, "4")),
-                          std::stoi(arg(3, "64")),
-                          std::stoi(arg(4, "1024")));
-        if (cmd == "train")
-            return cmdTrain(std::stoul(arg(1, "150")),
-                            std::stoul(arg(2, "12")), threads);
-        if (cmd == "spmv" && nargs >= 2)
-            return cmdSpmv(args[1], std::stod(arg(2, "0.15")));
+        if (cmd == "profile" && nargs >= 2) {
+            if (!parseArg(arg(2, "8"), "shard count", shards) ||
+                !parseArg(arg(3, "16384"), "shard length", shard_len))
+                return usage();
+            return cmdProfile(args[1], shards, shard_len);
+        }
+        if (cmd == "cpi" && nargs >= 2) {
+            if (!parseArg(arg(2, "4"), "width", width) ||
+                !parseArg(arg(3, "64"), "dcacheKB", dcache) ||
+                !parseArg(arg(4, "1024"), "l2KB", l2))
+                return usage();
+            return cmdCpi(args[1], width, dcache, l2);
+        }
+        if (cmd == "train") {
+            if (!parseArg(arg(1, "150"), "pairs-per-app", pairs) ||
+                !parseArg(arg(2, "12"), "generations", gens))
+                return usage();
+            return cmdTrain(pairs, gens, threads);
+        }
+        if (cmd == "save" && nargs >= 2) {
+            if (!parseArg(arg(2, "150"), "pairs-per-app", pairs) ||
+                !parseArg(arg(3, "12"), "generations", gens))
+                return usage();
+            return cmdSave(args[1], pairs, gens, threads);
+        }
+        if (cmd == "spmv" && nargs >= 2) {
+            if (!parseArg(arg(2, "0.15"), "scale", scale))
+                return usage();
+            return cmdSpmv(args[1], scale);
+        }
+        if (cmd == "serve" && nargs >= 2)
+            return cmdServe(args[1],
+                            static_cast<std::uint16_t>(port),
+                            threads);
+        if (cmd == "predict" && nargs >= 2) {
+            if (server_endpoint.empty()) {
+                std::fprintf(stderr,
+                             "error: predict needs --server\n");
+                return usage();
+            }
+            if (!parseArg(arg(2, "4"), "width", width) ||
+                !parseArg(arg(3, "64"), "dcacheKB", dcache) ||
+                !parseArg(arg(4, "1024"), "l2KB", l2))
+                return usage();
+            return cmdPredict(server_endpoint, model_name, args[1],
+                              width, dcache, l2);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
