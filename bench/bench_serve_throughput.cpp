@@ -11,6 +11,12 @@
  * back continuously; every in-flight request must complete against
  * the snapshot it pinned — the run reports the number of swaps
  * overlapped and asserts zero failed requests.
+ *
+ * The third phase is the resilience acceptance check: the same load
+ * under ~1% injected socket faults (short reads/writes plus rare
+ * read errors). Every answer that reaches a client is verified
+ * bit-exactly against the local model — the run asserts zero wrong
+ * answers and bounds the throughput degradation at 15%.
  */
 #include "bench_common.hpp"
 
@@ -21,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault/fault.hpp"
 #include "core/serialize.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -73,6 +80,7 @@ struct LoadResult
     std::uint64_t predictions = 0;
     std::uint64_t shed = 0;
     std::uint64_t failed = 0;
+    std::uint64_t wrong = 0; ///< answers that mismatched the model
     std::uint64_t swaps = 0;
     double seconds = 0.0;
     std::vector<double> requestLatency; ///< seconds, all clients
@@ -82,26 +90,39 @@ struct LoadResult
  * Closed-loop load: each of @p num_clients threads keeps exactly one
  * batch request outstanding for @p seconds. When @p hot_swap is set,
  * the main thread republishes/rolls back the model for the whole
- * duration.
+ * duration. When @p verify is set, every returned value is compared
+ * bit-exactly against the local model's prediction (every published
+ * version in this harness carries the same weights).
  */
 LoadResult
 runLoad(serve::Server &server,
         std::shared_ptr<serve::ModelRegistry> registry,
         const core::HwSwModel &model, int num_clients,
-        std::size_t batch, double seconds, bool hot_swap)
+        std::size_t batch, double seconds, bool hot_swap,
+        serve::ClientOptions copts = {},
+        const core::HwSwModel *verify = nullptr)
 {
     std::atomic<bool> go{true};
-    std::atomic<std::uint64_t> requests{0}, shed{0}, failed{0};
+    std::atomic<std::uint64_t> requests{0}, shed{0}, failed{0},
+        wrong{0};
     std::vector<std::vector<double>> latencies(num_clients);
 
     std::vector<std::thread> clients;
     for (int t = 0; t < num_clients; ++t) {
         clients.emplace_back([&, t] {
-            serve::Client c("127.0.0.1", server.port());
+            serve::Client c("127.0.0.1", server.port(), copts);
             Rng rng(100 + t);
             std::vector<serve::FeatureVector> rows;
-            for (std::size_t i = 0; i < batch; ++i)
+            std::vector<double> expected;
+            for (std::size_t i = 0; i < batch; ++i) {
                 rows.push_back(randomRow(rng));
+                if (verify) {
+                    core::ProfileRecord rec;
+                    rec.vars = rows.back();
+                    rec.perf = 1.0;
+                    expected.push_back(verify->predict(rec));
+                }
+            }
             while (go.load(std::memory_order_relaxed)) {
                 const auto t0 = std::chrono::steady_clock::now();
                 const serve::ClientPrediction out =
@@ -112,6 +133,11 @@ runLoad(serve::Server &server,
                     latencies[t].push_back(
                         std::chrono::duration<double>(t1 - t0)
                             .count());
+                    if (verify)
+                        for (std::size_t i = 0; i < batch; ++i)
+                            if (out.values[i] != expected[i])
+                                wrong.fetch_add(
+                                    1, std::memory_order_relaxed);
                 } else if (out.shed) {
                     shed.fetch_add(1, std::memory_order_relaxed);
                 } else {
@@ -161,6 +187,7 @@ runLoad(serve::Server &server,
     res.predictions = res.requests * batch;
     res.shed = shed.load();
     res.failed = failed.load();
+    res.wrong = wrong.load();
     for (auto &v : latencies)
         res.requestLatency.insert(res.requestLatency.end(),
                                   v.begin(), v.end());
@@ -259,6 +286,48 @@ main(int argc, char **argv)
     std::printf("failed in-flight requests during swaps: %s\n",
                 hot_swap_clean ? "0 (PASS)" : "NONZERO (FAIL)");
 
+    bench::section("fault-injection acceptance");
+    // Baseline vs the same closed loop under ~1% socket faults:
+    // short reads/writes force the resume paths, rare read errors
+    // kill connections mid-request. Retries must keep every answer
+    // bit-exact and the throughput cost inside 15%.
+    const LoadResult base = runLoad(server, registry, model, 2, 16,
+                                    2.5, false, {}, &model);
+    auto &faults = fault::FaultRegistry::instance();
+    faults.armSpec("proto.read.short:p=0.01");
+    faults.armSpec("proto.write.short:p=0.01");
+    faults.armSpec("proto.read.err:p=0.002,errno=104");
+    faults.setEnabled(true);
+    serve::ClientOptions copts;
+    copts.retry.maxAttempts = 4;
+    copts.retry.initialBackoff = 0.0002;
+    copts.retry.maxBackoff = 0.002;
+    const LoadResult faulted = runLoad(server, registry, model, 2,
+                                       16, 2.5, false, copts, &model);
+    faults.setEnabled(false);
+    faults.reset();
+
+    const double base_rate =
+        static_cast<double>(base.predictions) / base.seconds;
+    const double fault_rate =
+        static_cast<double>(faulted.predictions) / faulted.seconds;
+    const double degradation =
+        base_rate > 0.0 ? 1.0 - fault_rate / base_rate : 1.0;
+    std::printf("baseline: %.0f pred/s, faulted: %.0f pred/s "
+                "(%.1f%% degradation)\n",
+                base_rate, fault_rate, degradation * 100.0);
+    std::printf("faulted requests: %llu ok, %llu failed, "
+                "%llu wrong answers\n",
+                static_cast<unsigned long long>(faulted.requests),
+                static_cast<unsigned long long>(faulted.failed),
+                static_cast<unsigned long long>(faulted.wrong));
+    const bool fault_clean =
+        faulted.wrong == 0 && base.wrong == 0 && degradation < 0.15;
+    std::printf("wrong answers under faults: %s\n",
+                faulted.wrong == 0 ? "0 (PASS)" : "NONZERO (FAIL)");
+    std::printf("throughput degradation < 15%%: %s\n",
+                degradation < 0.15 ? "PASS" : "FAIL");
+
     server.stop();
-    return hot_swap_clean ? 0 : 1;
+    return hot_swap_clean && fault_clean ? 0 : 1;
 }

@@ -1,0 +1,220 @@
+#include "common/fault/fault.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/parse.hpp"
+
+namespace hwsw::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** SplitMix64: one cheap, seedable stream for trip probabilities. */
+std::uint64_t
+nextRand(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+nextUnit(std::uint64_t &x)
+{
+    return static_cast<double>(nextRand(x) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultRegistry::FaultRegistry() : rngState_(0x5eedf417u)
+{
+    const char *env = std::getenv("HWSW_FAULT_INJECTION");
+    if (env != nullptr) {
+        const std::string_view v(env);
+        if (v == "ON" || v == "on" || v == "1" || v == "true")
+            detail::g_enabled.store(true, std::memory_order_relaxed);
+    }
+}
+
+FaultRegistry &
+FaultRegistry::instance()
+{
+    static FaultRegistry reg;
+    return reg;
+}
+
+void
+FaultRegistry::setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+FaultRegistry::arm(const std::string &name, PointConfig cfg)
+{
+    std::lock_guard lock(mutex_);
+    Point &p = points_[name];
+    p.cfg = cfg;
+    p.armed = true;
+}
+
+bool
+FaultRegistry::armSpec(std::string_view spec, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    if (spec.empty())
+        return fail("empty fault spec");
+
+    const std::size_t colon = spec.find(':');
+    const std::string name(spec.substr(0, colon));
+    if (name.empty())
+        return fail("fault spec needs a point name");
+
+    PointConfig cfg;
+    std::string_view opts =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : spec.substr(colon + 1);
+    while (!opts.empty()) {
+        const std::size_t comma = opts.find(',');
+        const std::string_view opt = opts.substr(0, comma);
+        opts = comma == std::string_view::npos
+            ? std::string_view{}
+            : opts.substr(comma + 1);
+
+        const std::size_t eq = opt.find('=');
+        const std::string_view key = opt.substr(0, eq);
+        const std::string_view val = eq == std::string_view::npos
+            ? std::string_view{}
+            : opt.substr(eq + 1);
+        if (key == "once" && val.empty()) {
+            cfg.oneShot = true;
+        } else if (key == "p") {
+            const auto v = parseDouble(val);
+            if (!v || *v < 0.0 || *v > 1.0)
+                return fail("bad probability in fault spec '" +
+                            std::string(opt) + "'");
+            cfg.probability = *v;
+        } else if (key == "nth") {
+            const auto v = parseUnsigned(val);
+            if (!v || *v == 0)
+                return fail("bad nth in fault spec '" +
+                            std::string(opt) + "'");
+            cfg.everyNth = *v;
+        } else if (key == "errno") {
+            const auto v = parseInt(val);
+            if (!v || *v <= 0)
+                return fail("bad errno in fault spec '" +
+                            std::string(opt) + "'");
+            cfg.errnoValue = static_cast<int>(*v);
+        } else if (key == "skew") {
+            const auto v = parseDouble(val);
+            if (!v)
+                return fail("bad skew in fault spec '" +
+                            std::string(opt) + "'");
+            cfg.skewSeconds = *v;
+        } else {
+            return fail("unknown fault option '" + std::string(opt) +
+                        "'");
+        }
+    }
+    arm(name, cfg);
+    return true;
+}
+
+void
+FaultRegistry::disarm(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    if (it != points_.end())
+        it->second.armed = false;
+}
+
+void
+FaultRegistry::reset()
+{
+    std::lock_guard lock(mutex_);
+    points_.clear();
+}
+
+void
+FaultRegistry::reseed(std::uint64_t seed)
+{
+    std::lock_guard lock(mutex_);
+    rngState_ = seed;
+}
+
+bool
+FaultRegistry::shouldTrip(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end() || !it->second.armed)
+        return false;
+    Point &p = it->second;
+    ++p.hits;
+    if (p.cfg.everyNth > 0 && p.hits % p.cfg.everyNth != 0)
+        return false;
+    if (p.cfg.probability < 1.0 &&
+        nextUnit(rngState_) >= p.cfg.probability)
+        return false;
+    ++p.trips;
+    if (p.cfg.oneShot)
+        p.armed = false;
+    return true;
+}
+
+int
+FaultRegistry::errnoFor(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    return it == points_.end() ? EIO : it->second.cfg.errnoValue;
+}
+
+double
+FaultRegistry::skewFor(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    return it == points_.end() ? 0.0 : it->second.cfg.skewSeconds;
+}
+
+PointStats
+FaultRegistry::stats(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end())
+        return {};
+    return {it->second.hits, it->second.trips, it->second.armed};
+}
+
+std::vector<std::pair<std::string, PointStats>>
+FaultRegistry::all() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, PointStats>> out;
+    out.reserve(points_.size());
+    for (const auto &[name, p] : points_)
+        out.emplace_back(name,
+                         PointStats{p.hits, p.trips, p.armed});
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+} // namespace hwsw::fault

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Process-wide fault-injection framework.
+ *
+ * Production robustness claims are only as good as the faults they
+ * were tested against, so the resilience layer (deadlines, retries,
+ * crash-safe persistence, degraded serving) is built around named
+ * injection points: `fault::point("serve.accept.fail")` sits on the
+ * real code path and trips according to a per-point configuration
+ * (probability, every-Nth hit, one-shot). The whole framework is
+ * gated on one process-global atomic flag — set from the environment
+ * (`HWSW_FAULT_INJECTION=ON`), the CLI (`--fault spec`), or a test —
+ * so an unarmed binary pays exactly one relaxed load and a
+ * never-taken branch per injection point.
+ *
+ * Points are plain strings, created on first arm; sites and tests
+ * agree on names by convention (see DESIGN.md §5.5c for the table).
+ */
+
+#ifndef HWSW_COMMON_FAULT_FAULT_HPP
+#define HWSW_COMMON_FAULT_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hwsw::fault {
+
+namespace detail {
+/** Global gate; relaxed loads keep disabled sites near-free. */
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** Whether any fault injection is active at all. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** How an armed point decides to trip. */
+struct PointConfig
+{
+    /** Chance each hit trips (evaluated when the other gates pass). */
+    double probability = 1.0;
+
+    /** When > 0, trip only on every Nth hit (1-based). */
+    std::uint64_t everyNth = 0;
+
+    /** Disarm after the first trip. */
+    bool oneShot = false;
+
+    /** Errno reported by I/O sites that trip (default EIO). */
+    int errnoValue = 5;
+
+    /** Seconds of skew/delay for clock and delay sites. */
+    double skewSeconds = 0.0;
+};
+
+/** Observability for one point. */
+struct PointStats
+{
+    std::uint64_t hits = 0;  ///< times the site was reached (armed)
+    std::uint64_t trips = 0; ///< times the fault actually fired
+    bool armed = false;
+};
+
+/**
+ * Registry of named injection points. One per process; all methods
+ * are thread-safe (a short mutex — injection sites are off the hot
+ * path unless faults are globally enabled).
+ */
+class FaultRegistry
+{
+  public:
+    /** The process-wide instance. Reads HWSW_FAULT_INJECTION once. */
+    static FaultRegistry &instance();
+
+    /** Flip the global gate (also settable via the environment). */
+    void setEnabled(bool on);
+
+    /** Arm @p name with @p cfg; re-arming replaces the config. */
+    void arm(const std::string &name, PointConfig cfg = {});
+
+    /**
+     * Arm from a CLI/environment spec string:
+     *   point                      trip on every hit
+     *   point:p=0.01               trip with probability 0.01
+     *   point:nth=5                trip on every 5th hit
+     *   point:once                 trip once, then disarm
+     *   point:errno=104,skew=1.5   extra knobs, comma-separated
+     * @return false (with @p error filled) on a malformed spec.
+     */
+    bool armSpec(std::string_view spec, std::string *error = nullptr);
+
+    void disarm(const std::string &name);
+
+    /** Disarm every point and zero all counters. */
+    void reset();
+
+    /** Re-seed the trip-probability stream (tests). */
+    void reseed(std::uint64_t seed);
+
+    /**
+     * Consult @p name at an injection site: counts the hit and
+     * decides whether the fault fires. Always false when unarmed.
+     */
+    bool shouldTrip(const std::string &name);
+
+    /** Errno configured for @p name (default EIO when unarmed). */
+    int errnoFor(const std::string &name) const;
+
+    /** Skew/delay seconds for @p name; 0 when unarmed. */
+    double skewFor(const std::string &name) const;
+
+    PointStats stats(const std::string &name) const;
+
+    /** Every known point, armed or tripped, sorted by name. */
+    std::vector<std::pair<std::string, PointStats>> all() const;
+
+  private:
+    FaultRegistry();
+
+    struct Point
+    {
+        PointConfig cfg;
+        std::uint64_t hits = 0;
+        std::uint64_t trips = 0;
+        bool armed = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Point> points_;
+    std::uint64_t rngState_;
+};
+
+/**
+ * The injection-site primitive: did the named fault fire here?
+ * Near-zero cost while the global gate is off.
+ */
+inline bool
+point(const char *name)
+{
+    if (!enabled())
+        return false;
+    return FaultRegistry::instance().shouldTrip(name);
+}
+
+/**
+ * I/O-site variant: on a trip, also yields the errno the site should
+ * report. @return true when the fault fired.
+ */
+inline bool
+failPoint(const char *name, int &err)
+{
+    if (!enabled())
+        return false;
+    FaultRegistry &reg = FaultRegistry::instance();
+    if (!reg.shouldTrip(name))
+        return false;
+    err = reg.errnoFor(name);
+    return true;
+}
+
+/**
+ * Clock-skew/delay sites: seconds configured for @p name when it
+ * trips, 0.0 otherwise. Used by deadline arithmetic and dispatch
+ * delay injection.
+ */
+inline double
+skewPoint(const char *name)
+{
+    if (!enabled())
+        return 0.0;
+    FaultRegistry &reg = FaultRegistry::instance();
+    if (!reg.shouldTrip(name))
+        return 0.0;
+    return reg.skewFor(name);
+}
+
+} // namespace hwsw::fault
+
+#endif // HWSW_COMMON_FAULT_FAULT_HPP

@@ -1,0 +1,118 @@
+#include "common/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fault/fault.hpp"
+
+namespace hwsw::fsio {
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        return std::nullopt;
+    return os.str();
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    int injected = 0;
+    if (fault::failPoint("fsio.write.err", injected)) {
+        errno = injected;
+        return false;
+    }
+    // A torn write puts half the bytes on disk and then "crashes":
+    // the bytes are really written so replay/recovery tests see the
+    // same partial state a power cut would leave.
+    if (fault::point("fsio.write.torn")) {
+        std::size_t torn = len / 2;
+        while (torn > 0) {
+            const ssize_t n = ::write(fd, p, torn);
+            if (n <= 0)
+                break;
+            p += n;
+            torn -= static_cast<std::size_t>(n);
+        }
+        errno = EIO;
+        return false;
+    }
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string &path, std::string_view data,
+                std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + " '" + path + "': " +
+                std::strerror(errno);
+        return false;
+    };
+
+    std::string tmp = path + ".tmp.XXXXXX";
+    const int fd = ::mkstemp(tmp.data());
+    if (fd < 0)
+        return fail("mkstemp for");
+
+    if (!writeFull(fd, data.data(), data.size())) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return fail("write to temp for");
+    }
+    // fsync before rename: rename-over-newer-data without the data
+    // being durable can surface as an empty file after a crash.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        return fail("fsync temp for");
+    }
+    if (::close(fd) != 0)
+        return fail("close temp for");
+
+    // Simulated crash between write and rename: the temp file is
+    // durable but the target never changes.
+    if (fault::point("fsio.rename.drop")) {
+        errno = EIO;
+        return fail("rename (fault-injected) for");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        return fail("rename for");
+
+    // Best-effort directory sync so the rename itself is durable.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+} // namespace hwsw::fsio

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Crash-safe file I/O primitives.
+ *
+ * Model files and search checkpoints are replaced, never patched:
+ * atomicWriteFile() writes a temp file in the destination directory,
+ * fsyncs it, and renames it over the target, so a reader (or a
+ * restart after a crash) sees either the complete old contents or
+ * the complete new contents — a torn write can only ever strand a
+ * temp file. Fault points (`fsio.write.err`, `fsio.write.torn`,
+ * `fsio.rename.drop`) simulate mid-write crashes for the resilience
+ * tests.
+ */
+
+#ifndef HWSW_COMMON_FSIO_HPP
+#define HWSW_COMMON_FSIO_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hwsw::fsio {
+
+/** Whole-file read. @return nullopt when unreadable. */
+std::optional<std::string> readFile(const std::string &path);
+
+/**
+ * Write @p data to @p path atomically (temp file + fsync + rename).
+ * On failure the target keeps its previous contents (or remains
+ * absent); a stranded "<path>.tmp.*" file may be left behind, as a
+ * real crash would.
+ * @return false with @p error filled on any failure.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view data,
+                     std::string *error = nullptr);
+
+/**
+ * write(2) until @p len bytes are out, retrying short counts and
+ * EINTR. Honors the `fsio.write.err` / `fsio.write.torn` fault
+ * points. @return false on error (errno preserved).
+ */
+bool writeFull(int fd, const void *buf, std::size_t len);
+
+} // namespace hwsw::fsio
+
+#endif // HWSW_COMMON_FSIO_HPP

@@ -157,4 +157,28 @@ Rng::split()
     return Rng((*this)() ^ 0xd1b54a32d192ed03ULL);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    st.s[0] = s_[0];
+    st.s[1] = s_[1];
+    st.s[2] = s_[2];
+    st.s[3] = s_[3];
+    st.cachedGaussian = cachedGaussian_;
+    st.hasCachedGaussian = hasCachedGaussian_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    s_[0] = state.s[0];
+    s_[1] = state.s[1];
+    s_[2] = state.s[2];
+    s_[3] = state.s[3];
+    cachedGaussian_ = state.cachedGaussian;
+    hasCachedGaussian_ = state.hasCachedGaussian;
+}
+
 } // namespace hwsw

@@ -18,6 +18,22 @@
 namespace hwsw {
 
 /**
+ * Complete serializable Rng state. Capturing and restoring it makes
+ * a generator resume its stream mid-sequence — the foundation of
+ * bit-identical search checkpoints. The cached Box-Muller variate is
+ * part of the state: dropping it would desynchronize every stream
+ * that had drawn an odd number of Gaussians.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+
+    bool operator==(const RngState &o) const = default;
+};
+
+/**
  * Deterministic random number generator (xoshiro256**).
  *
  * Satisfies the UniformRandomBitGenerator concept so it can be used
@@ -74,6 +90,12 @@ class Rng
 
     /** Fork an independent generator (for parallel components). */
     Rng split();
+
+    /** Snapshot the complete generator state. */
+    RngState state() const;
+
+    /** Restore a snapshot; the stream continues where it left off. */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t s_[4];

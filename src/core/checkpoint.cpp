@@ -1,0 +1,173 @@
+#include "core/checkpoint.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/fsio.hpp"
+
+namespace hwsw::core {
+
+namespace {
+
+constexpr const char *kMagic = "hwsw-checkpoint";
+constexpr int kVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "checkpoint load: expected '" + want + "', got '" + got +
+                "'");
+}
+
+void
+saveSpec(const ModelSpec &spec, std::ostream &os)
+{
+    os << "genes";
+    for (auto g : spec.genes)
+        os << " " << int{g};
+    os << "\n";
+    os << "interactions " << spec.interactions.size();
+    for (const Interaction &it : spec.interactions)
+        os << " " << it.a << " " << it.b;
+    os << "\n";
+}
+
+ModelSpec
+loadSpec(std::istream &is)
+{
+    ModelSpec spec;
+    expectToken(is, "genes");
+    for (auto &g : spec.genes) {
+        int v = 0;
+        is >> v;
+        fatalIf(v < 0 || v > kMaxGene,
+                "checkpoint load: bad gene value");
+        g = static_cast<std::uint8_t>(v);
+    }
+    expectToken(is, "interactions");
+    std::size_t n = 0;
+    is >> n;
+    fatalIf(n > 4096,
+            "checkpoint load: implausible interaction count");
+    for (std::size_t i = 0; i < n; ++i) {
+        Interaction it;
+        is >> it.a >> it.b;
+        fatalIf(it.a >= kNumVars || it.b >= kNumVars,
+                "checkpoint load: interaction index out of range");
+        spec.interactions.push_back(it);
+    }
+    return spec;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const SearchCheckpoint &cp, std::ostream &os)
+{
+    os << kMagic << " " << kVersion << "\n";
+    os << std::setprecision(17);
+    os << "next_generation " << cp.nextGeneration << "\n";
+    os << "rng " << cp.rng.s[0] << " " << cp.rng.s[1] << " "
+       << cp.rng.s[2] << " " << cp.rng.s[3] << " "
+       << cp.rng.cachedGaussian << " "
+       << (cp.rng.hasCachedGaussian ? 1 : 0) << "\n";
+
+    os << "population " << cp.population.size() << "\n";
+    for (const ModelSpec &spec : cp.population)
+        saveSpec(spec, os);
+
+    os << "history " << cp.history.size() << "\n";
+    for (const GenerationStats &g : cp.history) {
+        os << g.generation << " " << g.bestFitness << " "
+           << g.meanFitness << " " << g.bestSumMedianError << " "
+           << g.wallSeconds << " " << g.cacheHits << " "
+           << g.cacheMisses << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+saveCheckpointToString(const SearchCheckpoint &cp)
+{
+    std::ostringstream os;
+    saveCheckpoint(cp, os);
+    return os.str();
+}
+
+SearchCheckpoint
+loadCheckpoint(std::istream &is)
+{
+    expectToken(is, kMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kVersion,
+            "checkpoint load: unsupported version");
+
+    SearchCheckpoint cp;
+    expectToken(is, "next_generation");
+    is >> cp.nextGeneration;
+
+    expectToken(is, "rng");
+    int has_cached = 0;
+    is >> cp.rng.s[0] >> cp.rng.s[1] >> cp.rng.s[2] >> cp.rng.s[3] >>
+        cp.rng.cachedGaussian >> has_cached;
+    cp.rng.hasCachedGaussian = has_cached != 0;
+
+    expectToken(is, "population");
+    std::size_t n_pop = 0;
+    is >> n_pop;
+    fatalIf(n_pop == 0 || n_pop > 100000,
+            "checkpoint load: implausible population size");
+    cp.population.reserve(n_pop);
+    for (std::size_t i = 0; i < n_pop; ++i)
+        cp.population.push_back(loadSpec(is));
+
+    expectToken(is, "history");
+    std::size_t n_hist = 0;
+    is >> n_hist;
+    fatalIf(n_hist > 1000000,
+            "checkpoint load: implausible history size");
+    cp.history.resize(n_hist);
+    for (GenerationStats &g : cp.history) {
+        is >> g.generation >> g.bestFitness >> g.meanFitness >>
+            g.bestSumMedianError >> g.wallSeconds >> g.cacheHits >>
+            g.cacheMisses;
+    }
+
+    fatalIf(!is, "checkpoint load: truncated input");
+    expectToken(is, "end");
+    return cp;
+}
+
+SearchCheckpoint
+loadCheckpointFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return loadCheckpoint(is);
+}
+
+bool
+saveCheckpointToFile(const SearchCheckpoint &cp,
+                     const std::string &path, std::string *error)
+{
+    return fsio::atomicWriteFile(path, saveCheckpointToString(cp),
+                                 error);
+}
+
+std::optional<SearchCheckpoint>
+loadCheckpointFromFile(const std::string &path, std::string *error)
+{
+    const auto contents = fsio::readFile(path);
+    if (!contents) {
+        if (error)
+            *error = "cannot read checkpoint " + path;
+        return std::nullopt;
+    }
+    return loadCheckpointFromString(*contents);
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Crash-safe checkpoints for the genetic search.
+ *
+ * A checkpoint is the complete state a search needs to continue a
+ * run as if it had never stopped: the index of the next generation,
+ * the RNG mid-stream state, the bred (not yet evaluated) population,
+ * and the per-generation history so far. Because evaluation is a
+ * pure function of (spec, folds) and breeding consumes the RNG
+ * stream deterministically, a resumed run reproduces the
+ * uninterrupted run's best model, final population, and history
+ * bit-identically — only wall times and cache counters (cold cache
+ * after a restart) differ.
+ *
+ * Files are written atomically (temp + fsync + rename), so a crash
+ * mid-checkpoint leaves the previous checkpoint intact. The format
+ * is line-oriented text in the style of the model serializer, with
+ * a trailing "end" sentinel against truncation.
+ */
+
+#ifndef HWSW_CORE_CHECKPOINT_HPP
+#define HWSW_CORE_CHECKPOINT_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+
+/** Resumable genetic-search state at a generation boundary. */
+struct SearchCheckpoint
+{
+    /** Generation the resumed run evaluates first. */
+    std::size_t nextGeneration = 0;
+
+    /** RNG state right after breeding the stored population. */
+    RngState rng;
+
+    /** Bred population awaiting evaluation. */
+    std::vector<ModelSpec> population;
+
+    /** GenerationStats for generations [0, nextGeneration). */
+    std::vector<GenerationStats> history;
+};
+
+/** Serialize a checkpoint. */
+void saveCheckpoint(const SearchCheckpoint &cp, std::ostream &os);
+
+/** Serialize to a string (convenience). */
+std::string saveCheckpointToString(const SearchCheckpoint &cp);
+
+/**
+ * Reconstruct a checkpoint saved by saveCheckpoint().
+ * @throws FatalError on malformed or version-mismatched input.
+ */
+SearchCheckpoint loadCheckpoint(std::istream &is);
+
+/** Load from a string (convenience). */
+SearchCheckpoint loadCheckpointFromString(const std::string &text);
+
+/**
+ * Write a checkpoint file atomically (fsio::atomicWriteFile): a
+ * reader, or a restart after a crash, sees either the previous
+ * complete checkpoint or this one, never a torn hybrid.
+ * @return false with @p error filled on failure.
+ */
+bool saveCheckpointToFile(const SearchCheckpoint &cp,
+                          const std::string &path,
+                          std::string *error = nullptr);
+
+/**
+ * Load a checkpoint file.
+ * @return nullopt with @p error filled when the file is missing or
+ * unreadable. @throws FatalError when the contents are malformed.
+ */
+std::optional<SearchCheckpoint>
+loadCheckpointFromFile(const std::string &path,
+                       std::string *error = nullptr);
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_CHECKPOINT_HPP

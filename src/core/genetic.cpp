@@ -1,12 +1,14 @@
 #include "core/genetic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <numeric>
 #include <thread>
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "core/checkpoint.hpp"
 
 namespace hwsw::core {
 
@@ -192,10 +194,6 @@ GeneticSearch::run()
 GaResult
 GeneticSearch::run(std::span<const ModelSpec> seeds)
 {
-    metrics::Timer run_timer;
-    metrics::ScopedTimer run_scope(run_timer);
-    const SearchMetrics before = metricsSnapshot();
-
     Rng rng(opts_.seed ^ 0xabcdef1234ULL);
 
     std::vector<ModelSpec> population;
@@ -209,10 +207,36 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
             rng, opts_.includeProb, opts_.maxInteractions / 2));
     }
 
+    return runLoop(std::move(population), rng, 0, {});
+}
+
+GaResult
+GeneticSearch::resume(const SearchCheckpoint &cp)
+{
+    fatalIf(cp.population.size() != opts_.populationSize,
+            "resume: checkpoint population size mismatch");
+    fatalIf(cp.nextGeneration >= opts_.generations,
+            "resume: checkpoint is past the final generation");
+    Rng rng(0);
+    rng.setState(cp.rng);
+    return runLoop(cp.population, rng, cp.nextGeneration, cp.history);
+}
+
+GaResult
+GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
+                       std::size_t start_generation,
+                       std::vector<GenerationStats> history)
+{
+    metrics::Timer run_timer;
+    metrics::ScopedTimer run_scope(run_timer);
+    const SearchMetrics before = metricsSnapshot();
+
     GaResult result;
+    result.history = std::move(history);
     std::vector<ScoredSpec> scored;
 
-    for (std::size_t gen = 0; gen < opts_.generations; ++gen) {
+    for (std::size_t gen = start_generation; gen < opts_.generations;
+         ++gen) {
         const double eval_before = evalTimer_.seconds();
         const std::uint64_t hits_before = hitCount_.value();
         const std::uint64_t misses_before = missCount_.value();
@@ -286,6 +310,28 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
             next.push_back(std::move(child));
         }
         population = std::move(next);
+
+        // Generation boundary: the bred population plus the RNG
+        // state is everything a restart needs to continue this run
+        // bit-identically (evaluation is deterministic).
+        if (!opts_.checkpointPath.empty() &&
+            (gen + 1) % std::max<std::size_t>(opts_.checkpointEvery,
+                                              1) ==
+                0) {
+            SearchCheckpoint cp;
+            cp.nextGeneration = gen + 1;
+            cp.rng = rng.state();
+            cp.population = population;
+            cp.history = result.history;
+            std::string error;
+            if (!saveCheckpointToFile(cp, opts_.checkpointPath,
+                                      &error)) {
+                // A failed checkpoint degrades durability, not the
+                // search: keep running on the previous checkpoint.
+                std::fprintf(stderr, "checkpoint: %s\n",
+                             error.c_str());
+            }
+        }
     }
 
     result.best = scored.front();

@@ -32,6 +32,8 @@
 
 namespace hwsw::core {
 
+struct SearchCheckpoint;
+
 /** Tuning knobs for the genetic search. */
 struct GaOptions
 {
@@ -90,6 +92,15 @@ struct GaOptions
      * -- rather than steady-state interpolation.
      */
     bool holdOutFitness = false;
+
+    /**
+     * Write a resumable SearchCheckpoint here at each generation
+     * boundary (atomic replace). Empty disables checkpointing.
+     */
+    std::string checkpointPath;
+
+    /** Generations between checkpoints (when a path is set). */
+    std::size_t checkpointEvery = 1;
 };
 
 /** A specification with its evaluated fitness. */
@@ -175,6 +186,15 @@ class GeneticSearch
     /** Run warm-started from seed specifications (model updates). */
     GaResult run(std::span<const ModelSpec> seeds);
 
+    /**
+     * Continue a checkpointed run. Produces the same best model,
+     * final population, and history the uninterrupted run would
+     * have (wall times and cache counters differ — the memo cache
+     * restarts cold). @pre the checkpoint came from a search with
+     * these options over this dataset.
+     */
+    GaResult resume(const SearchCheckpoint &cp);
+
     /** Number of per-application folds. */
     std::size_t numFolds() const { return folds_.size(); }
 
@@ -209,6 +229,11 @@ class GeneticSearch
 
     std::vector<ScoredSpec> evaluatePopulation(
         std::span<const ModelSpec> specs) const;
+
+    /** Shared generation loop for fresh and resumed runs. */
+    GaResult runLoop(std::vector<ModelSpec> population, Rng rng,
+                     std::size_t start_generation,
+                     std::vector<GenerationStats> history);
 
     GaOptions opts_;
     std::vector<AppFold> folds_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/fsio.hpp"
 
 namespace hwsw::core {
 
@@ -137,6 +138,22 @@ loadModelFromString(const std::string &text)
 {
     std::istringstream is(text);
     return loadModel(is);
+}
+
+bool
+saveModelToFile(const HwSwModel &model, const std::string &path,
+                std::string *error)
+{
+    return fsio::atomicWriteFile(path, saveModelToString(model),
+                                 error);
+}
+
+HwSwModel
+loadModelFromFile(const std::string &path)
+{
+    const auto contents = fsio::readFile(path);
+    fatalIf(!contents, "cannot read model file " + path);
+    return loadModelFromString(*contents);
 }
 
 } // namespace hwsw::core

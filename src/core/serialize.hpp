@@ -34,6 +34,20 @@ HwSwModel loadModel(std::istream &is);
 /** Load from a string (convenience). */
 HwSwModel loadModelFromString(const std::string &text);
 
+/**
+ * Save a model to a file atomically (temp + fsync + rename): a
+ * crash mid-save leaves the previous file intact, never a torn
+ * hybrid. @return false with @p error filled on failure.
+ */
+bool saveModelToFile(const HwSwModel &model, const std::string &path,
+                     std::string *error = nullptr);
+
+/**
+ * Load a model file.
+ * @throws FatalError when the file is unreadable or malformed.
+ */
+HwSwModel loadModelFromFile(const std::string &path);
+
 } // namespace hwsw::core
 
 #endif // HWSW_CORE_SERIALIZE_HPP

@@ -1,15 +1,20 @@
 #include "serve/client.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/parse.hpp"
 #include "serve/protocol.hpp"
 
@@ -24,6 +29,12 @@ parsePrediction(const std::string &response, bool batch)
     ClientPrediction out;
     if (response == "shed") {
         out.shed = true;
+        out.error = "request shed by admission control";
+        return out;
+    }
+    if (response == "expired") {
+        out.expired = true;
+        out.error = "deadline expired before the server ran it";
         return out;
     }
     if (response.starts_with("error")) {
@@ -63,83 +74,279 @@ parsePrediction(const std::string &response, bool batch)
     return out;
 }
 
+/** Classify a transport failure into a ClientPrediction. */
+ClientPrediction
+transportFailure(IoStatus st, int attempts)
+{
+    ClientPrediction out;
+    out.attempts = attempts;
+    if (st == IoStatus::Timeout) {
+        out.timedOut = true;
+        out.error = "deadline exceeded";
+    } else {
+        out.error = "connection lost";
+    }
+    return out;
+}
+
 } // namespace
 
-Client::Client(const std::string &host, std::uint16_t port)
+Client::Client(const std::string &host, std::uint16_t port,
+               ClientOptions opts)
+    : host_((host == "localhost" || host.empty()) ? "127.0.0.1"
+                                                  : host),
+      port_(port), opts_(opts)
 {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    fatalIf(fd_ < 0, std::string("socket: ") + std::strerror(errno));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    const std::string ip =
-        (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
-    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
-        ::close(fd_);
-        fd_ = -1;
-        fatal("bad host address '" + host + "' (IPv4 only)");
-    }
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const std::string msg = std::strerror(errno);
-        ::close(fd_);
-        fd_ = -1;
-        fatal("connect " + ip + ":" + std::to_string(port) + ": " +
-              msg);
-    }
-    const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const auto deadline =
+        resilience::Deadline::after(opts_.connectTimeout);
+    const IoStatus st = connectOnce(deadline);
+    fatalIf(st != IoStatus::Ok,
+            "connect " + host_ + ":" + std::to_string(port_) + ": " +
+                (st == IoStatus::Timeout ? "timed out"
+                                         : std::strerror(errno)));
 }
 
 Client::~Client()
 {
-    if (fd_ >= 0)
-        ::close(fd_);
+    closeFd();
 }
 
-Client::Client(Client &&other) noexcept : fd_(other.fd_)
+Client::Client(Client &&other) noexcept
+    : host_(std::move(other.host_)), port_(other.port_),
+      opts_(other.opts_), stats_(other.stats_),
+      requestSeq_(other.requestSeq_), fd_(other.fd_)
 {
     other.fd_ = -1;
 }
 
-std::string
-Client::roundTrip(const std::string &request)
+void
+Client::closeFd()
 {
-    fatalIf(fd_ < 0, "client is not connected");
-    fatalIf(!writeFrame(fd_, request), "connection lost (write)");
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+IoStatus
+Client::connectOnce(const resilience::Deadline &deadline)
+{
+    closeFd();
+
+    int injected = 0;
+    if (fault::failPoint("client.connect.fail", injected)) {
+        errno = injected;
+        return IoStatus::Error;
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+        fatal("bad host address '" + host_ + "' (IPv4 only)");
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, std::string("socket: ") + std::strerror(errno));
+
+    // Non-blocking connect + poll keeps the deadline authoritative
+    // even for the TCP handshake (a blocking connect can hang for
+    // minutes against a black-holed peer).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(
+        fd, reinterpret_cast<const sockaddr *>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return IoStatus::Error;
+    }
+    if (rc != 0) {
+        for (;;) {
+            const int timeout_ms = deadline.isUnlimited()
+                ? -1
+                : deadline.remainingMillis();
+            if (timeout_ms == 0) {
+                ::close(fd);
+                return IoStatus::Timeout;
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            const int pr = ::poll(&pfd, 1, timeout_ms);
+            if (pr > 0)
+                break;
+            if (pr == 0) {
+                ::close(fd);
+                return IoStatus::Timeout;
+            }
+            if (errno != EINTR) {
+                const int saved = errno;
+                ::close(fd);
+                errno = saved;
+                return IoStatus::Error;
+            }
+        }
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+            soerr != 0) {
+            ::close(fd);
+            errno = soerr ? soerr : EIO;
+            return IoStatus::Error;
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return IoStatus::Ok;
+}
+
+IoStatus
+Client::exchange(const std::string &request, bool idempotent,
+                 std::string &response, int &attempts)
+{
+    ++stats_.requests;
+    ++requestSeq_;
+    const auto deadline =
+        resilience::Deadline::after(opts_.requestTimeout);
+    resilience::Backoff backoff(opts_.retry,
+                                opts_.jitterSeed ^ requestSeq_);
+    attempts = 0;
+    IoStatus last = IoStatus::Error;
+    const bool had_conn_at_entry = fd_ >= 0;
+
+    for (;;) {
+        ++attempts;
+        bool sent_bytes = false;
+        if (fd_ < 0) {
+            // Bound each reconnect by both the request deadline and
+            // the configured connect timeout.
+            auto connect_deadline = deadline;
+            if (opts_.connectTimeout > 0.0 &&
+                (deadline.isUnlimited() ||
+                 opts_.connectTimeout < deadline.remainingSeconds()))
+                connect_deadline = resilience::Deadline::after(
+                    opts_.connectTimeout);
+            last = connectOnce(connect_deadline);
+            if (last != IoStatus::Ok)
+                goto next_attempt;
+            if (attempts > 1 || had_conn_at_entry)
+                ++stats_.reconnects;
+        }
+
+        {
+            std::string payload;
+            const std::string *to_send = &request;
+            if (opts_.propagateDeadline && !deadline.isUnlimited()) {
+                payload = makeDeadlinePrefix(deadline);
+                payload += request;
+                to_send = &payload;
+            }
+            last = writeFrame(fd_, *to_send, deadline);
+            // The header may have hit the wire even on failure, so
+            // any write attempt taints a non-idempotent request.
+            sent_bytes = true;
+            if (last == IoStatus::Ok)
+                last = readFrame(fd_, response, deadline);
+            if (last == IoStatus::Ok)
+                return IoStatus::Ok;
+            // Whatever failed, the stream position is unknowable:
+            // drop the connection rather than risk desynchronized
+            // frames on the next request.
+            closeFd();
+        }
+
+    next_attempt:
+        if (last == IoStatus::Timeout || deadline.expired()) {
+            ++stats_.timeouts;
+            return IoStatus::Timeout;
+        }
+        if (!idempotent && sent_bytes) {
+            ++stats_.transportErrors;
+            return last;
+        }
+        if (attempts >= std::max(opts_.retry.maxAttempts, 1)) {
+            ++stats_.transportErrors;
+            return last;
+        }
+        ++stats_.retries;
+        double delay = backoff.nextDelaySeconds();
+        if (!deadline.isUnlimited())
+            delay = std::min(delay, deadline.remainingSeconds());
+        if (delay > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+    }
+}
+
+std::string
+Client::roundTrip(const std::string &request, bool idempotent)
+{
     std::string response;
-    fatalIf(!readFrame(fd_, response), "connection lost (read)");
+    int attempts = 0;
+    const IoStatus st =
+        exchange(request, idempotent, response, attempts);
+    fatalIf(st == IoStatus::Timeout,
+            "request deadline exceeded after " +
+                std::to_string(attempts) + " attempt(s)");
+    fatalIf(st != IoStatus::Ok,
+            "connection lost after " + std::to_string(attempts) +
+                " attempt(s)");
     return response;
 }
 
 bool
 Client::ping()
 {
-    return roundTrip(makePingRequest()) == "ok pong";
+    return roundTrip(makePingRequest(), /*idempotent=*/true) ==
+        "ok pong";
 }
 
 ClientPrediction
 Client::predict(const std::string &model, const FeatureVector &row)
 {
-    return parsePrediction(roundTrip(makePredictRequest(model, row)),
-                           /*batch=*/false);
+    std::string response;
+    int attempts = 0;
+    const IoStatus st = exchange(makePredictRequest(model, row),
+                                 /*idempotent=*/true, response,
+                                 attempts);
+    if (st != IoStatus::Ok)
+        return transportFailure(st, attempts);
+    ClientPrediction out = parsePrediction(response, /*batch=*/false);
+    out.attempts = attempts;
+    if (out.expired)
+        ++stats_.expired;
+    return out;
 }
 
 ClientPrediction
 Client::predictBatch(const std::string &model,
                      std::span<const FeatureVector> rows)
 {
-    return parsePrediction(roundTrip(makeBatchRequest(model, rows)),
-                           /*batch=*/true);
+    std::string response;
+    int attempts = 0;
+    const IoStatus st = exchange(makeBatchRequest(model, rows),
+                                 /*idempotent=*/true, response,
+                                 attempts);
+    if (st != IoStatus::Ok)
+        return transportFailure(st, attempts);
+    ClientPrediction out = parsePrediction(response, /*batch=*/true);
+    out.attempts = attempts;
+    if (out.expired)
+        ++stats_.expired;
+    return out;
 }
 
 std::optional<std::uint64_t>
 Client::loadModel(const std::string &name,
                   const std::string &model_text, std::string *error)
 {
-    const std::string response =
-        roundTrip(makeLoadRequest(name, model_text));
+    // Not idempotent: a retry after a lost response would publish a
+    // second version.
+    const std::string response = roundTrip(
+        makeLoadRequest(name, model_text), /*idempotent=*/false);
     const auto tokens = splitTokens(splitFirstLine(response).first);
     if (tokens.size() == 2 && tokens[0] == "ok")
         if (const auto version = parseUnsigned(tokens[1]))
@@ -153,8 +360,9 @@ bool
 Client::swapModel(const std::string &name, std::uint64_t version,
                   std::string *error)
 {
+    // Idempotent: re-activating the same version twice is a no-op.
     const std::string response =
-        roundTrip(makeSwapRequest(name, version));
+        roundTrip(makeSwapRequest(name, version), /*idempotent=*/true);
     if (response.starts_with("ok "))
         return true;
     if (error)
@@ -166,8 +374,11 @@ std::string
 Client::observe(const std::string &model, const std::string &app,
                 const FeatureVector &row, double perf)
 {
+    // Not idempotent: a duplicate enqueue would double-count the
+    // observation in the updater's evidence.
     const std::string response =
-        roundTrip(makeObserveRequest(model, app, row, perf));
+        roundTrip(makeObserveRequest(model, app, row, perf),
+                  /*idempotent=*/false);
     if (response.starts_with("ok queued"))
         return "queued";
     if (response == "shed")
@@ -178,10 +389,17 @@ Client::observe(const std::string &model, const std::string &app,
 std::string
 Client::stats()
 {
-    const std::string response = roundTrip(makeStatsRequest());
+    const std::string response =
+        roundTrip(makeStatsRequest(), /*idempotent=*/true);
     const auto [line, body] = splitFirstLine(response);
     fatalIf(line != "ok", "stats failed: " + response);
     return std::string(body);
+}
+
+std::string
+Client::health()
+{
+    return roundTrip("health", /*idempotent=*/true);
 }
 
 void
@@ -192,8 +410,7 @@ Client::quit()
     writeFrame(fd_, "quit");
     std::string response;
     readFrame(fd_, response); // best-effort "ok bye"
-    ::close(fd_);
-    fd_ = -1;
+    closeFd();
 }
 
 } // namespace hwsw::serve

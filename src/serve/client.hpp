@@ -1,14 +1,25 @@
 /**
  * @file
- * serve::Client — blocking TCP client for the serving protocol.
+ * serve::Client — resilient blocking TCP client for the serving
+ * protocol.
  *
  * One Client owns one connection and multiplexes any number of
  * sequential requests over it (the protocol is strict
  * request/response, so a connection is a session, not a single
- * call). Methods translate wire responses into typed results;
- * transport failures and protocol violations throw FatalError,
- * while server-side refusals (shed, unknown model) are first-class
- * result states the caller is expected to handle.
+ * call). The transport underneath is self-healing: every request
+ * runs under a deadline (poll-based connect/read/write timeouts), a
+ * dead connection is re-established automatically, and idempotent
+ * requests are retried with jittered exponential backoff until the
+ * attempt budget or the deadline runs out. The client announces its
+ * remaining budget in a `@deadline` header so the server can shed
+ * work nobody is waiting for.
+ *
+ * Prediction calls never throw for transport trouble: a timeout or
+ * an exhausted retry budget comes back as a classified
+ * ClientPrediction (timedOut / expired / error), so a caller can
+ * always tell "the network failed" from "the server refused".
+ * Control verbs (load, swap, stats) keep throwing FatalError when
+ * the transport is gone for good, as before.
  */
 
 #ifndef HWSW_SERVE_CLIENT_HPP
@@ -21,6 +32,8 @@
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/resilience/resilience.hpp"
 
 namespace hwsw::serve {
 
@@ -28,22 +41,57 @@ namespace hwsw::serve {
 struct ClientPrediction
 {
     bool ok = false;
-    bool shed = false;          ///< admission refusal; retry later
-    std::string error;          ///< non-empty on "error" responses
+    bool shed = false;     ///< admission refusal; retry later
+    bool timedOut = false; ///< deadline expired client-side
+    bool expired = false;  ///< server shed already-expired work
+    std::string error;     ///< non-empty on any non-ok outcome
     std::uint64_t modelVersion = 0;
     std::vector<double> values; ///< predictions when ok
+    int attempts = 1;           ///< transport attempts consumed
 };
 
-/** Blocking protocol client over one TCP connection. */
+/** Client transport knobs. */
+struct ClientOptions
+{
+    /** Seconds allowed per connect attempt; <= 0 blocks. */
+    double connectTimeout = 5.0;
+
+    /** Default per-request deadline, seconds; <= 0 is unlimited. */
+    double requestTimeout = 0.0;
+
+    /** Retry/backoff schedule for failed attempts. */
+    resilience::RetryPolicy retry;
+
+    /** Announce the remaining budget in a `@deadline` header. */
+    bool propagateDeadline = true;
+
+    /** Seed for backoff jitter (deterministic schedules in tests). */
+    std::uint64_t jitterSeed = 1;
+};
+
+/** Transport-level counters for one Client. */
+struct ClientStats
+{
+    std::uint64_t requests = 0;   ///< round trips attempted
+    std::uint64_t retries = 0;    ///< extra attempts after a failure
+    std::uint64_t reconnects = 0; ///< successful re-connections
+    std::uint64_t timeouts = 0;   ///< requests lost to the deadline
+    std::uint64_t expired = 0;    ///< server-side deadline sheds
+    std::uint64_t transportErrors = 0; ///< requests lost to I/O
+};
+
+/** Resilient blocking protocol client over one TCP connection. */
 class Client
 {
   public:
     /**
      * Connect to a serving endpoint.
      * @param host IPv4 dotted quad or "localhost".
-     * @throws FatalError when the connection cannot be established.
+     * @throws FatalError when the connection cannot be established
+     *         within the connect timeout.
      */
-    Client(const std::string &host, std::uint16_t port);
+    Client(const std::string &host, std::uint16_t port,
+           ClientOptions opts = {});
 
     ~Client();
 
@@ -54,7 +102,7 @@ class Client
     /** Round-trip liveness probe. @return false on a bad response. */
     bool ping();
 
-    /** Predict one feature row. */
+    /** Predict one feature row. Transport failures are classified. */
     ClientPrediction predict(const std::string &model,
                              const FeatureVector &row);
 
@@ -65,7 +113,8 @@ class Client
     /**
      * Upload a serialized model (text of core::saveModel) as a new
      * version of @p name. @return the assigned version, or nullopt
-     * with @p error filled.
+     * with @p error filled. Not retried mid-request: a lost
+     * connection after the upload may or may not have published.
      */
     std::optional<std::uint64_t> loadModel(const std::string &name,
                                            const std::string &model_text,
@@ -86,13 +135,39 @@ class Client
     /** Fetch the server's stats report text. */
     std::string stats();
 
+    /** Fetch the server's health line ("ok healthy ..."). */
+    std::string health();
+
     /** Polite session close (sends `quit`). */
     void quit();
 
-  private:
-    /** One request/response exchange. @throws FatalError on I/O. */
-    std::string roundTrip(const std::string &request);
+    /** Live transport knobs (the next request picks them up). */
+    ClientOptions &options() { return opts_; }
 
+    /** Transport counters accumulated over this client's lifetime. */
+    const ClientStats &transportStats() const { return stats_; }
+
+    /** Whether a connection is currently established. */
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    /** One attempt-with-retries exchange; Ok fills @p response. */
+    IoStatus exchange(const std::string &request, bool idempotent,
+                      std::string &response, int &attempts);
+
+    /** Legacy strict exchange: @throws FatalError on any failure. */
+    std::string roundTrip(const std::string &request, bool idempotent);
+
+    /** (Re-)establish the connection within @p deadline. */
+    IoStatus connectOnce(const resilience::Deadline &deadline);
+
+    void closeFd();
+
+    std::string host_;
+    std::uint16_t port_ = 0;
+    ClientOptions opts_;
+    ClientStats stats_;
+    std::uint64_t requestSeq_ = 0; ///< varies per-request jitter
     int fd_ = -1;
 };
 

@@ -1,0 +1,189 @@
+#include "serve/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fault/fault.hpp"
+#include "common/fsio.hpp"
+#include "common/parse.hpp"
+#include "serve/protocol.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+/** FNV-1a 64-bit over the record body (everything before " #"). */
+std::uint64_t
+checksum(std::string_view body)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : body) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+ObservationJournal::ObservationJournal(std::string path)
+    : path_(std::move(path))
+{
+}
+
+ObservationJournal::~ObservationJournal()
+{
+    close();
+}
+
+bool
+ObservationJournal::open(std::string *error)
+{
+    if (fd_ >= 0)
+        return true;
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        if (error)
+            *error = "open " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+ObservationJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string
+ObservationJournal::formatRecord(const core::ProfileRecord &rec)
+{
+    std::string body = "obs ";
+    body += rec.app;
+    body += ' ';
+    body += std::to_string(rec.shardIndex);
+    for (const double v : rec.vars) {
+        body += ' ';
+        body += formatDouble(v);
+    }
+    body += ' ';
+    body += formatDouble(rec.perf);
+    body += " #";
+    body += hex64(checksum(
+        std::string_view(body.data(), body.size() - 2)));
+    return body;
+}
+
+bool
+ObservationJournal::parseRecord(std::string_view line,
+                                core::ProfileRecord &rec)
+{
+    const std::size_t mark = line.rfind(" #");
+    if (mark == std::string_view::npos)
+        return false;
+    const std::string_view body = line.substr(0, mark);
+    const std::string_view sum = line.substr(mark + 2);
+    if (sum.size() != 16 || hex64(checksum(body)) != sum)
+        return false;
+
+    const auto tokens = splitTokens(body);
+    // obs app shard kNumVars perf
+    if (tokens.size() != core::kNumVars + 4 || tokens[0] != "obs")
+        return false;
+    rec.app = std::string(tokens[1]);
+    const auto shard = parseUnsigned(tokens[2]);
+    if (!shard || rec.app.empty())
+        return false;
+    rec.shardIndex = static_cast<std::size_t>(*shard);
+    for (std::size_t i = 0; i < core::kNumVars; ++i) {
+        const auto v = parseDouble(tokens[3 + i]);
+        if (!v)
+            return false;
+        rec.vars[i] = *v;
+    }
+    const auto perf = parseDouble(tokens.back());
+    if (!perf)
+        return false;
+    rec.perf = *perf;
+    return true;
+}
+
+bool
+ObservationJournal::append(const core::ProfileRecord &rec,
+                           std::string *error)
+{
+    if (fd_ < 0 && !open(error))
+        return false;
+
+    std::string line = formatRecord(rec);
+    line += '\n';
+
+    int injected = 0;
+    if (fault::failPoint("journal.append.torn", injected)) {
+        // Simulate losing power mid-append: a prefix of the line
+        // lands on disk, then the write "fails". Replay must stop
+        // cleanly at this torn tail.
+        (void)fsio::writeFull(fd_, line.data(), line.size() / 2);
+        if (error)
+            *error = "journal append torn (injected)";
+        return false;
+    }
+
+    if (!fsio::writeFull(fd_, line.data(), line.size())) {
+        if (error)
+            *error = "append " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
+    if (::fdatasync(fd_) != 0) {
+        if (error)
+            *error = "fdatasync " + path_ + ": " +
+                std::strerror(errno);
+        return false;
+    }
+    ++appended_;
+    return true;
+}
+
+std::size_t
+ObservationJournal::replay(
+    const std::string &path,
+    const std::function<void(const core::ProfileRecord &)> &fn)
+{
+    const auto contents = fsio::readFile(path);
+    if (!contents)
+        return 0;
+
+    std::size_t replayed = 0;
+    std::string_view rest = *contents;
+    while (!rest.empty()) {
+        const auto [line, tail] = splitFirstLine(rest);
+        core::ProfileRecord rec;
+        if (!parseRecord(line, rec))
+            break; // torn tail or corruption: trust nothing past it
+        fn(rec);
+        ++replayed;
+        rest = tail;
+    }
+    return replayed;
+}
+
+} // namespace hwsw::serve

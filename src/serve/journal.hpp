@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ObservationJournal: a write-ahead log for observed profiles.
+ *
+ * Every observation the updater accepts is appended (and fsynced)
+ * here *before* the accept is acknowledged, so a crash between
+ * acknowledgment and model update loses nothing: on restart the
+ * journal is replayed into a freshly bootstrapped manager, and —
+ * because the manager's state is a pure function of the observation
+ * sequence — the replayed model is identical to the one an
+ * uninterrupted run would have produced.
+ *
+ * The format is line-oriented text, one record per line, each line
+ * carrying its own FNV-1a checksum:
+ *
+ *     obs <app> <shard> <v0> ... <v{k-1}> <perf> #<checksum-hex>
+ *
+ * Replay verifies each line's checksum and stops at the first bad
+ * record: a torn tail (the expected crash artifact of an append that
+ * lost power mid-line) silently ends the replay instead of poisoning
+ * the rebuilt state.
+ */
+
+#ifndef HWSW_SERVE_JOURNAL_HPP
+#define HWSW_SERVE_JOURNAL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace hwsw::serve {
+
+/** Append-only, checksummed observation log. */
+class ObservationJournal
+{
+  public:
+    explicit ObservationJournal(std::string path);
+    ~ObservationJournal();
+
+    ObservationJournal(const ObservationJournal &) = delete;
+    ObservationJournal &operator=(const ObservationJournal &) = delete;
+
+    /**
+     * Open (creating if absent) for appending.
+     * @return false with @p error filled on failure.
+     */
+    bool open(std::string *error = nullptr);
+
+    /**
+     * Durably append one record (write + fdatasync). Honors the
+     * `journal.append.torn` fault point, which writes a prefix of
+     * the line and then fails — the torn-tail crash artifact.
+     * @return false on any failure; the caller must then refuse the
+     * observation, preserving "acknowledged implies journaled".
+     */
+    bool append(const core::ProfileRecord &rec,
+                std::string *error = nullptr);
+
+    void close();
+
+    const std::string &path() const { return path_; }
+
+    /** Records appended successfully over this handle's lifetime. */
+    std::uint64_t appended() const { return appended_; }
+
+    /** Serialize one record to its journal line (no newline). */
+    static std::string formatRecord(const core::ProfileRecord &rec);
+
+    /**
+     * Parse one journal line, verifying its checksum.
+     * @return false on any defect (malformed, checksum mismatch).
+     */
+    static bool parseRecord(std::string_view line,
+                            core::ProfileRecord &rec);
+
+    /**
+     * Replay a journal file in order, invoking @p fn per valid
+     * record. Stops at the first bad record (torn tail). A missing
+     * file replays zero records — an empty journal is not an error.
+     * @return the number of records replayed.
+     */
+    static std::size_t
+    replay(const std::string &path,
+           const std::function<void(const core::ProfileRecord &)> &fn);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_JOURNAL_HPP

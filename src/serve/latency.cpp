@@ -20,6 +20,7 @@ verbName(Verb v)
     case Verb::Swap: return "swap";
     case Verb::Observe: return "observe";
     case Verb::Stats: return "stats";
+    case Verb::Health: return "health";
     case Verb::Count_: break;
     }
     panic("verbName: bad verb");
@@ -49,12 +50,19 @@ LatencyRecorder::recordShed(Verb v)
     verbs_[static_cast<std::size_t>(v)].shed.add();
 }
 
+void
+LatencyRecorder::recordExpired(Verb v)
+{
+    verbs_[static_cast<std::size_t>(v)].expired.add();
+}
+
 VerbSummary
 LatencyRecorder::summary(Verb v) const
 {
     const VerbStats &s = verbs_[static_cast<std::size_t>(v)];
     VerbSummary out;
     out.shed = s.shed.value();
+    out.expired = s.expired.value();
     out.items = s.items.value();
     std::lock_guard lock(s.mutex);
     out.requests = s.requests;
@@ -79,21 +87,22 @@ std::string
 LatencyRecorder::report() const
 {
     std::ostringstream os;
-    os << "verb        requests     items      shed    errors"
-          "      p50       p95       p99       max\n";
+    os << "verb        requests     items      shed   expired"
+          "    errors      p50       p95       p99       max\n";
     for (std::size_t i = 0; i < kNumVerbs; ++i) {
         const auto v = static_cast<Verb>(i);
         const VerbSummary s = summary(v);
-        if (s.requests == 0 && s.shed == 0)
+        if (s.requests == 0 && s.shed == 0 && s.expired == 0)
             continue;
-        char line[192];
+        char line[224];
         std::snprintf(line, sizeof(line),
-                      "%-10s %9llu %9llu %9llu %9llu %8.1fus %8.1fus "
-                      "%8.1fus %8.1fus\n",
+                      "%-10s %9llu %9llu %9llu %9llu %9llu %8.1fus "
+                      "%8.1fus %8.1fus %8.1fus\n",
                       std::string(verbName(v)).c_str(),
                       static_cast<unsigned long long>(s.requests),
                       static_cast<unsigned long long>(s.items),
                       static_cast<unsigned long long>(s.shed),
+                      static_cast<unsigned long long>(s.expired),
                       static_cast<unsigned long long>(s.errors),
                       s.p50 * 1e6, s.p95 * 1e6, s.p99 * 1e6,
                       s.maxSeconds * 1e6);

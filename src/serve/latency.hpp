@@ -34,6 +34,7 @@ enum class Verb
     Swap,
     Observe,
     Stats,
+    Health,
     Count_ ///< sentinel
 };
 
@@ -49,6 +50,7 @@ struct VerbSummary
     std::uint64_t requests = 0;  ///< completed requests
     std::uint64_t errors = 0;    ///< requests answered with an error
     std::uint64_t shed = 0;      ///< requests refused by admission
+    std::uint64_t expired = 0;   ///< requests dropped past deadline
     std::uint64_t items = 0;     ///< predictions produced (batch aware)
     double p50 = 0.0;            ///< seconds
     double p95 = 0.0;
@@ -74,6 +76,9 @@ class LatencyRecorder
     /** Record a request refused by admission control. */
     void recordShed(Verb v);
 
+    /** Record a request dropped because its deadline had lapsed. */
+    void recordExpired(Verb v);
+
     VerbSummary summary(Verb v) const;
 
     /**
@@ -95,6 +100,7 @@ class LatencyRecorder
         double maxSeconds = 0.0;
         double totalSeconds = 0.0;
         metrics::Counter shed;  ///< atomic: bumped on the refusal path
+        metrics::Counter expired; ///< atomic: deadline-lapsed drops
         metrics::Counter items;
     };
 

@@ -1,65 +1,135 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault/fault.hpp"
 #include "common/parse.hpp"
 
 namespace hwsw::serve {
 
 namespace {
 
-bool
-writeAll(int fd, const void *buf, std::size_t len)
+/**
+ * Wait for readiness within the deadline. Ok when the fd is ready
+ * (or no deadline bounds the wait and poll succeeded), Timeout when
+ * the budget lapsed first, Error on poll failure.
+ */
+IoStatus
+awaitReady(int fd, short events, const resilience::Deadline *deadline)
 {
-    const char *p = static_cast<const char *>(buf);
-    while (len > 0) {
-        // send() instead of write(): MSG_NOSIGNAL turns the SIGPIPE
-        // a dead peer would raise into a plain EPIPE error return.
-        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
+    for (;;) {
+        int timeout_ms = -1;
+        if (deadline) {
+            timeout_ms = deadline->remainingMillis();
+            if (timeout_ms == 0)
+                return IoStatus::Timeout;
         }
-        if (n == 0)
-            return false;
-        p += n;
-        len -= static_cast<std::size_t>(n);
+        pollfd pfd{fd, events, 0};
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return IoStatus::Ok;
+        if (rc == 0)
+            return IoStatus::Timeout;
+        if (errno != EINTR)
+            return IoStatus::Error;
     }
-    return true;
-}
-
-bool
-readAll(int fd, void *buf, std::size_t len)
-{
-    char *p = static_cast<char *>(buf);
-    while (len > 0) {
-        const ssize_t n = ::read(fd, p, len);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false; // EOF (clean only at a frame boundary)
-        p += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
 }
 
 } // namespace
 
-bool
-writeFrame(int fd, std::string_view payload)
+IoStatus
+writeFull(int fd, const void *buf, std::size_t len,
+          const resilience::Deadline *deadline)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        int injected = 0;
+        if (fault::failPoint("proto.write.err", injected)) {
+            errno = injected;
+            return IoStatus::Error;
+        }
+        if (deadline) {
+            const IoStatus st = awaitReady(fd, POLLOUT, deadline);
+            if (st != IoStatus::Ok)
+                return st;
+        }
+        // A short-count fault caps this chunk at one byte, forcing
+        // the resume path that real kernels exercise rarely.
+        const std::size_t chunk =
+            fault::point("proto.write.short") ? 1 : len;
+        // send() instead of write(): MSG_NOSIGNAL turns the SIGPIPE
+        // a dead peer would raise into a plain EPIPE error return.
+        const ssize_t n = ::send(fd, p, chunk, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (n == 0)
+            return IoStatus::Error;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+readFull(int fd, void *buf, std::size_t len,
+         const resilience::Deadline *deadline)
+{
+    char *p = static_cast<char *>(buf);
+    while (len > 0) {
+        int injected = 0;
+        if (fault::failPoint("proto.read.err", injected)) {
+            errno = injected;
+            return IoStatus::Error;
+        }
+        if (deadline) {
+            const IoStatus st = awaitReady(fd, POLLIN, deadline);
+            if (st != IoStatus::Ok)
+                return st;
+        }
+        const std::size_t chunk =
+            fault::point("proto.read.short") ? 1 : len;
+        const ssize_t n = ::read(fd, p, chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (n == 0)
+            return IoStatus::Eof;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+namespace {
+
+/** Unlimited deadlines skip the poll entirely (hot path). */
+const resilience::Deadline *
+boundOrNull(const resilience::Deadline &deadline)
+{
+    return deadline.isUnlimited() ? nullptr : &deadline;
+}
+
+} // namespace
+
+IoStatus
+writeFrame(int fd, std::string_view payload,
+           const resilience::Deadline &deadline)
 {
     if (payload.size() > kMaxFrameBytes)
-        return false;
+        return IoStatus::Error;
+    const resilience::Deadline *dl = boundOrNull(deadline);
     const auto len = static_cast<std::uint32_t>(payload.size());
     unsigned char hdr[4] = {
         static_cast<unsigned char>(len >> 24),
@@ -67,23 +137,73 @@ writeFrame(int fd, std::string_view payload)
         static_cast<unsigned char>(len >> 8),
         static_cast<unsigned char>(len),
     };
-    return writeAll(fd, hdr, sizeof(hdr)) &&
-        writeAll(fd, payload.data(), payload.size());
+    const IoStatus st = writeFull(fd, hdr, sizeof(hdr), dl);
+    if (st != IoStatus::Ok)
+        return st;
+    return writeFull(fd, payload.data(), payload.size(), dl);
+}
+
+IoStatus
+readFrame(int fd, std::string &payload,
+          const resilience::Deadline &deadline)
+{
+    const resilience::Deadline *dl = boundOrNull(deadline);
+    unsigned char hdr[4];
+    IoStatus st = readFull(fd, hdr, sizeof(hdr), dl);
+    if (st != IoStatus::Ok)
+        return st;
+    const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
+        (std::uint32_t{hdr[1]} << 16) | (std::uint32_t{hdr[2]} << 8) |
+        std::uint32_t{hdr[3]};
+    if (len > kMaxFrameBytes)
+        return IoStatus::Error;
+    payload.resize(len);
+    if (len == 0)
+        return IoStatus::Ok;
+    st = readFull(fd, payload.data(), len, dl);
+    // EOF inside a frame body is a torn frame, not a clean close.
+    return st == IoStatus::Eof ? IoStatus::Error : st;
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    return writeFrame(fd, payload,
+                      resilience::Deadline::unlimited()) ==
+        IoStatus::Ok;
 }
 
 bool
 readFrame(int fd, std::string &payload)
 {
-    unsigned char hdr[4];
-    if (!readAll(fd, hdr, sizeof(hdr)))
-        return false;
-    const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
-        (std::uint32_t{hdr[1]} << 16) | (std::uint32_t{hdr[2]} << 8) |
-        std::uint32_t{hdr[3]};
-    if (len > kMaxFrameBytes)
-        return false;
-    payload.resize(len);
-    return len == 0 || readAll(fd, payload.data(), len);
+    return readFrame(fd, payload,
+                     resilience::Deadline::unlimited()) ==
+        IoStatus::Ok;
+}
+
+std::string
+makeDeadlinePrefix(const resilience::Deadline &deadline)
+{
+    if (deadline.isUnlimited())
+        return {};
+    std::string out = "@deadline ";
+    out += std::to_string(std::max(deadline.remainingMillis(), 0));
+    out += '\n';
+    return out;
+}
+
+std::optional<std::uint64_t>
+peelDeadlineHeader(std::string_view &payload)
+{
+    constexpr std::string_view kTag = "@deadline ";
+    if (!payload.starts_with(kTag))
+        return std::nullopt;
+    const auto [line, rest] = splitFirstLine(payload);
+    const auto ms = parseUnsigned(line.substr(kTag.size()));
+    if (!ms)
+        return std::nullopt;
+    payload = rest;
+    return *ms;
 }
 
 std::vector<std::string_view>

@@ -27,11 +27,40 @@
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/resilience/resilience.hpp"
 
 namespace hwsw::serve {
 
 /** Upper bound on one frame; oversized frames end the connection. */
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Disposition of one socket I/O operation. */
+enum class IoStatus
+{
+    Ok,
+    Eof,     ///< peer closed (clean only at a frame boundary)
+    Error,   ///< transport error; the connection is dead
+    Timeout, ///< deadline expired mid-operation
+};
+
+/**
+ * recv(2) until @p len bytes arrive, retrying short counts and
+ * EINTR. The single read loop every component shares: frames, the
+ * client, and the server all funnel through here, so the
+ * `proto.read.err` / `proto.read.short` fault points and the
+ * deadline check cover every socket read in the process.
+ * @param deadline per-operation budget; nullptr blocks indefinitely.
+ */
+IoStatus readFull(int fd, void *buf, std::size_t len,
+                  const resilience::Deadline *deadline = nullptr);
+
+/**
+ * send(2) until @p len bytes are out (MSG_NOSIGNAL; partial writes
+ * and EINTR retried). Honors `proto.write.err` / `proto.write.short`
+ * and the deadline, like readFull.
+ */
+IoStatus writeFull(int fd, const void *buf, std::size_t len,
+                   const resilience::Deadline *deadline = nullptr);
 
 /**
  * Write one frame to a connected socket, retrying on partial writes
@@ -44,6 +73,30 @@ bool writeFrame(int fd, std::string_view payload);
  * oversized length prefix.
  */
 bool readFrame(int fd, std::string &payload);
+
+/** Deadline-aware frame write. */
+IoStatus writeFrame(int fd, std::string_view payload,
+                    const resilience::Deadline &deadline);
+
+/** Deadline-aware frame read. */
+IoStatus readFrame(int fd, std::string &payload,
+                   const resilience::Deadline &deadline);
+
+/**
+ * Deadline propagation header. A request payload may begin with a
+ * line "@deadline <ms>" announcing the client's remaining budget in
+ * milliseconds; the server sheds work whose budget has already
+ * lapsed instead of computing answers nobody is waiting for.
+ */
+std::string makeDeadlinePrefix(const resilience::Deadline &deadline);
+
+/**
+ * Peel a deadline header off @p payload if present.
+ * @return the announced budget in ms (nullopt when absent or
+ * malformed) with @p payload advanced past the header line.
+ */
+std::optional<std::uint64_t>
+peelDeadlineHeader(std::string_view &payload);
 
 /** Split on ASCII whitespace (for one request/response line). */
 std::vector<std::string_view> splitTokens(std::string_view line);

@@ -1,0 +1,72 @@
+#include "serve/resilience/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fault/fault.hpp"
+
+namespace hwsw::serve::resilience {
+
+Deadline
+Deadline::after(double seconds)
+{
+    Deadline d;
+    if (seconds <= 0.0)
+        return d;
+    d.unlimited_ = false;
+    d.at_ = Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(seconds));
+    return d;
+}
+
+double
+Deadline::remainingSeconds() const
+{
+    if (unlimited_)
+        return 1e18;
+    const double left =
+        std::chrono::duration<double>(at_ - Clock::now()).count() -
+        fault::skewPoint("clock.skew");
+    return std::max(left, 0.0);
+}
+
+int
+Deadline::remainingMillis() const
+{
+    if (unlimited_)
+        return -1;
+    const double ms = remainingSeconds() * 1e3;
+    if (ms <= 0.0)
+        return 0;
+    return static_cast<int>(std::min(std::ceil(ms), 2.0e9));
+}
+
+Backoff::Backoff(const RetryPolicy &policy, std::uint64_t jitter_seed)
+    : policy_(policy),
+      current_(std::max(policy.initialBackoff, 0.0)),
+      rng_(jitter_seed)
+{
+}
+
+double
+Backoff::nextDelaySeconds()
+{
+    ++retries_;
+    // SplitMix64 step for the jitter draw.
+    rng_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = rng_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;
+
+    const double jitter =
+        1.0 + policy_.jitterFrac * (2.0 * unit - 1.0);
+    const double delay = current_ * std::max(jitter, 0.0);
+    current_ = std::min(current_ * std::max(policy_.multiplier, 1.0),
+                        policy_.maxBackoff);
+    return std::min(delay, policy_.maxBackoff);
+}
+
+} // namespace hwsw::serve::resilience

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Client/server resilience primitives: deadlines and retry backoff.
+ *
+ * A Deadline is an absolute steady-clock point carried through an
+ * entire request attempt chain — connect, write, read, and every
+ * retry draw down the same budget, so a caller's "this request gets
+ * 250ms" holds regardless of how many reconnects happen inside.
+ * Deadline arithmetic consults the `clock.skew` fault point so tests
+ * can age a deadline without sleeping.
+ *
+ * Backoff implements capped exponential backoff with multiplicative
+ * jitter. Jitter is drawn from a caller-seeded stream: retry storms
+ * synchronize when every client backs off identically, and tests
+ * need the schedule reproducible.
+ */
+
+#ifndef HWSW_SERVE_RESILIENCE_RESILIENCE_HPP
+#define HWSW_SERVE_RESILIENCE_RESILIENCE_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace hwsw::serve::resilience {
+
+/** Absolute per-request time budget. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** A deadline @p seconds from now; <= 0 means unlimited. */
+    static Deadline after(double seconds);
+
+    /** No time limit. */
+    static Deadline unlimited() { return Deadline{}; }
+
+    bool isUnlimited() const { return unlimited_; }
+
+    /**
+     * Seconds left, clamped at 0. Applies the `clock.skew` fault
+     * point (positive skew ages the deadline). Huge when unlimited.
+     */
+    double remainingSeconds() const;
+
+    /**
+     * Milliseconds left rounded up (for poll(2) and the wire
+     * header); -1 when unlimited, 0 when expired.
+     */
+    int remainingMillis() const;
+
+    bool expired() const
+    {
+        return !unlimited_ && remainingSeconds() <= 0.0;
+    }
+
+  private:
+    Deadline() = default;
+    bool unlimited_ = true;
+    Clock::time_point at_{};
+};
+
+/** Retry policy for one logical request. */
+struct RetryPolicy
+{
+    /** Total attempts including the first; 1 disables retries. */
+    int maxAttempts = 3;
+
+    /** First backoff delay, seconds. */
+    double initialBackoff = 0.005;
+
+    /** Backoff cap, seconds. */
+    double maxBackoff = 0.25;
+
+    /** Delay growth per retry. */
+    double multiplier = 2.0;
+
+    /** Uniform jitter fraction in [0,1): delay * (1 +- jitter). */
+    double jitterFrac = 0.25;
+};
+
+/** Jittered exponential backoff schedule for one request. */
+class Backoff
+{
+  public:
+    explicit Backoff(const RetryPolicy &policy,
+                     std::uint64_t jitter_seed = 1);
+
+    /** Delay before the next retry, advancing the schedule. */
+    double nextDelaySeconds();
+
+    /** Retries attempted so far. */
+    int retries() const { return retries_; }
+
+  private:
+    RetryPolicy policy_;
+    double current_;
+    int retries_ = 0;
+    std::uint64_t rng_;
+};
+
+} // namespace hwsw::serve::resilience
+
+#endif // HWSW_SERVE_RESILIENCE_RESILIENCE_HPP

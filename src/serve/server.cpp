@@ -3,7 +3,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <new>
 #include <sstream>
+#include <thread>
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,9 +13,11 @@
 #include <unistd.h>
 
 #include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/parse.hpp"
 #include "core/serialize.hpp"
 #include "serve/protocol.hpp"
+#include "serve/resilience/resilience.hpp"
 
 namespace hwsw::serve {
 
@@ -50,7 +54,19 @@ verbOf(std::string_view name)
         return Verb::Observe;
     if (name == "stats")
         return Verb::Stats;
+    if (name == "health")
+        return Verb::Health;
     return Verb::Ping;
+}
+
+/** Accept errors worth retrying after a short pause. */
+bool
+acceptNeedsPause(int err)
+{
+    // fd/buffer exhaustion clears as connections close; retrying
+    // immediately would spin.
+    return err == EMFILE || err == ENFILE || err == ENOBUFS ||
+        err == ENOMEM;
 }
 
 } // namespace
@@ -145,11 +161,32 @@ void
 Server::acceptLoop()
 {
     for (;;) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+
+        int injected = 0;
+        if (fd >= 0 && fault::failPoint("serve.accept.fail", injected)) {
+            // Injected accept failure: drop the connection as a
+            // kernel refusing the accept would.
+            ::close(fd);
+            fd = -1;
+            errno = injected;
+        }
+
         if (fd < 0) {
-            if (errno == EINTR)
+            if (stopping_.load(std::memory_order_acquire))
+                return; // listener shut down by stop()
+            acceptRetries_.fetch_add(1, std::memory_order_relaxed);
+            if (errno == EINTR || errno == ECONNABORTED)
                 continue;
-            return; // listener closed (stop) or fatal accept error
+            // Treat everything else like resource exhaustion: pause
+            // so a persistent condition cannot spin the CPU, then
+            // try again. The loop is supervised — only stop() ends
+            // it, never a stray errno.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(acceptNeedsPause(errno)
+                                              ? 10
+                                              : 1));
+            continue;
         }
         if (stopping_.load(std::memory_order_acquire)) {
             ::close(fd);
@@ -218,6 +255,10 @@ Server::handleConnection(Connection *conn)
 std::string
 Server::dispatch(std::string_view payload, bool &close_conn)
 {
+    // Peel the client's deadline announcement (if any) before verb
+    // parsing; it applies to whatever verb follows.
+    const auto deadline_ms = peelDeadlineHeader(payload);
+
     const auto [line, body] = splitFirstLine(payload);
     const std::vector<std::string_view> tokens = splitTokens(line);
     if (tokens.empty())
@@ -227,29 +268,64 @@ Server::dispatch(std::string_view payload, bool &close_conn)
     const std::span<const std::string_view> args(tokens.data() + 1,
                                                  tokens.size() - 1);
     const Verb verb = verbOf(verb_token);
+
+    // Anchor the announced budget at arrival, then model queueing
+    // delay (the skew fault stands in for time spent waiting before
+    // dispatch). Shed work nobody is waiting for: once the client's
+    // budget is spent, any answer we compute is wasted capacity.
+    if (deadline_ms) {
+        const auto deadline = resilience::Deadline::after(
+            static_cast<double>(*deadline_ms) / 1e3);
+        const double delay = fault::skewPoint("serve.dispatch.delay");
+        if (delay > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+        if (*deadline_ms == 0 || deadline.expired()) {
+            latency_.recordExpired(verb);
+            return "expired";
+        }
+    } else if (const double delay =
+                   fault::skewPoint("serve.dispatch.delay");
+               delay > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
 
     std::string response;
     std::uint64_t items = 1;
-    if (verb_token == "ping") {
-        response = "ok pong";
-    } else if (verb_token == "quit") {
-        close_conn = true;
-        response = "ok bye";
-    } else if (verb_token == "predict") {
-        response = handlePredict(args);
-    } else if (verb_token == "batch") {
-        response = handleBatch(args, body);
-    } else if (verb_token == "load") {
-        response = handleLoad(args, body);
-    } else if (verb_token == "swap") {
-        response = handleSwap(args);
-    } else if (verb_token == "observe") {
-        response = handleObserve(args);
-    } else if (verb_token == "stats") {
-        response = "ok\n" + statsReport();
-    } else {
-        response = errorResponse("unknown verb");
+    try {
+        if (fault::point("serve.dispatch.alloc"))
+            throw std::bad_alloc();
+        if (verb_token == "ping") {
+            response = "ok pong";
+        } else if (verb_token == "quit") {
+            close_conn = true;
+            response = "ok bye";
+        } else if (verb_token == "predict") {
+            response = handlePredict(args);
+        } else if (verb_token == "batch") {
+            response = handleBatch(args, body);
+        } else if (verb_token == "load") {
+            response = handleLoad(args, body);
+        } else if (verb_token == "swap") {
+            response = handleSwap(args);
+        } else if (verb_token == "observe") {
+            response = handleObserve(args);
+        } else if (verb_token == "stats") {
+            response = "ok\n" + statsReport();
+        } else if (verb_token == "health") {
+            response = healthReport();
+        } else {
+            response = errorResponse("unknown verb");
+        }
+    } catch (const std::bad_alloc &) {
+        // Allocation failure poisons one request, not the server: the
+        // handler's partial work unwound, the connection lives on.
+        response = errorResponse("internal out-of-memory");
+    } catch (const std::exception &e) {
+        response = errorResponse(std::string("internal ") + e.what());
     }
 
     // Shed responses are accounted separately so the histogram keeps
@@ -400,6 +476,24 @@ Server::handleObserve(std::span<const std::string_view> args)
         return "shed";
     const UpdaterStats st = updater_->stats();
     return "ok queued " + std::to_string(st.queueDepth);
+}
+
+std::string
+Server::healthReport() const
+{
+    // One line, cheap to produce and parse: liveness plus the load
+    // signals a balancer needs to steer traffic away from an
+    // overloaded or degraded instance.
+    std::ostringstream os;
+    const std::size_t inflight = engine_.inFlight();
+    const std::size_t capacity = engine_.options().capacity;
+    const bool overloaded = capacity > 0 && inflight >= capacity;
+    os << "ok " << (overloaded ? "overloaded" : "healthy")
+       << " models " << registry_->list().size() << " inflight "
+       << inflight << " capacity " << capacity << " accepted "
+       << connectionsAccepted() << " accept-retries "
+       << acceptRetries();
+    return os.str();
 }
 
 std::string

@@ -91,10 +91,19 @@ class Server
     /** The text served by the `stats` verb. */
     std::string statsReport() const;
 
+    /** The one-line report served by the `health` verb. */
+    std::string healthReport() const;
+
     /** Connections accepted over the server's lifetime. */
     std::uint64_t connectionsAccepted() const
     {
         return connectionsAccepted_.load(std::memory_order_relaxed);
+    }
+
+    /** accept() failures the supervised loop retried through. */
+    std::uint64_t acceptRetries() const
+    {
+        return acceptRetries_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -135,6 +144,7 @@ class Server
     std::mutex connMutex_;
     std::list<std::unique_ptr<Connection>> connections_;
     std::atomic<std::uint64_t> connectionsAccepted_{0};
+    std::atomic<std::uint64_t> acceptRetries_{0};
 };
 
 } // namespace hwsw::serve

@@ -57,14 +57,62 @@ OnlineUpdater::enqueue(core::ProfileRecord rec)
 {
     {
         std::lock_guard lock(mutex_);
-        if (stopping_ || !running_ || queue_.size() >= maxQueue_) {
-            ++stats_.rejected;
+        if (!enqueueLocked(std::move(rec), /*journal=*/true))
             return false;
-        }
-        queue_.push_back(std::move(rec));
     }
     ready_.notify_one();
     return true;
+}
+
+bool
+OnlineUpdater::enqueueLocked(core::ProfileRecord rec, bool journal)
+{
+    if (stopping_ || !running_ || queue_.size() >= maxQueue_) {
+        ++stats_.rejected;
+        return false;
+    }
+    // Write-ahead: the observation must be durable before it is
+    // acknowledged, so a crash after the accept cannot lose it.
+    if (journal && journal_ && !journal_->append(rec)) {
+        ++stats_.rejected;
+        ++stats_.journalErrors;
+        return false;
+    }
+    queue_.push_back(std::move(rec));
+    return true;
+}
+
+void
+OnlineUpdater::attachJournal(std::unique_ptr<ObservationJournal> journal)
+{
+    std::lock_guard lock(mutex_);
+    panicIf(running_, "attachJournal must precede start()");
+    journal_ = std::move(journal);
+}
+
+std::size_t
+OnlineUpdater::replayJournal(const std::string &path)
+{
+    std::size_t replayed = 0;
+    ObservationJournal::replay(
+        path, [&](const core::ProfileRecord &rec) {
+            {
+                std::unique_lock lock(mutex_);
+                // A full queue is backpressure, not loss: wait for
+                // the worker to catch up rather than dropping
+                // journaled history.
+                idle_.wait(lock, [&] {
+                    return queue_.size() < maxQueue_ || stopping_;
+                });
+                if (!enqueueLocked(rec, /*journal=*/false))
+                    return;
+                ++stats_.replayed;
+                ++replayed;
+            }
+            ready_.notify_one();
+        });
+    drain();
+    return replayed;
 }
 
 void

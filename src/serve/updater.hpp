@@ -17,6 +17,13 @@
  * The queue is bounded: when re-specification falls behind a flood
  * of observations, enqueue refuses instead of growing without limit,
  * mirroring the engine's admission policy.
+ *
+ * With a journal attached the updater is crash-safe: enqueue appends
+ * each observation to the write-ahead ObservationJournal before
+ * accepting it, and replayJournal() re-feeds a previous process's
+ * log through the same queue on restart. Since the manager's state
+ * is a deterministic function of the observation sequence, the
+ * rebuilt model matches the uninterrupted run exactly.
  */
 
 #ifndef HWSW_SERVE_UPDATER_HPP
@@ -31,6 +38,7 @@
 #include <thread>
 
 #include "core/manager.hpp"
+#include "serve/journal.hpp"
 #include "serve/registry.hpp"
 
 namespace hwsw::serve {
@@ -44,6 +52,8 @@ struct UpdaterStats
     std::uint64_t updates = 0;    ///< re-specifications completed
     std::uint64_t published = 0;  ///< versions pushed to the registry
     std::uint64_t rejected = 0;   ///< enqueue refusals (queue full/stopped)
+    std::uint64_t journalErrors = 0; ///< refusals from failed WAL appends
+    std::uint64_t replayed = 0;   ///< records re-fed from the journal
     std::size_t queueDepth = 0;   ///< profiles waiting right now
 };
 
@@ -79,6 +89,22 @@ class OnlineUpdater
      */
     bool enqueue(core::ProfileRecord rec);
 
+    /**
+     * Attach a write-ahead journal. Must be called before start().
+     * Once attached, every accepted observation is durably appended
+     * first; a failed append refuses the observation.
+     */
+    void attachJournal(std::unique_ptr<ObservationJournal> journal);
+
+    /**
+     * Re-feed a previous process's journal through the queue (each
+     * record is enqueued without being re-journaled). Call after
+     * start(); blocks until every replayed record is consumed, so
+     * the rebuilt model is ready before new traffic interleaves.
+     * @return the number of records replayed.
+     */
+    std::size_t replayJournal(const std::string &path);
+
     /** Block until every queued observation has been consumed. */
     void drain();
 
@@ -88,8 +114,10 @@ class OnlineUpdater
 
   private:
     void workerLoop();
+    bool enqueueLocked(core::ProfileRecord rec, bool journal);
 
     std::unique_ptr<core::ModelManager> manager_;
+    std::unique_ptr<ObservationJournal> journal_;
     std::shared_ptr<ModelRegistry> registry_;
     std::thread worker_;
     const std::string modelName_;

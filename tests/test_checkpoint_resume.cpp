@@ -1,0 +1,286 @@
+// Crash-safe checkpoint tests: RNG state snapshots, checkpoint text
+// round trips, atomic file replacement under injected write/rename
+// faults, and the headline guarantee — a genetic search resumed from
+// a mid-run checkpoint reproduces the uninterrupted run's best
+// model, final population, and history bit-identically. Part of the
+// tier15_fault aggregate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+namespace {
+
+class CheckpointResume : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clean(); }
+    void TearDown() override
+    {
+        clean();
+        std::remove(path().c_str());
+    }
+
+    static void clean()
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    static std::string path()
+    {
+        return testing::TempDir() + "hwsw_test_checkpoint.txt";
+    }
+};
+
+/** Two-app dataset a tiny GA separates in a few generations. */
+Dataset
+searchData(std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a1", "a2"}) {
+        for (int i = 0; i < 60; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[1] = (app[1] == '1' ? 0.05 : 0.15) +
+                rng.nextUniform(0.0, 0.1);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+                3.0 / r.vars[kNumSw];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+GaOptions
+searchOpts()
+{
+    GaOptions o;
+    o.populationSize = 10;
+    o.generations = 5;
+    o.numThreads = 1;
+    o.seed = 5;
+    return o;
+}
+
+SearchCheckpoint
+sampleCheckpoint()
+{
+    SearchCheckpoint cp;
+    cp.nextGeneration = 7;
+
+    Rng rng(3);
+    rng.nextGaussian(); // leave a cached Box-Muller variate live
+    cp.rng = rng.state();
+
+    ModelSpec s1;
+    s1.genes[0] = 1;
+    s1.genes[5] = 4;
+    s1.interactions = {{0, 5}};
+    s1.normalize();
+    cp.population.push_back(s1);
+    cp.population.push_back(ModelSpec::random(rng, 0.4, 6));
+
+    GenerationStats g;
+    g.generation = 0;
+    g.bestFitness = 1.0 / 3.0;
+    g.meanFitness = 0.75;
+    g.bestSumMedianError = 1e-3;
+    g.wallSeconds = 2.5;
+    g.cacheHits = 3;
+    g.cacheMisses = 17;
+    cp.history.push_back(g);
+    g.generation = 1;
+    g.bestFitness = 0.25;
+    cp.history.push_back(g);
+    return cp;
+}
+
+TEST_F(CheckpointResume, RngStateResumesMidStream)
+{
+    Rng original(42);
+    original.nextGaussian(); // odd draw count: cached variate live
+    original.nextDouble();
+    original.nextInt(100);
+
+    const RngState snap = original.state();
+    Rng restored(7); // different seed; state overrides it entirely
+    restored.setState(snap);
+    EXPECT_EQ(restored.state(), snap);
+
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(original(), restored());
+        EXPECT_EQ(original.nextGaussian(), restored.nextGaussian());
+        EXPECT_EQ(original.nextDouble(), restored.nextDouble());
+    }
+}
+
+TEST_F(CheckpointResume, CheckpointTextRoundTripsExactly)
+{
+    const SearchCheckpoint cp = sampleCheckpoint();
+    const std::string text = saveCheckpointToString(cp);
+    const SearchCheckpoint back = loadCheckpointFromString(text);
+
+    EXPECT_EQ(back.nextGeneration, cp.nextGeneration);
+    EXPECT_EQ(back.rng, cp.rng);
+    ASSERT_EQ(back.population.size(), cp.population.size());
+    for (std::size_t i = 0; i < cp.population.size(); ++i)
+        EXPECT_EQ(back.population[i], cp.population[i]);
+    ASSERT_EQ(back.history.size(), cp.history.size());
+    for (std::size_t i = 0; i < cp.history.size(); ++i) {
+        EXPECT_EQ(back.history[i].generation,
+                  cp.history[i].generation);
+        EXPECT_EQ(back.history[i].bestFitness,
+                  cp.history[i].bestFitness);
+        EXPECT_EQ(back.history[i].meanFitness,
+                  cp.history[i].meanFitness);
+        EXPECT_EQ(back.history[i].bestSumMedianError,
+                  cp.history[i].bestSumMedianError);
+        EXPECT_EQ(back.history[i].cacheHits, cp.history[i].cacheHits);
+    }
+}
+
+TEST_F(CheckpointResume, MalformedCheckpointThrows)
+{
+    EXPECT_THROW(loadCheckpointFromString("not a checkpoint"),
+                 FatalError);
+
+    // Truncation anywhere before the sentinel is detected.
+    const std::string text =
+        saveCheckpointToString(sampleCheckpoint());
+    const std::size_t end = text.rfind("end");
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_THROW(loadCheckpointFromString(text.substr(0, end)),
+                 FatalError);
+    EXPECT_THROW(loadCheckpointFromString(text.substr(0, end / 2)),
+                 FatalError);
+}
+
+TEST_F(CheckpointResume, MissingFileLoadsAsNullopt)
+{
+    std::string err;
+    const auto cp =
+        loadCheckpointFromFile(path() + ".does-not-exist", &err);
+    EXPECT_FALSE(cp.has_value());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(CheckpointResume, CrashedSaveKeepsPreviousCheckpoint)
+{
+    SearchCheckpoint first = sampleCheckpoint();
+    first.nextGeneration = 3;
+    ASSERT_TRUE(saveCheckpointToFile(first, path()));
+
+    SearchCheckpoint second = sampleCheckpoint();
+    second.nextGeneration = 4;
+
+    // A crash at rename time (new contents written, replace lost)
+    // and a torn data write must both leave the old file intact.
+    for (const char *spec :
+         {"fsio.rename.drop:once", "fsio.write.torn:once"}) {
+        std::string err;
+        ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(spec,
+                                                             &err))
+            << err;
+        fault::FaultRegistry::instance().setEnabled(true);
+        EXPECT_FALSE(saveCheckpointToFile(second, path(), &err))
+            << spec;
+        EXPECT_FALSE(err.empty());
+        clean();
+
+        const auto back = loadCheckpointFromFile(path());
+        ASSERT_TRUE(back.has_value()) << spec;
+        EXPECT_EQ(back->nextGeneration, 3u) << spec;
+    }
+
+    // With faults gone the save replaces the file normally.
+    ASSERT_TRUE(saveCheckpointToFile(second, path()));
+    EXPECT_EQ(loadCheckpointFromFile(path())->nextGeneration, 4u);
+}
+
+TEST_F(CheckpointResume, ResumeReproducesRunBitIdentically)
+{
+    // The uninterrupted reference run.
+    const Dataset data = searchData(11);
+    const GaOptions opts = searchOpts();
+    GeneticSearch full(data, opts);
+    const GaResult a = full.run();
+    ASSERT_EQ(a.history.size(), opts.generations);
+
+    // A "crashed" run: same search, killed after generation 1 (its
+    // generations knob only bounds how far it got; the bred stream
+    // is identical while both runs are alive). The checkpoint on
+    // disk is what the crash left behind.
+    GaOptions crashed = opts;
+    crashed.generations = 3;
+    crashed.checkpointPath = path();
+    GeneticSearch partial(data, crashed);
+    (void)partial.run();
+
+    const auto cp = loadCheckpointFromFile(path());
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_EQ(cp->nextGeneration, 2u);
+    ASSERT_EQ(cp->population.size(), opts.populationSize);
+    ASSERT_EQ(cp->history.size(), 2u);
+
+    // Restart: a fresh search over the same data and options picks
+    // up from the checkpoint and must land exactly where the
+    // uninterrupted run did.
+    GeneticSearch resumed(data, opts);
+    const GaResult b = resumed.resume(*cp);
+
+    EXPECT_EQ(b.best.spec, a.best.spec);
+    EXPECT_EQ(b.best.fitness, a.best.fitness);
+    EXPECT_EQ(b.best.sumMedianError, a.best.sumMedianError);
+
+    ASSERT_EQ(b.population.size(), a.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        EXPECT_EQ(b.population[i].spec, a.population[i].spec) << i;
+        EXPECT_EQ(b.population[i].fitness, a.population[i].fitness)
+            << i;
+    }
+
+    // History covers all generations; every deterministic field
+    // matches (wall times and cache counters legitimately differ —
+    // the resumed run starts with a cold memo cache).
+    ASSERT_EQ(b.history.size(), a.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(b.history[i].generation, a.history[i].generation);
+        EXPECT_EQ(b.history[i].bestFitness, a.history[i].bestFitness)
+            << i;
+        EXPECT_EQ(b.history[i].meanFitness, a.history[i].meanFitness)
+            << i;
+        EXPECT_EQ(b.history[i].bestSumMedianError,
+                  a.history[i].bestSumMedianError)
+            << i;
+    }
+}
+
+TEST_F(CheckpointResume, ResumeValidatesCheckpointShape)
+{
+    const Dataset data = searchData(11);
+    GeneticSearch search(data, searchOpts());
+
+    SearchCheckpoint bad;
+    bad.nextGeneration = 1;
+    bad.population.resize(3); // wrong population size
+    EXPECT_THROW(search.resume(bad), FatalError);
+
+    SearchCheckpoint past;
+    past.nextGeneration = 99; // beyond the configured generations
+    past.population.resize(searchOpts().populationSize);
+    EXPECT_THROW(search.resume(past), FatalError);
+}
+
+} // namespace
+} // namespace hwsw::core

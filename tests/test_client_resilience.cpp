@@ -1,0 +1,233 @@
+// End-to-end resilience tests for the serving client and server
+// under injected faults: short socket I/O, transient read errors,
+// client-side deadlines, server-side expiry shedding, accept-loop
+// supervision, and allocation-failure containment. Part of the
+// tier15_fault aggregate (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+#include "serve_test_util.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+class ClientResilience : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        clean();
+        registry = std::make_shared<ModelRegistry>();
+        registry->publish("default", testutil::makeModel(), "boot");
+        ServerOptions opts;
+        opts.engine.threads = 2;
+        server = std::make_unique<Server>(registry, opts);
+        server->start();
+    }
+
+    void TearDown() override
+    {
+        // Disarm before stop(): the server must not keep tripping
+        // faults while tearing down, and later suites must start
+        // from a quiet registry.
+        clean();
+        server->stop();
+    }
+
+    static void clean()
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    static void armAndEnable(std::string_view spec)
+    {
+        std::string err;
+        ASSERT_TRUE(
+            fault::FaultRegistry::instance().armSpec(spec, &err))
+            << err;
+        fault::FaultRegistry::instance().setEnabled(true);
+    }
+
+    Client connect(ClientOptions opts = {}) const
+    {
+        return Client("127.0.0.1", server->port(), opts);
+    }
+
+    std::shared_ptr<ModelRegistry> registry;
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ClientResilience, ShortIoKeepsPredictionsBitExact)
+{
+    // Every read and write on both sides trickles one byte at a time;
+    // the shared readFull/writeFull loops must reassemble frames with
+    // no corruption — predictions stay bit-identical to the local
+    // model.
+    armAndEnable("proto.read.short");
+    armAndEnable("proto.write.short");
+
+    Client c = connect();
+    const SnapshotPtr snap = registry->lookup("default");
+    Rng rng(1);
+    for (int i = 0; i < 8; ++i) {
+        const FeatureVector row = testutil::makeRow(rng);
+        const ClientPrediction out = c.predict("default", row);
+        ASSERT_TRUE(out.ok) << out.error;
+        ASSERT_EQ(out.values.size(), 1u);
+        EXPECT_EQ(out.values[0],
+                  snap->model.predict(testutil::rowRecord(row)));
+    }
+
+    // Batches exercise larger frames through the same byte trickle.
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 16; ++i)
+        rows.push_back(testutil::makeRow(rng));
+    const ClientPrediction batch = c.predictBatch("default", rows);
+    ASSERT_TRUE(batch.ok) << batch.error;
+    ASSERT_EQ(batch.values.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(batch.values[i],
+                  snap->model.predict(testutil::rowRecord(rows[i])));
+    c.quit();
+}
+
+TEST_F(ClientResilience, TransientReadErrorIsRetriedToSuccess)
+{
+    // One injected read error (whichever side's read reaches the
+    // point first) kills the connection mid-request; the idempotent
+    // predict must reconnect, retry, and still answer correctly.
+    armAndEnable("proto.read.err:once,errno=104");
+
+    Client c = connect();
+    Rng rng(2);
+    const FeatureVector row = testutil::makeRow(rng);
+    const ClientPrediction out = c.predict("default", row);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.values[0],
+              registry->lookup("default")->model.predict(
+                  testutil::rowRecord(row)));
+    EXPECT_GE(out.attempts, 2);
+
+    const ClientStats &st = c.transportStats();
+    EXPECT_GE(st.retries, 1u);
+    EXPECT_GE(st.reconnects, 1u);
+    c.quit();
+}
+
+TEST_F(ClientResilience, RequestDeadlineTimesOutClientSide)
+{
+    // The server stalls (injected dispatch delay) far past the
+    // client's request budget: predict must come back classified as
+    // timedOut instead of hanging or throwing.
+    armAndEnable("serve.dispatch.delay:skew=0.3");
+
+    ClientOptions opts;
+    opts.requestTimeout = 0.05;
+    opts.retry.maxAttempts = 1;
+    Client c = connect(opts);
+    Rng rng(3);
+    const ClientPrediction out =
+        c.predict("default", testutil::makeRow(rng));
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.timedOut);
+    EXPECT_FALSE(out.error.empty());
+    EXPECT_GE(c.transportStats().timeouts, 1u);
+}
+
+TEST_F(ClientResilience, ServerShedsAlreadyExpiredWork)
+{
+    // Drive the wire directly: a request announcing a zero remaining
+    // budget must be shed with "expired" before any model work, and
+    // accounted in the expired counter — not in errors.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    Rng rng(4);
+    const std::string request =
+        "@deadline 0\n" +
+        makePredictRequest("default", testutil::makeRow(rng));
+    ASSERT_TRUE(writeFrame(fd, request));
+    std::string response;
+    ASSERT_TRUE(readFrame(fd, response));
+    EXPECT_EQ(response, "expired");
+
+    // The same session still serves live-budget requests.
+    ASSERT_TRUE(writeFrame(fd, makePingRequest()));
+    ASSERT_TRUE(readFrame(fd, response));
+    EXPECT_EQ(response, "ok pong");
+    ::close(fd);
+
+    const VerbSummary s = server->latency().summary(Verb::Predict);
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.errors, 0u);
+}
+
+TEST_F(ClientResilience, AcceptFaultIsSupervisedAndRetried)
+{
+    // The kernel completes the TCP handshake, then the injected
+    // accept failure drops the connection server-side. The accept
+    // loop must log a retry and keep serving; the client sees a dead
+    // session and transparently reconnects.
+    armAndEnable("serve.accept.fail:once,errno=24");
+
+    Client c = connect();
+    EXPECT_TRUE(c.ping());
+    EXPECT_GE(server->acceptRetries(), 1u);
+    EXPECT_GE(c.transportStats().reconnects, 1u);
+    EXPECT_TRUE(server->running());
+    c.quit();
+}
+
+TEST_F(ClientResilience, AllocationFailurePoisonsOneRequestOnly)
+{
+    armAndEnable("serve.dispatch.alloc:once");
+
+    Client c = connect();
+    Rng rng(5);
+    const FeatureVector row = testutil::makeRow(rng);
+    const ClientPrediction bad = c.predict("default", row);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.find("out-of-memory"), std::string::npos)
+        << bad.error;
+
+    // The connection and the server both survive the unwound request.
+    const ClientPrediction good = c.predict("default", row);
+    ASSERT_TRUE(good.ok) << good.error;
+    EXPECT_TRUE(server->running());
+    c.quit();
+}
+
+TEST_F(ClientResilience, HealthVerbReportsServingState)
+{
+    Client c = connect();
+    const std::string line = c.health();
+    EXPECT_TRUE(line.starts_with("ok healthy")) << line;
+    EXPECT_NE(line.find("models 1"), std::string::npos) << line;
+    EXPECT_NE(line.find("accept-retries"), std::string::npos) << line;
+    c.quit();
+}
+
+} // namespace
+} // namespace hwsw::serve

@@ -1,0 +1,222 @@
+// Unit tests for the fault-injection registry: the global gate, the
+// per-point trip disciplines (every hit, every-Nth, one-shot,
+// probabilistic), spec-string parsing, and the site helpers. The
+// registry is process-global, so every test starts and ends from a
+// clean, disabled state.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include "common/fault/fault.hpp"
+
+namespace hwsw {
+namespace {
+
+class FaultRegistry : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clean(); }
+    void TearDown() override { clean(); }
+
+    static fault::FaultRegistry &reg()
+    {
+        return fault::FaultRegistry::instance();
+    }
+
+    static void clean()
+    {
+        reg().reset();
+        reg().setEnabled(false);
+    }
+};
+
+TEST_F(FaultRegistry, DisabledGateIsInert)
+{
+    reg().arm("t.gate");
+    // Gate off: the site helper returns false without consulting the
+    // registry, so the armed point never even counts a hit.
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::point("t.gate"));
+    EXPECT_EQ(reg().stats("t.gate").hits, 0u);
+    EXPECT_EQ(reg().stats("t.gate").trips, 0u);
+}
+
+TEST_F(FaultRegistry, ArmedPointTripsEveryHit)
+{
+    reg().setEnabled(true);
+    reg().arm("t.always");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(fault::point("t.always"));
+    const fault::PointStats st = reg().stats("t.always");
+    EXPECT_EQ(st.hits, 3u);
+    EXPECT_EQ(st.trips, 3u);
+    EXPECT_TRUE(st.armed);
+}
+
+TEST_F(FaultRegistry, UnarmedNameNeverTrips)
+{
+    reg().setEnabled(true);
+    EXPECT_FALSE(fault::point("t.ghost"));
+    EXPECT_EQ(reg().stats("t.ghost").hits, 0u);
+}
+
+TEST_F(FaultRegistry, EveryNthTripsOnSchedule)
+{
+    reg().setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.everyNth = 3;
+    reg().arm("t.nth", cfg);
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(fault::point("t.nth"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false,
+                                        false, true}));
+    EXPECT_EQ(reg().stats("t.nth").trips, 2u);
+}
+
+TEST_F(FaultRegistry, OneShotDisarmsAfterFirstTrip)
+{
+    reg().setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.oneShot = true;
+    reg().arm("t.once", cfg);
+    EXPECT_TRUE(fault::point("t.once"));
+    EXPECT_FALSE(fault::point("t.once"));
+    EXPECT_FALSE(fault::point("t.once"));
+    const fault::PointStats st = reg().stats("t.once");
+    EXPECT_EQ(st.trips, 1u);
+    EXPECT_EQ(st.hits, 1u); // unarmed hits are not counted
+    EXPECT_FALSE(st.armed);
+}
+
+TEST_F(FaultRegistry, ProbabilityStreamIsSeedDeterministic)
+{
+    reg().setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.probability = 0.5;
+    reg().arm("t.prob", cfg);
+
+    auto draw = [&] {
+        std::vector<bool> out;
+        reg().reseed(123);
+        for (int i = 0; i < 64; ++i)
+            out.push_back(fault::point("t.prob"));
+        return out;
+    };
+    const std::vector<bool> first = draw();
+    const std::vector<bool> second = draw();
+    EXPECT_EQ(first, second);
+
+    // p=0.5 over 64 trials: all-trips or no-trips means the
+    // probability gate is not being consulted at all.
+    int trips = 0;
+    for (const bool b : first)
+        trips += b ? 1 : 0;
+    EXPECT_GT(trips, 0);
+    EXPECT_LT(trips, 64);
+}
+
+TEST_F(FaultRegistry, FailPointYieldsConfiguredErrno)
+{
+    reg().setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.errnoValue = ECONNRESET;
+    reg().arm("t.io", cfg);
+    int err = 0;
+    EXPECT_TRUE(fault::failPoint("t.io", err));
+    EXPECT_EQ(err, ECONNRESET);
+
+    // Unarmed points never fire and default to EIO if queried.
+    err = 0;
+    EXPECT_FALSE(fault::failPoint("t.other", err));
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(reg().errnoFor("t.other"), EIO);
+}
+
+TEST_F(FaultRegistry, SkewPointYieldsConfiguredSeconds)
+{
+    reg().setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.skewSeconds = 1.5;
+    reg().arm("t.skew", cfg);
+    EXPECT_DOUBLE_EQ(fault::skewPoint("t.skew"), 1.5);
+    EXPECT_DOUBLE_EQ(fault::skewPoint("t.noskew"), 0.0);
+}
+
+TEST_F(FaultRegistry, ArmSpecParsesEveryOption)
+{
+    // Behavior, not introspection: each knob is observable through
+    // the trip discipline or the site helpers.
+    EXPECT_TRUE(reg().armSpec("t.nth:nth=2,once"));
+    EXPECT_TRUE(reg().armSpec("t.knobs:errno=104,skew=1.5"));
+    EXPECT_TRUE(reg().armSpec("t.plain"));
+    reg().setEnabled(true);
+
+    EXPECT_FALSE(fault::point("t.nth")); // hit 1 of 2
+    EXPECT_TRUE(fault::point("t.nth"));  // hit 2 trips...
+    EXPECT_FALSE(fault::point("t.nth")); // ...and once disarmed it
+
+    EXPECT_EQ(reg().errnoFor("t.knobs"), 104);
+    EXPECT_DOUBLE_EQ(reg().skewFor("t.knobs"), 1.5);
+    EXPECT_TRUE(fault::point("t.plain"));
+}
+
+TEST_F(FaultRegistry, ArmSpecRejectsMalformedSpecs)
+{
+    const char *bad[] = {
+        "",          ":p=1",      "x:p=nope", "x:p=1.5",
+        "x:p=-0.1",  "x:nth=0",   "x:nth=a",  "x:errno=0",
+        "x:errno=-1", "x:skew=z", "x:wat=1",
+    };
+    for (const char *spec : bad) {
+        std::string err;
+        EXPECT_FALSE(reg().armSpec(spec, &err)) << spec;
+        EXPECT_FALSE(err.empty()) << spec;
+    }
+    // A malformed spec must not half-arm the point.
+    reg().setEnabled(true);
+    EXPECT_FALSE(fault::point("x"));
+}
+
+TEST_F(FaultRegistry, DisarmStopsTripsAndRearmReplacesConfig)
+{
+    reg().setEnabled(true);
+    reg().arm("t.flip");
+    EXPECT_TRUE(fault::point("t.flip"));
+    reg().disarm("t.flip");
+    EXPECT_FALSE(fault::point("t.flip"));
+
+    fault::PointConfig cfg;
+    cfg.everyNth = 2;
+    reg().arm("t.flip", cfg); // re-arm with a new discipline
+    EXPECT_TRUE(fault::point("t.flip")); // hit 2 overall: trips
+    EXPECT_FALSE(fault::point("t.flip"));
+}
+
+TEST_F(FaultRegistry, ResetClearsEveryPoint)
+{
+    reg().setEnabled(true);
+    reg().arm("t.a");
+    reg().arm("t.b");
+    EXPECT_TRUE(fault::point("t.a"));
+    reg().reset();
+    EXPECT_FALSE(fault::point("t.a"));
+    EXPECT_FALSE(fault::point("t.b"));
+    EXPECT_TRUE(reg().all().empty());
+}
+
+TEST_F(FaultRegistry, AllListsPointsSortedByName)
+{
+    reg().arm("t.zz");
+    reg().arm("t.aa");
+    const auto all = reg().all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].first, "t.aa");
+    EXPECT_EQ(all[1].first, "t.zz");
+    EXPECT_TRUE(all[0].second.armed);
+}
+
+} // namespace
+} // namespace hwsw

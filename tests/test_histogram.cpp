@@ -145,6 +145,52 @@ TEST(Histogram, MergeRejectsMismatchedBinning)
     EXPECT_THROW(a.merge(c), PanicError);
 }
 
+TEST(Histogram, MergeDisjointRangesSpansBoth)
+{
+    // Per-thread recorders whose samples never overlapped: the merge
+    // must report quantiles spanning both populations.
+    Histogram lo(0.0, 10.0, 100), hi(0.0, 10.0, 100);
+    for (int i = 0; i < 50; ++i) {
+        lo.add(1.0 + 0.001 * i);
+        hi.add(9.0 + 0.001 * i);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.total(), 100u);
+    EXPECT_LT(lo.quantile(0.25), 2.0);
+    EXPECT_GT(lo.quantile(0.75), 8.9);
+    // The median sits at the boundary between the two populations.
+    EXPECT_GE(lo.quantile(0.5), 1.0);
+    EXPECT_LE(lo.quantile(0.5), 9.1);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram a(0.0, 10.0, 10), empty(0.0, 10.0, 10);
+    a.add(4.5);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.count(4), 1u);
+
+    // Merging into an empty histogram copies the counts over.
+    empty.merge(a);
+    EXPECT_EQ(empty.total(), 1u);
+    EXPECT_EQ(empty.count(4), 1u);
+}
+
+TEST(Histogram, QuantileExtremesClampToOccupiedBins)
+{
+    // q=0 and q=1 must answer from the first/last occupied bin, not
+    // the histogram's configured range.
+    Histogram h(0.0, 100.0, 100);
+    h.add(40.5);
+    h.add(41.5);
+    h.add(42.5);
+    EXPECT_GE(h.quantile(0.0), 40.0);
+    EXPECT_LE(h.quantile(0.0), 41.0);
+    EXPECT_GE(h.quantile(1.0), 42.0);
+    EXPECT_LE(h.quantile(1.0), 43.0);
+}
+
 TEST(Log2Histogram, PowerOfTwoBinning)
 {
     Log2Histogram h(10);

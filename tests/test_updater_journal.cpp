@@ -1,0 +1,346 @@
+// Write-ahead journal tests for the online updater: checksummed
+// record round trips, corruption and torn-tail handling, the
+// acknowledged-implies-journaled refusal path under injected append
+// faults, and the kill-9 guarantee — replaying a dead process's
+// journal into a fresh manager rebuilds a model identical to the
+// uninterrupted run's. Part of the tier15_fault aggregate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault/fault.hpp"
+#include "core/manager.hpp"
+#include "core/serialize.hpp"
+#include "serve/journal.hpp"
+#include "serve/registry.hpp"
+#include "serve/updater.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+class UpdaterJournal : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clean(); }
+    void TearDown() override
+    {
+        clean();
+        std::remove(path().c_str());
+    }
+
+    static void clean()
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    static std::string path()
+    {
+        return testing::TempDir() + "hwsw_test_journal.log";
+    }
+};
+
+core::ProfileRecord
+gnarlyRecord()
+{
+    core::ProfileRecord rec;
+    rec.app = "novel";
+    rec.shardIndex = 3;
+    rec.vars[0] = 1.0 / 3.0;
+    rec.vars[1] = 1e-300;
+    rec.vars[5] = -2.5e17;
+    rec.vars[core::kNumSw] = 8;
+    rec.perf = 0.1 + 1.0 / 7.0;
+    return rec;
+}
+
+void
+expectRecordsEqual(const core::ProfileRecord &a,
+                   const core::ProfileRecord &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.shardIndex, b.shardIndex);
+    for (std::size_t i = 0; i < core::kNumVars; ++i)
+        EXPECT_EQ(a.vars[i], b.vars[i]) << "var " << i;
+    EXPECT_EQ(a.perf, b.perf);
+}
+
+TEST_F(UpdaterJournal, RecordRoundTripsBitExactly)
+{
+    const core::ProfileRecord rec = gnarlyRecord();
+    const std::string line = ObservationJournal::formatRecord(rec);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    core::ProfileRecord back;
+    ASSERT_TRUE(ObservationJournal::parseRecord(line, back)) << line;
+    expectRecordsEqual(back, rec);
+}
+
+TEST_F(UpdaterJournal, CorruptRecordsAreRejected)
+{
+    const std::string line =
+        ObservationJournal::formatRecord(gnarlyRecord());
+    core::ProfileRecord rec;
+
+    // Flip one payload character: the checksum catches it.
+    std::string flipped = line;
+    flipped[10] = flipped[10] == '7' ? '8' : '7';
+    EXPECT_FALSE(ObservationJournal::parseRecord(flipped, rec));
+
+    // Tamper with the checksum itself.
+    std::string badsum = line;
+    badsum.back() = badsum.back() == 'a' ? 'b' : 'a';
+    EXPECT_FALSE(ObservationJournal::parseRecord(badsum, rec));
+
+    // Truncations and junk.
+    EXPECT_FALSE(ObservationJournal::parseRecord(
+        line.substr(0, line.size() / 2), rec));
+    EXPECT_FALSE(ObservationJournal::parseRecord("", rec));
+    EXPECT_FALSE(ObservationJournal::parseRecord("obs", rec));
+    EXPECT_FALSE(
+        ObservationJournal::parseRecord("garbage #0123456789abcdef",
+                                        rec));
+}
+
+TEST_F(UpdaterJournal, ReplayStopsAtTornTail)
+{
+    std::vector<core::ProfileRecord> recs;
+    for (int i = 0; i < 3; ++i) {
+        core::ProfileRecord r = gnarlyRecord();
+        r.shardIndex = static_cast<std::size_t>(i);
+        r.perf = 1.0 + i;
+        recs.push_back(r);
+    }
+    const std::string torn =
+        ObservationJournal::formatRecord(gnarlyRecord());
+    {
+        std::ofstream os(path());
+        for (const auto &r : recs)
+            os << ObservationJournal::formatRecord(r) << '\n';
+        // The crash artifact: a record that lost power mid-append.
+        os << torn.substr(0, torn.size() / 2);
+    }
+
+    std::vector<core::ProfileRecord> seen;
+    const std::size_t n = ObservationJournal::replay(
+        path(), [&](const core::ProfileRecord &r) {
+            seen.push_back(r);
+        });
+    EXPECT_EQ(n, 3u);
+    ASSERT_EQ(seen.size(), 3u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        expectRecordsEqual(seen[i], recs[i]);
+
+    // A missing journal replays cleanly as zero records.
+    EXPECT_EQ(ObservationJournal::replay(
+                  path() + ".absent",
+                  [](const core::ProfileRecord &) { FAIL(); }),
+              0u);
+}
+
+TEST_F(UpdaterJournal, TornAppendFailsAndPriorRecordsSurvive)
+{
+    ObservationJournal journal(path());
+    ASSERT_TRUE(journal.open());
+    ASSERT_TRUE(journal.append(gnarlyRecord()));
+    EXPECT_EQ(journal.appended(), 1u);
+
+    std::string err;
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "journal.append.torn:once", &err))
+        << err;
+    fault::FaultRegistry::instance().setEnabled(true);
+
+    core::ProfileRecord second = gnarlyRecord();
+    second.perf = 99.0;
+    EXPECT_FALSE(journal.append(second, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(journal.appended(), 1u);
+    journal.close();
+    clean();
+
+    // The torn half-line ends replay; the first record is intact.
+    std::vector<core::ProfileRecord> seen;
+    EXPECT_EQ(ObservationJournal::replay(
+                  path(),
+                  [&](const core::ProfileRecord &r) {
+                      seen.push_back(r);
+                  }),
+              1u);
+    ASSERT_EQ(seen.size(), 1u);
+    expectRecordsEqual(seen[0], gnarlyRecord());
+}
+
+TEST_F(UpdaterJournal, ReplayRebuildsModelIdenticalToUninterruptedRun)
+{
+    // Identical bootstraps for three updater lifetimes: A runs
+    // uninterrupted (no journal), B journals every accepted
+    // observation and then "crashes" (its manager state is simply
+    // dropped), C is the restarted process that replays B's journal
+    // into a fresh manager. A, B, and C must all publish the same
+    // updated model.
+    core::Dataset boot;
+    Rng rng(7);
+    for (const char *app : {"a1", "a2"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[1] = (app[1] == '1' ? 0.05 : 0.15) +
+                rng.nextUniform(0.0, 0.1);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+                3.0 / r.vars[core::kNumSw];
+            boot.add(r);
+        }
+    }
+    core::GaOptions ga;
+    ga.populationSize = 10;
+    ga.generations = 4;
+    ga.numThreads = 1;
+    ga.seed = 5;
+    core::ManagerOptions mo;
+    mo.profilesForUpdate = 6;
+    mo.updateGenerations = 4;
+
+    const auto makeManager = [&] {
+        auto m = std::make_unique<core::ModelManager>(boot, ga, mo);
+        m->bootstrapModel();
+        return m;
+    };
+
+    // Out-of-band observations from one novel application — enough
+    // to trigger exactly one re-specification.
+    std::vector<core::ProfileRecord> obs;
+    for (int i = 0; i < 8; ++i) {
+        core::ProfileRecord r;
+        r.app = "novel";
+        r.vars[1] = 0.9 + rng.nextUniform(0.0, 0.1);
+        r.vars[6] = rng.nextUniform(0.1, 0.6);
+        r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+        r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+            3.0 / r.vars[core::kNumSw];
+        obs.push_back(r);
+    }
+
+    // A: the uninterrupted reference.
+    auto regA = std::make_shared<ModelRegistry>();
+    {
+        auto mgr = makeManager();
+        regA->publish("default", mgr->model(), "bootstrap");
+        OnlineUpdater a(std::move(mgr), regA, "default");
+        a.start();
+        for (const auto &r : obs)
+            ASSERT_TRUE(a.enqueue(r));
+        a.drain();
+        a.stop();
+        EXPECT_GE(a.stats().updates, 1u);
+    }
+    ASSERT_GT(regA->lookup("default")->version, 1u);
+
+    // B: journaled, then killed (scope exit drops all state; only
+    // the journal file survives).
+    auto regB = std::make_shared<ModelRegistry>();
+    {
+        auto mgr = makeManager();
+        regB->publish("default", mgr->model(), "bootstrap");
+        OnlineUpdater b(std::move(mgr), regB, "default");
+        auto journal = std::make_unique<ObservationJournal>(path());
+        ASSERT_TRUE(journal->open());
+        b.attachJournal(std::move(journal));
+        b.start();
+        for (const auto &r : obs)
+            ASSERT_TRUE(b.enqueue(r));
+        b.drain();
+        b.stop();
+    }
+
+    // C: the restart. Fresh manager, replayed journal.
+    auto regC = std::make_shared<ModelRegistry>();
+    auto mgrC = makeManager();
+    regC->publish("default", mgrC->model(), "bootstrap");
+    OnlineUpdater c(std::move(mgrC), regC, "default");
+    c.start();
+    EXPECT_EQ(c.replayJournal(path()), obs.size());
+    const UpdaterStats st = c.stats();
+    EXPECT_EQ(st.replayed, obs.size());
+    EXPECT_GE(st.updates, 1u);
+    c.stop();
+
+    const std::string modelA =
+        core::saveModelToString(regA->lookup("default")->model);
+    const std::string modelB =
+        core::saveModelToString(regB->lookup("default")->model);
+    const std::string modelC =
+        core::saveModelToString(regC->lookup("default")->model);
+    EXPECT_EQ(modelB, modelA) << "journaling changed the run";
+    EXPECT_EQ(modelC, modelA) << "replay diverged from the live run";
+    EXPECT_EQ(regC->lookup("default")->version,
+              regA->lookup("default")->version);
+}
+
+TEST_F(UpdaterJournal, FailedAppendRefusesObservation)
+{
+    // Acknowledged implies journaled: when the WAL append fails the
+    // updater must refuse the observation instead of accepting work
+    // it could lose.
+    core::Dataset boot;
+    Rng rng(9);
+    for (const char *app : {"a1", "a2"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 2.0 * r.vars[6] +
+                4.0 / r.vars[core::kNumSw];
+            boot.add(r);
+        }
+    }
+    core::GaOptions ga;
+    ga.populationSize = 8;
+    ga.generations = 2;
+    ga.numThreads = 1;
+    ga.seed = 5;
+    auto mgr = std::make_unique<core::ModelManager>(boot, ga);
+    mgr->bootstrapModel();
+
+    auto reg = std::make_shared<ModelRegistry>();
+    reg->publish("default", mgr->model(), "bootstrap");
+    OnlineUpdater u(std::move(mgr), reg, "default");
+    auto journal = std::make_unique<ObservationJournal>(path());
+    ASSERT_TRUE(journal->open());
+    u.attachJournal(std::move(journal));
+    u.start();
+
+    core::ProfileRecord rec;
+    rec.app = "x";
+    rec.vars[6] = 0.3;
+    rec.vars[core::kNumSw] = 4;
+    rec.perf = 2.0;
+    ASSERT_TRUE(u.enqueue(rec));
+
+    std::string err;
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "journal.append.torn:once", &err))
+        << err;
+    fault::FaultRegistry::instance().setEnabled(true);
+    EXPECT_FALSE(u.enqueue(rec));
+    clean();
+
+    ASSERT_TRUE(u.enqueue(rec)); // recovers once the fault clears
+    u.drain();
+    u.stop();
+
+    const UpdaterStats st = u.stats();
+    EXPECT_EQ(st.journalErrors, 1u);
+    EXPECT_EQ(st.rejected, 1u);
+    EXPECT_EQ(st.observed, 2u);
+}
+
+} // namespace
+} // namespace hwsw::serve

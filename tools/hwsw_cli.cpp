@@ -24,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
+#include "core/checkpoint.hpp"
 #include "core/genetic.hpp"
 #include "core/sampler.hpp"
 #include "core/serialize.hpp"
@@ -61,7 +64,19 @@ usage()
         "  --port P             serve: TCP port (0 = ephemeral)\n"
         "  --server host:port   predict: serving endpoint\n"
         "  --model name         predict: model name "
-        "(default: 'default')\n");
+        "(default: 'default')\n"
+        "  --timeout MS         predict: per-request deadline in ms\n"
+        "  --retries N          predict: transport attempts "
+        "(default: 3)\n"
+        "  --checkpoint FILE    train: write a resumable checkpoint\n"
+        "                       at each generation boundary\n"
+        "  --checkpoint-every N train: generations between "
+        "checkpoints\n"
+        "  --resume             train: continue from --checkpoint "
+        "FILE\n"
+        "  --fault SPEC         arm a fault-injection point, e.g.\n"
+        "                       proto.read.err:p=0.01,errno=104\n"
+        "                       (repeatable; implies injection ON)\n");
     return 2;
 }
 
@@ -161,9 +176,18 @@ cmdCpi(const std::string &app_name, int width, int dcache_kb,
     return 0;
 }
 
+/** Checkpoint/resume knobs for training runs. */
+struct TrainPersist
+{
+    std::string checkpointPath; ///< empty: checkpointing off
+    std::size_t checkpointEvery = 1;
+    bool resume = false;
+};
+
 core::HwSwModel
 trainModel(std::size_t pairs, std::size_t generations,
-           unsigned threads, bool verbose)
+           unsigned threads, bool verbose,
+           const TrainPersist &persist = {})
 {
     core::SamplerOptions sopts;
     sopts.shardLength = 16384;
@@ -176,8 +200,24 @@ trainModel(std::size_t pairs, std::size_t generations,
     ga.populationSize = 24;
     ga.generations = generations;
     ga.numThreads = threads;
+    ga.checkpointPath = persist.checkpointPath;
+    ga.checkpointEvery = persist.checkpointEvery;
     core::GeneticSearch search(train, ga);
-    const core::GaResult result = search.run();
+
+    core::GaResult result;
+    if (persist.resume) {
+        const auto cp =
+            core::loadCheckpointFromFile(persist.checkpointPath);
+        fatalIf(!cp, "cannot resume: no readable checkpoint at " +
+                         persist.checkpointPath);
+        if (verbose)
+            std::printf("resuming from %s (generation %zu/%zu)\n",
+                        persist.checkpointPath.c_str(),
+                        cp->nextGeneration, generations);
+        result = search.resume(*cp);
+    } else {
+        result = search.run();
+    }
 
     core::HwSwModel model;
     model.fit(result.best.spec, train);
@@ -199,25 +239,28 @@ trainModel(std::size_t pairs, std::size_t generations,
 }
 
 int
-cmdTrain(std::size_t pairs, std::size_t generations, unsigned threads)
+cmdTrain(std::size_t pairs, std::size_t generations, unsigned threads,
+         const TrainPersist &persist)
 {
-    trainModel(pairs, generations, threads, /*verbose=*/true);
+    trainModel(pairs, generations, threads, /*verbose=*/true,
+               persist);
     return 0;
 }
 
 int
 cmdSave(const std::string &path, std::size_t pairs,
-        std::size_t generations, unsigned threads)
+        std::size_t generations, unsigned threads,
+        const TrainPersist &persist)
 {
-    const core::HwSwModel model =
-        trainModel(pairs, generations, threads, /*verbose=*/true);
-    std::ofstream os(path);
-    if (!os) {
-        std::fprintf(stderr, "error: cannot write '%s'\n",
-                     path.c_str());
+    const core::HwSwModel model = trainModel(
+        pairs, generations, threads, /*verbose=*/true, persist);
+    std::string error;
+    // Atomic replace: a crash mid-save cannot leave a torn model
+    // file for a later `hwsw serve` to choke on.
+    if (!core::saveModelToFile(model, path, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
-    core::saveModel(model, os);
     std::printf("model saved to %s\n", path.c_str());
     return 0;
 }
@@ -302,7 +345,7 @@ cmdServe(const std::string &model_path, std::uint16_t port,
 int
 cmdPredict(const std::string &endpoint, const std::string &model_name,
            const std::string &app_name, int width, int dcache_kb,
-           int l2_kb)
+           int l2_kb, const serve::ClientOptions &copts)
 {
     const std::size_t colon = endpoint.rfind(':');
     unsigned long long port_val = 0;
@@ -329,12 +372,19 @@ cmdPredict(const std::string &endpoint, const std::string &model_name,
         rows.push_back(core::makeRecord(p, cfg, 0.0).vars);
 
     serve::Client client(endpoint.substr(0, colon),
-                         static_cast<std::uint16_t>(port_val));
+                         static_cast<std::uint16_t>(port_val), copts);
     const serve::ClientPrediction out =
         client.predictBatch(model_name, rows);
-    if (out.shed) {
+    if (out.timedOut) {
         std::fprintf(stderr,
-                     "server is overloaded (request shed); retry\n");
+                     "request deadline exceeded after %d attempt(s)\n",
+                     out.attempts);
+        return 1;
+    }
+    if (out.shed || out.expired) {
+        std::fprintf(stderr,
+                     "server is overloaded (%s); retry\n",
+                     out.shed ? "request shed" : "deadline expired");
         return 1;
     }
     if (!out.ok) {
@@ -372,6 +422,10 @@ main(int argc, char **argv)
     unsigned long long port = 0;
     std::string server_endpoint;
     std::string model_name = "default";
+    TrainPersist persist;
+    std::vector<std::string> fault_specs;
+    unsigned long long timeout_ms = 0;
+    unsigned long long retries = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto flagValue = [&](const char *flag) -> const char * {
@@ -403,8 +457,51 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             model_name = v;
+        } else if (a == "--timeout") {
+            const char *v = flagValue("--timeout");
+            if (!v || !parseArg(std::string(v), "--timeout value",
+                                timeout_ms))
+                return usage();
+        } else if (a == "--retries") {
+            const char *v = flagValue("--retries");
+            if (!v || !parseArg(std::string(v), "--retries value",
+                                retries))
+                return usage();
+        } else if (a == "--checkpoint") {
+            const char *v = flagValue("--checkpoint");
+            if (!v)
+                return usage();
+            persist.checkpointPath = v;
+        } else if (a == "--checkpoint-every") {
+            const char *v = flagValue("--checkpoint-every");
+            if (!v || !parseArg(std::string(v),
+                                "--checkpoint-every value",
+                                persist.checkpointEvery))
+                return usage();
+        } else if (a == "--resume") {
+            persist.resume = true;
+        } else if (a == "--fault") {
+            const char *v = flagValue("--fault");
+            if (!v)
+                return usage();
+            fault_specs.emplace_back(v);
         } else {
             args.push_back(a);
+        }
+    }
+    if (persist.resume && persist.checkpointPath.empty()) {
+        std::fprintf(stderr, "error: --resume needs --checkpoint\n");
+        return usage();
+    }
+    if (!fault_specs.empty()) {
+        auto &faults = fault::FaultRegistry::instance();
+        faults.setEnabled(true);
+        for (const std::string &spec : fault_specs) {
+            if (!faults.armSpec(spec)) {
+                std::fprintf(stderr, "error: bad --fault '%s'\n",
+                             spec.c_str());
+                return usage();
+            }
         }
     }
     if (args.empty())
@@ -441,13 +538,13 @@ main(int argc, char **argv)
             if (!parseArg(arg(1, "150"), "pairs-per-app", pairs) ||
                 !parseArg(arg(2, "12"), "generations", gens))
                 return usage();
-            return cmdTrain(pairs, gens, threads);
+            return cmdTrain(pairs, gens, threads, persist);
         }
         if (cmd == "save" && nargs >= 2) {
             if (!parseArg(arg(2, "150"), "pairs-per-app", pairs) ||
                 !parseArg(arg(3, "12"), "generations", gens))
                 return usage();
-            return cmdSave(args[1], pairs, gens, threads);
+            return cmdSave(args[1], pairs, gens, threads, persist);
         }
         if (cmd == "spmv" && nargs >= 2) {
             if (!parseArg(arg(2, "0.15"), "scale", scale))
@@ -468,8 +565,13 @@ main(int argc, char **argv)
                 !parseArg(arg(3, "64"), "dcacheKB", dcache) ||
                 !parseArg(arg(4, "1024"), "l2KB", l2))
                 return usage();
+            serve::ClientOptions copts;
+            copts.requestTimeout =
+                static_cast<double>(timeout_ms) / 1e3;
+            if (retries > 0)
+                copts.retry.maxAttempts = static_cast<int>(retries);
             return cmdPredict(server_endpoint, model_name, args[1],
-                              width, dcache, l2);
+                              width, dcache, l2, copts);
         }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
