@@ -23,6 +23,8 @@ expectToken(std::istream &is, const std::string &want)
                 "'");
 }
 
+} // namespace
+
 void
 saveSpec(const ModelSpec &spec, std::ostream &os)
 {
@@ -62,8 +64,6 @@ loadSpec(std::istream &is)
     }
     return spec;
 }
-
-} // namespace
 
 void
 saveCheckpoint(const SearchCheckpoint &cp, std::ostream &os)

@@ -47,6 +47,19 @@ struct SearchCheckpoint
     std::vector<GenerationStats> history;
 };
 
+/**
+ * Serialize one specification (a "genes" line and an "interactions"
+ * line) in the checkpoint text style. Shared with the manager
+ * snapshot, which persists its warm-start incumbents the same way.
+ */
+void saveSpec(const ModelSpec &spec, std::ostream &os);
+
+/**
+ * Parse a specification saved by saveSpec().
+ * @throws FatalError on malformed input.
+ */
+ModelSpec loadSpec(std::istream &is);
+
 /** Serialize a checkpoint. */
 void saveCheckpoint(const SearchCheckpoint &cp, std::ostream &os);
 

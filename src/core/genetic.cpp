@@ -215,8 +215,11 @@ GeneticSearch::resume(const SearchCheckpoint &cp)
 {
     fatalIf(cp.population.size() != opts_.populationSize,
             "resume: checkpoint population size mismatch");
-    fatalIf(cp.nextGeneration >= opts_.generations,
-            "resume: checkpoint is past the final generation");
+    // A checkpoint at or past the final generation means the run
+    // already completed (a re-run of `train --resume` after success,
+    // or --generations lowered since): runLoop then runs zero
+    // generations and re-scores the checkpointed population, instead
+    // of aborting a run that has nothing left to do.
     Rng rng(0);
     rng.setState(cp.rng);
     return runLoop(cp.population, rng, cp.nextGeneration, cp.history);
@@ -334,6 +337,17 @@ GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
         }
     }
 
+    if (scored.empty()) {
+        // The loop ran zero generations (resume of an
+        // already-complete checkpoint): score the population once so
+        // the result still carries a best model. Evaluation is
+        // deterministic, so these scores equal the completed run's.
+        scored = evaluatePopulation(population);
+        std::sort(scored.begin(), scored.end(),
+                  [](const ScoredSpec &a, const ScoredSpec &b) {
+                      return a.fitness < b.fitness;
+                  });
+    }
     result.best = scored.front();
     result.population = std::move(scored);
 

@@ -190,8 +190,11 @@ class GeneticSearch
      * Continue a checkpointed run. Produces the same best model,
      * final population, and history the uninterrupted run would
      * have (wall times and cache counters differ — the memo cache
-     * restarts cold). @pre the checkpoint came from a search with
-     * these options over this dataset.
+     * restarts cold). A checkpoint at or past the final generation
+     * is treated as an already-complete run: the stored population
+     * is re-scored and reported without running any generations.
+     * @pre the checkpoint came from a search with these options
+     * over this dataset.
      */
     GaResult resume(const SearchCheckpoint &cp);
 

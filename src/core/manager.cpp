@@ -2,10 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "core/checkpoint.hpp"
+#include "core/serialize.hpp"
 
 namespace hwsw::core {
+
+namespace {
+
+constexpr const char *kStateMagic = "hwsw-manager-state";
+constexpr int kStateVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "manager state load: expected '" + want + "', got '" +
+                got + "'");
+}
+
+void
+saveRecord(const ProfileRecord &rec, std::ostream &os)
+{
+    os << "rec " << rec.app << " " << rec.shardIndex;
+    for (const double v : rec.vars)
+        os << " " << v;
+    os << " " << rec.perf << "\n";
+}
+
+ProfileRecord
+loadRecord(std::istream &is)
+{
+    expectToken(is, "rec");
+    ProfileRecord rec;
+    is >> rec.app >> rec.shardIndex;
+    for (double &v : rec.vars)
+        is >> v;
+    is >> rec.perf;
+    fatalIf(!is || rec.app.empty(),
+            "manager state load: malformed record");
+    return rec;
+}
+
+} // namespace
 
 ModelManager::ModelManager(Dataset bootstrap, GaOptions ga,
                            ManagerOptions opts)
@@ -73,6 +117,127 @@ ModelManager::observe(const ProfileRecord &rec)
     refit(rec.app);
     ++updateCount_;
     return Observation::Updated;
+}
+
+void
+ModelManager::saveState(std::ostream &os) const
+{
+    fatalIf(!ready(), "saveState: manager is not bootstrapped");
+
+    os << kStateMagic << " " << kStateVersion << "\n";
+    // max_digits10: every double survives the text round trip
+    // bit-exactly, so a restored manager's future refits see the
+    // same numbers the saved one would have.
+    os << std::setprecision(17);
+    os << "steady_median_error " << steadyMedianError_ << "\n";
+    os << "update_count " << updateCount_ << "\n";
+    os << "absorbed_since_refit " << absorbedSinceRefit_ << "\n";
+
+    os << "incumbents " << incumbentSpecs_.size() << "\n";
+    for (const ModelSpec &spec : incumbentSpecs_)
+        saveSpec(spec, os);
+
+    os << "store " << store_.size() << "\n";
+    for (std::size_t i = 0; i < store_.size(); ++i)
+        saveRecord(store_[i], os);
+
+    os << "pending " << pending_.size() << "\n";
+    for (const auto &[app, queue] : pending_) {
+        os << "app " << app << " " << queue.size() << "\n";
+        for (const ProfileRecord &rec : queue)
+            saveRecord(rec, os);
+    }
+
+    os << "model\n";
+    saveModel(model_, os);
+    os << "end\n";
+}
+
+std::string
+ModelManager::saveStateToString() const
+{
+    std::ostringstream os;
+    saveState(os);
+    return os.str();
+}
+
+void
+ModelManager::restoreState(std::istream &is)
+{
+    expectToken(is, kStateMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kStateVersion,
+            "manager state load: unsupported version");
+
+    double steady = 0.0;
+    std::size_t updates = 0;
+    std::size_t absorbed = 0;
+    expectToken(is, "steady_median_error");
+    is >> steady;
+    expectToken(is, "update_count");
+    is >> updates;
+    expectToken(is, "absorbed_since_refit");
+    is >> absorbed;
+
+    expectToken(is, "incumbents");
+    std::size_t n_specs = 0;
+    is >> n_specs;
+    fatalIf(n_specs > 100000,
+            "manager state load: implausible incumbent count");
+    std::vector<ModelSpec> specs;
+    specs.reserve(n_specs);
+    for (std::size_t i = 0; i < n_specs; ++i)
+        specs.push_back(loadSpec(is));
+
+    expectToken(is, "store");
+    std::size_t n_store = 0;
+    is >> n_store;
+    fatalIf(!is, "manager state load: truncated store header");
+    Dataset store;
+    for (std::size_t i = 0; i < n_store; ++i)
+        store.add(loadRecord(is));
+    fatalIf(store.empty(), "manager state load: empty store");
+
+    expectToken(is, "pending");
+    std::size_t n_apps = 0;
+    is >> n_apps;
+    fatalIf(!is, "manager state load: truncated pending header");
+    std::map<std::string, std::vector<ProfileRecord>> pending;
+    for (std::size_t i = 0; i < n_apps; ++i) {
+        expectToken(is, "app");
+        std::string app;
+        std::size_t n_recs = 0;
+        is >> app >> n_recs;
+        fatalIf(!is || app.empty(),
+                "manager state load: malformed pending app");
+        std::vector<ProfileRecord> &queue = pending[app];
+        queue.reserve(n_recs);
+        for (std::size_t j = 0; j < n_recs; ++j)
+            queue.push_back(loadRecord(is));
+    }
+
+    expectToken(is, "model");
+    HwSwModel model = loadModel(is);
+    fatalIf(!is, "manager state load: truncated input");
+    expectToken(is, "end");
+
+    // Only commit after the whole snapshot parsed: a malformed tail
+    // must not leave the manager half-restored.
+    steadyMedianError_ = steady;
+    updateCount_ = updates;
+    absorbedSinceRefit_ = absorbed;
+    incumbentSpecs_ = std::move(specs);
+    store_ = std::move(store);
+    pending_ = std::move(pending);
+    model_ = std::move(model);
+}
+
+void
+ModelManager::restoreStateFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    restoreState(is);
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef HWSW_CORE_MANAGER_HPP
 #define HWSW_CORE_MANAGER_HPP
 
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -94,6 +95,31 @@ class ModelManager
      * The profile is retained in all cases.
      */
     Observation observe(const ProfileRecord &rec);
+
+    /**
+     * Serialize the manager's dynamic state: the profile store, the
+     * fitted model, the warm-start incumbents, the error envelope,
+     * and the pending out-of-band profiles. Together with the
+     * construction-time options this is everything observe() reads,
+     * so a restored manager continues an observation sequence
+     * exactly where the saved one left off. @pre ready().
+     */
+    void saveState(std::ostream &os) const;
+
+    /** Serialize to a string (convenience). */
+    std::string saveStateToString() const;
+
+    /**
+     * Replace this manager's dynamic state with one saved by
+     * saveState(). The manager must have been constructed with the
+     * same GaOptions and ManagerOptions as the saver — those are
+     * deployment configuration, not state, and are not persisted.
+     * @throws FatalError on malformed input.
+     */
+    void restoreState(std::istream &is);
+
+    /** Restore from a string (convenience). */
+    void restoreStateFromString(const std::string &text);
 
   private:
     void refit(const std::string &weighted_app);

@@ -2,8 +2,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/fault/fault.hpp"
@@ -39,6 +41,66 @@ hex64(std::uint64_t v)
     return out;
 }
 
+/** Append " #<checksum>" over what is in @p body so far. */
+std::string
+sealLine(std::string body)
+{
+    const std::uint64_t sum = checksum(body);
+    body += " #";
+    body += hex64(sum);
+    return body;
+}
+
+/** Split "<body> #<sum>", verifying the checksum. */
+std::optional<std::string_view>
+unsealLine(std::string_view line)
+{
+    const std::size_t mark = line.rfind(" #");
+    if (mark == std::string_view::npos)
+        return std::nullopt;
+    const std::string_view body = line.substr(0, mark);
+    const std::string_view sum = line.substr(mark + 2);
+    if (sum.size() != 16 || hex64(checksum(body)) != sum)
+        return std::nullopt;
+    return body;
+}
+
+/** Parse an "epoch <n>" header line (checksummed like records). */
+std::optional<std::uint64_t>
+parseEpochHeader(std::string_view line)
+{
+    const auto body = unsealLine(line);
+    if (!body)
+        return std::nullopt;
+    const auto tokens = splitTokens(*body);
+    if (tokens.size() != 2 || tokens[0] != "epoch")
+        return std::nullopt;
+    return parseUnsigned(tokens[1]);
+}
+
+/**
+ * Epoch of an existing journal file; 0 for a missing, empty, or
+ * headerless file. Only the first line is read — the header is
+ * written first and bounded in size.
+ */
+std::uint64_t
+readFileEpoch(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return 0;
+    char buf[128];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ::close(fd);
+    if (n <= 0)
+        return 0;
+    const std::string_view head(buf, static_cast<std::size_t>(n));
+    const std::size_t nl = head.find('\n');
+    if (nl == std::string_view::npos)
+        return 0;
+    return parseEpochHeader(head.substr(0, nl)).value_or(0);
+}
+
 } // namespace
 
 ObservationJournal::ObservationJournal(std::string path)
@@ -56,6 +118,7 @@ ObservationJournal::open(std::string *error)
 {
     if (fd_ >= 0)
         return true;
+    epoch_ = readFileEpoch(path_);
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (fd_ < 0) {
         if (error)
@@ -87,25 +150,24 @@ ObservationJournal::formatRecord(const core::ProfileRecord &rec)
     }
     body += ' ';
     body += formatDouble(rec.perf);
-    body += " #";
-    body += hex64(checksum(
-        std::string_view(body.data(), body.size() - 2)));
-    return body;
+    return sealLine(std::move(body));
+}
+
+std::string
+ObservationJournal::formatEpochHeader(std::uint64_t epoch)
+{
+    return sealLine("epoch " + std::to_string(epoch));
 }
 
 bool
 ObservationJournal::parseRecord(std::string_view line,
                                 core::ProfileRecord &rec)
 {
-    const std::size_t mark = line.rfind(" #");
-    if (mark == std::string_view::npos)
-        return false;
-    const std::string_view body = line.substr(0, mark);
-    const std::string_view sum = line.substr(mark + 2);
-    if (sum.size() != 16 || hex64(checksum(body)) != sum)
+    const auto body = unsealLine(line);
+    if (!body)
         return false;
 
-    const auto tokens = splitTokens(body);
+    const auto tokens = splitTokens(*body);
     // obs app shard kNumVars perf
     if (tokens.size() != core::kNumVars + 4 || tokens[0] != "obs")
         return false;
@@ -127,12 +189,41 @@ ObservationJournal::parseRecord(std::string_view line,
     return true;
 }
 
+void
+ObservationJournal::rollbackTo(off_t size)
+{
+    // A torn line that cannot be removed would sit mid-journal and
+    // silently end every future replay right there, losing all
+    // later acknowledged records — so an unrollbackable journal
+    // refuses to accept anything more.
+    int injected = 0;
+    if (fault::failPoint("journal.rollback.fail", injected) ||
+        ::ftruncate(fd_, size) != 0 || ::fdatasync(fd_) != 0) {
+        failed_ = true;
+    }
+}
+
 bool
 ObservationJournal::append(const core::ProfileRecord &rec,
                            std::string *error)
 {
+    if (failed_) {
+        if (error)
+            *error = "journal " + path_ +
+                " failed a rollback; appends disabled until restart";
+        return false;
+    }
     if (fd_ < 0 && !open(error))
         return false;
+
+    // The rollback target: anything past this offset after a failed
+    // append is a torn line that must not survive.
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        if (error)
+            *error = "fstat " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
 
     std::string line = formatRecord(rec);
     line += '\n';
@@ -140,27 +231,131 @@ ObservationJournal::append(const core::ProfileRecord &rec,
     int injected = 0;
     if (fault::failPoint("journal.append.torn", injected)) {
         // Simulate losing power mid-append: a prefix of the line
-        // lands on disk, then the write "fails". Replay must stop
-        // cleanly at this torn tail.
+        // lands on disk, then the write "fails". The surviving
+        // process truncates the torn tail away.
         (void)fsio::writeFull(fd_, line.data(), line.size() / 2);
         if (error)
             *error = "journal append torn (injected)";
+        rollbackTo(st.st_size);
         return false;
     }
 
     if (!fsio::writeFull(fd_, line.data(), line.size())) {
         if (error)
             *error = "append " + path_ + ": " + std::strerror(errno);
+        rollbackTo(st.st_size);
         return false;
     }
     if (::fdatasync(fd_) != 0) {
         if (error)
             *error = "fdatasync " + path_ + ": " +
                 std::strerror(errno);
+        rollbackTo(st.st_size);
         return false;
     }
     ++appended_;
     return true;
+}
+
+bool
+ObservationJournal::compact(std::size_t drop, std::string *error)
+{
+    if (failed_) {
+        if (error)
+            *error = "journal " + path_ +
+                " failed a rollback; compaction disabled";
+        return false;
+    }
+    const auto contents = fsio::readFile(path_);
+    if (!contents) {
+        if (error)
+            *error = "compact: cannot read " + path_;
+        return false;
+    }
+
+    std::string_view rest = *contents;
+    if (!rest.empty()) {
+        const auto [line, tail] = splitFirstLine(rest);
+        if (parseEpochHeader(line))
+            rest = tail;
+    }
+
+    // Keep surviving record lines verbatim: re-encoding would
+    // invalidate nothing, but byte-identical lines keep their
+    // original checksums trivially intact.
+    std::string kept;
+    std::size_t seen = 0;
+    while (!rest.empty()) {
+        const auto [line, tail] = splitFirstLine(rest);
+        core::ProfileRecord rec;
+        if (!parseRecord(line, rec))
+            break; // torn tail: compacted away with the prefix
+        if (seen >= drop) {
+            kept += line;
+            kept += '\n';
+        }
+        ++seen;
+        rest = tail;
+    }
+    if (seen < drop) {
+        if (error)
+            *error = "compact: journal has " + std::to_string(seen) +
+                " records, cannot drop " + std::to_string(drop);
+        return false;
+    }
+
+    std::string out = formatEpochHeader(epoch_ + 1);
+    out += '\n';
+    out += kept;
+    if (!fsio::atomicWriteFile(path_, out, error))
+        return false;
+
+    // The old fd still points at the replaced inode; reopen on the
+    // new file (open() re-reads the bumped epoch from the header).
+    close();
+    return open(error);
+}
+
+ObservationJournal::ReplayStatus
+ObservationJournal::replayFrom(
+    const std::string &path,
+    const std::function<void(const core::ProfileRecord &)> &fn,
+    std::uint64_t snapshot_epoch, std::size_t snapshot_covered)
+{
+    ReplayStatus status;
+    const auto contents = fsio::readFile(path);
+    if (!contents)
+        return status;
+
+    std::string_view rest = *contents;
+    if (!rest.empty()) {
+        const auto [line, tail] = splitFirstLine(rest);
+        if (const auto epoch = parseEpochHeader(line)) {
+            status.epoch = *epoch;
+            rest = tail;
+        }
+    }
+
+    // The snapshot's covered count indexes the file it was taken
+    // against; a different epoch means compaction already removed
+    // that prefix, so every surviving record is uncovered.
+    const std::size_t to_skip =
+        status.epoch == snapshot_epoch ? snapshot_covered : 0;
+
+    while (!rest.empty()) {
+        const auto [line, tail] = splitFirstLine(rest);
+        core::ProfileRecord rec;
+        if (!parseRecord(line, rec))
+            break; // torn tail or corruption: trust nothing past it
+        if (status.skipped < to_skip) {
+            ++status.skipped;
+        } else {
+            fn(rec);
+            ++status.replayed;
+        }
+        rest = tail;
+    }
+    return status;
 }
 
 std::size_t
@@ -168,22 +363,7 @@ ObservationJournal::replay(
     const std::string &path,
     const std::function<void(const core::ProfileRecord &)> &fn)
 {
-    const auto contents = fsio::readFile(path);
-    if (!contents)
-        return 0;
-
-    std::size_t replayed = 0;
-    std::string_view rest = *contents;
-    while (!rest.empty()) {
-        const auto [line, tail] = splitFirstLine(rest);
-        core::ProfileRecord rec;
-        if (!parseRecord(line, rec))
-            break; // torn tail or corruption: trust nothing past it
-        fn(rec);
-        ++replayed;
-        rest = tail;
-    }
-    return replayed;
+    return replayFrom(path, fn).replayed;
 }
 
 } // namespace hwsw::serve

@@ -19,6 +19,29 @@
  * record: a torn tail (the expected crash artifact of an append that
  * lost power mid-line) silently ends the replay instead of poisoning
  * the rebuilt state.
+ *
+ * A failed append in a process that *survives* (ENOSPC, EIO, an
+ * injected torn write) is rolled back by truncating the file to its
+ * pre-append size — otherwise the torn line would sit mid-journal
+ * and silently end replay before every later acknowledged record.
+ * If the rollback itself fails, the journal latches failed() and
+ * refuses all further appends until restart: a journal that cannot
+ * guarantee "acknowledged implies replayable" must accept nothing.
+ *
+ * To keep the file and restart time bounded, the journal can be
+ * compacted against a snapshot of the consumer's state: compact(n)
+ * atomically rewrites the file without its first n records and with
+ * an epoch header line
+ *
+ *     epoch <e> #<checksum-hex>
+ *
+ * whose counter increments on every compaction. A snapshot records
+ * (epoch, records-covered); replay skips the covered prefix only
+ * when the file still carries the snapshot's epoch, so every crash
+ * window — snapshot written but compaction lost, or compaction
+ * durable but the next snapshot lost — replays exactly the records
+ * the snapshot does not already incorporate. A headerless file is
+ * epoch 0 (the state of a journal that has never been compacted).
  */
 
 #ifndef HWSW_SERVE_JOURNAL_HPP
@@ -28,6 +51,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+
+#include <sys/types.h>
 
 #include "core/dataset.hpp"
 
@@ -44,7 +69,8 @@ class ObservationJournal
     ObservationJournal &operator=(const ObservationJournal &) = delete;
 
     /**
-     * Open (creating if absent) for appending.
+     * Open (creating if absent) for appending, reading the epoch
+     * header of an existing file.
      * @return false with @p error filled on failure.
      */
     bool open(std::string *error = nullptr);
@@ -52,12 +78,25 @@ class ObservationJournal
     /**
      * Durably append one record (write + fdatasync). Honors the
      * `journal.append.torn` fault point, which writes a prefix of
-     * the line and then fails — the torn-tail crash artifact.
+     * the line and then fails — the torn-tail crash artifact. Any
+     * failure truncates the file back to its pre-append size so the
+     * journal never holds a torn line ahead of later appends; when
+     * that rollback fails too (`journal.rollback.fail`), the journal
+     * latches failed() and every subsequent append is refused.
      * @return false on any failure; the caller must then refuse the
      * observation, preserving "acknowledged implies journaled".
      */
     bool append(const core::ProfileRecord &rec,
                 std::string *error = nullptr);
+
+    /**
+     * Atomically rewrite the journal without its first @p drop
+     * records (those a snapshot has incorporated), bumping the epoch
+     * header. A torn tail, if any, is dropped with the prefix. The
+     * target keeps its previous contents on failure.
+     * @return false with @p error filled on failure.
+     */
+    bool compact(std::size_t drop, std::string *error = nullptr);
 
     void close();
 
@@ -65,6 +104,15 @@ class ObservationJournal
 
     /** Records appended successfully over this handle's lifetime. */
     std::uint64_t appended() const { return appended_; }
+
+    /** Compaction epoch of the open file (0: never compacted). */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
+     * True once an append could not be rolled back: the file may
+     * hold a torn line mid-journal, so further appends are refused.
+     */
+    bool failed() const { return failed_; }
 
     /** Serialize one record to its journal line (no newline). */
     static std::string formatRecord(const core::ProfileRecord &rec);
@@ -76,20 +124,49 @@ class ObservationJournal
     static bool parseRecord(std::string_view line,
                             core::ProfileRecord &rec);
 
+    /** The epoch header line for @p epoch (no newline). */
+    static std::string formatEpochHeader(std::uint64_t epoch);
+
+    /** What a replay pass found and did. */
+    struct ReplayStatus
+    {
+        std::size_t replayed = 0; ///< records delivered to the callback
+        std::size_t skipped = 0;  ///< records covered by the snapshot
+        std::uint64_t epoch = 0;  ///< the file's compaction epoch
+    };
+
     /**
      * Replay a journal file in order, invoking @p fn per valid
-     * record. Stops at the first bad record (torn tail). A missing
-     * file replays zero records — an empty journal is not an error.
-     * @return the number of records replayed.
+     * record past the snapshot-covered prefix. The first
+     * @p snapshot_covered records are skipped when — and only when —
+     * the file's epoch equals @p snapshot_epoch; a different (newer)
+     * epoch means compaction already removed the covered prefix.
+     * Stops at the first bad record (torn tail). A missing file
+     * replays zero records — an empty journal is not an error.
      */
+    static ReplayStatus
+    replayFrom(const std::string &path,
+               const std::function<void(const core::ProfileRecord &)> &fn,
+               std::uint64_t snapshot_epoch = 0,
+               std::size_t snapshot_covered = 0);
+
+    /** Replay everything. @return the number of records replayed. */
     static std::size_t
     replay(const std::string &path,
            const std::function<void(const core::ProfileRecord &)> &fn);
 
   private:
+    /**
+     * Undo a partial append by truncating to @p size. Latches
+     * failed_ when the truncate cannot be made durable.
+     */
+    void rollbackTo(off_t size);
+
     std::string path_;
     int fd_ = -1;
     std::uint64_t appended_ = 0;
+    std::uint64_t epoch_ = 0;
+    bool failed_ = false;
 };
 
 } // namespace hwsw::serve

@@ -1,10 +1,70 @@
 #include "serve/updater.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "common/fsio.hpp"
 
 namespace hwsw::serve {
+
+namespace {
+
+constexpr const char *kSnapshotMagic = "hwsw-updater-snapshot";
+constexpr int kSnapshotVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "snapshot load: expected '" + want + "', got '" + got +
+                "'");
+}
+
+} // namespace
+
+bool
+saveUpdaterSnapshot(const core::ModelManager &manager,
+                    const UpdaterSnapshot &snap,
+                    const std::string &path, std::string *error)
+{
+    std::ostringstream os;
+    os << kSnapshotMagic << " " << kSnapshotVersion << "\n";
+    os << "journal_epoch " << snap.journalEpoch << "\n";
+    os << "journal_covered " << snap.journalCovered << "\n";
+    manager.saveState(os);
+    os << "end\n";
+    return fsio::atomicWriteFile(path, os.str(), error);
+}
+
+std::optional<UpdaterSnapshot>
+loadUpdaterSnapshot(const std::string &path,
+                    core::ModelManager &manager)
+{
+    const auto contents = fsio::readFile(path);
+    if (!contents)
+        return std::nullopt;
+
+    std::istringstream is(*contents);
+    expectToken(is, kSnapshotMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kSnapshotVersion,
+            "snapshot load: unsupported version");
+
+    UpdaterSnapshot snap;
+    expectToken(is, "journal_epoch");
+    is >> snap.journalEpoch;
+    expectToken(is, "journal_covered");
+    is >> snap.journalCovered;
+    fatalIf(!is, "snapshot load: truncated header");
+
+    manager.restoreState(is);
+    expectToken(is, "end");
+    return snap;
+}
 
 OnlineUpdater::OnlineUpdater(std::unique_ptr<core::ModelManager> manager,
                              std::shared_ptr<ModelRegistry> registry,
@@ -55,27 +115,41 @@ OnlineUpdater::stop()
 bool
 OnlineUpdater::enqueue(core::ProfileRecord rec)
 {
+    // Lock order: journalMutex_ before mutex_. Holding the journal
+    // mutex from admission through the queue push keeps the durable
+    // WAL order identical to the processing order (replay must
+    // reproduce the live run), while the fdatasync inside append
+    // stalls only fellow enqueuers — the worker thread and stats()
+    // readers take mutex_ alone and never wait on the disk.
+    std::lock_guard jlock(journalMutex_);
     {
         std::lock_guard lock(mutex_);
-        if (!enqueueLocked(std::move(rec), /*journal=*/true))
+        if (stopping_ || !running_ || queue_.size() >= maxQueue_) {
+            ++stats_.rejected;
             return false;
+        }
+    }
+    // Write-ahead: the observation must be durable before it is
+    // acknowledged, so a crash after the accept cannot lose it.
+    if (journal_ && !journal_->append(rec)) {
+        std::lock_guard lock(mutex_);
+        ++stats_.rejected;
+        ++stats_.journalErrors;
+        return false;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(rec));
     }
     ready_.notify_one();
     return true;
 }
 
 bool
-OnlineUpdater::enqueueLocked(core::ProfileRecord rec, bool journal)
+OnlineUpdater::enqueueLocked(core::ProfileRecord rec)
 {
     if (stopping_ || !running_ || queue_.size() >= maxQueue_) {
         ++stats_.rejected;
-        return false;
-    }
-    // Write-ahead: the observation must be durable before it is
-    // acknowledged, so a crash after the accept cannot lose it.
-    if (journal && journal_ && !journal_->append(rec)) {
-        ++stats_.rejected;
-        ++stats_.journalErrors;
         return false;
     }
     queue_.push_back(std::move(rec));
@@ -85,34 +159,57 @@ OnlineUpdater::enqueueLocked(core::ProfileRecord rec, bool journal)
 void
 OnlineUpdater::attachJournal(std::unique_ptr<ObservationJournal> journal)
 {
-    std::lock_guard lock(mutex_);
+    std::scoped_lock lock(journalMutex_, mutex_);
     panicIf(running_, "attachJournal must precede start()");
     journal_ = std::move(journal);
+}
+
+void
+OnlineUpdater::enableSnapshots(std::string path)
+{
+    std::scoped_lock lock(journalMutex_, mutex_);
+    panicIf(running_, "enableSnapshots must precede start()");
+    snapshotPath_ = std::move(path);
 }
 
 std::size_t
 OnlineUpdater::replayJournal(const std::string &path)
 {
-    std::size_t replayed = 0;
-    ObservationJournal::replay(
-        path, [&](const core::ProfileRecord &rec) {
-            {
-                std::unique_lock lock(mutex_);
-                // A full queue is backpressure, not loss: wait for
-                // the worker to catch up rather than dropping
-                // journaled history.
-                idle_.wait(lock, [&] {
-                    return queue_.size() < maxQueue_ || stopping_;
-                });
-                if (!enqueueLocked(rec, /*journal=*/false))
-                    return;
-                ++stats_.replayed;
-                ++replayed;
-            }
-            ready_.notify_one();
-        });
+    return replayJournal(path, UpdaterSnapshot{});
+}
+
+std::size_t
+OnlineUpdater::replayJournal(const std::string &path,
+                             const UpdaterSnapshot &snapshot)
+{
+    const ObservationJournal::ReplayStatus status =
+        ObservationJournal::replayFrom(
+            path,
+            [&](const core::ProfileRecord &rec) {
+                {
+                    std::unique_lock lock(mutex_);
+                    // A full queue is backpressure, not loss: wait
+                    // for the worker to catch up rather than
+                    // dropping journaled history.
+                    idle_.wait(lock, [&] {
+                        return queue_.size() < maxQueue_ || stopping_;
+                    });
+                    if (!enqueueLocked(rec))
+                        return;
+                    ++stats_.replayed;
+                }
+                ready_.notify_one();
+            },
+            snapshot.journalEpoch, snapshot.journalCovered);
+    {
+        // Records the snapshot covered are still physically in the
+        // file and already part of the restored manager state, so
+        // they join the prefix the next compaction may drop.
+        std::lock_guard lock(mutex_);
+        coveredInFile_ += status.skipped;
+    }
     drain();
-    return replayed;
+    return status.replayed;
 }
 
 void
@@ -131,6 +228,47 @@ OnlineUpdater::stats() const
     UpdaterStats out = stats_;
     out.queueDepth = queue_.size();
     return out;
+}
+
+void
+OnlineUpdater::maybeSnapshot()
+{
+    // Worker thread only. journal_ and snapshotPath_ are immutable
+    // once running.
+    if (!journal_ || snapshotPath_.empty())
+        return;
+
+    std::lock_guard jlock(journalMutex_);
+    std::size_t covered = 0;
+    {
+        std::lock_guard lock(mutex_);
+        covered = coveredInFile_;
+    }
+
+    const UpdaterSnapshot snap{journal_->epoch(), covered};
+    std::string error;
+    if (!saveUpdaterSnapshot(*manager_, snap, snapshotPath_,
+                             &error)) {
+        // Degraded durability, not an error: the previous snapshot
+        // (or a full replay) still rebuilds this state.
+        std::lock_guard lock(mutex_);
+        ++stats_.snapshotErrors;
+        return;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        ++stats_.snapshots;
+    }
+
+    // The snapshot now incorporates the file's first `covered`
+    // records; dropping them bounds the journal and the next
+    // restart's replay. A failed compaction costs only disk — the
+    // epoch check at replay keeps recovery correct either way.
+    if (journal_->compact(covered, &error)) {
+        std::lock_guard lock(mutex_);
+        coveredInFile_ -= covered;
+        ++stats_.compactions;
+    }
 }
 
 void
@@ -159,6 +297,12 @@ OnlineUpdater::workerLoop()
         {
             std::lock_guard lock(mutex_);
             ++stats_.observed;
+            if (journal_) {
+                // With a journal attached every queued record lives
+                // in the journal file, so each one observed extends
+                // the compactable prefix.
+                ++coveredInFile_;
+            }
             switch (obs) {
             case core::Observation::Consistent:
                 ++stats_.consistent;
@@ -175,8 +319,11 @@ OnlineUpdater::workerLoop()
         if (publish) {
             registry_->publish(modelName_, manager_->model(),
                                "online-update");
-            std::lock_guard lock(mutex_);
-            ++stats_.published;
+            {
+                std::lock_guard lock(mutex_);
+                ++stats_.published;
+            }
+            maybeSnapshot();
         }
     }
 }

@@ -23,7 +23,20 @@
  * accepting it, and replayJournal() re-feeds a previous process's
  * log through the same queue on restart. Since the manager's state
  * is a deterministic function of the observation sequence, the
- * rebuilt model matches the uninterrupted run exactly.
+ * rebuilt model matches the uninterrupted run exactly. The append
+ * (write + fdatasync) runs under a dedicated journal mutex ordered
+ * before the queue mutex, so a slow flush serializes enqueuers —
+ * whose WAL order must match their queue order anyway — but never
+ * blocks the worker thread or a stats() reader.
+ *
+ * With snapshots additionally enabled, each publish persists the
+ * manager's state (an UpdaterSnapshot) and compacts the journal down
+ * to the records the snapshot does not yet incorporate, so journal
+ * size and restart replay time are bounded by the observation volume
+ * between two model updates instead of growing without bound. On
+ * restart, loadUpdaterSnapshot() restores the manager directly —
+ * skipping the bootstrap search — and replayJournal() with the
+ * loaded snapshot replays only the uncovered tail.
  */
 
 #ifndef HWSW_SERVE_UPDATER_HPP
@@ -34,6 +47,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -54,8 +68,43 @@ struct UpdaterStats
     std::uint64_t rejected = 0;   ///< enqueue refusals (queue full/stopped)
     std::uint64_t journalErrors = 0; ///< refusals from failed WAL appends
     std::uint64_t replayed = 0;   ///< records re-fed from the journal
+    std::uint64_t snapshots = 0;  ///< manager snapshots persisted
+    std::uint64_t snapshotErrors = 0; ///< failed snapshot writes
+    std::uint64_t compactions = 0; ///< journal compactions completed
     std::size_t queueDepth = 0;   ///< profiles waiting right now
 };
+
+/**
+ * The journal position a manager snapshot incorporates: every record
+ * of epoch @c journalEpoch up to (but excluding) index
+ * @c journalCovered is already part of the saved state and must not
+ * be replayed on top of it.
+ */
+struct UpdaterSnapshot
+{
+    std::uint64_t journalEpoch = 0;
+    std::size_t journalCovered = 0;
+};
+
+/**
+ * Atomically persist @p manager's state together with the journal
+ * position @p snap it incorporates (temp + fsync + rename).
+ * @return false with @p error filled on failure.
+ */
+bool saveUpdaterSnapshot(const core::ModelManager &manager,
+                         const UpdaterSnapshot &snap,
+                         const std::string &path,
+                         std::string *error = nullptr);
+
+/**
+ * Restore @p manager from a snapshot file, skipping the bootstrap
+ * search. @return the journal position the snapshot covers (pass it
+ * to replayJournal()), or nullopt when the file is missing or
+ * unreadable. @throws FatalError on malformed contents.
+ */
+std::optional<UpdaterSnapshot>
+loadUpdaterSnapshot(const std::string &path,
+                    core::ModelManager &manager);
 
 /** Background model-update worker feeding a registry. */
 class OnlineUpdater
@@ -97,13 +146,31 @@ class OnlineUpdater
     void attachJournal(std::unique_ptr<ObservationJournal> journal);
 
     /**
+     * Persist a manager snapshot to @p path after every publish and
+     * compact the attached journal against it, bounding journal
+     * growth across restarts. Must be called before start(); only
+     * meaningful with a journal attached to the same file that
+     * replayJournal() reads.
+     */
+    void enableSnapshots(std::string path);
+
+    /**
      * Re-feed a previous process's journal through the queue (each
      * record is enqueued without being re-journaled). Call after
-     * start(); blocks until every replayed record is consumed, so
-     * the rebuilt model is ready before new traffic interleaves.
+     * start() and before serving traffic; blocks until every
+     * replayed record is consumed, so the rebuilt model is ready
+     * before new traffic interleaves.
      * @return the number of records replayed.
      */
     std::size_t replayJournal(const std::string &path);
+
+    /**
+     * Replay variant for a snapshot-restored manager: records the
+     * snapshot already incorporates are skipped instead of being
+     * applied twice.
+     */
+    std::size_t replayJournal(const std::string &path,
+                              const UpdaterSnapshot &snapshot);
 
     /** Block until every queued observation has been consumed. */
     void drain();
@@ -114,7 +181,8 @@ class OnlineUpdater
 
   private:
     void workerLoop();
-    bool enqueueLocked(core::ProfileRecord rec, bool journal);
+    bool enqueueLocked(core::ProfileRecord rec);
+    void maybeSnapshot();
 
     std::unique_ptr<core::ModelManager> manager_;
     std::unique_ptr<ObservationJournal> journal_;
@@ -122,6 +190,14 @@ class OnlineUpdater
     std::thread worker_;
     const std::string modelName_;
     const std::size_t maxQueue_;
+    std::string snapshotPath_; ///< set before start(), then immutable
+
+    /**
+     * Serializes journal appends, snapshot writes, and compactions.
+     * Lock order: journalMutex_ strictly before mutex_, so the
+     * fdatasync inside an append never runs under the queue mutex.
+     */
+    std::mutex journalMutex_;
 
     mutable std::mutex mutex_;
     std::condition_variable ready_; ///< queue non-empty or stopping
@@ -130,6 +206,13 @@ class OnlineUpdater
     bool stopping_ = false;
     bool running_ = false;
     bool busy_ = false;
+
+    /**
+     * Journal-file records already incorporated by the manager (the
+     * snapshot-covered prefix plus records observed since); the
+     * prefix a snapshot may compact away. Guarded by mutex_.
+     */
+    std::size_t coveredInFile_ = 0;
 
     UpdaterStats stats_; ///< guarded by mutex_ (queueDepth derived)
 };

@@ -6,6 +6,7 @@
 // tier15_fault aggregate.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -275,11 +276,39 @@ TEST_F(CheckpointResume, ResumeValidatesCheckpointShape)
     bad.nextGeneration = 1;
     bad.population.resize(3); // wrong population size
     EXPECT_THROW(search.resume(bad), FatalError);
+}
 
-    SearchCheckpoint past;
-    past.nextGeneration = 99; // beyond the configured generations
-    past.population.resize(searchOpts().populationSize);
-    EXPECT_THROW(search.resume(past), FatalError);
+TEST_F(CheckpointResume, ResumeTreatsCheckpointAtFinalGenerationAsComplete)
+{
+    const Dataset data = searchData(11);
+    const GaOptions opts = searchOpts();
+
+    GaOptions writer_opts = opts;
+    writer_opts.checkpointPath = path();
+    GeneticSearch writer(data, writer_opts);
+    (void)writer.run();
+
+    // The checkpoint a finished run leaves behind sits at its last
+    // breeding boundary.
+    const auto cp = loadCheckpointFromFile(path());
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_EQ(cp->nextGeneration, opts.generations - 1);
+
+    // Re-running `train --resume` with --generations at (or below)
+    // the checkpoint's next generation hands resume() a run with
+    // nothing left to do. That is completion, not an error: the
+    // stored population is re-scored and reported.
+    GaOptions fewer = opts;
+    fewer.generations = cp->nextGeneration;
+    GeneticSearch resumed(data, fewer);
+    const GaResult b = resumed.resume(*cp);
+
+    EXPECT_EQ(b.history.size(), cp->history.size());
+    ASSERT_EQ(b.population.size(), opts.populationSize);
+    for (const ScoredSpec &s : b.population)
+        EXPECT_TRUE(std::isfinite(s.fitness));
+    EXPECT_EQ(b.best.fitness, b.population.front().fitness);
+    EXPECT_LE(b.best.fitness, b.population.back().fitness);
 }
 
 } // namespace

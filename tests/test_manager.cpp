@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/manager.hpp"
+#include "core/serialize.hpp"
 
 namespace hwsw::core {
 namespace {
@@ -194,6 +197,83 @@ TEST(ModelManager, PeriodicRefitTracksDrift)
     }
     std::sort(errs.begin(), errs.end());
     EXPECT_LT(errs[errs.size() / 2], 0.15);
+}
+
+TEST(ModelManager, StateRoundTripContinuesIdentically)
+{
+    // The dynamic state is a pure function of the observation
+    // sequence, so a manager restored from saved state must be
+    // indistinguishable from one that lived through the sequence —
+    // including for everything it observes afterwards. This is the
+    // property updater snapshots (journal compaction) rest on.
+    const Dataset boot = bootData(9);
+    ModelManager a(boot, gaOpts(), mgrOpts());
+    a.bootstrapModel();
+
+    Rng rng(77);
+    std::vector<ProfileRecord> first, second;
+    for (int i = 0; i < 8; ++i)
+        first.push_back(sample("novel", rng, 0.9));
+    for (int i = 0; i < 8; ++i)
+        second.push_back(sample("novel2", rng, 1.8));
+
+    for (const auto &r : first)
+        a.observe(r);
+    ASSERT_GE(a.updateCount(), 1u);
+
+    // "Restart": dump a's state into a fresh manager that never ran
+    // the bootstrap search.
+    const std::string state = a.saveStateToString();
+    ModelManager b(boot, gaOpts(), mgrOpts());
+    EXPECT_FALSE(b.ready());
+    b.restoreStateFromString(state);
+    ASSERT_TRUE(b.ready());
+    EXPECT_EQ(b.updateCount(), a.updateCount());
+    EXPECT_EQ(b.store().size(), a.store().size());
+    EXPECT_EQ(b.steadyMedianError(), a.steadyMedianError());
+    EXPECT_EQ(saveModelToString(b.model()),
+              saveModelToString(a.model()));
+
+    // The continuation — which triggers another re-specification —
+    // diverges in nothing, observation by observation.
+    for (const auto &r : second)
+        EXPECT_EQ(b.observe(r), a.observe(r));
+    EXPECT_GE(a.updateCount(), 2u);
+    EXPECT_EQ(b.updateCount(), a.updateCount());
+    EXPECT_EQ(b.store().size(), a.store().size());
+    EXPECT_EQ(saveModelToString(b.model()),
+              saveModelToString(a.model()));
+}
+
+TEST(ModelManager, RestoreRejectsMalformedState)
+{
+    ModelManager mgr(bootData(9), gaOpts(), mgrOpts());
+    mgr.bootstrapModel();
+    const std::string state = mgr.saveStateToString();
+
+    ModelManager fresh(bootData(9), gaOpts(), mgrOpts());
+    EXPECT_THROW(fresh.restoreStateFromString("garbage"), FatalError);
+    EXPECT_THROW(fresh.restoreStateFromString(
+                     state.substr(0, state.size() / 2)),
+                 FatalError);
+    // A failed restore must not leave the manager half-built.
+    EXPECT_FALSE(fresh.ready());
+
+    // And a failed restore into a live manager keeps the old state.
+    const std::string before = mgr.saveStateToString();
+    EXPECT_THROW(mgr.restoreStateFromString(
+                     state.substr(0, state.size() / 2)),
+                 FatalError);
+    EXPECT_EQ(mgr.saveStateToString(), before);
+
+    fresh.restoreStateFromString(state);
+    EXPECT_TRUE(fresh.ready());
+}
+
+TEST(ModelManager, SaveStateBeforeBootstrapThrows)
+{
+    ModelManager mgr(bootData(9), gaOpts(), mgrOpts());
+    EXPECT_THROW(mgr.saveStateToString(), FatalError);
 }
 
 TEST(ModelManager, RejectsDegenerateOptions)

@@ -142,7 +142,7 @@ TEST_F(UpdaterJournal, ReplayStopsAtTornTail)
               0u);
 }
 
-TEST_F(UpdaterJournal, TornAppendFailsAndPriorRecordsSurvive)
+TEST_F(UpdaterJournal, TornAppendRollsBackSoLaterAppendsSurviveReplay)
 {
     ObservationJournal journal(path());
     ASSERT_TRUE(journal.open());
@@ -159,20 +159,126 @@ TEST_F(UpdaterJournal, TornAppendFailsAndPriorRecordsSurvive)
     second.perf = 99.0;
     EXPECT_FALSE(journal.append(second, &err));
     EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(journal.failed());
     EXPECT_EQ(journal.appended(), 1u);
-    journal.close();
     clean();
 
-    // The torn half-line ends replay; the first record is intact.
+    // The torn line was truncated away, so an append accepted after
+    // the failure is NOT stranded behind an unparseable tail: replay
+    // must deliver it, or "acknowledged implies journaled" breaks
+    // for everything after the first transient disk error.
+    core::ProfileRecord third = gnarlyRecord();
+    third.perf = 123.0;
+    ASSERT_TRUE(journal.append(third, &err)) << err;
+    journal.close();
+
     std::vector<core::ProfileRecord> seen;
     EXPECT_EQ(ObservationJournal::replay(
                   path(),
                   [&](const core::ProfileRecord &r) {
                       seen.push_back(r);
                   }),
-              1u);
-    ASSERT_EQ(seen.size(), 1u);
+              2u);
+    ASSERT_EQ(seen.size(), 2u);
     expectRecordsEqual(seen[0], gnarlyRecord());
+    expectRecordsEqual(seen[1], third);
+}
+
+TEST_F(UpdaterJournal, UnrollbackableTornAppendDisablesJournal)
+{
+    ObservationJournal journal(path());
+    ASSERT_TRUE(journal.open());
+    ASSERT_TRUE(journal.append(gnarlyRecord()));
+
+    std::string err;
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "journal.append.torn:once", &err))
+        << err;
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "journal.rollback.fail:once", &err))
+        << err;
+    fault::FaultRegistry::instance().setEnabled(true);
+
+    EXPECT_FALSE(journal.append(gnarlyRecord(), &err));
+    EXPECT_TRUE(journal.failed());
+    clean();
+
+    // The torn line is stuck mid-file now; any further accepted
+    // append would be silently lost at replay, so the journal must
+    // refuse everything until a restart re-replays what is left.
+    EXPECT_FALSE(journal.append(gnarlyRecord(), &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(journal.appended(), 1u);
+
+    // Everything before the torn line is still trusted.
+    EXPECT_EQ(ObservationJournal::replay(
+                  path(), [](const core::ProfileRecord &) {}),
+              1u);
+}
+
+TEST_F(UpdaterJournal, CompactionDropsCoveredPrefixAcrossCrashWindows)
+{
+    ObservationJournal journal(path());
+    ASSERT_TRUE(journal.open());
+    EXPECT_EQ(journal.epoch(), 0u);
+
+    std::vector<core::ProfileRecord> recs;
+    for (int i = 0; i < 5; ++i) {
+        core::ProfileRecord r = gnarlyRecord();
+        r.perf = 1.0 + i;
+        recs.push_back(r);
+        ASSERT_TRUE(journal.append(r));
+    }
+
+    // A snapshot at epoch 0 covering the first three records.
+    // Crash window 1: snapshot durable, compaction lost — replay
+    // must skip exactly the covered prefix.
+    std::vector<core::ProfileRecord> seen;
+    auto status = ObservationJournal::replayFrom(
+        path(),
+        [&](const core::ProfileRecord &r) { seen.push_back(r); }, 0,
+        3);
+    EXPECT_EQ(status.epoch, 0u);
+    EXPECT_EQ(status.skipped, 3u);
+    ASSERT_EQ(status.replayed, 2u);
+    expectRecordsEqual(seen[0], recs[3]);
+    expectRecordsEqual(seen[1], recs[4]);
+
+    // The compaction the snapshot authorized.
+    std::string err;
+    ASSERT_TRUE(journal.compact(3, &err)) << err;
+    EXPECT_EQ(journal.epoch(), 1u);
+
+    // Crash window 2: compaction durable — the covered prefix is
+    // gone from the file, and the stale snapshot's count must not
+    // skip live records (epoch mismatch disables it).
+    seen.clear();
+    status = ObservationJournal::replayFrom(
+        path(),
+        [&](const core::ProfileRecord &r) { seen.push_back(r); }, 0,
+        3);
+    EXPECT_EQ(status.epoch, 1u);
+    EXPECT_EQ(status.skipped, 0u);
+    ASSERT_EQ(status.replayed, 2u);
+    expectRecordsEqual(seen[0], recs[3]);
+    expectRecordsEqual(seen[1], recs[4]);
+
+    // Appends keep working on the compacted file, and a snapshot
+    // taken at the new epoch skips its own covered prefix.
+    core::ProfileRecord extra = gnarlyRecord();
+    extra.perf = 42.0;
+    ASSERT_TRUE(journal.append(extra, &err)) << err;
+    seen.clear();
+    status = ObservationJournal::replayFrom(
+        path(),
+        [&](const core::ProfileRecord &r) { seen.push_back(r); }, 1,
+        2);
+    EXPECT_EQ(status.skipped, 2u);
+    ASSERT_EQ(status.replayed, 1u);
+    expectRecordsEqual(seen[0], extra);
+
+    // Dropping more records than the journal holds is refused.
+    EXPECT_FALSE(journal.compact(99, &err));
 }
 
 TEST_F(UpdaterJournal, ReplayRebuildsModelIdenticalToUninterruptedRun)
@@ -340,6 +446,158 @@ TEST_F(UpdaterJournal, FailedAppendRefusesObservation)
     EXPECT_EQ(st.journalErrors, 1u);
     EXPECT_EQ(st.rejected, 1u);
     EXPECT_EQ(st.observed, 2u);
+
+    // The durable record matches the acknowledgements: exactly the
+    // two accepted observations replay, and the refused one left no
+    // torn line to strand them behind.
+    EXPECT_EQ(ObservationJournal::replay(
+                  path(), [](const core::ProfileRecord &) {}),
+              2u);
+}
+
+TEST_F(UpdaterJournal, SnapshotCompactionBoundsJournalAndRestartContinues)
+{
+    // The journal-growth fix end to end: B snapshots its manager on
+    // publish and compacts the journal's covered prefix, then
+    // "crashes". C restores the snapshot into a manager that never
+    // ran the bootstrap search, replays only the uncovered journal
+    // tail, and keeps observing. C must end bit-identical to the
+    // uninterrupted run A.
+    const std::string snap_path =
+        testing::TempDir() + "hwsw_test_snapshot.txt";
+    std::remove(snap_path.c_str());
+
+    core::Dataset boot;
+    Rng rng(7);
+    for (const char *app : {"a1", "a2"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[1] = (app[1] == '1' ? 0.05 : 0.15) +
+                rng.nextUniform(0.0, 0.1);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+                3.0 / r.vars[core::kNumSw];
+            boot.add(r);
+        }
+    }
+    core::GaOptions ga;
+    ga.populationSize = 10;
+    ga.generations = 4;
+    ga.numThreads = 1;
+    ga.seed = 5;
+    core::ManagerOptions mo;
+    mo.profilesForUpdate = 6;
+    mo.updateGenerations = 4;
+
+    const auto makeManager = [&] {
+        auto m = std::make_unique<core::ModelManager>(boot, ga, mo);
+        m->bootstrapModel();
+        return m;
+    };
+    const auto batch = [&](const char *app, double band) {
+        std::vector<core::ProfileRecord> out;
+        for (int i = 0; i < 8; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[1] = band + rng.nextUniform(0.0, 0.1);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+                3.0 / r.vars[core::kNumSw];
+            out.push_back(r);
+        }
+        return out;
+    };
+    const auto first = batch("novel", 0.9);
+    const auto second = batch("novel2", 1.8);
+
+    // A: uninterrupted, both batches, no journal.
+    auto regA = std::make_shared<ModelRegistry>();
+    {
+        auto mgr = makeManager();
+        regA->publish("default", mgr->model(), "bootstrap");
+        OnlineUpdater a(std::move(mgr), regA, "default");
+        a.start();
+        for (const auto &r : first)
+            ASSERT_TRUE(a.enqueue(r));
+        for (const auto &r : second)
+            ASSERT_TRUE(a.enqueue(r));
+        a.drain();
+        a.stop();
+        ASSERT_GE(a.stats().updates, 2u)
+            << "both batches must trigger a re-specification";
+    }
+
+    // B: journal + snapshots, first batch only, then crash.
+    std::size_t covered_at_crash = 0;
+    {
+        auto mgr = makeManager();
+        auto regB = std::make_shared<ModelRegistry>();
+        regB->publish("default", mgr->model(), "bootstrap");
+        OnlineUpdater b(std::move(mgr), regB, "default");
+        auto journal = std::make_unique<ObservationJournal>(path());
+        ASSERT_TRUE(journal->open());
+        b.attachJournal(std::move(journal));
+        b.enableSnapshots(snap_path);
+        b.start();
+        for (const auto &r : first)
+            ASSERT_TRUE(b.enqueue(r));
+        b.drain();
+        b.stop();
+
+        const UpdaterStats st = b.stats();
+        ASSERT_GE(st.updates, 1u);
+        EXPECT_GE(st.snapshots, 1u);
+        EXPECT_GE(st.compactions, 1u);
+        EXPECT_EQ(st.snapshotErrors, 0u);
+        covered_at_crash = st.observed;
+    }
+
+    // Compaction bounded the file: only the records observed after
+    // the last snapshot remain.
+    const std::size_t tail = ObservationJournal::replay(
+        path(), [](const core::ProfileRecord &) {});
+    EXPECT_LT(tail, first.size());
+
+    // C: restore the snapshot into a manager that never bootstrapped
+    // (the restart must not pay the full GA again), replay the tail,
+    // and continue with the second batch.
+    auto mgrC = std::make_unique<core::ModelManager>(boot, ga, mo);
+    ASSERT_FALSE(mgrC->ready());
+    const auto snap = loadUpdaterSnapshot(snap_path, *mgrC);
+    ASSERT_TRUE(snap.has_value());
+    ASSERT_TRUE(mgrC->ready());
+
+    auto regC = std::make_shared<ModelRegistry>();
+    regC->publish("default", mgrC->model(), "restored");
+    OnlineUpdater c(std::move(mgrC), regC, "default");
+    auto journalC = std::make_unique<ObservationJournal>(path());
+    ASSERT_TRUE(journalC->open());
+    c.attachJournal(std::move(journalC));
+    c.enableSnapshots(snap_path);
+    c.start();
+
+    const std::size_t replayed = c.replayJournal(path(), *snap);
+    EXPECT_EQ(replayed, tail);
+    EXPECT_EQ(replayed + snap->journalCovered, covered_at_crash)
+        << "snapshot + tail must cover exactly what B observed";
+
+    for (const auto &r : second)
+        ASSERT_TRUE(c.enqueue(r));
+    c.drain();
+    c.stop();
+
+    // The restarted pipeline lands exactly where A did.
+    const std::string modelA =
+        core::saveModelToString(regA->lookup("default")->model);
+    const std::string modelC =
+        core::saveModelToString(regC->lookup("default")->model);
+    EXPECT_EQ(modelC, modelA)
+        << "snapshot restore + tail replay diverged from the live run";
+
+    std::remove(snap_path.c_str());
 }
 
 } // namespace
