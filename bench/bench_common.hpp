@@ -15,9 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/descriptive.hpp"
 #include "common/table.hpp"
@@ -25,6 +29,99 @@
 #include "core/sampler.hpp"
 
 namespace hwsw::bench {
+
+/**
+ * Machine-readable results for CI trend tracking. Each bench collects
+ * named scalar results and appends one run object to a JSON array
+ * file (several benches can share the file: an existing array is
+ * extended, anything else is overwritten with a fresh array). The
+ * call to write() is explicit so a crashed bench never leaves a
+ * half-written record.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Record one scalar result (unit is free-form, e.g. "s", "x"). */
+    void add(const std::string &name, double value,
+             const std::string &unit)
+    {
+        entries_.push_back({name, value, unit});
+    }
+
+    /** Append this run to the JSON array at @p path. */
+    void write(const std::string &path = "BENCH_search.json") const
+    {
+        std::ostringstream obj;
+        obj << "  {\"bench\": \"" << escape(bench_)
+            << "\", \"results\": [";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            char value[64];
+            std::snprintf(value, sizeof(value), "%.17g", e.value);
+            obj << (i ? ", " : "") << "{\"name\": \"" << escape(e.name)
+                << "\", \"value\": " << value << ", \"unit\": \""
+                << escape(e.unit) << "\"}";
+        }
+        obj << "]}";
+
+        std::string existing;
+        {
+            std::ifstream in(path);
+            if (in)
+                existing.assign(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+        }
+        while (!existing.empty() &&
+               std::isspace(static_cast<unsigned char>(existing.back())))
+            existing.pop_back();
+
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "JsonReport: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        if (!existing.empty() && existing.back() == ']') {
+            // Extend the array without parsing it: drop the closing
+            // bracket and splice the new object in.
+            existing.pop_back();
+            while (!existing.empty() &&
+                   (std::isspace(
+                        static_cast<unsigned char>(existing.back())) ||
+                    existing.back() == ','))
+                existing.pop_back();
+            out << existing << ",\n" << obj.str() << "\n]\n";
+        } else {
+            out << "[\n" << obj.str() << "\n]\n";
+        }
+        std::printf("wrote %s (%zu results)\n", path.c_str(),
+                    entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    static std::string escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<Entry> entries_;
+};
 
 /** Experiment scale used by the general-model benches. */
 struct Scale

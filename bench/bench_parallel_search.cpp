@@ -13,6 +13,7 @@
  */
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -88,10 +89,13 @@ main(int argc, char **argv)
     // Seed baseline: serial, no memoization (per-generation thread
     // spawn cost aside, this is what the pre-pool search did).
     const double serial = timedRun(1, false).seconds;
+    bench::JsonReport report("bench_parallel_search");
+    report.add("serial_seconds", serial, "s");
     TextTable t;
     t.header({"threads", "memo", "seconds", "speedup"});
     t.row({"1", "off", TextTable::num(serial, 3), "1.0x"});
     core::GaResult pooled_best;
+    double pooled_seconds = serial;
     for (unsigned n : {1u, 2u, 4u, 8u}) {
         if (n > 2 * hw)
             break;
@@ -99,9 +103,15 @@ main(int argc, char **argv)
         t.row({std::to_string(n), "on",
                TextTable::num(run.seconds, 3),
                TextTable::num(serial / run.seconds, 3) + "x"});
+        report.add("pooled_memo_" + std::to_string(n) + "t_seconds",
+                   run.seconds, "s");
         pooled_best = run.result;
+        pooled_seconds = std::min(pooled_seconds, run.seconds);
     }
     std::printf("%s", t.render().c_str());
+    report.add("best_pooled_seconds", pooled_seconds, "s");
+    report.add("best_speedup", serial / pooled_seconds, "x");
+    report.write();
 
     bench::section("memoization counters (last pooled run)");
     std::printf("%s",

@@ -66,6 +66,27 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Debug-only invariant check for per-element hot loops (design-row
+ * fill, base-value lookup): compiles to nothing under NDEBUG so
+ * release builds pay no branch per element, while debug builds keep
+ * the full panic diagnostics. Entry-point size checks should stay
+ * panicIf — only checks already guarded by one belong here.
+ */
+#ifdef NDEBUG
+inline void
+debugPanicIf(bool, const char *)
+{
+}
+#else
+inline void
+debugPanicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
+#endif
+
 } // namespace hwsw
 
 #endif // HWSW_COMMON_ASSERT_HPP

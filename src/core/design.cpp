@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/descriptive.hpp"
 
 namespace hwsw::core {
+
+namespace {
+
+/** Positive part cubed. */
+double
+cubePlus(double x)
+{
+    return x > 0.0 ? x * x * x : 0.0;
+}
+
+/** The stabilized, normalized, clamped base value of one raw value. */
+double
+baseValueFor(const VarBasis &b, double x)
+{
+    const double u = (b.stab.apply(x) - b.lo) / (b.hi - b.lo);
+    // Clamp slightly beyond the training range: cubic and spline
+    // terms explode when extrapolated, and a new application's
+    // characteristics can fall outside every profiled one's. The
+    // clamp makes far extrapolation behave like the nearest profiled
+    // behavior instead of diverging (cf. the tail-linear restricted
+    // splines of Harrell that the paper builds on).
+    return std::clamp(u, -0.25, 1.25);
+}
+
+} // namespace
 
 std::size_t
 geneColumnCount(GeneTx tx)
@@ -78,16 +104,26 @@ DesignBuilder::DesignBuilder(const ModelSpec &spec, const Dataset &train)
 double
 DesignBuilder::baseValue(const ProfileRecord &rec, std::size_t var) const
 {
-    panicIf(var >= kNumVars, "baseValue var out of range");
-    const VarBasis &b = basis_[var];
-    const double u = (b.stab.apply(rec.vars[var]) - b.lo) / (b.hi - b.lo);
-    // Clamp slightly beyond the training range: cubic and spline
-    // terms explode when extrapolated, and a new application's
-    // characteristics can fall outside every profiled one's. The
-    // clamp makes far extrapolation behave like the nearest profiled
-    // behavior instead of diverging (cf. the tail-linear restricted
-    // splines of Harrell that the paper builds on).
-    return std::clamp(u, -0.25, 1.25);
+    debugPanicIf(var >= kNumVars, "baseValue var out of range");
+    return baseValueFor(basis_[var], rec.vars[var]);
+}
+
+BaseCache::BaseCache(const Dataset &ds, const BasisTable &basis)
+    : numRecords_(ds.size()), values_(kNumVars * ds.size())
+{
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const VarBasis &b = basis[v];
+        double *col = values_.data() + v * numRecords_;
+        for (std::size_t r = 0; r < numRecords_; ++r)
+            col[r] = baseValueFor(b, ds[r].vars[v]);
+    }
+}
+
+std::span<const double>
+BaseCache::var(std::size_t v) const
+{
+    panicIf(v >= kNumVars, "BaseCache var out of range");
+    return {values_.data() + v * numRecords_, numRecords_};
 }
 
 const stats::Stabilizer &
@@ -99,28 +135,25 @@ DesignBuilder::stabilizer(std::size_t var) const
 
 namespace {
 
-/** Positive part cubed. */
-double
-cubePlus(double x)
-{
-    return x > 0.0 ? x * x * x : 0.0;
-}
-
-} // namespace
-
+/**
+ * Shared row-expansion body: @p base yields the base value of a
+ * variable for the record being expanded. Keeping fillRow and
+ * fillRowFromBases on one body guarantees the cached path performs
+ * bit-identical arithmetic to the record path.
+ */
+template <typename BaseFn>
 void
-DesignBuilder::fillRow(const ProfileRecord &rec,
-                       std::span<double> row) const
+fillRowWith(const ModelSpec &spec, const BasisTable &basis,
+            std::size_t num_columns, BaseFn &&base, std::span<double> row)
 {
-    panicIf(row.size() != numColumns_, "fillRow size mismatch");
     std::size_t c = 0;
     row[c++] = 1.0;
 
     for (std::size_t v = 0; v < kNumVars; ++v) {
-        const GeneTx tx = spec_.tx(v);
+        const GeneTx tx = spec.tx(v);
         if (tx == GeneTx::Excluded)
             continue;
-        const double u = baseValue(rec, v);
+        const double u = base(v);
         switch (tx) {
           case GeneTx::Linear:
             row[c++] = u;
@@ -135,7 +168,7 @@ DesignBuilder::fillRow(const ProfileRecord &rec,
             row[c++] = u * u * u;
             break;
           case GeneTx::Spline: {
-            const auto &knots = basis_[v].knots;
+            const auto &knots = basis[v].knots;
             row[c++] = u;
             row[c++] = u * u;
             row[c++] = u * u * u;
@@ -149,9 +182,32 @@ DesignBuilder::fillRow(const ProfileRecord &rec,
         }
     }
 
-    for (const Interaction &it : spec_.interactions)
-        row[c++] = baseValue(rec, it.a) * baseValue(rec, it.b);
-    panicIf(c != numColumns_, "fillRow column count mismatch");
+    for (const Interaction &it : spec.interactions)
+        row[c++] = base(it.a) * base(it.b);
+    debugPanicIf(c != num_columns, "fillRow column count mismatch");
+    (void)num_columns;
+}
+
+} // namespace
+
+void
+DesignBuilder::fillRow(const ProfileRecord &rec,
+                       std::span<double> row) const
+{
+    panicIf(row.size() != numColumns_, "fillRow size mismatch");
+    fillRowWith(spec_, basis_, numColumns_,
+                [&](std::size_t v) { return baseValue(rec, v); }, row);
+}
+
+void
+DesignBuilder::fillRowFromBases(const BaseCache &bases, std::size_t rec,
+                                std::span<double> row) const
+{
+    panicIf(row.size() != numColumns_, "fillRowFromBases size mismatch");
+    debugPanicIf(rec >= bases.numRecords(),
+                 "fillRowFromBases record out of range");
+    fillRowWith(spec_, basis_, numColumns_,
+                [&](std::size_t v) { return bases.value(rec, v); }, row);
 }
 
 stats::Matrix
@@ -161,6 +217,135 @@ DesignBuilder::build(const Dataset &ds) const
     for (std::size_t r = 0; r < ds.size(); ++r)
         fillRow(ds[r], X.row(r));
     return X;
+}
+
+stats::Matrix
+DesignBuilder::buildFromBases(const BaseCache &bases) const
+{
+    stats::Matrix X(bases.numRecords(), numColumns_);
+    for (std::size_t r = 0; r < bases.numRecords(); ++r)
+        fillRowFromBases(bases, r, X.row(r));
+    return X;
+}
+
+void
+DesignBlockCache::bind(const BaseCache &bases, const BasisTable &basis)
+{
+    if (bases_ == &bases && basis_ == &basis)
+        return;
+    bases_ = &bases;
+    basis_ = &basis;
+    for (auto &block : varBlocks_)
+        block.clear();
+    interBlocks_.assign(kNumVars * kNumVars, {});
+}
+
+std::span<const double>
+DesignBlockCache::varBlock(std::size_t v, GeneTx tx)
+{
+    panicIf(!bound(), "DesignBlockCache::varBlock before bind");
+    panicIf(v >= kNumVars || tx == GeneTx::Excluded,
+            "varBlock needs an included variable");
+    const std::size_t k = geneColumnCount(tx);
+    const std::size_t m = bases_->numRecords();
+    std::vector<double> &block =
+        varBlocks_[v * kMaxGene +
+                   (static_cast<std::size_t>(tx) - 1)];
+    if (block.empty()) {
+        block.resize(m * k);
+        const std::span<const double> u = bases_->var(v);
+        const auto &knots = (*basis_)[v].knots;
+        for (std::size_t r = 0; r < m; ++r) {
+            double *row = block.data() + r * k;
+            // Same arithmetic, in the same order, as fillRow — the
+            // assembled matrix must be bit-identical to build().
+            switch (tx) {
+              case GeneTx::Linear:
+                row[0] = u[r];
+                break;
+              case GeneTx::Quadratic:
+                row[0] = u[r];
+                row[1] = u[r] * u[r];
+                break;
+              case GeneTx::Cubic:
+                row[0] = u[r];
+                row[1] = u[r] * u[r];
+                row[2] = u[r] * u[r] * u[r];
+                break;
+              case GeneTx::Spline:
+                row[0] = u[r];
+                row[1] = u[r] * u[r];
+                row[2] = u[r] * u[r] * u[r];
+                row[3] = cubePlus(u[r] - knots[0]);
+                row[4] = cubePlus(u[r] - knots[1]);
+                row[5] = cubePlus(u[r] - knots[2]);
+                break;
+              default:
+                panic("unreachable gene value");
+            }
+        }
+    }
+    return block;
+}
+
+std::span<const double>
+DesignBlockCache::interactionBlock(std::uint16_t a, std::uint16_t b)
+{
+    panicIf(!bound(), "DesignBlockCache::interactionBlock before bind");
+    panicIf(a >= kNumVars || b >= kNumVars,
+            "interactionBlock var out of range");
+    const std::size_t m = bases_->numRecords();
+    std::vector<double> &block = interBlocks_[a * kNumVars + b];
+    if (block.empty()) {
+        block.resize(m);
+        const std::span<const double> ua = bases_->var(a);
+        const std::span<const double> ub = bases_->var(b);
+        for (std::size_t r = 0; r < m; ++r)
+            block[r] = ua[r] * ub[r];
+    }
+    return block;
+}
+
+void
+DesignBuilder::buildFromBases(const BaseCache &bases,
+                              DesignBlockCache &blocks,
+                              stats::Matrix &out) const
+{
+    panicIf(blocks.bases_ != &bases,
+            "buildFromBases: block cache bound to another record set");
+    const std::size_t m = bases.numRecords();
+    out.reshape(m, numColumns_);
+
+    // Resolve every column group once, then assemble row-wise so the
+    // output streams sequentially and each source block is a straight
+    // memcpy per row.
+    std::vector<DesignBlockCache::Piece> &pieces = blocks.pieces_;
+    pieces.clear();
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const GeneTx tx = spec_.tx(v);
+        if (tx == GeneTx::Excluded)
+            continue;
+        const std::span<const double> block = blocks.varBlock(v, tx);
+        pieces.push_back({block.data(), geneColumnCount(tx)});
+    }
+    for (const Interaction &it : spec_.interactions) {
+        const std::span<const double> block =
+            blocks.interactionBlock(it.a, it.b);
+        pieces.push_back({block.data(), 1});
+    }
+
+    for (std::size_t r = 0; r < m; ++r) {
+        double *row = out.row(r).data();
+        row[0] = 1.0;
+        std::size_t c = 1;
+        for (const DesignBlockCache::Piece &p : pieces) {
+            std::memcpy(row + c, p.data + r * p.cols,
+                        p.cols * sizeof(double));
+            c += p.cols;
+        }
+        debugPanicIf(c != numColumns_,
+                     "buildFromBases column count mismatch");
+    }
 }
 
 std::vector<std::string>

@@ -50,6 +50,99 @@ using BasisTable = std::array<VarBasis, kNumVars>;
  */
 BasisTable computeBasisTable(const Dataset &train);
 
+/**
+ * Candidate-invariant base values of a fixed record set.
+ *
+ * The stabilized, normalized, clamped base value of (record, var) —
+ * everything DesignBuilder::baseValue computes, including its
+ * transcendental stabilizer transform — depends only on the record
+ * set and the basis table, never on the model specification. The
+ * genetic search therefore precomputes one BaseCache per CV fold and
+ * evaluates every candidate against it: per-candidate design assembly
+ * becomes pure polynomial arithmetic with zero transcendental calls.
+ *
+ * Storage is variable-major (kNumVars x m) so materializing one
+ * variable's column block streams contiguously.
+ */
+class BaseCache
+{
+  public:
+    BaseCache() = default;
+
+    /** Precompute the base value of every (record, variable) pair. */
+    BaseCache(const Dataset &ds, const BasisTable &basis);
+
+    std::size_t numRecords() const { return numRecords_; }
+    bool empty() const { return numRecords_ == 0; }
+
+    /** Contiguous base values of one variable across all records. */
+    std::span<const double> var(std::size_t v) const;
+
+    /** Base value of one (record, variable) pair. */
+    double value(std::size_t rec, std::size_t v) const
+    {
+        return values_[v * numRecords_ + rec];
+    }
+
+  private:
+    std::size_t numRecords_ = 0;
+    std::vector<double> values_; ///< values_[v * m + rec]
+};
+
+/**
+ * Per-thread cache of materialized design-column blocks for one
+ * record set.
+ *
+ * A candidate's design matrix is the intercept, one block of
+ * geneColumnCount(tx) columns per included (var, tx), and one product
+ * column per interaction — all functions of (record set, var, tx) or
+ * (record set, a, b) only. Candidates that share genes (elites,
+ * crossover offspring, mutated siblings) therefore share most of
+ * their columns; this cache materializes each block once per bound
+ * record set and lets DesignBuilder::buildFromBases assemble the
+ * matrix by row-wise memcpy. One instance per (search thread, fold):
+ * no locking, and the memory high-water mark is a few hundred
+ * kilobytes per fold.
+ */
+class DesignBlockCache
+{
+  public:
+    /**
+     * Bind to a record set; cached blocks are dropped when the
+     * (bases, basis) pair changes and kept when it is rebound to the
+     * same one.
+     */
+    void bind(const BaseCache &bases, const BasisTable &basis);
+
+    bool bound() const { return bases_ != nullptr; }
+
+    /**
+     * The m x geneColumnCount(tx) row-major block for one included
+     * variable, materialized on first use. @pre tx != Excluded.
+     */
+    std::span<const double> varBlock(std::size_t v, GeneTx tx);
+
+    /** The m x 1 product column for interaction a*b. */
+    std::span<const double> interactionBlock(std::uint16_t a,
+                                             std::uint16_t b);
+
+  private:
+    friend class DesignBuilder;
+
+    /** One contiguous source block during row-wise assembly. */
+    struct Piece
+    {
+        const double *data = nullptr;
+        std::size_t cols = 0;
+    };
+
+    const BaseCache *bases_ = nullptr;
+    const BasisTable *basis_ = nullptr;
+    std::array<std::vector<double>, kNumVars * kMaxGene> varBlocks_;
+    std::vector<std::vector<double>> interBlocks_; ///< [a*kNumVars+b]
+    std::vector<Piece> pieces_; ///< assembly scratch
+};
+
 /** Expands records into design-matrix rows for a fixed ModelSpec. */
 class DesignBuilder
 {
@@ -71,6 +164,27 @@ class DesignBuilder
 
     /** Expand a single record. @pre row.size() == numColumns(). */
     void fillRow(const ProfileRecord &rec, std::span<double> row) const;
+
+    /**
+     * Expand one cached record: identical bits to fillRow on the
+     * record the cache was built from, with zero transcendental
+     * calls. @pre bases was built with this builder's basis table.
+     */
+    void fillRowFromBases(const BaseCache &bases, std::size_t rec,
+                          std::span<double> row) const;
+
+    /** Expand a whole cached record set via fillRowFromBases. */
+    stats::Matrix buildFromBases(const BaseCache &bases) const;
+
+    /**
+     * Expand a cached record set by assembling memoized column
+     * blocks (search fast path): the intercept is written and every
+     * other column group is memcpy'd from the block cache. Reshapes
+     * @p out in place so a reused matrix buffer never reallocates.
+     * @pre blocks is bound to (bases, this builder's basis table).
+     */
+    void buildFromBases(const BaseCache &bases, DesignBlockCache &blocks,
+                        stats::Matrix &out) const;
 
     const ModelSpec &spec() const { return spec_; }
 

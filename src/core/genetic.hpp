@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -228,7 +229,34 @@ class GeneticSearch
         Dataset validation;
         BasisTable basis;
         std::vector<double> weights; ///< empty when unweighted
+
+        // Candidate-invariant fast-path data, computed once at
+        // construction: stabilized/normalized base values of both
+        // record sets, the log-scale response, and the validation
+        // ground truth. Every per-candidate evaluation reads these
+        // instead of re-deriving them from raw profiles.
+        BaseCache trainBases;
+        BaseCache valBases;
+        std::vector<double> zlogTrain; ///< log CPI of train records
+        std::vector<double> valPerf;   ///< measured CPI of validation
     };
+
+    /**
+     * Per-thread evaluation scratch: one design-block cache per fold
+     * plus the fit workspace and a predictions buffer. Instances are
+     * leased from a free list for the duration of one evaluate()
+     * call, so concurrent workers never share buffers and at most
+     * (workers + 1) instances ever exist.
+     */
+    struct EvalScratch
+    {
+        std::vector<DesignBlockCache> blocks; ///< one per fold
+        FitWorkspace fit;
+        std::vector<double> predictions;
+    };
+
+    std::unique_ptr<EvalScratch> acquireScratch() const;
+    void releaseScratch(std::unique_ptr<EvalScratch> scratch) const;
 
     std::vector<ScoredSpec> evaluatePopulation(
         std::span<const ModelSpec> specs) const;
@@ -246,6 +274,10 @@ class GeneticSearch
 
     /** Cross-generation fitness memo (unused when disabled). */
     mutable FitnessCache cache_;
+
+    /** Idle evaluation scratches (leased per evaluate() call). */
+    mutable std::mutex scratchMutex_;
+    mutable std::vector<std::unique_ptr<EvalScratch>> scratchFree_;
 
     // Observability. Mutable so the logically-const evaluation path
     // can record what it did; all counters are thread-safe.

@@ -39,19 +39,72 @@ HwSwModel::fit(const ModelSpec &spec, const Dataset &train,
     }
 }
 
-double
-HwSwModel::predict(const ProfileRecord &rec) const
+void
+HwSwModel::fitFromBases(const ModelSpec &spec, const BasisTable &basis,
+                        const BaseCache &bases,
+                        std::span<const double> z,
+                        DesignBlockCache &blocks, FitWorkspace &ws,
+                        std::span<const double> weights)
 {
-    panicIf(!fitted(), "HwSwModel::predict before fit");
-    std::vector<double> row(builder_->numColumns());
-    builder_->fillRow(rec, row);
-    const double z = lm_.predictRow(row);
+    fatalIf(bases.empty(), "HwSwModel::fit needs training data");
+    panicIf(z.size() != bases.numRecords(),
+            "fitFromBases response count mismatch");
+    builder_ = std::make_shared<const DesignBuilder>(spec, basis);
+    builder_->buildFromBases(bases, blocks, ws.design);
+    if (weights.empty()) {
+        lm_.fit(ws.design, z, ws.lstsq);
+    } else {
+        panicIf(weights.size() != bases.numRecords(),
+                "HwSwModel::fit weight count mismatch");
+        lm_.fit(ws.design, z, weights, ws.lstsq);
+    }
+}
+
+namespace {
+
+/** Clamp-and-exponentiate a log-scale prediction. */
+double
+boundedExp(double z)
+{
     // Bound log-scale predictions: CPI outside [0.1, 100] is never
     // physical in the Table 2 space, and an unbounded exp() would let
     // a far extrapolation diverge instead of saturating.
-    return logResponse_
-        ? std::exp(std::clamp(z, std::log(0.1), std::log(100.0)))
-        : z;
+    return std::exp(std::clamp(z, std::log(0.1), std::log(100.0)));
+}
+
+} // namespace
+
+double
+HwSwModel::predict(const ProfileRecord &rec) const
+{
+    std::vector<double> row;
+    return predict(rec, row);
+}
+
+double
+HwSwModel::predict(const ProfileRecord &rec,
+                   std::vector<double> &row_scratch) const
+{
+    panicIf(!fitted(), "HwSwModel::predict before fit");
+    row_scratch.resize(builder_->numColumns());
+    builder_->fillRow(rec, row_scratch);
+    const double z = lm_.predictRow(row_scratch);
+    return logResponse_ ? boundedExp(z) : z;
+}
+
+void
+HwSwModel::predictAllFromBases(const BaseCache &bases, FitWorkspace &ws,
+                               std::vector<double> &out) const
+{
+    panicIf(!fitted(), "HwSwModel::predictAll before fit");
+    const std::size_t m = bases.numRecords();
+    out.resize(m);
+    ws.row.resize(builder_->numColumns());
+    for (std::size_t r = 0; r < m; ++r) {
+        builder_->fillRowFromBases(bases, r, ws.row);
+        const double z = lm_.predictRow(ws.row);
+        out[r] = logResponse_ ? boundedExp(z) : z;
+    }
 }
 
 std::vector<double>
@@ -61,8 +114,7 @@ HwSwModel::predictAll(const Dataset &ds) const
     std::vector<double> pred = lm_.predict(builder_->build(ds));
     if (logResponse_) {
         for (double &v : pred)
-            v = std::exp(std::clamp(v, std::log(0.1),
-                                    std::log(100.0)));
+            v = boundedExp(v);
     }
     return pred;
 }

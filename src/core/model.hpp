@@ -17,6 +17,19 @@
 
 namespace hwsw::core {
 
+/**
+ * Reusable buffers for the evaluation fast path: the QR solver
+ * workspace, the assembled design matrix, and a single-row scratch.
+ * One instance per search worker thread; contents between calls are
+ * meaningless.
+ */
+struct FitWorkspace
+{
+    stats::LstsqWorkspace lstsq;
+    stats::Matrix design;
+    std::vector<double> row;
+};
+
 /** Fitted regression model over the integrated space. */
 class HwSwModel
 {
@@ -49,10 +62,42 @@ class HwSwModel
              const BasisTable &basis,
              std::span<const double> weights = {});
 
+    /**
+     * Search fast path: fit from fold-cached base values. The design
+     * matrix is assembled from the block cache into the workspace
+     * buffer and solved with the workspace QR — no transcendental
+     * calls and no per-fit allocation churn. Bit-identical
+     * coefficients to fit(spec, train, basis, weights).
+     *
+     * @param z response column already on the fit scale (log CPI
+     *        when logResponse() is set); one entry per cached record.
+     * @pre blocks is bound to (bases, basis).
+     */
+    void fitFromBases(const ModelSpec &spec, const BasisTable &basis,
+                      const BaseCache &bases, std::span<const double> z,
+                      DesignBlockCache &blocks, FitWorkspace &ws,
+                      std::span<const double> weights = {});
+
     bool fitted() const { return builder_ != nullptr; }
 
     /** Predict performance (CPI) of one hardware-software pair. */
     double predict(const ProfileRecord &rec) const;
+
+    /**
+     * predict() with a caller-supplied row scratch: the serve hot
+     * path calls this with a thread-local buffer so a scalar predict
+     * performs no heap allocation. Bit-identical to predict().
+     */
+    double predict(const ProfileRecord &rec,
+                   std::vector<double> &row_scratch) const;
+
+    /**
+     * Predict every record of a cached record set into @p out
+     * (validation fast path; bit-identical to predictAll on the
+     * records the cache was built from).
+     */
+    void predictAllFromBases(const BaseCache &bases, FitWorkspace &ws,
+                             std::vector<double> &out) const;
 
     /** Predict every record in a dataset. */
     std::vector<double> predictAll(const Dataset &ds) const;

@@ -60,14 +60,21 @@ PredictionEngine::predict(const std::string &model,
     admitted_.fetch_add(n, std::memory_order_relaxed);
     out.modelVersion = snap->version;
     out.predictions.resize(n);
+    // The scratch row makes a scalar predict allocation-free; it is
+    // thread-local (not per-call) so pool workers keep their buffer
+    // across batches and across engines.
     if (n <= opts_.inlineBatch) {
+        thread_local std::vector<double> row_scratch;
         for (std::size_t i = 0; i < n; ++i)
             out.predictions[i] =
-                snap->model.predict(recordFromRow(rows[i]));
+                snap->model.predict(recordFromRow(rows[i]),
+                                    row_scratch);
     } else {
         pool_.parallelFor(n, [&](std::size_t i) {
+            thread_local std::vector<double> row_scratch;
             out.predictions[i] =
-                snap->model.predict(recordFromRow(rows[i]));
+                snap->model.predict(recordFromRow(rows[i]),
+                                    row_scratch);
         });
     }
     inFlight_.fetch_sub(n, std::memory_order_acq_rel);

@@ -67,6 +67,28 @@ LinearModel::fit(const Matrix &X, std::span<const double> z,
     fitted_ = true;
 }
 
+void
+LinearModel::fit(const Matrix &X, std::span<const double> z,
+                 LstsqWorkspace &ws)
+{
+    LstsqResult res = lstsq(X, z, ws);
+    coeffs_ = std::move(res.coeffs);
+    dropped_ = std::move(res.dropped);
+    rank_ = res.rank;
+    fitted_ = true;
+}
+
+void
+LinearModel::fit(const Matrix &X, std::span<const double> z,
+                 std::span<const double> w, LstsqWorkspace &ws)
+{
+    LstsqResult res = weightedLstsq(X, z, w, ws);
+    coeffs_ = std::move(res.coeffs);
+    dropped_ = std::move(res.dropped);
+    rank_ = res.rank;
+    fitted_ = true;
+}
+
 double
 LinearModel::predictRow(std::span<const double> row) const
 {

@@ -51,6 +51,18 @@ class LinearModel
     void fit(const Matrix &X, std::span<const double> z,
              std::span<const double> w);
 
+    /**
+     * OLS with caller-owned solver buffers (search fast path); one
+     * workspace per thread, reused across fits. Bit-identical to the
+     * allocating overload.
+     */
+    void fit(const Matrix &X, std::span<const double> z,
+             LstsqWorkspace &ws);
+
+    /** WLS with caller-owned solver buffers. */
+    void fit(const Matrix &X, std::span<const double> z,
+             std::span<const double> w, LstsqWorkspace &ws);
+
     /** Predict one observation. @pre row.size() == #coefficients. */
     double predictRow(std::span<const double> row) const;
 

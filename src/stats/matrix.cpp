@@ -23,6 +23,14 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     }
 }
 
+void
+Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
 double &
 Matrix::operator()(std::size_t r, std::size_t c)
 {

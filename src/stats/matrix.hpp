@@ -30,6 +30,14 @@ class Matrix
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /**
+     * Resize to rows x cols reusing the existing allocation where
+     * possible (design-matrix scratch in the search fast path).
+     * Element values are unspecified afterwards; the caller is
+     * expected to overwrite every one.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
     double &operator()(std::size_t r, std::size_t c);
     double operator()(std::size_t r, std::size_t c) const;
 

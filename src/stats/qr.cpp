@@ -8,41 +8,36 @@
 
 namespace hwsw::stats {
 
-LstsqResult
-lstsq(const Matrix &X, std::span<const double> z, double rcond,
-      double ridge)
-{
-    const std::size_t m0 = X.rows();
-    const std::size_t n = X.cols();
-    panicIf(z.size() != m0, "lstsq: z size must match X rows");
-    fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
-    fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
+namespace {
 
-    // Working copies; A is factored in place, rhs accumulates Q' z.
-    // Ridge regularization appends sqrt(ridge) * I rows with zero
-    // targets (the intercept column, if any, is penalized too, but
-    // with these magnitudes the bias is negligible).
-    const std::size_t m = ridge > 0.0 ? m0 + n : m0;
-    Matrix A(m, n);
-    for (std::size_t r = 0; r < m0; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            A(r, c) = X(r, c);
-    if (ridge > 0.0) {
-        const double s = std::sqrt(ridge);
-        for (std::size_t c = 0; c < n; ++c)
-            A(m0 + c, c) = s;
-    }
-    std::vector<double> rhs(z.begin(), z.end());
-    rhs.resize(m, 0.0);
-    std::vector<std::size_t> perm(n);
-    std::iota(perm.begin(), perm.end(), std::size_t{0});
-    double *a = A.data(); // hot loops use unchecked row-major access
+/**
+ * Factor ws.factor (m x n row-major, ridge rows already folded in)
+ * with column-pivoted Householder QR and back-substitute. ws.rhs
+ * holds the m-length target. The loop body is allocation-free: every
+ * buffer it touches lives in the workspace at full size.
+ */
+LstsqResult
+solvePrepared(LstsqWorkspace &ws, std::size_t m, std::size_t n,
+              double rcond, double ridge)
+{
+    double *a = ws.factor.data(); // hot loops use unchecked access
+    double *rhs = ws.rhs.data();
+
+    ws.perm.resize(n);
+    std::iota(ws.perm.begin(), ws.perm.end(), std::size_t{0});
+    std::size_t *perm = ws.perm.data();
 
     // Column squared norms for pivot selection.
-    std::vector<double> colNorm(n, 0.0);
+    ws.colNorm.assign(n, 0.0);
+    double *colNorm = ws.colNorm.data();
     for (std::size_t r = 0; r < m; ++r)
         for (std::size_t c = 0; c < n; ++c)
             colNorm[c] += a[r * n + c] * a[r * n + c];
+
+    ws.reflector.resize(m);
+    double *v = ws.reflector.data();
+    ws.dots.resize(n);
+    double *dots = ws.dots.data();
 
     const std::size_t steps = std::min(m, n);
     std::size_t rank = 0;
@@ -82,13 +77,13 @@ lstsq(const Matrix &X, std::span<const double> z, double rcond,
         ++rank;
 
         const double alpha = (a[k * n + k] >= 0.0) ? -norm : norm;
-        std::vector<double> v(m - k);
+        const std::size_t vlen = m - k;
         v[0] = a[k * n + k] - alpha;
         for (std::size_t r = k + 1; r < m; ++r)
             v[r - k] = a[r * n + k];
         double vnorm2 = 0.0;
-        for (double vi : v)
-            vnorm2 += vi * vi;
+        for (std::size_t i = 0; i < vlen; ++i)
+            vnorm2 += v[i] * v[i];
         a[k * n + k] = alpha;
         for (std::size_t r = k + 1; r < m; ++r)
             a[r * n + k] = 0.0;
@@ -96,15 +91,15 @@ lstsq(const Matrix &X, std::span<const double> z, double rcond,
             // Apply I - 2 v v'/v'v to trailing columns and the rhs,
             // row-wise so the row-major storage streams once per
             // sweep instead of once per column.
-            std::vector<double> dots(n - k - 1, 0.0);
+            std::fill(dots, dots + (n - k - 1), 0.0);
             for (std::size_t r = k; r < m; ++r) {
                 const double vr = v[r - k];
                 const double *row = a + r * n;
                 for (std::size_t c = k + 1; c < n; ++c)
                     dots[c - k - 1] += vr * row[c];
             }
-            for (double &d : dots)
-                d *= 2.0 / vnorm2;
+            for (std::size_t c = k + 1; c < n; ++c)
+                dots[c - k - 1] *= 2.0 / vnorm2;
             for (std::size_t r = k; r < m; ++r) {
                 const double vr = v[r - k];
                 double *row = a + r * n;
@@ -159,22 +154,97 @@ lstsq(const Matrix &X, std::span<const double> z, double rcond,
     return out;
 }
 
+/**
+ * Append sqrt(ridge) * I rows with zero targets below row m0 (the
+ * intercept column, if any, is penalized too, but with these
+ * magnitudes the bias is negligible). @pre the buffers hold m rows.
+ */
+void
+foldInRidgeRows(LstsqWorkspace &ws, std::size_t m0, std::size_t m,
+                std::size_t n, double ridge)
+{
+    if (ridge <= 0.0)
+        return;
+    std::fill(ws.factor.begin() +
+                  static_cast<std::ptrdiff_t>(m0 * n),
+              ws.factor.begin() + static_cast<std::ptrdiff_t>(m * n),
+              0.0);
+    const double s = std::sqrt(ridge);
+    for (std::size_t c = 0; c < n; ++c)
+        ws.factor[(m0 + c) * n + c] = s;
+    std::fill(ws.rhs.begin() + static_cast<std::ptrdiff_t>(m0),
+              ws.rhs.begin() + static_cast<std::ptrdiff_t>(m), 0.0);
+}
+
+} // namespace
+
+LstsqResult
+lstsq(const Matrix &X, std::span<const double> z, LstsqWorkspace &ws,
+      double rcond, double ridge)
+{
+    const std::size_t m0 = X.rows();
+    const std::size_t n = X.cols();
+    panicIf(z.size() != m0, "lstsq: z size must match X rows");
+    fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
+    fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
+
+    // Copy X straight into the factor buffer; ridge rows are folded
+    // in during the copy instead of materializing an augmented
+    // Matrix first.
+    const std::size_t m = ridge > 0.0 ? m0 + n : m0;
+    ws.factor.resize(m * n);
+    std::copy(X.data(), X.data() + m0 * n, ws.factor.begin());
+    ws.rhs.resize(m);
+    std::copy(z.begin(), z.end(), ws.rhs.begin());
+    foldInRidgeRows(ws, m0, m, n, ridge);
+    return solvePrepared(ws, m, n, rcond, ridge);
+}
+
+LstsqResult
+lstsq(const Matrix &X, std::span<const double> z, double rcond,
+      double ridge)
+{
+    LstsqWorkspace ws;
+    return lstsq(X, z, ws, rcond, ridge);
+}
+
+LstsqResult
+weightedLstsq(const Matrix &X, std::span<const double> z,
+              std::span<const double> w, LstsqWorkspace &ws,
+              double rcond, double ridge)
+{
+    const std::size_t m0 = X.rows();
+    const std::size_t n = X.cols();
+    panicIf(w.size() != m0, "weightedLstsq: weight size must match rows");
+    panicIf(z.size() != m0, "lstsq: z size must match X rows");
+    fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
+    fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
+
+    // Scale rows by sqrt(w) while copying into the factor buffer; no
+    // intermediate weighted design matrix is built.
+    const std::size_t m = ridge > 0.0 ? m0 + n : m0;
+    ws.factor.resize(m * n);
+    ws.rhs.resize(m);
+    const double *x = X.data();
+    for (std::size_t r = 0; r < m0; ++r) {
+        fatalIf(w[r] < 0.0, "weightedLstsq: weights must be >= 0");
+        const double s = std::sqrt(w[r]);
+        const double *src = x + r * n;
+        double *dst = ws.factor.data() + r * n;
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = s * src[c];
+        ws.rhs[r] = s * z[r];
+    }
+    foldInRidgeRows(ws, m0, m, n, ridge);
+    return solvePrepared(ws, m, n, rcond, ridge);
+}
+
 LstsqResult
 weightedLstsq(const Matrix &X, std::span<const double> z,
               std::span<const double> w, double rcond, double ridge)
 {
-    const std::size_t m = X.rows();
-    panicIf(w.size() != m, "weightedLstsq: weight size must match rows");
-    Matrix Xw(m, X.cols());
-    std::vector<double> zw(m);
-    for (std::size_t r = 0; r < m; ++r) {
-        fatalIf(w[r] < 0.0, "weightedLstsq: weights must be >= 0");
-        const double s = std::sqrt(w[r]);
-        for (std::size_t c = 0; c < X.cols(); ++c)
-            Xw(r, c) = s * X(r, c);
-        zw[r] = s * z[r];
-    }
-    return lstsq(Xw, zw, rcond, ridge);
+    LstsqWorkspace ws;
+    return weightedLstsq(X, z, w, ws, rcond, ridge);
 }
 
 } // namespace hwsw::stats

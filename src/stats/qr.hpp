@@ -37,6 +37,28 @@ struct LstsqResult
 };
 
 /**
+ * Reusable solver buffers for the factorization hot path.
+ *
+ * A candidate evaluation in the genetic search performs one
+ * factorization per CV fold; allocating the factor buffer, the
+ * right-hand side, and the per-reflector scratch on every call
+ * dominates the small-matrix solve cost. A workspace is owned by one
+ * caller (one search worker thread) and passed to every lstsq call it
+ * makes; buffers grow to the high-water mark and are reused. Contents
+ * between calls are meaningless — results are bit-identical whether a
+ * workspace is fresh or has been reused a thousand times.
+ */
+struct LstsqWorkspace
+{
+    std::vector<double> factor;  ///< in-place QR buffer (m_aug x n)
+    std::vector<double> rhs;     ///< Q' z accumulator
+    std::vector<double> reflector; ///< current Householder vector
+    std::vector<double> dots;    ///< per-column reflector dot products
+    std::vector<double> colNorm; ///< pivot-selection column norms
+    std::vector<std::size_t> perm; ///< column permutation
+};
+
+/**
  * Solve min_b ||X b - z||_2 + ridge ||b||_2 with automatic
  * collinearity elimination.
  *
@@ -53,6 +75,16 @@ LstsqResult lstsq(const Matrix &X, std::span<const double> z,
                   double rcond = 1e-10, double ridge = 1e-4);
 
 /**
+ * Workspace overload: X is copied directly into the workspace factor
+ * buffer (ridge rows folded in during the copy) and the factorization
+ * runs allocation-free. Bit-identical to the allocation-per-call
+ * overload above.
+ */
+LstsqResult lstsq(const Matrix &X, std::span<const double> z,
+                  LstsqWorkspace &ws, double rcond = 1e-10,
+                  double ridge = 1e-4);
+
+/**
  * Weighted least squares: minimizes sum_i w_i (x_i'b - z_i)^2.
  * Used by the model-update path, which weights profiles of a newly
  * observed application more heavily (Section 3.3).
@@ -61,6 +93,15 @@ LstsqResult lstsq(const Matrix &X, std::span<const double> z,
  */
 LstsqResult weightedLstsq(const Matrix &X, std::span<const double> z,
                           std::span<const double> w,
+                          double rcond = 1e-10, double ridge = 1e-4);
+
+/**
+ * Workspace overload: scales rows into the workspace factor buffer
+ * while copying, instead of materializing a second weighted design
+ * matrix. Bit-identical to the overload above.
+ */
+LstsqResult weightedLstsq(const Matrix &X, std::span<const double> z,
+                          std::span<const double> w, LstsqWorkspace &ws,
                           double rcond = 1e-10, double ridge = 1e-4);
 
 } // namespace hwsw::stats

@@ -1,0 +1,350 @@
+// Regression suite for the evaluation fast path: fold-level base
+// caching, block-cached design assembly, workspace fitting, and the
+// genetic search's cached evaluate(). Every comparison against the
+// legacy path is bit-exact (EXPECT_EQ on doubles) — the search's
+// cross-thread determinism contract depends on the cached and
+// uncached pipelines performing identical arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/genetic.hpp"
+#include "core/model.hpp"
+#include "stats/linear_model.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/** Multi-variable dataset exercising stabilizers, splines, widths. */
+Dataset
+fastPathData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta", "gamma"}) {
+        const double base = 1.0 + (app[0] - 'a') * 0.5;
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[0] = rng.nextUniform(0.0, 1.0);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = std::exp(rng.nextGaussian() * 2.0 + 5.0);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 / r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+/** A spec covering every gene class plus interactions. */
+ModelSpec
+richSpec()
+{
+    ModelSpec spec;
+    spec.genes[0] = 1;            // linear
+    spec.genes[6] = 2;            // quadratic
+    spec.genes[7] = 4;            // spline
+    spec.genes[kNumSw] = 3;       // cubic
+    spec.genes[kNumSw + 4] = 1;   // linear
+    spec.interactions = {
+        {0, 7},
+        {6, static_cast<std::uint16_t>(kNumSw)},
+        {5, 9}, // neither variable has a gene
+    };
+    spec.normalize();
+    return spec;
+}
+
+TEST(DesignFastPath, BaseCacheMatchesBaseValue)
+{
+    const Dataset ds = fastPathData(40, 11);
+    const BasisTable basis = computeBasisTable(ds);
+    const DesignBuilder b(richSpec(), basis);
+    const BaseCache bases(ds, basis);
+    ASSERT_EQ(bases.numRecords(), ds.size());
+    for (std::size_t rec = 0; rec < ds.size(); ++rec)
+        for (std::size_t v = 0; v < kNumVars; ++v) {
+            EXPECT_EQ(bases.value(rec, v), b.baseValue(ds[rec], v))
+                << "record " << rec << " var " << v;
+            EXPECT_EQ(bases.var(v)[rec], bases.value(rec, v));
+        }
+}
+
+TEST(DesignFastPath, FillRowFromBasesMatchesFillRow)
+{
+    const Dataset ds = fastPathData(30, 12);
+    const BasisTable basis = computeBasisTable(ds);
+    const DesignBuilder b(richSpec(), basis);
+    const BaseCache bases(ds, basis);
+    std::vector<double> legacy(b.numColumns());
+    std::vector<double> cached(b.numColumns());
+    for (std::size_t rec = 0; rec < ds.size(); ++rec) {
+        b.fillRow(ds[rec], legacy);
+        b.fillRowFromBases(bases, rec, cached);
+        for (std::size_t c = 0; c < legacy.size(); ++c)
+            EXPECT_EQ(legacy[c], cached[c])
+                << "record " << rec << " column " << c;
+    }
+}
+
+TEST(DesignFastPath, BuildFromBasesMatchesBuild)
+{
+    const Dataset ds = fastPathData(35, 13);
+    const BasisTable basis = computeBasisTable(ds);
+    const DesignBuilder b(richSpec(), basis);
+    const BaseCache bases(ds, basis);
+    const stats::Matrix legacy = b.build(ds);
+    const stats::Matrix cached = b.buildFromBases(bases);
+    ASSERT_EQ(cached.rows(), legacy.rows());
+    ASSERT_EQ(cached.cols(), legacy.cols());
+    for (std::size_t r = 0; r < legacy.rows(); ++r)
+        for (std::size_t c = 0; c < legacy.cols(); ++c)
+            EXPECT_EQ(legacy(r, c), cached(r, c));
+}
+
+TEST(DesignFastPath, BlockCachedBuildMatchesBuildAcrossSpecs)
+{
+    // Many specs share one bound block cache — exactly the search's
+    // usage pattern — and a reused output matrix.
+    const Dataset ds = fastPathData(30, 14);
+    const BasisTable basis = computeBasisTable(ds);
+    const BaseCache bases(ds, basis);
+    DesignBlockCache blocks;
+    blocks.bind(bases, basis);
+    stats::Matrix out;
+    Rng rng(321);
+    for (int iter = 0; iter < 25; ++iter) {
+        const ModelSpec spec = ModelSpec::random(rng, 0.4, 8);
+        const DesignBuilder b(spec, basis);
+        const stats::Matrix legacy = b.build(ds);
+        b.buildFromBases(bases, blocks, out);
+        ASSERT_EQ(out.rows(), legacy.rows());
+        ASSERT_EQ(out.cols(), legacy.cols());
+        for (std::size_t r = 0; r < legacy.rows(); ++r)
+            for (std::size_t c = 0; c < legacy.cols(); ++c)
+                EXPECT_EQ(legacy(r, c), out(r, c))
+                    << "iteration " << iter;
+    }
+}
+
+TEST(DesignFastPath, RebindingBlockCacheToNewRecordsIsSafe)
+{
+    const Dataset ds1 = fastPathData(30, 15);
+    const Dataset ds2 = fastPathData(20, 16);
+    const BasisTable basis1 = computeBasisTable(ds1);
+    const BasisTable basis2 = computeBasisTable(ds2);
+    const BaseCache bases1(ds1, basis1);
+    const BaseCache bases2(ds2, basis2);
+    const ModelSpec spec = richSpec();
+
+    DesignBlockCache blocks;
+    blocks.bind(bases1, basis1);
+    stats::Matrix out;
+    const DesignBuilder b1(spec, basis1);
+    b1.buildFromBases(bases1, blocks, out); // warm the cache
+
+    // Rebind must drop every stale block and serve ds2 correctly.
+    blocks.bind(bases2, basis2);
+    const DesignBuilder b2(spec, basis2);
+    b2.buildFromBases(bases2, blocks, out);
+    const stats::Matrix legacy = b2.build(ds2);
+    ASSERT_EQ(out.rows(), legacy.rows());
+    for (std::size_t r = 0; r < legacy.rows(); ++r)
+        for (std::size_t c = 0; c < legacy.cols(); ++c)
+            EXPECT_EQ(legacy(r, c), out(r, c));
+
+    // Using a cache bound elsewhere is an invariant violation.
+    EXPECT_THROW(b1.buildFromBases(bases1, blocks, out), PanicError);
+}
+
+/** Fit a model through the legacy and fast paths; return both. */
+struct FitPair
+{
+    HwSwModel legacy;
+    HwSwModel fast;
+};
+
+FitPair
+fitBothPaths(const ModelSpec &spec, const Dataset &train,
+             std::span<const double> weights = {})
+{
+    const BasisTable basis = computeBasisTable(train);
+    FitPair p;
+    p.legacy.fit(spec, train, basis, weights);
+
+    const BaseCache bases(train, basis);
+    std::vector<double> zlog = train.perfColumn();
+    for (double &v : zlog)
+        v = std::log(v);
+    DesignBlockCache blocks;
+    blocks.bind(bases, basis);
+    FitWorkspace ws;
+    p.fast.fitFromBases(spec, basis, bases, zlog, blocks, ws, weights);
+    return p;
+}
+
+TEST(ModelFastPath, FitFromBasesMatchesLegacyFit)
+{
+    const Dataset train = fastPathData(50, 21);
+    const FitPair p = fitBothPaths(richSpec(), train);
+    ASSERT_EQ(p.fast.coefficients().size(),
+              p.legacy.coefficients().size());
+    for (std::size_t i = 0; i < p.legacy.coefficients().size(); ++i)
+        EXPECT_EQ(p.legacy.coefficients()[i], p.fast.coefficients()[i])
+            << "coefficient " << i;
+    EXPECT_EQ(p.legacy.numDroppedColumns(), p.fast.numDroppedColumns());
+}
+
+TEST(ModelFastPath, WeightedFitFromBasesMatchesLegacyFit)
+{
+    const Dataset train = fastPathData(50, 22);
+    Rng rng(7);
+    std::vector<double> w(train.size());
+    for (double &x : w)
+        x = rng.nextUniform(0.5, 3.0);
+    const FitPair p = fitBothPaths(richSpec(), train, w);
+    for (std::size_t i = 0; i < p.legacy.coefficients().size(); ++i)
+        EXPECT_EQ(p.legacy.coefficients()[i], p.fast.coefficients()[i])
+            << "coefficient " << i;
+}
+
+TEST(ModelFastPath, PredictAllFromBasesMatchesPredictAll)
+{
+    const Dataset train = fastPathData(50, 23);
+    const Dataset val = fastPathData(25, 24);
+    const FitPair p = fitBothPaths(richSpec(), train);
+
+    const BaseCache valBases(val, p.legacy.builder().basis());
+    FitWorkspace ws;
+    std::vector<double> fast;
+    p.fast.predictAllFromBases(valBases, ws, fast);
+    const std::vector<double> legacy = p.legacy.predictAll(val);
+    ASSERT_EQ(fast.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_EQ(legacy[i], fast[i]) << "prediction " << i;
+}
+
+TEST(ModelFastPath, ScratchPredictMatchesPredict)
+{
+    const Dataset train = fastPathData(50, 25);
+    const Dataset val = fastPathData(10, 26);
+    const FitPair p = fitBothPaths(richSpec(), train);
+    std::vector<double> scratch; // reused dirty across calls
+    for (std::size_t i = 0; i < val.size(); ++i)
+        EXPECT_EQ(p.legacy.predict(val[i]),
+                  p.legacy.predict(val[i], scratch))
+            << "record " << i;
+}
+
+/**
+ * Replicate GeneticSearch's fold construction and score @p spec the
+ * legacy way: full refit from raw profiles per fold, no caches.
+ */
+std::pair<double, double>
+legacyEvaluate(const Dataset &data, const GaOptions &opts,
+               const ModelSpec &spec)
+{
+    double sum_err = 0.0;
+    double penalties = 0.0;
+    std::size_t n_folds = 0;
+    Rng rng(opts.seed);
+    for (const std::string &app : data.appNames()) {
+        const Dataset::Split split =
+            data.splitApp(app, opts.trainFrac, rng);
+        std::vector<std::size_t> train_idx;
+        for (std::size_t i = 0; i < data.size(); ++i)
+            if (data[i].app != app)
+                train_idx.push_back(i);
+        const std::size_t others = train_idx.size();
+        train_idx.insert(train_idx.end(), split.train.begin(),
+                         split.train.end());
+        const Dataset train = data.subset(train_idx);
+        const Dataset validation = data.subset(split.validation);
+        std::vector<double> weights;
+        if (opts.trainWeight != 1.0) {
+            weights.assign(train.size(), 1.0);
+            for (std::size_t i = others; i < train.size(); ++i)
+                weights[i] = opts.trainWeight;
+        }
+
+        HwSwModel model;
+        model.fit(spec, train, computeBasisTable(train), weights);
+        const stats::FitMetrics m = model.validate(validation);
+        sum_err += m.medianAbsPctError;
+        penalties += opts.collinearityPenalty *
+            static_cast<double>(model.numDroppedColumns());
+        penalties += opts.complexityPenalty *
+            static_cast<double>(model.numColumns());
+        ++n_folds;
+    }
+    const auto n = static_cast<double>(n_folds);
+    return {sum_err / n + penalties / n, sum_err};
+}
+
+TEST(EvalFastPath, EvaluateMatchesLegacyPipeline)
+{
+    const Dataset data = fastPathData(40, 31);
+    GaOptions opts;
+    opts.numThreads = 1;
+    opts.seed = 55;
+    const GeneticSearch search(data, opts);
+    Rng rng(99);
+    for (int iter = 0; iter < 10; ++iter) {
+        const ModelSpec spec = ModelSpec::random(rng, 0.4, 6);
+        const auto [fit_fast, err_fast] = search.evaluate(spec);
+        const auto [fit_legacy, err_legacy] =
+            legacyEvaluate(data, opts, spec);
+        EXPECT_EQ(fit_legacy, fit_fast) << "iteration " << iter;
+        EXPECT_EQ(err_legacy, err_fast) << "iteration " << iter;
+    }
+}
+
+TEST(EvalFastPath, EvaluateMatchesLegacyPipelineWeighted)
+{
+    const Dataset data = fastPathData(40, 32);
+    GaOptions opts;
+    opts.numThreads = 1;
+    opts.seed = 56;
+    opts.trainWeight = 5.0;
+    const GeneticSearch search(data, opts);
+    const ModelSpec spec = richSpec();
+    const auto [fit_fast, err_fast] = search.evaluate(spec);
+    const auto [fit_legacy, err_legacy] =
+        legacyEvaluate(data, opts, spec);
+    EXPECT_EQ(fit_legacy, fit_fast);
+    EXPECT_EQ(err_legacy, err_fast);
+}
+
+TEST(EvalFastPath, PooledSearchReusesScratchSafely)
+{
+    // Concurrency coverage for the scratch free list: a pooled run
+    // must produce the serial run's exact result. TSan builds run
+    // this via the tier15_fastpath aggregate.
+    const Dataset data = fastPathData(30, 33);
+    GaOptions serial;
+    serial.populationSize = 10;
+    serial.generations = 3;
+    serial.numThreads = 1;
+    serial.seed = 77;
+    GaOptions pooled = serial;
+    pooled.numThreads = 4;
+
+    GeneticSearch a(data, serial);
+    GeneticSearch b(data, pooled);
+    const GaResult ra = a.run();
+    const GaResult rb = b.run();
+    EXPECT_EQ(ra.best.spec, rb.best.spec);
+    EXPECT_EQ(ra.best.fitness, rb.best.fitness);
+    ASSERT_EQ(ra.population.size(), rb.population.size());
+    for (std::size_t i = 0; i < ra.population.size(); ++i) {
+        EXPECT_EQ(ra.population[i].spec, rb.population[i].spec);
+        EXPECT_EQ(ra.population[i].fitness, rb.population[i].fitness);
+    }
+}
+
+} // namespace
+} // namespace hwsw::core

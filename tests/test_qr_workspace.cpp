@@ -1,0 +1,322 @@
+// Property suite for the workspace QR fast path.
+//
+// The workspace overloads of lstsq/weightedLstsq must be bit-identical
+// to the allocation-per-call path — the genetic search's determinism
+// contract (test_genetic_determinism) rides on it. To pin the
+// semantics independently of the shared implementation, this file
+// carries a verbatim copy of the pre-workspace solver (Matrix copy,
+// ridge-row append, per-reflector std::vector allocations) as a
+// reference, and drives randomized systems — including rank-deficient,
+// weighted, ridge-augmented, and wide ones — through reference, plain,
+// and dirty-reused-workspace paths, expecting exact equality of
+// coefficients, rank, dropped columns, and residual norm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "stats/qr.hpp"
+
+namespace hwsw::stats {
+namespace {
+
+/** Verbatim pre-workspace solver, kept as the bit-exact reference. */
+LstsqResult
+referenceLstsq(const Matrix &X, std::span<const double> z, double rcond,
+               double ridge)
+{
+    const std::size_t m0 = X.rows();
+    const std::size_t n = X.cols();
+    panicIf(z.size() != m0, "lstsq: z size must match X rows");
+    fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
+    fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
+
+    const std::size_t m = ridge > 0.0 ? m0 + n : m0;
+    Matrix A(m, n);
+    for (std::size_t r = 0; r < m0; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            A(r, c) = X(r, c);
+    if (ridge > 0.0) {
+        const double s = std::sqrt(ridge);
+        for (std::size_t c = 0; c < n; ++c)
+            A(m0 + c, c) = s;
+    }
+    std::vector<double> rhs(z.begin(), z.end());
+    rhs.resize(m, 0.0);
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double *a = A.data();
+
+    std::vector<double> colNorm(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            colNorm[c] += a[r * n + c] * a[r * n + c];
+
+    const std::size_t steps = std::min(m, n);
+    std::size_t rank = 0;
+    double firstDiag = 0.0;
+
+    for (std::size_t k = 0; k < steps; ++k) {
+        std::size_t best = k;
+        for (std::size_t c = k + 1; c < n; ++c)
+            if (colNorm[c] > colNorm[best])
+                best = c;
+        if (best != k) {
+            for (std::size_t r = 0; r < m; ++r)
+                std::swap(a[r * n + k], a[r * n + best]);
+            std::swap(colNorm[k], colNorm[best]);
+            std::swap(perm[k], perm[best]);
+        }
+
+        double norm = 0.0;
+        for (std::size_t r = k; r < m; ++r)
+            norm += a[r * n + k] * a[r * n + k];
+        norm = std::sqrt(norm);
+
+        if (k == 0)
+            firstDiag = norm;
+        const double drop_threshold = std::max(
+            rcond * std::max(firstDiag, 1e-300),
+            ridge > 0.0 ? 3.0 * std::sqrt(ridge) : 0.0);
+        if (norm <= drop_threshold) {
+            break;
+        }
+        ++rank;
+
+        const double alpha = (a[k * n + k] >= 0.0) ? -norm : norm;
+        std::vector<double> v(m - k);
+        v[0] = a[k * n + k] - alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            v[r - k] = a[r * n + k];
+        double vnorm2 = 0.0;
+        for (double vi : v)
+            vnorm2 += vi * vi;
+        a[k * n + k] = alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            a[r * n + k] = 0.0;
+        if (vnorm2 > 0.0) {
+            std::vector<double> dots(n - k - 1, 0.0);
+            for (std::size_t r = k; r < m; ++r) {
+                const double vr = v[r - k];
+                const double *row = a + r * n;
+                for (std::size_t c = k + 1; c < n; ++c)
+                    dots[c - k - 1] += vr * row[c];
+            }
+            for (double &d : dots)
+                d *= 2.0 / vnorm2;
+            for (std::size_t r = k; r < m; ++r) {
+                const double vr = v[r - k];
+                double *row = a + r * n;
+                for (std::size_t c = k + 1; c < n; ++c)
+                    row[c] -= dots[c - k - 1] * vr;
+            }
+            double dot = 0.0;
+            for (std::size_t r = k; r < m; ++r)
+                dot += v[r - k] * rhs[r];
+            const double f = 2.0 * dot / vnorm2;
+            for (std::size_t r = k; r < m; ++r)
+                rhs[r] -= f * v[r - k];
+        }
+
+        for (std::size_t c = k + 1; c < n; ++c) {
+            const double elim = a[k * n + c] * a[k * n + c];
+            colNorm[c] -= elim;
+            if (colNorm[c] < 1e-6 * std::max(elim, 1e-12)) {
+                double s = 0.0;
+                for (std::size_t r = k + 1; r < m; ++r)
+                    s += a[r * n + c] * a[r * n + c];
+                colNorm[c] = s;
+            }
+        }
+    }
+
+    std::vector<double> y(rank, 0.0);
+    for (std::size_t i = rank; i-- > 0;) {
+        double acc = rhs[i];
+        for (std::size_t j = i + 1; j < rank; ++j)
+            acc -= a[i * n + j] * y[j];
+        y[i] = acc / a[i * n + i];
+    }
+
+    LstsqResult out;
+    out.rank = rank;
+    out.coeffs.assign(n, 0.0);
+    for (std::size_t i = 0; i < rank; ++i)
+        out.coeffs[perm[i]] = y[i];
+    for (std::size_t i = rank; i < n; ++i)
+        out.dropped.push_back(perm[i]);
+    std::sort(out.dropped.begin(), out.dropped.end());
+
+    double res = 0.0;
+    for (std::size_t r = rank; r < m; ++r)
+        res += rhs[r] * rhs[r];
+    out.residualNorm = std::sqrt(res);
+    return out;
+}
+
+/** Verbatim pre-workspace weighted solver (builds the full Xw copy). */
+LstsqResult
+referenceWeightedLstsq(const Matrix &X, std::span<const double> z,
+                       std::span<const double> w, double rcond,
+                       double ridge)
+{
+    const std::size_t m = X.rows();
+    panicIf(w.size() != m, "weightedLstsq: weight size must match rows");
+    Matrix Xw(m, X.cols());
+    std::vector<double> zw(m);
+    for (std::size_t r = 0; r < m; ++r) {
+        fatalIf(w[r] < 0.0, "weightedLstsq: weights must be >= 0");
+        const double s = std::sqrt(w[r]);
+        for (std::size_t c = 0; c < X.cols(); ++c)
+            Xw(r, c) = s * X(r, c);
+        zw[r] = s * z[r];
+    }
+    return referenceLstsq(Xw, zw, rcond, ridge);
+}
+
+/** Every deterministic field must match to the bit. */
+void
+expectBitIdentical(const LstsqResult &want, const LstsqResult &got,
+                   const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(want.rank, got.rank);
+    EXPECT_EQ(want.dropped, got.dropped);
+    ASSERT_EQ(want.coeffs.size(), got.coeffs.size());
+    for (std::size_t i = 0; i < want.coeffs.size(); ++i)
+        EXPECT_EQ(want.coeffs[i], got.coeffs[i])
+            << "coefficient " << i;
+    EXPECT_EQ(want.residualNorm, got.residualNorm);
+}
+
+/** A randomized system, possibly ill-conditioned on purpose. */
+struct RandomSystem
+{
+    Matrix X;
+    std::vector<double> z;
+    std::vector<double> w;
+};
+
+RandomSystem
+makeSystem(Rng &rng)
+{
+    const std::size_t m = 1 + rng.nextInt(60);
+    const std::size_t n = 1 + rng.nextInt(20); // sometimes wider than m
+    RandomSystem sys;
+    sys.X = Matrix(m, n);
+    sys.z.resize(m);
+    sys.w.resize(m);
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            sys.X(r, c) = rng.nextUniform(-2.0, 2.0);
+        sys.z[r] = rng.nextUniform(-5.0, 5.0);
+        sys.w[r] = rng.nextBool(0.1) ? 0.0 : rng.nextUniform(0.01, 4.0);
+    }
+    // Inject rank deficiencies: duplicate, scaled, and zero columns.
+    if (n >= 3 && rng.nextBool(0.5)) {
+        const std::size_t a = rng.nextInt(n);
+        const std::size_t b = rng.nextInt(n);
+        const double scale = rng.nextBool(0.5) ? 1.0 : -3.0;
+        for (std::size_t r = 0; r < m; ++r)
+            sys.X(r, b) = scale * sys.X(r, a);
+    }
+    if (n >= 2 && rng.nextBool(0.25)) {
+        const std::size_t zc = rng.nextInt(n);
+        for (std::size_t r = 0; r < m; ++r)
+            sys.X(r, zc) = 0.0;
+    }
+    return sys;
+}
+
+double
+pickRidge(Rng &rng)
+{
+    switch (rng.nextInt(3)) {
+      case 0:
+        return 0.0;
+      case 1:
+        return 1e-4;
+      default:
+        return 0.5;
+    }
+}
+
+TEST(LstsqWorkspace, BitIdenticalToReferenceOnRandomSystems)
+{
+    Rng rng(2024);
+    LstsqWorkspace ws; // deliberately reused dirty across all cases
+    for (int iter = 0; iter < 200; ++iter) {
+        SCOPED_TRACE("iteration " + std::to_string(iter));
+        const RandomSystem sys = makeSystem(rng);
+        const double ridge = pickRidge(rng);
+        const LstsqResult want =
+            referenceLstsq(sys.X, sys.z, 1e-10, ridge);
+        expectBitIdentical(want, lstsq(sys.X, sys.z, 1e-10, ridge),
+                           "allocating overload");
+        expectBitIdentical(want, lstsq(sys.X, sys.z, ws, 1e-10, ridge),
+                           "reused workspace");
+    }
+}
+
+TEST(LstsqWorkspace, WeightedBitIdenticalToReference)
+{
+    Rng rng(4048);
+    LstsqWorkspace ws;
+    for (int iter = 0; iter < 200; ++iter) {
+        SCOPED_TRACE("iteration " + std::to_string(iter));
+        const RandomSystem sys = makeSystem(rng);
+        const double ridge = pickRidge(rng);
+        const LstsqResult want =
+            referenceWeightedLstsq(sys.X, sys.z, sys.w, 1e-10, ridge);
+        expectBitIdentical(
+            want, weightedLstsq(sys.X, sys.z, sys.w, 1e-10, ridge),
+            "allocating overload");
+        expectBitIdentical(
+            want, weightedLstsq(sys.X, sys.z, sys.w, ws, 1e-10, ridge),
+            "reused workspace");
+    }
+}
+
+TEST(LstsqWorkspace, ShrinkingAfterLargeSystemStaysIdentical)
+{
+    // A workspace sized by a big system must not leak stale tail
+    // state into a later small one.
+    Rng rng(77);
+    LstsqWorkspace ws;
+    RandomSystem big;
+    big.X = Matrix(120, 20);
+    big.z.resize(120);
+    for (std::size_t r = 0; r < 120; ++r) {
+        for (std::size_t c = 0; c < 20; ++c)
+            big.X(r, c) = rng.nextUniform(-1.0, 1.0);
+        big.z[r] = rng.nextUniform(-1.0, 1.0);
+    }
+    (void)lstsq(big.X, big.z, ws);
+
+    Matrix small = {{1.0, 0.0}, {0.0, 2.0}};
+    std::vector<double> z = {3.0, 8.0};
+    expectBitIdentical(referenceLstsq(small, z, 1e-10, 0.0),
+                       lstsq(small, z, ws, 1e-10, 0.0), "small after big");
+}
+
+TEST(LstsqWorkspace, RejectsBadInputsLikeLegacy)
+{
+    LstsqWorkspace ws;
+    Matrix empty;
+    std::vector<double> none;
+    EXPECT_THROW(lstsq(empty, none, ws), FatalError);
+
+    Matrix X = {{1.0}};
+    std::vector<double> z = {1.0};
+    EXPECT_THROW(lstsq(X, z, ws, 1e-10, -1.0), FatalError);
+    std::vector<double> w = {-1.0};
+    EXPECT_THROW(weightedLstsq(X, z, w, ws), FatalError);
+    std::vector<double> shortZ;
+    EXPECT_THROW(lstsq(X, shortZ, ws), PanicError);
+}
+
+} // namespace
+} // namespace hwsw::stats
