@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modeling.dir/bench_ablation_modeling.cpp.o"
+  "CMakeFiles/bench_ablation_modeling.dir/bench_ablation_modeling.cpp.o.d"
+  "bench_ablation_modeling"
+  "bench_ablation_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

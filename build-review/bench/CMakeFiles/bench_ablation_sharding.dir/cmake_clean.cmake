@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sharding.dir/bench_ablation_sharding.cpp.o"
+  "CMakeFiles/bench_ablation_sharding.dir/bench_ablation_sharding.cpp.o.d"
+  "bench_ablation_sharding"
+  "bench_ablation_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_general_power.dir/bench_ext_general_power.cpp.o"
+  "CMakeFiles/bench_ext_general_power.dir/bench_ext_general_power.cpp.o.d"
+  "bench_ext_general_power"
+  "bench_ext_general_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_general_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_synthetic_coverage.dir/bench_ext_synthetic_coverage.cpp.o"
+  "CMakeFiles/bench_ext_synthetic_coverage.dir/bench_ext_synthetic_coverage.cpp.o.d"
+  "bench_ext_synthetic_coverage"
+  "bench_ext_synthetic_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_synthetic_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

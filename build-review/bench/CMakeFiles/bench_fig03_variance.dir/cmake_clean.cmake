@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_variance.dir/bench_fig03_variance.cpp.o"
+  "CMakeFiles/bench_fig03_variance.dir/bench_fig03_variance.cpp.o.d"
+  "bench_fig03_variance"
+  "bench_fig03_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

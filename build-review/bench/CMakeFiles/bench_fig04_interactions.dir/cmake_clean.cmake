@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_interactions.dir/bench_fig04_interactions.cpp.o"
+  "CMakeFiles/bench_fig04_interactions.dir/bench_fig04_interactions.cpp.o.d"
+  "bench_fig04_interactions"
+  "bench_fig04_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

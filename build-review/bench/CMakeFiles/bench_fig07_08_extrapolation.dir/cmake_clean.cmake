@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_08_extrapolation.dir/bench_fig07_08_extrapolation.cpp.o"
+  "CMakeFiles/bench_fig07_08_extrapolation.dir/bench_fig07_08_extrapolation.cpp.o.d"
+  "bench_fig07_08_extrapolation"
+  "bench_fig07_08_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_08_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_08_interpolation.dir/bench_fig07_08_interpolation.cpp.o"
+  "CMakeFiles/bench_fig07_08_interpolation.dir/bench_fig07_08_interpolation.cpp.o.d"
+  "bench_fig07_08_interpolation"
+  "bench_fig07_08_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_08_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

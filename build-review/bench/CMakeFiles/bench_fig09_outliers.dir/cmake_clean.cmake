@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_outliers.dir/bench_fig09_outliers.cpp.o"
+  "CMakeFiles/bench_fig09_outliers.dir/bench_fig09_outliers.cpp.o.d"
+  "bench_fig09_outliers"
+  "bench_fig09_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

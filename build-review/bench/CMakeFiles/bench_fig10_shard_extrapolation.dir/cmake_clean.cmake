@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_shard_extrapolation.dir/bench_fig10_shard_extrapolation.cpp.o"
+  "CMakeFiles/bench_fig10_shard_extrapolation.dir/bench_fig10_shard_extrapolation.cpp.o.d"
+  "bench_fig10_shard_extrapolation"
+  "bench_fig10_shard_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_shard_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_tuning.dir/bench_fig16_tuning.cpp.o"
+  "CMakeFiles/bench_fig16_tuning.dir/bench_fig16_tuning.cpp.o.d"
+  "bench_fig16_tuning"
+  "bench_fig16_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lstsq.dir/bench_lstsq.cpp.o"
+  "CMakeFiles/bench_lstsq.dir/bench_lstsq.cpp.o.d"
+  "bench_lstsq"
+  "bench_lstsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lstsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

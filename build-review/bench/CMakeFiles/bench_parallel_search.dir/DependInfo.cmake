@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_search.cpp" "bench/CMakeFiles/bench_parallel_search.dir/bench_parallel_search.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_search.dir/bench_parallel_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/hwsw_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmv/CMakeFiles/hwsw_spmv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profiler/CMakeFiles/hwsw_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/hwsw_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/hwsw_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiling_cost.dir/bench_profiling_cost.cpp.o"
+  "CMakeFiles/bench_profiling_cost.dir/bench_profiling_cost.cpp.o.d"
+  "bench_profiling_cost"
+  "bench_profiling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_transforms.dir/bench_tab03_transforms.cpp.o"
+  "CMakeFiles/bench_tab03_transforms.dir/bench_tab03_transforms.cpp.o.d"
+  "bench_tab03_transforms"
+  "bench_tab03_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

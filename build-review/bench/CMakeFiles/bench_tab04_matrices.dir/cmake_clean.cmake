@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_matrices.dir/bench_tab04_matrices.cpp.o"
+  "CMakeFiles/bench_tab04_matrices.dir/bench_tab04_matrices.cpp.o.d"
+  "bench_tab04_matrices"
+  "bench_tab04_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cache.dir/adaptive_cache.cpp.o"
+  "CMakeFiles/adaptive_cache.dir/adaptive_cache.cpp.o.d"
+  "adaptive_cache"
+  "adaptive_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

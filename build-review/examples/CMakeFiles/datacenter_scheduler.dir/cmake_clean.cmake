@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_scheduler.dir/datacenter_scheduler.cpp.o"
+  "CMakeFiles/datacenter_scheduler.dir/datacenter_scheduler.cpp.o.d"
+  "datacenter_scheduler"
+  "datacenter_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

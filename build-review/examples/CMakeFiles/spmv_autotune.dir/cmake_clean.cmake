@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_autotune.dir/spmv_autotune.cpp.o"
+  "CMakeFiles/spmv_autotune.dir/spmv_autotune.cpp.o.d"
+  "spmv_autotune"
+  "spmv_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

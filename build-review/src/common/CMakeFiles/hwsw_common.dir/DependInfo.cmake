@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/descriptive.cpp" "src/common/CMakeFiles/hwsw_common.dir/descriptive.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/descriptive.cpp.o.d"
+  "/root/repo/src/common/fault/fault.cpp" "src/common/CMakeFiles/hwsw_common.dir/fault/fault.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/common/fsio.cpp" "src/common/CMakeFiles/hwsw_common.dir/fsio.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/fsio.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/hwsw_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/common/CMakeFiles/hwsw_common.dir/metrics.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/metrics.cpp.o.d"
+  "/root/repo/src/common/pool.cpp" "src/common/CMakeFiles/hwsw_common.dir/pool.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/pool.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/hwsw_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/hwsw_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/hwsw_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

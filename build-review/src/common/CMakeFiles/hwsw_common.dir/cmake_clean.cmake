@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_common.dir/descriptive.cpp.o"
+  "CMakeFiles/hwsw_common.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/fault/fault.cpp.o"
+  "CMakeFiles/hwsw_common.dir/fault/fault.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/fsio.cpp.o"
+  "CMakeFiles/hwsw_common.dir/fsio.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/histogram.cpp.o"
+  "CMakeFiles/hwsw_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/metrics.cpp.o"
+  "CMakeFiles/hwsw_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/pool.cpp.o"
+  "CMakeFiles/hwsw_common.dir/pool.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/rng.cpp.o"
+  "CMakeFiles/hwsw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hwsw_common.dir/table.cpp.o"
+  "CMakeFiles/hwsw_common.dir/table.cpp.o.d"
+  "libhwsw_common.a"
+  "libhwsw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

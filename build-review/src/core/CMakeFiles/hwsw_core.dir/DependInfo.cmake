@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/hwsw_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/hwsw_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/hwsw_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/fitness_cache.cpp" "src/core/CMakeFiles/hwsw_core.dir/fitness_cache.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/fitness_cache.cpp.o.d"
+  "/root/repo/src/core/genetic.cpp" "src/core/CMakeFiles/hwsw_core.dir/genetic.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/genetic.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/hwsw_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/hwsw_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/hwsw_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/hwsw_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/hwsw_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/hwsw_core.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/hwsw_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profiler/CMakeFiles/hwsw_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/hwsw_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

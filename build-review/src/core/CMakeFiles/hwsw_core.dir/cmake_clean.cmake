@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/hwsw_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/dataset.cpp.o"
+  "CMakeFiles/hwsw_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/design.cpp.o"
+  "CMakeFiles/hwsw_core.dir/design.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/fitness_cache.cpp.o"
+  "CMakeFiles/hwsw_core.dir/fitness_cache.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/genetic.cpp.o"
+  "CMakeFiles/hwsw_core.dir/genetic.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/manager.cpp.o"
+  "CMakeFiles/hwsw_core.dir/manager.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/model.cpp.o"
+  "CMakeFiles/hwsw_core.dir/model.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/sampler.cpp.o"
+  "CMakeFiles/hwsw_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/serialize.cpp.o"
+  "CMakeFiles/hwsw_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/hwsw_core.dir/spec.cpp.o"
+  "CMakeFiles/hwsw_core.dir/spec.cpp.o.d"
+  "libhwsw_core.a"
+  "libhwsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/hwsw_profiler.dir/profiler.cpp.o.d"
+  "libhwsw_profiler.a"
+  "libhwsw_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

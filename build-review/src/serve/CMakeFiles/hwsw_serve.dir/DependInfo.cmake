@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/client.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/client.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/client.cpp.o.d"
+  "/root/repo/src/serve/engine.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/engine.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/engine.cpp.o.d"
+  "/root/repo/src/serve/journal.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/journal.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/journal.cpp.o.d"
+  "/root/repo/src/serve/latency.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/latency.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/latency.cpp.o.d"
+  "/root/repo/src/serve/protocol.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/protocol.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/protocol.cpp.o.d"
+  "/root/repo/src/serve/registry.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/registry.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/registry.cpp.o.d"
+  "/root/repo/src/serve/resilience/resilience.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/resilience/resilience.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/resilience/resilience.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/server.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/server.cpp.o.d"
+  "/root/repo/src/serve/updater.cpp" "src/serve/CMakeFiles/hwsw_serve.dir/updater.cpp.o" "gcc" "src/serve/CMakeFiles/hwsw_serve.dir/updater.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/hwsw_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/hwsw_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profiler/CMakeFiles/hwsw_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/hwsw_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

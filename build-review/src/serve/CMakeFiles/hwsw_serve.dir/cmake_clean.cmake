@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_serve.dir/client.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/client.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/engine.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/engine.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/journal.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/journal.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/latency.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/latency.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/protocol.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/protocol.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/registry.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/registry.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/resilience/resilience.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/resilience/resilience.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/server.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/server.cpp.o.d"
+  "CMakeFiles/hwsw_serve.dir/updater.cpp.o"
+  "CMakeFiles/hwsw_serve.dir/updater.cpp.o.d"
+  "libhwsw_serve.a"
+  "libhwsw_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

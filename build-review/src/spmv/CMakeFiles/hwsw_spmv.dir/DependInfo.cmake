@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spmv/bcsr.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/bcsr.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/bcsr.cpp.o.d"
+  "/root/repo/src/spmv/csr.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/csr.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/csr.cpp.o.d"
+  "/root/repo/src/spmv/exec.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/exec.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/exec.cpp.o.d"
+  "/root/repo/src/spmv/machine.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/machine.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/machine.cpp.o.d"
+  "/root/repo/src/spmv/matgen.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/matgen.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/matgen.cpp.o.d"
+  "/root/repo/src/spmv/model.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/model.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/model.cpp.o.d"
+  "/root/repo/src/spmv/tuner.cpp" "src/spmv/CMakeFiles/hwsw_spmv.dir/tuner.cpp.o" "gcc" "src/spmv/CMakeFiles/hwsw_spmv.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/hwsw_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/hwsw_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_spmv.dir/bcsr.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/bcsr.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/csr.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/csr.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/exec.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/exec.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/machine.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/machine.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/matgen.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/matgen.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/model.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/model.cpp.o.d"
+  "CMakeFiles/hwsw_spmv.dir/tuner.cpp.o"
+  "CMakeFiles/hwsw_spmv.dir/tuner.cpp.o.d"
+  "libhwsw_spmv.a"
+  "libhwsw_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/linear_model.cpp" "src/stats/CMakeFiles/hwsw_stats.dir/linear_model.cpp.o" "gcc" "src/stats/CMakeFiles/hwsw_stats.dir/linear_model.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/hwsw_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/hwsw_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/qr.cpp" "src/stats/CMakeFiles/hwsw_stats.dir/qr.cpp.o" "gcc" "src/stats/CMakeFiles/hwsw_stats.dir/qr.cpp.o.d"
+  "/root/repo/src/stats/spline.cpp" "src/stats/CMakeFiles/hwsw_stats.dir/spline.cpp.o" "gcc" "src/stats/CMakeFiles/hwsw_stats.dir/spline.cpp.o.d"
+  "/root/repo/src/stats/transform.cpp" "src/stats/CMakeFiles/hwsw_stats.dir/transform.cpp.o" "gcc" "src/stats/CMakeFiles/hwsw_stats.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

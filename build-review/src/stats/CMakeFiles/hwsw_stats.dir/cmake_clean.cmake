@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_stats.dir/linear_model.cpp.o"
+  "CMakeFiles/hwsw_stats.dir/linear_model.cpp.o.d"
+  "CMakeFiles/hwsw_stats.dir/matrix.cpp.o"
+  "CMakeFiles/hwsw_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/hwsw_stats.dir/qr.cpp.o"
+  "CMakeFiles/hwsw_stats.dir/qr.cpp.o.d"
+  "CMakeFiles/hwsw_stats.dir/spline.cpp.o"
+  "CMakeFiles/hwsw_stats.dir/spline.cpp.o.d"
+  "CMakeFiles/hwsw_stats.dir/transform.cpp.o"
+  "CMakeFiles/hwsw_stats.dir/transform.cpp.o.d"
+  "libhwsw_stats.a"
+  "libhwsw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/hwsw_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/hwsw_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/config.cpp" "src/uarch/CMakeFiles/hwsw_uarch.dir/config.cpp.o" "gcc" "src/uarch/CMakeFiles/hwsw_uarch.dir/config.cpp.o.d"
+  "/root/repo/src/uarch/perfmodel.cpp" "src/uarch/CMakeFiles/hwsw_uarch.dir/perfmodel.cpp.o" "gcc" "src/uarch/CMakeFiles/hwsw_uarch.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/uarch/powermodel.cpp" "src/uarch/CMakeFiles/hwsw_uarch.dir/powermodel.cpp.o" "gcc" "src/uarch/CMakeFiles/hwsw_uarch.dir/powermodel.cpp.o.d"
+  "/root/repo/src/uarch/signature.cpp" "src/uarch/CMakeFiles/hwsw_uarch.dir/signature.cpp.o" "gcc" "src/uarch/CMakeFiles/hwsw_uarch.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

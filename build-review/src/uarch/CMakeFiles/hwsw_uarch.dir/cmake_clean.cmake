@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_uarch.dir/cache.cpp.o"
+  "CMakeFiles/hwsw_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/hwsw_uarch.dir/config.cpp.o"
+  "CMakeFiles/hwsw_uarch.dir/config.cpp.o.d"
+  "CMakeFiles/hwsw_uarch.dir/perfmodel.cpp.o"
+  "CMakeFiles/hwsw_uarch.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/hwsw_uarch.dir/powermodel.cpp.o"
+  "CMakeFiles/hwsw_uarch.dir/powermodel.cpp.o.d"
+  "CMakeFiles/hwsw_uarch.dir/signature.cpp.o"
+  "CMakeFiles/hwsw_uarch.dir/signature.cpp.o.d"
+  "libhwsw_uarch.a"
+  "libhwsw_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

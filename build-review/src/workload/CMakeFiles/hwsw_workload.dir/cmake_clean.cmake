@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_workload.dir/apps.cpp.o"
+  "CMakeFiles/hwsw_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/hwsw_workload.dir/generator.cpp.o"
+  "CMakeFiles/hwsw_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hwsw_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/hwsw_workload.dir/synthetic.cpp.o.d"
+  "libhwsw_workload.a"
+  "libhwsw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

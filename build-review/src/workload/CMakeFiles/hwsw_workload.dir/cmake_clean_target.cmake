@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhwsw_workload.a"
+)

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_bcsr.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_bcsr.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_bcsr.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_checkpoint_resume.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_checkpoint_resume.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_checkpoint_resume.cpp.o.d"
+  "/root/repo/tests/test_client_resilience.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_client_resilience.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_client_resilience.cpp.o.d"
+  "/root/repo/tests/test_csr.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_csr.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_csr.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_eval_fastpath.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_eval_fastpath.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_eval_fastpath.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_exec_properties.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_exec_properties.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_exec_properties.cpp.o.d"
+  "/root/repo/tests/test_fault_registry.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_fault_registry.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_fault_registry.cpp.o.d"
+  "/root/repo/tests/test_fitness_cache.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_fitness_cache.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_fitness_cache.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_genetic.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_genetic.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_genetic.cpp.o.d"
+  "/root/repo/tests/test_genetic_determinism.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_genetic_determinism.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_genetic_determinism.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linear_model.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_linear_model.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_linear_model.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_manager.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_manager.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_manager.cpp.o.d"
+  "/root/repo/tests/test_matgen.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_matgen.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_matgen.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_miss_model.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_miss_model.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_miss_model.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_parse.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_parse.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_parse.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_pipeline_properties.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/test_powermodel.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_powermodel.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_powermodel.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_qr.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_qr.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_qr.cpp.o.d"
+  "/root/repo/tests/test_qr_workspace.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_qr_workspace.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_qr_workspace.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sampler.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_serve_engine.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_serve_engine.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_serve_engine.cpp.o.d"
+  "/root/repo/tests/test_serve_protocol.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_serve_protocol.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_serve_protocol.cpp.o.d"
+  "/root/repo/tests/test_serve_registry.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_serve_registry.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_serve_registry.cpp.o.d"
+  "/root/repo/tests/test_serve_server.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_serve_server.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_serve_server.cpp.o.d"
+  "/root/repo/tests/test_signature.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_signature.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_signature.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_spline.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_spline.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_spline.cpp.o.d"
+  "/root/repo/tests/test_spmv_model.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_spmv_model.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_spmv_model.cpp.o.d"
+  "/root/repo/tests/test_stack_distance.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_stack_distance.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_stack_distance.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_tuner.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_tuner.cpp.o.d"
+  "/root/repo/tests/test_uarch_config.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_uarch_config.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_uarch_config.cpp.o.d"
+  "/root/repo/tests/test_updater_journal.cpp" "tests/CMakeFiles/hwsw_tests.dir/test_updater_journal.cpp.o" "gcc" "tests/CMakeFiles/hwsw_tests.dir/test_updater_journal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/hwsw_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmv/CMakeFiles/hwsw_spmv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serve/CMakeFiles/hwsw_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/hwsw_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profiler/CMakeFiles/hwsw_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/hwsw_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/hwsw_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/hwsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

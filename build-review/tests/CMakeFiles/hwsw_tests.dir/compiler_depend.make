@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hwsw_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/hwsw_tests[1]_include.cmake")
+add_test(tier15_thread_pool "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=ThreadPool.*")
+set_tests_properties(tier15_thread_pool PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier15_fitness_cache "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=FitnessCache.*")
+set_tests_properties(tier15_fitness_cache PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;69;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier15_genetic_determinism "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=GeneticDeterminism.*:GeneticSearch.*")
+set_tests_properties(tier15_genetic_determinism PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier15_serve "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=ServeRegistry.*:ServeEngine.*:ServeServer.*")
+set_tests_properties(tier15_serve PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier15_fault "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=FaultRegistry.*:ClientResilience.*:CheckpointResume.*:UpdaterJournal.*")
+set_tests_properties(tier15_fault PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;80;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier15_fastpath "/root/repo/build-review/tests/hwsw_tests" "--gtest_filter=LstsqWorkspace.*:DesignFastPath.*:ModelFastPath.*:EvalFastPath.*")
+set_tests_properties(tier15_fastpath PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")

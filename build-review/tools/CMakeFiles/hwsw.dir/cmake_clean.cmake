@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw.dir/hwsw_cli.cpp.o"
+  "CMakeFiles/hwsw.dir/hwsw_cli.cpp.o.d"
+  "hwsw"
+  "hwsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

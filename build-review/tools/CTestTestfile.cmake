@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_bad_numeric_arg "/root/repo/build-review/tools/hwsw" "profile" "mcf" "not-a-number")
+set_tests_properties(cli_bad_numeric_arg PROPERTIES  FAIL_REGULAR_EXPRESSION "terminate called" PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_flag_value "/root/repo/build-review/tools/hwsw" "train" "10" "2" "--threads" "x")
+set_tests_properties(cli_bad_flag_value PROPERTIES  FAIL_REGULAR_EXPRESSION "terminate called" PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_no_args "/root/repo/build-review/tools/hwsw")
+set_tests_properties(cli_no_args PROPERTIES  PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
