@@ -171,7 +171,7 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
 }
 
 std::vector<ScoredSpec>
-GeneticSearch::evaluatePopulation(std::span<const ModelSpec> specs) const
+GeneticSearch::scorePopulation(std::span<const ModelSpec> specs) const
 {
     metrics::ScopedTimer timer(evalTimer_);
     std::vector<ScoredSpec> scored(specs.size());
@@ -244,11 +244,10 @@ GeneticSearch::run()
     return run({});
 }
 
-GaResult
-GeneticSearch::run(std::span<const ModelSpec> seeds)
+std::vector<ModelSpec>
+GeneticSearch::initialPopulation(std::span<const ModelSpec> seeds,
+                                Rng &rng) const
 {
-    Rng rng(opts_.seed ^ 0xabcdef1234ULL);
-
     std::vector<ModelSpec> population;
     population.reserve(opts_.populationSize);
     for (const ModelSpec &s : seeds) {
@@ -259,7 +258,68 @@ GeneticSearch::run(std::span<const ModelSpec> seeds)
         population.push_back(ModelSpec::random(
             rng, opts_.includeProb, opts_.maxInteractions / 2));
     }
+    return population;
+}
 
+std::vector<ModelSpec>
+GeneticSearch::breedNext(std::span<const ScoredSpec> scored,
+                         Rng &rng) const
+{
+    // Populate N% of the next generation with this generation's
+    // N% best models; fill the rest with crossovers and mutations.
+    const auto n_elite = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               opts_.eliteFrac *
+               static_cast<double>(opts_.populationSize)));
+    std::vector<ModelSpec> next;
+    next.reserve(opts_.populationSize);
+    for (std::size_t i = 0; i < n_elite && i < scored.size(); ++i)
+        next.push_back(scored[i].spec);
+
+    auto tournament = [&]() -> const ModelSpec & {
+        const std::size_t a = rng.nextInt(scored.size());
+        const std::size_t b = rng.nextInt(scored.size());
+        return scored[std::min(a, b)].spec; // sorted by fitness
+    };
+
+    while (next.size() < opts_.populationSize) {
+        const ModelSpec &pa = tournament();
+        const ModelSpec &pb = tournament();
+        ModelSpec child = pa;
+        bool changed = false;
+        if (rng.nextBool(opts_.crossoverProb)) {
+            child = crossoverVariable(child, pb, rng);
+            changed = true;
+        }
+        if (rng.nextBool(opts_.crossoverProb)) {
+            child = crossoverInteraction(child, pb, rng);
+            changed = true;
+        }
+        if (rng.nextBool(opts_.crossoverProb)) {
+            child = crossoverNewInteraction(child, pb, rng);
+            changed = true;
+        }
+        if (rng.nextBool(opts_.mutationProb)) {
+            mutateInteraction(child, rng, opts_.maxInteractions);
+            changed = true;
+        }
+        if (rng.nextBool(opts_.mutationProb)) {
+            mutateVariable(child, rng);
+            changed = true;
+        }
+        if (!changed)
+            mutateVariable(child, rng);
+        child.normalize();
+        next.push_back(std::move(child));
+    }
+    return next;
+}
+
+GaResult
+GeneticSearch::run(std::span<const ModelSpec> seeds)
+{
+    Rng rng(opts_.seed ^ 0xabcdef1234ULL);
+    std::vector<ModelSpec> population = initialPopulation(seeds, rng);
     return runLoop(std::move(population), rng, 0, {});
 }
 
@@ -296,7 +356,7 @@ GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
         const double eval_before = evalTimer_.seconds();
         const std::uint64_t hits_before = hitCount_.value();
         const std::uint64_t misses_before = missCount_.value();
-        scored = evaluatePopulation(population);
+        scored = scorePopulation(population);
         std::sort(scored.begin(), scored.end(),
                   [](const ScoredSpec &a, const ScoredSpec &b) {
                       return a.fitness < b.fitness;
@@ -318,54 +378,7 @@ GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
         if (gen + 1 == opts_.generations)
             break;
 
-        // Populate N% of the next generation with this generation's
-        // N% best models; fill the rest with crossovers and mutations.
-        const auto n_elite = std::max<std::size_t>(
-            1, static_cast<std::size_t>(
-                   opts_.eliteFrac *
-                   static_cast<double>(opts_.populationSize)));
-        std::vector<ModelSpec> next;
-        next.reserve(opts_.populationSize);
-        for (std::size_t i = 0; i < n_elite && i < scored.size(); ++i)
-            next.push_back(scored[i].spec);
-
-        auto tournament = [&]() -> const ModelSpec & {
-            const std::size_t a = rng.nextInt(scored.size());
-            const std::size_t b = rng.nextInt(scored.size());
-            return scored[std::min(a, b)].spec; // sorted by fitness
-        };
-
-        while (next.size() < opts_.populationSize) {
-            const ModelSpec &pa = tournament();
-            const ModelSpec &pb = tournament();
-            ModelSpec child = pa;
-            bool changed = false;
-            if (rng.nextBool(opts_.crossoverProb)) {
-                child = crossoverVariable(child, pb, rng);
-                changed = true;
-            }
-            if (rng.nextBool(opts_.crossoverProb)) {
-                child = crossoverInteraction(child, pb, rng);
-                changed = true;
-            }
-            if (rng.nextBool(opts_.crossoverProb)) {
-                child = crossoverNewInteraction(child, pb, rng);
-                changed = true;
-            }
-            if (rng.nextBool(opts_.mutationProb)) {
-                mutateInteraction(child, rng, opts_.maxInteractions);
-                changed = true;
-            }
-            if (rng.nextBool(opts_.mutationProb)) {
-                mutateVariable(child, rng);
-                changed = true;
-            }
-            if (!changed)
-                mutateVariable(child, rng);
-            child.normalize();
-            next.push_back(std::move(child));
-        }
-        population = std::move(next);
+        population = breedNext(scored, rng);
 
         // Generation boundary: the bred population plus the RNG
         // state is everything a restart needs to continue this run
@@ -395,7 +408,7 @@ GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
         // already-complete checkpoint): score the population once so
         // the result still carries a best model. Evaluation is
         // deterministic, so these scores equal the completed run's.
-        scored = evaluatePopulation(population);
+        scored = scorePopulation(population);
         std::sort(scored.begin(), scored.end(),
                   [](const ScoredSpec &a, const ScoredSpec &b) {
                       return a.fitness < b.fitness;

@@ -181,6 +181,37 @@ class GeneticSearch
      */
     std::pair<double, double> evaluate(const ModelSpec &spec) const;
 
+    /**
+     * Score a whole population (memoized, pool-parallel when
+     * configured). Output slots correspond to input slots; the
+     * caller sorts. Public so external generation loops — the
+     * island-model evolver — share the exact evaluation path (and
+     * therefore the determinism contract) of run().
+     */
+    std::vector<ScoredSpec>
+    scorePopulation(std::span<const ModelSpec> specs) const;
+
+    /**
+     * Breed the next generation from a fitness-sorted population:
+     * elites survive unchanged, the rest come from crossovers C1-C3
+     * and mutations M1-M2 drawn from @p rng. This is the exact
+     * operator schedule run() uses — an external loop driving it
+     * with the same RNG stream reproduces run() bit-identically.
+     */
+    std::vector<ModelSpec>
+    breedNext(std::span<const ScoredSpec> scored, Rng &rng) const;
+
+    /**
+     * The initial population run() starts from: up to
+     * populationSize seeds verbatim, the remainder random from
+     * @p rng. Shared with the island evolver.
+     */
+    std::vector<ModelSpec>
+    initialPopulation(std::span<const ModelSpec> seeds, Rng &rng) const;
+
+    /** Options this search was constructed with. */
+    const GaOptions &options() const { return opts_; }
+
     /** Run from a random initial population. */
     GaResult run();
 
@@ -257,9 +288,6 @@ class GeneticSearch
 
     std::unique_ptr<EvalScratch> acquireScratch() const;
     void releaseScratch(std::unique_ptr<EvalScratch> scratch) const;
-
-    std::vector<ScoredSpec> evaluatePopulation(
-        std::span<const ModelSpec> specs) const;
 
     /** Shared generation loop for fresh and resumed runs. */
     GaResult runLoop(std::vector<ModelSpec> population, Rng rng,

@@ -1,0 +1,360 @@
+#include "core/island.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "core/checkpoint.hpp"
+
+namespace hwsw::core {
+
+namespace {
+
+bool
+fitnessLess(const ScoredSpec &a, const ScoredSpec &b)
+{
+    return a.fitness < b.fitness;
+}
+
+/** The evolver manages checkpoints itself (per-island paths). */
+GaOptions
+stripInnerCheckpoint(GaOptions ga)
+{
+    ga.checkpointPath.clear();
+    return ga;
+}
+
+} // namespace
+
+void
+validateIslandOptions(const IslandOptions &opts)
+{
+    fatalIf(opts.islands == 0, "island model needs at least 1 island");
+    fatalIf(opts.migrationInterval == 0,
+            "migration interval must be at least 1");
+    fatalIf(opts.migrants >= opts.ga.populationSize,
+            "migrants must be smaller than the island population");
+    fatalIf(opts.ga.generations == 0,
+            "island model needs at least 1 generation");
+}
+
+std::uint64_t
+islandSeed(std::uint64_t base_seed, std::size_t island)
+{
+    // Island 0 draws the exact stream GeneticSearch::run() would, so
+    // a 1-island run reproduces the plain search bit-identically.
+    const std::uint64_t base = base_seed ^ 0xabcdef1234ULL;
+    if (island == 0)
+        return base;
+    // SplitMix64 finalizer decorrelates the other island streams.
+    std::uint64_t z =
+        static_cast<std::uint64_t>(island) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return base ^ z;
+}
+
+bool
+migrationEnabled(const IslandOptions &opts)
+{
+    return opts.islands > 1 && opts.migrants > 0;
+}
+
+bool
+migrationDue(const IslandOptions &opts, std::size_t next_generation)
+{
+    return next_generation % opts.migrationInterval == 0;
+}
+
+std::size_t
+migrationSource(std::size_t island, std::size_t islands)
+{
+    return (island + islands - 1) % islands;
+}
+
+std::string
+islandCheckpointPath(const IslandOptions &opts, std::size_t island)
+{
+    if (opts.checkpointDir.empty())
+        return {};
+    return opts.checkpointDir + "/island-" + std::to_string(island) +
+        ".ckpt";
+}
+
+IslandEvolver::IslandEvolver(const Dataset &data,
+                             const IslandOptions &opts,
+                             std::size_t island)
+    : opts_(opts), island_(island),
+      search_(data, stripInnerCheckpoint(opts.ga)),
+      rng_(islandSeed(opts.ga.seed, island))
+{
+    validateIslandOptions(opts_);
+    fatalIf(island_ >= opts_.islands, "island index out of range");
+    population_ = search_.initialPopulation({}, rng_);
+}
+
+bool
+IslandEvolver::resumeFromCheckpoint()
+{
+    const std::string path = islandCheckpointPath(opts_, island_);
+    if (path.empty())
+        return false;
+    const auto cp = loadCheckpointFromFile(path);
+    if (!cp)
+        return false; // no checkpoint yet: fresh start
+    fatalIf(cp->population.size() != opts_.ga.populationSize,
+            "island resume: checkpoint population size mismatch");
+    fatalIf(cp->nextGeneration >= opts_.ga.generations,
+            "island resume: checkpoint past the final generation");
+    gen_ = cp->nextGeneration;
+    rng_.setState(cp->rng);
+    population_ = cp->population;
+    history_ = cp->history;
+    atBarrier_ = false;
+    finished_ = false;
+    return true;
+}
+
+void
+IslandEvolver::throwIfKilled() const
+{
+    if (!fault::enabled())
+        return;
+    auto &faults = fault::FaultRegistry::instance();
+    if (faults.shouldTrip("island.worker.kill") ||
+        faults.shouldTrip("island.worker.kill." +
+                          std::to_string(island_)))
+        fatal("injected worker kill (island " +
+              std::to_string(island_) + ", generation " +
+              std::to_string(gen_) + ")");
+}
+
+void
+IslandEvolver::pushStats()
+{
+    panicIf(history_.size() != gen_,
+            "island history out of step with the generation index");
+}
+
+bool
+IslandEvolver::advance()
+{
+    panicIf(atBarrier_,
+            "advance: deliver the pending migrants first");
+    if (finished_)
+        return false;
+    for (;;) {
+        const SearchMetrics before = search_.metricsSnapshot();
+        std::vector<ScoredSpec> scored =
+            search_.scorePopulation(population_);
+        std::sort(scored.begin(), scored.end(), fitnessLess);
+        scored_ = std::move(scored);
+
+        // Mid-generation kill point: the work above is done but not
+        // yet checkpointed, the worst moment to lose a worker.
+        throwIfKilled();
+
+        pushStats();
+        const SearchMetrics after = search_.metricsSnapshot();
+        GenerationStats stats;
+        stats.generation = gen_;
+        stats.wallSeconds = after.evalSeconds - before.evalSeconds;
+        stats.cacheHits = after.cacheHits - before.cacheHits;
+        stats.cacheMisses = after.cacheMisses - before.cacheMisses;
+        stats.bestFitness = scored_.front().fitness;
+        stats.bestSumMedianError = scored_.front().sumMedianError;
+        stats.meanFitness = 0.0;
+        for (const ScoredSpec &s : scored_)
+            stats.meanFitness += s.fitness;
+        stats.meanFitness /= static_cast<double>(scored_.size());
+        history_.push_back(stats);
+
+        if (gen_ + 1 >= opts_.ga.generations) {
+            finished_ = true;
+            return false;
+        }
+        if (migrationEnabled(opts_) && migrationDue(opts_, gen_ + 1)) {
+            emigrants_.assign(scored_.begin(),
+                              scored_.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      opts_.migrants));
+            atBarrier_ = true;
+            return true;
+        }
+        breedAndCheckpoint();
+    }
+}
+
+void
+IslandEvolver::immigrate(std::span<const ScoredSpec> immigrants)
+{
+    panicIf(!atBarrier_, "immigrate: not paused at a barrier");
+    fatalIf(immigrants.size() >= scored_.size(),
+            "immigrate: migrant count must be below the population");
+    // Replace the worst residents (slot 0 is never reachable, so
+    // the local champion always survives), then restore fitness
+    // order. stable_sort keeps ties deterministic: residents first,
+    // then immigrants in their arrival order.
+    for (std::size_t k = 0; k < immigrants.size(); ++k)
+        scored_[scored_.size() - 1 - k] = immigrants[k];
+    std::stable_sort(scored_.begin(), scored_.end(), fitnessLess);
+    atBarrier_ = false;
+    emigrants_.clear();
+    breedAndCheckpoint();
+}
+
+void
+IslandEvolver::breedAndCheckpoint()
+{
+    population_ = search_.breedNext(scored_, rng_);
+    ++gen_;
+    const std::string path = islandCheckpointPath(opts_, island_);
+    if (path.empty() ||
+        gen_ % std::max<std::size_t>(opts_.ga.checkpointEvery, 1) != 0)
+        return;
+    SearchCheckpoint cp;
+    cp.nextGeneration = gen_;
+    cp.rng = rng_.state();
+    cp.population = population_;
+    cp.history = history_;
+    std::string error;
+    if (!saveCheckpointToFile(cp, path, &error)) {
+        // Degrades durability, not the search: keep evolving on the
+        // previous checkpoint.
+        std::fprintf(stderr, "island %zu checkpoint: %s\n", island_,
+                     error.c_str());
+    }
+}
+
+IslandReport
+IslandEvolver::report() const
+{
+    panicIf(!finished_, "report: island has not finished");
+    IslandReport r;
+    r.island = island_;
+    r.history = history_;
+    r.population = scored_;
+    r.metrics = search_.metricsSnapshot();
+    return r;
+}
+
+GaResult
+mergeIslandReports(std::vector<IslandReport> reports,
+                   const IslandOptions &opts)
+{
+    validateIslandOptions(opts);
+    fatalIf(reports.size() != opts.islands,
+            "merge: expected " + std::to_string(opts.islands) +
+                " island reports, got " +
+                std::to_string(reports.size()));
+    std::stable_sort(reports.begin(), reports.end(),
+                     [](const IslandReport &a, const IslandReport &b) {
+                         return a.island < b.island;
+                     });
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        fatalIf(reports[i].island != i,
+                "merge: missing or duplicate report for island " +
+                    std::to_string(i));
+    const std::size_t gens = reports.front().history.size();
+    for (const IslandReport &r : reports)
+        fatalIf(r.history.size() != gens,
+                "merge: island history length mismatch");
+
+    GaResult out;
+    for (const IslandReport &r : reports)
+        out.population.insert(out.population.end(),
+                              r.population.begin(),
+                              r.population.end());
+    fatalIf(out.population.empty(), "merge: empty island populations");
+    // Stable: equal fitness resolves to the lower island index.
+    std::stable_sort(out.population.begin(), out.population.end(),
+                     fitnessLess);
+    out.best = out.population.front();
+
+    out.history.reserve(gens);
+    for (std::size_t g = 0; g < gens; ++g) {
+        GenerationStats s;
+        s.generation = g;
+        double mean_sum = 0.0;
+        bool first = true;
+        for (const IslandReport &r : reports) {
+            const GenerationStats &h = r.history[g];
+            if (first || h.bestFitness < s.bestFitness) {
+                s.bestFitness = h.bestFitness;
+                s.bestSumMedianError = h.bestSumMedianError;
+                first = false;
+            }
+            mean_sum += h.meanFitness;
+            s.wallSeconds += h.wallSeconds;
+            s.cacheHits += h.cacheHits;
+            s.cacheMisses += h.cacheMisses;
+        }
+        s.meanFitness = mean_sum / static_cast<double>(reports.size());
+        out.history.push_back(s);
+    }
+
+    for (const IslandReport &r : reports) {
+        out.metrics.evaluations += r.metrics.evaluations;
+        out.metrics.cacheHits += r.metrics.cacheHits;
+        out.metrics.cacheMisses += r.metrics.cacheMisses;
+        out.metrics.modelFits += r.metrics.modelFits;
+        out.metrics.evalSeconds += r.metrics.evalSeconds;
+    }
+    out.metrics.threadsUsed = reports.front().metrics.threadsUsed;
+    return out;
+}
+
+GaResult
+runIslandModel(const Dataset &data, const IslandOptions &opts)
+{
+    validateIslandOptions(opts);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::unique_ptr<IslandEvolver>> islands;
+    islands.reserve(opts.islands);
+    for (std::size_t i = 0; i < opts.islands; ++i) {
+        islands.push_back(
+            std::make_unique<IslandEvolver>(data, opts, i));
+        islands.back()->resumeFromCheckpoint();
+    }
+
+    // Lockstep: every island reaches the same barrier (same
+    // generations, same interval), so advancing them sequentially
+    // and swapping emigrants along the ring reproduces exactly what
+    // the distributed barrier does.
+    for (;;) {
+        bool paused = false;
+        for (std::size_t i = 0; i < islands.size(); ++i) {
+            const bool p = islands[i]->advance();
+            panicIf(i > 0 && p != paused,
+                    "islands desynchronized at a barrier");
+            paused = p;
+        }
+        if (!paused)
+            break;
+        std::vector<std::vector<ScoredSpec>> outboxes;
+        outboxes.reserve(islands.size());
+        for (const auto &ev : islands)
+            outboxes.push_back(ev->emigrants());
+        for (std::size_t i = 0; i < islands.size(); ++i)
+            islands[i]->immigrate(
+                outboxes[migrationSource(i, opts.islands)]);
+    }
+
+    std::vector<IslandReport> reports;
+    reports.reserve(islands.size());
+    for (const auto &ev : islands)
+        reports.push_back(ev->report());
+    GaResult result = mergeIslandReports(std::move(reports), opts);
+    result.metrics.totalSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+} // namespace hwsw::core

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Island-model genetic search: the scaling layer above one
+ * GeneticSearch.
+ *
+ * The total search is partitioned into independent island
+ * subpopulations, each evolving under the standard operator schedule
+ * (Section 3.3/3.4) with its own deterministic RNG stream and its
+ * own fitness memo cache. Every migrationInterval generations the
+ * islands synchronize at a barrier and exchange elite migrants along
+ * a ring (island i's elites replace the worst members of island
+ * i+1). Because evaluation is a pure function of (spec, folds),
+ * breeding consumes each island's private RNG stream, and the
+ * barrier makes the exchanged migrants independent of timing, the
+ * merged result is bit-identical for a fixed (seed, islands,
+ * migrationInterval, migrants) tuple regardless of where or in what
+ * order the islands execute — one process, N processes, or a mix —
+ * and across worker kill + checkpoint-resume. This is the same
+ * determinism contract GeneticSearch established for thread counts.
+ *
+ * The pieces here are transport-free: IslandEvolver runs one island
+ * and pauses at migration barriers, runIslandModel() drives all
+ * islands sequentially in-process (the reference implementation the
+ * distributed path must match bit-for-bit), and mergeIslandReports()
+ * folds per-island outcomes into one GaResult. The socket layer that
+ * moves migrants between processes lives in serve/island.hpp.
+ */
+
+#ifndef HWSW_CORE_ISLAND_HPP
+#define HWSW_CORE_ISLAND_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/genetic.hpp"
+
+namespace hwsw::core {
+
+/** Island-model knobs on top of the per-island GaOptions. */
+struct IslandOptions
+{
+    /** Per-island search options (populationSize is per island). */
+    GaOptions ga;
+
+    /** Number of island subpopulations. */
+    std::size_t islands = 1;
+
+    /**
+     * Generations between migration barriers. A value larger than
+     * ga.generations (or islands == 1, or migrants == 0) disables
+     * migration entirely: the islands evolve independently.
+     */
+    std::size_t migrationInterval = 4;
+
+    /** Elites exchanged per island at each barrier. */
+    std::size_t migrants = 2;
+
+    /**
+     * Directory for per-island SearchCheckpoint files
+     * ("island-<i>.ckpt", atomic replace at every generation
+     * boundary). Empty disables checkpointing.
+     */
+    std::string checkpointDir;
+};
+
+/** @throws FatalError when the options are inconsistent. */
+void validateIslandOptions(const IslandOptions &opts);
+
+/**
+ * RNG seed of one island's private stream. Island 0's stream equals
+ * the stream GeneticSearch::run() draws from, so a 1-island run
+ * reproduces the plain single-search result bit-identically.
+ */
+std::uint64_t islandSeed(std::uint64_t base_seed, std::size_t island);
+
+/** Whether any migration barriers exist at all under @p opts. */
+bool migrationEnabled(const IslandOptions &opts);
+
+/** Whether generation boundary @p next_generation is a barrier. */
+bool migrationDue(const IslandOptions &opts,
+                  std::size_t next_generation);
+
+/** Ring topology: the island whose emigrants @p island receives. */
+std::size_t migrationSource(std::size_t island, std::size_t islands);
+
+/** Checkpoint file path of island @p island (empty when disabled). */
+std::string islandCheckpointPath(const IslandOptions &opts,
+                                 std::size_t island);
+
+/** One island's contribution to the merged search outcome. */
+struct IslandReport
+{
+    std::size_t island = 0;
+    std::vector<GenerationStats> history; ///< one entry per generation
+    std::vector<ScoredSpec> population;   ///< final, fitness-sorted
+    SearchMetrics metrics; ///< per-island counters and timers
+};
+
+/**
+ * One island's deterministic evolution, pausing at migration
+ * barriers so a driver (in-process loop or remote worker) can
+ * exchange migrants. Typical use:
+ *
+ *   IslandEvolver ev(data, opts, island);
+ *   ev.resumeFromCheckpoint();             // optional
+ *   while (ev.advance())                   // true = at a barrier
+ *       ev.immigrate(migrantsFor(island, ev.emigrants()));
+ *   IslandReport r = ev.report();
+ */
+class IslandEvolver
+{
+  public:
+    IslandEvolver(const Dataset &data, const IslandOptions &opts,
+                  std::size_t island);
+
+    /**
+     * Restore state from this island's checkpoint file if one
+     * exists. @return true when a checkpoint was loaded. Evaluation
+     * is pure and the coordinator retains migration buffers, so a
+     * resumed island reproduces the uninterrupted island exactly
+     * (the memo cache restarts cold; only counters change).
+     */
+    bool resumeFromCheckpoint();
+
+    /**
+     * Evolve until the next migration barrier or completion.
+     * @return true when paused at a barrier (emigrants() is valid
+     * and immigrate() must be called to continue); false when the
+     * final generation has been scored.
+     *
+     * Consults the `island.worker.kill` / `island.worker.kill.<i>`
+     * fault points once per generation (mid-generation, after
+     * scoring and before the checkpoint) so resilience tests can
+     * kill a worker at a precise, maximally-inconvenient moment.
+     */
+    bool advance();
+
+    /** Barrier generation boundary (valid while paused). */
+    std::size_t boundaryGeneration() const { return gen_ + 1; }
+
+    /** Elites leaving this island (valid while paused). */
+    const std::vector<ScoredSpec> &emigrants() const
+    {
+        return emigrants_;
+    }
+
+    /**
+     * Deliver the migrants arriving at this island: they replace
+     * the worst residents (the local champion always survives),
+     * the population re-sorts, and the next generation is bred.
+     */
+    void immigrate(std::span<const ScoredSpec> immigrants);
+
+    bool finished() const { return finished_; }
+
+    /** Generation about to be (or just) evaluated. */
+    std::size_t generation() const { return gen_; }
+
+    /** Final outcome. @pre finished(). */
+    IslandReport report() const;
+
+  private:
+    void pushStats();
+    void breedAndCheckpoint();
+    void throwIfKilled() const;
+
+    IslandOptions opts_;
+    std::size_t island_;
+    GeneticSearch search_;
+    Rng rng_;
+    std::vector<ModelSpec> population_;
+    std::vector<ScoredSpec> scored_; ///< current generation, sorted
+    std::vector<ScoredSpec> emigrants_;
+    std::vector<GenerationStats> history_;
+    std::size_t gen_ = 0;
+    bool atBarrier_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Fold per-island outcomes into one GaResult: populations are
+ * concatenated in island order and stably sorted by fitness (ties
+ * resolve to the lower island), per-generation stats merge
+ * (best = min across islands, mean = mean of island means, counters
+ * sum), and metrics sum. Deterministic given deterministic reports.
+ * @throws FatalError when reports are missing, duplicated, or of
+ * mismatched history length.
+ */
+GaResult mergeIslandReports(std::vector<IslandReport> reports,
+                            const IslandOptions &opts);
+
+/**
+ * Reference island-model run: every island evolves in this process,
+ * sequentially, with migrants exchanged in-memory at each barrier.
+ * The distributed path (serve/island.hpp) must reproduce this
+ * bit-identically for the same options.
+ */
+GaResult runIslandModel(const Dataset &data,
+                        const IslandOptions &opts);
+
+} // namespace hwsw::core
+
+#endif // HWSW_CORE_ISLAND_HPP

@@ -297,6 +297,12 @@ Client::roundTrip(const std::string &request, bool idempotent)
     return response;
 }
 
+std::string
+Client::request(const std::string &payload, bool idempotent)
+{
+    return roundTrip(payload, idempotent);
+}
+
 bool
 Client::ping()
 {

@@ -138,6 +138,15 @@ class Client
     /** Fetch the server's health line ("ok healthy ..."). */
     std::string health();
 
+    /**
+     * Raw protocol exchange (island coordination and other verbs
+     * without a typed wrapper). @throws FatalError when the
+     * transport is gone for good. Pass idempotent = false for
+     * requests that must not be retried after bytes were sent.
+     */
+    std::string request(const std::string &payload,
+                        bool idempotent = true);
+
     /** Polite session close (sends `quit`). */
     void quit();
 

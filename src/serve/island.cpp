@@ -1,0 +1,431 @@
+#include "serve/island.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "core/checkpoint.hpp"
+#include "serve/protocol.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "island wire: expected '" + want + "', got '" + got + "'");
+}
+
+std::string
+errorResponse(std::string_view msg)
+{
+    std::string out = "error ";
+    out += msg;
+    return out;
+}
+
+} // namespace
+
+void
+saveScoredSpec(const core::ScoredSpec &s, std::ostream &os)
+{
+    core::saveSpec(s.spec, os);
+    // 17 significant digits round-trip IEEE-754 doubles exactly; the
+    // receiver's fitness is bit-identical to the sender's.
+    os << std::setprecision(17) << "score " << s.fitness << " "
+       << s.sumMedianError << "\n";
+}
+
+core::ScoredSpec
+loadScoredSpec(std::istream &is)
+{
+    core::ScoredSpec s;
+    s.spec = core::loadSpec(is);
+    expectToken(is, "score");
+    is >> s.fitness >> s.sumMedianError;
+    fatalIf(!is, "island wire: truncated scored spec");
+    return s;
+}
+
+std::string
+saveIslandReport(const core::IslandReport &report)
+{
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "island " << report.island << "\n";
+    os << "metrics " << report.metrics.evaluations << " "
+       << report.metrics.cacheHits << " " << report.metrics.cacheMisses
+       << " " << report.metrics.modelFits << " "
+       << report.metrics.evalSeconds << " "
+       << report.metrics.totalSeconds << " "
+       << report.metrics.threadsUsed << "\n";
+    os << "history " << report.history.size() << "\n";
+    for (const core::GenerationStats &g : report.history) {
+        os << g.generation << " " << g.bestFitness << " "
+           << g.meanFitness << " " << g.bestSumMedianError << " "
+           << g.wallSeconds << " " << g.cacheHits << " "
+           << g.cacheMisses << "\n";
+    }
+    os << "population " << report.population.size() << "\n";
+    for (const core::ScoredSpec &s : report.population)
+        saveScoredSpec(s, os);
+    os << "end\n";
+    return os.str();
+}
+
+core::IslandReport
+loadIslandReport(const std::string &text)
+{
+    std::istringstream is(text);
+    core::IslandReport report;
+
+    expectToken(is, "island");
+    is >> report.island;
+
+    expectToken(is, "metrics");
+    is >> report.metrics.evaluations >> report.metrics.cacheHits >>
+        report.metrics.cacheMisses >> report.metrics.modelFits >>
+        report.metrics.evalSeconds >> report.metrics.totalSeconds >>
+        report.metrics.threadsUsed;
+
+    expectToken(is, "history");
+    std::size_t n_hist = 0;
+    is >> n_hist;
+    fatalIf(n_hist > 1000000,
+            "island wire: implausible history size");
+    report.history.resize(n_hist);
+    for (core::GenerationStats &g : report.history) {
+        is >> g.generation >> g.bestFitness >> g.meanFitness >>
+            g.bestSumMedianError >> g.wallSeconds >> g.cacheHits >>
+            g.cacheMisses;
+    }
+
+    expectToken(is, "population");
+    std::size_t n_pop = 0;
+    is >> n_pop;
+    fatalIf(n_pop == 0 || n_pop > 100000,
+            "island wire: implausible population size");
+    report.population.reserve(n_pop);
+    for (std::size_t i = 0; i < n_pop; ++i)
+        report.population.push_back(loadScoredSpec(is));
+
+    fatalIf(!is, "island wire: truncated report");
+    expectToken(is, "end");
+    return report;
+}
+
+IslandCoordinator::IslandCoordinator(core::IslandOptions opts,
+                                     std::string extra)
+    : opts_(std::move(opts)), extra_(std::move(extra))
+{
+    core::validateIslandOptions(opts_);
+    reports_.resize(opts_.islands);
+}
+
+std::string
+IslandCoordinator::handle(std::string_view verb,
+                          std::span<const std::string_view> args,
+                          std::string_view body)
+{
+    try {
+        if (verb == "island.join")
+            return handleJoin(args);
+        if (verb == "island.migrate")
+            return handleMigrate(args, body);
+        if (verb == "island.report")
+            return handleReport(args, body);
+        if (verb == "island.stop") {
+            stop();
+            return "ok stopping";
+        }
+        return errorResponse("unknown island verb");
+    } catch (const std::exception &e) {
+        return errorResponse(std::string("island ") + e.what());
+    }
+}
+
+std::string
+IslandCoordinator::handleJoin(std::span<const std::string_view> args)
+{
+    if (args.size() != 1)
+        return errorResponse("island.join needs <island>");
+    const auto island = parseUnsigned(args[0]);
+    if (!island || *island >= opts_.islands)
+        return errorResponse("island.join: bad island index");
+
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+        return "stop";
+    ++stats_.joins;
+    std::string out = "ok config " + std::to_string(opts_.islands) +
+        " " + std::to_string(opts_.migrationInterval) + " " +
+        std::to_string(opts_.migrants) + " " +
+        std::to_string(opts_.ga.populationSize) + " " +
+        std::to_string(opts_.ga.generations) + " " +
+        std::to_string(opts_.ga.seed) + "\n";
+    out += extra_;
+    return out;
+}
+
+std::string
+IslandCoordinator::handleMigrate(std::span<const std::string_view> args,
+                                 std::string_view body)
+{
+    if (args.size() != 3)
+        return errorResponse(
+            "island.migrate needs <island> <generation> <count>");
+    const auto island = parseUnsigned(args[0]);
+    const auto gen = parseUnsigned(args[1]);
+    const auto count = parseUnsigned(args[2]);
+    if (!island || *island >= opts_.islands)
+        return errorResponse("island.migrate: bad island index");
+    if (!gen || !count)
+        return errorResponse("island.migrate: bad arguments");
+    if (!core::migrationEnabled(opts_))
+        return errorResponse("island.migrate: migration disabled");
+    if (*gen == 0 || *gen >= opts_.ga.generations ||
+        !core::migrationDue(opts_, *gen))
+        return errorResponse(
+            "island.migrate: generation is not a barrier");
+    if (*count != opts_.migrants)
+        return errorResponse("island.migrate: wrong migrant count");
+
+    // Parse outside the lock; a malformed body poisons only this
+    // request.
+    std::istringstream is{std::string(body)};
+    std::vector<core::ScoredSpec> posted;
+    posted.reserve(*count);
+    for (std::uint64_t i = 0; i < *count; ++i)
+        posted.push_back(loadScoredSpec(is));
+
+    std::unique_lock lock(mutex_);
+    if (stopped_)
+        return "stop";
+    auto &row = outboxes_[*gen];
+    if (row.empty())
+        row.resize(opts_.islands);
+    if (!row[*island]) {
+        row[*island] = std::move(posted);
+        ++stats_.migratePosts;
+        cv_.notify_all();
+    } else {
+        // First post wins: a resumed worker replaying this barrier
+        // gets the original exchange back, bit for bit.
+        ++stats_.duplicatePosts;
+    }
+
+    const std::size_t src =
+        core::migrationSource(*island, opts_.islands);
+    if (!row[src]) {
+        ++stats_.waitAnswers;
+        return "ok wait";
+    }
+    const std::vector<core::ScoredSpec> &inbox = *row[src];
+    ++stats_.migrantsServed;
+    std::ostringstream os;
+    for (const core::ScoredSpec &s : inbox)
+        saveScoredSpec(s, os);
+    return "ok migrants " + std::to_string(inbox.size()) + "\n" +
+        os.str();
+}
+
+std::string
+IslandCoordinator::handleReport(std::span<const std::string_view> args,
+                                std::string_view body)
+{
+    if (args.size() != 1)
+        return errorResponse("island.report needs <island>");
+    const auto island = parseUnsigned(args[0]);
+    if (!island || *island >= opts_.islands)
+        return errorResponse("island.report: bad island index");
+
+    core::IslandReport report =
+        loadIslandReport(std::string(body));
+    if (report.island != *island)
+        return errorResponse(
+            "island.report: body is for a different island");
+
+    std::lock_guard lock(mutex_);
+    if (reports_[*island]) {
+        ++stats_.duplicateReports;
+        return "ok duplicate";
+    }
+    reports_[*island] = std::move(report);
+    ++reportsReceived_;
+    ++stats_.reports;
+    cv_.notify_all();
+    return "ok";
+}
+
+bool
+IslandCoordinator::waitForReports(double timeout_seconds)
+{
+    std::unique_lock lock(mutex_);
+    const auto done = [this] {
+        return reportsReceived_ == opts_.islands || stopped_;
+    };
+    if (timeout_seconds <= 0.0)
+        cv_.wait(lock, done);
+    else
+        cv_.wait_for(lock,
+                     std::chrono::duration<double>(timeout_seconds),
+                     done);
+    return reportsReceived_ == opts_.islands;
+}
+
+core::GaResult
+IslandCoordinator::result() const
+{
+    std::vector<core::IslandReport> reports;
+    {
+        std::lock_guard lock(mutex_);
+        fatalIf(reportsReceived_ != opts_.islands,
+                "island result: not all islands have reported");
+        reports.reserve(opts_.islands);
+        for (const auto &r : reports_)
+            reports.push_back(*r);
+    }
+    return core::mergeIslandReports(std::move(reports), opts_);
+}
+
+void
+IslandCoordinator::stop()
+{
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+    cv_.notify_all();
+}
+
+bool
+IslandCoordinator::stopped() const
+{
+    std::lock_guard lock(mutex_);
+    return stopped_;
+}
+
+IslandCoordinatorStats
+IslandCoordinator::stats() const
+{
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+IslandWireConfig
+fetchIslandConfig(Client &client, std::size_t island)
+{
+    const std::string response = client.request(
+        "island.join " + std::to_string(island), /*idempotent=*/true);
+    fatalIf(response == "stop",
+            "island.join: coordinator stopped the run");
+    const auto [line, extra] = splitFirstLine(response);
+    const auto tokens = splitTokens(line);
+    fatalIf(tokens.size() != 8 || tokens[0] != "ok" ||
+                tokens[1] != "config",
+            "island.join: bad response '" + std::string(line) + "'");
+    IslandWireConfig cfg;
+    const auto islands = parseUnsigned(tokens[2]);
+    const auto interval = parseUnsigned(tokens[3]);
+    const auto migrants = parseUnsigned(tokens[4]);
+    const auto population = parseUnsigned(tokens[5]);
+    const auto generations = parseUnsigned(tokens[6]);
+    const auto seed = parseUnsigned(tokens[7]);
+    fatalIf(!islands || !interval || !migrants || !population ||
+                !generations || !seed,
+            "island.join: unparsable config");
+    cfg.islands = *islands;
+    cfg.migrationInterval = *interval;
+    cfg.migrants = *migrants;
+    cfg.populationSize = *population;
+    cfg.generations = *generations;
+    cfg.seed = *seed;
+    cfg.extra = std::string(extra);
+    return cfg;
+}
+
+core::IslandReport
+runIslandWorker(const core::Dataset &data,
+                const core::IslandOptions &opts,
+                const IslandWorkerOptions &wopts)
+{
+    core::validateIslandOptions(opts);
+    fatalIf(wopts.island >= opts.islands,
+            "island worker: island index out of range");
+
+    Client client(wopts.host, wopts.port, wopts.client);
+    const IslandWireConfig cfg =
+        fetchIslandConfig(client, wopts.island);
+    fatalIf(cfg.islands != opts.islands ||
+                cfg.migrationInterval != opts.migrationInterval ||
+                cfg.migrants != opts.migrants ||
+                cfg.populationSize != opts.ga.populationSize ||
+                cfg.generations != opts.ga.generations ||
+                cfg.seed != opts.ga.seed,
+            "island worker: coordinator configuration mismatch");
+
+    core::IslandEvolver evolver(data, opts, wopts.island);
+    evolver.resumeFromCheckpoint();
+
+    while (evolver.advance()) {
+        const std::size_t gen = evolver.boundaryGeneration();
+        const std::vector<core::ScoredSpec> &out =
+            evolver.emigrants();
+        std::ostringstream os;
+        for (const core::ScoredSpec &s : out)
+            saveScoredSpec(s, os);
+        const std::string request = "island.migrate " +
+            std::to_string(wopts.island) + " " + std::to_string(gen) +
+            " " + std::to_string(out.size()) + "\n" + os.str();
+
+        std::vector<core::ScoredSpec> inbound;
+        for (;;) {
+            const std::string response =
+                client.request(request, /*idempotent=*/true);
+            fatalIf(response == "stop",
+                    "island.migrate: coordinator stopped the run");
+            const auto [line, body] = splitFirstLine(response);
+            const auto tokens = splitTokens(line);
+            fatalIf(tokens.empty() || tokens[0] != "ok",
+                    "island.migrate: " + std::string(line));
+            if (tokens.size() == 2 && tokens[1] == "wait") {
+                // The source island has not reached this barrier
+                // yet; poll. Re-sending the identical request is
+                // safe — the first post won and is retained.
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        std::max(wopts.pollSeconds, 1e-4)));
+                continue;
+            }
+            fatalIf(tokens.size() != 3 || tokens[1] != "migrants",
+                    "island.migrate: bad response '" +
+                        std::string(line) + "'");
+            const auto n = parseUnsigned(tokens[2]);
+            fatalIf(!n || *n != opts.migrants,
+                    "island.migrate: wrong inbound migrant count");
+            std::istringstream is{std::string(body)};
+            inbound.reserve(*n);
+            for (std::uint64_t i = 0; i < *n; ++i)
+                inbound.push_back(loadScoredSpec(is));
+            break;
+        }
+        evolver.immigrate(inbound);
+    }
+
+    core::IslandReport report = evolver.report();
+    const std::string response = client.request(
+        "island.report " + std::to_string(wopts.island) + "\n" +
+            saveIslandReport(report),
+        /*idempotent=*/true);
+    fatalIf(!response.starts_with("ok"),
+            "island.report: " + response);
+    return report;
+}
+
+} // namespace hwsw::serve

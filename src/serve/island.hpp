@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Distributed island-model search over the serving transport.
+ *
+ * Four new protocol verbs carry the island model of core/island.hpp
+ * across processes, layered on the existing length-prefixed frames
+ * (and therefore inheriting deadlines, retry/backoff, and the fault
+ * injection points of the transport):
+ *
+ *   island.join <island>
+ *       -> "ok config <islands> <interval> <migrants> <population>
+ *           <generations> <seed>\n<extra>"  |  "stop"
+ *       Registration + configuration fetch. Idempotent; the <extra>
+ *       blob is an opaque application payload (the CLI ships dataset
+ *       parameters in it so workers rebuild the identical Dataset).
+ *
+ *   island.migrate <island> <generation> <count>  (+ body: count
+ *       scored-spec blocks)
+ *       -> "ok wait" | "ok migrants <n>\n<blocks>" | "stop"
+ *       Post this island's emigrants at barrier <generation> and
+ *       collect the inbound migrants (ring topology: island i
+ *       receives island i-1's elites). "ok wait" means the source
+ *       island has not reached the barrier yet; the worker polls by
+ *       re-sending the identical request. The first post per
+ *       (island, generation) wins and the outbox is retained for the
+ *       whole run, so a crashed-and-resumed worker re-posting an old
+ *       barrier is answered idempotently — restarts cannot change
+ *       what anyone received.
+ *
+ *   island.report <island>  (+ body: serialized IslandReport)
+ *       -> "ok" | "ok duplicate"
+ *       Final per-island outcome. First report wins.
+ *
+ *   island.stop
+ *       -> "ok stopping"
+ *       Cooperative shutdown: subsequent join/migrate answer "stop"
+ *       and workers abort.
+ *
+ * Doubles cross the wire with 17 significant digits, which
+ * round-trips IEEE-754 exactly, so the coordinator's merged GaResult
+ * is bit-identical to the in-process runIslandModel() reference for
+ * the same (seed, islands, interval, migrants) — regardless of
+ * worker placement, timing, or kill/resume cycles.
+ */
+
+#ifndef HWSW_SERVE_ISLAND_HPP
+#define HWSW_SERVE_ISLAND_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/island.hpp"
+#include "serve/client.hpp"
+
+namespace hwsw::serve {
+
+/** Serialize one scored spec (spec lines + a "score" line). */
+void saveScoredSpec(const core::ScoredSpec &s, std::ostream &os);
+
+/**
+ * Parse a block written by saveScoredSpec().
+ * @throws FatalError on malformed input.
+ */
+core::ScoredSpec loadScoredSpec(std::istream &is);
+
+/** Serialize an island's final report (trailing "end" sentinel). */
+std::string saveIslandReport(const core::IslandReport &report);
+
+/**
+ * Parse a report written by saveIslandReport().
+ * @throws FatalError on malformed input.
+ */
+core::IslandReport loadIslandReport(const std::string &text);
+
+/** The run configuration island.join hands to every worker. */
+struct IslandWireConfig
+{
+    std::size_t islands = 1;
+    std::size_t migrationInterval = 4;
+    std::size_t migrants = 2;
+    std::size_t populationSize = 32;
+    std::size_t generations = 20;
+    std::uint64_t seed = 42;
+
+    /** Opaque application payload (e.g. dataset parameters). */
+    std::string extra;
+};
+
+/** Coordinator-side counters (deterministic except for waits). */
+struct IslandCoordinatorStats
+{
+    std::uint64_t joins = 0;          ///< island.join served
+    std::uint64_t migratePosts = 0;   ///< outboxes accepted
+    std::uint64_t duplicatePosts = 0; ///< re-posts idempotently dropped
+    std::uint64_t waitAnswers = 0;    ///< "ok wait" poll responses
+    std::uint64_t migrantsServed = 0; ///< inboxes delivered
+    std::uint64_t reports = 0;        ///< island reports accepted
+    std::uint64_t duplicateReports = 0;
+};
+
+/**
+ * The coordinator: owns migration outboxes and final reports for one
+ * distributed run. Thread-safe — Server dispatches `island.*` verbs
+ * from concurrent connection handlers straight into handle().
+ * Pure rendezvous state machine; it never evaluates anything itself.
+ */
+class IslandCoordinator
+{
+  public:
+    /**
+     * @param opts the run configuration every worker must match.
+     * @param extra opaque blob returned verbatim from island.join.
+     */
+    explicit IslandCoordinator(core::IslandOptions opts,
+                               std::string extra = {});
+
+    /** Dispatch one island.* request. Never throws. */
+    std::string handle(std::string_view verb,
+                       std::span<const std::string_view> args,
+                       std::string_view body);
+
+    /**
+     * Block until every island has reported (true) or the run was
+     * stopped / the timeout lapsed (false).
+     */
+    bool waitForReports(double timeout_seconds);
+
+    /** Merged outcome. @pre waitForReports() returned true. */
+    core::GaResult result() const;
+
+    /** Cooperative shutdown: join/migrate answer "stop" from now on. */
+    void stop();
+
+    bool stopped() const;
+
+    IslandCoordinatorStats stats() const;
+
+    const core::IslandOptions &options() const { return opts_; }
+
+  private:
+    std::string handleJoin(std::span<const std::string_view> args);
+    std::string handleMigrate(std::span<const std::string_view> args,
+                              std::string_view body);
+    std::string handleReport(std::span<const std::string_view> args,
+                             std::string_view body);
+
+    core::IslandOptions opts_;
+    std::string extra_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+
+    /** Posted emigrants per barrier generation, per island; retained
+     *  for the whole run so resumed workers replay idempotently. */
+    std::map<std::size_t,
+             std::vector<std::optional<std::vector<core::ScoredSpec>>>>
+        outboxes_;
+
+    std::vector<std::optional<core::IslandReport>> reports_;
+    std::size_t reportsReceived_ = 0;
+    bool stopped_ = false;
+    IslandCoordinatorStats stats_;
+};
+
+/** Worker-side knobs. */
+struct IslandWorkerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t island = 0;
+
+    /** Transport knobs (deadlines, retry/backoff). */
+    ClientOptions client;
+
+    /** Poll interval while waiting at a migration barrier. */
+    double pollSeconds = 0.02;
+};
+
+/**
+ * Fetch the run configuration from a coordinator (island.join).
+ * @throws FatalError on "stop", transport loss, or a bad response.
+ */
+IslandWireConfig fetchIslandConfig(Client &client, std::size_t island);
+
+/**
+ * Run one island to completion against a coordinator: join,
+ * resume-from-checkpoint if opts.checkpointDir holds one, evolve,
+ * exchange migrants at each barrier, and post the final report.
+ * @return the report this worker posted.
+ * @throws FatalError when the coordinator stops the run, its
+ * configuration contradicts @p opts, or the transport is gone for
+ * good (after the client's retry budget).
+ */
+core::IslandReport runIslandWorker(const core::Dataset &data,
+                                   const core::IslandOptions &opts,
+                                   const IslandWorkerOptions &wopts);
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_ISLAND_HPP

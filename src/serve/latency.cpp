@@ -21,6 +21,7 @@ verbName(Verb v)
     case Verb::Observe: return "observe";
     case Verb::Stats: return "stats";
     case Verb::Health: return "health";
+    case Verb::Island: return "island";
     case Verb::Count_: break;
     }
     panic("verbName: bad verb");

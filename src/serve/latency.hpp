@@ -35,7 +35,8 @@ enum class Verb
     Observe,
     Stats,
     Health,
-    Count_ ///< sentinel
+    Island, ///< island.* coordination verbs, one shared bucket
+    Count_  ///< sentinel
 };
 
 inline constexpr std::size_t kNumVerbs =

@@ -16,6 +16,7 @@
 #include "common/fault/fault.hpp"
 #include "common/parse.hpp"
 #include "core/serialize.hpp"
+#include "serve/island.hpp"
 #include "serve/protocol.hpp"
 #include "serve/resilience/resilience.hpp"
 
@@ -56,6 +57,8 @@ verbOf(std::string_view name)
         return Verb::Stats;
     if (name == "health")
         return Verb::Health;
+    if (name.starts_with("island."))
+        return Verb::Island;
     return Verb::Ping;
 }
 
@@ -72,9 +75,10 @@ acceptNeedsPause(int err)
 } // namespace
 
 Server::Server(std::shared_ptr<ModelRegistry> registry,
-               ServerOptions opts, OnlineUpdater *updater)
+               ServerOptions opts, OnlineUpdater *updater,
+               IslandCoordinator *islands)
     : registry_(std::move(registry)), opts_(opts), updater_(updater),
-      engine_(registry_, opts.engine)
+      islands_(islands), engine_(registry_, opts.engine)
 {
     panicIf(!registry_, "Server needs a registry");
 }
@@ -317,6 +321,10 @@ Server::dispatch(std::string_view payload, bool &close_conn)
             response = "ok\n" + statsReport();
         } else if (verb_token == "health") {
             response = healthReport();
+        } else if (verb_token.starts_with("island.")) {
+            response = islands_
+                ? islands_->handle(verb_token, args, body)
+                : errorResponse("island coordination disabled");
         } else {
             response = errorResponse("unknown verb");
         }

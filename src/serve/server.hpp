@@ -37,6 +37,8 @@
 
 namespace hwsw::serve {
 
+class IslandCoordinator;
+
 /** Server configuration. */
 struct ServerOptions
 {
@@ -61,9 +63,12 @@ class Server
      * @param opts configuration.
      * @param updater optional online-update worker; when null the
      *        `observe` verb answers with an error.
+     * @param islands optional distributed-search coordinator; when
+     *        null the `island.*` verbs answer with an error.
      */
     Server(std::shared_ptr<ModelRegistry> registry,
-           ServerOptions opts = {}, OnlineUpdater *updater = nullptr);
+           ServerOptions opts = {}, OnlineUpdater *updater = nullptr,
+           IslandCoordinator *islands = nullptr);
 
     ~Server();
 
@@ -132,6 +137,7 @@ class Server
     std::shared_ptr<ModelRegistry> registry_;
     ServerOptions opts_;
     OnlineUpdater *updater_;
+    IslandCoordinator *islands_;
     PredictionEngine engine_;
     LatencyRecorder latency_;
 

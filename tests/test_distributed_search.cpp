@@ -1,0 +1,402 @@
+// Distributed island-model search: the coordinator/worker path over
+// real loopback sockets must reproduce the in-process reference
+// (and, for one island, the plain GeneticSearch) bit-identically —
+// for any worker placement, start order, and across a worker
+// kill + checkpoint-resume. Wall-clock fields and cache counters are
+// excluded: they are the only non-deterministic parts of a GaResult.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "core/island.hpp"
+#include "serve/island.hpp"
+#include "serve/server.hpp"
+
+namespace hwsw::core {
+namespace {
+
+Dataset
+detData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta", "gamma"}) {
+        const double base = 1.0 + 0.5 * (app[0] - 'a');
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = rng.nextUniform(10, 1000);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 /
+                    r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+IslandOptions
+baseOpts(std::size_t islands)
+{
+    IslandOptions o;
+    o.ga.populationSize = 12;
+    o.ga.generations = 6;
+    o.ga.numThreads = 1;
+    o.ga.seed = 1234;
+    o.islands = islands;
+    o.migrationInterval = 2;
+    o.migrants = 2;
+    return o;
+}
+
+/** Bit-exact equality of everything deterministic in a GaResult. */
+void
+expectSameResult(const GaResult &a, const GaResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.best.spec, b.best.spec);
+    EXPECT_EQ(a.best.fitness, b.best.fitness);
+    EXPECT_EQ(a.best.sumMedianError, b.best.sumMedianError);
+
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        SCOPED_TRACE("generation " + std::to_string(g));
+        EXPECT_EQ(a.history[g].generation, b.history[g].generation);
+        EXPECT_EQ(a.history[g].bestFitness, b.history[g].bestFitness);
+        EXPECT_EQ(a.history[g].meanFitness, b.history[g].meanFitness);
+        EXPECT_EQ(a.history[g].bestSumMedianError,
+                  b.history[g].bestSumMedianError);
+    }
+
+    ASSERT_EQ(a.population.size(), b.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        EXPECT_EQ(a.population[i].spec, b.population[i].spec);
+        EXPECT_EQ(a.population[i].fitness, b.population[i].fitness);
+    }
+}
+
+/** A coordinator server + one worker thread per island, real TCP. */
+GaResult
+runDistributed(const Dataset &data, const IslandOptions &opts,
+               std::vector<std::size_t> start_order = {},
+               double stagger_seconds = 0.0)
+{
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    if (start_order.empty())
+        for (std::size_t i = 0; i < opts.islands; ++i)
+            start_order.push_back(i);
+
+    std::vector<std::thread> workers;
+    workers.reserve(start_order.size());
+    for (const std::size_t island : start_order) {
+        workers.emplace_back([&data, &opts, island, &server] {
+            serve::IslandWorkerOptions w;
+            w.port = server.port();
+            w.island = island;
+            w.pollSeconds = 0.005;
+            serve::runIslandWorker(data, opts, w);
+        });
+        if (stagger_seconds > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stagger_seconds));
+    }
+    for (std::thread &t : workers)
+        t.join();
+
+    EXPECT_TRUE(coordinator.waitForReports(30.0));
+    GaResult result = coordinator.result();
+    server.stop();
+    return result;
+}
+
+TEST(IslandModel, SingleIslandMatchesPlainSearch)
+{
+    const Dataset data = detData(40, 21);
+    const IslandOptions opts = baseOpts(1);
+
+    GeneticSearch plain(data, opts.ga);
+    const GaResult reference = plain.run();
+    const GaResult island = runIslandModel(data, opts);
+    expectSameResult(reference, island, "1 island vs plain run");
+}
+
+TEST(IslandModel, ReferenceRunIsRepeatable)
+{
+    const Dataset data = detData(40, 22);
+    const IslandOptions opts = baseOpts(3);
+    const GaResult a = runIslandModel(data, opts);
+    const GaResult b = runIslandModel(data, opts);
+    expectSameResult(a, b, "repeat in-process island run");
+}
+
+TEST(IslandModel, ThreadCountInvariant)
+{
+    const Dataset data = detData(40, 23);
+    IslandOptions opts = baseOpts(2);
+    const GaResult serial = runIslandModel(data, opts);
+    opts.ga.numThreads = 4;
+    const GaResult parallel = runIslandModel(data, opts);
+    expectSameResult(serial, parallel, "1 vs 4 eval threads");
+}
+
+TEST(IslandModel, EvolverCheckpointResumeMatches)
+{
+    const Dataset data = detData(40, 24);
+    IslandOptions opts = baseOpts(2);
+    opts.migrants = 0; // no barriers: one island runs standalone
+
+    const GaResult uninterrupted = runIslandModel(data, opts);
+
+    const std::string dir =
+        ::testing::TempDir() + "hwsw-island-resume";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    IslandOptions ckpt = opts;
+    ckpt.checkpointDir = dir;
+
+    // Evolve island 0 partway (checkpointing every generation),
+    // drop the evolver mid-run, and resume in a fresh one.
+    {
+        IslandEvolver first(data, ckpt, 0);
+        // migrants == 0: advance() only returns when finished, so
+        // interrupt via the per-island kill switch instead.
+        auto &faults = fault::FaultRegistry::instance();
+        faults.reset();
+        faults.setEnabled(true);
+        ASSERT_TRUE(faults.armSpec("island.worker.kill.0:nth=3,once"));
+        EXPECT_THROW(first.advance(), FatalError);
+        faults.setEnabled(false);
+        faults.reset();
+        EXPECT_FALSE(first.finished());
+    }
+    IslandEvolver resumed(data, ckpt, 0);
+    EXPECT_TRUE(resumed.resumeFromCheckpoint());
+    EXPECT_GT(resumed.generation(), 0u);
+    while (resumed.advance()) {
+    }
+    const IslandReport after = resumed.report();
+
+    IslandEvolver whole(data, opts, 0);
+    while (whole.advance()) {
+    }
+    const IslandReport expected = whole.report();
+
+    ASSERT_EQ(after.history.size(), expected.history.size());
+    for (std::size_t g = 0; g < expected.history.size(); ++g) {
+        EXPECT_EQ(after.history[g].bestFitness,
+                  expected.history[g].bestFitness);
+        EXPECT_EQ(after.history[g].meanFitness,
+                  expected.history[g].meanFitness);
+    }
+    ASSERT_EQ(after.population.size(), expected.population.size());
+    for (std::size_t i = 0; i < expected.population.size(); ++i) {
+        EXPECT_EQ(after.population[i].spec,
+                  expected.population[i].spec);
+        EXPECT_EQ(after.population[i].fitness,
+                  expected.population[i].fitness);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IslandModel, ScoredSpecWireRoundTripIsExact)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+        ScoredSpec s;
+        s.spec = ModelSpec::random(rng, 0.45, 6);
+        s.fitness = rng.nextUniform(1e-12, 3.0);
+        s.sumMedianError = rng.nextUniform(0.0, 10.0);
+        std::ostringstream os;
+        serve::saveScoredSpec(s, os);
+        std::istringstream is(os.str());
+        const ScoredSpec back = serve::loadScoredSpec(is);
+        EXPECT_EQ(s.spec, back.spec);
+        EXPECT_EQ(s.fitness, back.fitness);
+        EXPECT_EQ(s.sumMedianError, back.sumMedianError);
+    }
+}
+
+TEST(DistributedSearch, BitIdenticalAcrossIslandCounts)
+{
+    const Dataset data = detData(40, 31);
+    for (const std::size_t islands : {1u, 2u, 4u}) {
+        const IslandOptions opts = baseOpts(islands);
+        const GaResult reference = runIslandModel(data, opts);
+        const GaResult distributed = runDistributed(data, opts);
+        expectSameResult(reference, distributed,
+                         std::to_string(islands) + " islands");
+    }
+}
+
+TEST(DistributedSearch, OneDistributedIslandMatchesPlainSearch)
+{
+    const Dataset data = detData(40, 32);
+    const IslandOptions opts = baseOpts(1);
+    GeneticSearch plain(data, opts.ga);
+    const GaResult reference = plain.run();
+    const GaResult distributed = runDistributed(data, opts);
+    expectSameResult(reference, distributed,
+                     "1 distributed island vs plain run");
+}
+
+TEST(DistributedSearch, PlacementAndStartOrderInvariant)
+{
+    const Dataset data = detData(40, 33);
+    const IslandOptions opts = baseOpts(3);
+    const GaResult reference = runIslandModel(data, opts);
+
+    const GaResult reversed =
+        runDistributed(data, opts, {2, 1, 0});
+    expectSameResult(reference, reversed, "reverse start order");
+
+    const GaResult staggered =
+        runDistributed(data, opts, {1, 2, 0}, 0.05);
+    expectSameResult(reference, staggered, "staggered starts");
+}
+
+TEST(DistributedSearch, MigrationIntervalEdgeCases)
+{
+    const Dataset data = detData(40, 34);
+
+    // G = 1: a barrier at every generation boundary.
+    IslandOptions every = baseOpts(2);
+    every.migrationInterval = 1;
+    expectSameResult(runIslandModel(data, every),
+                     runDistributed(data, every), "interval 1");
+
+    // G > generations: no barrier is ever reached; the islands
+    // evolve fully independently.
+    IslandOptions never = baseOpts(2);
+    never.migrationInterval = 100;
+    const GaResult no_barrier = runDistributed(data, never);
+    expectSameResult(runIslandModel(data, never), no_barrier,
+                     "interval past the horizon");
+
+    // ... and is equivalent to disabling migration outright.
+    IslandOptions off = baseOpts(2);
+    off.migrants = 0;
+    expectSameResult(runIslandModel(data, off), no_barrier,
+                     "no barriers == migration off");
+}
+
+TEST(DistributedSearch, WorkerKillMidGenerationRecovers)
+{
+    const Dataset data = detData(40, 35);
+    IslandOptions opts = baseOpts(2);
+    const GaResult reference = runIslandModel(data, opts);
+
+    const std::string dir = ::testing::TempDir() + "hwsw-dist-kill";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    opts.checkpointDir = dir;
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    auto &faults = fault::FaultRegistry::instance();
+    faults.reset();
+    faults.setEnabled(true);
+    // Island 1 dies mid-generation on its second scoring pass —
+    // after the work, before the checkpoint. `once` lets the
+    // respawned worker run to completion.
+    ASSERT_TRUE(faults.armSpec("island.worker.kill.1:nth=2,once"));
+
+    const auto run_worker = [&](std::size_t island) {
+        serve::IslandWorkerOptions w;
+        w.port = server.port();
+        w.island = island;
+        w.pollSeconds = 0.005;
+        serve::runIslandWorker(data, opts, w);
+    };
+
+    bool killed = false;
+    std::thread worker0(run_worker, 0);
+    std::thread worker1([&] {
+        try {
+            run_worker(1);
+        } catch (const FatalError &) {
+            killed = true; // injected mid-generation death
+        }
+        if (killed)
+            run_worker(1); // respawn: resumes from the checkpoint
+    });
+    worker0.join();
+    worker1.join();
+    faults.setEnabled(false);
+    faults.reset();
+
+    EXPECT_TRUE(killed);
+    ASSERT_TRUE(coordinator.waitForReports(30.0));
+    const GaResult recovered = coordinator.result();
+    server.stop();
+    expectSameResult(reference, recovered, "kill + resume");
+    EXPECT_GT(coordinator.stats().duplicatePosts +
+                  coordinator.stats().joins,
+              2u); // the respawned worker re-joined
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DistributedSearch, CoordinatorValidatesRequests)
+{
+    const IslandOptions opts = baseOpts(2);
+    serve::IslandCoordinator coordinator(opts);
+
+    const auto call = [&](std::string_view verb,
+                          std::vector<std::string_view> args,
+                          std::string_view body = "") {
+        return coordinator.handle(
+            verb, std::span<const std::string_view>(args), body);
+    };
+
+    EXPECT_TRUE(call("island.nope", {}).starts_with("error"));
+    EXPECT_TRUE(call("island.join", {}).starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"9"}).starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"0"}).starts_with("ok config"));
+    // Not a barrier generation (interval 2).
+    EXPECT_TRUE(call("island.migrate", {"0", "3", "2"})
+                    .starts_with("error"));
+    // Wrong migrant count.
+    EXPECT_TRUE(call("island.migrate", {"0", "2", "5"})
+                    .starts_with("error"));
+    // Malformed body.
+    EXPECT_TRUE(call("island.migrate", {"0", "2", "2"}, "garbage")
+                    .starts_with("error"));
+    // Reporting the wrong island in the body.
+    EXPECT_TRUE(call("island.report", {"0"}, "island 1\n")
+                    .starts_with("error"));
+
+    coordinator.stop();
+    EXPECT_EQ(call("island.join", {"0"}), "stop");
+    EXPECT_EQ(call("island.stop", {}), "ok stopping");
+}
+
+TEST(DistributedSearch, ServerWithoutCoordinatorRefusesIslandVerbs)
+{
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::Server server(registry, {});
+    server.start();
+    serve::Client client("127.0.0.1", server.port());
+    const std::string response = client.request("island.join 0");
+    EXPECT_TRUE(response.starts_with("error"));
+    client.quit();
+    server.stop();
+}
+
+} // namespace
+} // namespace hwsw::core

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate bench wall-clock regressions against the committed baseline.
+
+Compares a freshly produced BENCH_search.json against
+bench/baseline/BENCH_search.json and fails (exit 1) when the gated
+metric regressed by more than the threshold. The default gate is the
+pooled+memoized genetic-search phase (bench_parallel_search's
+best_pooled_seconds): that is the optimization the evaluation fast
+path protects, and the one metric the CI perf-smoke job blocks on.
+Every other metric shared by both files is reported informationally
+so drifts are visible in the job log without flaking the build.
+
+Only the Python standard library is used.
+
+Usage:
+  check_bench_regression.py FRESH BASELINE [--threshold 0.25]
+      [--bench bench_parallel_search] [--metric best_pooled_seconds]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Return {(bench, metric): value} for the last run of each bench."""
+    with open(path) as fh:
+        runs = json.load(fh)
+    if not isinstance(runs, list):
+        raise SystemExit(f"{path}: expected a JSON array of runs")
+    table = {}
+    for run in runs:
+        bench = run.get("bench")
+        for res in run.get("results", []):
+            value = res.get("value")
+            if not isinstance(value, (int, float)):
+                raise SystemExit(
+                    f"{path}: non-numeric value in {bench}: {res}")
+            table[(bench, res.get("name"))] = float(value)
+    return table
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="maximum allowed relative regression "
+                         "(0.25 = 25%%)")
+    ap.add_argument("--bench", default="bench_parallel_search")
+    ap.add_argument("--metric", default="best_pooled_seconds")
+    args = ap.parse_args(argv)
+
+    fresh = load_results(args.fresh)
+    base = load_results(args.baseline)
+
+    key = (args.bench, args.metric)
+    if key not in fresh:
+        raise SystemExit(
+            f"{args.fresh}: missing gated metric "
+            f"{args.bench}/{args.metric}")
+    if key not in base:
+        raise SystemExit(
+            f"{args.baseline}: missing gated metric "
+            f"{args.bench}/{args.metric}")
+
+    shared = sorted(set(fresh) & set(base))
+    print(f"{'bench/metric':48s} {'baseline':>12s} {'fresh':>12s} "
+          f"{'delta':>8s}")
+    for bench, metric in shared:
+        b = base[(bench, metric)]
+        f = fresh[(bench, metric)]
+        delta = (f - b) / b if b else float("inf")
+        mark = " <- gated" if (bench, metric) == key else ""
+        print(f"{bench + '/' + metric:48s} {b:12.6g} {f:12.6g} "
+              f"{delta:+7.1%}{mark}")
+
+    regression = (fresh[key] - base[key]) / base[key]
+    if regression > args.threshold:
+        print(f"\nFAIL: {args.bench}/{args.metric} regressed "
+              f"{regression:+.1%} (threshold +{args.threshold:.0%})")
+        return 1
+    print(f"\nOK: {args.bench}/{args.metric} within threshold "
+          f"({regression:+.1%} vs +{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,13 +16,18 @@
  * malformed value prints the usage text and exits non-zero instead
  * of crashing on an uncaught exception.
  */
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/assert.hpp"
 #include "common/fault/fault.hpp"
@@ -31,9 +36,11 @@
 #include "common/table.hpp"
 #include "core/checkpoint.hpp"
 #include "core/genetic.hpp"
+#include "core/island.hpp"
 #include "core/sampler.hpp"
 #include "core/serialize.hpp"
 #include "serve/client.hpp"
+#include "serve/island.hpp"
 #include "serve/server.hpp"
 #include "spmv/matgen.hpp"
 #include "spmv/tuner.hpp"
@@ -51,6 +58,12 @@ usage()
         "  hwsw profile <app> [shards=8] [shard-len=16384]\n"
         "  hwsw cpi <app> [width=4] [dcacheKB=64] [l2KB=1024]\n"
         "  hwsw train [pairs-per-app=150] [generations=12]\n"
+        "  hwsw train --distributed [pairs-per-app=150] "
+        "[generations=12]\n"
+        "             [--islands N=2] [--migration-interval G=4]\n"
+        "             [--migrants M=2] [--checkpoint-dir DIR] "
+        "[--port P]\n"
+        "  hwsw train --island-worker I --server host:port\n"
         "  hwsw save <model-file> [pairs-per-app=150] "
         "[generations=12]\n"
         "  hwsw spmv <matrix> [scale=0.15]\n"
@@ -74,6 +87,18 @@ usage()
         "checkpoints\n"
         "  --resume             train: continue from --checkpoint "
         "FILE\n"
+        "  --distributed        train: island-model search across\n"
+        "                       worker processes (deterministic for\n"
+        "                       fixed seed/islands/interval)\n"
+        "  --islands N          distributed: island count\n"
+        "  --migration-interval G\n"
+        "                       distributed: generations between\n"
+        "                       migrant exchanges\n"
+        "  --migrants M         distributed: elites exchanged per\n"
+        "                       island at each barrier\n"
+        "  --checkpoint-dir DIR distributed: per-island resumable\n"
+        "                       checkpoints (island-<i>.ckpt)\n"
+        "  --island-worker I    run one island against --server\n"
         "  --fault SPEC         arm a fault-injection point, e.g.\n"
         "                       proto.read.err:p=0.01,errno=104\n"
         "                       (repeatable; implies injection ON)\n");
@@ -244,6 +269,288 @@ cmdTrain(std::size_t pairs, std::size_t generations, unsigned threads,
 {
     trainModel(pairs, generations, threads, /*verbose=*/true,
                persist);
+    return 0;
+}
+
+/** Build the training dataset every train variant shares. */
+core::Dataset
+makeTrainDataset(std::size_t pairs)
+{
+    core::SamplerOptions sopts;
+    sopts.shardLength = 16384;
+    sopts.shardsPerApp = 16;
+    core::SpaceSampler sampler(wl::makeSuite(), sopts);
+    return sampler.sample(pairs, 1);
+}
+
+/** Parse "host:port"; returns false (after printing) on a defect. */
+bool
+parseEndpoint(const std::string &endpoint, std::string &host,
+              std::uint16_t &port)
+{
+    const std::size_t colon = endpoint.rfind(':');
+    unsigned long long port_val = 0;
+    if (colon == std::string::npos ||
+        !parseArg(endpoint.substr(colon + 1), "port", port_val) ||
+        port_val == 0 || port_val > 65535) {
+        std::fprintf(stderr, "error: bad --server '%s'\n",
+                     endpoint.c_str());
+        return false;
+    }
+    host = endpoint.substr(0, colon);
+    port = static_cast<std::uint16_t>(port_val);
+    return true;
+}
+
+/**
+ * Worker mode: one island against a coordinator. Everything but the
+ * endpoint and island index comes from island.join, so local and
+ * remote workers are launched identically.
+ */
+int
+cmdIslandWorker(const std::string &endpoint, std::size_t island,
+                unsigned threads_override)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseEndpoint(endpoint, host, port))
+        return usage();
+
+    serve::IslandWireConfig cfg;
+    {
+        serve::Client client(host, port);
+        cfg = serve::fetchIslandConfig(client, island);
+        client.quit();
+    }
+
+    // The extra blob carries the dataset and runtime parameters the
+    // coordinator trained with (one "key value" line each).
+    std::size_t pairs = 150;
+    unsigned threads = 0;
+    std::string ckpt_dir;
+    std::istringstream extra(cfg.extra);
+    std::string line;
+    while (std::getline(extra, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "pairs") {
+            ls >> pairs;
+        } else if (key == "threads") {
+            ls >> threads;
+        } else if (key == "ckptdir") {
+            std::getline(ls, ckpt_dir);
+            if (!ckpt_dir.empty() && ckpt_dir.front() == ' ')
+                ckpt_dir.erase(0, 1);
+        }
+    }
+    if (threads_override)
+        threads = threads_override;
+
+    const core::Dataset train = makeTrainDataset(pairs);
+
+    core::IslandOptions opts;
+    opts.ga.populationSize = cfg.populationSize;
+    opts.ga.generations = cfg.generations;
+    opts.ga.seed = cfg.seed;
+    opts.ga.numThreads = threads;
+    opts.islands = cfg.islands;
+    opts.migrationInterval = cfg.migrationInterval;
+    opts.migrants = cfg.migrants;
+    opts.checkpointDir = ckpt_dir;
+
+    serve::IslandWorkerOptions wopts;
+    wopts.host = host;
+    wopts.port = port;
+    wopts.island = island;
+
+    const core::IslandReport report =
+        serve::runIslandWorker(train, opts, wopts);
+    std::printf("island %zu: %zu generations, best fitness %.6f\n",
+                island, report.history.size(),
+                report.history.back().bestFitness);
+    return 0;
+}
+
+/** Fork+exec one local worker process for @p island. */
+pid_t
+spawnIslandWorker(const std::string &endpoint, std::size_t island,
+                  const std::vector<std::string> &fault_specs)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    const std::string island_arg = std::to_string(island);
+    std::vector<std::string> args = {
+        "hwsw",     "train",    "--island-worker",
+        island_arg, "--server", endpoint,
+    };
+    // Forward fault arming so injected worker kills reach children.
+    for (const std::string &spec : fault_specs) {
+        args.push_back("--fault");
+        args.push_back(spec);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv("/proc/self/exe", argv.data());
+    _exit(127); // exec failed; the supervisor sees a dead worker
+}
+
+/** Coordinator knobs for a distributed training run. */
+struct DistributedConfig
+{
+    std::size_t islands = 2;
+    std::size_t migrationInterval = 4;
+    std::size_t migrants = 2;
+    std::string checkpointDir;
+    std::uint16_t port = 0;
+    std::vector<std::string> faultSpecs;
+};
+
+int
+cmdTrainDistributed(std::size_t pairs, std::size_t generations,
+                    unsigned threads, const DistributedConfig &dist)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::Dataset train = makeTrainDataset(pairs);
+
+    core::IslandOptions iopts;
+    iopts.ga.populationSize = 24;
+    iopts.ga.generations = generations;
+    iopts.ga.numThreads = threads;
+    iopts.islands = dist.islands;
+    iopts.migrationInterval = dist.migrationInterval;
+    iopts.migrants = dist.migrants;
+    iopts.checkpointDir = dist.checkpointDir;
+
+    std::string extra = "pairs " + std::to_string(pairs) +
+        "\nthreads " + std::to_string(threads) + "\n";
+    if (!dist.checkpointDir.empty())
+        extra += "ckptdir " + dist.checkpointDir + "\n";
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(iopts, extra);
+    serve::ServerOptions sopts;
+    sopts.port = dist.port;
+    serve::Server server(registry, sopts, nullptr, &coordinator);
+    server.start();
+    const std::string endpoint =
+        "127.0.0.1:" + std::to_string(server.port());
+    std::printf("hwsw train --distributed: coordinator on %s, "
+                "%zu islands, interval %zu, %zu migrants\n",
+                endpoint.c_str(), dist.islands,
+                dist.migrationInterval, dist.migrants);
+    std::fflush(stdout);
+
+    std::map<pid_t, std::size_t> children;
+    std::vector<std::size_t> restarts(dist.islands, 0);
+    constexpr std::size_t kMaxRestarts = 5;
+    bool failed = false;
+
+    for (std::size_t i = 0; i < dist.islands && !failed; ++i) {
+        const pid_t pid =
+            spawnIslandWorker(endpoint, i, dist.faultSpecs);
+        if (pid < 0) {
+            std::fprintf(stderr, "error: cannot fork worker %zu\n",
+                         i);
+            failed = true;
+            break;
+        }
+        children[pid] = i;
+    }
+
+    // Supervise: a worker that dies before reporting is respawned
+    // and resumes from its island checkpoint (or generation 0); the
+    // result is unchanged either way.
+    while (!failed && !coordinator.waitForReports(0.2)) {
+        int status = 0;
+        pid_t pid = 0;
+        while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+            const auto it = children.find(pid);
+            if (it == children.end())
+                continue;
+            const std::size_t island = it->second;
+            children.erase(it);
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+                continue; // clean exit after reporting
+            if (++restarts[island] > kMaxRestarts) {
+                std::fprintf(stderr,
+                             "error: island %zu worker keeps dying; "
+                             "giving up\n",
+                             island);
+                failed = true;
+                break;
+            }
+            std::fprintf(stderr,
+                         "island %zu worker died (status %d); "
+                         "respawning (%zu/%zu)\n",
+                         island, status, restarts[island],
+                         kMaxRestarts);
+            const pid_t fresh = spawnIslandWorker(
+                endpoint, island, dist.faultSpecs);
+            if (fresh < 0) {
+                std::fprintf(stderr,
+                             "error: cannot respawn worker %zu\n",
+                             island);
+                failed = true;
+                break;
+            }
+            children[fresh] = island;
+        }
+    }
+
+    if (failed) {
+        coordinator.stop();
+        for (const auto &[pid, island] : children) {
+            ::kill(pid, SIGTERM);
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+        }
+        server.stop();
+        return 1;
+    }
+
+    // All islands reported; reap the workers' clean exits.
+    for (const auto &[pid, island] : children) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    core::GaResult result = coordinator.result();
+    result.metrics.totalSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const serve::IslandCoordinatorStats cstats =
+        coordinator.stats();
+    server.stop();
+
+    core::HwSwModel model;
+    model.fit(result.best.spec, train);
+    core::SamplerOptions valopts;
+    valopts.shardLength = 16384;
+    valopts.shardsPerApp = 16;
+    core::SpaceSampler sampler(wl::makeSuite(), valopts);
+    const core::Dataset val = sampler.sample(40, 2);
+    const auto metrics = model.validate(val);
+    std::printf("trained on %zu profiles, %zu generations, "
+                "%zu islands\n",
+                train.size(), generations, dist.islands);
+    std::printf("validation: median %.1f%%, mean %.1f%%, rho %.3f\n",
+                100.0 * metrics.medianAbsPctError,
+                100.0 * metrics.meanAbsPctError, metrics.spearman);
+    std::printf("model: %s\n", result.best.spec.describe().c_str());
+    std::printf("coordination: joins %llu, migrations %llu, "
+                "waits %llu, reports %llu\n",
+                static_cast<unsigned long long>(cstats.joins),
+                static_cast<unsigned long long>(cstats.migratePosts),
+                static_cast<unsigned long long>(cstats.waitAnswers),
+                static_cast<unsigned long long>(cstats.reports));
+    std::printf("search metrics:\n%s",
+                metrics::renderEntries(result.metrics.entries())
+                    .c_str());
     return 0;
 }
 
@@ -426,6 +733,11 @@ main(int argc, char **argv)
     std::vector<std::string> fault_specs;
     unsigned long long timeout_ms = 0;
     unsigned long long retries = 0;
+    bool distributed = false;
+    bool island_worker = false;
+    unsigned long long worker_island = 0;
+    DistributedConfig dist;
+    unsigned long long islands = 2, mig_interval = 4, migrants = 2;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto flagValue = [&](const char *flag) -> const char * {
@@ -480,6 +792,39 @@ main(int argc, char **argv)
                 return usage();
         } else if (a == "--resume") {
             persist.resume = true;
+        } else if (a == "--distributed") {
+            distributed = true;
+        } else if (a == "--islands") {
+            const char *v = flagValue("--islands");
+            if (!v || !parseArg(std::string(v), "--islands value",
+                                islands) ||
+                islands == 0)
+                return usage();
+        } else if (a == "--migration-interval") {
+            const char *v = flagValue("--migration-interval");
+            if (!v ||
+                !parseArg(std::string(v),
+                          "--migration-interval value",
+                          mig_interval) ||
+                mig_interval == 0)
+                return usage();
+        } else if (a == "--migrants") {
+            const char *v = flagValue("--migrants");
+            if (!v || !parseArg(std::string(v), "--migrants value",
+                                migrants))
+                return usage();
+        } else if (a == "--checkpoint-dir") {
+            const char *v = flagValue("--checkpoint-dir");
+            if (!v)
+                return usage();
+            dist.checkpointDir = v;
+        } else if (a == "--island-worker") {
+            const char *v = flagValue("--island-worker");
+            if (!v || !parseArg(std::string(v),
+                                "--island-worker value",
+                                worker_island))
+                return usage();
+            island_worker = true;
         } else if (a == "--fault") {
             const char *v = flagValue("--fault");
             if (!v)
@@ -535,9 +880,27 @@ main(int argc, char **argv)
             return cmdCpi(args[1], width, dcache, l2);
         }
         if (cmd == "train") {
+            if (island_worker) {
+                if (server_endpoint.empty()) {
+                    std::fprintf(stderr, "error: --island-worker "
+                                         "needs --server\n");
+                    return usage();
+                }
+                return cmdIslandWorker(server_endpoint,
+                                       worker_island, threads);
+            }
             if (!parseArg(arg(1, "150"), "pairs-per-app", pairs) ||
                 !parseArg(arg(2, "12"), "generations", gens))
                 return usage();
+            if (distributed) {
+                dist.islands = islands;
+                dist.migrationInterval = mig_interval;
+                dist.migrants = migrants;
+                dist.port = static_cast<std::uint16_t>(port);
+                dist.faultSpecs = fault_specs;
+                return cmdTrainDistributed(pairs, gens, threads,
+                                           dist);
+            }
             return cmdTrain(pairs, gens, threads, persist);
         }
         if (cmd == "save" && nargs >= 2) {
