@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Open-loop serving benchmark for the event-driven core: raw
+ * connections keep a fixed window of pipelined batch requests in
+ * flight against an in-process server, so throughput is set by the
+ * reactor's service rate (incremental decode + one GEMM per batch)
+ * rather than by per-request round-trip waits.
+ *
+ * The closed-loop reference is the synchronous scalar client the
+ * thread-per-connection server was built around: one predict, wait,
+ * next. The acceptance gate asserts the open-loop pipeline sustains
+ * at least 5x the closed-loop prediction rate with request p99 under
+ * the 50 ms SLO, and exits nonzero otherwise. Results are appended
+ * to BENCH_search.json for the CI regression gate.
+ */
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+constexpr std::size_t kBatch = 64;   ///< rows per pipelined request
+constexpr std::size_t kWindow = 32;  ///< requests in flight per conn
+constexpr int kConnections = 2;
+constexpr double kDuration = 1.5;    ///< seconds per phase
+constexpr double kP99SloMs = 50.0;   ///< open-loop request p99 SLO
+constexpr double kSpeedupFloor = 5.0;
+
+core::HwSwModel
+quickModel()
+{
+    core::Dataset ds;
+    Rng rng(1);
+    for (const char *app : {"a", "b"}) {
+        for (int i = 0; i < 60; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = std::exp(rng.nextGaussian() + 4.0);
+            r.vars[core::kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 2.0 * r.vars[6] +
+                     4.0 / r.vars[core::kNumSw];
+            ds.add(r);
+        }
+    }
+    core::ModelSpec s;
+    s.genes[6] = 2;
+    s.genes[7] = 4;
+    s.genes[core::kNumSw] = 3;
+    s.interactions = {{6, static_cast<std::uint16_t>(core::kNumSw)}};
+    s.normalize();
+    core::HwSwModel model;
+    model.fit(s, ds);
+    return model;
+}
+
+serve::FeatureVector
+randomRow(Rng &rng)
+{
+    serve::FeatureVector row{};
+    row[6] = rng.nextUniform(0.1, 0.6);
+    row[7] = std::exp(rng.nextGaussian() + 4.0);
+    row[core::kNumSw] = 1 << rng.nextInt(4);
+    return row;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Closed-loop scalar reference: one predict outstanding per client. */
+double
+runClosedLoop(serve::Server &server, double seconds)
+{
+    std::atomic<std::uint64_t> predictions{0};
+    std::atomic<bool> go{true};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kConnections; ++t) {
+        clients.emplace_back([&, t] {
+            serve::Client c("127.0.0.1", server.port());
+            Rng rng(50 + t);
+            const serve::FeatureVector row = randomRow(rng);
+            while (go.load(std::memory_order_relaxed)) {
+                if (c.predict("default", row).ok)
+                    predictions.fetch_add(1,
+                                          std::memory_order_relaxed);
+            }
+            c.quit();
+        });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+    go.store(false, std::memory_order_relaxed);
+    for (auto &t : clients)
+        t.join();
+    return static_cast<double>(predictions.load()) /
+        secondsSince(start);
+}
+
+struct OpenLoopResult
+{
+    std::uint64_t responses = 0;
+    std::uint64_t bad = 0;          ///< non-"ok" or short responses
+    std::vector<double> latency;    ///< per-request seconds
+};
+
+/**
+ * One open-loop connection: keep kWindow pipelined batch requests in
+ * flight, record each request's send-to-response latency (responses
+ * arrive in order, so a FIFO of send stamps is exact).
+ */
+OpenLoopResult
+runOpenLoopConn(std::uint16_t port, int seed,
+                const core::HwSwModel &model, double seconds)
+{
+    OpenLoopResult res;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return res;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return res;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Rng rng(seed);
+    std::vector<serve::FeatureVector> rows;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        rows.push_back(randomRow(rng));
+    const std::string request =
+        serve::makeBatchRequest("default", rows);
+    std::vector<double> expected;
+    for (const auto &row : rows) {
+        core::ProfileRecord rec;
+        rec.vars = row;
+        rec.perf = 1.0;
+        expected.push_back(model.predict(rec));
+    }
+
+    std::deque<std::chrono::steady_clock::time_point> inflight;
+    auto sendOne = [&] {
+        if (!serve::writeFrame(fd, request))
+            return false;
+        inflight.push_back(std::chrono::steady_clock::now());
+        return true;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kWindow; ++i)
+        if (!sendOne())
+            break;
+
+    std::string response;
+    bool verified = false;
+    auto consume = [&] {
+        if (!serve::readFrame(fd, response))
+            return false;
+        res.latency.push_back(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  inflight.front())
+                                  .count());
+        inflight.pop_front();
+        ++res.responses;
+        if (!verified) {
+            // Full bit-exact check once per connection; the cheap
+            // prefix check covers the rest of the stream.
+            const auto tokens = serve::splitTokens(response);
+            verified = true;
+            if (tokens.size() != 3 + kBatch ||
+                std::string(tokens[0]) != "ok") {
+                ++res.bad;
+            } else {
+                for (std::size_t i = 0; i < kBatch; ++i)
+                    if (std::string(tokens[3 + i]) !=
+                        serve::formatDouble(expected[i]))
+                        ++res.bad;
+            }
+        } else if (!response.starts_with("ok ")) {
+            ++res.bad;
+        }
+        return true;
+    };
+
+    while (secondsSince(start) < seconds && !inflight.empty()) {
+        if (!consume())
+            break;
+        if (!sendOne())
+            break;
+    }
+    while (!inflight.empty() && consume()) {
+    }
+    ::close(fd);
+    return res;
+}
+
+double
+pct(std::vector<double> &v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+serve::Server *g_server = nullptr;
+serve::ModelRegistry *g_registry = nullptr;
+
+/** Kernel timer: one GEMM batch predict through the engine. */
+void
+BM_EngineGemmBatch(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<serve::FeatureVector> rows;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        rows.push_back(randomRow(rng));
+    auto &engine = g_server->engine();
+    for (auto _ : state) {
+        const auto out = engine.predict("default", rows);
+        benchmark::DoNotOptimize(out.predictions);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_EngineGemmBatch)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const core::HwSwModel model = quickModel();
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->publish("default", model, "bench");
+    g_registry = registry.get();
+
+    serve::ServerOptions opts;
+    opts.engine.threads = 2;
+    serve::Server server(registry, opts);
+    server.start();
+    g_server = &server;
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::section("closed-loop reference (scalar round trips)");
+    std::printf("%d synchronous clients, one predict outstanding "
+                "each, ~%.1fs\n", kConnections, kDuration);
+    const double closedRate = runClosedLoop(server, kDuration);
+    std::printf("closed-loop: %.0f pred/s\n", closedRate);
+
+    bench::section("open-loop pipelined load");
+    std::printf("%d connections x window %zu, batch %zu, %zu reactor "
+                "shard(s), ~%.1fs\n", kConnections, kWindow, kBatch,
+                server.reactorCount(), kDuration);
+    std::vector<OpenLoopResult> results(kConnections);
+    std::vector<std::thread> conns;
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kConnections; ++t) {
+        conns.emplace_back([&, t] {
+            results[t] = runOpenLoopConn(server.port(), 200 + t,
+                                         model, kDuration);
+        });
+    }
+    for (auto &t : conns)
+        t.join();
+    const double elapsed = secondsSince(start);
+
+    std::uint64_t responses = 0, bad = 0;
+    std::vector<double> latency;
+    for (auto &r : results) {
+        responses += r.responses;
+        bad += r.bad;
+        latency.insert(latency.end(), r.latency.begin(),
+                       r.latency.end());
+    }
+    const double openRate =
+        static_cast<double>(responses * kBatch) / elapsed;
+    const double p50 = pct(latency, 0.50) * 1e3;
+    const double p99 = pct(latency, 0.99) * 1e3;
+    const double speedup =
+        closedRate > 0.0 ? openRate / closedRate : 0.0;
+    std::printf("open-loop: %.0f pred/s (%llu responses, %llu bad)\n",
+                openRate, static_cast<unsigned long long>(responses),
+                static_cast<unsigned long long>(bad));
+    std::printf("request latency: p50 %.2fms  p99 %.2fms\n", p50, p99);
+
+    bench::section("acceptance");
+    const bool speedOk = speedup >= kSpeedupFloor;
+    const bool sloOk = p99 <= kP99SloMs;
+    const bool clean = bad == 0 && responses > 0;
+    std::printf("open-loop >= %.0fx closed-loop: %.1fx (%s)\n",
+                kSpeedupFloor, speedup, speedOk ? "PASS" : "FAIL");
+    std::printf("p99 <= %.0fms SLO: %.2fms (%s)\n", kP99SloMs, p99,
+                sloOk ? "PASS" : "FAIL");
+    std::printf("responses bit-exact and well-formed: %s\n",
+                clean ? "PASS" : "FAIL");
+
+    bench::JsonReport report("bench_serve_openloop");
+    report.add("closedloop_pred_per_s", closedRate, "pred/s");
+    report.add("openloop_pred_per_s", openRate, "pred/s");
+    report.add("openloop_speedup_x", speedup, "x");
+    report.add("openloop_p99_ms", p99, "ms");
+    report.write();
+
+    server.stop();
+    return speedOk && sloOk && clean ? 0 : 1;
+}

@@ -119,6 +119,20 @@ BaseCache::BaseCache(const Dataset &ds, const BasisTable &basis)
     }
 }
 
+void
+BaseCache::assignRows(std::span<const std::array<double, kNumVars>> rows,
+                      const BasisTable &basis)
+{
+    numRecords_ = rows.size();
+    values_.resize(kNumVars * numRecords_);
+    for (std::size_t v = 0; v < kNumVars; ++v) {
+        const VarBasis &b = basis[v];
+        double *col = values_.data() + v * numRecords_;
+        for (std::size_t r = 0; r < numRecords_; ++r)
+            col[r] = baseValueFor(b, rows[r][v]);
+    }
+}
+
 std::span<const double>
 BaseCache::var(std::size_t v) const
 {
@@ -238,6 +252,17 @@ DesignBlockCache::bind(const BaseCache &bases, const BasisTable &basis)
     for (auto &block : varBlocks_)
         block.clear();
     interBlocks_.assign(kNumVars * kNumVars, {});
+}
+
+void
+DesignBlockCache::reset()
+{
+    bases_ = nullptr;
+    basis_ = nullptr;
+    for (auto &block : varBlocks_)
+        block.clear();
+    for (auto &block : interBlocks_)
+        block.clear();
 }
 
 std::span<const double>

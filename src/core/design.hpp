@@ -72,6 +72,15 @@ class BaseCache
     /** Precompute the base value of every (record, variable) pair. */
     BaseCache(const Dataset &ds, const BasisTable &basis);
 
+    /**
+     * Refill from raw feature rows, reusing the existing allocation
+     * (the serving batch path caches one BaseCache per scratch and
+     * re-fills it per request). Same arithmetic as the Dataset
+     * constructor.
+     */
+    void assignRows(std::span<const std::array<double, kNumVars>> rows,
+                    const BasisTable &basis);
+
     std::size_t numRecords() const { return numRecords_; }
     bool empty() const { return numRecords_ == 0; }
 
@@ -113,6 +122,15 @@ class DesignBlockCache
      * same one.
      */
     void bind(const BaseCache &bases, const BasisTable &basis);
+
+    /**
+     * Forget the bound record set and drop every cached block
+     * (capacity is kept). Required before rebinding a BaseCache
+     * whose *contents* changed in place — bind() only compares
+     * addresses, so an in-place refill would otherwise serve stale
+     * blocks.
+     */
+    void reset();
 
     bool bound() const { return bases_ != nullptr; }
 

@@ -107,6 +107,31 @@ HwSwModel::predictAllFromBases(const BaseCache &bases, FitWorkspace &ws,
     }
 }
 
+void
+HwSwModel::predictRows(
+    std::span<const std::array<double, kNumVars>> rows,
+    BatchPredictScratch &scratch, std::span<double> out) const
+{
+    panicIf(!fitted(), "HwSwModel::predictRows before fit");
+    panicIf(out.size() != rows.size(),
+            "HwSwModel::predictRows output size mismatch");
+    if (rows.empty())
+        return;
+    scratch.bases.assignRows(rows, builder_->basis());
+    // The scratch's BaseCache keeps its address across batches while
+    // its contents change, so force the block cache to drop stale
+    // blocks before rebinding.
+    scratch.blocks.reset();
+    scratch.blocks.bind(scratch.bases, builder_->basis());
+    builder_->buildFromBases(scratch.bases, scratch.blocks,
+                             scratch.design);
+    lm_.predictInto(scratch.design, out);
+    if (logResponse_) {
+        for (double &v : out)
+            v = boundedExp(v);
+    }
+}
+
 std::vector<double>
 HwSwModel::predictAll(const Dataset &ds) const
 {

@@ -30,6 +30,19 @@ struct FitWorkspace
     std::vector<double> row;
 };
 
+/**
+ * Reusable buffers for batched serving prediction: the per-batch
+ * base-value cache, the materialized column blocks, and the
+ * assembled design matrix. One instance per concurrent batch;
+ * contents between calls are meaningless.
+ */
+struct BatchPredictScratch
+{
+    BaseCache bases;
+    DesignBlockCache blocks;
+    stats::Matrix design;
+};
+
 /** Fitted regression model over the integrated space. */
 class HwSwModel
 {
@@ -98,6 +111,17 @@ class HwSwModel
      */
     void predictAllFromBases(const BaseCache &bases, FitWorkspace &ws,
                              std::vector<double> &out) const;
+
+    /**
+     * Serving batch fast path: assemble one design matrix for all
+     * @p rows (block-cache memcpy assembly, zero per-row spec walks)
+     * and compute every prediction as a single X·β product.
+     * Bit-identical to calling predict() on each row.
+     * @pre out.size() == rows.size().
+     */
+    void predictRows(std::span<const std::array<double, kNumVars>> rows,
+                     BatchPredictScratch &scratch,
+                     std::span<double> out) const;
 
     /** Predict every record in a dataset. */
     std::vector<double> predictAll(const Dataset &ds) const;

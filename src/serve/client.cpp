@@ -76,7 +76,8 @@ parsePrediction(const std::string &response, bool batch)
 
 /** Classify a transport failure into a ClientPrediction. */
 ClientPrediction
-transportFailure(IoStatus st, int attempts)
+transportFailure(IoStatus st, int attempts,
+                 const std::string &detail)
 {
     ClientPrediction out;
     out.attempts = attempts;
@@ -85,6 +86,11 @@ transportFailure(IoStatus st, int attempts)
         out.error = "deadline exceeded";
     } else {
         out.error = "connection lost";
+    }
+    if (!detail.empty()) {
+        out.error += " (";
+        out.error += detail;
+        out.error += ')';
     }
     return out;
 }
@@ -230,8 +236,13 @@ Client::exchange(const std::string &request, bool idempotent,
                 connect_deadline = resilience::Deadline::after(
                     opts_.connectTimeout);
             last = connectOnce(connect_deadline);
-            if (last != IoStatus::Ok)
+            if (last != IoStatus::Ok) {
+                lastFailure_ = "connect to " + endpoint() + ": " +
+                    (last == IoStatus::Timeout
+                         ? "timed out"
+                         : std::strerror(errno));
                 goto next_attempt;
+            }
             if (attempts > 1 || had_conn_at_entry)
                 ++stats_.reconnects;
         }
@@ -252,6 +263,12 @@ Client::exchange(const std::string &request, bool idempotent,
                 last = readFrame(fd_, response, deadline);
             if (last == IoStatus::Ok)
                 return IoStatus::Ok;
+            if (last == IoStatus::Eof)
+                lastFailure_ = "i/o on " + endpoint() +
+                    ": connection closed by peer";
+            else if (last == IoStatus::Error)
+                lastFailure_ = "i/o on " + endpoint() + ": " +
+                    std::strerror(errno);
             // Whatever failed, the stream position is unknowable:
             // drop the connection rather than risk desynchronized
             // frames on the next request.
@@ -282,18 +299,26 @@ Client::exchange(const std::string &request, bool idempotent,
 }
 
 std::string
+Client::endpoint() const
+{
+    return host_ + ":" + std::to_string(port_);
+}
+
+std::string
 Client::roundTrip(const std::string &request, bool idempotent)
 {
     std::string response;
     int attempts = 0;
     const IoStatus st =
         exchange(request, idempotent, response, attempts);
+    const std::string detail =
+        lastFailure_.empty() ? "" : " (" + lastFailure_ + ")";
     fatalIf(st == IoStatus::Timeout,
             "request deadline exceeded after " +
-                std::to_string(attempts) + " attempt(s)");
+                std::to_string(attempts) + " attempt(s)" + detail);
     fatalIf(st != IoStatus::Ok,
             "connection lost after " + std::to_string(attempts) +
-                " attempt(s)");
+                " attempt(s)" + detail);
     return response;
 }
 
@@ -319,7 +344,7 @@ Client::predict(const std::string &model, const FeatureVector &row)
                                  /*idempotent=*/true, response,
                                  attempts);
     if (st != IoStatus::Ok)
-        return transportFailure(st, attempts);
+        return transportFailure(st, attempts, lastFailure_);
     ClientPrediction out = parsePrediction(response, /*batch=*/false);
     out.attempts = attempts;
     if (out.expired)
@@ -337,7 +362,7 @@ Client::predictBatch(const std::string &model,
                                  /*idempotent=*/true, response,
                                  attempts);
     if (st != IoStatus::Ok)
-        return transportFailure(st, attempts);
+        return transportFailure(st, attempts, lastFailure_);
     ClientPrediction out = parsePrediction(response, /*batch=*/true);
     out.attempts = attempts;
     if (out.expired)

@@ -172,12 +172,23 @@ class Client
 
     void closeFd();
 
+    /** "host:port" for error reporting. */
+    std::string endpoint() const;
+
     std::string host_;
     std::uint16_t port_ = 0;
     ClientOptions opts_;
     ClientStats stats_;
     std::uint64_t requestSeq_ = 0; ///< varies per-request jitter
     int fd_ = -1;
+
+    /**
+     * Human-readable cause of the most recent transport failure
+     * ("connect to 127.0.0.1:9000: Connection refused"); surfaced in
+     * retry-exhaustion errors so a misconfigured endpoint is
+     * diagnosable from the message alone.
+     */
+    std::string lastFailure_;
 };
 
 } // namespace hwsw::serve

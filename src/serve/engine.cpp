@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace hwsw::serve {
@@ -60,25 +62,65 @@ PredictionEngine::predict(const std::string &model,
     admitted_.fetch_add(n, std::memory_order_relaxed);
     out.modelVersion = snap->version;
     out.predictions.resize(n);
-    // The scratch row makes a scalar predict allocation-free; it is
-    // thread-local (not per-call) so pool workers keep their buffer
-    // across batches and across engines.
     if (n <= opts_.inlineBatch) {
+        // The scratch row makes a scalar predict allocation-free; it
+        // is thread-local (not per-call) so callers keep their buffer
+        // across requests and across engines.
         thread_local std::vector<double> row_scratch;
         for (std::size_t i = 0; i < n; ++i)
             out.predictions[i] =
                 snap->model.predict(recordFromRow(rows[i]),
                                     row_scratch);
+    } else if (n < opts_.parallelBatch || pool_.size() <= 1) {
+        // GEMM path: one design-matrix assembly, one X·β product.
+        auto scratch = leaseScratch();
+        snap->model.predictRows(rows, *scratch, out.predictions);
+        returnScratch(std::move(scratch));
     } else {
-        pool_.parallelFor(n, [&](std::size_t i) {
-            thread_local std::vector<double> row_scratch;
-            out.predictions[i] =
-                snap->model.predict(recordFromRow(rows[i]),
-                                    row_scratch);
+        // Huge batches shard over the pool; each shard is its own
+        // assembly + X·β product, so results stay row-independent
+        // and bit-identical to the single-shard path.
+        const std::size_t shards = std::min<std::size_t>(
+            pool_.size(), (n + opts_.parallelBatch - 1) /
+                opts_.parallelBatch);
+        const std::size_t per = (n + shards - 1) / shards;
+        std::span<double> preds(out.predictions);
+        pool_.parallelFor(shards, [&](std::size_t s) {
+            const std::size_t lo = s * per;
+            const std::size_t hi = std::min(n, lo + per);
+            if (lo >= hi)
+                return;
+            auto scratch = leaseScratch();
+            snap->model.predictRows(rows.subspan(lo, hi - lo),
+                                    *scratch,
+                                    preds.subspan(lo, hi - lo));
+            returnScratch(std::move(scratch));
         });
     }
     inFlight_.fetch_sub(n, std::memory_order_acq_rel);
     return out;
+}
+
+std::unique_ptr<core::BatchPredictScratch>
+PredictionEngine::leaseScratch()
+{
+    {
+        std::lock_guard lock(scratchMutex_);
+        if (!scratches_.empty()) {
+            auto s = std::move(scratches_.back());
+            scratches_.pop_back();
+            return s;
+        }
+    }
+    return std::make_unique<core::BatchPredictScratch>();
+}
+
+void
+PredictionEngine::returnScratch(
+    std::unique_ptr<core::BatchPredictScratch> s)
+{
+    std::lock_guard lock(scratchMutex_);
+    scratches_.push_back(std::move(s));
 }
 
 PredictOutcome

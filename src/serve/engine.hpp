@@ -24,12 +24,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/pool.hpp"
 #include "core/dataset.hpp"
+#include "core/model.hpp"
 #include "serve/registry.hpp"
 
 namespace hwsw::serve {
@@ -50,11 +52,19 @@ struct EngineOptions
     std::size_t maxBatch = 4096;
 
     /**
-     * Batches up to this size run on the calling thread; larger ones
-     * fan out over the pool. Scalar predicts cost microseconds, so
-     * hopping threads for them only adds latency.
+     * Batches up to this size run per-row on the calling thread;
+     * larger ones take the GEMM path (one design-matrix assembly +
+     * a single X·β product). Scalar predicts cost microseconds, so
+     * amortizing matrix assembly over them only adds latency.
      */
     std::size_t inlineBatch = 16;
+
+    /**
+     * GEMM batches at least this large are split into row shards
+     * fanned out over the pool; smaller ones stay on the calling
+     * thread. Every shard is still a block-assembled X·β product.
+     */
+    std::size_t parallelBatch = 1024;
 };
 
 /** Request disposition. */
@@ -111,12 +121,20 @@ class PredictionEngine
     ModelRegistry &registry() { return *registry_; }
 
   private:
+    /** Borrow a batch scratch from the freelist (or make one). */
+    std::unique_ptr<core::BatchPredictScratch> leaseScratch();
+    void returnScratch(std::unique_ptr<core::BatchPredictScratch> s);
+
     std::shared_ptr<ModelRegistry> registry_;
     EngineOptions opts_;
     ThreadPool pool_;
     std::atomic<std::size_t> inFlight_{0};
     std::atomic<std::uint64_t> admitted_{0};
     std::atomic<std::uint64_t> shed_{0};
+
+    /** Reusable GEMM scratches; grows to peak batch concurrency. */
+    std::mutex scratchMutex_;
+    std::vector<std::unique_ptr<core::BatchPredictScratch>> scratches_;
 };
 
 } // namespace hwsw::serve

@@ -165,6 +165,58 @@ readFrame(int fd, std::string &payload,
     return st == IoStatus::Eof ? IoStatus::Error : st;
 }
 
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    buf_.append(data, n);
+}
+
+bool
+FrameDecoder::next(std::string &payload)
+{
+    if (oversized_ || buffered() < 4)
+        return false;
+    const auto *hdr =
+        reinterpret_cast<const unsigned char *>(buf_.data() + pos_);
+    const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
+        (std::uint32_t{hdr[1]} << 16) | (std::uint32_t{hdr[2]} << 8) |
+        std::uint32_t{hdr[3]};
+    if (len > kMaxFrameBytes) {
+        // A poisoned length prefix means the stream can never
+        // resynchronize; latch so the caller closes the connection.
+        oversized_ = true;
+        return false;
+    }
+    if (buffered() < 4 + std::size_t{len})
+        return false;
+    payload.assign(buf_, pos_ + 4, len);
+    pos_ += 4 + std::size_t{len};
+    // Compact lazily: only when the consumed prefix dominates the
+    // buffer, so pipelined bursts are not O(n²) in memmoves.
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ >= 4096 && pos_ >= buf_.size() / 2) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    return true;
+}
+
+void
+appendFrame(std::string &out, std::string_view payload)
+{
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    const char hdr[4] = {
+        static_cast<char>(len >> 24),
+        static_cast<char>(len >> 16),
+        static_cast<char>(len >> 8),
+        static_cast<char>(len),
+    };
+    out.append(hdr, sizeof(hdr));
+    out.append(payload);
+}
+
 bool
 writeFrame(int fd, std::string_view payload)
 {

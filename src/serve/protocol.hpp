@@ -63,6 +63,43 @@ IoStatus writeFull(int fd, const void *buf, std::size_t len,
                    const resilience::Deadline *deadline = nullptr);
 
 /**
+ * Incremental decoder for the same length-prefixed framing, built
+ * for non-blocking transports: bytes arrive in arbitrary chunks
+ * (down to one byte at a time), frames are extracted as soon as they
+ * complete, and any number of pipelined frames may sit in the buffer
+ * at once. The event-driven server keeps one per connection.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes read off the wire. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Extract the next complete frame payload. @return false when no
+     * complete frame is buffered (also when oversized() latched).
+     */
+    bool next(std::string &payload);
+
+    /** A frame announced a length beyond kMaxFrameBytes. Latched. */
+    bool oversized() const { return oversized_; }
+
+    /** Bytes of a partially received frame are pending. */
+    bool midFrame() const { return pos_ < buf_.size(); }
+
+    /** Buffered bytes not yet returned as frames. */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;      ///< raw bytes; consumed prefix up to pos_
+    std::size_t pos_ = 0;  ///< start of the first unconsumed byte
+    bool oversized_ = false;
+};
+
+/** Append one encoded frame (header + payload) to a write buffer. */
+void appendFrame(std::string &out, std::string_view payload);
+
+/**
  * Write one frame to a connected socket, retrying on partial writes
  * and EINTR. @return false on any I/O error (connection is dead).
  */

@@ -1,0 +1,384 @@
+#include "serve/reactor.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+
+namespace hwsw::serve {
+
+namespace {
+
+constexpr int kMaxEvents = 64;
+
+bool
+wouldBlock(int err)
+{
+    return err == EAGAIN || err == EWOULDBLOCK;
+}
+
+} // namespace
+
+Reactor::Reactor(DispatchFn dispatch, ReactorOptions opts)
+    : dispatch_(std::move(dispatch)), opts_(opts)
+{
+    panicIf(!dispatch_, "Reactor needs a dispatch function");
+}
+
+Reactor::~Reactor()
+{
+    stop();
+}
+
+void
+Reactor::start()
+{
+    fatalIf(thread_.joinable(), "reactor already started");
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    fatalIf(epollFd_ < 0,
+            std::string("epoll_create1: ") + std::strerror(errno));
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakeFd_ < 0) {
+        const std::string msg = std::strerror(errno);
+        ::close(epollFd_);
+        epollFd_ = -1;
+        fatal("eventfd: " + msg);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeFd_;
+    fatalIf(::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) != 0,
+            "epoll_ctl(wakefd) failed");
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+Reactor::stop()
+{
+    if (!thread_.joinable()) {
+        // Never started (or already joined): nothing owns the fds
+        // but us, so release them directly.
+        std::lock_guard lock(pendingMutex_);
+        stopping_.store(true, std::memory_order_release);
+        for (int fd : pending_) {
+            ::close(fd);
+            if (opts_.connGauge)
+                opts_.connGauge->fetch_sub(
+                    1, std::memory_order_relaxed);
+        }
+        pending_.clear();
+        if (epollFd_ >= 0) {
+            ::close(epollFd_);
+            epollFd_ = -1;
+        }
+        if (wakeFd_ >= 0) {
+            ::close(wakeFd_);
+            wakeFd_ = -1;
+        }
+        return;
+    }
+    stopping_.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &one, sizeof(one));
+    thread_.join();
+    ::close(epollFd_);
+    epollFd_ = -1;
+    ::close(wakeFd_);
+    wakeFd_ = -1;
+}
+
+void
+Reactor::adopt(int fd)
+{
+    {
+        std::lock_guard lock(pendingMutex_);
+        if (!stopping_.load(std::memory_order_acquire)) {
+            pending_.push_back(fd);
+            fd = -1;
+        }
+    }
+    if (fd >= 0) {
+        // Stopping: the loop will never register it; refuse here.
+        ::close(fd);
+        if (opts_.connGauge)
+            opts_.connGauge->fetch_sub(1, std::memory_order_relaxed);
+        return;
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &one, sizeof(one));
+}
+
+int
+Reactor::waitTimeoutMillis() const
+{
+    if (opts_.idleTimeout <= 0.0)
+        return -1;
+    // Wake at a quarter of the timeout so a stalled connection is
+    // closed at most ~1.25x late.
+    const int ms = static_cast<int>(opts_.idleTimeout * 1000.0 / 4.0);
+    return ms > 0 ? ms : 1;
+}
+
+void
+Reactor::loop()
+{
+    epoll_event events[kMaxEvents];
+    for (;;) {
+        adoptPending();
+        if (stopping_.load(std::memory_order_acquire))
+            break;
+        const int n = ::epoll_wait(epollFd_, events, kMaxEvents,
+                                   waitTimeoutMillis());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // epoll itself failed; shut the shard down
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakeFd_) {
+                std::uint64_t drained = 0;
+                while (::read(wakeFd_, &drained, sizeof(drained)) > 0)
+                    ;
+                continue;
+            }
+            const auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue; // closed earlier in this batch
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeConn(conn);
+                continue;
+            }
+            if ((events[i].events & EPOLLOUT) && !flush(conn))
+                continue;
+            if (events[i].events & EPOLLIN)
+                handleReadable(conn);
+        }
+        sweepStalled();
+    }
+
+    // Shutdown: release every owned socket, including adoptions that
+    // raced with stop().
+    {
+        std::lock_guard lock(pendingMutex_);
+        for (int fd : pending_) {
+            ::close(fd);
+            if (opts_.connGauge)
+                opts_.connGauge->fetch_sub(
+                    1, std::memory_order_relaxed);
+        }
+        pending_.clear();
+    }
+    for (auto &[fd, conn] : conns_) {
+        ::close(conn->fd);
+        if (opts_.connGauge)
+            opts_.connGauge->fetch_sub(1, std::memory_order_relaxed);
+    }
+    conns_.clear();
+    numConns_.store(0, std::memory_order_relaxed);
+}
+
+void
+Reactor::adoptPending()
+{
+    std::vector<int> fds;
+    {
+        std::lock_guard lock(pendingMutex_);
+        fds.swap(pending_);
+    }
+    for (const int fd : fds) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            if (opts_.connGauge)
+                opts_.connGauge->fetch_sub(
+                    1, std::memory_order_relaxed);
+            continue;
+        }
+        conns_.emplace(fd, std::move(conn));
+        numConns_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Reactor::handleReadable(Conn &conn)
+{
+    char buf[64 * 1024];
+    std::string payload;
+    for (;;) {
+        int injected = 0;
+        if (fault::failPoint("proto.read.err", injected)) {
+            // Same contract as readFull: an injected read error
+            // kills the connection; the client's retry machinery
+            // owns recovery.
+            errno = injected;
+            closeConn(conn);
+            return;
+        }
+        // A short-count fault caps the chunk at one byte, forcing
+        // the incremental decoder through its 1-byte resume path.
+        const std::size_t chunk =
+            fault::point("proto.read.short") ? 1 : sizeof(buf);
+        const ssize_t n = ::read(conn.fd, buf, chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (wouldBlock(errno))
+                break; // socket drained
+            closeConn(conn);
+            return;
+        }
+        if (n == 0) {
+            // EOF: the peer is gone; nothing left to answer to.
+            closeConn(conn);
+            return;
+        }
+        conn.decoder.feed(buf, static_cast<std::size_t>(n));
+
+        // Dispatch every frame that just completed; pipelined
+        // requests answer in arrival order on this connection.
+        while (!conn.closing && conn.decoder.next(payload)) {
+            bool close_conn = false;
+            const std::string response =
+                dispatch_(payload, close_conn);
+            appendFrame(conn.out, response);
+            if (close_conn)
+                conn.closing = true;
+        }
+        if (conn.decoder.oversized()) {
+            // Unsyncable stream; drop it like the blocking server
+            // dropped oversized frames.
+            closeConn(conn);
+            return;
+        }
+        if (conn.closing)
+            break;
+    }
+
+    // Slow-loris bookkeeping: a partial frame pending without
+    // progress marks the stall; completing it clears the mark.
+    if (conn.decoder.midFrame()) {
+        if (conn.stallSince ==
+            std::chrono::steady_clock::time_point{})
+            conn.stallSince = std::chrono::steady_clock::now();
+    } else {
+        conn.stallSince = {};
+    }
+
+    flush(conn);
+}
+
+bool
+Reactor::flush(Conn &conn)
+{
+    while (conn.outPos < conn.out.size()) {
+        int injected = 0;
+        if (fault::failPoint("proto.write.err", injected)) {
+            errno = injected;
+            closeConn(conn);
+            return false;
+        }
+        const std::size_t remaining = conn.out.size() - conn.outPos;
+        const std::size_t chunk =
+            fault::point("proto.write.short") ? 1 : remaining;
+        const ssize_t n = ::send(conn.fd, conn.out.data() + conn.outPos,
+                                 chunk, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (wouldBlock(errno)) {
+                // Kernel buffer full: finish via EPOLLOUT.
+                updateInterest(conn, true);
+                return true;
+            }
+            closeConn(conn);
+            return false;
+        }
+        if (n == 0) {
+            closeConn(conn);
+            return false;
+        }
+        conn.outPos += static_cast<std::size_t>(n);
+    }
+    conn.out.clear();
+    conn.outPos = 0;
+    if (conn.wantWrite)
+        updateInterest(conn, false);
+    if (conn.closing) {
+        closeConn(conn);
+        return false;
+    }
+    return true;
+}
+
+void
+Reactor::updateInterest(Conn &conn, bool want_write)
+{
+    if (conn.wantWrite == want_write)
+        return;
+    epoll_event ev{};
+    ev.events =
+        EPOLLIN | (want_write ? static_cast<int>(EPOLLOUT) : 0);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.wantWrite = want_write;
+}
+
+void
+Reactor::closeConn(Conn &conn)
+{
+    const int fd = conn.fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(fd); // invalidates `conn`
+    numConns_.fetch_sub(1, std::memory_order_relaxed);
+    if (opts_.connGauge)
+        opts_.connGauge->fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Reactor::sweepStalled()
+{
+    if (opts_.idleTimeout <= 0.0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<int> stalled;
+    for (const auto &[fd, conn] : conns_) {
+        if (conn->stallSince ==
+            std::chrono::steady_clock::time_point{})
+            continue;
+        const double waited =
+            std::chrono::duration<double>(now - conn->stallSince)
+                .count();
+        if (waited >= opts_.idleTimeout)
+            stalled.push_back(fd);
+    }
+    for (const int fd : stalled) {
+        const auto it = conns_.find(fd);
+        if (it != conns_.end())
+            closeConn(*it->second);
+    }
+}
+
+} // namespace hwsw::serve

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reactor: one epoll event-loop shard of the serving front end.
+ *
+ * The server accepts connections on a dedicated listener thread and
+ * deals them round-robin across a small set of reactors; each
+ * reactor owns its connections outright (registered in its private
+ * epoll instance, touched only by its thread, no locking on the data
+ * path). A connection is a non-blocking socket plus a FrameDecoder
+ * and a pending-write buffer: reads drain the socket until EAGAIN,
+ * every completed frame is dispatched immediately and its response
+ * appended to the write buffer, and writes flush opportunistically,
+ * falling back to EPOLLOUT when the kernel buffer fills. Because
+ * decoding is incremental and responses queue in arrival order, any
+ * number of pipelined requests may be in flight per socket.
+ *
+ * The protocol fault points (`proto.read.err/short`,
+ * `proto.write.err/short`) are consulted on every socket call here,
+ * exactly as the blocking readFull/writeFull funnels do, so the
+ * fault-injection test tier drives the same failure paths through
+ * the event loop. An optional idle timeout closes connections that
+ * stall in the middle of a frame (slow-loris defense) while leaving
+ * quiet-but-framed sessions alone.
+ */
+
+#ifndef HWSW_SERVE_REACTOR_HPP
+#define HWSW_SERVE_REACTOR_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hwsw::serve {
+
+/** Reactor configuration. */
+struct ReactorOptions
+{
+    /**
+     * Seconds a connection may stall mid-frame before it is closed;
+     * 0 disables the slow-loris timeout. Sessions idle *between*
+     * frames are never timed out — clients hold long-lived sessions.
+     */
+    double idleTimeout = 0.0;
+
+    /** Optional live-connection gauge, decremented on every close. */
+    std::atomic<std::size_t> *connGauge = nullptr;
+};
+
+/** One epoll shard: owns its connections and their event loop. */
+class Reactor
+{
+  public:
+    /**
+     * Request dispatcher: payload in, response payload out; set the
+     * bool to close the connection after the response flushes.
+     * Called on the reactor thread; must be thread-safe across
+     * shards.
+     */
+    using DispatchFn =
+        std::function<std::string(std::string_view, bool &)>;
+
+    Reactor(DispatchFn dispatch, ReactorOptions opts);
+    ~Reactor();
+
+    Reactor(const Reactor &) = delete;
+    Reactor &operator=(const Reactor &) = delete;
+
+    /** Start the event-loop thread. @throws FatalError. */
+    void start();
+
+    /** Close every connection, stop the loop, join. Idempotent. */
+    void stop();
+
+    /**
+     * Hand a connected socket to this shard (thread-safe). The
+     * reactor owns the fd from here on, even if it is stopping.
+     */
+    void adopt(int fd);
+
+    /** Connections currently owned (racy snapshot). */
+    std::size_t activeConnections() const
+    {
+        return numConns_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Per-connection state; touched only by the reactor thread. */
+    struct Conn
+    {
+        int fd = -1;
+        FrameDecoder decoder;
+        std::string out;          ///< encoded responses not yet sent
+        std::size_t outPos = 0;   ///< first unsent byte of `out`
+        bool wantWrite = false;   ///< EPOLLOUT currently armed
+        bool closing = false;     ///< close once `out` drains
+        std::chrono::steady_clock::time_point stallSince{};
+    };
+
+    void loop();
+    void adoptPending();
+    void handleReadable(Conn &conn);
+    /** @return false when the connection was closed. */
+    bool flush(Conn &conn);
+    void updateInterest(Conn &conn, bool want_write);
+    void closeConn(Conn &conn);
+    void sweepStalled();
+    int waitTimeoutMillis() const;
+
+    DispatchFn dispatch_;
+    ReactorOptions opts_;
+
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> numConns_{0};
+
+    std::mutex pendingMutex_;
+    std::vector<int> pending_; ///< adopted fds awaiting registration
+
+    std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+};
+
+} // namespace hwsw::serve
+
+#endif // HWSW_SERVE_REACTOR_HPP

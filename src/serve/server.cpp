@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -127,6 +128,25 @@ Server::start()
             "getsockname failed");
     port_ = ntohs(bound.sin_port);
 
+    // Reactor shards come up before the acceptor so a connection
+    // accepted on the first loop iteration always has a home.
+    std::size_t shards = opts_.reactors;
+    if (shards == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = std::clamp<std::size_t>(hw / 2, 1, 4);
+    }
+    ReactorOptions ropts;
+    ropts.idleTimeout = opts_.idleTimeout;
+    ropts.connGauge = &liveConns_;
+    for (std::size_t i = 0; i < shards; ++i) {
+        reactors_.push_back(std::make_unique<Reactor>(
+            [this](std::string_view payload, bool &close_conn) {
+                return dispatch(payload, close_conn);
+            },
+            ropts));
+        reactors_.back()->start();
+    }
+
     running_.store(true, std::memory_order_release);
     acceptThread_ = std::thread([this] { acceptLoop(); });
 }
@@ -150,15 +170,10 @@ Server::stop()
         listenFd_ = -1;
     }
 
-    // Sever every open connection to unblock handler reads, then
-    // join all handler threads.
-    {
-        std::lock_guard lock(connMutex_);
-        for (const auto &conn : connections_)
-            if (conn->fd >= 0)
-                ::shutdown(conn->fd, SHUT_RDWR);
-    }
-    reapFinished(/*join_all=*/true);
+    // With the acceptor gone no new adoptions arrive; each reactor
+    // closes its owned sockets on its own thread and joins.
+    for (const auto &reactor : reactors_)
+        reactor->stop();
 }
 
 void
@@ -197,63 +212,18 @@ Server::acceptLoop()
             return;
         }
 
-        const int one = 1;
-        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-        reapFinished(/*join_all=*/false);
-
-        std::lock_guard lock(connMutex_);
-        if (connections_.size() >= opts_.maxConnections) {
+        if (liveConns_.load(std::memory_order_relaxed) >=
+            opts_.maxConnections) {
             // Over the cap: answer nothing, close immediately. The
             // client sees EOF and treats it as backpressure.
             ::close(fd);
             continue;
         }
         connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        Connection *raw = conn.get();
-        connections_.push_back(std::move(conn));
-        raw->thread = std::thread([this, raw] {
-            handleConnection(raw);
-        });
+        liveConns_.fetch_add(1, std::memory_order_relaxed);
+        reactors_[nextShard_]->adopt(fd);
+        nextShard_ = (nextShard_ + 1) % reactors_.size();
     }
-}
-
-void
-Server::reapFinished(bool join_all)
-{
-    // Joining under the lock is fine: finished handlers set `done`
-    // as their last store before returning, so these joins are
-    // near-instant; join_all additionally waits for live handlers
-    // (stop() has already severed their sockets).
-    std::lock_guard lock(connMutex_);
-    for (auto it = connections_.begin(); it != connections_.end();) {
-        Connection &conn = **it;
-        if (join_all || conn.done.load(std::memory_order_acquire)) {
-            if (conn.thread.joinable())
-                conn.thread.join();
-            if (conn.fd >= 0)
-                ::close(conn.fd);
-            it = connections_.erase(it);
-        } else {
-            ++it;
-        }
-    }
-}
-
-void
-Server::handleConnection(Connection *conn)
-{
-    std::string payload;
-    while (readFrame(conn->fd, payload)) {
-        bool close_conn = false;
-        const std::string response = dispatch(payload, close_conn);
-        if (!writeFrame(conn->fd, response) || close_conn)
-            break;
-    }
-    ::shutdown(conn->fd, SHUT_RDWR);
-    conn->done.store(true, std::memory_order_release);
 }
 
 std::string

@@ -1,21 +1,23 @@
 /**
  * @file
- * serve::Server — a concurrent TCP front end over the registry,
+ * serve::Server — an event-driven TCP front end over the registry,
  * engine, and (optionally) online updater.
  *
- * One acceptor thread listens on a loopback/interface port and
- * spawns one handler thread per connection (connections are expected
- * to be long-lived client sessions multiplexing many requests, so
- * per-connection threads amortize; a hard connection cap refuses
- * accept floods). Each request frame is dispatched by verb, timed,
- * and accounted in the LatencyRecorder; prediction verbs run on the
- * shared PredictionEngine, which pins a registry snapshot per
+ * One listener thread blocks in accept(2) (keeping the supervised
+ * retry/fault-injection semantics of a plain blocking accept) and
+ * deals each connection round-robin to a small set of epoll reactor
+ * shards. Each shard owns its connections outright — non-blocking
+ * sockets, incremental frame decoding, pipelined responses — so a
+ * few threads serve thousands of multiplexed sessions instead of one
+ * thread per socket. Each request frame is dispatched by verb,
+ * timed, and accounted in the LatencyRecorder; prediction verbs run
+ * on the shared PredictionEngine, which pins a registry snapshot per
  * request so hot swaps never disturb in-flight work.
  *
  * Shutdown is graceful and complete: stop() closes the listener,
- * shuts down every open connection socket to unblock handler reads,
- * and joins every thread, so a Server can be created and destroyed
- * inside a test (or a TSan run) without leaking threads.
+ * joins the acceptor, and stops every reactor (which closes every
+ * owned socket on its own thread), so a Server can be created and
+ * destroyed inside a test (or a TSan run) without leaking threads.
  */
 
 #ifndef HWSW_SERVE_SERVER_HPP
@@ -23,15 +25,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "serve/engine.hpp"
 #include "serve/latency.hpp"
+#include "serve/reactor.hpp"
 #include "serve/registry.hpp"
 #include "serve/updater.hpp"
 
@@ -51,10 +52,23 @@ struct ServerOptions
     /** Hard cap on concurrent connections. */
     std::size_t maxConnections = 256;
 
+    /**
+     * Reactor shards; 0 picks a default from the core count. Each
+     * shard is one epoll loop thread owning a slice of connections.
+     */
+    std::size_t reactors = 0;
+
+    /**
+     * Seconds a connection may stall mid-frame before the reactor
+     * closes it (slow-loris defense); 0 disables. Idle sessions
+     * *between* frames are never timed out.
+     */
+    double idleTimeout = 0.0;
+
     EngineOptions engine;
 };
 
-/** Concurrent model-serving TCP server. */
+/** Event-driven model-serving TCP server. */
 class Server
 {
   public:
@@ -111,17 +125,17 @@ class Server
         return acceptRetries_.load(std::memory_order_relaxed);
     }
 
-  private:
-    struct Connection
-    {
-        int fd = -1;
-        std::thread thread;
-        std::atomic<bool> done{false};
-    };
+    /** Reactor shards serving this instance (fixed after start). */
+    std::size_t reactorCount() const { return reactors_.size(); }
 
+    /** Connections currently owned across shards (racy snapshot). */
+    std::size_t activeConnections() const
+    {
+        return liveConns_.load(std::memory_order_relaxed);
+    }
+
+  private:
     void acceptLoop();
-    void handleConnection(Connection *conn);
-    void reapFinished(bool join_all);
 
     /** Dispatch one request payload; returns the response payload. */
     std::string dispatch(std::string_view payload, bool &close_conn);
@@ -147,8 +161,9 @@ class Server
     std::atomic<bool> stopping_{false};
     std::thread acceptThread_;
 
-    std::mutex connMutex_;
-    std::list<std::unique_ptr<Connection>> connections_;
+    std::vector<std::unique_ptr<Reactor>> reactors_;
+    std::size_t nextShard_ = 0; ///< round-robin; acceptor thread only
+    std::atomic<std::size_t> liveConns_{0};
     std::atomic<std::uint64_t> connectionsAccepted_{0};
     std::atomic<std::uint64_t> acceptRetries_{0};
 };

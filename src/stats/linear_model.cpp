@@ -109,6 +109,23 @@ LinearModel::predict(const Matrix &X) const
 }
 
 void
+LinearModel::predictInto(const Matrix &X, std::span<double> out) const
+{
+    panicIf(!fitted_, "LinearModel::predictInto before fit");
+    panicIf(X.cols() != coeffs_.size(),
+            "LinearModel::predictInto column mismatch");
+    panicIf(out.size() != X.rows(),
+            "LinearModel::predictInto output size mismatch");
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+        const std::span<const double> row = X.row(r);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < row.size(); ++i)
+            acc += row[i] * coeffs_[i];
+        out[r] = acc;
+    }
+}
+
+void
 LinearModel::setCoefficients(std::vector<double> coeffs)
 {
     fatalIf(coeffs.empty(), "setCoefficients needs coefficients");

@@ -69,6 +69,14 @@ class LinearModel
     /** Predict every row of X. */
     std::vector<double> predict(const Matrix &X) const;
 
+    /**
+     * X·β into a caller buffer (serving batch fast path): no
+     * allocation, and each output element accumulates in the same
+     * order as predictRow, so the product is bit-identical to
+     * predicting row by row. @pre out.size() == X.rows().
+     */
+    void predictInto(const Matrix &X, std::span<double> out) const;
+
     bool fitted() const { return fitted_; }
     const std::vector<double> &coeffs() const { return coeffs_; }
 

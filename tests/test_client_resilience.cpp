@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/assert.hpp"
 #include "common/fault/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -217,6 +218,50 @@ TEST_F(ClientResilience, AllocationFailurePoisonsOneRequestOnly)
     ASSERT_TRUE(good.ok) << good.error;
     EXPECT_TRUE(server->running());
     c.quit();
+}
+
+TEST_F(ClientResilience, RetryExhaustionNamesEndpointAndCause)
+{
+    // When every reconnect attempt is refused, the classified error
+    // must name the endpoint and the underlying cause — a
+    // misconfigured host:port has to be diagnosable from the message
+    // alone, not from "connection lost" plus a shrug.
+    Client c = connect();
+    ASSERT_TRUE(c.ping());
+    const std::string endpoint =
+        "127.0.0.1:" + std::to_string(server->port());
+
+    // Sever the live connection, then refuse every reconnect the way
+    // a dead endpoint would (ECONNREFUSED).
+    server->stop();
+    armAndEnable("client.connect.fail:errno=111");
+
+    Rng rng(6);
+    const ClientPrediction out =
+        c.predict("default", testutil::makeRow(rng));
+    EXPECT_FALSE(out.ok);
+    EXPECT_FALSE(out.timedOut);
+    EXPECT_EQ(out.attempts, 3); // the full default retry budget
+    EXPECT_NE(out.error.find("connection lost"), std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find(endpoint), std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find("Connection refused"), std::string::npos)
+        << out.error;
+    EXPECT_GE(c.transportStats().transportErrors, 1u);
+
+    // Control verbs surface the same diagnosis via FatalError.
+    try {
+        (void)c.stats();
+        FAIL() << "stats() must throw once the transport is gone";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(endpoint),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("Connection refused"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST_F(ClientResilience, HealthVerbReportsServingState)

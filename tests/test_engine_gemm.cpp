@@ -1,0 +1,299 @@
+// GEMM batch prediction tests: the engine's design-matrix + X·β
+// path must be bit-identical to per-row predict() across random
+// models (interactions, splines, rank-deficient fits), batch-size
+// edges, and concurrent hot swaps. Part of the tier15_reactor
+// aggregate (see CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+#include "serve_test_util.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+/** Training data exercising every variable (not just 6/7/kNumSw). */
+core::Dataset
+richData(std::uint64_t seed)
+{
+    core::Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a", "b", "c"}) {
+        for (int i = 0; i < 50; ++i) {
+            core::ProfileRecord r;
+            r.app = app;
+            double acc = 0.3;
+            for (std::size_t v = 0; v < core::kNumVars; ++v) {
+                r.vars[v] = rng.nextUniform(0.05, 4.0);
+                acc += 0.05 * r.vars[v];
+            }
+            r.perf = acc + 0.1 * rng.nextUniform(0.0, 1.0);
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+/** A random spec: every gene value possible, plus interactions. */
+core::ModelSpec
+randomSpec(Rng &rng)
+{
+    core::ModelSpec s;
+    for (std::size_t v = 0; v < core::kNumVars; ++v)
+        s.genes[v] = static_cast<std::uint8_t>(rng.nextInt(5));
+    s.genes[6] = 3; // guarantee at least one included variable
+    std::vector<std::uint16_t> included;
+    for (std::size_t v = 0; v < core::kNumVars; ++v)
+        if (s.genes[v] != 0)
+            included.push_back(static_cast<std::uint16_t>(v));
+    if (included.size() >= 2) {
+        s.interactions.push_back({included[0], included.back()});
+        s.interactions.push_back(
+            {included[included.size() / 2], included[0]});
+    }
+    s.normalize();
+    return s;
+}
+
+/** A feature row spanning all variables. */
+FeatureVector
+richRow(Rng &rng)
+{
+    FeatureVector row{};
+    for (std::size_t v = 0; v < core::kNumVars; ++v)
+        row[v] = rng.nextUniform(0.05, 4.0);
+    return row;
+}
+
+EngineOptions
+gemmOpts()
+{
+    EngineOptions o;
+    o.threads = 2;
+    o.inlineBatch = 1; // every batch of 2+ takes the GEMM path
+    return o;
+}
+
+std::shared_ptr<ModelRegistry>
+publish(core::HwSwModel model)
+{
+    auto reg = std::make_shared<ModelRegistry>();
+    reg->publish("m", std::move(model), "test");
+    return reg;
+}
+
+void
+expectBatchBitExact(PredictionEngine &eng, const SnapshotPtr &snap,
+                    std::span<const FeatureVector> rows)
+{
+    const PredictOutcome out = eng.predict("m", rows);
+    ASSERT_EQ(out.status, PredictStatus::Ok);
+    ASSERT_EQ(out.predictions.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(out.predictions[i],
+                  snap->model.predict(testutil::rowRecord(rows[i])))
+            << "row " << i;
+    }
+}
+
+TEST(EngineGemm, RandomModelsMatchPerRowBitExact)
+{
+    // Several random specs (polynomials, splines, interactions) over
+    // data exercising all variables: the assembled-matrix product
+    // must reproduce scalar predict() to the last bit.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed);
+        core::HwSwModel model;
+        model.fit(randomSpec(rng), richData(seed));
+        auto reg = publish(std::move(model));
+        PredictionEngine eng(reg, gemmOpts());
+        const SnapshotPtr snap = reg->lookup("m");
+
+        for (const std::size_t n : {2u, 3u, 17u, 64u}) {
+            std::vector<FeatureVector> rows;
+            for (std::size_t i = 0; i < n; ++i)
+                rows.push_back(richRow(rng));
+            expectBatchBitExact(eng, snap, rows);
+        }
+    }
+}
+
+TEST(EngineGemm, RankDeficientAndDegenerateModels)
+{
+    // Duplicate and constant variables make the design collinear;
+    // QR drops columns and the fit is rank-deficient. The GEMM path
+    // must agree with per-row predict on the surviving coefficients.
+    core::Dataset ds;
+    Rng rng(7);
+    for (int i = 0; i < 80; ++i) {
+        core::ProfileRecord r;
+        r.app = "a";
+        const double x = rng.nextUniform(0.1, 2.0);
+        r.vars[2] = x;
+        r.vars[3] = x;   // duplicate of var 2
+        r.vars[4] = 1.0; // constant
+        r.vars[6] = rng.nextUniform(0.1, 0.6);
+        r.perf = 0.4 + x + 0.5 * r.vars[6];
+        ds.add(r);
+    }
+    core::ModelSpec s;
+    s.genes[2] = 2;
+    s.genes[3] = 2;
+    s.genes[4] = 1;
+    s.genes[6] = 4;
+    s.interactions = {{2, 3}};
+    s.normalize();
+    core::HwSwModel model;
+    model.fit(s, ds);
+    EXPECT_GT(model.numDroppedColumns(), 0u);
+
+    auto reg = publish(std::move(model));
+    PredictionEngine eng(reg, gemmOpts());
+    const SnapshotPtr snap = reg->lookup("m");
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 33; ++i) // odd batch size on purpose
+        rows.push_back(richRow(rng));
+    expectBatchBitExact(eng, snap, rows);
+}
+
+TEST(EngineGemm, DeserializedModelMatchesBitExact)
+{
+    // fromParts models (the serving load path) carry externally
+    // installed coefficients; the GEMM path must treat them exactly
+    // like freshly fitted ones.
+    const core::HwSwModel fitted = testutil::makeModel(3);
+    core::HwSwModel loaded = core::HwSwModel::fromParts(
+        fitted.spec(), fitted.builder().basis(),
+        fitted.coefficients(), fitted.logResponse());
+    auto reg = publish(std::move(loaded));
+    PredictionEngine eng(reg, gemmOpts());
+    const SnapshotPtr snap = reg->lookup("m");
+
+    Rng rng(11);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 21; ++i)
+        rows.push_back(testutil::makeRow(rng));
+    expectBatchBitExact(eng, snap, rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(snap->model.predict(testutil::rowRecord(rows[i])),
+                  fitted.predict(testutil::rowRecord(rows[i])));
+    }
+}
+
+TEST(EngineGemm, BatchSizeEdges)
+{
+    auto reg = publish(testutil::makeModel());
+    EngineOptions opts = gemmOpts();
+    opts.maxBatch = 64;
+    PredictionEngine eng(reg, opts);
+    const SnapshotPtr snap = reg->lookup("m");
+    Rng rng(5);
+
+    // Empty batches are refused, not crashed on.
+    EXPECT_EQ(eng.predict("m", {}).status, PredictStatus::TooLarge);
+
+    // Size 1 stays on the scalar path and still matches.
+    const FeatureVector one = testutil::makeRow(rng);
+    const PredictOutcome scalar = eng.predictOne("m", one);
+    ASSERT_EQ(scalar.status, PredictStatus::Ok);
+    EXPECT_EQ(scalar.predictions[0],
+              snap->model.predict(testutil::rowRecord(one)));
+
+    // Odd sizes and the exact maxBatch boundary take the GEMM path.
+    for (const std::size_t n : {7u, 63u, 64u}) {
+        std::vector<FeatureVector> rows;
+        for (std::size_t i = 0; i < n; ++i)
+            rows.push_back(testutil::makeRow(rng));
+        expectBatchBitExact(eng, snap, rows);
+    }
+
+    std::vector<FeatureVector> over(65, one);
+    EXPECT_EQ(eng.predict("m", over).status,
+              PredictStatus::TooLarge);
+}
+
+TEST(EngineGemm, PooledShardsMatchSingleShard)
+{
+    // Batches past parallelBatch shard across the pool; sharded
+    // assembly must still be bit-identical to the per-row reference.
+    auto reg = publish(testutil::makeModel(2));
+    EngineOptions opts = gemmOpts();
+    opts.parallelBatch = 64; // force sharding at a test-sized batch
+    opts.maxBatch = 4096;
+    PredictionEngine eng(reg, opts);
+    const SnapshotPtr snap = reg->lookup("m");
+
+    Rng rng(13);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 301; ++i) // not a multiple of the shard size
+        rows.push_back(testutil::makeRow(rng));
+    expectBatchBitExact(eng, snap, rows);
+    EXPECT_EQ(eng.inFlight(), 0u);
+}
+
+TEST(EngineGemm, HotSwapMidBatchKeepsBatchesConsistent)
+{
+    // Readers run GEMM batches continuously while the main thread
+    // republishes two distinct models. Every outcome must be
+    // entirely one model's predictions — a swap must never tear a
+    // batch between coefficient sets.
+    auto reg = std::make_shared<ModelRegistry>();
+    const core::HwSwModel modelA = testutil::makeModel(1);
+    const core::HwSwModel modelB = testutil::makeModel(2);
+    reg->publish("m", modelA, "boot");
+
+    Rng rng(17);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 24; ++i)
+        rows.push_back(testutil::makeRow(rng));
+    std::vector<double> expectA, expectB;
+    for (const FeatureVector &row : rows) {
+        expectA.push_back(
+            modelA.predict(testutil::rowRecord(row)));
+        expectB.push_back(
+            modelB.predict(testutil::rowRecord(row)));
+    }
+
+    PredictionEngine eng(reg, gemmOpts());
+    std::atomic<bool> go{true};
+    std::atomic<std::uint64_t> okCount{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 2; ++t) {
+        readers.emplace_back([&] {
+            while (go.load(std::memory_order_relaxed)) {
+                const PredictOutcome out = eng.predict("m", rows);
+                ASSERT_EQ(out.status, PredictStatus::Ok);
+                ASSERT_EQ(out.predictions.size(), rows.size());
+                const bool allA = out.predictions == expectA;
+                const bool allB = out.predictions == expectB;
+                ASSERT_TRUE(allA || allB)
+                    << "batch tore across a hot swap (version "
+                    << out.modelVersion << ")";
+                okCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    int publishes = 0;
+    while (okCount.load(std::memory_order_relaxed) < 50 &&
+           publishes < 20000) {
+        reg->publish("m", (publishes & 1) ? modelB : modelA, "swap");
+        ++publishes;
+        std::this_thread::yield();
+    }
+    go.store(false, std::memory_order_relaxed);
+    for (auto &t : readers)
+        t.join();
+
+    EXPECT_GT(okCount.load(), 0u);
+    EXPECT_EQ(eng.counters().shed, 0u);
+    EXPECT_EQ(eng.inFlight(), 0u);
+}
+
+} // namespace
+} // namespace hwsw::serve

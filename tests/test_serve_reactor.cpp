@@ -1,0 +1,443 @@
+// Event-driven serving core tests: incremental frame decoding,
+// pipelined multiplexed requests, partial-write flush paths, accept
+// fault handling (EMFILE/ECONNABORTED), and slow-loris idle-timeout
+// enforcement — driven through raw sockets and the shared fault
+// points. Part of the tier15_reactor aggregate (see CMakeLists.txt)
+// and expected to run under -DHWSW_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+#include "serve_test_util.hpp"
+
+namespace hwsw::serve {
+namespace {
+
+class ServeReactor : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        clean();
+        if (server)
+            server->stop();
+    }
+
+    static void clean()
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    static void armAndEnable(std::string_view spec)
+    {
+        std::string err;
+        ASSERT_TRUE(
+            fault::FaultRegistry::instance().armSpec(spec, &err))
+            << err;
+        fault::FaultRegistry::instance().setEnabled(true);
+    }
+
+    void startServer(ServerOptions opts = defaultOpts())
+    {
+        clean();
+        registry = std::make_shared<ModelRegistry>();
+        registry->publish("default", testutil::makeModel(), "boot");
+        server = std::make_unique<Server>(registry, opts);
+        server->start();
+    }
+
+    static ServerOptions defaultOpts()
+    {
+        ServerOptions o;
+        o.engine.threads = 2;
+        return o;
+    }
+
+    /** Raw connected socket to the server (caller closes). */
+    int rawConnect() const
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server->port());
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        return fd;
+    }
+
+    Client connect() const
+    {
+        return Client("127.0.0.1", server->port());
+    }
+
+    /**
+     * Poll @p fd until the peer closes it. @return true when EOF
+     * (recv == 0) arrives within @p millis.
+     */
+    static bool awaitEof(int fd, int millis)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(millis);
+        char byte = 0;
+        while (std::chrono::steady_clock::now() < deadline) {
+            pollfd p{fd, POLLIN, 0};
+            if (::poll(&p, 1, 50) <= 0)
+                continue;
+            const ssize_t got = ::recv(fd, &byte, 1, 0);
+            if (got == 0)
+                return true; // clean EOF
+            if (got < 0 && errno != EINTR && errno != EAGAIN)
+                return true; // reset also counts as severed
+        }
+        return false;
+    }
+
+    std::shared_ptr<ModelRegistry> registry;
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ServeReactor, FrameDecoderHandlesArbitraryChunking)
+{
+    // Pure decoder unit test: two frames plus a partial third, fed
+    // one byte at a time, come out whole and in order.
+    std::string wire;
+    appendFrame(wire, "first frame");
+    appendFrame(wire, ""); // empty payloads are legal frames
+    std::string partial;
+    appendFrame(partial, "tail");
+    wire.append(partial, 0, partial.size() - 2);
+
+    FrameDecoder dec;
+    std::vector<std::string> frames;
+    std::string payload;
+    for (const char byte : wire) {
+        dec.feed(&byte, 1);
+        while (dec.next(payload))
+            frames.push_back(payload);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0], "first frame");
+    EXPECT_EQ(frames[1], "");
+    EXPECT_TRUE(dec.midFrame());
+    EXPECT_EQ(dec.buffered(), partial.size() - 2);
+    EXPECT_FALSE(dec.oversized());
+
+    // Completing the third frame drains the buffer exactly.
+    dec.feed(partial.data() + partial.size() - 2, 2);
+    ASSERT_TRUE(dec.next(payload));
+    EXPECT_EQ(payload, "tail");
+    EXPECT_FALSE(dec.midFrame());
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST_F(ServeReactor, FrameDecoderLatchesOversizedFrames)
+{
+    FrameDecoder dec;
+    const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    dec.feed(reinterpret_cast<const char *>(header), 4);
+    std::string payload;
+    EXPECT_FALSE(dec.next(payload));
+    EXPECT_TRUE(dec.oversized());
+    // Oversized is latched: further bytes never produce frames.
+    std::string more;
+    appendFrame(more, "ignored");
+    dec.feed(more.data(), more.size());
+    EXPECT_FALSE(dec.next(payload));
+    EXPECT_TRUE(dec.oversized());
+}
+
+TEST_F(ServeReactor, TrickledBytesReassembleIntoRequests)
+{
+    // The wire arrives one byte per read on the server (injected
+    // short reads) *and* one byte per write from the client: the
+    // reactor's incremental decoder must reassemble frames with no
+    // corruption, across multiple requests on one connection.
+    startServer();
+    armAndEnable("proto.read.short");
+
+    const int fd = rawConnect();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const SnapshotPtr snap = registry->lookup("default");
+    Rng rng(1);
+    for (int iter = 0; iter < 3; ++iter) {
+        const FeatureVector row = testutil::makeRow(rng);
+        std::string wire;
+        appendFrame(wire, makePredictRequest("default", row));
+        for (const char byte : wire)
+            ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+
+        std::string response;
+        ASSERT_TRUE(readFrame(fd, response));
+        // "ok <version> <value>"
+        const auto tokens = splitTokens(response);
+        ASSERT_EQ(tokens.size(), 3u) << response;
+        ASSERT_EQ(tokens[0], "ok");
+        EXPECT_EQ(std::string(tokens[2]),
+                  formatDouble(
+                      snap->model.predict(testutil::rowRecord(row))));
+    }
+    ::close(fd);
+}
+
+TEST_F(ServeReactor, PipelinedRequestsAnswerInOrder)
+{
+    // Many requests written back-to-back before any response is read:
+    // the reactor must answer each one, in order, on one connection.
+    startServer();
+    const int fd = rawConnect();
+    const SnapshotPtr snap = registry->lookup("default");
+
+    Rng rng(2);
+    std::vector<FeatureVector> rows;
+    std::string wire;
+    for (int i = 0; i < 16; ++i) {
+        rows.push_back(testutil::makeRow(rng));
+        appendFrame(wire, makePredictRequest("default", rows.back()));
+        if (i == 7)
+            appendFrame(wire, makePingRequest()); // interleaved verb
+    }
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+
+    for (std::size_t i = 0; i < rows.size() + 1; ++i) {
+        std::string response;
+        ASSERT_TRUE(readFrame(fd, response)) << "response " << i;
+        if (i == 8) {
+            EXPECT_EQ(response, "ok pong");
+            continue;
+        }
+        const std::size_t r = i < 8 ? i : i - 1;
+        const auto tokens = splitTokens(response);
+        ASSERT_EQ(tokens.size(), 3u) << response;
+        EXPECT_EQ(std::string(tokens[2]),
+                  formatDouble(snap->model.predict(
+                      testutil::rowRecord(rows[r]))));
+    }
+    ::close(fd);
+}
+
+TEST_F(ServeReactor, BackpressuredPipelineFlushesCompletely)
+{
+    // Large batch responses pile up while the client refuses to read:
+    // the reactor's write buffer grows, the kernel buffer fills, and
+    // the EPOLLOUT flush path must eventually deliver every byte of
+    // every response once the client starts draining.
+    startServer();
+    const int fd = rawConnect();
+    const SnapshotPtr snap = registry->lookup("default");
+
+    Rng rng(3);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 256; ++i)
+        rows.push_back(testutil::makeRow(rng));
+    std::string wire;
+    constexpr int kPipelined = 24;
+    for (int i = 0; i < kPipelined; ++i)
+        appendFrame(wire, makeBatchRequest("default", rows));
+
+    // A writer thread pushes the pipelined requests (the send itself
+    // can block once both directions are full).
+    std::thread writer([&] {
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const ssize_t n = ::send(fd, wire.data() + off,
+                                     wire.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+    });
+
+    for (int i = 0; i < kPipelined; ++i) {
+        std::string response;
+        ASSERT_TRUE(readFrame(fd, response)) << "response " << i;
+        // "ok <version> <k> <v1> ... <vk>" on one line.
+        const auto tokens = splitTokens(response);
+        ASSERT_EQ(tokens.size(), 3u + rows.size()) << "response " << i;
+        ASSERT_EQ(tokens[0], "ok");
+        ASSERT_EQ(std::string(tokens[2]),
+                  std::to_string(rows.size()));
+        // Spot-check the first and last value of each response.
+        EXPECT_EQ(std::string(tokens[3]),
+                  formatDouble(snap->model.predict(
+                      testutil::rowRecord(rows.front()))));
+        EXPECT_EQ(std::string(tokens.back()),
+                  formatDouble(snap->model.predict(
+                      testutil::rowRecord(rows.back()))));
+    }
+    writer.join();
+    ::close(fd);
+}
+
+TEST_F(ServeReactor, PartialWritesTrickleThroughFlush)
+{
+    // Injected one-byte writes on the server force the flush loop
+    // through its partial-progress path on every response byte;
+    // predictions must still arrive bit-exact.
+    startServer();
+    armAndEnable("proto.write.short");
+
+    Client c = connect();
+    const SnapshotPtr snap = registry->lookup("default");
+    Rng rng(4);
+    std::vector<FeatureVector> rows;
+    for (int i = 0; i < 32; ++i)
+        rows.push_back(testutil::makeRow(rng));
+    const ClientPrediction out = c.predictBatch("default", rows);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_EQ(out.values.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(out.values[i],
+                  snap->model.predict(testutil::rowRecord(rows[i])));
+    c.quit();
+}
+
+TEST_F(ServeReactor, EmfileAcceptFailureIsRetried)
+{
+    // EMFILE on accept (fd exhaustion) must be survived: the loop
+    // logs a retry, the next accept succeeds, and serving continues.
+    startServer();
+    armAndEnable("serve.accept.fail:once,errno=24");
+
+    Client c = connect();
+    EXPECT_TRUE(c.ping());
+    EXPECT_GE(server->acceptRetries(), 1u);
+    EXPECT_TRUE(server->running());
+    c.quit();
+}
+
+TEST_F(ServeReactor, ConnabortedAcceptFailureIsRetried)
+{
+    // ECONNABORTED (peer gave up during the handshake) is routine;
+    // the accept loop must shrug it off without pausing the server.
+    startServer();
+    armAndEnable("serve.accept.fail:once,errno=103");
+
+    Client c = connect();
+    EXPECT_TRUE(c.ping());
+    EXPECT_GE(server->acceptRetries(), 1u);
+    EXPECT_TRUE(server->running());
+    c.quit();
+}
+
+TEST_F(ServeReactor, SlowLorisMidFrameStallIsClosed)
+{
+    // A connection that starts a frame and then stalls holds reactor
+    // memory hostage; with an idle timeout armed the reactor must
+    // close it. An honest client that is merely idle *between* frames
+    // must never be touched.
+    ServerOptions opts = defaultOpts();
+    opts.idleTimeout = 0.05;
+    startServer(opts);
+
+    const int fd = rawConnect();
+    // Two bytes of a length prefix, then silence: mid-frame stall.
+    const char stub[2] = {0x00, 0x00};
+    ASSERT_EQ(::send(fd, stub, sizeof(stub), MSG_NOSIGNAL), 2);
+    EXPECT_TRUE(awaitEof(fd, 2000))
+        << "stalled mid-frame connection was never closed";
+    ::close(fd);
+
+    // Idle-between-frames session on the same server: well past the
+    // timeout with no bytes in flight, and it still serves.
+    Client c = connect();
+    EXPECT_TRUE(c.ping());
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_TRUE(c.ping());
+    c.quit();
+}
+
+TEST_F(ServeReactor, OversizedFramePrefixClosesConnection)
+{
+    startServer();
+    const int fd = rawConnect();
+    const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL), 4);
+    EXPECT_TRUE(awaitEof(fd, 2000))
+        << "oversized frame did not end the connection";
+    ::close(fd);
+    EXPECT_TRUE(server->running());
+}
+
+TEST_F(ServeReactor, QuitFlushesPipelinedResponsesThenCloses)
+{
+    // ping + quit written together: the reactor must flush both
+    // responses before closing its end.
+    startServer();
+    const int fd = rawConnect();
+    std::string wire;
+    appendFrame(wire, makePingRequest());
+    appendFrame(wire, "quit");
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+
+    std::string response;
+    ASSERT_TRUE(readFrame(fd, response));
+    EXPECT_EQ(response, "ok pong");
+    ASSERT_TRUE(readFrame(fd, response));
+    EXPECT_EQ(response, "ok bye");
+    EXPECT_TRUE(awaitEof(fd, 2000));
+    ::close(fd);
+}
+
+TEST_F(ServeReactor, ShardsMultiplexConcurrentSessions)
+{
+    // Explicit shard count: connections land round-robin across
+    // reactors and every session works, concurrently.
+    ServerOptions opts = defaultOpts();
+    opts.reactors = 3;
+    startServer(opts);
+    EXPECT_EQ(server->reactorCount(), 3u);
+
+    std::atomic<std::uint64_t> okCount{0};
+    std::vector<std::thread> sessions;
+    for (int t = 0; t < 9; ++t) {
+        sessions.emplace_back([&, t] {
+            Client c("127.0.0.1", server->port());
+            const SnapshotPtr snap = registry->lookup("default");
+            Rng rng(100 + t);
+            for (int i = 0; i < 5; ++i) {
+                const FeatureVector row = testutil::makeRow(rng);
+                const ClientPrediction out =
+                    c.predict("default", row);
+                ASSERT_TRUE(out.ok) << out.error;
+                ASSERT_EQ(out.values[0],
+                          snap->model.predict(
+                              testutil::rowRecord(row)));
+                okCount.fetch_add(1, std::memory_order_relaxed);
+            }
+            c.quit();
+        });
+    }
+    for (auto &t : sessions)
+        t.join();
+    EXPECT_EQ(okCount.load(), 45u);
+    EXPECT_GE(server->connectionsAccepted(), 9u);
+}
+
+} // namespace
+} // namespace hwsw::serve

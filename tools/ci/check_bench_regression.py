@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Gate bench wall-clock regressions against the committed baseline.
+"""Gate bench regressions against the committed baseline.
 
 Compares a freshly produced BENCH_search.json against
-bench/baseline/BENCH_search.json and fails (exit 1) when the gated
-metric regressed by more than the threshold. The default gate is the
+bench/baseline/BENCH_search.json and fails (exit 1) when any gated
+metric regressed by more than the threshold. Gates are direction
+aware: a ``min`` metric is lower-is-better wall clock (fails when the
+fresh value exceeds baseline * (1 + threshold)); a ``max`` metric is
+higher-is-better throughput (fails when the fresh value drops below
+baseline * (1 - threshold)).
+
+With no --gate flags the historical default applies: the
 pooled+memoized genetic-search phase (bench_parallel_search's
-best_pooled_seconds): that is the optimization the evaluation fast
-path protects, and the one metric the CI perf-smoke job blocks on.
-Every other metric shared by both files is reported informationally
-so drifts are visible in the job log without flaking the build.
+best_pooled_seconds, direction min) — the optimization the evaluation
+fast path protects. Every other metric shared by both files is
+reported informationally so drifts are visible in the job log without
+flaking the build.
 
 Only the Python standard library is used.
 
 Usage:
   check_bench_regression.py FRESH BASELINE [--threshold 0.25]
+      [--gate BENCH/METRIC[:min|max]] ...
       [--bench bench_parallel_search] [--metric best_pooled_seconds]
 """
 
@@ -40,6 +47,19 @@ def load_results(path):
     return table
 
 
+def parse_gate(spec):
+    """Parse "bench/metric[:min|max]" into ((bench, metric), direction)."""
+    name, sep, direction = spec.partition(":")
+    direction = direction or "min"
+    if direction not in ("min", "max"):
+        raise SystemExit(
+            f"--gate {spec}: direction must be 'min' or 'max'")
+    bench, sep, metric = name.partition("/")
+    if not sep or not bench or not metric:
+        raise SystemExit(f"--gate {spec}: expected BENCH/METRIC[:dir]")
+    return (bench, metric), direction
+
+
 def main(argv):
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh")
@@ -47,22 +67,34 @@ def main(argv):
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="maximum allowed relative regression "
                          "(0.25 = 25%%)")
-    ap.add_argument("--bench", default="bench_parallel_search")
-    ap.add_argument("--metric", default="best_pooled_seconds")
+    ap.add_argument("--gate", action="append", default=[],
+                    metavar="BENCH/METRIC[:min|max]",
+                    help="gate this metric; 'min' fails on increases "
+                         "(wall clock), 'max' fails on decreases "
+                         "(throughput). Repeatable.")
+    ap.add_argument("--bench", default="bench_parallel_search",
+                    help="legacy single-gate bench (ignored when "
+                         "--gate is given)")
+    ap.add_argument("--metric", default="best_pooled_seconds",
+                    help="legacy single-gate metric (ignored when "
+                         "--gate is given)")
     args = ap.parse_args(argv)
+
+    gates = dict(parse_gate(spec) for spec in args.gate)
+    if not gates:
+        gates = {(args.bench, args.metric): "min"}
 
     fresh = load_results(args.fresh)
     base = load_results(args.baseline)
 
-    key = (args.bench, args.metric)
-    if key not in fresh:
-        raise SystemExit(
-            f"{args.fresh}: missing gated metric "
-            f"{args.bench}/{args.metric}")
-    if key not in base:
-        raise SystemExit(
-            f"{args.baseline}: missing gated metric "
-            f"{args.bench}/{args.metric}")
+    for key in gates:
+        if key not in fresh:
+            raise SystemExit(
+                f"{args.fresh}: missing gated metric {key[0]}/{key[1]}")
+        if key not in base:
+            raise SystemExit(
+                f"{args.baseline}: missing gated metric "
+                f"{key[0]}/{key[1]}")
 
     shared = sorted(set(fresh) & set(base))
     print(f"{'bench/metric':48s} {'baseline':>12s} {'fresh':>12s} "
@@ -71,17 +103,32 @@ def main(argv):
         b = base[(bench, metric)]
         f = fresh[(bench, metric)]
         delta = (f - b) / b if b else float("inf")
-        mark = " <- gated" if (bench, metric) == key else ""
+        mark = ""
+        if (bench, metric) in gates:
+            mark = f" <- gated ({gates[(bench, metric)]})"
         print(f"{bench + '/' + metric:48s} {b:12.6g} {f:12.6g} "
               f"{delta:+7.1%}{mark}")
 
-    regression = (fresh[key] - base[key]) / base[key]
-    if regression > args.threshold:
-        print(f"\nFAIL: {args.bench}/{args.metric} regressed "
-              f"{regression:+.1%} (threshold +{args.threshold:.0%})")
+    failures = []
+    for (bench, metric), direction in sorted(gates.items()):
+        b = base[(bench, metric)]
+        f = fresh[(bench, metric)]
+        change = (f - b) / b if b else float("inf")
+        # "regression" is positive when the metric moved the bad way.
+        regression = change if direction == "min" else -change
+        verdict = "FAIL" if regression > args.threshold else "ok"
+        print(f"\n{verdict}: {bench}/{metric} ({direction}) moved "
+              f"{change:+.1%} (allowed regression "
+              f"+{args.threshold:.0%})")
+        if regression > args.threshold:
+            failures.append(f"{bench}/{metric}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated metric(s) regressed "
+              f"beyond +{args.threshold:.0%}: {', '.join(failures)}")
         return 1
-    print(f"\nOK: {args.bench}/{args.metric} within threshold "
-          f"({regression:+.1%} vs +{args.threshold:.0%})")
+    print(f"\nOK: all {len(gates)} gated metric(s) within "
+          f"+{args.threshold:.0%}")
     return 0
 
 

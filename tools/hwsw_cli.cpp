@@ -68,6 +68,7 @@ usage()
         "[generations=12]\n"
         "  hwsw spmv <matrix> [scale=0.15]\n"
         "  hwsw serve <model-file> [--port P=0] [--threads N]\n"
+        "             [--reactors R=auto]\n"
         "  hwsw predict --server host:port <app> [width=4] "
         "[dcacheKB=64] [l2KB=1024] [--model name]\n"
         "options:\n"
@@ -75,6 +76,8 @@ usage()
         "                       serving engine; default: hardware\n"
         "                       concurrency)\n"
         "  --port P             serve: TCP port (0 = ephemeral)\n"
+        "  --reactors R         serve: epoll event-loop shards\n"
+        "                       (default: auto from core count)\n"
         "  --server host:port   predict: serving endpoint\n"
         "  --model name         predict: model name "
         "(default: 'default')\n"
@@ -607,7 +610,7 @@ cmdSpmv(const std::string &matrix, double scale)
 
 int
 cmdServe(const std::string &model_path, std::uint16_t port,
-         unsigned threads)
+         unsigned threads, std::size_t reactors)
 {
     std::ifstream is(model_path);
     if (!is) {
@@ -623,6 +626,7 @@ cmdServe(const std::string &model_path, std::uint16_t port,
 
     serve::ServerOptions opts;
     opts.port = port;
+    opts.reactors = reactors;
     opts.engine.threads = threads;
 
     // Block SIGINT/SIGTERM before spawning server threads (they
@@ -636,9 +640,10 @@ cmdServe(const std::string &model_path, std::uint16_t port,
 
     serve::Server server(registry, opts);
     server.start();
-    std::printf("hwsw serve: model '%s' on port %u "
-                "(Ctrl-C to stop)\n",
-                model_path.c_str(), server.port());
+    std::printf("hwsw serve: model '%s' on port %u, %zu reactor "
+                "shard(s) (Ctrl-C to stop)\n",
+                model_path.c_str(), server.port(),
+                server.reactorCount());
     std::fflush(stdout);
 
     int sig = 0;
@@ -726,6 +731,7 @@ main(int argc, char **argv)
     // anywhere on the command line.
     std::vector<std::string> args;
     unsigned threads = 0; // 0: hardware concurrency
+    unsigned long long reactors = 0; // 0: auto from core count
     unsigned long long port = 0;
     std::string server_endpoint;
     std::string model_name = "default";
@@ -758,6 +764,13 @@ main(int argc, char **argv)
             if (!v ||
                 !parseArg(std::string(v), "--port value", port) ||
                 port > 65535)
+                return usage();
+        } else if (a == "--reactors") {
+            const char *v = flagValue("--reactors");
+            if (!v ||
+                !parseArg(std::string(v), "--reactors value",
+                          reactors) ||
+                reactors > 64)
                 return usage();
         } else if (a == "--server") {
             const char *v = flagValue("--server");
@@ -917,7 +930,8 @@ main(int argc, char **argv)
         if (cmd == "serve" && nargs >= 2)
             return cmdServe(args[1],
                             static_cast<std::uint16_t>(port),
-                            threads);
+                            threads,
+                            static_cast<std::size_t>(reactors));
         if (cmd == "predict" && nargs >= 2) {
             if (server_endpoint.empty()) {
                 std::fprintf(stderr,
