@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Closed-loop tuning benchmark: the SpMV plant drifts from raefsky3
+ * to memplus mid-run and the controller must notice (windowed
+ * residual test), re-specify the model online (OnlineUpdater worker),
+ * and move the register-block actuator — all without pausing the
+ * observation loop.
+ *
+ * The frozen baseline is a twin plant that keeps the pre-drift model
+ * and configuration: it mirrors the adaptive loop's actuations until
+ * the drift, then freezes, which is exactly what a deployment without
+ * the tuning subsystem would experience. Reported metrics: detection
+ * latency and re-specification latency in observations, the wall
+ * clock from detection to a pinned fresh model, and the tail-window
+ * prediction error of the adaptive loop vs the frozen baseline.
+ *
+ * The acceptance gate asserts the drift fired, a fresh model was
+ * published, the actuator moved after the drift, the adapted
+ * prediction error lands below two-thirds of the frozen-model error,
+ * and the adapted configuration wins on the ground truth. (The error
+ * margin is bounded by the pinned-model contract: in-band refinement
+ * refits stay unpublished, so the loop keeps scoring against the
+ * drift-time re-specification, which lands near half the frozen
+ * error while the ground-truth perf win is near an order of
+ * magnitude.) Nonzero exit on violation; results are appended to
+ * BENCH_search.json for the CI regression gate.
+ */
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "tune/controller.hpp"
+#include "tune/spmv_plant.hpp"
+
+using namespace hwsw;
+
+namespace {
+
+constexpr std::size_t kDriftAt = 40;
+constexpr std::size_t kTotal = 120;
+constexpr std::size_t kTail = 24; ///< steady post-adaptation window
+constexpr double kErrorMarginX = 2.0 / 3.0;
+
+tune::SpmvPlantOptions
+plantOptions()
+{
+    tune::SpmvPlantOptions o;
+    o.driftAt = kDriftAt;
+    return o;
+}
+
+tune::ControllerOptions
+loopOptions()
+{
+    tune::ControllerOptions o;
+    o.cadence = 4;
+    o.verifyWindow = 5;
+    o.drift.window = 16;
+    o.drift.minSamples = 8;
+    o.drift.hysteresis = 3;
+    o.ga.populationSize = 20;
+    o.ga.generations = 8;
+    o.manager.profilesForUpdate = 10;
+    o.manager.updateGenerations = 6;
+    return o;
+}
+
+double
+residualOf(const serve::SnapshotPtr &model,
+           const core::ProfileRecord &rec)
+{
+    const double pred = model->model.predict(rec);
+    return std::abs(pred - rec.perf) /
+        std::max(std::abs(rec.perf), 1e-12);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Kernel timer: one residual through the windowed drift test. */
+void
+BM_DriftObserve(benchmark::State &state)
+{
+    tune::DriftDetector detector(tune::DriftOptions{});
+    detector.rebaseline(0.1);
+    double r = 0.0;
+    for (auto _ : state) {
+        r = r < 0.5 ? r + 0.013 : 0.0; // wanders across the band
+        benchmark::DoNotOptimize(detector.observe(r));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DriftObserve)->Unit(benchmark::kNanosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    bench::section("closed-loop adaptation (raefsky3 -> memplus)");
+    std::printf("%zu observations, drift at %zu, cadence %zu\n",
+                kTotal, kDriftAt, loopOptions().cadence);
+
+    tune::SpmvPlant plant(plantOptions());
+    tune::SpmvPlant twin(plantOptions());
+    tune::Controller ctrl(plant, plant, loopOptions());
+    ctrl.start(plant.bootstrapDataset());
+    const serve::SnapshotPtr frozenModel = ctrl.pinnedModel();
+
+    constexpr auto kNone = tune::ControllerStats::kNone;
+    std::size_t detectStep = kNone;
+    std::size_t respecStep = kNone;
+    double respecSeconds = 0.0;
+    auto driftStamp = std::chrono::steady_clock::now();
+
+    std::vector<double> adaptiveErr(kTotal, 0.0);
+    std::vector<double> frozenErr(kTotal, 0.0);
+    std::vector<double> adaptivePerf(kTotal, 0.0);
+    std::vector<double> frozenPerf(kTotal, 0.0);
+
+    for (std::size_t i = 0; i < kTotal; ++i) {
+        // The twin mirrors the loop's pre-drift placement, then
+        // freezes: the no-tuning counterfactual.
+        if (i < kDriftAt)
+            twin.actuate(plant.currentCandidate());
+        const auto frozenRec = twin.poll();
+
+        if (!ctrl.step())
+            break;
+        adaptiveErr[i] = ctrl.lastResidual();
+        adaptivePerf[i] = plant.simulateCandidate(
+            plant.currentCandidate(), 7000 + i);
+        frozenErr[i] = residualOf(frozenModel, *frozenRec);
+        frozenPerf[i] = twin.simulateCandidate(
+            twin.currentCandidate(), 7000 + i);
+
+        if (detectStep == kNone &&
+            ctrl.stats().firstDriftStep != kNone) {
+            detectStep = ctrl.stats().firstDriftStep;
+            driftStamp = std::chrono::steady_clock::now();
+        }
+        if (detectStep != kNone && respecStep == kNone &&
+            ctrl.stats().respecs > 0) {
+            respecStep = ctrl.stepIndex();
+            respecSeconds = secondsSince(driftStamp);
+        }
+    }
+    ctrl.stop();
+
+    const tune::ControllerStats &st = ctrl.stats();
+    const double detectLatency = detectStep == kNone
+        ? -1.0
+        : static_cast<double>(detectStep - kDriftAt);
+    const double respecLatency = respecStep == kNone
+        ? -1.0
+        : static_cast<double>(respecStep - kDriftAt);
+
+    double adaptedErrPct = 0.0, frozenErrPct = 0.0;
+    double adaptedMs = 0.0, frozenMs = 0.0;
+    for (std::size_t i = kTotal - kTail; i < kTotal; ++i) {
+        adaptedErrPct += 100.0 * adaptiveErr[i];
+        frozenErrPct += 100.0 * frozenErr[i];
+        // simulateCandidate reports Mflop/s (higher better).
+        adaptedMs += adaptivePerf[i];
+        frozenMs += frozenPerf[i];
+    }
+    adaptedErrPct /= static_cast<double>(kTail);
+    frozenErrPct /= static_cast<double>(kTail);
+    const double perfGainPct = frozenMs > 0.0
+        ? 100.0 * (adaptedMs - frozenMs) / frozenMs
+        : 0.0;
+
+    std::printf("detection: step %zu (latency %.0f obs)\n", detectStep,
+                detectLatency);
+    std::printf("re-spec pinned: step %zu (latency %.0f obs, %.2fs "
+                "after detection)\n", respecStep, respecLatency,
+                respecSeconds);
+    std::printf("actuations: %llu (last at step %zu), rollbacks %llu\n",
+                static_cast<unsigned long long>(st.actuations),
+                st.lastActuationStep,
+                static_cast<unsigned long long>(st.rollbacks));
+    std::printf("tail (%zu obs): adapted error %.1f%%, frozen error "
+                "%.1f%%\n", kTail, adaptedErrPct, frozenErrPct);
+    std::printf("tail ground truth: adapted %.1f Mflop/s vs frozen "
+                "%.1f Mflop/s (%+.1f%%)\n",
+                adaptedMs / static_cast<double>(kTail),
+                frozenMs / static_cast<double>(kTail), perfGainPct);
+    std::printf("%s", ctrl.report().c_str());
+
+    bench::section("acceptance");
+    const bool detected = st.drifts >= 1 && detectStep != kNone &&
+        detectStep >= kDriftAt;
+    const bool respecced = st.respecs >= 1 && respecStep != kNone;
+    const bool moved = st.lastActuationStep != kNone &&
+        st.lastActuationStep > kDriftAt;
+    const bool errorOk = adaptedErrPct < kErrorMarginX * frozenErrPct;
+    const bool perfOk = perfGainPct > 0.0;
+    std::printf("drift detected after the drift: %s\n",
+                detected ? "PASS" : "FAIL");
+    std::printf("fresh model published and pinned: %s\n",
+                respecced ? "PASS" : "FAIL");
+    std::printf("actuator moved post-drift: %s\n",
+                moved ? "PASS" : "FAIL");
+    std::printf("adapted error < %.0f%% of frozen error: %s\n",
+                100.0 * kErrorMarginX, errorOk ? "PASS" : "FAIL");
+    std::printf("adapted configuration faster on ground truth: %s\n",
+                perfOk ? "PASS" : "FAIL");
+
+    bench::JsonReport report("bench_tune_closedloop");
+    report.add("detection_latency_obs", detectLatency, "obs");
+    report.add("respec_latency_obs", respecLatency, "obs");
+    report.add("respec_seconds", respecSeconds, "s");
+    report.add("adapted_error_pct", adaptedErrPct, "%");
+    report.add("frozen_error_pct", frozenErrPct, "%");
+    report.add("adapted_perf_gain_pct", perfGainPct, "%");
+    report.write();
+
+    return detected && respecced && moved && errorOk && perfOk ? 0 : 1;
+}

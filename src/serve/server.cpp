@@ -500,6 +500,17 @@ Server::statsReport() const
            << us.pendingMore << ", updates " << us.updates
            << ", published " << us.published << ", rejected "
            << us.rejected << ", queue " << us.queueDepth << "\n";
+        if (us.published > 0) {
+            const double age =
+                std::chrono::duration<double>(
+                    std::chrono::system_clock::now()
+                        .time_since_epoch())
+                    .count() -
+                us.lastPublishUnixSeconds;
+            os << "online updater: last publish v"
+               << us.lastPublishedVersion << ", age " << age
+               << " s\n";
+        }
     }
 
     os << "latency:\n" << latency_.report();

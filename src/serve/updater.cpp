@@ -1,9 +1,11 @@
 #include "serve/updater.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/fsio.hpp"
 
 namespace hwsw::serve {
@@ -317,11 +319,19 @@ OnlineUpdater::workerLoop()
             }
         }
         if (publish) {
-            registry_->publish(modelName_, manager_->model(),
-                               "online-update");
+            const std::uint64_t version = registry_->publish(
+                modelName_, manager_->model(), "online-update");
+            const double stamp =
+                std::chrono::duration<double>(
+                    std::chrono::system_clock::now()
+                        .time_since_epoch())
+                    .count() +
+                fault::skewPoint("clock.skew");
             {
                 std::lock_guard lock(mutex_);
                 ++stats_.published;
+                stats_.lastPublishedVersion = version;
+                stats_.lastPublishUnixSeconds = stamp;
             }
             maybeSnapshot();
         }

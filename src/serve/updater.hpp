@@ -72,6 +72,17 @@ struct UpdaterStats
     std::uint64_t snapshotErrors = 0; ///< failed snapshot writes
     std::uint64_t compactions = 0; ///< journal compactions completed
     std::size_t queueDepth = 0;   ///< profiles waiting right now
+
+    /**
+     * Registry version of the newest publish and its (skewable)
+     * wall-clock stamp. Together they let a stats consumer tell a
+     * stale model from a fresh one without racing the registry:
+     * generation 0 / stamp 0 means this process has not published.
+     * The stamp routes through the `clock.skew` fault point —
+     * reporting only, never fed back into decisions.
+     */
+    std::uint64_t lastPublishedVersion = 0;
+    double lastPublishUnixSeconds = 0;
 };
 
 /**
@@ -178,6 +189,14 @@ class OnlineUpdater
     UpdaterStats stats() const;
 
     const std::string &modelName() const { return modelName_; }
+
+    /**
+     * The managed ModelManager. Only coherent when the worker is
+     * quiescent — call after drain() (and before further enqueues)
+     * or after stop(); the worker mutates the manager unlocked while
+     * observations are in flight.
+     */
+    const core::ModelManager &manager() const { return *manager_; }
 
   private:
     void workerLoop();

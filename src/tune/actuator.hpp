@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The actuation side of the closed tuning loop: a small, discrete
+ * axis of candidate configurations the controller arg-optimizes the
+ * published model over.
+ *
+ * candidateRecord() is deliberately a pure function of (candidate
+ * index, latest observation): the controller passes the most recent
+ * journaled record, and the actuator combines its software
+ * characteristics with the candidate's hardware (or software-tuning)
+ * parameters into a model-input row. Because the row depends only on
+ * journaled data and static plant tables — never on live generator
+ * state — a journal replay re-derives every historical planning
+ * decision exactly, which is what makes crash-resume bit-identical.
+ *
+ * actuate() applies a candidate to the running plant. The
+ * `tune.actuate.fail` fault point is honored by the *controller*
+ * (which owns the retry/rollback policy), not here, so backends stay
+ * trivial.
+ */
+
+#ifndef HWSW_TUNE_ACTUATOR_HPP
+#define HWSW_TUNE_ACTUATOR_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace hwsw::tune {
+
+/** A discrete tunable axis with an applied current point. */
+class Actuator
+{
+  public:
+    virtual ~Actuator() = default;
+
+    /** Number of candidate configurations on the axis. */
+    virtual std::size_t numCandidates() const = 0;
+
+    /**
+     * Model-input row for candidate @p i given the latest
+     * observation: software characteristics from @p latest, tunable
+     * parameters from the candidate. Pure — no dependence on live
+     * plant state beyond static tables keyed by latest.app.
+     */
+    virtual core::ProfileRecord
+    candidateRecord(std::size_t i,
+                    const core::ProfileRecord &latest) const = 0;
+
+    /** Candidate currently applied to the plant. */
+    virtual std::size_t currentCandidate() const = 0;
+
+    /** Apply candidate @p i; subsequent polls measure under it. */
+    virtual void actuate(std::size_t i) = 0;
+
+    /** Human-readable candidate label, e.g. "4x2" or "d64/i16". */
+    virtual std::string describeCandidate(std::size_t i) const = 0;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_ACTUATOR_HPP

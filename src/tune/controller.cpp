@@ -1,0 +1,658 @@
+#include "tune/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/descriptive.hpp"
+#include "common/fault/fault.hpp"
+#include "common/fsio.hpp"
+#include "core/serialize.hpp"
+
+namespace hwsw::tune {
+
+namespace {
+
+constexpr const char *kSnapshotMagic = "hwsw-tune-snapshot";
+constexpr int kSnapshotVersion = 1;
+
+/** Sanity bound on serialized container sizes. */
+constexpr std::size_t kMaxItems = 1'000'000;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "tune snapshot load: expected '" + want + "', got '" +
+                got + "'");
+}
+
+double
+medianOf(const std::deque<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const std::vector<double> copy(xs.begin(), xs.end());
+    return median(copy);
+}
+
+double
+medianOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : median(xs);
+}
+
+/** Run @p f and return its wall-clock duration in seconds. */
+template <typename F>
+double
+timedCall(F &&f)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Skewable wall clock: reporting-only timestamps route through the
+ * `clock.skew` fault point. Loop decisions never read this.
+ */
+double
+wallSeconds()
+{
+    const double now =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    return now + fault::skewPoint("clock.skew");
+}
+
+} // namespace
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::Poll: return "poll";
+    case Stage::Journal: return "journal";
+    case Stage::Predict: return "predict";
+    case Stage::Detect: return "detect";
+    case Stage::Sync: return "sync";
+    case Stage::Snapshot: return "snapshot";
+    case Stage::Count_: break;
+    }
+    return "?";
+}
+
+Controller::Controller(TelemetrySource &source, Actuator &actuator,
+                       ControllerOptions opts)
+    : source_(source), actuator_(actuator), opts_(std::move(opts)),
+      detector_(opts_.drift)
+{
+    if (opts_.cadence == 0)
+        opts_.cadence = 1;
+    fatalIf(opts_.updaterQueue <= opts_.cadence,
+            "tune controller: updater queue must exceed the cadence");
+}
+
+Controller::~Controller() = default;
+
+void
+Controller::start(const core::Dataset &bootstrap)
+{
+    fatalIf(started_, "tune controller: start() called twice");
+    started_ = true;
+
+    const bool journaling = !opts_.journalDir.empty();
+    if (journaling) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.journalDir, ec);
+        fatalIf(static_cast<bool>(ec),
+                "tune controller: cannot create journal dir '" +
+                    opts_.journalDir + "': " + ec.message());
+        journalPath_ = opts_.journalDir + "/observations.wal";
+        snapshotPath_ = opts_.journalDir + "/tune.snapshot";
+    }
+
+    auto manager = std::make_unique<core::ModelManager>(
+        bootstrap, opts_.ga, opts_.manager);
+
+    std::uint64_t snapEpoch = 0;
+    std::size_t snapCovered = 0;
+    std::string pinnedText;
+    if (journaling)
+        resumed_ =
+            loadSnapshot(*manager, snapEpoch, snapCovered, pinnedText);
+
+    core::HwSwModel pinnedModel;
+    if (resumed_) {
+        pinnedModel = core::loadModelFromString(pinnedText);
+    } else {
+        manager->bootstrapModel();
+        pinnedModel = manager->model();
+        detector_.rebaseline(manager->steadyMedianError());
+    }
+
+    registry_ = std::make_shared<serve::ModelRegistry>();
+    registry_->publish(opts_.modelName, pinnedModel,
+                       resumed_ ? "tune-resume" : "tune-bootstrap");
+    pinned_ = registry_->lookup(opts_.modelName);
+
+    updater_ = std::make_unique<serve::OnlineUpdater>(
+        std::move(manager), registry_, opts_.modelName,
+        opts_.updaterQueue);
+    updater_->start();
+
+    if (resumed_) {
+        // Feed the uncovered journal tail through the normal
+        // observation path. Syncs fire at the same cadence boundaries
+        // as the original run, so publishes, replans, and actuations
+        // are re-derived at exactly their historical steps.
+        replaying_ = true;
+        const auto status = serve::ObservationJournal::replayFrom(
+            journalPath_,
+            [this](const core::ProfileRecord &rec) {
+                processObservation(rec, true);
+            },
+            snapEpoch, snapCovered);
+        replaying_ = false;
+        updater_->drain();
+        stats_.replayed = status.replayed;
+        coveredInFile_ = status.skipped + status.replayed;
+        source_.fastForward(stepIndex_);
+    }
+
+    if (journaling) {
+        journal_ =
+            std::make_unique<serve::ObservationJournal>(journalPath_);
+        std::string err;
+        fatalIf(!journal_->open(&err),
+                "tune controller: journal open failed: " + err);
+    }
+}
+
+bool
+Controller::step()
+{
+    fatalIf(!started_, "tune controller: step() before start()");
+    if (source_.exhausted())
+        return false;
+
+    std::optional<core::ProfileRecord> rec;
+    const double dt = timedCall([&] { rec = source_.poll(); });
+    recordStage(Stage::Poll, dt);
+
+    if (!rec) {
+        if (source_.exhausted())
+            return false;
+        ++stats_.pollFailures;
+        return true;
+    }
+    processObservation(*rec, false);
+    return true;
+}
+
+std::size_t
+Controller::run(std::size_t max_steps)
+{
+    const std::uint64_t before = stats_.steps;
+    for (std::size_t i = 0; i < max_steps; ++i)
+        if (!step())
+            break;
+    return static_cast<std::size_t>(stats_.steps - before);
+}
+
+void
+Controller::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    // A final sync so trailing enqueues, publishes, and pending
+    // actuations are settled before the state is persisted.
+    const double dt = timedCall([&] { sync(); });
+    recordStage(Stage::Sync, dt);
+    if (journal_)
+        writeSnapshot();
+    updater_->stop();
+    if (journal_)
+        journal_->close();
+}
+
+void
+Controller::processObservation(const core::ProfileRecord &rec,
+                               bool replay)
+{
+    if (!replay && journal_) {
+        // Acknowledged implies journaled: an observation the WAL
+        // refuses must not influence any state.
+        std::string err;
+        bool ok = false;
+        const double dt =
+            timedCall([&] { ok = journal_->append(rec, &err); });
+        recordStage(Stage::Journal, dt);
+        if (!ok) {
+            ++stats_.journalErrors;
+            return;
+        }
+        ++coveredInFile_;
+    }
+
+    // Prequential residual: score the pinned published model on the
+    // observation before the observation can influence any model.
+    double pred = 0.0;
+    const double dtp =
+        timedCall([&] { pred = pinned_->model.predict(rec); });
+    recordStage(Stage::Predict, dtp);
+    const double denom = std::max(std::abs(rec.perf), 1e-12);
+    lastResidual_ = std::abs(pred - rec.perf) / denom;
+
+    const double dtd = timedCall([&] {
+        const DriftState before = detector_.state();
+        if (detector_.observe(lastResidual_) == DriftState::Drifted &&
+            before != DriftState::Drifted) {
+            ++stats_.drifts;
+            if (stats_.firstDriftStep == ControllerStats::kNone)
+                stats_.firstDriftStep = stepIndex_;
+            stats_.lastDriftMedian = detector_.windowMedian();
+            stats_.lastDriftThreshold = detector_.threshold();
+            pendingPlan_ = true;
+        }
+    });
+    recordStage(Stage::Detect, dtd);
+
+    latest_ = rec;
+
+    if (verifyLeft_ > 0) {
+        verifyPerfs_.push_back(rec.perf);
+        if (--verifyLeft_ == 0)
+            finishVerify();
+    }
+    recentPerfs_.push_back(rec.perf);
+    while (recentPerfs_.size() >
+           std::max<std::size_t>(opts_.verifyWindow, 1))
+        recentPerfs_.pop_front();
+
+    if (!updater_->enqueue(rec))
+        ++stats_.enqueueRejected;
+
+    ++stepIndex_;
+    stats_.steps = stepIndex_;
+    if (stepIndex_ % opts_.cadence == 0) {
+        const double dts = timedCall([&] { sync(); });
+        recordStage(Stage::Sync, dts);
+    }
+}
+
+void
+Controller::sync()
+{
+    updater_->drain();
+    const serve::UpdaterStats st = updater_->stats();
+    // Publish counts are deltas, never absolute versions: version
+    // numbers restart with the registry, counts restart with the
+    // process and are compared against a same-process baseline.
+    const bool fresh = st.published > lastPublishedCount_;
+    if (fresh) {
+        lastPublishedCount_ = st.published;
+        ++stats_.respecs;
+        pinned_ = registry_->lookup(opts_.modelName);
+        detector_.rebaseline(
+            updater_->manager().steadyMedianError());
+    }
+    if (latest_ && pendingPlan_ && (fresh || stats_.plans == 0))
+        plan();
+    if (pendingActuate_)
+        tryActuate();
+    if (fresh && journal_)
+        writeSnapshot();
+}
+
+void
+Controller::plan()
+{
+    pendingPlan_ = false;
+    ++stats_.plans;
+
+    const std::size_t n = actuator_.numCandidates();
+    const std::size_t cur = actuator_.currentCandidate();
+    std::size_t best = cur;
+    double bestPred = std::numeric_limits<double>::infinity();
+    double curPred = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = pinned_->model.predict(
+            actuator_.candidateRecord(i, *latest_));
+        if (i == cur)
+            curPred = p;
+        if (p < bestPred) {
+            bestPred = p;
+            best = i;
+        }
+    }
+    if (best != cur &&
+        bestPred < curPred * (1.0 - opts_.minPredictedGain)) {
+        plannedTarget_ = best;
+        plannedIsRollback_ = false;
+        pendingActuate_ = true;
+    }
+}
+
+void
+Controller::tryActuate()
+{
+    // Replay reconstructs decisions from the journal; transient
+    // environmental failures are not part of the recorded history.
+    if (!replaying_ && fault::point("tune.actuate.fail")) {
+        ++stats_.actuateFailures;
+        return; // stays pending; retried at the next sync
+    }
+    pendingActuate_ = false;
+    const std::size_t target = plannedTarget_;
+    if (target == actuator_.currentCandidate())
+        return;
+    if (!plannedIsRollback_) {
+        lastGood_ = actuator_.currentCandidate();
+        preMedian_ = medianOf(recentPerfs_);
+        verifyPerfs_.clear();
+        verifyLeft_ = opts_.verifyWindow;
+    } else {
+        verifyLeft_ = 0;
+        verifyPerfs_.clear();
+    }
+    actuator_.actuate(target);
+    ++stats_.actuations;
+    stats_.lastActuationStep = stepIndex_;
+}
+
+void
+Controller::finishVerify()
+{
+    ++stats_.verifications;
+    const double post = medianOf(verifyPerfs_);
+    verifyPerfs_.clear();
+    // Lower is better: the move must beat the pre-actuation median by
+    // the measured-gain margin, or the plant returns to last-good.
+    if (post >= preMedian_ * (1.0 - opts_.minMeasuredGain)) {
+        ++stats_.rollbacks;
+        plannedTarget_ = lastGood_;
+        plannedIsRollback_ = true;
+        pendingActuate_ = true;
+        tryActuate();
+    }
+}
+
+void
+Controller::writeSnapshot()
+{
+    if (replaying_ || snapshotPath_.empty())
+        return;
+    const double dt = timedCall([&] {
+        std::ostringstream os;
+        os.precision(std::numeric_limits<double>::max_digits10);
+        os << kSnapshotMagic << " " << kSnapshotVersion << "\n";
+        os << "journal_epoch " << (journal_ ? journal_->epoch() : 0)
+           << "\n";
+        os << "journal_covered " << coveredInFile_ << "\n";
+        os << "step " << stepIndex_ << "\n";
+        os << "candidate " << actuator_.currentCandidate() << "\n";
+        os << "lastgood " << lastGood_ << "\n";
+        os << "pendingplan " << pendingPlan_ << "\n";
+        os << "pendingactuate " << pendingActuate_ << "\n";
+        os << "target " << plannedTarget_ << "\n";
+        os << "rollback " << plannedIsRollback_ << "\n";
+        os << "verifyleft " << verifyLeft_ << "\n";
+        os << "premedian " << preMedian_ << "\n";
+        os << "recent " << recentPerfs_.size();
+        for (const double v : recentPerfs_)
+            os << " " << v;
+        os << "\n";
+        os << "verify " << verifyPerfs_.size();
+        for (const double v : verifyPerfs_)
+            os << " " << v;
+        os << "\n";
+        os << "counters " << stats_.drifts << " " << stats_.respecs
+           << " " << stats_.plans << " " << stats_.actuations << " "
+           << stats_.rollbacks << " " << stats_.verifications << "\n";
+        os << "firstdrift " << stats_.firstDriftStep << "\n";
+        os << "lastactuation " << stats_.lastActuationStep << "\n";
+        os << "latest " << (latest_ ? 1 : 0) << "\n";
+        if (latest_)
+            os << serve::ObservationJournal::formatRecord(*latest_)
+               << "\n";
+        // The pinned model is stored explicitly: it can lag the
+        // manager's current model (silent coefficient refits, or
+        // observations drained after the publish), and residuals
+        // after a resume must score against exactly the model the
+        // uninterrupted loop would still be pinning.
+        const std::string pinnedText =
+            core::saveModelToString(pinned_->model);
+        os << "pinned " << pinnedText.size() << "\n" << pinnedText;
+        detector_.saveState(os);
+        updater_->manager().saveState(os);
+        os << "end\n";
+
+        std::string err;
+        if (!fsio::atomicWriteFile(snapshotPath_, os.str(), &err)) {
+            ++stats_.snapshotErrors;
+            return;
+        }
+        ++stats_.snapshots;
+
+        // Same crash protocol as the updater: snapshot first, then
+        // compact. A crash between the two leaves the old epoch in
+        // the file, so replay skips exactly the covered prefix.
+        if (journal_ && coveredInFile_ > 0) {
+            std::string cerr2;
+            if (journal_->compact(coveredInFile_, &cerr2))
+                coveredInFile_ = 0;
+        }
+    });
+    recordStage(Stage::Snapshot, dt);
+}
+
+bool
+Controller::loadSnapshot(core::ModelManager &manager,
+                         std::uint64_t &epoch, std::size_t &covered,
+                         std::string &pinned_text)
+{
+    const auto contents = fsio::readFile(snapshotPath_);
+    if (!contents)
+        return false;
+
+    std::istringstream is(*contents);
+    expectToken(is, kSnapshotMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kSnapshotVersion,
+            "tune snapshot load: unsupported version");
+
+    expectToken(is, "journal_epoch");
+    is >> epoch;
+    expectToken(is, "journal_covered");
+    is >> covered;
+    expectToken(is, "step");
+    is >> stepIndex_;
+    stats_.steps = stepIndex_;
+    std::size_t candidate = 0;
+    expectToken(is, "candidate");
+    is >> candidate;
+    expectToken(is, "lastgood");
+    is >> lastGood_;
+    expectToken(is, "pendingplan");
+    is >> pendingPlan_;
+    expectToken(is, "pendingactuate");
+    is >> pendingActuate_;
+    expectToken(is, "target");
+    is >> plannedTarget_;
+    expectToken(is, "rollback");
+    is >> plannedIsRollback_;
+    expectToken(is, "verifyleft");
+    is >> verifyLeft_;
+    expectToken(is, "premedian");
+    is >> preMedian_;
+    fatalIf(!is, "tune snapshot load: truncated header");
+
+    std::size_t n = 0;
+    expectToken(is, "recent");
+    is >> n;
+    fatalIf(!is || n > kMaxItems,
+            "tune snapshot load: bad recent-window size");
+    recentPerfs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        is >> v;
+        recentPerfs_.push_back(v);
+    }
+    expectToken(is, "verify");
+    is >> n;
+    fatalIf(!is || n > kMaxItems,
+            "tune snapshot load: bad verify-window size");
+    verifyPerfs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        is >> v;
+        verifyPerfs_.push_back(v);
+    }
+
+    expectToken(is, "counters");
+    is >> stats_.drifts >> stats_.respecs >> stats_.plans >>
+        stats_.actuations >> stats_.rollbacks >> stats_.verifications;
+    expectToken(is, "firstdrift");
+    is >> stats_.firstDriftStep;
+    expectToken(is, "lastactuation");
+    is >> stats_.lastActuationStep;
+
+    int hasLatest = 0;
+    expectToken(is, "latest");
+    is >> hasLatest;
+    fatalIf(!is, "tune snapshot load: truncated body");
+    if (hasLatest) {
+        is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+        std::string line;
+        std::getline(is, line);
+        core::ProfileRecord rec;
+        fatalIf(!serve::ObservationJournal::parseRecord(line, rec),
+                "tune snapshot load: bad latest-observation line");
+        latest_ = rec;
+    }
+
+    std::size_t pinnedLen = 0;
+    expectToken(is, "pinned");
+    is >> pinnedLen;
+    fatalIf(!is || pinnedLen == 0 || pinnedLen > (64u << 20),
+            "tune snapshot load: bad pinned-model size");
+    is.get(); // the newline after the length
+    pinned_text.resize(pinnedLen);
+    is.read(pinned_text.data(),
+            static_cast<std::streamsize>(pinnedLen));
+    fatalIf(static_cast<std::size_t>(is.gcount()) != pinnedLen,
+            "tune snapshot load: truncated pinned model");
+
+    detector_.restoreState(is);
+    manager.restoreState(is);
+    expectToken(is, "end");
+
+    actuator_.actuate(candidate);
+    return true;
+}
+
+const core::ModelManager &
+Controller::manager() const
+{
+    fatalIf(!updater_, "tune controller: not started");
+    return updater_->manager();
+}
+
+double
+Controller::modelAgeSeconds() const
+{
+    if (!updater_)
+        return 0.0;
+    const serve::UpdaterStats st = updater_->stats();
+    if (st.lastPublishUnixSeconds <= 0.0)
+        return 0.0;
+    return wallSeconds() - st.lastPublishUnixSeconds;
+}
+
+void
+Controller::recordStage(Stage s, double seconds)
+{
+    StageStats &st = stages_[static_cast<std::size_t>(s)];
+    st.count.add();
+    st.seconds.addSeconds(seconds);
+    st.log10Seconds.add(std::log10(std::max(seconds, 1e-9)));
+}
+
+StageSummary
+Controller::stageSummary(Stage s) const
+{
+    const StageStats &st = stages_[static_cast<std::size_t>(s)];
+    StageSummary out;
+    out.count = st.count.value();
+    out.totalSeconds = st.seconds.seconds();
+    if (st.log10Seconds.total() > 0) {
+        out.p50 = std::pow(10.0, st.log10Seconds.quantile(0.5));
+        out.p95 = std::pow(10.0, st.log10Seconds.quantile(0.95));
+        out.p99 = std::pow(10.0, st.log10Seconds.quantile(0.99));
+    }
+    return out;
+}
+
+std::string
+Controller::report() const
+{
+    const auto v = [](std::uint64_t x) {
+        return static_cast<double>(x);
+    };
+    std::vector<metrics::Entry> rows = {
+        {"observations", v(stats_.steps), ""},
+        {"poll failures", v(stats_.pollFailures), ""},
+        {"journal errors", v(stats_.journalErrors), ""},
+        {"drift events", v(stats_.drifts), ""},
+        {"re-specifications", v(stats_.respecs), ""},
+        {"plans", v(stats_.plans), ""},
+        {"actuations", v(stats_.actuations), ""},
+        {"actuation failures", v(stats_.actuateFailures), ""},
+        {"rollbacks", v(stats_.rollbacks), ""},
+        {"verifications", v(stats_.verifications), ""},
+        {"snapshots", v(stats_.snapshots), ""},
+        {"replayed", v(stats_.replayed), ""},
+        {"model age", modelAgeSeconds(), "s"},
+    };
+
+    std::ostringstream os;
+    os << metrics::renderEntries(rows);
+    os << "drift state: " << driftStateName(detector_.state())
+       << "  (median " << detector_.windowMedian() << ", threshold "
+       << detector_.threshold() << ")\n";
+    os << "candidate: "
+       << actuator_.describeCandidate(actuator_.currentCandidate())
+       << "\n";
+    os << "stage latency (seconds):\n";
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        const Stage s = static_cast<Stage>(i);
+        const StageSummary sum = stageSummary(s);
+        if (sum.count == 0)
+            continue;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  %-8s n=%-8llu total=%-10.4g p50=%-10.3g "
+                      "p95=%-10.3g p99=%.3g\n",
+                      stageName(s),
+                      static_cast<unsigned long long>(sum.count),
+                      sum.totalSeconds, sum.p50, sum.p95, sum.p99);
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace hwsw::tune

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Controller: the closed-loop state machine that ties telemetry,
+ * drift detection, online re-specification, and actuation together
+ * (the paper's Section 5 coordinated-tuning study run as a live
+ * production loop).
+ *
+ * Loop per observation: poll the plant, append the observation to
+ * the write-ahead journal (fsync before acknowledge — the PR 3
+ * contract), compute the *prequential* residual (predict with the
+ * pinned published model before the observation can influence any
+ * model), feed the drift detector, and enqueue the observation to
+ * the OnlineUpdater. Every `cadence` observations the controller
+ * syncs with the updater: drains the queue, and — when a fresh model
+ * was published — re-pins it, rebaselines the detector against the
+ * new error envelope, and (if a drift was flagged) re-plans by
+ * arg-optimizing the fresh model over the actuator's candidate axis.
+ * An actuation that wins on predicted performance is applied and
+ * then verified against measured performance over a trailing window;
+ * a predicted win that does not materialize rolls the plant back to
+ * the last-good configuration.
+ *
+ * Because re-specification runs on the updater's worker thread, a
+ * cadence above one keeps the loop observing while the genetic
+ * search runs — the model is re-specified and published without
+ * pausing the loop.
+ *
+ * Determinism and crash recovery: every decision reads either the
+ * observation sequence or state sampled at drain barriers, so the
+ * controller's entire dynamic state is a deterministic function of
+ * the journaled observations. A combined snapshot (journal position,
+ * pinned model, manager state, detector state, controller fields) is
+ * written atomically at publish boundaries; on restart the tuner
+ * restores the snapshot, replays the journal tail through the
+ * identical code path, and fast-forwards the plant — landing in
+ * exactly the state of an uninterrupted run (kill -9 anywhere; a
+ * clean stop() is exact at cadence boundaries).
+ *
+ * Fault points honored: `tune.poll.fail` (plants), the journal's
+ * append faults, `tune.actuate.fail` (actuations stay pending and
+ * are retried at the next sync), and `clock.skew` (wall-clock reads
+ * feed only reported model-age staleness, never decisions).
+ */
+
+#ifndef HWSW_TUNE_CONTROLLER_HPP
+#define HWSW_TUNE_CONTROLLER_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/metrics.hpp"
+#include "core/genetic.hpp"
+#include "core/manager.hpp"
+#include "serve/journal.hpp"
+#include "serve/registry.hpp"
+#include "serve/updater.hpp"
+#include "tune/actuator.hpp"
+#include "tune/drift.hpp"
+#include "tune/telemetry.hpp"
+
+namespace hwsw::tune {
+
+/** Controller policy knobs. */
+struct ControllerOptions
+{
+    /**
+     * Journal/snapshot directory; empty disables persistence. The
+     * observation WAL lives at <dir>/observations.wal and the
+     * combined snapshot at <dir>/tune.snapshot.
+     */
+    std::string journalDir;
+
+    /** Observations between updater syncs (drain + replan). */
+    std::size_t cadence = 1;
+
+    /** Observations measured to verify an actuation. */
+    std::size_t verifyWindow = 5;
+
+    /** Relative predicted win required to move the plant. */
+    double minPredictedGain = 0.01;
+
+    /**
+     * Relative measured win required for an actuation to stick;
+     * below it the controller rolls back to last-good.
+     */
+    double minMeasuredGain = 0.0;
+
+    DriftOptions drift;
+
+    /** Budget for the bootstrap and update searches. */
+    core::GaOptions ga;
+
+    core::ManagerOptions manager;
+
+    std::string modelName = "tune";
+
+    /** Updater queue bound (must exceed the cadence). */
+    std::size_t updaterQueue = 4096;
+};
+
+/** Loop progress counters (see also per-stage latency). */
+struct ControllerStats
+{
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+    std::uint64_t steps = 0;          ///< observations processed
+    std::uint64_t pollFailures = 0;   ///< tune.poll.fail trips
+    std::uint64_t journalErrors = 0;  ///< observations refused by WAL
+    std::uint64_t enqueueRejected = 0; ///< updater queue refusals
+    std::uint64_t drifts = 0;         ///< detector firings
+    std::uint64_t respecs = 0;        ///< fresh publishes pinned
+    std::uint64_t plans = 0;          ///< candidate arg-optimizations
+    std::uint64_t actuations = 0;     ///< configuration moves applied
+    std::uint64_t actuateFailures = 0; ///< tune.actuate.fail trips
+    std::uint64_t rollbacks = 0;      ///< verify failures -> last-good
+    std::uint64_t verifications = 0;  ///< verify windows completed
+    std::uint64_t snapshots = 0;
+    std::uint64_t snapshotErrors = 0;
+    std::uint64_t replayed = 0;       ///< records resumed from journal
+    std::size_t firstDriftStep = kNone;
+    std::size_t lastActuationStep = kNone;
+    /// Window median / threshold captured at the last detector firing
+    /// (the post-rebaseline detector no longer holds them). Transient
+    /// diagnostics, not persisted in the snapshot.
+    double lastDriftMedian = 0.0;
+    double lastDriftThreshold = 0.0;
+};
+
+/** Instrumented loop stages. */
+enum class Stage
+{
+    Poll = 0,
+    Journal,
+    Predict,
+    Detect,
+    Sync,     ///< drain + replan + actuate
+    Snapshot,
+    Count_
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::Count_);
+
+/** Report name of a stage. */
+const char *stageName(Stage s);
+
+/** Latency summary of one stage. */
+struct StageSummary
+{
+    std::uint64_t count = 0;
+    double totalSeconds = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** The closed tuning loop. */
+class Controller
+{
+  public:
+    /**
+     * @param source observation stream (often the same object as
+     *        @p actuator — the plants implement both).
+     * @param actuator the tunable axis.
+     */
+    Controller(TelemetrySource &source, Actuator &actuator,
+               ControllerOptions opts);
+    ~Controller();
+
+    Controller(const Controller &) = delete;
+    Controller &operator=(const Controller &) = delete;
+
+    /**
+     * Bootstrap or resume. With a journal directory configured and a
+     * snapshot present, the manager/detector/controller state is
+     * restored, the journal tail is replayed through the normal
+     * observation path, and the plant is fast-forwarded; otherwise
+     * the manager bootstraps from @p bootstrap (the cold-start
+     * profile store) and the controller plans an initial placement
+     * at the first sync.
+     */
+    void start(const core::Dataset &bootstrap);
+
+    /** True when start() restored a snapshot. */
+    bool resumed() const { return resumed_; }
+
+    /**
+     * Process one observation (or one failed poll). @return false
+     * when the source is exhausted.
+     */
+    bool step();
+
+    /** Run up to @p max_steps poll attempts; @return observations. */
+    std::size_t run(std::size_t max_steps);
+
+    /**
+     * Final sync + snapshot + updater shutdown. Idempotent. A
+     * stopped-and-resumed run matches an uninterrupted one exactly
+     * when stop() lands on a cadence boundary (run() whole-interval
+     * usage; cadence 1 always qualifies).
+     */
+    void stop();
+
+    const ControllerStats &stats() const { return stats_; }
+    const DriftDetector &detector() const { return detector_; }
+    DriftState driftState() const { return detector_.state(); }
+
+    /** Observations processed (monotonic across resume). */
+    std::size_t stepIndex() const { return stepIndex_; }
+
+    /** Residual of the most recent observation. */
+    double lastResidual() const { return lastResidual_; }
+
+    /** The model predictions are currently scored against. */
+    serve::SnapshotPtr pinnedModel() const { return pinned_; }
+
+    /**
+     * The updater's manager. Only coherent between steps (the
+     * controller drains before exposing state at sync points).
+     */
+    const core::ModelManager &manager() const;
+
+    const serve::OnlineUpdater &updater() const { return *updater_; }
+
+    /**
+     * Seconds since the updater last published, through the skewable
+     * wall clock; 0 before the first online publish. Reporting only —
+     * no decision consumes it, so `clock.skew` cannot steer the loop.
+     */
+    double modelAgeSeconds() const;
+
+    StageSummary stageSummary(Stage s) const;
+
+    /** Multi-line text report: counters + per-stage latency. */
+    std::string report() const;
+
+  private:
+    void processObservation(const core::ProfileRecord &rec,
+                            bool replay);
+    void sync();
+    void plan();
+    void tryActuate();
+    void finishVerify();
+    void writeSnapshot();
+    bool loadSnapshot(core::ModelManager &manager,
+                      std::uint64_t &epoch, std::size_t &covered,
+                      std::string &pinned_text);
+    void recordStage(Stage s, double seconds);
+
+    TelemetrySource &source_;
+    Actuator &actuator_;
+    ControllerOptions opts_;
+
+    std::shared_ptr<serve::ModelRegistry> registry_;
+    std::unique_ptr<serve::OnlineUpdater> updater_;
+    std::unique_ptr<serve::ObservationJournal> journal_;
+    std::string journalPath_;
+    std::string snapshotPath_;
+
+    DriftDetector detector_;
+    serve::SnapshotPtr pinned_;
+
+    bool started_ = false;
+    bool stopped_ = false;
+    bool resumed_ = false;
+    bool replaying_ = false;
+
+    std::size_t stepIndex_ = 0;
+    double lastResidual_ = 0.0;
+    std::uint64_t lastPublishedCount_ = 0;
+    std::optional<core::ProfileRecord> latest_;
+
+    bool pendingPlan_ = true; ///< initial placement plans at 1st sync
+    bool pendingActuate_ = false;
+    std::size_t plannedTarget_ = 0;
+    bool plannedIsRollback_ = false;
+    std::size_t lastGood_ = 0;
+
+    std::deque<double> recentPerfs_;
+    std::size_t verifyLeft_ = 0;
+    std::vector<double> verifyPerfs_;
+    double preMedian_ = 0.0;
+
+    /** Journal-file records already reflected in manager state. */
+    std::size_t coveredInFile_ = 0;
+
+    ControllerStats stats_;
+
+    struct StageStats
+    {
+        metrics::Counter count;
+        metrics::Timer seconds;
+        Histogram log10Seconds{-7.5, 1.5, 900};
+    };
+    std::array<StageStats, kNumStages> stages_;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_CONTROLLER_HPP

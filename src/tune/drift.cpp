@@ -1,0 +1,174 @@
+#include "tune/drift.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/descriptive.hpp"
+
+namespace hwsw::tune {
+
+namespace {
+
+constexpr const char *kStateMagic = "hwsw-drift-state";
+constexpr int kStateVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &want)
+{
+    std::string got;
+    is >> got;
+    fatalIf(got != want,
+            "drift state load: expected '" + want + "', got '" + got +
+                "'");
+}
+
+} // namespace
+
+const char *
+driftStateName(DriftState s)
+{
+    switch (s) {
+    case DriftState::Settling:
+        return "settling";
+    case DriftState::Steady:
+        return "steady";
+    case DriftState::Suspect:
+        return "suspect";
+    case DriftState::Drifted:
+        return "drifted";
+    }
+    return "?";
+}
+
+DriftDetector::DriftDetector(DriftOptions opts) : opts_(opts)
+{
+    fatalIf(opts_.window == 0, "drift window must be positive");
+    fatalIf(opts_.hysteresis == 0, "drift hysteresis must be positive");
+    fatalIf(opts_.bandFactor <= 0, "drift band factor must be positive");
+}
+
+void
+DriftDetector::rebaseline(double steady_median_error)
+{
+    envelope_ = steady_median_error;
+    window_.clear();
+    streak_ = 0;
+    state_ = DriftState::Settling;
+}
+
+double
+DriftDetector::threshold() const
+{
+    return opts_.bandFactor * std::max(envelope_, opts_.envelopeFloor);
+}
+
+double
+DriftDetector::windowMedian() const
+{
+    if (window_.empty())
+        return 0.0;
+    const std::vector<double> xs(window_.begin(), window_.end());
+    return median(xs);
+}
+
+DriftState
+DriftDetector::observe(double residual)
+{
+    window_.push_back(residual);
+    while (window_.size() > opts_.window)
+        window_.pop_front();
+
+    if (state_ == DriftState::Drifted)
+        return state_; // latched until rebaseline()
+
+    // A window shorter than minSamples still leaves Settling once it
+    // fills: the test needs *some* population, but a deployment that
+    // configured window < minSamples should not be stuck forever.
+    const std::size_t need = std::min(opts_.minSamples, opts_.window);
+    if (window_.size() < need) {
+        state_ = DriftState::Settling;
+        return state_;
+    }
+
+    if (windowMedian() > threshold()) {
+        ++streak_;
+        state_ = streak_ >= opts_.hysteresis ? DriftState::Drifted
+                                             : DriftState::Suspect;
+    } else {
+        streak_ = 0;
+        state_ = DriftState::Steady;
+    }
+    return state_;
+}
+
+void
+DriftDetector::saveState(std::ostream &os) const
+{
+    const auto digits = std::numeric_limits<double>::max_digits10;
+    os << kStateMagic << " " << kStateVersion << "\n";
+    os << std::setprecision(digits);
+    os << "envelope " << envelope_ << "\n";
+    os << "state " << static_cast<int>(state_) << " streak " << streak_
+       << "\n";
+    os << "window " << window_.size();
+    for (const double r : window_)
+        os << " " << r;
+    os << "\n";
+    os << "end\n";
+}
+
+std::string
+DriftDetector::saveStateToString() const
+{
+    std::ostringstream os;
+    saveState(os);
+    return os.str();
+}
+
+void
+DriftDetector::restoreState(std::istream &is)
+{
+    expectToken(is, kStateMagic);
+    int version = 0;
+    is >> version;
+    fatalIf(version != kStateVersion,
+            "drift state load: unsupported version");
+
+    expectToken(is, "envelope");
+    is >> envelope_;
+
+    expectToken(is, "state");
+    int state = 0;
+    is >> state;
+    fatalIf(state < 0 || state > static_cast<int>(DriftState::Drifted),
+            "drift state load: bad state");
+    state_ = static_cast<DriftState>(state);
+    expectToken(is, "streak");
+    is >> streak_;
+
+    expectToken(is, "window");
+    std::size_t n = 0;
+    is >> n;
+    fatalIf(!is || n > 1'000'000, "drift state load: bad window size");
+    window_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        double r = 0.0;
+        is >> r;
+        window_.push_back(r);
+    }
+    fatalIf(!is, "drift state load: truncated window");
+    expectToken(is, "end");
+}
+
+void
+DriftDetector::restoreStateFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    restoreState(is);
+}
+
+} // namespace hwsw::tune

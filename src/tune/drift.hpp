@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Windowed-residual drift detection for the closed tuning loop.
+ *
+ * The detector watches the live prediction error of the published
+ * model: each observation contributes one relative residual to a
+ * sliding window, and the window's median is compared against the
+ * model's own steady-state error envelope (the cross-validation
+ * median error the ModelManager captured at the last re-fit, scaled
+ * by a band factor). A workload drift shows up as a sustained shift
+ * of the window median above the envelope; a single outlier cannot
+ * move a median, and a short burst is absorbed by hysteresis — the
+ * detector only fires after the test fails on several consecutive
+ * observations.
+ *
+ * The detector is part of the controller's durable state: saveState/
+ * restoreState round-trip every field bit-identically (doubles are
+ * printed with max_digits10), so a journal-replayed tuner reaches
+ * exactly the detector state of an uninterrupted run.
+ */
+
+#ifndef HWSW_TUNE_DRIFT_HPP
+#define HWSW_TUNE_DRIFT_HPP
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+namespace hwsw::tune {
+
+/** Detector policy knobs. */
+struct DriftOptions
+{
+    /** Residuals held in the sliding window. */
+    std::size_t window = 16;
+
+    /**
+     * Observations required before the test runs at all; clamped to
+     * the window length, so a window shorter than this still leaves
+     * Settling once it fills.
+     */
+    std::size_t minSamples = 8;
+
+    /**
+     * The window median is out of band when it exceeds
+     * bandFactor x max(steady error, envelopeFloor).
+     */
+    double bandFactor = 2.5;
+
+    /**
+     * Consecutive out-of-band observations required to declare
+     * drift. 1 disables hysteresis.
+     */
+    std::size_t hysteresis = 3;
+
+    /**
+     * Floor on the envelope, guarding against a degenerate
+     * zero-variance baseline (a model that fit its validation set
+     * exactly would otherwise flag drift on any nonzero residual).
+     */
+    double envelopeFloor = 0.02;
+};
+
+/** Detector verdict after each observation. */
+enum class DriftState
+{
+    Settling, ///< window not yet populated; no verdict
+    Steady,   ///< window median inside the envelope
+    Suspect,  ///< out of band, hysteresis not yet exhausted
+    Drifted,  ///< sustained out-of-band; latched until rebaseline()
+};
+
+/** Short name of a state ("settling", "steady", ...). */
+const char *driftStateName(DriftState s);
+
+/** Sliding-window residual test with hysteresis. */
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(DriftOptions opts = {});
+
+    /**
+     * Install a fresh error envelope (the manager's steady median
+     * error after a (re)fit) and restart the test: the window and
+     * the hysteresis streak are cleared and the state returns to
+     * Settling. Called at bootstrap and after every publish.
+     */
+    void rebaseline(double steady_median_error);
+
+    /**
+     * Feed one relative residual |pred - measured| / |measured| and
+     * re-evaluate. Drifted latches: once declared, the state stays
+     * Drifted until rebaseline().
+     */
+    DriftState observe(double residual);
+
+    DriftState state() const { return state_; }
+
+    /** The effective out-of-band threshold (band x clamped error). */
+    double threshold() const;
+
+    /** Envelope installed by the last rebaseline(). */
+    double envelope() const { return envelope_; }
+
+    /** Median of the current window (0 while empty). */
+    double windowMedian() const;
+
+    /** Current consecutive out-of-band streak. */
+    std::size_t streak() const { return streak_; }
+
+    /** Residuals currently held. */
+    std::size_t windowSize() const { return window_.size(); }
+
+    const DriftOptions &options() const { return opts_; }
+
+    /**
+     * Serialize the dynamic state (envelope, window contents, streak,
+     * state). Options are deployment configuration and are not
+     * persisted; restore into a detector constructed with the same
+     * DriftOptions.
+     */
+    void saveState(std::ostream &os) const;
+
+    /** saveState() to a string (convenience). */
+    std::string saveStateToString() const;
+
+    /** Inverse of saveState(). @throws FatalError on malformed input. */
+    void restoreState(std::istream &is);
+
+    /** restoreState() from a string (convenience). */
+    void restoreStateFromString(const std::string &text);
+
+  private:
+    DriftOptions opts_;
+    double envelope_ = 0.0;
+    std::deque<double> window_;
+    std::size_t streak_ = 0;
+    DriftState state_ = DriftState::Settling;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_DRIFT_HPP

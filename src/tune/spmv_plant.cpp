@@ -1,0 +1,176 @@
+#include "tune/spmv_plant.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "spmv/exec.hpp"
+#include "spmv/matgen.hpp"
+
+namespace hwsw::tune {
+
+namespace {
+
+/** Sampling-seed base; per-poll jitter is seed + poll index. */
+constexpr std::uint64_t kSeedBase = 500;
+
+} // namespace
+
+SpmvPlant::SpmvPlant(SpmvPlantOptions opts) : opts_(std::move(opts))
+{
+    for (const std::int32_t br : {1, 2, 4, 8})
+        for (const std::int32_t bc : {1, 2, 4, 8})
+            blocks_.emplace_back(br, bc);
+
+    entries_.push_back(makeEntry(opts_.baseMatrix));
+    entries_.push_back(makeEntry(opts_.driftMatrix));
+    for (const std::string &name : opts_.auxMatrices)
+        entries_.push_back(makeEntry(name));
+
+    fatalIf(opts_.initialCandidate >= blocks_.size(),
+            "spmv plant: initial candidate out of range");
+    current_ = opts_.initialCandidate;
+}
+
+SpmvPlant::Entry
+SpmvPlant::makeEntry(const std::string &name) const
+{
+    Entry e{name, spmv::generateMatrix(spmv::matrixInfo(name),
+                                       opts_.scale),
+            {}};
+    e.variants.reserve(blocks_.size());
+    for (const auto &[br, bc] : blocks_)
+        e.variants.push_back(
+            spmv::BcsrStructure::fromCsr(e.matrix, br, bc));
+    return e;
+}
+
+const SpmvPlant::Entry &
+SpmvPlant::liveEntry(std::size_t poll_index) const
+{
+    return poll_index >= opts_.driftAt ? entries_[1] : entries_[0];
+}
+
+const SpmvPlant::Entry &
+SpmvPlant::entryFor(const std::string &app) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == app)
+            return e;
+    // Unknown app (e.g. a replayed trace from another plant): fall
+    // back to the base matrix's blocking tables.
+    return entries_[0];
+}
+
+std::size_t
+SpmvPlant::numCandidates() const
+{
+    return blocks_.size();
+}
+
+std::pair<std::int32_t, std::int32_t>
+SpmvPlant::blockDims(std::size_t i) const
+{
+    fatalIf(i >= blocks_.size(), "spmv plant: candidate out of range");
+    return blocks_[i];
+}
+
+core::ProfileRecord
+SpmvPlant::record(const Entry &entry, std::size_t cand,
+                  std::uint64_t seed, std::size_t shard_index) const
+{
+    const spmv::BcsrStructure &variant = entry.variants[cand];
+    const spmv::SpmvResult res = spmv::simulateSpmv(
+        variant, opts_.cache,
+        {.maxAccesses = opts_.simAccesses, .seed = seed});
+
+    core::ProfileRecord rec;
+    rec.app = entry.name;
+    rec.shardIndex = shard_index;
+    rec.vars[0] = static_cast<double>(variant.br);
+    rec.vars[1] = static_cast<double>(variant.bc);
+    rec.vars[2] = variant.fillRatio();
+    rec.vars[3] = std::log2(static_cast<double>(entry.matrix.nnz()));
+    rec.vars[4] = std::log2(static_cast<double>(entry.matrix.rows()));
+    rec.vars[5] = static_cast<double>(entry.matrix.nnz()) /
+        static_cast<double>(entry.matrix.rows());
+    const auto hw = opts_.cache.features();
+    for (std::size_t k = 0; k < hw.size(); ++k)
+        rec.vars[core::kNumSw + k] = hw[k];
+    // Lower-is-better response, like CPI: milliseconds-per-Mflop.
+    rec.perf = 1e3 / res.mflops;
+    return rec;
+}
+
+std::optional<core::ProfileRecord>
+SpmvPlant::poll()
+{
+    if (fault::point("tune.poll.fail"))
+        return std::nullopt;
+    core::ProfileRecord rec = record(liveEntry(polls_), current_,
+                                     kSeedBase + polls_, polls_);
+    ++polls_;
+    return rec;
+}
+
+core::ProfileRecord
+SpmvPlant::candidateRecord(std::size_t i,
+                           const core::ProfileRecord &latest) const
+{
+    fatalIf(i >= blocks_.size(), "spmv plant: candidate out of range");
+    const Entry &entry = entryFor(latest.app);
+    const spmv::BcsrStructure &variant = entry.variants[i];
+    core::ProfileRecord rec = latest;
+    rec.vars[0] = static_cast<double>(variant.br);
+    rec.vars[1] = static_cast<double>(variant.bc);
+    rec.vars[2] = variant.fillRatio();
+    rec.perf = 0.0;
+    return rec;
+}
+
+void
+SpmvPlant::actuate(std::size_t i)
+{
+    fatalIf(i >= blocks_.size(), "spmv plant: candidate out of range");
+    current_ = i;
+}
+
+std::string
+SpmvPlant::describeCandidate(std::size_t i) const
+{
+    fatalIf(i >= blocks_.size(), "spmv plant: candidate out of range");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%dx%d", blocks_[i].first,
+                  blocks_[i].second);
+    return buf;
+}
+
+double
+SpmvPlant::simulateCandidate(std::size_t i, std::uint64_t seed) const
+{
+    fatalIf(i >= blocks_.size(), "spmv plant: candidate out of range");
+    const Entry &entry = liveEntry(polls_);
+    return spmv::simulateSpmv(entry.variants[i], opts_.cache,
+                              {.maxAccesses = opts_.simAccesses,
+                               .seed = seed})
+        .mflops;
+}
+
+core::Dataset
+SpmvPlant::bootstrapDataset(std::size_t seeds_per_candidate) const
+{
+    core::Dataset ds;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+        if (e == 1)
+            continue; // the drift matrix must stay novel
+        for (std::size_t c = 0; c < blocks_.size(); ++c) {
+            for (std::size_t s = 0; s < seeds_per_candidate; ++s)
+                ds.add(record(entries_[e], c, 1000 + s,
+                              c * seeds_per_candidate + s));
+        }
+    }
+    return ds;
+}
+
+} // namespace hwsw::tune

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SpmvPlant: the Section 5 SpMV study as a tunable plant.
+ *
+ * The workload is a Table 4 matrix; the tunable axis is the register
+ * block size (br, bc) of the BCSR kernel, simulated on a fixed
+ * Table 5 cache by the trace-driven ground truth. The scripted drift
+ * swaps the live matrix (default: from the naturally 8x4-blocked
+ * raefsky3 to the banded memplus, whose fill ratio explodes at large
+ * blocks), which both invalidates the published model's predictions
+ * — the drift detector's job — and moves the true optimum across the
+ * block axis — the actuator's job.
+ *
+ * The mapping into ProfileRecord follows the paper's integrated
+ * space: software variables carry the blocking decision and matrix
+ * shape (br, bc, fill ratio, log2 nnz, log2 rows, nnz/row), hardware
+ * variables carry the Table 5 cache features. The fill ratio is the
+ * load-bearing input: it varies strongly and *correctly* across
+ * candidates (candidateRecord looks the candidate's fill up in a
+ * static per-matrix table keyed by the observation's app name), so a
+ * model fitted on the bootstrap matrices transfers its fill/block
+ * coefficients to a never-seen matrix — the §5 tractability story.
+ *
+ * Polls are pure functions of the poll index (the simulator's
+ * sampling seed is baseSeed + index), so fastForward() is O(1).
+ */
+
+#ifndef HWSW_TUNE_SPMV_PLANT_HPP
+#define HWSW_TUNE_SPMV_PLANT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spmv/bcsr.hpp"
+#include "spmv/csr.hpp"
+#include "spmv/machine.hpp"
+#include "tune/actuator.hpp"
+#include "tune/telemetry.hpp"
+
+namespace hwsw::tune {
+
+/** Plant knobs. */
+struct SpmvPlantOptions
+{
+    std::string baseMatrix = "raefsky3";
+    std::string driftMatrix = "memplus";
+
+    /** Extra bootstrap-only matrices (never polled live). */
+    std::vector<std::string> auxMatrices = {"bcsstk35", "3dtube"};
+
+    /** Matrix generation scale (fraction of the paper dimensions). */
+    double scale = 0.05;
+
+    /** Poll index at which the live matrix swaps (SIZE_MAX: never). */
+    std::size_t driftAt = static_cast<std::size_t>(-1);
+
+    /** Fixed Table 5 cache the kernel runs on. */
+    spmv::SpmvCacheConfig cache{
+        .lineBytes = 32, .dsizeKB = 32, .dways = 2,
+        .isizeKB = 16, .iways = 2,
+    };
+
+    /** Simulator access budget per measurement. */
+    std::uint64_t simAccesses = 60 * 1000;
+
+    /** Candidate applied before the first actuation: (1, 1). */
+    std::size_t initialCandidate = 0;
+};
+
+/** SpMV blocking plant: telemetry + block-size axis. */
+class SpmvPlant : public TelemetrySource, public Actuator
+{
+  public:
+    explicit SpmvPlant(SpmvPlantOptions opts = {});
+
+    /**
+     * Cold-start profile store: base + auxiliary matrices, each
+     * measured at every candidate block size under a couple of
+     * sampling seeds. The drift matrix is deliberately absent.
+     */
+    core::Dataset bootstrapDataset(std::size_t seeds_per_candidate = 2)
+        const;
+
+    // TelemetrySource
+    std::optional<core::ProfileRecord> poll() override;
+    bool exhausted() const override { return false; }
+    void fastForward(std::size_t n) override { polls_ += n; }
+
+    // Actuator
+    std::size_t numCandidates() const override;
+    core::ProfileRecord
+    candidateRecord(std::size_t i,
+                    const core::ProfileRecord &latest) const override;
+    std::size_t currentCandidate() const override { return current_; }
+    void actuate(std::size_t i) override;
+    std::string describeCandidate(std::size_t i) const override;
+
+    std::size_t polls() const { return polls_; }
+
+    /** Block dims of candidate i. */
+    std::pair<std::int32_t, std::int32_t> blockDims(std::size_t i)
+        const;
+
+    /** Measured Mflop/s of candidate i on the live matrix (tests). */
+    double simulateCandidate(std::size_t i, std::uint64_t seed) const;
+
+  private:
+    /** One matrix with its precomputed blocking variants. */
+    struct Entry
+    {
+        std::string name;
+        spmv::CsrMatrix matrix;
+        std::vector<spmv::BcsrStructure> variants; // per candidate
+    };
+
+    Entry makeEntry(const std::string &name) const;
+    const Entry &liveEntry(std::size_t poll_index) const;
+    const Entry &entryFor(const std::string &app) const;
+    core::ProfileRecord record(const Entry &entry, std::size_t cand,
+                               std::uint64_t seed,
+                               std::size_t shard_index) const;
+
+    SpmvPlantOptions opts_;
+    std::vector<std::pair<std::int32_t, std::int32_t>> blocks_;
+    std::vector<Entry> entries_; // [0] base, [1] drift, then aux
+    std::size_t current_ = 0;
+    std::size_t polls_ = 0;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_SPMV_PLANT_HPP

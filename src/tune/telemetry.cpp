@@ -1,0 +1,42 @@
+#include "tune/telemetry.hpp"
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "serve/journal.hpp"
+
+namespace hwsw::tune {
+
+ReplayTelemetrySource::ReplayTelemetrySource(const std::string &path)
+{
+    serve::ObservationJournal::replay(
+        path,
+        [this](const core::ProfileRecord &rec) {
+            trace_.push_back(rec);
+        });
+    fatalIf(trace_.empty(),
+            "replay source: no valid records in '" + path + "'");
+}
+
+ReplayTelemetrySource::ReplayTelemetrySource(
+    std::vector<core::ProfileRecord> trace)
+    : trace_(std::move(trace))
+{
+}
+
+std::optional<core::ProfileRecord>
+ReplayTelemetrySource::poll()
+{
+    if (fault::point("tune.poll.fail"))
+        return std::nullopt;
+    if (next_ >= trace_.size())
+        return std::nullopt;
+    return trace_[next_++];
+}
+
+void
+ReplayTelemetrySource::fastForward(std::size_t n)
+{
+    next_ = std::min(next_ + n, trace_.size());
+}
+
+} // namespace hwsw::tune

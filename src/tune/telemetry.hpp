@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Telemetry sources for the closed tuning loop.
+ *
+ * A TelemetrySource is where observations come from: one poll()
+ * measures the running workload under the currently actuated
+ * configuration and returns a ProfileRecord (software
+ * characteristics + hardware parameters + measured performance) —
+ * exactly the sample shape the ModelManager consumes. The synthetic
+ * plants (UarchPlant, SpmvPlant) implement the interface over the
+ * workload generators and the ground-truth simulators with scripted
+ * phase changes; ReplayTelemetrySource feeds a recorded perturbation
+ * trace (any observation WAL, e.g. a previous tuner run's journal)
+ * back through the loop.
+ *
+ * Every implementation honors the `tune.poll.fail` fault point: a
+ * tripped poll returns nullopt *without consuming any generator
+ * state*, so the observation sequence — and therefore the journal,
+ * the model, and the detector — stays a deterministic function of
+ * the successful polls. That invariant is what lets a resumed tuner
+ * fastForward() the plant by the number of journaled observations
+ * and land in exactly the state of an uninterrupted run.
+ */
+
+#ifndef HWSW_TUNE_TELEMETRY_HPP
+#define HWSW_TUNE_TELEMETRY_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace hwsw::tune {
+
+/** Pull-based observation stream from a running workload. */
+class TelemetrySource
+{
+  public:
+    virtual ~TelemetrySource() = default;
+
+    /**
+     * Measure one observation under the current configuration.
+     * @return nullopt on a transient poll failure (the
+     * `tune.poll.fail` fault point) — the caller skips the
+     * observation; plant state is not consumed.
+     */
+    virtual std::optional<core::ProfileRecord> poll() = 0;
+
+    /** True when the source has nothing further to produce. */
+    virtual bool exhausted() const = 0;
+
+    /**
+     * Advance past @p n successful polls without producing records.
+     * Used on resume: the journal tail replays the records a
+     * previous process already measured, then the plant is wound
+     * forward so post-resume polls continue the same sequence.
+     */
+    virtual void fastForward(std::size_t n) = 0;
+};
+
+/**
+ * Replays a recorded observation trace (Section 4-style perturbation
+ * studies, or a previous tuner's WAL) as telemetry. Records are
+ * loaded eagerly via ObservationJournal::replay, so a torn tail in
+ * the file simply ends the trace.
+ */
+class ReplayTelemetrySource : public TelemetrySource
+{
+  public:
+    /** @throws FatalError when the file holds no valid records. */
+    explicit ReplayTelemetrySource(const std::string &path);
+
+    /** Wrap an in-memory trace (tests). */
+    explicit ReplayTelemetrySource(
+        std::vector<core::ProfileRecord> trace);
+
+    std::optional<core::ProfileRecord> poll() override;
+    bool exhausted() const override { return next_ >= trace_.size(); }
+    void fastForward(std::size_t n) override;
+
+    std::size_t size() const { return trace_.size(); }
+
+  private:
+    std::vector<core::ProfileRecord> trace_;
+    std::size_t next_ = 0;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_TELEMETRY_HPP

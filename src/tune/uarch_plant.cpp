@@ -1,0 +1,241 @@
+#include "tune/uarch_plant.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "profiler/profiler.hpp"
+#include "uarch/perfmodel.hpp"
+#include "uarch/signature.hpp"
+#include "workload/generator.hpp"
+
+namespace hwsw::tune {
+
+namespace {
+
+using wl::OpClass;
+
+double &
+mixOf(wl::Phase &p, OpClass c)
+{
+    return p.mix[static_cast<std::size_t>(c)];
+}
+
+/**
+ * Data-heavy base behavior: a large, mildly skewed random working
+ * set and a small code footprint. Rewards the d$-heavy end of the
+ * candidate axis.
+ */
+wl::AppSpec
+dataHeavyApp()
+{
+    wl::Phase p;
+    p.name = "stream";
+    mixOf(p, OpClass::Load) = 0.34;
+    mixOf(p, OpClass::Store) = 0.12;
+    mixOf(p, OpClass::IntAlu) = 0.44;
+    mixOf(p, OpClass::IntMulDiv) = 0.04;
+    p.meanBasicBlock = 9.0;
+    p.branchTakenRate = 0.45;
+    p.branchPredictability = 0.92;
+    p.codeFootprintBytes = 6 << 10;
+    p.streams.push_back({.kind = wl::MemStreamSpec::Kind::Random,
+                         .workingSetBytes = 2 << 20,
+                         .hotFraction = 0.6,
+                         .hotBytes = 96 << 10,
+                         .weight = 1.0,
+                         .region = 0});
+    wl::AppSpec app;
+    app.name = "tunebase";
+    app.phases = {p};
+    app.seed = 71;
+    return app;
+}
+
+/**
+ * Code-footprint-heavy drift behavior: short basic blocks over a
+ * large static code footprint, tiny data set. Rewards the i$-heavy
+ * end of the axis and sits far outside the base app's software
+ * characteristics, so the published model's predictions go out of
+ * band when the workload swaps.
+ */
+wl::AppSpec
+codeHeavyApp()
+{
+    wl::Phase p;
+    p.name = "dispatch";
+    mixOf(p, OpClass::Load) = 0.16;
+    mixOf(p, OpClass::Store) = 0.06;
+    mixOf(p, OpClass::IntAlu) = 0.62;
+    mixOf(p, OpClass::IntMulDiv) = 0.02;
+    p.meanBasicBlock = 4.0;
+    p.branchTakenRate = 0.55;
+    p.branchPredictability = 0.8;
+    p.codeFootprintBytes = 640 << 10;
+    p.streams.push_back({.kind = wl::MemStreamSpec::Kind::Sequential,
+                         .workingSetBytes = 24 << 10,
+                         .weight = 1.0,
+                         .region = 1});
+    wl::AppSpec app;
+    app.name = "tunedrift";
+    app.phases = {p};
+    app.seed = 72;
+    return app;
+}
+
+/** Balanced auxiliary behavior for the bootstrap store. */
+wl::AppSpec
+balancedApp()
+{
+    wl::Phase p;
+    p.name = "mixed";
+    mixOf(p, OpClass::Load) = 0.24;
+    mixOf(p, OpClass::Store) = 0.1;
+    mixOf(p, OpClass::IntAlu) = 0.5;
+    mixOf(p, OpClass::FpAlu) = 0.08;
+    p.meanBasicBlock = 6.0;
+    p.codeFootprintBytes = 32 << 10;
+    p.streams.push_back({.kind = wl::MemStreamSpec::Kind::Strided,
+                         .workingSetBytes = 256 << 10,
+                         .strideBytes = 128,
+                         .weight = 1.0,
+                         .region = 2});
+    wl::AppSpec app;
+    app.name = "tunemix";
+    app.phases = {p};
+    app.seed = 73;
+    return app;
+}
+
+/**
+ * Medium-code-footprint auxiliary behavior: puts icache-size
+ * sensitivity inside the bootstrap training span so the model can
+ * learn the (i-reuse, icacheKB) interaction it needs to rank the
+ * axis for the drift app.
+ */
+wl::AppSpec
+mediumCodeApp()
+{
+    wl::Phase p;
+    p.name = "interp";
+    mixOf(p, OpClass::Load) = 0.2;
+    mixOf(p, OpClass::Store) = 0.08;
+    mixOf(p, OpClass::IntAlu) = 0.58;
+    p.meanBasicBlock = 5.0;
+    p.codeFootprintBytes = 160 << 10;
+    p.streams.push_back({.kind = wl::MemStreamSpec::Kind::Sequential,
+                         .workingSetBytes = 64 << 10,
+                         .weight = 1.0,
+                         .region = 3});
+    wl::AppSpec app;
+    app.name = "tunecode";
+    app.phases = {p};
+    app.seed = 74;
+    return app;
+}
+
+} // namespace
+
+UarchPlant::UarchPlant(UarchPlantOptions opts)
+    : opts_(opts), baseApp_(dataHeavyApp()), driftApp_(codeHeavyApp())
+{
+    // A fixed SRAM budget split across the L1 caches: the axis the
+    // controller arg-optimizes. Everything else stays at defaults.
+    static constexpr int kSplits[][2] = {
+        {128, 8}, {64, 16}, {32, 32}, {16, 64}, {8, 128},
+    };
+    for (const auto &split : kSplits) {
+        uarch::UarchConfig cfg;
+        cfg.dcacheKB = split[0];
+        cfg.icacheKB = split[1];
+        cfg.l2KB = 512;
+        candidates_.push_back(cfg);
+    }
+    fatalIf(opts_.initialCandidate >= candidates_.size(),
+            "uarch plant: initial candidate out of range");
+    current_ = opts_.initialCandidate;
+}
+
+const wl::AppSpec &
+UarchPlant::appForPoll(std::size_t poll_index) const
+{
+    return poll_index >= opts_.driftAt ? driftApp_ : baseApp_;
+}
+
+core::ProfileRecord
+UarchPlant::measure(const wl::AppSpec &app, std::uint64_t seed_offset,
+                    std::size_t shard_index,
+                    const uarch::UarchConfig &cfg) const
+{
+    wl::AppSpec jittered = app;
+    jittered.seed = app.seed + seed_offset;
+    wl::StreamGenerator gen(jittered);
+    const std::vector<wl::MicroOp> shard =
+        gen.generate(opts_.shardLen);
+    const prof::ShardProfile profile =
+        prof::profileShard(shard, app.name, shard_index);
+    const uarch::ShardSignature sig = uarch::computeSignature(shard);
+    return core::makeRecord(profile, cfg, uarch::shardCpi(sig, cfg));
+}
+
+std::optional<core::ProfileRecord>
+UarchPlant::poll()
+{
+    if (fault::point("tune.poll.fail"))
+        return std::nullopt;
+    const wl::AppSpec &app = appForPoll(polls_);
+    core::ProfileRecord rec =
+        measure(app, polls_, polls_, candidates_[current_]);
+    ++polls_;
+    return rec;
+}
+
+core::ProfileRecord
+UarchPlant::candidateRecord(std::size_t i,
+                            const core::ProfileRecord &latest) const
+{
+    fatalIf(i >= candidates_.size(),
+            "uarch plant: candidate out of range");
+    core::ProfileRecord rec = latest;
+    const auto hw = candidates_[i].features();
+    for (std::size_t k = 0; k < core::kNumHw; ++k)
+        rec.vars[core::kNumSw + k] = hw[k];
+    rec.perf = 0.0;
+    return rec;
+}
+
+void
+UarchPlant::actuate(std::size_t i)
+{
+    fatalIf(i >= candidates_.size(),
+            "uarch plant: candidate out of range");
+    current_ = i;
+}
+
+std::string
+UarchPlant::describeCandidate(std::size_t i) const
+{
+    fatalIf(i >= candidates_.size(),
+            "uarch plant: candidate out of range");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "d%d/i%d",
+                  candidates_[i].dcacheKB, candidates_[i].icacheKB);
+    return buf;
+}
+
+core::Dataset
+UarchPlant::bootstrapDataset(std::size_t shards_per_config) const
+{
+    const wl::AppSpec apps[] = {baseApp_, balancedApp(),
+                                mediumCodeApp()};
+    core::Dataset ds;
+    for (const wl::AppSpec &app : apps) {
+        for (const uarch::UarchConfig &cfg : candidates_) {
+            for (std::size_t s = 0; s < shards_per_config; ++s)
+                ds.add(measure(app, 100000 + s, s, cfg));
+        }
+    }
+    return ds;
+}
+
+} // namespace hwsw::tune

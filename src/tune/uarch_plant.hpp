@@ -1,0 +1,109 @@
+/**
+ * @file
+ * UarchPlant: the Table 2 microarchitecture as a tunable plant.
+ *
+ * The plant runs a synthetic workload (workload::phase specs through
+ * the deterministic stream generator), measures each shard's CPI on
+ * the analytic ground-truth model, and exposes a constrained cache
+ * axis as the actuator: candidates split a fixed SRAM budget between
+ * the data and instruction caches. A data-heavy workload wants the
+ * d$-heavy end of the axis, a code-footprint-heavy workload the
+ * i$-heavy end, so the scripted drift (the workload swaps from the
+ * data-heavy base app to a code-heavy app at driftAt polls) moves
+ * the true optimum across the axis.
+ *
+ * Each poll is a pure function of the poll index: shard k is drawn
+ * from a fresh generator seeded by (app seed + k), so fastForward()
+ * is O(1) and a resumed plant is trivially bit-identical to an
+ * uninterrupted one. Per-poll seed jitter doubles as measurement
+ * noise for the drift detector's residual stream.
+ */
+
+#ifndef HWSW_TUNE_UARCH_PLANT_HPP
+#define HWSW_TUNE_UARCH_PLANT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tune/actuator.hpp"
+#include "tune/telemetry.hpp"
+#include "uarch/config.hpp"
+#include "workload/phase.hpp"
+
+namespace hwsw::tune {
+
+/** Plant knobs. */
+struct UarchPlantOptions
+{
+    /** Poll index at which the workload drifts (SIZE_MAX: never). */
+    std::size_t driftAt = static_cast<std::size_t>(-1);
+
+    /** Ops per measured shard. */
+    std::size_t shardLen = 12288;
+
+    /** Candidate applied before the first actuation. */
+    std::size_t initialCandidate = 2;
+};
+
+/** Synthetic microarchitecture plant: telemetry + cache-split axis. */
+class UarchPlant : public TelemetrySource, public Actuator
+{
+  public:
+    explicit UarchPlant(UarchPlantOptions opts = {});
+
+    /**
+     * Cold-start profile store: the base app plus two auxiliary
+     * behaviors (balanced and medium-code-footprint, so the
+     * icache-size sensitivity is inside the training span), each
+     * measured on every candidate configuration. The drift app is
+     * deliberately absent — it must be novel to the model.
+     */
+    core::Dataset bootstrapDataset(std::size_t shards_per_config = 2)
+        const;
+
+    // TelemetrySource
+    std::optional<core::ProfileRecord> poll() override;
+    bool exhausted() const override { return false; }
+    void fastForward(std::size_t n) override { polls_ += n; }
+
+    // Actuator
+    std::size_t numCandidates() const override
+    {
+        return candidates_.size();
+    }
+    core::ProfileRecord
+    candidateRecord(std::size_t i,
+                    const core::ProfileRecord &latest) const override;
+    std::size_t currentCandidate() const override { return current_; }
+    void actuate(std::size_t i) override;
+    std::string describeCandidate(std::size_t i) const override;
+
+    /** Successful polls so far (== observations produced). */
+    std::size_t polls() const { return polls_; }
+
+    const uarch::UarchConfig &config(std::size_t i) const
+    {
+        return candidates_[i];
+    }
+
+    /** The app a given poll index samples (base or drift). */
+    const wl::AppSpec &appForPoll(std::size_t poll_index) const;
+
+  private:
+    core::ProfileRecord measure(const wl::AppSpec &app,
+                                std::uint64_t seed_offset,
+                                std::size_t shard_index,
+                                const uarch::UarchConfig &cfg) const;
+
+    UarchPlantOptions opts_;
+    std::vector<uarch::UarchConfig> candidates_;
+    wl::AppSpec baseApp_;
+    wl::AppSpec driftApp_;
+    std::size_t current_ = 0;
+    std::size_t polls_ = 0;
+};
+
+} // namespace hwsw::tune
+
+#endif // HWSW_TUNE_UARCH_PLANT_HPP

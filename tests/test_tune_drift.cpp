@@ -1,0 +1,207 @@
+// Drift-detector edge cases for the closed tuning loop: short
+// windows, a zero-variance envelope, single outliers vs sustained
+// drift under hysteresis, the Drifted latch, and bit-identical state
+// round trips (the property journal-replayed resume depends on).
+// Part of the tier15_tune aggregate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "tune/drift.hpp"
+
+namespace hwsw::tune {
+namespace {
+
+DriftOptions
+baseOptions()
+{
+    DriftOptions o;
+    o.window = 8;
+    o.minSamples = 4;
+    o.bandFactor = 2.0;
+    o.hysteresis = 3;
+    o.envelopeFloor = 0.02;
+    return o;
+}
+
+TEST(TuneDrift, SettlesUntilMinSamples)
+{
+    DriftDetector d(baseOptions());
+    d.rebaseline(0.1);
+    EXPECT_EQ(d.state(), DriftState::Settling);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(d.observe(0.05), DriftState::Settling);
+    // The fourth sample reaches minSamples: the test runs.
+    EXPECT_EQ(d.observe(0.05), DriftState::Steady);
+}
+
+TEST(TuneDrift, WindowShorterThanMinSamplesStillLeavesSettling)
+{
+    DriftOptions o = baseOptions();
+    o.window = 2;
+    o.minSamples = 8; // deliberately impossible to reach
+    DriftDetector d(o);
+    d.rebaseline(0.1);
+    // The effective requirement clamps to the window length: once
+    // the window fills, a verdict must come.
+    EXPECT_EQ(d.observe(0.05), DriftState::Settling);
+    EXPECT_EQ(d.observe(0.05), DriftState::Steady);
+    EXPECT_EQ(d.windowSize(), 2u);
+}
+
+TEST(TuneDrift, ZeroVarianceEnvelopeUsesFloor)
+{
+    DriftDetector d(baseOptions());
+    d.rebaseline(0.0); // a model that fit validation exactly
+    EXPECT_DOUBLE_EQ(d.threshold(), 2.0 * 0.02);
+
+    // Tiny residuals below the floored threshold must not fire.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_NE(d.observe(0.01), DriftState::Drifted);
+    EXPECT_EQ(d.state(), DriftState::Steady);
+
+    // Residuals above the floored threshold still do.
+    DriftState last = DriftState::Steady;
+    for (int i = 0; i < 20; ++i)
+        last = d.observe(0.5);
+    EXPECT_EQ(last, DriftState::Drifted);
+}
+
+TEST(TuneDrift, SingleOutlierDoesNotFire)
+{
+    DriftDetector d(baseOptions());
+    d.rebaseline(0.1); // threshold 0.2
+    for (int i = 0; i < 8; ++i)
+        d.observe(0.08);
+    ASSERT_EQ(d.state(), DriftState::Steady);
+
+    // One enormous outlier cannot move the window median.
+    EXPECT_EQ(d.observe(50.0), DriftState::Steady);
+    EXPECT_EQ(d.streak(), 0u);
+}
+
+TEST(TuneDrift, SustainedDriftFiresAfterHysteresis)
+{
+    DriftDetector d(baseOptions());
+    d.rebaseline(0.1);
+    for (int i = 0; i < 8; ++i)
+        d.observe(0.08);
+    ASSERT_EQ(d.state(), DriftState::Steady);
+
+    // Flood the window so its median crosses the threshold, then
+    // count consecutive out-of-band verdicts: Suspect for
+    // hysteresis-1 observations, Drifted on the hysteresis-th.
+    std::vector<DriftState> verdicts;
+    for (int i = 0; i < 8; ++i)
+        verdicts.push_back(d.observe(1.0));
+    int suspects = 0;
+    std::size_t fired_at = 0;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        if (verdicts[i] == DriftState::Suspect)
+            ++suspects;
+        if (verdicts[i] == DriftState::Drifted) {
+            fired_at = i;
+            break;
+        }
+    }
+    EXPECT_EQ(suspects, 2); // hysteresis - 1
+    EXPECT_EQ(verdicts[fired_at], DriftState::Drifted);
+}
+
+TEST(TuneDrift, ShortBurstRecoversAndResetsStreak)
+{
+    DriftOptions o = baseOptions();
+    o.window = 3;
+    o.minSamples = 3;
+    DriftDetector d(o);
+    d.rebaseline(0.1);
+    for (int i = 0; i < 3; ++i)
+        d.observe(0.08);
+    ASSERT_EQ(d.state(), DriftState::Steady);
+
+    // hysteresis-1 out-of-band observations, then recovery: with a
+    // window this small the median drops back in band, the streak
+    // resets, and the detector never fires.
+    EXPECT_EQ(d.observe(1.0), DriftState::Steady); // median still ok
+    EXPECT_EQ(d.observe(1.0), DriftState::Suspect);
+    EXPECT_EQ(d.streak(), 1u);
+    for (int i = 0; i < 4; ++i)
+        d.observe(0.05);
+    EXPECT_EQ(d.state(), DriftState::Steady);
+    EXPECT_EQ(d.streak(), 0u);
+}
+
+TEST(TuneDrift, DriftedLatchesUntilRebaseline)
+{
+    DriftOptions o = baseOptions();
+    o.hysteresis = 1;
+    DriftDetector d(o);
+    d.rebaseline(0.1);
+    DriftState last = DriftState::Settling;
+    for (int i = 0; i < 8; ++i)
+        last = d.observe(1.0);
+    ASSERT_EQ(last, DriftState::Drifted);
+
+    // In-band residuals do not clear the latch...
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(d.observe(0.01), DriftState::Drifted);
+
+    // ...only a rebaseline does.
+    d.rebaseline(0.3);
+    EXPECT_EQ(d.state(), DriftState::Settling);
+    EXPECT_EQ(d.windowSize(), 0u);
+    EXPECT_DOUBLE_EQ(d.envelope(), 0.3);
+}
+
+TEST(TuneDrift, StateRoundTripsBitIdentically)
+{
+    DriftDetector d(baseOptions());
+    d.rebaseline(1.0 / 3.0);
+    // An awkward residual sequence, including values that do not
+    // round-trip through short decimal forms.
+    for (int i = 0; i < 11; ++i)
+        d.observe(0.1 + 1.0 / (7.0 + i));
+    // Push the window median out of band for two observations: the
+    // saved state carries a mid-hysteresis streak (Suspect).
+    for (int i = 0; i < 5; ++i)
+        d.observe(2.0 + 1.0 / (3.0 + i));
+    ASSERT_EQ(d.state(), DriftState::Suspect);
+    ASSERT_GT(d.streak(), 0u);
+
+    const std::string saved = d.saveStateToString();
+    DriftDetector restored(baseOptions());
+    restored.restoreStateFromString(saved);
+
+    EXPECT_EQ(restored.state(), d.state());
+    EXPECT_EQ(restored.streak(), d.streak());
+    EXPECT_EQ(restored.windowSize(), d.windowSize());
+    EXPECT_EQ(restored.envelope(), d.envelope());
+    EXPECT_EQ(restored.saveStateToString(), saved);
+
+    // The restored detector must continue the sequence identically.
+    for (int i = 0; i < 16; ++i) {
+        const double r = (i % 3 == 0) ? 0.95 : 0.1 + i * 1e-3;
+        EXPECT_EQ(restored.observe(r), d.observe(r)) << "step " << i;
+    }
+    EXPECT_EQ(restored.saveStateToString(), d.saveStateToString());
+}
+
+TEST(TuneDrift, RestoreRejectsMalformedState)
+{
+    DriftDetector d(baseOptions());
+    EXPECT_THROW(d.restoreStateFromString("not a snapshot"),
+                 FatalError);
+    EXPECT_THROW(d.restoreStateFromString("hwsw-drift-state 99\n"),
+                 FatalError);
+    // Truncated window list.
+    EXPECT_THROW(d.restoreStateFromString(
+                     "hwsw-drift-state 1\nenvelope 0.1\n"
+                     "state 1 streak 0\nwindow 5 0.1 0.2\n"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace hwsw::tune

@@ -1,0 +1,357 @@
+// End-to-end closed-loop tuning: drift fires, a fresh model is
+// published without pausing the loop, the actuator moves, and the
+// adapted configuration beats the frozen one on the ground truth.
+// Also the crash-recovery contract (a killed tuner resumes from
+// snapshot + journal replay into exactly the state of an
+// uninterrupted run) and the tune.poll.fail / tune.actuate.fail /
+// clock.skew fault points. Part of the tier15_tune aggregate.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/fault/fault.hpp"
+#include "tune/controller.hpp"
+#include "tune/spmv_plant.hpp"
+
+namespace hwsw::tune {
+namespace {
+
+class TuneLoop : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+    void TearDown() override
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    /** Small, fully deterministic plant; drifts raefsky3 -> memplus. */
+    static SpmvPlantOptions plantOptions(std::size_t drift_at)
+    {
+        SpmvPlantOptions o;
+        o.scale = 0.02;
+        o.simAccesses = 20 * 1000;
+        o.driftAt = drift_at;
+        return o;
+    }
+
+    /** 1-CPU-friendly search budgets; cadence 4. */
+    static ControllerOptions loopOptions(const std::string &dir)
+    {
+        ControllerOptions o;
+        o.journalDir = dir;
+        o.cadence = 4;
+        o.verifyWindow = 3;
+        o.drift.window = 8;
+        o.drift.minSamples = 4;
+        o.drift.hysteresis = 2;
+        o.ga.populationSize = 12;
+        o.ga.generations = 4;
+        o.ga.numThreads = 1;
+        o.manager.profilesForUpdate = 8;
+        o.manager.updateGenerations = 3;
+        return o;
+    }
+
+    static std::string freshDir(const std::string &name)
+    {
+        const std::string dir = testing::TempDir() + name;
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    struct LoopState
+    {
+        std::string detector;
+        std::string manager;
+        std::size_t candidate = 0;
+        std::size_t step = 0;
+        ControllerStats stats;
+    };
+
+    /** State that must be identical across crash/resume. */
+    static LoopState captureState(const Controller &ctrl,
+                                  const SpmvPlant &plant)
+    {
+        return {ctrl.detector().saveStateToString(),
+                ctrl.manager().saveStateToString(),
+                plant.currentCandidate(), ctrl.stepIndex(),
+                ctrl.stats()};
+    }
+
+    static void expectSameState(const LoopState &a, const LoopState &b)
+    {
+        EXPECT_EQ(a.detector, b.detector);
+        EXPECT_EQ(a.manager, b.manager);
+        EXPECT_EQ(a.candidate, b.candidate);
+        EXPECT_EQ(a.step, b.step);
+        EXPECT_EQ(a.stats.drifts, b.stats.drifts);
+        EXPECT_EQ(a.stats.respecs, b.stats.respecs);
+        EXPECT_EQ(a.stats.plans, b.stats.plans);
+        EXPECT_EQ(a.stats.actuations, b.stats.actuations);
+        EXPECT_EQ(a.stats.rollbacks, b.stats.rollbacks);
+        EXPECT_EQ(a.stats.verifications, b.stats.verifications);
+        EXPECT_EQ(a.stats.firstDriftStep, b.stats.firstDriftStep);
+        EXPECT_EQ(a.stats.lastActuationStep, b.stats.lastActuationStep);
+    }
+};
+
+TEST_F(TuneLoop, SpmvAdaptsToDriftAndBeatsFrozenModel)
+{
+    SpmvPlant plant(plantOptions(16));
+    Controller ctrl(plant, plant, loopOptions(""));
+    ctrl.start(plant.bootstrapDataset());
+    EXPECT_FALSE(ctrl.resumed());
+
+    // Satellite contract: no online publish yet, so the generation
+    // counters must read zero.
+    {
+        const serve::UpdaterStats st = ctrl.updater().stats();
+        EXPECT_EQ(st.published, 0u);
+        EXPECT_EQ(st.lastPublishedVersion, 0u);
+        EXPECT_EQ(st.lastPublishUnixSeconds, 0.0);
+        EXPECT_EQ(ctrl.modelAgeSeconds(), 0.0);
+    }
+
+    // Pre-drift: the initial placement settles on a block size for
+    // raefsky3 (the frozen-model configuration).
+    ASSERT_EQ(ctrl.run(16), 16u);
+    const std::size_t frozen = plant.currentCandidate();
+    EXPECT_EQ(ctrl.stats().drifts, 0u);
+
+    // Post-drift: detection -> re-specification -> actuation.
+    ASSERT_EQ(ctrl.run(40), 40u);
+    ctrl.stop();
+
+    const ControllerStats &st = ctrl.stats();
+    EXPECT_GE(st.drifts, 1u);
+    EXPECT_GE(st.firstDriftStep, 16u); // never before the drift
+    EXPECT_GE(st.respecs, 1u);
+    EXPECT_GE(st.actuations, 1u);
+    ASSERT_NE(st.lastActuationStep, ControllerStats::kNone);
+    EXPECT_GT(st.lastActuationStep, 16u); // the actuator moved on it
+
+    // The re-specified model pulled the loop back in band.
+    EXPECT_NE(ctrl.driftState(), DriftState::Drifted);
+    EXPECT_LT(ctrl.detector().windowMedian(),
+              ctrl.detector().threshold());
+
+    // Ground truth: on the drifted matrix the adapted block size must
+    // beat the configuration a frozen model would have kept.
+    const std::size_t adapted = plant.currentCandidate();
+    ASSERT_NE(adapted, frozen);
+    double frozen_mflops = 0.0;
+    double adapted_mflops = 0.0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        frozen_mflops += plant.simulateCandidate(frozen, 9000 + seed);
+        adapted_mflops += plant.simulateCandidate(adapted, 9000 + seed);
+    }
+    EXPECT_GT(adapted_mflops, frozen_mflops)
+        << "adapted " << plant.describeCandidate(adapted)
+        << " vs frozen " << plant.describeCandidate(frozen);
+
+    // Satellite contract: the publish counters now carry the online
+    // generation (the registry's v1 is the bootstrap publish).
+    const serve::UpdaterStats ust = ctrl.updater().stats();
+    EXPECT_GE(ust.published, 1u);
+    EXPECT_GE(ust.lastPublishedVersion, 2u);
+    EXPECT_GT(ust.lastPublishUnixSeconds, 0.0);
+    EXPECT_GE(ctrl.modelAgeSeconds(), 0.0);
+
+    // Per-stage instrumentation saw every observation.
+    EXPECT_EQ(ctrl.stageSummary(Stage::Poll).count, 56u);
+    EXPECT_EQ(ctrl.stageSummary(Stage::Detect).count, 56u);
+    EXPECT_GT(ctrl.stageSummary(Stage::Sync).count, 0u);
+    EXPECT_NE(ctrl.report().find("drift state:"), std::string::npos);
+}
+
+TEST_F(TuneLoop, KilledTunerResumesIdenticalToUninterruptedRun)
+{
+    const std::size_t kTotal = 36;
+    const std::size_t kCrashAt = 29; // past the first snapshot, off
+                                     // any cadence boundary
+
+    // Reference: one uninterrupted run.
+    LoopState want;
+    {
+        const std::string dir = freshDir("tune_uninterrupted");
+        SpmvPlant plant(plantOptions(16));
+        Controller ctrl(plant, plant, loopOptions(dir));
+        ctrl.start(plant.bootstrapDataset());
+        ASSERT_EQ(ctrl.run(kTotal), kTotal);
+        ctrl.stop();
+        want = captureState(ctrl, plant);
+        ASSERT_GE(want.stats.respecs, 1u); // a snapshot was written
+    }
+
+    // Crashed run: abandon the controller mid-flight without stop()
+    // (kill -9 equivalence: no final sync, no final snapshot).
+    const std::string dir = freshDir("tune_crash");
+    {
+        SpmvPlant plant(plantOptions(16));
+        auto ctrl = std::make_unique<Controller>(plant, plant,
+                                                 loopOptions(dir));
+        ctrl->start(plant.bootstrapDataset());
+        ASSERT_EQ(ctrl->run(kCrashAt), kCrashAt);
+        ASSERT_GE(ctrl->stats().snapshots, 1u);
+    }
+
+    // Restart against the same journal directory with a fresh plant:
+    // snapshot restore + journal-tail replay + plant fast-forward.
+    SpmvPlant plant(plantOptions(16));
+    Controller ctrl(plant, plant, loopOptions(dir));
+    ctrl.start(plant.bootstrapDataset());
+    ASSERT_TRUE(ctrl.resumed());
+    EXPECT_EQ(ctrl.stepIndex(), kCrashAt);
+    EXPECT_GT(ctrl.stats().replayed, 0u); // the tail past the snapshot
+    EXPECT_LT(ctrl.stats().replayed, kCrashAt);
+
+    ASSERT_EQ(ctrl.run(kTotal - kCrashAt), kTotal - kCrashAt);
+    ctrl.stop();
+    expectSameState(captureState(ctrl, plant), want);
+}
+
+TEST_F(TuneLoop, CleanStopAtCadenceBoundaryResumesExactly)
+{
+    const std::size_t kTotal = 36;
+    const std::size_t kStopAt = 24; // cadence boundary
+
+    LoopState want;
+    {
+        const std::string dir = freshDir("tune_ref2");
+        SpmvPlant plant(plantOptions(16));
+        Controller ctrl(plant, plant, loopOptions(dir));
+        ctrl.start(plant.bootstrapDataset());
+        ASSERT_EQ(ctrl.run(kTotal), kTotal);
+        ctrl.stop();
+        want = captureState(ctrl, plant);
+    }
+
+    const std::string dir = freshDir("tune_stop");
+    {
+        SpmvPlant plant(plantOptions(16));
+        Controller ctrl(plant, plant, loopOptions(dir));
+        ctrl.start(plant.bootstrapDataset());
+        ASSERT_EQ(ctrl.run(kStopAt), kStopAt);
+        ctrl.stop(); // exact: snapshot covers the whole journal
+    }
+
+    SpmvPlant plant(plantOptions(16));
+    Controller ctrl(plant, plant, loopOptions(dir));
+    ctrl.start(plant.bootstrapDataset());
+    ASSERT_TRUE(ctrl.resumed());
+    EXPECT_EQ(ctrl.stepIndex(), kStopAt);
+    EXPECT_EQ(ctrl.stats().replayed, 0u); // nothing beyond the snapshot
+    ASSERT_EQ(ctrl.run(kTotal - kStopAt), kTotal - kStopAt);
+    ctrl.stop();
+    expectSameState(captureState(ctrl, plant), want);
+}
+
+TEST_F(TuneLoop, PollFaultSkipsObservationWithoutConsumingState)
+{
+    // Reference: 12 clean observations.
+    SpmvPlant cleanPlant(plantOptions(64));
+    Controller clean(cleanPlant, cleanPlant, loopOptions(""));
+    clean.start(cleanPlant.bootstrapDataset());
+    ASSERT_EQ(clean.run(12), 12u);
+
+    // Faulted: every third poll attempt fails; 18 attempts therefore
+    // yield the same 12 observations.
+    auto &reg = fault::FaultRegistry::instance();
+    reg.setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.everyNth = 3;
+    reg.arm("tune.poll.fail", cfg);
+
+    SpmvPlant plant(plantOptions(64));
+    Controller ctrl(plant, plant, loopOptions(""));
+    ctrl.start(plant.bootstrapDataset());
+    ASSERT_EQ(ctrl.run(18), 12u);
+    reg.reset();
+    reg.setEnabled(false);
+
+    EXPECT_EQ(ctrl.stats().pollFailures, 6u);
+    EXPECT_EQ(ctrl.stepIndex(), 12u);
+    EXPECT_EQ(ctrl.detector().saveStateToString(),
+              clean.detector().saveStateToString());
+    EXPECT_EQ(plant.currentCandidate(), cleanPlant.currentCandidate());
+    clean.stop();
+    ctrl.stop();
+}
+
+TEST_F(TuneLoop, ActuateFaultKeepsMovePendingUntilRetry)
+{
+    auto &reg = fault::FaultRegistry::instance();
+    reg.setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.oneShot = true;
+    reg.arm("tune.actuate.fail", cfg);
+
+    SpmvPlant plant(plantOptions(64));
+    Controller ctrl(plant, plant, loopOptions(""));
+    ctrl.start(plant.bootstrapDataset());
+    // First sync (step 4) plans the initial placement and trips the
+    // fault; the move stays pending and lands at the next sync.
+    ASSERT_EQ(ctrl.run(12), 12u);
+    ctrl.stop();
+    reg.reset();
+    reg.setEnabled(false);
+
+    EXPECT_EQ(ctrl.stats().actuateFailures, 1u);
+    EXPECT_EQ(ctrl.stats().actuations, 1u);
+    EXPECT_EQ(ctrl.stats().lastActuationStep, 8u);
+    EXPECT_NE(plant.currentCandidate(), 0u);
+}
+
+TEST_F(TuneLoop, ClockSkewShiftsTimestampsButNotDecisions)
+{
+    // Unskewed reference with at least one online publish.
+    SpmvPlant refPlant(plantOptions(16));
+    Controller ref(refPlant, refPlant, loopOptions(""));
+    ref.start(refPlant.bootstrapDataset());
+    ASSERT_EQ(ref.run(40), 40u);
+    ref.stop();
+    ASSERT_GE(ref.stats().respecs, 1u);
+
+    auto &reg = fault::FaultRegistry::instance();
+    reg.setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.skewSeconds = 5e5;
+    reg.arm("clock.skew", cfg);
+
+    SpmvPlant plant(plantOptions(16));
+    Controller ctrl(plant, plant, loopOptions(""));
+    ctrl.start(plant.bootstrapDataset());
+    ASSERT_EQ(ctrl.run(40), 40u);
+    ctrl.stop();
+
+    // The publish stamp routed through the skewed clock...
+    const double ref_stamp = ref.updater().stats().lastPublishUnixSeconds;
+    const double skew_stamp =
+        ctrl.updater().stats().lastPublishUnixSeconds;
+    EXPECT_GT(skew_stamp, ref_stamp + 1e5);
+    // ...and the skew cancels out of the (equally skewed) age read,
+    // so even reporting stays sane.
+    EXPECT_LT(std::abs(ctrl.modelAgeSeconds()), 1e5);
+    reg.reset();
+    reg.setEnabled(false);
+
+    // No decision consumed the clock: the loop ran identically.
+    EXPECT_EQ(ctrl.detector().saveStateToString(),
+              ref.detector().saveStateToString());
+    EXPECT_EQ(plant.currentCandidate(), refPlant.currentCandidate());
+    EXPECT_EQ(ctrl.stats().drifts, ref.stats().drifts);
+    EXPECT_EQ(ctrl.stats().respecs, ref.stats().respecs);
+    EXPECT_EQ(ctrl.stats().actuations, ref.stats().actuations);
+}
+
+} // namespace
+} // namespace hwsw::tune

@@ -1,0 +1,290 @@
+// Synthetic-plant contracts the closed tuning loop depends on: polls
+// are pure functions of the poll index (so fastForward() is exact),
+// candidateRecord() is pure in (candidate, latest observation), the
+// scripted drift swaps the workload at exactly driftAt, and the
+// tune.poll.fail fault point skips a poll without consuming any
+// generator state. Part of the tier15_tune aggregate.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fault/fault.hpp"
+#include "tune/spmv_plant.hpp"
+#include "tune/telemetry.hpp"
+#include "tune/uarch_plant.hpp"
+
+namespace hwsw::tune {
+namespace {
+
+void
+expectRecordsEqual(const core::ProfileRecord &a,
+                   const core::ProfileRecord &b, const char *what)
+{
+    EXPECT_EQ(a.app, b.app) << what;
+    EXPECT_EQ(a.shardIndex, b.shardIndex) << what;
+    for (std::size_t v = 0; v < core::kNumVars; ++v)
+        EXPECT_EQ(a.vars[v], b.vars[v]) << what << " var " << v;
+    EXPECT_EQ(a.perf, b.perf) << what;
+}
+
+class TunePlant : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+    void TearDown() override
+    {
+        fault::FaultRegistry::instance().reset();
+        fault::FaultRegistry::instance().setEnabled(false);
+    }
+
+    static SpmvPlantOptions smallSpmv(std::size_t drift_at)
+    {
+        SpmvPlantOptions o;
+        o.scale = 0.02;
+        o.simAccesses = 20 * 1000;
+        o.driftAt = drift_at;
+        return o;
+    }
+};
+
+TEST_F(TunePlant, SpmvPollsAreDeterministic)
+{
+    SpmvPlant a(smallSpmv(4));
+    SpmvPlant b(smallSpmv(4));
+    for (int i = 0; i < 8; ++i) {
+        const auto ra = a.poll();
+        const auto rb = b.poll();
+        ASSERT_TRUE(ra && rb);
+        expectRecordsEqual(*ra, *rb, "spmv poll");
+    }
+    EXPECT_FALSE(a.exhausted());
+}
+
+TEST_F(TunePlant, SpmvFastForwardMatchesPolling)
+{
+    SpmvPlant polled(smallSpmv(4));
+    SpmvPlant wound(smallSpmv(4));
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(polled.poll());
+    wound.fastForward(6);
+    EXPECT_EQ(polled.polls(), wound.polls());
+    for (int i = 0; i < 3; ++i) {
+        const auto ra = polled.poll();
+        const auto rb = wound.poll();
+        ASSERT_TRUE(ra && rb);
+        expectRecordsEqual(*ra, *rb, "post-fastForward poll");
+    }
+}
+
+TEST_F(TunePlant, SpmvDriftSwapsMatrixAtDriftAt)
+{
+    SpmvPlant plant(smallSpmv(3));
+    for (int i = 0; i < 3; ++i) {
+        const auto r = plant.poll();
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->app, "raefsky3") << "poll " << i;
+    }
+    for (int i = 0; i < 3; ++i) {
+        const auto r = plant.poll();
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->app, "memplus") << "poll " << (3 + i);
+    }
+}
+
+TEST_F(TunePlant, SpmvCandidateRecordIsPure)
+{
+    SpmvPlant plant(smallSpmv(4));
+    const auto latest = plant.poll();
+    ASSERT_TRUE(latest);
+
+    std::vector<core::ProfileRecord> before;
+    for (std::size_t i = 0; i < plant.numCandidates(); ++i)
+        before.push_back(plant.candidateRecord(i, *latest));
+
+    // Mutate every bit of plant state candidateRecord must ignore.
+    for (int i = 0; i < 5; ++i)
+        plant.poll();
+    plant.actuate(plant.numCandidates() - 1);
+
+    for (std::size_t i = 0; i < plant.numCandidates(); ++i) {
+        const auto after = plant.candidateRecord(i, *latest);
+        expectRecordsEqual(before[i], after, "candidateRecord");
+    }
+}
+
+TEST_F(TunePlant, SpmvCandidateRecordCarriesBlockDims)
+{
+    SpmvPlant plant(smallSpmv(SpmvPlantOptions{}.driftAt));
+    const auto latest = plant.poll();
+    ASSERT_TRUE(latest);
+    for (std::size_t i = 0; i < plant.numCandidates(); ++i) {
+        const auto [br, bc] = plant.blockDims(i);
+        const auto rec = plant.candidateRecord(i, *latest);
+        EXPECT_EQ(rec.vars[0], static_cast<double>(br)) << i;
+        EXPECT_EQ(rec.vars[1], static_cast<double>(bc)) << i;
+        // The fill ratio is the transferable input: it must track the
+        // candidate, not the currently actuated block.
+        EXPECT_GE(rec.vars[2], 1.0) << i;
+        EXPECT_EQ(rec.app, latest->app) << i;
+    }
+}
+
+TEST_F(TunePlant, SpmvBootstrapExcludesDriftMatrix)
+{
+    SpmvPlant plant(smallSpmv(4));
+    const core::Dataset ds = plant.bootstrapDataset(1);
+    ASSERT_GT(ds.size(), 0u);
+    for (const std::string &app : ds.appNames())
+        EXPECT_NE(app, "memplus");
+    // Every candidate appears in the bootstrap sweep.
+    EXPECT_EQ(ds.indicesForApp("raefsky3").size(),
+              plant.numCandidates());
+}
+
+TEST_F(TunePlant, SpmvPollFailConsumesNoState)
+{
+    SpmvPlant faulty(smallSpmv(4));
+    SpmvPlant clean(smallSpmv(4));
+
+    auto &reg = fault::FaultRegistry::instance();
+    reg.setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.everyNth = 2; // trip every second hit
+    reg.arm("tune.poll.fail", cfg);
+
+    std::vector<core::ProfileRecord> got;
+    for (int i = 0; i < 12; ++i) {
+        if (auto r = faulty.poll())
+            got.push_back(*r);
+    }
+    reg.reset();
+    reg.setEnabled(false);
+    ASSERT_EQ(got.size(), 6u);
+    EXPECT_EQ(faulty.polls(), 6u);
+
+    // The successful polls form exactly the unfaulted prefix.
+    for (const auto &rec : got) {
+        const auto want = clean.poll();
+        ASSERT_TRUE(want);
+        expectRecordsEqual(rec, *want, "faulted sequence");
+    }
+}
+
+TEST_F(TunePlant, UarchPollsDeterministicAndFastForwardable)
+{
+    UarchPlantOptions o;
+    o.driftAt = 5;
+    UarchPlant a(o);
+    UarchPlant b(o);
+    for (int i = 0; i < 4; ++i) {
+        const auto ra = a.poll();
+        const auto rb = b.poll();
+        ASSERT_TRUE(ra && rb);
+        expectRecordsEqual(*ra, *rb, "uarch poll");
+    }
+    b.fastForward(3);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(a.poll());
+    const auto ra = a.poll();
+    const auto rb = b.poll();
+    ASSERT_TRUE(ra && rb);
+    expectRecordsEqual(*ra, *rb, "uarch post-fastForward");
+}
+
+TEST_F(TunePlant, UarchDriftSwapsAppAtDriftAt)
+{
+    UarchPlantOptions o;
+    o.driftAt = 2;
+    UarchPlant plant(o);
+    const auto r0 = plant.poll();
+    const auto r1 = plant.poll();
+    const auto r2 = plant.poll();
+    ASSERT_TRUE(r0 && r1 && r2);
+    EXPECT_EQ(r0->app, r1->app);
+    EXPECT_NE(r2->app, r0->app);
+    EXPECT_EQ(r2->app, plant.appForPoll(2).name);
+}
+
+TEST_F(TunePlant, UarchCandidateRecordIsPure)
+{
+    UarchPlantOptions o;
+    o.driftAt = 8;
+    UarchPlant plant(o);
+    const auto latest = plant.poll();
+    ASSERT_TRUE(latest);
+    const auto before =
+        plant.candidateRecord(1, *latest);
+    plant.poll();
+    plant.actuate(plant.numCandidates() - 1);
+    const auto after = plant.candidateRecord(1, *latest);
+    expectRecordsEqual(before, after, "uarch candidateRecord");
+}
+
+TEST_F(TunePlant, UarchBootstrapExcludesDriftApp)
+{
+    UarchPlantOptions o;
+    o.driftAt = 4;
+    UarchPlant plant(o);
+    const std::string drift_app = plant.appForPoll(4).name;
+    const core::Dataset ds = plant.bootstrapDataset(1);
+    ASSERT_GT(ds.size(), 0u);
+    for (const std::string &app : ds.appNames())
+        EXPECT_NE(app, drift_app);
+}
+
+TEST_F(TunePlant, ReplaySourceWalksTraceInOrder)
+{
+    std::vector<core::ProfileRecord> trace(3);
+    trace[0].app = "a";
+    trace[0].perf = 1.0;
+    trace[1].app = "b";
+    trace[1].perf = 2.0;
+    trace[2].app = "c";
+    trace[2].perf = 3.0;
+
+    ReplayTelemetrySource src(trace);
+    EXPECT_EQ(src.size(), 3u);
+    EXPECT_FALSE(src.exhausted());
+
+    const auto r0 = src.poll();
+    ASSERT_TRUE(r0);
+    EXPECT_EQ(r0->app, "a");
+
+    src.fastForward(1); // skip "b"
+    const auto r2 = src.poll();
+    ASSERT_TRUE(r2);
+    EXPECT_EQ(r2->app, "c");
+
+    EXPECT_TRUE(src.exhausted());
+    EXPECT_FALSE(src.poll().has_value());
+}
+
+TEST_F(TunePlant, ReplaySourceHonorsPollFault)
+{
+    std::vector<core::ProfileRecord> trace(2);
+    trace[0].app = "a";
+    trace[1].app = "b";
+    ReplayTelemetrySource src(trace);
+
+    auto &reg = fault::FaultRegistry::instance();
+    reg.setEnabled(true);
+    fault::PointConfig cfg;
+    cfg.oneShot = true;
+    reg.arm("tune.poll.fail", cfg);
+
+    EXPECT_FALSE(src.poll().has_value()); // tripped, nothing consumed
+    reg.setEnabled(false);
+
+    const auto r = src.poll();
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->app, "a"); // the failed poll consumed no state
+}
+
+} // namespace
+} // namespace hwsw::tune

@@ -10,6 +10,7 @@
  *   hwsw save <file> [pairs] [generations]    train and serialize
  *   hwsw serve <model-file>                   serve predictions (TCP)
  *   hwsw predict --server host:port <app>     query a running server
+ *   hwsw tune                                 closed-loop adaptive tuning
  *
  * Offline commands are deterministic; re-running one reproduces its
  * output exactly. All numeric arguments are parsed strictly: any
@@ -44,6 +45,9 @@
 #include "serve/server.hpp"
 #include "spmv/matgen.hpp"
 #include "spmv/tuner.hpp"
+#include "tune/controller.hpp"
+#include "tune/spmv_plant.hpp"
+#include "tune/uarch_plant.hpp"
 
 using namespace hwsw;
 
@@ -71,6 +75,12 @@ usage()
         "             [--reactors R=auto]\n"
         "  hwsw predict --server host:port <app> [width=4] "
         "[dcacheKB=64] [l2KB=1024] [--model name]\n"
+        "  hwsw tune [--backend spmv|uarch] [--steps N=120]\n"
+        "            [--drift-at N=40] [--window N=16] "
+        "[--hysteresis N=3]\n"
+        "            [--cadence N=4] [--verify-window N=5]\n"
+        "            [--min-gain X=0.01] [--journal-dir DIR]\n"
+        "            [--source replay:FILE]\n"
         "options:\n"
         "  --threads N          worker threads (genetic search /\n"
         "                       serving engine; default: hardware\n"
@@ -104,7 +114,25 @@ usage()
         "  --island-worker I    run one island against --server\n"
         "  --fault SPEC         arm a fault-injection point, e.g.\n"
         "                       proto.read.err:p=0.01,errno=104\n"
-        "                       (repeatable; implies injection ON)\n");
+        "                       (repeatable; implies injection ON)\n"
+        "  --backend B          tune: plant to drive (spmv | uarch)\n"
+        "  --steps N            tune: observation-loop iterations\n"
+        "  --drift-at N         tune: poll index of the scripted "
+        "workload drift\n"
+        "  --window N           tune: drift-detector residual window\n"
+        "  --hysteresis N       tune: consecutive out-of-band "
+        "observations to fire\n"
+        "  --cadence N          tune: observations between updater "
+        "syncs\n"
+        "  --verify-window N    tune: observations verifying an "
+        "actuation\n"
+        "  --min-gain X         tune: relative predicted win required "
+        "to move\n"
+        "  --journal-dir DIR    tune: WAL + snapshot dir (resumable "
+        "after kill)\n"
+        "  --source replay:FILE tune: feed a recorded observation "
+        "trace instead\n"
+        "                       of the synthetic plant telemetry\n");
     return 2;
 }
 
@@ -722,6 +750,127 @@ cmdPredict(const std::string &endpoint, const std::string &model_name,
     return 0;
 }
 
+/** Knobs for the closed tuning loop. */
+struct TuneConfig
+{
+    std::string backend = "spmv";
+    std::size_t steps = 120;
+    std::size_t driftAt = 40;
+    std::size_t window = 16;
+    std::size_t hysteresis = 3;
+    std::size_t cadence = 4;
+    std::size_t verifyWindow = 5;
+    double minGain = 0.01;
+    std::string journalDir;
+    std::string replayPath; ///< empty: synthetic plant telemetry
+};
+
+/**
+ * Drive the closed loop over @p plant (both telemetry and actuator,
+ * unless a replay trace substitutes the telemetry side), narrating
+ * detector/re-spec/actuation events as they happen.
+ */
+template <typename Plant>
+int
+runTuneLoop(Plant &plant, const TuneConfig &tc,
+            tune::ControllerOptions copts)
+{
+    std::unique_ptr<tune::ReplayTelemetrySource> replay;
+    tune::TelemetrySource *source = &plant;
+    if (!tc.replayPath.empty()) {
+        replay = std::make_unique<tune::ReplayTelemetrySource>(
+            tc.replayPath);
+        source = replay.get();
+        std::printf("replaying %zu recorded observations from %s\n",
+                    replay->size(), tc.replayPath.c_str());
+    }
+
+    tune::Controller ctrl(*source, plant, copts);
+    ctrl.start(plant.bootstrapDataset());
+    if (ctrl.resumed())
+        std::printf("resumed from %s: %llu observations replayed, "
+                    "step %zu, candidate %s\n",
+                    tc.journalDir.c_str(),
+                    static_cast<unsigned long long>(
+                        ctrl.stats().replayed),
+                    ctrl.stepIndex(),
+                    plant.describeCandidate(plant.currentCandidate())
+                        .c_str());
+    std::printf("tuning: backend %s, initial candidate %s, drift at "
+                "%zu, cadence %zu\n",
+                tc.backend.c_str(),
+                plant.describeCandidate(plant.currentCandidate())
+                    .c_str(),
+                tc.driftAt, copts.cadence);
+    std::fflush(stdout);
+
+    tune::ControllerStats prev = ctrl.stats();
+    for (std::size_t i = 0; i < tc.steps; ++i) {
+        if (!ctrl.step())
+            break;
+        const tune::ControllerStats &st = ctrl.stats();
+        if (st.drifts > prev.drifts)
+            std::printf("step %zu: drift detected (window median "
+                        "%.4f > threshold %.4f)\n",
+                        ctrl.stepIndex(), st.lastDriftMedian,
+                        st.lastDriftThreshold);
+        if (st.respecs > prev.respecs)
+            std::printf("step %zu: re-specified model published "
+                        "(v%llu, envelope %.4f)\n",
+                        ctrl.stepIndex(),
+                        static_cast<unsigned long long>(
+                            ctrl.updater()
+                                .stats()
+                                .lastPublishedVersion),
+                        ctrl.detector().envelope());
+        if (st.actuations > prev.actuations)
+            std::printf("step %zu: actuated -> %s%s\n",
+                        ctrl.stepIndex(),
+                        plant
+                            .describeCandidate(
+                                plant.currentCandidate())
+                            .c_str(),
+                        st.rollbacks > prev.rollbacks
+                            ? " (rollback to last-good)"
+                            : "");
+        prev = st;
+    }
+    ctrl.stop();
+
+    std::printf("\n%s", ctrl.report().c_str());
+    return 0;
+}
+
+int
+cmdTune(const TuneConfig &tc, unsigned threads)
+{
+    // Small search budgets: the loop's job is fast adaptation on the
+    // observation cadence, not search depth.
+    tune::ControllerOptions copts;
+    copts.journalDir = tc.journalDir;
+    copts.cadence = tc.cadence;
+    copts.verifyWindow = tc.verifyWindow;
+    copts.minPredictedGain = tc.minGain;
+    copts.drift.window = tc.window;
+    copts.drift.hysteresis = tc.hysteresis;
+    copts.ga.populationSize = 12;
+    copts.ga.generations = 4;
+    copts.ga.numThreads = threads;
+    copts.manager.profilesForUpdate = 10;
+    copts.manager.updateGenerations = 3;
+
+    if (tc.backend == "spmv") {
+        tune::SpmvPlantOptions popts;
+        popts.driftAt = tc.driftAt;
+        tune::SpmvPlant plant(popts);
+        return runTuneLoop(plant, tc, copts);
+    }
+    tune::UarchPlantOptions popts;
+    popts.driftAt = tc.driftAt;
+    tune::UarchPlant plant(popts);
+    return runTuneLoop(plant, tc, copts);
+}
+
 } // namespace
 
 int
@@ -744,6 +893,7 @@ main(int argc, char **argv)
     unsigned long long worker_island = 0;
     DistributedConfig dist;
     unsigned long long islands = 2, mig_interval = 4, migrants = 2;
+    TuneConfig tunecfg;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto flagValue = [&](const char *flag) -> const char * {
@@ -843,6 +993,77 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             fault_specs.emplace_back(v);
+        } else if (a == "--backend") {
+            const char *v = flagValue("--backend");
+            if (!v)
+                return usage();
+            tunecfg.backend = v;
+            if (tunecfg.backend != "spmv" &&
+                tunecfg.backend != "uarch") {
+                std::fprintf(stderr, "error: bad --backend '%s'\n",
+                             v);
+                return usage();
+            }
+        } else if (a == "--steps") {
+            const char *v = flagValue("--steps");
+            if (!v || !parseArg(std::string(v), "--steps value",
+                                tunecfg.steps) ||
+                tunecfg.steps == 0)
+                return usage();
+        } else if (a == "--drift-at") {
+            const char *v = flagValue("--drift-at");
+            if (!v || !parseArg(std::string(v), "--drift-at value",
+                                tunecfg.driftAt))
+                return usage();
+        } else if (a == "--window") {
+            const char *v = flagValue("--window");
+            if (!v || !parseArg(std::string(v), "--window value",
+                                tunecfg.window) ||
+                tunecfg.window == 0)
+                return usage();
+        } else if (a == "--hysteresis") {
+            const char *v = flagValue("--hysteresis");
+            if (!v || !parseArg(std::string(v), "--hysteresis value",
+                                tunecfg.hysteresis) ||
+                tunecfg.hysteresis == 0)
+                return usage();
+        } else if (a == "--cadence") {
+            const char *v = flagValue("--cadence");
+            if (!v || !parseArg(std::string(v), "--cadence value",
+                                tunecfg.cadence) ||
+                tunecfg.cadence == 0)
+                return usage();
+        } else if (a == "--verify-window") {
+            const char *v = flagValue("--verify-window");
+            if (!v ||
+                !parseArg(std::string(v), "--verify-window value",
+                          tunecfg.verifyWindow) ||
+                tunecfg.verifyWindow == 0)
+                return usage();
+        } else if (a == "--min-gain") {
+            const char *v = flagValue("--min-gain");
+            if (!v || !parseArg(std::string(v), "--min-gain value",
+                                tunecfg.minGain) ||
+                tunecfg.minGain < 0.0 || tunecfg.minGain >= 1.0)
+                return usage();
+        } else if (a == "--journal-dir") {
+            const char *v = flagValue("--journal-dir");
+            if (!v)
+                return usage();
+            tunecfg.journalDir = v;
+        } else if (a == "--source") {
+            const char *v = flagValue("--source");
+            if (!v)
+                return usage();
+            const std::string src = v;
+            if (src.rfind("replay:", 0) != 0 ||
+                src.size() <= 7) {
+                std::fprintf(stderr, "error: bad --source '%s' "
+                                     "(expected replay:FILE)\n",
+                             v);
+                return usage();
+            }
+            tunecfg.replayPath = src.substr(7);
         } else {
             args.push_back(a);
         }
@@ -922,6 +1143,8 @@ main(int argc, char **argv)
                 return usage();
             return cmdSave(args[1], pairs, gens, threads, persist);
         }
+        if (cmd == "tune" && nargs == 1)
+            return cmdTune(tunecfg, threads);
         if (cmd == "spmv" && nargs >= 2) {
             if (!parseArg(arg(2, "0.15"), "scale", scale))
                 return usage();
