@@ -13,8 +13,12 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/metrics.hpp"
 #include "core/island.hpp"
 #include "serve/island.hpp"
@@ -48,7 +52,8 @@ struct DistOutcome
 };
 
 DistOutcome
-timedDistributed(const core::IslandOptions &opts)
+timedDistributed(const core::IslandOptions &opts,
+                 double poll_seconds = 0.002)
 {
     const auto t0 = std::chrono::steady_clock::now();
     auto registry = std::make_shared<serve::ModelRegistry>();
@@ -59,11 +64,11 @@ timedDistributed(const core::IslandOptions &opts)
     std::vector<std::thread> workers;
     workers.reserve(opts.islands);
     for (std::size_t i = 0; i < opts.islands; ++i) {
-        workers.emplace_back([&opts, i, &server] {
+        workers.emplace_back([&opts, i, &server, poll_seconds] {
             serve::IslandWorkerOptions w;
             w.port = server.port();
             w.island = i;
-            w.pollSeconds = 0.002;
+            w.pollSeconds = poll_seconds;
             serve::runIslandWorker(g_train, opts, w);
         });
     }
@@ -80,6 +85,111 @@ timedDistributed(const core::IslandOptions &opts)
                       .count();
     benchmark::DoNotOptimize(out.result);
     return out;
+}
+
+/**
+ * Chaos-smoke mode (HWSW_CHAOS=1): a 4-island sync run with a
+ * mid-generation worker kill, probabilistic heartbeat loss, and a
+ * network partition all armed. The run must complete through the
+ * supervision machinery and the champion must stay bit-identical to
+ * the in-process reference. Returns the process exit code: CI runs
+ * this as an assertion, not a trend.
+ */
+int
+runChaosSmoke(bench::JsonReport &report)
+{
+    bench::section("chaos smoke: kill + heartbeat loss + partition");
+    core::IslandOptions opts = islandOpts(4);
+    const core::GaResult reference =
+        core::runIslandModel(g_train, opts);
+
+    const auto dir = std::filesystem::temp_directory_path() /
+        "hwsw-bench-chaos";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    opts.checkpointDir = dir.string();
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    auto &faults = fault::FaultRegistry::instance();
+    faults.reset();
+    faults.setEnabled(true);
+    faults.armSpec("island.worker.kill.1:nth=2,once");
+    faults.armSpec("island.heartbeat.drop:p=0.05");
+    faults.armSpec("island.partition.3");
+
+    const auto run_worker = [&](std::size_t island) {
+        serve::IslandWorkerOptions w;
+        w.port = server.port();
+        w.island = island;
+        w.pollSeconds = 0.002;
+        serve::runIslandWorker(g_train, opts, w);
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.emplace_back(run_worker, 0);
+    workers.emplace_back([&] {
+        bool killed = false;
+        try {
+            run_worker(1);
+        } catch (const FatalError &) {
+            killed = true; // injected mid-generation death
+        }
+        if (killed) {
+            coordinator.revokeLease(1);
+            run_worker(1); // resumes from the checkpoint
+        }
+    });
+    workers.emplace_back(run_worker, 2);
+    workers.emplace_back([&] {
+        bool partitioned = false;
+        try {
+            run_worker(3);
+        } catch (const FatalError &) {
+            partitioned = true; // cut off from the coordinator
+        }
+        if (partitioned) {
+            faults.disarm("island.partition.3");
+            coordinator.revokeLease(3);
+            run_worker(3);
+        }
+    });
+    for (std::thread &t : workers)
+        t.join();
+    faults.setEnabled(false);
+    faults.reset();
+
+    const bool completed = coordinator.waitForReports(60.0);
+    const core::GaResult recovered =
+        completed ? coordinator.result() : core::GaResult{};
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    server.stop();
+    std::filesystem::remove_all(dir);
+
+    const bool identical = completed &&
+        reference.best.spec == recovered.best.spec &&
+        reference.best.fitness == recovered.best.fitness;
+    report.add("chaos_completed", completed ? 1.0 : 0.0, "bool");
+    report.add("chaos_identical", identical ? 1.0 : 0.0, "bool");
+    std::printf("chaos run: completed=%s identical=%s in %.3fs "
+                "(respawn-after-kill, partition heal, %llu "
+                "heartbeats)\n",
+                completed ? "yes" : "NO", identical ? "yes" : "NO",
+                seconds,
+                static_cast<unsigned long long>(
+                    coordinator.stats().heartbeats));
+    if (!completed || !identical) {
+        std::fprintf(stderr, "FAIL: chaos smoke did not recover to "
+                             "the reference champion\n");
+        return 1;
+    }
+    return 0;
 }
 
 void
@@ -155,6 +265,64 @@ main(int argc, char **argv)
                          islands);
     }
     std::printf("%s", t.render().c_str());
+
+    // Sync vs async migration under a barrier-bound schedule: many
+    // barriers (interval 1) and a worker poll interval sized for
+    // cross-host rendezvous (100 ms — WAN-ish, not the 2 ms loopback
+    // poll of the scaling phase) make the cost of bulk-synchronous
+    // rendezvous visible: at every barrier the early arriver sleeps
+    // a poll quantum waiting for its source, and the lost quantum
+    // phase-shifts it into waiting again at the next barrier. Async
+    // proceeds past every barrier with the newest available
+    // migrants, so that tax disappears.
+    bench::section("sync vs async migration (barrier-bound)");
+    TextTable at;
+    at.header({"islands", "sync s", "async s", "speedup", "sync eval s",
+               "async eval s", "sync waits"});
+    for (const std::size_t islands : {2u, 4u}) {
+        core::IslandOptions opts = islandOpts(islands);
+        // Barrier-dominated regime: a small population keeps the
+        // per-generation evaluation cheap next to the 100 ms
+        // rendezvous quantum, so the numbers isolate coordination
+        // cost rather than trajectory-dependent evaluation cost.
+        opts.ga.populationSize = 8;
+        opts.ga.generations = 24;
+        opts.migrationInterval = 1;
+
+        const DistOutcome sync = timedDistributed(opts, 0.1);
+        opts.asyncMigration = true;
+        const DistOutcome async = timedDistributed(opts, 0.1);
+        const bool async_done = !async.result.history.empty();
+        const double speedup =
+            async.seconds > 0.0 ? sync.seconds / async.seconds : 0.0;
+
+        const std::string tag =
+            "islands" + std::to_string(islands);
+        report.add(tag + "_sync_barrier_seconds", sync.seconds, "s");
+        report.add(tag + "_async_seconds", async.seconds, "s");
+        report.add("async_speedup_" + std::to_string(islands) +
+                       "islands",
+                   speedup, "x");
+        at.row({std::to_string(islands),
+                TextTable::num(sync.seconds, 3),
+                TextTable::num(async.seconds, 3),
+                TextTable::num(speedup, 2) + "x",
+                TextTable::num(sync.result.metrics.evalSeconds, 3),
+                TextTable::num(async.result.metrics.evalSeconds, 3),
+                std::to_string(sync.stats.waitAnswers)});
+        if (!async_done)
+            std::fprintf(stderr,
+                         "WARNING: async run did not complete at "
+                         "%zu islands\n",
+                         islands);
+    }
+    std::printf("%s", at.render().c_str());
+
+    int exit_code = 0;
+    if (const char *chaos = std::getenv("HWSW_CHAOS");
+        chaos && chaos[0] && chaos[0] != '0')
+        exit_code = runChaosSmoke(report);
+
     report.write();
 
     std::printf(
@@ -162,5 +330,5 @@ main(int argc, char **argv)
         "per barrier; its value\nis horizontal scale (workers on "
         "other machines) and fault tolerance, while the\nchampion "
         "stays bit-identical to the single-process reference.\n");
-    return 0;
+    return exit_code;
 }

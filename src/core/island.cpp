@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/fault/fault.hpp"
@@ -125,6 +126,21 @@ IslandEvolver::throwIfKilled() const
     if (!fault::enabled())
         return;
     auto &faults = fault::FaultRegistry::instance();
+    // A stalled worker is alive but making no progress: sleep for
+    // the configured skew mid-generation, exactly where a real hang
+    // (page fault storm, GC pause, NFS stall) would freeze the loop.
+    double stall = 0.0;
+    if (faults.shouldTrip("island.worker.stall"))
+        stall = std::max(stall,
+                         faults.skewFor("island.worker.stall"));
+    const std::string mine =
+        "island.worker.stall." + std::to_string(island_);
+    if (faults.shouldTrip(mine))
+        stall = std::max(stall, faults.skewFor(mine));
+    if (stall > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(stall));
+
     if (faults.shouldTrip("island.worker.kill") ||
         faults.shouldTrip("island.worker.kill." +
                           std::to_string(island_)))
@@ -154,8 +170,12 @@ IslandEvolver::advance()
         std::sort(scored.begin(), scored.end(), fitnessLess);
         scored_ = std::move(scored);
 
-        // Mid-generation kill point: the work above is done but not
-        // yet checkpointed, the worst moment to lose a worker.
+        // Progress hook first (heartbeat/lease checks), then the
+        // mid-generation kill/stall points: the work above is done
+        // but not yet checkpointed, the worst moment to lose a
+        // worker.
+        if (generationHook_)
+            generationHook_(gen_);
         throwIfKilled();
 
         pushStats();

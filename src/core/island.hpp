@@ -30,6 +30,7 @@
 #define HWSW_CORE_ISLAND_HPP
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,6 +57,20 @@ struct IslandOptions
 
     /** Elites exchanged per island at each barrier. */
     std::size_t migrants = 2;
+
+    /**
+     * Asynchronous migration: instead of blocking at a barrier until
+     * the source island posts, a worker proceeds with the newest
+     * migrants its source has published so far (possibly from an
+     * earlier barrier, possibly none). Determinism becomes
+     * per-island: each island's evolution is still a pure function
+     * of its RNG stream plus the migrants it actually received, so
+     * the merged champion is reproducible given the recorded
+     * migrant-arrival schedule (which the coordinator journals). The
+     * in-process reference runs islands in lockstep, where every
+     * source has always posted, so async and sync coincide there.
+     */
+    bool asyncMigration = false;
 
     /**
      * Directory for per-island SearchCheckpoint files
@@ -134,8 +149,22 @@ class IslandEvolver
      * fault points once per generation (mid-generation, after
      * scoring and before the checkpoint) so resilience tests can
      * kill a worker at a precise, maximally-inconvenient moment.
+     * The `island.worker.stall` / `island.worker.stall.<i>` points
+     * sleep for their configured skew at the same spot, simulating a
+     * hung-but-alive worker (lease supervision must evict it).
      */
     bool advance();
+
+    /**
+     * Invoked after each generation is scored (with the generation
+     * index just completed), before the kill/stall fault points.
+     * Drivers use it to publish progress (heartbeats) and to abort a
+     * worker whose lease was lost — the hook may throw.
+     */
+    void setGenerationHook(std::function<void(std::size_t)> hook)
+    {
+        generationHook_ = std::move(hook);
+    }
 
     /** Barrier generation boundary (valid while paused). */
     std::size_t boundaryGeneration() const { return gen_ + 1; }
@@ -174,6 +203,7 @@ class IslandEvolver
     std::vector<ScoredSpec> scored_; ///< current generation, sorted
     std::vector<ScoredSpec> emigrants_;
     std::vector<GenerationStats> history_;
+    std::function<void(std::size_t)> generationHook_;
     std::size_t gen_ = 0;
     bool atBarrier_ = false;
     bool finished_ = false;

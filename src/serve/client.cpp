@@ -7,6 +7,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -134,6 +135,40 @@ Client::closeFd()
     }
 }
 
+bool
+Client::resolveEndpoint(sockaddr_in &addr)
+{
+    addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+
+    int injected = 0;
+    if (fault::failPoint("client.resolve.fail", injected)) {
+        errno = injected ? injected : EHOSTUNREACH;
+        return false;
+    }
+
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) == 1)
+        return true;
+
+    // Hostname, not a literal: resolve it fresh — this runs once per
+    // connect attempt, so a server that moved (DNS flip, failover)
+    // cannot pin the whole retry budget to a stale address.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    if (::getaddrinfo(host_.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+        errno = EHOSTUNREACH;
+        return false;
+    }
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in *>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+    return true;
+}
+
 IoStatus
 Client::connectOnce(const resilience::Deadline &deadline)
 {
@@ -146,11 +181,8 @@ Client::connectOnce(const resilience::Deadline &deadline)
     }
 
     sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port_);
-    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
-        fatal("bad host address '" + host_ + "' (IPv4 only)");
-    }
+    if (!resolveEndpoint(addr))
+        return IoStatus::Error;
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     fatalIf(fd < 0, std::string("socket: ") + std::strerror(errno));

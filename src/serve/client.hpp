@@ -35,6 +35,8 @@
 #include "serve/protocol.hpp"
 #include "serve/resilience/resilience.hpp"
 
+struct sockaddr_in; // <netinet/in.h>; kept out of this header
+
 namespace hwsw::serve {
 
 /** Typed client-side view of a predict/batch response. */
@@ -86,7 +88,11 @@ class Client
   public:
     /**
      * Connect to a serving endpoint.
-     * @param host IPv4 dotted quad or "localhost".
+     * @param host IPv4 dotted quad, "localhost", or a hostname —
+     *        hostnames are re-resolved on every connect attempt, so
+     *        retries against a flapped or re-homed server chase the
+     *        current address instead of a stale one (the
+     *        `client.resolve.fail` fault point exercises this path).
      * @throws FatalError when the connection cannot be established
      *         within the connect timeout.
      */
@@ -169,6 +175,13 @@ class Client
 
     /** (Re-)establish the connection within @p deadline. */
     IoStatus connectOnce(const resilience::Deadline &deadline);
+
+    /**
+     * Resolve host_:port_ afresh (literal or DNS). @return false
+     * with errno set when resolution fails or the
+     * `client.resolve.fail` fault trips.
+     */
+    bool resolveEndpoint(sockaddr_in &addr);
 
     void closeFd();
 

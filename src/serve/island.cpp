@@ -1,12 +1,19 @@
 #include "serve/island.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/fault/fault.hpp"
 #include "common/parse.hpp"
 #include "core/checkpoint.hpp"
 #include "serve/protocol.hpp"
@@ -30,6 +37,25 @@ errorResponse(std::string_view msg)
     std::string out = "error ";
     out += msg;
     return out;
+}
+
+/** Is this worker's network reachability fault-severed? */
+bool
+partitioned(std::size_t island)
+{
+    if (fault::point("island.partition"))
+        return true;
+    const std::string mine =
+        "island.partition." + std::to_string(island);
+    return fault::point(mine.c_str());
+}
+
+std::string
+makeWorkerId()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return "w" + std::to_string(static_cast<long>(::getpid())) + "-" +
+        std::to_string(seq.fetch_add(1));
 }
 
 } // namespace
@@ -123,11 +149,130 @@ loadIslandReport(const std::string &text)
 }
 
 IslandCoordinator::IslandCoordinator(core::IslandOptions opts,
+                                     IslandCoordinatorOptions copts,
                                      std::string extra)
-    : opts_(std::move(opts)), extra_(std::move(extra))
+    : opts_(std::move(opts)), copts_(std::move(copts)),
+      extra_(std::move(extra))
 {
     core::validateIslandOptions(opts_);
+    fatalIf(copts_.leaseSeconds <= 0.0,
+            "island coordinator: lease must be positive");
     reports_.resize(opts_.islands);
+    leases_.resize(opts_.islands);
+    if (!copts_.journalPath.empty()) {
+        journalRestore();
+        journalFd_ = ::open(copts_.journalPath.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+        fatalIf(journalFd_ < 0,
+                "island coordinator: cannot open journal '" +
+                    copts_.journalPath + "'");
+    }
+}
+
+IslandCoordinator::~IslandCoordinator()
+{
+    if (journalFd_ >= 0)
+        ::close(journalFd_);
+}
+
+void
+IslandCoordinator::journalAppend(const std::string &record)
+{
+    if (journalFd_ < 0)
+        return;
+    // Durable before the answer leaves: a coordinator restart must
+    // never contradict what a worker was already told.
+    std::size_t off = 0;
+    while (off < record.size()) {
+        const ssize_t n = ::write(journalFd_, record.data() + off,
+                                  record.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, "island coordinator: journal write failed");
+        off += static_cast<std::size_t>(n);
+    }
+    fatalIf(::fdatasync(journalFd_) != 0,
+            "island coordinator: journal sync failed");
+}
+
+void
+IslandCoordinator::journalRestore()
+{
+    std::ifstream in(copts_.journalPath, std::ios::binary);
+    if (!in)
+        return; // first run: no journal yet
+    std::string all{std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>()};
+    std::istringstream is(all);
+    std::size_t good = 0;
+    for (;;) {
+        is >> std::ws;
+        if (!is || is.eof())
+            break;
+        std::string kind;
+        is >> kind;
+        try {
+            if (kind == "post") {
+                std::size_t island = 0, gen = 0, count = 0;
+                is >> island >> gen >> count;
+                fatalIf(!is || island >= opts_.islands ||
+                            count != opts_.migrants,
+                        "journal: bad post header");
+                std::vector<core::ScoredSpec> posted;
+                posted.reserve(count);
+                for (std::size_t i = 0; i < count; ++i)
+                    posted.push_back(loadScoredSpec(is));
+                auto &row = outboxes_[gen];
+                if (row.empty())
+                    row.resize(opts_.islands);
+                if (!row[island])
+                    row[island] = std::move(posted);
+            } else if (kind == "deliver") {
+                std::size_t island = 0, gen = 0, src_gen = 0;
+                is >> island >> gen >> src_gen;
+                fatalIf(!is || island >= opts_.islands,
+                        "journal: bad deliver record");
+                deliveries_[{island, gen}] = src_gen;
+            } else if (kind == "report") {
+                std::size_t island = 0, bytes = 0;
+                is >> island >> bytes;
+                fatalIf(!is || island >= opts_.islands ||
+                            bytes == 0 || bytes > (1u << 30),
+                        "journal: bad report header");
+                is.get(); // the newline terminating the header
+                std::string body(bytes, '\0');
+                is.read(body.data(),
+                        static_cast<std::streamsize>(bytes));
+                fatalIf(is.gcount() !=
+                            static_cast<std::streamsize>(bytes),
+                        "journal: truncated report body");
+                core::IslandReport report = loadIslandReport(body);
+                fatalIf(report.island != island,
+                        "journal: report island mismatch");
+                if (!reports_[island]) {
+                    reports_[island] = std::move(report);
+                    ++reportsReceived_;
+                }
+            } else {
+                break; // unknown record: torn or foreign tail
+            }
+        } catch (const std::exception &) {
+            break; // torn tail: keep the good prefix
+        }
+        ++stats_.journalRecords;
+        is >> std::ws;
+        if (is.eof()) {
+            good = all.size();
+            break;
+        }
+        good = static_cast<std::size_t>(is.tellg());
+    }
+    // Drop a torn tail so new appends land on a record boundary.
+    if (good < all.size()) {
+        fatalIf(::truncate(copts_.journalPath.c_str(),
+                           static_cast<off_t>(good)) != 0,
+                "island coordinator: journal truncate failed");
+    }
 }
 
 std::string
@@ -138,6 +283,8 @@ IslandCoordinator::handle(std::string_view verb,
     try {
         if (verb == "island.join")
             return handleJoin(args);
+        if (verb == "island.heartbeat")
+            return handleHeartbeat(args);
         if (verb == "island.migrate")
             return handleMigrate(args, body);
         if (verb == "island.report")
@@ -152,27 +299,206 @@ IslandCoordinator::handle(std::string_view verb,
     }
 }
 
+IslandCoordinator::Clock::time_point
+IslandCoordinator::skewedNow() const
+{
+    // The skew fault ages every lease forward, forcing premature
+    // expiry without real waiting — the monotonic-clock analogue of
+    // the transport's clock.skew point.
+    auto now = Clock::now();
+    const double skew = fault::skewPoint("island.lease.expire.skew");
+    if (skew > 0.0)
+        now += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(skew));
+    return now;
+}
+
+void
+IslandCoordinator::revokeExpiredLocked(Clock::time_point now)
+{
+    for (std::size_t i = 0; i < leases_.size(); ++i) {
+        Lease &l = leases_[i];
+        if (reports_[i] || l.owner.empty() || l.expiry >= now)
+            continue;
+        l.owner.clear();
+        ++stats_.leaseExpiries;
+        if (std::find(pendingExpired_.begin(), pendingExpired_.end(),
+                      i) == pendingExpired_.end())
+            pendingExpired_.push_back(i);
+    }
+}
+
+std::vector<std::size_t>
+IslandCoordinator::expiredIslands()
+{
+    std::lock_guard lock(mutex_);
+    revokeExpiredLocked(skewedNow());
+    std::vector<std::size_t> out;
+    for (std::size_t island : pendingExpired_) {
+        // An island the original owner reclaimed (or a standby took,
+        // or that reported meanwhile) no longer needs intervention.
+        if (!reports_[island] && leases_[island].owner.empty())
+            out.push_back(island);
+    }
+    pendingExpired_.clear();
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+IslandCoordinator::revokeLease(std::size_t island)
+{
+    std::lock_guard lock(mutex_);
+    if (island >= leases_.size() || leases_[island].owner.empty())
+        return false;
+    leases_[island].owner.clear();
+    return true;
+}
+
+std::vector<IslandLeaseInfo>
+IslandCoordinator::leases() const
+{
+    std::lock_guard lock(mutex_);
+    const auto now = Clock::now();
+    std::vector<IslandLeaseInfo> out;
+    out.reserve(leases_.size());
+    for (std::size_t i = 0; i < leases_.size(); ++i) {
+        const Lease &l = leases_[i];
+        IslandLeaseInfo info;
+        info.island = i;
+        info.owner = l.owner;
+        info.remainingSeconds = l.owner.empty()
+            ? 0.0
+            : std::max(0.0,
+                       std::chrono::duration<double>(l.expiry - now)
+                           .count());
+        info.generation = l.generation;
+        info.epoch = l.epoch;
+        info.reported = static_cast<bool>(reports_[i]);
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
 std::string
 IslandCoordinator::handleJoin(std::span<const std::string_view> args)
 {
-    if (args.size() != 1)
-        return errorResponse("island.join needs <island>");
-    const auto island = parseUnsigned(args[0]);
-    if (!island || *island >= opts_.islands)
-        return errorResponse("island.join: bad island index");
+    if (args.size() != 2)
+        return errorResponse(
+            "island.join needs <island|auto> <worker-id>");
+    const std::string worker(args[1]);
+    if (worker.empty())
+        return errorResponse("island.join: empty worker id");
 
     std::lock_guard lock(mutex_);
     if (stopped_)
         return "stop";
-    ++stats_.joins;
-    std::string out = "ok config " + std::to_string(opts_.islands) +
-        " " + std::to_string(opts_.migrationInterval) + " " +
+    const auto now = skewedNow();
+    revokeExpiredLocked(now);
+
+    std::optional<std::size_t> island;
+    if (args[0] == "auto") {
+        // Idempotent re-join first: a worker retrying its handshake
+        // must get its own island back, not a second one.
+        for (std::size_t i = 0; i < opts_.islands; ++i) {
+            if (!reports_[i] && leases_[i].owner == worker) {
+                island = i;
+                break;
+            }
+        }
+        for (std::size_t i = 0; !island && i < opts_.islands; ++i) {
+            if (!reports_[i] && leases_[i].owner.empty())
+                island = i;
+        }
+        if (!island) {
+            ++stats_.joinsRefused;
+            return "ok none";
+        }
+    } else {
+        const auto idx = parseUnsigned(args[0]);
+        if (!idx || *idx >= opts_.islands)
+            return errorResponse("island.join: bad island index");
+        island = *idx;
+        const Lease &l = leases_[*island];
+        if (!l.owner.empty() && l.owner != worker) {
+            ++stats_.joinsRefused;
+            return errorResponse(
+                "island.join: island " + std::to_string(*island) +
+                " is leased by " + l.owner);
+        }
+    }
+
+    Lease &l = leases_[*island];
+    if (l.owner == worker) {
+        ++stats_.rejoins;
+    } else {
+        ++stats_.joins;
+        l.generation = 0;
+        l.epoch = 0;
+    }
+    l.owner = worker;
+    l.expiry = now +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(copts_.leaseSeconds));
+
+    std::string out = "ok config " + std::to_string(*island) + " " +
+        std::to_string(opts_.islands) + " " +
+        std::to_string(opts_.migrationInterval) + " " +
         std::to_string(opts_.migrants) + " " +
         std::to_string(opts_.ga.populationSize) + " " +
         std::to_string(opts_.ga.generations) + " " +
-        std::to_string(opts_.ga.seed) + "\n";
+        std::to_string(opts_.ga.seed) + " " +
+        (opts_.asyncMigration ? "async" : "sync") + " " +
+        std::to_string(static_cast<long long>(
+            std::llround(copts_.leaseSeconds * 1000.0))) +
+        "\n";
     out += extra_;
     return out;
+}
+
+std::string
+IslandCoordinator::handleHeartbeat(
+    std::span<const std::string_view> args)
+{
+    if (args.size() != 4)
+        return errorResponse("island.heartbeat needs <island> "
+                             "<worker-id> <generation> <epoch>");
+    const auto island = parseUnsigned(args[0]);
+    const std::string worker(args[1]);
+    const auto gen = parseUnsigned(args[2]);
+    const auto epoch = parseUnsigned(args[3]);
+    if (!island || *island >= opts_.islands)
+        return errorResponse("island.heartbeat: bad island index");
+    if (worker.empty() || !gen || !epoch)
+        return errorResponse("island.heartbeat: bad arguments");
+
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+        return "stop";
+    if (reports_[*island])
+        return "ok done";
+    const auto now = skewedNow();
+    revokeExpiredLocked(now);
+
+    Lease &l = leases_[*island];
+    if (l.owner.empty()) {
+        // The lease lapsed but nobody has claimed the island yet:
+        // the original worker gracefully reclaims its own work.
+        l.owner = worker;
+        ++stats_.rejoins;
+    } else if (l.owner != worker) {
+        ++stats_.staleHeartbeats;
+        return "ok lost";
+    }
+    l.expiry = now +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(copts_.leaseSeconds));
+    l.generation = *gen;
+    l.epoch = *epoch;
+    ++stats_.heartbeats;
+    return "ok lease " +
+        std::to_string(static_cast<long long>(
+            std::llround(copts_.leaseSeconds * 1000.0)));
 }
 
 std::string
@@ -213,6 +539,12 @@ IslandCoordinator::handleMigrate(std::span<const std::string_view> args,
     if (row.empty())
         row.resize(opts_.islands);
     if (!row[*island]) {
+        std::ostringstream os;
+        for (const core::ScoredSpec &s : posted)
+            saveScoredSpec(s, os);
+        journalAppend("post " + std::to_string(*island) + " " +
+                      std::to_string(*gen) + " " +
+                      std::to_string(*count) + "\n" + os.str());
         row[*island] = std::move(posted);
         ++stats_.migratePosts;
         cv_.notify_all();
@@ -224,11 +556,66 @@ IslandCoordinator::handleMigrate(std::span<const std::string_view> args,
 
     const std::size_t src =
         core::migrationSource(*island, opts_.islands);
-    if (!row[src]) {
-        ++stats_.waitAnswers;
-        return "ok wait";
+
+    if (!opts_.asyncMigration) {
+        if (!row[src]) {
+            ++stats_.waitAnswers;
+            return "ok wait";
+        }
+        const std::vector<core::ScoredSpec> &inbox = *row[src];
+        ++stats_.migrantsServed;
+        std::ostringstream os;
+        for (const core::ScoredSpec &s : inbox)
+            saveScoredSpec(s, os);
+        return "ok migrants " + std::to_string(inbox.size()) + "\n" +
+            os.str();
     }
-    const std::vector<core::ScoredSpec> &inbox = *row[src];
+
+    // Asynchronous mode: serve the newest migrants the source has
+    // posted at or before this barrier — or none at all — and pin
+    // the choice. First delivery wins; a resumed worker replaying
+    // the barrier receives exactly what the original consumed, and
+    // the journal lets a restarted coordinator honor old pins too.
+    const std::pair<std::size_t, std::size_t> key{
+        *island, static_cast<std::size_t>(*gen)};
+    const auto pinned = deliveries_.find(key);
+    std::size_t src_gen = 0;
+    if (pinned != deliveries_.end()) {
+        src_gen = pinned->second;
+        if (src_gen != 0) {
+            const auto oit = outboxes_.find(src_gen);
+            if (oit == outboxes_.end() || !oit->second[src]) {
+                // Replay raced ahead of the source's re-post; it is
+                // guaranteed to arrive (its checkpoint is older than
+                // this pin), so wait rather than break the pin.
+                ++stats_.waitAnswers;
+                return "ok wait";
+            }
+        }
+    } else {
+        for (auto rit = outboxes_.rbegin(); rit != outboxes_.rend();
+             ++rit) {
+            if (rit->first > *gen)
+                continue;
+            if (rit->second[src]) {
+                src_gen = rit->first;
+                break;
+            }
+        }
+        deliveries_[key] = src_gen;
+        journalAppend("deliver " + std::to_string(*island) + " " +
+                      std::to_string(*gen) + " " +
+                      std::to_string(src_gen) + "\n");
+    }
+
+    if (src_gen == 0) {
+        ++stats_.asyncEmpty;
+        return "ok migrants 0\n";
+    }
+    if (src_gen != *gen)
+        ++stats_.asyncStale;
+    const std::vector<core::ScoredSpec> &inbox =
+        *outboxes_[src_gen][src];
     ++stats_.migrantsServed;
     std::ostringstream os;
     for (const core::ScoredSpec &s : inbox)
@@ -258,9 +645,13 @@ IslandCoordinator::handleReport(std::span<const std::string_view> args,
         ++stats_.duplicateReports;
         return "ok duplicate";
     }
+    journalAppend("report " + std::to_string(*island) + " " +
+                  std::to_string(body.size()) + "\n" +
+                  std::string(body) + "\n");
     reports_[*island] = std::move(report);
     ++reportsReceived_;
     ++stats_.reports;
+    leases_[*island].owner.clear(); // done: free the worker
     cv_.notify_all();
     return "ok";
 }
@@ -318,60 +709,306 @@ IslandCoordinator::stats() const
     return stats_;
 }
 
-IslandWireConfig
-fetchIslandConfig(Client &client, std::size_t island)
+std::string
+IslandCoordinator::describe() const
+{
+    const std::vector<IslandLeaseInfo> snapshot = leases();
+    const IslandCoordinatorStats s = stats();
+    std::ostringstream os;
+    os << "islands " << opts_.islands << " mode "
+       << (opts_.asyncMigration ? "async" : "sync") << " lease "
+       << std::fixed << std::setprecision(3) << copts_.leaseSeconds
+       << "s\n";
+    for (const IslandLeaseInfo &l : snapshot) {
+        os << "island " << l.island << " owner "
+           << (l.owner.empty() ? "-" : l.owner) << " remaining "
+           << std::setprecision(3) << l.remainingSeconds
+           << "s generation " << l.generation << " epoch " << l.epoch
+           << (l.reported ? " reported" : "") << "\n";
+    }
+    os << "joins " << s.joins << " rejoins " << s.rejoins
+       << " refused " << s.joinsRefused << " heartbeats "
+       << s.heartbeats << " stale_heartbeats " << s.staleHeartbeats
+       << " lease_expiries " << s.leaseExpiries << "\n";
+    os << "posts " << s.migratePosts << " duplicate_posts "
+       << s.duplicatePosts << " waits " << s.waitAnswers
+       << " served " << s.migrantsServed << " async_stale "
+       << s.asyncStale << " async_empty " << s.asyncEmpty
+       << " reports " << s.reports << " journal_records "
+       << s.journalRecords << "\n";
+    return os.str();
+}
+
+std::optional<IslandWireConfig>
+fetchIslandConfig(Client &client, const std::string &island_spec,
+                  const std::string &worker_id)
 {
     const std::string response = client.request(
-        "island.join " + std::to_string(island), /*idempotent=*/true);
+        "island.join " + island_spec + " " + worker_id,
+        /*idempotent=*/true);
     fatalIf(response == "stop",
             "island.join: coordinator stopped the run");
+    if (response == "ok none")
+        return std::nullopt;
     const auto [line, extra] = splitFirstLine(response);
     const auto tokens = splitTokens(line);
-    fatalIf(tokens.size() != 8 || tokens[0] != "ok" ||
+    fatalIf(tokens.size() != 11 || tokens[0] != "ok" ||
                 tokens[1] != "config",
             "island.join: bad response '" + std::string(line) + "'");
     IslandWireConfig cfg;
-    const auto islands = parseUnsigned(tokens[2]);
-    const auto interval = parseUnsigned(tokens[3]);
-    const auto migrants = parseUnsigned(tokens[4]);
-    const auto population = parseUnsigned(tokens[5]);
-    const auto generations = parseUnsigned(tokens[6]);
-    const auto seed = parseUnsigned(tokens[7]);
-    fatalIf(!islands || !interval || !migrants || !population ||
-                !generations || !seed,
+    const auto island = parseUnsigned(tokens[2]);
+    const auto islands = parseUnsigned(tokens[3]);
+    const auto interval = parseUnsigned(tokens[4]);
+    const auto migrants = parseUnsigned(tokens[5]);
+    const auto population = parseUnsigned(tokens[6]);
+    const auto generations = parseUnsigned(tokens[7]);
+    const auto seed = parseUnsigned(tokens[8]);
+    const auto lease_ms = parseUnsigned(tokens[10]);
+    fatalIf(!island || !islands || !interval || !migrants ||
+                !population || !generations || !seed || !lease_ms ||
+                (tokens[9] != "sync" && tokens[9] != "async"),
             "island.join: unparsable config");
+    cfg.island = *island;
     cfg.islands = *islands;
     cfg.migrationInterval = *interval;
     cfg.migrants = *migrants;
     cfg.populationSize = *population;
     cfg.generations = *generations;
     cfg.seed = *seed;
+    cfg.asyncMigration = tokens[9] == "async";
+    cfg.leaseSeconds = static_cast<double>(*lease_ms) / 1000.0;
     cfg.extra = std::string(extra);
     return cfg;
 }
 
-core::IslandReport
+namespace {
+
+/**
+ * The worker's lease-renewal loop: its own connection, its own
+ * thread, so a worker deep in evaluation (or stalled — the loop
+ * deliberately shares the stall fault point, modeling a fully hung
+ * process) still tells the coordinator it is alive. Transport
+ * failures are absorbed: a beat is best-effort and the next one
+ * retries with a fresh connection.
+ */
+class HeartbeatLoop
+{
+  public:
+    HeartbeatLoop(const IslandWorkerOptions &wopts,
+                  std::size_t island, std::string worker,
+                  double interval_seconds)
+        : wopts_(wopts), island_(island), worker_(std::move(worker)),
+          interval_(interval_seconds)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~HeartbeatLoop() { finish(); }
+
+    void finish()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    void progress(std::uint64_t generation, std::uint64_t epoch)
+    {
+        generation_.store(generation, std::memory_order_relaxed);
+        epoch_.store(epoch, std::memory_order_relaxed);
+    }
+
+    /** Did the coordinator fence us ("ok lost" / "stop")? */
+    bool lost() const
+    {
+        return lost_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run()
+    {
+        std::optional<Client> client;
+        for (;;) {
+            {
+                std::unique_lock lock(mutex_);
+                cv_.wait_for(
+                    lock, std::chrono::duration<double>(interval_),
+                    [this] { return done_; });
+                if (done_)
+                    return;
+            }
+            // A hung worker process cannot beat either: the stall
+            // fault freezes this loop exactly as long as it freezes
+            // the evolve loop, so lease expiry fires as it would for
+            // the real failure.
+            double stall = 0.0;
+            if (fault::point("island.worker.stall"))
+                stall = std::max(
+                    stall, fault::FaultRegistry::instance().skewFor(
+                               "island.worker.stall"));
+            const std::string mine =
+                "island.worker.stall." + std::to_string(island_);
+            if (fault::point(mine.c_str()))
+                stall = std::max(
+                    stall,
+                    fault::FaultRegistry::instance().skewFor(mine));
+            if (stall > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(stall));
+            if (partitioned(island_) ||
+                fault::point("island.heartbeat.drop"))
+                continue; // beat lost in flight
+            try {
+                if (!client) {
+                    // Beats must be prompt to be useful: short
+                    // deadlines, no in-request retries — the loop
+                    // itself is the retry schedule.
+                    ClientOptions copts = wopts_.client;
+                    copts.connectTimeout =
+                        std::max(interval_, 1.0);
+                    copts.requestTimeout =
+                        std::max(interval_, 1.0);
+                    copts.retry.maxAttempts = 1;
+                    client.emplace(wopts_.host, wopts_.port, copts);
+                }
+                const std::string response = client->request(
+                    "island.heartbeat " + std::to_string(island_) +
+                        " " + worker_ + " " +
+                        std::to_string(generation_.load(
+                            std::memory_order_relaxed)) +
+                        " " +
+                        std::to_string(
+                            epoch_.load(std::memory_order_relaxed)),
+                    /*idempotent=*/true);
+                if (response == "ok lost" || response == "stop") {
+                    lost_.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                if (response == "ok done")
+                    return;
+            } catch (const std::exception &) {
+                client.reset(); // flapped server: retry next beat
+            }
+        }
+    }
+
+    const IslandWorkerOptions &wopts_;
+    const std::size_t island_;
+    const std::string worker_;
+    const double interval_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> lost_{false};
+};
+
+/** Request helper honoring the partition fault on the main path. */
+std::string
+coordRequest(Client &client, std::size_t island,
+             const std::string &request)
+{
+    fatalIf(partitioned(island),
+            "island worker: network partition (injected)");
+    return client.request(request, /*idempotent=*/true);
+}
+
+} // namespace
+
+/**
+ * Owns a copy of the worker options (HeartbeatLoop keeps a
+ * reference) plus the renewal loop itself.
+ */
+struct IslandLeaseKeeper::Impl
+{
+    IslandWorkerOptions wopts;
+    HeartbeatLoop loop;
+
+    Impl(const IslandWorkerOptions &w, std::size_t island,
+         std::string worker, double interval)
+        : wopts(w), loop(wopts, island, std::move(worker), interval)
+    {
+    }
+};
+
+IslandLeaseKeeper::IslandLeaseKeeper(const IslandWorkerOptions &wopts,
+                                     std::size_t island,
+                                     std::string workerId,
+                                     double leaseSeconds)
+    : impl_(std::make_unique<Impl>(
+          wopts, island, std::move(workerId),
+          wopts.heartbeatSeconds > 0.0
+              ? wopts.heartbeatSeconds
+              : std::max(leaseSeconds / 4.0, 0.005)))
+{
+}
+
+IslandLeaseKeeper::~IslandLeaseKeeper() = default;
+
+void
+IslandLeaseKeeper::finish()
+{
+    impl_->loop.finish();
+}
+
+bool
+IslandLeaseKeeper::lost() const
+{
+    return impl_->loop.lost();
+}
+
+std::optional<core::IslandReport>
 runIslandWorker(const core::Dataset &data,
                 const core::IslandOptions &opts,
                 const IslandWorkerOptions &wopts)
 {
     core::validateIslandOptions(opts);
-    fatalIf(wopts.island >= opts.islands,
+    fatalIf(!wopts.autoIsland && wopts.island >= opts.islands,
             "island worker: island index out of range");
+    const std::string worker =
+        wopts.workerId.empty() ? makeWorkerId() : wopts.workerId;
 
     Client client(wopts.host, wopts.port, wopts.client);
-    const IslandWireConfig cfg =
-        fetchIslandConfig(client, wopts.island);
-    fatalIf(cfg.islands != opts.islands ||
-                cfg.migrationInterval != opts.migrationInterval ||
-                cfg.migrants != opts.migrants ||
-                cfg.populationSize != opts.ga.populationSize ||
-                cfg.generations != opts.ga.generations ||
-                cfg.seed != opts.ga.seed,
+    const std::string spec =
+        wopts.autoIsland ? "auto" : std::to_string(wopts.island);
+    const std::optional<IslandWireConfig> cfg =
+        fetchIslandConfig(client, spec, worker);
+    if (!cfg)
+        return std::nullopt; // every island is owned; nothing to do
+    fatalIf(cfg->islands != opts.islands ||
+                cfg->migrationInterval != opts.migrationInterval ||
+                cfg->migrants != opts.migrants ||
+                cfg->populationSize != opts.ga.populationSize ||
+                cfg->generations != opts.ga.generations ||
+                cfg->seed != opts.ga.seed ||
+                cfg->asyncMigration != opts.asyncMigration,
             "island worker: coordinator configuration mismatch");
+    const std::size_t island = cfg->island;
+    fatalIf(island >= opts.islands,
+            "island worker: coordinator assigned a bad island");
 
-    core::IslandEvolver evolver(data, opts, wopts.island);
+    const double beat = wopts.heartbeatSeconds > 0.0
+        ? wopts.heartbeatSeconds
+        : std::max(cfg->leaseSeconds / 4.0, 0.005);
+    HeartbeatLoop heartbeat(wopts, island, worker, beat);
+
+    core::IslandEvolver evolver(data, opts, island);
     evolver.resumeFromCheckpoint();
+    const std::size_t checkpoint_every =
+        std::max<std::size_t>(opts.ga.checkpointEvery, 1);
+    evolver.setGenerationHook([&](std::size_t gen) {
+        heartbeat.progress(gen, gen / checkpoint_every);
+        fatalIf(heartbeat.lost(),
+                "island worker: lease lost, fenced by coordinator");
+    });
 
     while (evolver.advance()) {
         const std::size_t gen = evolver.boundaryGeneration();
@@ -381,13 +1018,16 @@ runIslandWorker(const core::Dataset &data,
         for (const core::ScoredSpec &s : out)
             saveScoredSpec(s, os);
         const std::string request = "island.migrate " +
-            std::to_string(wopts.island) + " " + std::to_string(gen) +
-            " " + std::to_string(out.size()) + "\n" + os.str();
+            std::to_string(island) + " " + std::to_string(gen) + " " +
+            std::to_string(out.size()) + "\n" + os.str();
 
         std::vector<core::ScoredSpec> inbound;
         for (;;) {
+            fatalIf(heartbeat.lost(),
+                    "island worker: lease lost, fenced by "
+                    "coordinator");
             const std::string response =
-                client.request(request, /*idempotent=*/true);
+                coordRequest(client, island, request);
             fatalIf(response == "stop",
                     "island.migrate: coordinator stopped the run");
             const auto [line, body] = splitFirstLine(response);
@@ -395,9 +1035,11 @@ runIslandWorker(const core::Dataset &data,
             fatalIf(tokens.empty() || tokens[0] != "ok",
                     "island.migrate: " + std::string(line));
             if (tokens.size() == 2 && tokens[1] == "wait") {
-                // The source island has not reached this barrier
-                // yet; poll. Re-sending the identical request is
-                // safe — the first post won and is retained.
+                // Sync mode: the source island has not reached this
+                // barrier yet (async mode: a replay raced ahead of
+                // its source's re-post); poll. Re-sending the
+                // identical request is safe — the first post won and
+                // is retained.
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(
                         std::max(wopts.pollSeconds, 1e-4)));
@@ -407,7 +1049,10 @@ runIslandWorker(const core::Dataset &data,
                     "island.migrate: bad response '" +
                         std::string(line) + "'");
             const auto n = parseUnsigned(tokens[2]);
-            fatalIf(!n || *n != opts.migrants,
+            fatalIf(!n ||
+                        (opts.asyncMigration
+                             ? (*n != 0 && *n != opts.migrants)
+                             : *n != opts.migrants),
                     "island.migrate: wrong inbound migrant count");
             std::istringstream is{std::string(body)};
             inbound.reserve(*n);
@@ -418,13 +1063,16 @@ runIslandWorker(const core::Dataset &data,
         evolver.immigrate(inbound);
     }
 
+    fatalIf(heartbeat.lost(),
+            "island worker: lease lost, fenced by coordinator");
     core::IslandReport report = evolver.report();
-    const std::string response = client.request(
-        "island.report " + std::to_string(wopts.island) + "\n" +
-            saveIslandReport(report),
-        /*idempotent=*/true);
+    const std::string response = coordRequest(
+        client, island,
+        "island.report " + std::to_string(island) + "\n" +
+            saveIslandReport(report));
     fatalIf(!response.starts_with("ok"),
             "island.report: " + response);
+    heartbeat.finish();
     return report;
 }
 

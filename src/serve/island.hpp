@@ -1,55 +1,94 @@
 /**
  * @file
- * Distributed island-model search over the serving transport.
+ * Distributed island-model search over the serving transport, with
+ * fault-tolerant supervision for real multi-host fleets.
  *
- * Four new protocol verbs carry the island model of core/island.hpp
+ * Five protocol verbs carry the island model of core/island.hpp
  * across processes, layered on the existing length-prefixed frames
  * (and therefore inheriting deadlines, retry/backoff, and the fault
  * injection points of the transport):
  *
- *   island.join <island>
- *       -> "ok config <islands> <interval> <migrants> <population>
- *           <generations> <seed>\n<extra>"  |  "stop"
- *       Registration + configuration fetch. Idempotent; the <extra>
- *       blob is an opaque application payload (the CLI ships dataset
- *       parameters in it so workers rebuild the identical Dataset).
+ *   island.join <island|auto> <worker-id>
+ *       -> "ok config <island> <islands> <interval> <migrants>
+ *           <population> <generations> <seed> <sync|async>
+ *           <lease-ms>\n<extra>"  |  "ok none"  |  "stop"
+ *       Registration handshake: the worker claims the named island
+ *       (or, with "auto", pulls the lowest-index island nobody holds
+ *       a live lease on) and is granted a lease it must renew with
+ *       heartbeats. Re-joining an island you already own is
+ *       idempotent; joining one somebody else holds a live lease on
+ *       is an error. "ok none" means every unreported island is
+ *       leased — an elastic standby can exit or retry later. The
+ *       <extra> blob is an opaque application payload (the CLI ships
+ *       dataset parameters in it so workers rebuild the identical
+ *       Dataset).
+ *
+ *   island.heartbeat <island> <worker-id> <generation> <epoch>
+ *       -> "ok lease <ms>" | "ok lost" | "ok done" | "stop"
+ *       Lease renewal plus progress report (current generation and
+ *       checkpoint epoch). The coordinator tracks per-island leases
+ *       on a monotonic clock; a worker whose lease lapses (N missed
+ *       beats) is declared dead by expiredIslands() and its island
+ *       becomes claimable. A worker hearing "ok lost" lost its lease
+ *       to a replacement and must abort — its island now belongs to
+ *       someone else. Split-brain is safe regardless: evaluation is
+ *       pure and migration buffers are first-post-wins, so a fenced
+ *       zombie can only ever post byte-identical duplicates.
  *
  *   island.migrate <island> <generation> <count>  (+ body: count
  *       scored-spec blocks)
  *       -> "ok wait" | "ok migrants <n>\n<blocks>" | "stop"
  *       Post this island's emigrants at barrier <generation> and
  *       collect the inbound migrants (ring topology: island i
- *       receives island i-1's elites). "ok wait" means the source
- *       island has not reached the barrier yet; the worker polls by
- *       re-sending the identical request. The first post per
- *       (island, generation) wins and the outbox is retained for the
- *       whole run, so a crashed-and-resumed worker re-posting an old
- *       barrier is answered idempotently — restarts cannot change
- *       what anyone received.
+ *       receives island i-1's elites). In synchronous mode "ok wait"
+ *       means the source island has not reached the barrier yet; the
+ *       worker polls by re-sending the identical request. In
+ *       asynchronous mode the coordinator instead serves the newest
+ *       migrants the source has posted so far — possibly from an
+ *       earlier barrier, possibly none (n = 0) — and records which
+ *       delivery was made in the coordination journal, so a resumed
+ *       run replays the identical migrant-arrival schedule. The
+ *       first post per (island, generation) wins and the outbox is
+ *       retained for the whole run, so a crashed-and-resumed worker
+ *       re-posting an old barrier is answered idempotently —
+ *       restarts cannot change what anyone received.
  *
  *   island.report <island>  (+ body: serialized IslandReport)
  *       -> "ok" | "ok duplicate"
- *       Final per-island outcome. First report wins.
+ *       Final per-island outcome. First report wins; reporting
+ *       releases the island's lease.
  *
  *   island.stop
  *       -> "ok stopping"
  *       Cooperative shutdown: subsequent join/migrate answer "stop"
  *       and workers abort.
  *
+ * Failure domains (see DESIGN.md §5.11): worker crash -> respawn
+ * resumes from the last SearchCheckpoint and replays barriers
+ * idempotently; worker stall or partition -> lease expiry, the
+ * island is reassigned, and the healed original is fenced by
+ * "ok lost"; coordinator restart -> the coordination journal
+ * (posts + deliveries + reports, fdatasync'd before each answer)
+ * restores the rendezvous state bit-exactly.
+ *
  * Doubles cross the wire with 17 significant digits, which
  * round-trips IEEE-754 exactly, so the coordinator's merged GaResult
  * is bit-identical to the in-process runIslandModel() reference for
- * the same (seed, islands, interval, migrants) — regardless of
- * worker placement, timing, or kill/resume cycles.
+ * the same (seed, islands, interval, migrants) in synchronous mode —
+ * regardless of worker placement, timing, or kill/resume cycles. In
+ * asynchronous mode determinism is per-island: the merged champion
+ * is reproducible given the journaled migrant-arrival schedule.
  */
 
 #ifndef HWSW_SERVE_ISLAND_HPP
 #define HWSW_SERVE_ISLAND_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -84,49 +123,119 @@ core::IslandReport loadIslandReport(const std::string &text);
 /** The run configuration island.join hands to every worker. */
 struct IslandWireConfig
 {
+    /** The island this worker was assigned (echoed or auto-picked). */
+    std::size_t island = 0;
+
     std::size_t islands = 1;
     std::size_t migrationInterval = 4;
     std::size_t migrants = 2;
     std::size_t populationSize = 32;
     std::size_t generations = 20;
     std::uint64_t seed = 42;
+    bool asyncMigration = false;
+
+    /** Lease granted per join/heartbeat, seconds. */
+    double leaseSeconds = 5.0;
 
     /** Opaque application payload (e.g. dataset parameters). */
     std::string extra;
 };
 
+/** Supervision knobs of one coordinator. */
+struct IslandCoordinatorOptions
+{
+    /**
+     * Lease duration granted on join and renewed per heartbeat.
+     * Workers beat at roughly a quarter of this, so expiry means
+     * ~4 consecutive missed beats.
+     */
+    double leaseSeconds = 5.0;
+
+    /**
+     * Coordination journal path (posts, async deliveries, reports;
+     * fdatasync before every answer). Empty disables journaling —
+     * worker crash recovery still works (outboxes live in memory),
+     * but coordinator restart and async schedule replay do not.
+     */
+    std::string journalPath;
+};
+
 /** Coordinator-side counters (deterministic except for waits). */
 struct IslandCoordinatorStats
 {
-    std::uint64_t joins = 0;          ///< island.join served
+    std::uint64_t joins = 0;          ///< island.join leases granted
+    std::uint64_t rejoins = 0;        ///< idempotent owner re-joins
+    std::uint64_t joinsRefused = 0;   ///< "ok none" + leased refusals
+    std::uint64_t heartbeats = 0;     ///< renewals from lease owners
+    std::uint64_t staleHeartbeats = 0; ///< fenced ("ok lost") beats
+    std::uint64_t leaseExpiries = 0;  ///< leases revoked after lapse
     std::uint64_t migratePosts = 0;   ///< outboxes accepted
     std::uint64_t duplicatePosts = 0; ///< re-posts idempotently dropped
     std::uint64_t waitAnswers = 0;    ///< "ok wait" poll responses
     std::uint64_t migrantsServed = 0; ///< inboxes delivered
+    std::uint64_t asyncStale = 0;     ///< async deliveries < barrier gen
+    std::uint64_t asyncEmpty = 0;     ///< async deliveries of nothing
     std::uint64_t reports = 0;        ///< island reports accepted
     std::uint64_t duplicateReports = 0;
+    std::uint64_t journalRecords = 0; ///< records restored on startup
+};
+
+/** One island's lease as seen by the supervisor / stats report. */
+struct IslandLeaseInfo
+{
+    std::size_t island = 0;
+    std::string owner;      ///< empty: unclaimed
+    double remainingSeconds = 0.0;
+    std::uint64_t generation = 0; ///< latest heartbeat progress
+    std::uint64_t epoch = 0;      ///< latest checkpoint epoch
+    bool reported = false;
 };
 
 /**
- * The coordinator: owns migration outboxes and final reports for one
- * distributed run. Thread-safe — Server dispatches `island.*` verbs
- * from concurrent connection handlers straight into handle().
- * Pure rendezvous state machine; it never evaluates anything itself.
+ * The coordinator: owns migration outboxes, worker leases, the
+ * async delivery schedule, and final reports for one distributed
+ * run. Thread-safe — Server dispatches `island.*` verbs from
+ * concurrent connection handlers straight into handle(). Pure
+ * rendezvous state machine; it never evaluates anything itself.
  */
 class IslandCoordinator
 {
   public:
     /**
      * @param opts the run configuration every worker must match.
+     * @param copts supervision knobs (lease, journal). When
+     *        copts.journalPath names an existing journal, the
+     *        rendezvous state is restored from it before serving.
      * @param extra opaque blob returned verbatim from island.join.
      */
     explicit IslandCoordinator(core::IslandOptions opts,
+                               IslandCoordinatorOptions copts = {},
                                std::string extra = {});
+
+    ~IslandCoordinator();
 
     /** Dispatch one island.* request. Never throws. */
     std::string handle(std::string_view verb,
                        std::span<const std::string_view> args,
                        std::string_view body);
+
+    /**
+     * Supervision tick: islands whose lease lapsed since the last
+     * call (monotonic clock, aged by the `island.lease.expire.skew`
+     * fault point). Each returned island's lease is revoked, so a
+     * standby or respawned worker can claim it immediately.
+     */
+    std::vector<std::size_t> expiredIslands();
+
+    /**
+     * Supervisor override: revoke @p island's lease because its
+     * owner is known dead (e.g. the child was reaped). @return true
+     * when a lease was actually held.
+     */
+    bool revokeLease(std::size_t island);
+
+    /** Every island's lease/progress snapshot. */
+    std::vector<IslandLeaseInfo> leases() const;
 
     /**
      * Block until every island has reported (true) or the run was
@@ -144,16 +253,36 @@ class IslandCoordinator
 
     IslandCoordinatorStats stats() const;
 
+    /** Multi-line human-readable lease/counter block for stats. */
+    std::string describe() const;
+
     const core::IslandOptions &options() const { return opts_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     std::string handleJoin(std::span<const std::string_view> args);
+    std::string handleHeartbeat(
+        std::span<const std::string_view> args);
     std::string handleMigrate(std::span<const std::string_view> args,
                               std::string_view body);
     std::string handleReport(std::span<const std::string_view> args,
                              std::string_view body);
 
+    /** Lease checks share one skew-aware notion of "now". */
+    Clock::time_point skewedNow() const;
+
+    /** Revoke every lapsed lease; counts expiries. Lock held. */
+    void revokeExpiredLocked(Clock::time_point now);
+
+    /** Append one record to the coordination journal (lock held). */
+    void journalAppend(const std::string &record);
+
+    /** Restore state from an existing journal file. */
+    void journalRestore();
+
     core::IslandOptions opts_;
+    IslandCoordinatorOptions copts_;
     std::string extra_;
 
     mutable std::mutex mutex_;
@@ -165,10 +294,34 @@ class IslandCoordinator
              std::vector<std::optional<std::vector<core::ScoredSpec>>>>
         outboxes_;
 
+    /**
+     * Async migrant-arrival schedule: (island, barrier generation)
+     * -> source generation delivered (0 = nothing had been posted).
+     * First delivery wins and is journaled, so resumed workers
+     * re-requesting a barrier receive exactly what the original
+     * consumed.
+     */
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t>
+        deliveries_;
+
+    struct Lease
+    {
+        std::string owner; ///< empty: unclaimed
+        Clock::time_point expiry{};
+        std::uint64_t generation = 0;
+        std::uint64_t epoch = 0;
+    };
+    std::vector<Lease> leases_;
+
+    /** Islands revoked since the last expiredIslands() drain. */
+    std::vector<std::size_t> pendingExpired_;
+
     std::vector<std::optional<core::IslandReport>> reports_;
     std::size_t reportsReceived_ = 0;
     bool stopped_ = false;
     IslandCoordinatorStats stats_;
+
+    int journalFd_ = -1;
 };
 
 /** Worker-side knobs. */
@@ -178,31 +331,91 @@ struct IslandWorkerOptions
     std::uint16_t port = 0;
     std::size_t island = 0;
 
+    /** Pull any unowned island instead of naming one. */
+    bool autoIsland = false;
+
+    /**
+     * Stable worker identity for lease accounting; generated
+     * (pid + sequence) when empty. A respawned worker should present
+     * a fresh identity so supervision can count respawns per worker.
+     */
+    std::string workerId;
+
     /** Transport knobs (deadlines, retry/backoff). */
     ClientOptions client;
 
     /** Poll interval while waiting at a migration barrier. */
     double pollSeconds = 0.02;
+
+    /**
+     * Heartbeat interval; 0 derives a quarter of the coordinator's
+     * lease. Heartbeats run on their own connection so a worker deep
+     * in evaluation still renews its lease.
+     */
+    double heartbeatSeconds = 0.0;
 };
 
 /**
- * Fetch the run configuration from a coordinator (island.join).
- * @throws FatalError on "stop", transport loss, or a bad response.
+ * Registration handshake: claim @p island_spec ("auto" or an index)
+ * under @p worker_id and fetch the run configuration.
+ * @return nullopt when the coordinator answered "ok none" (every
+ * island is leased).
+ * @throws FatalError on "stop", a refused join, transport loss, or
+ * a bad response.
  */
-IslandWireConfig fetchIslandConfig(Client &client, std::size_t island);
+std::optional<IslandWireConfig>
+fetchIslandConfig(Client &client, const std::string &island_spec,
+                  const std::string &worker_id);
 
 /**
- * Run one island to completion against a coordinator: join,
- * resume-from-checkpoint if opts.checkpointDir holds one, evolve,
- * exchange migrants at each barrier, and post the final report.
- * @return the report this worker posted.
- * @throws FatalError when the coordinator stops the run, its
- * configuration contradicts @p opts, or the transport is gone for
- * good (after the client's retry budget).
+ * Keeps a freshly claimed lease alive across worker-side setup that
+ * happens between the island.join handshake and runIslandWorker's
+ * own heartbeat loop (dataset sampling, checkpoint loading). Without
+ * it a worker on a contended box can outlast its lease before ever
+ * beating, and the supervisor spawns a standby for an island whose
+ * worker is alive but still setting up. Renews at
+ * wopts.heartbeatSeconds (leaseSeconds/4 when 0) under the same
+ * worker id, so runIslandWorker's subsequent join is an idempotent
+ * renewal, not a competing claim.
  */
-core::IslandReport runIslandWorker(const core::Dataset &data,
-                                   const core::IslandOptions &opts,
-                                   const IslandWorkerOptions &wopts);
+class IslandLeaseKeeper
+{
+  public:
+    IslandLeaseKeeper(const IslandWorkerOptions &wopts,
+                      std::size_t island, std::string workerId,
+                      double leaseSeconds);
+    ~IslandLeaseKeeper();
+
+    IslandLeaseKeeper(const IslandLeaseKeeper &) = delete;
+    IslandLeaseKeeper &operator=(const IslandLeaseKeeper &) = delete;
+
+    /** Stop renewing (idempotent; the destructor calls it too). */
+    void finish();
+
+    /** Did the coordinator fence this worker ("ok lost" / "stop")? */
+    bool lost() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run one island to completion against a coordinator: join (claiming
+ * the island's lease), resume-from-checkpoint if opts.checkpointDir
+ * holds one, evolve under heartbeat supervision, exchange migrants
+ * at each barrier (blocking in sync mode, proceeding with last-known
+ * migrants in async mode), and post the final report.
+ * @return the report this worker posted, or nullopt when
+ * wopts.autoIsland found no unowned island.
+ * @throws FatalError when the coordinator stops the run, fences this
+ * worker ("ok lost"), its configuration contradicts @p opts, or the
+ * transport is gone for good (after the client's retry budget).
+ */
+std::optional<core::IslandReport>
+runIslandWorker(const core::Dataset &data,
+                const core::IslandOptions &opts,
+                const IslandWorkerOptions &wopts);
 
 } // namespace hwsw::serve
 

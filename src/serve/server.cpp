@@ -513,6 +513,9 @@ Server::statsReport() const
         }
     }
 
+    if (islands_)
+        os << "island coordinator:\n" << islands_->describe();
+
     os << "latency:\n" << latency_.report();
     return os.str();
 }

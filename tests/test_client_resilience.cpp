@@ -19,6 +19,7 @@
 #include "common/fault/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/resilience/resilience.hpp"
 #include "serve/server.hpp"
 
 #include "serve_test_util.hpp"
@@ -261,6 +262,100 @@ TEST_F(ClientResilience, RetryExhaustionNamesEndpointAndCause)
         EXPECT_NE(std::string(e.what()).find("Connection refused"),
                   std::string::npos)
             << e.what();
+    }
+}
+
+TEST_F(ClientResilience, ReconnectReResolvesEndpointEachAttempt)
+{
+    // Regression: the endpoint must be re-resolved on EVERY connect
+    // attempt, not cached from construction — a failed-over host can
+    // come back under a new address mid-run. One injected resolution
+    // failure on the first reconnect must not poison the retry loop:
+    // the next attempt resolves afresh and succeeds.
+    armAndEnable("proto.read.err:once,errno=104");
+    armAndEnable("client.resolve.fail:nth=2,once,errno=113");
+
+    // A hostname (not a dotted literal) forces the getaddrinfo path.
+    Client c("localhost", server->port(), {});
+    Rng rng(7);
+    const FeatureVector row = testutil::makeRow(rng);
+    const ClientPrediction out = c.predict("default", row);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_GE(out.attempts, 2);
+    EXPECT_EQ(out.values[0],
+              registry->lookup("default")->model.predict(
+                  testutil::rowRecord(row)));
+
+    // trips == 1 proves the reconnect went through resolution again
+    // (a cached address would never consult the point); the overall
+    // success proves the attempt after the poisoned one resolved
+    // afresh rather than reusing the failure.
+    const auto resolve =
+        fault::FaultRegistry::instance().stats("client.resolve.fail");
+    EXPECT_EQ(resolve.trips, 1u);
+    EXPECT_GE(c.transportStats().reconnects, 1u);
+    c.quit();
+}
+
+TEST(BackoffSchedule, JitterStaysInsideConfiguredBounds)
+{
+    resilience::RetryPolicy p;
+    p.initialBackoff = 0.010;
+    p.maxBackoff = 10.0; // no cap interference for this check
+    p.multiplier = 2.0;
+    p.jitterFrac = 0.25;
+
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        resilience::Backoff b(p, seed);
+        double nominal = p.initialBackoff;
+        for (int i = 0; i < 8; ++i) {
+            const double d = b.nextDelaySeconds();
+            EXPECT_GE(d, nominal * (1.0 - p.jitterFrac))
+                << "seed " << seed << " retry " << i;
+            EXPECT_LE(d, nominal * (1.0 + p.jitterFrac))
+                << "seed " << seed << " retry " << i;
+            nominal *= p.multiplier;
+        }
+        EXPECT_EQ(b.retries(), 8);
+    }
+}
+
+TEST(BackoffSchedule, DeterministicUnderFixedSeed)
+{
+    // Reproducible schedules are what make the fault tests (and any
+    // field repro) deterministic: same policy + same seed -> same
+    // delays, different seed -> decorrelated delays (no retry storm
+    // synchronization).
+    const resilience::RetryPolicy p;
+    resilience::Backoff a(p, 42), b(p, 42), other(p, 43);
+    bool diverged = false;
+    for (int i = 0; i < 8; ++i) {
+        const double da = a.nextDelaySeconds();
+        EXPECT_EQ(da, b.nextDelaySeconds()) << "retry " << i;
+        diverged |= da != other.nextDelaySeconds();
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffSchedule, SaturatesAtCapAndStaysThere)
+{
+    resilience::RetryPolicy p;
+    p.initialBackoff = 0.010;
+    p.maxBackoff = 0.050;
+    p.multiplier = 4.0;
+    p.jitterFrac = 0.25;
+
+    resilience::Backoff b(p, 9);
+    for (int i = 0; i < 12; ++i) {
+        const double d = b.nextDelaySeconds();
+        // Jitter applies to the capped nominal value, so the hard
+        // ceiling is cap * (1 + jitter) — the cap keeps a tail of
+        // retries from backing off into minutes.
+        EXPECT_LE(d, p.maxBackoff * (1.0 + p.jitterFrac))
+            << "retry " << i;
+        if (i >= 2) // nominal: 10ms, 40ms, 50ms, 50ms, ...
+            EXPECT_GE(d, p.maxBackoff * (1.0 - p.jitterFrac))
+                << "retry " << i;
     }
 }
 

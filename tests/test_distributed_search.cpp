@@ -333,8 +333,14 @@ TEST(DistributedSearch, WorkerKillMidGenerationRecovers)
         } catch (const FatalError &) {
             killed = true; // injected mid-generation death
         }
-        if (killed)
-            run_worker(1); // respawn: resumes from the checkpoint
+        if (killed) {
+            // The supervisor knows the worker is dead: revoke its
+            // still-live lease instead of waiting out the clock,
+            // then respawn. The replacement (a fresh worker
+            // identity) resumes from the checkpoint.
+            coordinator.revokeLease(1);
+            run_worker(1);
+        }
     });
     worker0.join();
     worker1.join();
@@ -352,6 +358,93 @@ TEST(DistributedSearch, WorkerKillMidGenerationRecovers)
     std::filesystem::remove_all(dir);
 }
 
+TEST(DistributedSearch, ChaosMultiFaultRunStaysBitIdentical)
+{
+    const Dataset data = detData(40, 36);
+    IslandOptions opts = baseOpts(4);
+    const GaResult reference = runIslandModel(data, opts);
+
+    const std::string dir = ::testing::TempDir() + "hwsw-dist-chaos";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    opts.checkpointDir = dir;
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    auto &faults = fault::FaultRegistry::instance();
+    faults.reset();
+    faults.setEnabled(true);
+    // Three distinct fault domains in one run:
+    //  - island 1 is SIGKILLed mid-generation (after scoring,
+    //    before the checkpoint) and respawned;
+    //  - island 2 stalls for 200 ms mid-run (slowdown only — far
+    //    inside the lease);
+    //  - island 3 is network-partitioned from the coordinator until
+    //    the supervisor heals the link and respawns it.
+    ASSERT_TRUE(faults.armSpec("island.worker.kill.1:nth=2,once"));
+    ASSERT_TRUE(
+        faults.armSpec("island.worker.stall.2:nth=3,once,skew=0.2"));
+    ASSERT_TRUE(faults.armSpec("island.partition.3"));
+
+    const auto run_worker = [&](std::size_t island) {
+        serve::IslandWorkerOptions w;
+        w.port = server.port();
+        w.island = island;
+        w.pollSeconds = 0.005;
+        serve::runIslandWorker(data, opts, w);
+    };
+
+    bool killed = false;
+    bool partitioned = false;
+    std::vector<std::thread> workers;
+    workers.emplace_back(run_worker, 0);
+    workers.emplace_back([&] {
+        try {
+            run_worker(1);
+        } catch (const FatalError &) {
+            killed = true;
+        }
+        if (killed) {
+            coordinator.revokeLease(1);
+            run_worker(1); // resumes from the checkpoint
+        }
+    });
+    workers.emplace_back(run_worker, 2);
+    workers.emplace_back([&] {
+        try {
+            run_worker(3);
+        } catch (const FatalError &) {
+            partitioned = true; // cut off from the coordinator
+        }
+        if (partitioned) {
+            // Supervisor heals the partition and respawns.
+            faults.disarm("island.partition.3");
+            coordinator.revokeLease(3);
+            run_worker(3);
+        }
+    });
+    for (std::thread &t : workers)
+        t.join();
+
+    EXPECT_TRUE(killed);
+    EXPECT_TRUE(partitioned);
+    EXPECT_GT(faults.stats("island.worker.stall.2").trips, 0u);
+    faults.setEnabled(false);
+    faults.reset();
+
+    ASSERT_TRUE(coordinator.waitForReports(30.0));
+    const GaResult recovered = coordinator.result();
+    EXPECT_EQ(coordinator.stats().leaseExpiries, 0u);
+    server.stop();
+    // Kill + stall + partition taken together leave no trace in the
+    // merged outcome: sync mode stays bit-identical.
+    expectSameResult(reference, recovered, "chaos multi-fault run");
+    std::filesystem::remove_all(dir);
+}
+
 TEST(DistributedSearch, CoordinatorValidatesRequests)
 {
     const IslandOptions opts = baseOpts(2);
@@ -366,8 +459,26 @@ TEST(DistributedSearch, CoordinatorValidatesRequests)
 
     EXPECT_TRUE(call("island.nope", {}).starts_with("error"));
     EXPECT_TRUE(call("island.join", {}).starts_with("error"));
-    EXPECT_TRUE(call("island.join", {"9"}).starts_with("error"));
-    EXPECT_TRUE(call("island.join", {"0"}).starts_with("ok config"));
+    EXPECT_TRUE(call("island.join", {"9", "w1"})
+                    .starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"0"}).starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"0", ""}).starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"0", "w1"})
+                    .starts_with("ok config"));
+    // A live lease refuses other workers but re-joins its owner.
+    EXPECT_TRUE(call("island.join", {"0", "w2"})
+                    .starts_with("error"));
+    EXPECT_TRUE(call("island.join", {"0", "w1"})
+                    .starts_with("ok config"));
+    // Heartbeats: owner renews, strangers are fenced.
+    EXPECT_TRUE(call("island.heartbeat", {"0", "w1", "3", "1"})
+                    .starts_with("ok lease"));
+    EXPECT_EQ(call("island.heartbeat", {"0", "w2", "3", "1"}),
+              "ok lost");
+    EXPECT_TRUE(call("island.heartbeat", {"9", "w1", "3", "1"})
+                    .starts_with("error"));
+    EXPECT_TRUE(
+        call("island.heartbeat", {"0", "w1"}).starts_with("error"));
     // Not a barrier generation (interval 2).
     EXPECT_TRUE(call("island.migrate", {"0", "3", "2"})
                     .starts_with("error"));
@@ -382,7 +493,9 @@ TEST(DistributedSearch, CoordinatorValidatesRequests)
                     .starts_with("error"));
 
     coordinator.stop();
-    EXPECT_EQ(call("island.join", {"0"}), "stop");
+    EXPECT_EQ(call("island.join", {"0", "w1"}), "stop");
+    EXPECT_EQ(call("island.heartbeat", {"0", "w1", "3", "1"}),
+              "stop");
     EXPECT_EQ(call("island.stop", {}), "ok stopping");
 }
 

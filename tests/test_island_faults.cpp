@@ -1,0 +1,513 @@
+// Failure domains of the distributed island search: lease
+// grant/renew/refuse/expiry (with the monotonic clock aged by the
+// `island.lease.expire.skew` fault), elastic auto-join membership,
+// async migration's pinned first-delivery-wins schedule, the durable
+// coordination journal (worker resume AND coordinator restart), and
+// the full stall -> lease expiry -> standby takeover -> zombie
+// fencing path over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/fault/fault.hpp"
+#include "core/island.hpp"
+#include "serve/island.hpp"
+#include "serve/server.hpp"
+
+namespace hwsw::core {
+namespace {
+
+Dataset
+detData(std::size_t per_app, std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"alpha", "beta", "gamma"}) {
+        const double base = 1.0 + 0.5 * (app[0] - 'a');
+        for (std::size_t i = 0; i < per_app; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[7] = rng.nextUniform(10, 1000);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.vars[kNumSw + 4] = 16 << rng.nextInt(4);
+            r.perf = base + 2.0 * r.vars[6] + 3.0 / r.vars[kNumSw] +
+                0.3 * std::sqrt(r.vars[7]) * 16.0 /
+                    r.vars[kNumSw + 4];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+IslandOptions
+baseOpts(std::size_t islands)
+{
+    IslandOptions o;
+    o.ga.populationSize = 12;
+    o.ga.generations = 6;
+    o.ga.numThreads = 1;
+    o.ga.seed = 1234;
+    o.islands = islands;
+    o.migrationInterval = 2;
+    o.migrants = 2;
+    return o;
+}
+
+void
+expectSameResult(const GaResult &a, const GaResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.best.spec, b.best.spec);
+    EXPECT_EQ(a.best.fitness, b.best.fitness);
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        EXPECT_EQ(a.history[g].bestFitness, b.history[g].bestFitness);
+        EXPECT_EQ(a.history[g].meanFitness, b.history[g].meanFitness);
+    }
+    ASSERT_EQ(a.population.size(), b.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        EXPECT_EQ(a.population[i].spec, b.population[i].spec);
+        EXPECT_EQ(a.population[i].fitness, b.population[i].fitness);
+    }
+}
+
+/** handle() convenience wrapper for protocol-level tests. */
+std::string
+call(serve::IslandCoordinator &c, std::string_view verb,
+     std::vector<std::string_view> args, std::string_view body = "")
+{
+    return c.handle(verb, std::span<const std::string_view>(args),
+                    body);
+}
+
+/** Two distinguishable migrant blocks for protocol-level posts. */
+std::string
+migrantBody(double tag)
+{
+    std::ostringstream os;
+    for (int i = 0; i < 2; ++i) {
+        ScoredSpec s;
+        s.fitness = tag + i;
+        s.sumMedianError = tag;
+        serve::saveScoredSpec(s, os);
+    }
+    return os.str();
+}
+
+class ScopedFaults
+{
+  public:
+    ScopedFaults()
+    {
+        auto &f = fault::FaultRegistry::instance();
+        f.reset();
+        f.setEnabled(true);
+    }
+    ~ScopedFaults()
+    {
+        auto &f = fault::FaultRegistry::instance();
+        f.setEnabled(false);
+        f.reset();
+    }
+};
+
+TEST(IslandFaults, LeaseGrantRenewRefuseExpire)
+{
+    ScopedFaults faults;
+    const IslandOptions opts = baseOpts(2);
+    serve::IslandCoordinatorOptions copts;
+    copts.leaseSeconds = 5.0;
+    serve::IslandCoordinator c(opts, copts);
+
+    // w1 claims island 0; a live lease refuses w2 but renews w1.
+    EXPECT_TRUE(call(c, "island.join", {"0", "w1"})
+                    .starts_with("ok config"));
+    EXPECT_TRUE(call(c, "island.join", {"0", "w2"})
+                    .starts_with("error"));
+    EXPECT_EQ(call(c, "island.heartbeat", {"0", "w1", "2", "1"}),
+              "ok lease 5000");
+    EXPECT_EQ(call(c, "island.heartbeat", {"0", "w2", "2", "1"}),
+              "ok lost");
+    EXPECT_TRUE(c.expiredIslands().empty());
+
+    const auto snapshot = c.leases();
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(snapshot[0].owner, "w1");
+    EXPECT_GT(snapshot[0].remainingSeconds, 0.0);
+    EXPECT_EQ(snapshot[0].generation, 2u);
+    EXPECT_EQ(snapshot[1].owner, "");
+
+    // Age the monotonic clock past the lease: the island expires
+    // (island 1 does not — it was never claimed) and becomes
+    // claimable by a standby; the original owner is then fenced.
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "island.lease.expire.skew:skew=30"));
+    const auto expired = c.expiredIslands();
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0], 0u);
+    EXPECT_TRUE(c.expiredIslands().empty()); // drained exactly once
+
+    EXPECT_TRUE(call(c, "island.join", {"0", "w2"})
+                    .starts_with("ok config"));
+    EXPECT_EQ(call(c, "island.heartbeat", {"0", "w1", "3", "1"}),
+              "ok lost");
+    fault::FaultRegistry::instance().disarm(
+        "island.lease.expire.skew");
+    EXPECT_EQ(call(c, "island.heartbeat", {"0", "w2", "1", "1"}),
+              "ok lease 5000");
+
+    const auto s = c.stats();
+    EXPECT_EQ(s.joins, 2u);
+    EXPECT_EQ(s.leaseExpiries, 1u);
+    EXPECT_EQ(s.staleHeartbeats, 2u);
+    EXPECT_GE(s.joinsRefused, 1u);
+}
+
+TEST(IslandFaults, GracefulReclaimAfterUnclaimedExpiry)
+{
+    ScopedFaults faults;
+    serve::IslandCoordinatorOptions copts;
+    copts.leaseSeconds = 5.0;
+    serve::IslandCoordinator c(baseOpts(1), copts);
+
+    ASSERT_TRUE(call(c, "island.join", {"0", "w1"})
+                    .starts_with("ok config"));
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "island.lease.expire.skew:skew=30"));
+    ASSERT_EQ(c.expiredIslands().size(), 1u);
+    fault::FaultRegistry::instance().disarm(
+        "island.lease.expire.skew");
+
+    // Nobody claimed the lapsed island: the owner's next beat
+    // reclaims it instead of killing the run.
+    EXPECT_TRUE(call(c, "island.heartbeat", {"0", "w1", "4", "2"})
+                    .starts_with("ok lease"));
+    EXPECT_EQ(c.stats().rejoins, 1u);
+    EXPECT_EQ(c.stats().leaseExpiries, 1u);
+}
+
+TEST(IslandFaults, AutoJoinElasticMembership)
+{
+    const IslandOptions opts = baseOpts(3);
+    serve::IslandCoordinator c(opts);
+
+    // Lowest unowned island first; re-join is idempotent.
+    EXPECT_TRUE(call(c, "island.join", {"auto", "w1"})
+                    .starts_with("ok config 0 "));
+    EXPECT_TRUE(call(c, "island.join", {"auto", "w1"})
+                    .starts_with("ok config 0 "));
+    EXPECT_TRUE(call(c, "island.join", {"auto", "w2"})
+                    .starts_with("ok config 1 "));
+    EXPECT_TRUE(call(c, "island.join", {"auto", "w3"})
+                    .starts_with("ok config 2 "));
+    // Saturated: a late-arriving standby is told to stand down.
+    EXPECT_EQ(call(c, "island.join", {"auto", "w4"}), "ok none");
+
+    const auto s = c.stats();
+    EXPECT_EQ(s.joins, 3u);
+    EXPECT_EQ(s.rejoins, 1u);
+    EXPECT_EQ(s.joinsRefused, 1u);
+}
+
+TEST(IslandFaults, AsyncDeliveryPinnedFirstWins)
+{
+    IslandOptions opts = baseOpts(2);
+    opts.asyncMigration = true;
+    serve::IslandCoordinator c(opts);
+
+    const std::string b0g2 = migrantBody(10.0);
+    const std::string b1g2 = migrantBody(20.0);
+    const std::string b1g4 = migrantBody(40.0);
+    const std::string b0g4 = migrantBody(30.0);
+
+    // Island 0 reaches barrier 2 first; its source (island 1) has
+    // posted nothing, so it proceeds empty-handed — and that choice
+    // is pinned.
+    EXPECT_EQ(call(c, "island.migrate", {"0", "2", "2"}, b0g2),
+              "ok migrants 0\n");
+    // Island 1 arrives later and receives island 0's fresh barrier.
+    EXPECT_EQ(call(c, "island.migrate", {"1", "2", "2"}, b1g2),
+              "ok migrants 2\n" + b0g2);
+    // Island 1 races ahead to barrier 4 before island 0 gets there:
+    // it is served the newest available post — the stale barrier 2.
+    EXPECT_EQ(call(c, "island.migrate", {"1", "4", "2"}, b1g4),
+              "ok migrants 2\n" + b0g2);
+    // Island 0 catches up; its barrier-4 delivery sees island 1's
+    // barrier-4 post.
+    EXPECT_EQ(call(c, "island.migrate", {"0", "4", "2"}, b0g4),
+              "ok migrants 2\n" + b1g4);
+
+    // A crashed-and-resumed island 1 replays its barriers: every
+    // delivery is pinned, so it receives exactly what the original
+    // consumed — island 0's barrier-4 post, though newer, must NOT
+    // leak into the replay.
+    EXPECT_EQ(call(c, "island.migrate", {"1", "2", "2"}, b1g2),
+              "ok migrants 2\n" + b0g2);
+    EXPECT_EQ(call(c, "island.migrate", {"1", "4", "2"}, b1g4),
+              "ok migrants 2\n" + b0g2);
+    // Island 0's pinned empty delivery stays empty on replay too.
+    EXPECT_EQ(call(c, "island.migrate", {"0", "2", "2"}, b0g2),
+              "ok migrants 0\n");
+
+    const auto s = c.stats();
+    EXPECT_EQ(s.migratePosts, 4u);
+    EXPECT_EQ(s.duplicatePosts, 3u);
+    EXPECT_EQ(s.asyncStale, 2u); // original + replayed stale serve
+    EXPECT_EQ(s.asyncEmpty, 2u); // original + replayed empty serve
+}
+
+TEST(IslandFaults, JournalSurvivesCoordinatorRestart)
+{
+    const std::string dir =
+        ::testing::TempDir() + "hwsw-island-journal";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    IslandOptions opts = baseOpts(2);
+    opts.asyncMigration = true;
+    serve::IslandCoordinatorOptions copts;
+    copts.journalPath = dir + "/coordination.journal";
+
+    const std::string b0g2 = migrantBody(10.0);
+    const std::string b1g4 = migrantBody(40.0);
+    {
+        serve::IslandCoordinator c(opts, copts);
+        EXPECT_EQ(call(c, "island.migrate", {"0", "2", "2"}, b0g2),
+                  "ok migrants 0\n");
+        EXPECT_EQ(call(c, "island.migrate", {"1", "4", "2"}, b1g4),
+                  "ok migrants 2\n" + b0g2);
+    }
+
+    // A restarted coordinator restores outboxes and pinned
+    // deliveries from the journal: replays answer bit-identically
+    // and re-posts are recognized as duplicates.
+    serve::IslandCoordinator c(opts, copts);
+    EXPECT_GT(c.stats().journalRecords, 0u);
+    EXPECT_EQ(call(c, "island.migrate", {"1", "4", "2"}, b1g4),
+              "ok migrants 2\n" + b0g2);
+    EXPECT_EQ(call(c, "island.migrate", {"0", "2", "2"}, b0g2),
+              "ok migrants 0\n");
+    EXPECT_EQ(c.stats().migratePosts, 0u);
+    EXPECT_EQ(c.stats().duplicatePosts, 2u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IslandFaults, HeartbeatDropIsHarmlessWhileLeaseHolds)
+{
+    ScopedFaults faults;
+    const Dataset data = detData(40, 51);
+    const IslandOptions opts = baseOpts(2);
+    const GaResult reference = runIslandModel(data, opts);
+
+    // Every other beat vanishes in flight; with beats far inside
+    // the lease the run must neither expire a lease nor diverge.
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "island.heartbeat.drop:nth=2"));
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    std::vector<std::thread> workers;
+    for (std::size_t i = 0; i < opts.islands; ++i) {
+        workers.emplace_back([&, i] {
+            serve::IslandWorkerOptions w;
+            w.port = server.port();
+            w.island = i;
+            w.pollSeconds = 0.005;
+            w.heartbeatSeconds = 0.01;
+            serve::runIslandWorker(data, opts, w);
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+
+    ASSERT_TRUE(coordinator.waitForReports(30.0));
+    const GaResult faulted = coordinator.result();
+    EXPECT_EQ(coordinator.stats().leaseExpiries, 0u);
+    EXPECT_GT(fault::FaultRegistry::instance()
+                  .stats("island.heartbeat.drop")
+                  .trips,
+              0u);
+    server.stop();
+    expectSameResult(reference, faulted, "dropped heartbeats");
+}
+
+TEST(IslandFaults, StallExpiresLeaseAndStandbyTakesOver)
+{
+    ScopedFaults faults;
+    const Dataset data = detData(40, 52);
+    IslandOptions opts = baseOpts(2);
+    const GaResult reference = runIslandModel(data, opts);
+
+    const std::string dir = ::testing::TempDir() + "hwsw-stall";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    opts.checkpointDir = dir;
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinatorOptions copts;
+    copts.leaseSeconds = 0.25;
+    serve::IslandCoordinator coordinator(opts, copts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    // Island 0's worker hangs — evolve loop AND heartbeat loop, the
+    // full process — for far longer than its lease.
+    ASSERT_TRUE(fault::FaultRegistry::instance().armSpec(
+        "island.worker.stall.0:skew=1.5"));
+
+    const auto run_worker = [&](std::size_t island) {
+        serve::IslandWorkerOptions w;
+        w.port = server.port();
+        w.island = island;
+        w.pollSeconds = 0.005;
+        try {
+            serve::runIslandWorker(data, opts, w);
+        } catch (const FatalError &) {
+            // Fenced zombie ("ok lost") — expected for the stalled
+            // original when the standby reclaimed its island.
+        }
+    };
+
+    std::thread worker0(run_worker, 0);
+    std::thread worker1(run_worker, 1);
+
+    // Supervisor: watch leases, not processes. When the stalled
+    // worker's lease lapses, heal the fault domain and hand the
+    // island to a standby, which resumes from the checkpoint.
+    std::atomic<bool> done{false};
+    std::atomic<bool> respawned{false};
+    std::thread standby;
+    std::thread supervisor([&] {
+        while (!done.load()) {
+            for (const std::size_t island :
+                 coordinator.expiredIslands()) {
+                if (island == 0 && !respawned.exchange(true)) {
+                    fault::FaultRegistry::instance().disarm(
+                        "island.worker.stall.0");
+                    standby = std::thread(run_worker, 0);
+                }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+
+    ASSERT_TRUE(coordinator.waitForReports(30.0));
+    const GaResult recovered = coordinator.result();
+    done.store(true);
+    supervisor.join();
+    worker0.join();
+    worker1.join();
+    if (standby.joinable())
+        standby.join();
+    server.stop();
+
+    EXPECT_TRUE(respawned.load());
+    EXPECT_GE(coordinator.stats().leaseExpiries, 1u);
+    // The takeover is invisible in the outcome: sync-mode bit
+    // determinism holds through stall + lease expiry + standby.
+    expectSameResult(reference, recovered, "stall takeover");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IslandFaults, AsyncElasticSingleWorkerDrainsAllIslands)
+{
+    const Dataset data = detData(40, 53);
+    IslandOptions opts = baseOpts(2);
+    opts.asyncMigration = true;
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(opts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    // One elastic worker, no barriers: async migration never blocks
+    // on an unposted source, so a single auto worker can drain every
+    // island sequentially — impossible in sync mode.
+    std::size_t served = 0;
+    for (;;) {
+        serve::IslandWorkerOptions w;
+        w.port = server.port();
+        w.autoIsland = true;
+        w.pollSeconds = 0.005;
+        const auto report = serve::runIslandWorker(data, opts, w);
+        if (!report)
+            break;
+        EXPECT_EQ(report->history.size(), opts.ga.generations);
+        ++served;
+    }
+    EXPECT_EQ(served, opts.islands);
+
+    ASSERT_TRUE(coordinator.waitForReports(5.0));
+    const GaResult result = coordinator.result();
+    EXPECT_EQ(result.history.size(), opts.ga.generations);
+    EXPECT_EQ(result.population.size(),
+              opts.islands * opts.ga.populationSize);
+
+    const auto s = coordinator.stats();
+    // The first island found no migrants (its source hadn't posted);
+    // the second fed off the first's retained posts.
+    EXPECT_GE(s.asyncEmpty, 1u);
+    EXPECT_GE(s.migrantsServed, 1u);
+    server.stop();
+}
+
+TEST(IslandFaults, SyncReportsSurviveCoordinatorRestart)
+{
+    const Dataset data = detData(40, 54);
+    const IslandOptions opts = baseOpts(2);
+
+    const std::string dir = ::testing::TempDir() + "hwsw-coord-jrnl";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    serve::IslandCoordinatorOptions copts;
+    copts.journalPath = dir + "/coordination.journal";
+
+    GaResult first;
+    {
+        auto registry = std::make_shared<serve::ModelRegistry>();
+        serve::IslandCoordinator coordinator(opts, copts);
+        serve::Server server(registry, {}, nullptr, &coordinator);
+        server.start();
+        std::vector<std::thread> workers;
+        for (std::size_t i = 0; i < opts.islands; ++i) {
+            workers.emplace_back([&, i] {
+                serve::IslandWorkerOptions w;
+                w.port = server.port();
+                w.island = i;
+                w.pollSeconds = 0.005;
+                serve::runIslandWorker(data, opts, w);
+            });
+        }
+        for (std::thread &t : workers)
+            t.join();
+        ASSERT_TRUE(coordinator.waitForReports(30.0));
+        first = coordinator.result();
+        server.stop();
+    }
+
+    // The journal carries the full rendezvous state: a restarted
+    // coordinator has every report and yields the same merge without
+    // any worker re-running.
+    serve::IslandCoordinator coordinator(opts, copts);
+    ASSERT_TRUE(coordinator.waitForReports(0.1));
+    expectSameResult(first, coordinator.result(),
+                     "coordinator restart");
+    EXPECT_GT(coordinator.stats().journalRecords, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace hwsw::core

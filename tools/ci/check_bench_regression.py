@@ -60,6 +60,14 @@ def parse_gate(spec):
     return (bench, metric), direction
 
 
+def parse_require(spec):
+    """Parse "bench/metric" into (bench, metric)."""
+    bench, sep, metric = spec.partition("/")
+    if not sep or not bench or not metric:
+        raise SystemExit(f"--require {spec}: expected BENCH/METRIC")
+    return (bench, metric)
+
+
 def main(argv):
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh")
@@ -72,6 +80,12 @@ def main(argv):
                     help="gate this metric; 'min' fails on increases "
                          "(wall clock), 'max' fails on decreases "
                          "(throughput). Repeatable.")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="BENCH/METRIC",
+                    help="fail when this metric is absent from the "
+                         "fresh results — a bench phase that silently "
+                         "stopped emitting it must break the build, "
+                         "not fade out of the trend. Repeatable.")
     ap.add_argument("--bench", default="bench_parallel_search",
                     help="legacy single-gate bench (ignored when "
                          "--gate is given)")
@@ -86,6 +100,13 @@ def main(argv):
 
     fresh = load_results(args.fresh)
     base = load_results(args.baseline)
+
+    missing = [f"{b}/{m}" for b, m in map(parse_require, args.require)
+               if (b, m) not in fresh]
+    if missing:
+        raise SystemExit(
+            f"{args.fresh}: missing required metric(s): "
+            f"{', '.join(missing)}")
 
     for key in gates:
         if key not in fresh:

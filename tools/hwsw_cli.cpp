@@ -17,12 +17,15 @@
  * malformed value prints the usage text and exits non-zero instead
  * of crashing on an uncaught exception.
  */
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,7 +70,9 @@ usage()
         "             [--islands N=2] [--migration-interval G=4]\n"
         "             [--migrants M=2] [--checkpoint-dir DIR] "
         "[--port P]\n"
-        "  hwsw train --island-worker I --server host:port\n"
+        "             [--migration sync|async] [--max-respawns N]\n"
+        "             [--lease-seconds S] [--workers-file FILE]\n"
+        "  hwsw train --island-worker I|auto --server host:port\n"
         "  hwsw save <model-file> [pairs-per-app=150] "
         "[generations=12]\n"
         "  hwsw spmv <matrix> [scale=0.15]\n"
@@ -110,8 +115,24 @@ usage()
         "  --migrants M         distributed: elites exchanged per\n"
         "                       island at each barrier\n"
         "  --checkpoint-dir DIR distributed: per-island resumable\n"
-        "                       checkpoints (island-<i>.ckpt)\n"
+        "                       checkpoints (island-<i>.ckpt) plus\n"
+        "                       the coordination journal\n"
+        "  --migration MODE     distributed: sync (barrier,\n"
+        "                       bit-deterministic) or async\n"
+        "                       (proceed with last-known migrants;\n"
+        "                       schedule journaled for replay)\n"
+        "  --max-respawns N     distributed: respawn budget per\n"
+        "                       island worker slot (0 = fail fast;\n"
+        "                       default 5)\n"
+        "  --lease-seconds S    distributed: worker lease duration\n"
+        "                       (heartbeats renew at S/4; default 2)\n"
+        "  --workers-file FILE  distributed: launch workers over ssh\n"
+        "                       (one 'host [slots]' per line;\n"
+        "                       localhost lines fork locally) instead\n"
+        "                       of forking one child per island\n"
         "  --island-worker I    run one island against --server\n"
+        "                       ('auto' pulls unowned islands until\n"
+        "                       none remain — elastic membership)\n"
         "  --fault SPEC         arm a fault-injection point, e.g.\n"
         "                       proto.read.err:p=0.01,errno=104\n"
         "                       (repeatable; implies injection ON)\n"
@@ -334,12 +355,16 @@ parseEndpoint(const std::string &endpoint, std::string &host,
 }
 
 /**
- * Worker mode: one island against a coordinator. Everything but the
- * endpoint and island index comes from island.join, so local and
- * remote workers are launched identically.
+ * Worker mode: islands against a coordinator. Everything but the
+ * endpoint and island spec comes from island.join, so local and
+ * remote workers are launched identically. With --island-worker
+ * auto the worker keeps pulling unowned islands until the
+ * coordinator answers "ok none" — elastic membership: start as many
+ * of these on as many hosts as you like, whenever you like.
  */
 int
-cmdIslandWorker(const std::string &endpoint, std::size_t island,
+cmdIslandWorker(const std::string &endpoint,
+                const std::string &island_spec,
                 unsigned threads_override)
 {
     std::string host;
@@ -347,80 +372,132 @@ cmdIslandWorker(const std::string &endpoint, std::size_t island,
     if (!parseEndpoint(endpoint, host, port))
         return usage();
 
-    serve::IslandWireConfig cfg;
-    {
-        serve::Client client(host, port);
-        cfg = serve::fetchIslandConfig(client, island);
-        client.quit();
-    }
+    const bool auto_island = island_spec == "auto";
+    // One identity for handshake and lease renewal: the config
+    // fetch below claims the lease, and runIslandWorker's own join
+    // under the same id is an idempotent re-join, not a second
+    // claim.
+    const std::string worker_id =
+        "cli-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+        std::to_string(
+            std::chrono::steady_clock::now().time_since_epoch()
+                .count() &
+            0xffff);
 
-    // The extra blob carries the dataset and runtime parameters the
-    // coordinator trained with (one "key value" line each).
-    std::size_t pairs = 150;
-    unsigned threads = 0;
-    std::string ckpt_dir;
-    std::istringstream extra(cfg.extra);
-    std::string line;
-    while (std::getline(extra, line)) {
-        std::istringstream ls(line);
-        std::string key;
-        ls >> key;
-        if (key == "pairs") {
-            ls >> pairs;
-        } else if (key == "threads") {
-            ls >> threads;
-        } else if (key == "ckptdir") {
-            std::getline(ls, ckpt_dir);
-            if (!ckpt_dir.empty() && ckpt_dir.front() == ' ')
-                ckpt_dir.erase(0, 1);
+    std::size_t served = 0;
+    for (;;) {
+        std::optional<serve::IslandWireConfig> cfg;
+        {
+            serve::Client client(host, port);
+            cfg = serve::fetchIslandConfig(client, island_spec,
+                                           worker_id);
+            client.quit();
         }
+        if (!cfg) {
+            std::printf("island worker: no unowned island "
+                        "(%zu served); exiting\n",
+                        served);
+            return 0;
+        }
+
+        // The extra blob carries the dataset and runtime parameters
+        // the coordinator trained with (one "key value" line each).
+        std::size_t pairs = 150;
+        unsigned threads = 0;
+        std::string ckpt_dir;
+        std::istringstream extra(cfg->extra);
+        std::string line;
+        while (std::getline(extra, line)) {
+            std::istringstream ls(line);
+            std::string key;
+            ls >> key;
+            if (key == "pairs") {
+                ls >> pairs;
+            } else if (key == "threads") {
+                ls >> threads;
+            } else if (key == "ckptdir") {
+                std::getline(ls, ckpt_dir);
+                if (!ckpt_dir.empty() && ckpt_dir.front() == ' ')
+                    ckpt_dir.erase(0, 1);
+            }
+        }
+        if (threads_override)
+            threads = threads_override;
+
+        core::IslandOptions opts;
+        opts.ga.populationSize = cfg->populationSize;
+        opts.ga.generations = cfg->generations;
+        opts.ga.seed = cfg->seed;
+        opts.ga.numThreads = threads;
+        opts.islands = cfg->islands;
+        opts.migrationInterval = cfg->migrationInterval;
+        opts.migrants = cfg->migrants;
+        opts.asyncMigration = cfg->asyncMigration;
+        opts.checkpointDir = ckpt_dir;
+
+        serve::IslandWorkerOptions wopts;
+        wopts.host = host;
+        wopts.port = port;
+        wopts.island = cfg->island;
+        wopts.workerId = worker_id;
+
+        // The handshake above claimed the island's lease, but the
+        // dataset sampling below can outlast it when several workers
+        // build in parallel on one box — keep renewing until
+        // runIslandWorker's own heartbeat loop takes over, or the
+        // supervisor spawns a standby for a worker that is alive and
+        // about to start.
+        std::optional<core::Dataset> train;
+        {
+            serve::IslandLeaseKeeper keeper(
+                wopts, cfg->island, worker_id, cfg->leaseSeconds);
+            train = makeTrainDataset(pairs);
+        }
+
+        const std::optional<core::IslandReport> report =
+            serve::runIslandWorker(*train, opts, wopts);
+        if (!report)
+            break; // raced with a standby; nothing left to do
+        std::printf(
+            "island %zu: %zu generations, best fitness %.6f\n",
+            report->island, report->history.size(),
+            report->history.back().bestFitness);
+        ++served;
+        if (!auto_island)
+            break;
     }
-    if (threads_override)
-        threads = threads_override;
-
-    const core::Dataset train = makeTrainDataset(pairs);
-
-    core::IslandOptions opts;
-    opts.ga.populationSize = cfg.populationSize;
-    opts.ga.generations = cfg.generations;
-    opts.ga.seed = cfg.seed;
-    opts.ga.numThreads = threads;
-    opts.islands = cfg.islands;
-    opts.migrationInterval = cfg.migrationInterval;
-    opts.migrants = cfg.migrants;
-    opts.checkpointDir = ckpt_dir;
-
-    serve::IslandWorkerOptions wopts;
-    wopts.host = host;
-    wopts.port = port;
-    wopts.island = island;
-
-    const core::IslandReport report =
-        serve::runIslandWorker(train, opts, wopts);
-    std::printf("island %zu: %zu generations, best fitness %.6f\n",
-                island, report.history.size(),
-                report.history.back().bestFitness);
     return 0;
 }
 
-/** Fork+exec one local worker process for @p island. */
-pid_t
-spawnIslandWorker(const std::string &endpoint, std::size_t island,
-                  const std::vector<std::string> &fault_specs)
+/** Worker command line shared by local fork and ssh launch. */
+std::vector<std::string>
+islandWorkerArgs(const std::string &endpoint,
+                 const std::string &island_spec,
+                 const std::vector<std::string> &fault_specs)
 {
-    const pid_t pid = ::fork();
-    if (pid != 0)
-        return pid;
-    const std::string island_arg = std::to_string(island);
     std::vector<std::string> args = {
-        "hwsw",     "train",    "--island-worker",
-        island_arg, "--server", endpoint,
+        "hwsw",      "train",    "--island-worker",
+        island_spec, "--server", endpoint,
     };
     // Forward fault arming so injected worker kills reach children.
     for (const std::string &spec : fault_specs) {
         args.push_back("--fault");
         args.push_back(spec);
     }
+    return args;
+}
+
+/** Fork+exec one local worker process for @p island_spec. */
+pid_t
+spawnIslandWorker(const std::string &endpoint,
+                  const std::string &island_spec,
+                  const std::vector<std::string> &fault_specs)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::vector<std::string> args =
+        islandWorkerArgs(endpoint, island_spec, fault_specs);
     std::vector<char *> argv;
     argv.reserve(args.size() + 1);
     for (std::string &a : args)
@@ -428,6 +505,91 @@ spawnIslandWorker(const std::string &endpoint, std::size_t island,
     argv.push_back(nullptr);
     ::execv("/proc/self/exe", argv.data());
     _exit(127); // exec failed; the supervisor sees a dead worker
+}
+
+/** Is this hosts-file entry this machine itself? */
+bool
+isLocalHost(const std::string &host)
+{
+    return host == "localhost" || host == "127.0.0.1" ||
+        host == "::1";
+}
+
+/**
+ * Launch one worker on @p host: a plain fork for local entries, ssh
+ * (BatchMode, `hwsw` on the remote PATH) for everything else. The
+ * supervisor watches leases, not processes, so a remote worker dying
+ * is detected exactly like a local one — by its lease lapsing.
+ */
+pid_t
+spawnHostWorker(const std::string &host, const std::string &endpoint,
+                const std::string &island_spec,
+                const std::vector<std::string> &fault_specs)
+{
+    if (isLocalHost(host))
+        return spawnIslandWorker(endpoint, island_spec, fault_specs);
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::string remote;
+    for (const std::string &a :
+         islandWorkerArgs(endpoint, island_spec, fault_specs)) {
+        if (!remote.empty())
+            remote += ' ';
+        remote += a;
+    }
+    std::vector<std::string> args = {
+        "ssh", "-o", "BatchMode=yes", host, remote,
+    };
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execvp("ssh", argv.data());
+    _exit(127);
+}
+
+/** One hosts-file entry: "host [slots]" (default one slot). */
+struct WorkerHost
+{
+    std::string host;
+    std::size_t slots = 1;
+};
+
+/** Parse a --workers-file: '#' comments, blank lines skipped. */
+bool
+parseWorkersFile(const std::string &path,
+                 std::vector<WorkerHost> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read --workers-file "
+                             "'%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        WorkerHost h;
+        if (!(ls >> h.host))
+            continue;
+        ls >> h.slots;
+        if (h.slots == 0)
+            h.slots = 1;
+        out.push_back(std::move(h));
+    }
+    if (out.empty()) {
+        std::fprintf(stderr,
+                     "error: --workers-file '%s' names no hosts\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
 /** Coordinator knobs for a distributed training run. */
@@ -439,6 +601,18 @@ struct DistributedConfig
     std::string checkpointDir;
     std::uint16_t port = 0;
     std::vector<std::string> faultSpecs;
+
+    /** Async migration: no barriers, journaled delivery schedule. */
+    bool asyncMigration = false;
+
+    /** Respawn budget per island worker slot; 0 = fail fast. */
+    std::size_t maxRespawns = 5;
+
+    /** Worker lease duration (heartbeats renew at a quarter). */
+    double leaseSeconds = 2.0;
+
+    /** Multi-host launch: ssh hosts file; empty = fork per island. */
+    std::string workersFile;
 };
 
 int
@@ -455,7 +629,13 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
     iopts.islands = dist.islands;
     iopts.migrationInterval = dist.migrationInterval;
     iopts.migrants = dist.migrants;
+    iopts.asyncMigration = dist.asyncMigration;
     iopts.checkpointDir = dist.checkpointDir;
+
+    std::vector<WorkerHost> hosts;
+    if (!dist.workersFile.empty() &&
+        !parseWorkersFile(dist.workersFile, hosts))
+        return 1;
 
     std::string extra = "pairs " + std::to_string(pairs) +
         "\nthreads " + std::to_string(threads) + "\n";
@@ -463,79 +643,201 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
         extra += "ckptdir " + dist.checkpointDir + "\n";
 
     auto registry = std::make_shared<serve::ModelRegistry>();
-    serve::IslandCoordinator coordinator(iopts, extra);
+    serve::IslandCoordinatorOptions copts;
+    copts.leaseSeconds = dist.leaseSeconds;
+    if (!dist.checkpointDir.empty()) {
+        // The journal lives beside the worker checkpoints; the
+        // coordinator opens it before any worker creates the dir.
+        std::error_code ec;
+        std::filesystem::create_directories(dist.checkpointDir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "error: cannot create checkpoint dir '%s': "
+                         "%s\n",
+                         dist.checkpointDir.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+        copts.journalPath =
+            dist.checkpointDir + "/coordination.journal";
+    }
+    serve::IslandCoordinator coordinator(iopts, copts, extra);
     serve::ServerOptions sopts;
     sopts.port = dist.port;
     serve::Server server(registry, sopts, nullptr, &coordinator);
     server.start();
+
+    // Remote workers need a routable address, not loopback.
+    std::string advertise = "127.0.0.1";
+    const bool multi_host = std::any_of(
+        hosts.begin(), hosts.end(),
+        [](const WorkerHost &h) { return !isLocalHost(h.host); });
+    if (multi_host) {
+        char name[256] = {};
+        if (::gethostname(name, sizeof(name) - 1) == 0 && name[0])
+            advertise = name;
+    }
     const std::string endpoint =
-        "127.0.0.1:" + std::to_string(server.port());
+        advertise + ":" + std::to_string(server.port());
     std::printf("hwsw train --distributed: coordinator on %s, "
-                "%zu islands, interval %zu, %zu migrants\n",
+                "%zu islands, interval %zu, %zu migrants, "
+                "%s migration, lease %.2fs\n",
                 endpoint.c_str(), dist.islands,
-                dist.migrationInterval, dist.migrants);
+                dist.migrationInterval, dist.migrants,
+                dist.asyncMigration ? "async" : "sync",
+                dist.leaseSeconds);
     std::fflush(stdout);
 
-    std::map<pid_t, std::size_t> children;
-    std::vector<std::size_t> restarts(dist.islands, 0);
-    constexpr std::size_t kMaxRestarts = 5;
+    // One supervised slot per child process: either a dedicated
+    // island (fork compatibility mode and respawned replacements)
+    // or an elastic auto-puller tied to a hosts-file entry.
+    constexpr std::size_t kNoIsland = ~std::size_t{0};
+    struct ChildSlot
+    {
+        std::size_t island = kNoIsland; ///< kNoIsland: auto worker
+        std::size_t host = kNoIsland;   ///< kNoIsland: plain fork
+    };
+    std::map<pid_t, ChildSlot> children;
+    std::vector<std::size_t> respawns(dist.islands, 0);
+    std::size_t lease_takeovers = 0;
+    std::size_t next_host = 0;
     bool failed = false;
 
-    for (std::size_t i = 0; i < dist.islands && !failed; ++i) {
-        const pid_t pid =
-            spawnIslandWorker(endpoint, i, dist.faultSpecs);
-        if (pid < 0) {
-            std::fprintf(stderr, "error: cannot fork worker %zu\n",
-                         i);
+    auto spawnReplacement = [&](std::size_t island) {
+        for (const auto &l : coordinator.leases())
+            if (l.island == island && l.reported)
+                return; // finished meanwhile; nothing to replace
+        if (dist.maxRespawns == 0 ||
+            ++respawns[island] > dist.maxRespawns) {
+            std::fprintf(stderr,
+                         "error: island %zu worker slot exhausted "
+                         "its respawn budget (%zu); giving up\n",
+                         island, dist.maxRespawns);
             failed = true;
-            break;
+            return;
         }
-        children[pid] = i;
+        std::fprintf(stderr,
+                     "island %zu worker lost; respawning "
+                     "(%zu/%zu)\n",
+                     island, respawns[island], dist.maxRespawns);
+        ChildSlot slot;
+        slot.island = island;
+        pid_t fresh = -1;
+        if (hosts.empty()) {
+            fresh = spawnIslandWorker(
+                endpoint, std::to_string(island), dist.faultSpecs);
+        } else {
+            slot.host = next_host++ % hosts.size();
+            fresh = spawnHostWorker(hosts[slot.host].host, endpoint,
+                                    std::to_string(island),
+                                    dist.faultSpecs);
+        }
+        if (fresh < 0) {
+            std::fprintf(stderr,
+                         "error: cannot respawn worker %zu\n",
+                         island);
+            failed = true;
+            return;
+        }
+        children[fresh] = slot;
+    };
+
+    if (hosts.empty()) {
+        // Compatibility mode: fork one child per island.
+        for (std::size_t i = 0; i < dist.islands && !failed; ++i) {
+            const pid_t pid = spawnIslandWorker(
+                endpoint, std::to_string(i), dist.faultSpecs);
+            if (pid < 0) {
+                std::fprintf(stderr,
+                             "error: cannot fork worker %zu\n", i);
+                failed = true;
+                break;
+            }
+            children[pid] = ChildSlot{i, kNoIsland};
+        }
+    } else {
+        // Elastic mode: every slot pulls unowned islands until none
+        // remain, so worker count need not match island count (sync
+        // migration still needs `islands` concurrent workers to
+        // cross a barrier; async mode has no such floor).
+        for (std::size_t h = 0; h < hosts.size() && !failed; ++h) {
+            for (std::size_t s = 0; s < hosts[h].slots && !failed;
+                 ++s) {
+                const pid_t pid = spawnHostWorker(
+                    hosts[h].host, endpoint, "auto",
+                    dist.faultSpecs);
+                if (pid < 0) {
+                    std::fprintf(stderr,
+                                 "error: cannot launch worker on "
+                                 "%s\n",
+                                 hosts[h].host.c_str());
+                    failed = true;
+                    break;
+                }
+                children[pid] = ChildSlot{kNoIsland, h};
+            }
+        }
     }
 
-    // Supervise: a worker that dies before reporting is respawned
-    // and resumes from its island checkpoint (or generation 0); the
-    // result is unchanged either way.
+    // Supervise by lease, not by process: a worker that crashes,
+    // stalls, or is partitioned away stops renewing its lease; when
+    // it lapses the island is revoked here and a replacement spawns,
+    // resumes from the island checkpoint, and replays its barriers
+    // idempotently. Reaping local corpses is only a fast path — it
+    // revokes the dead child's lease immediately instead of waiting
+    // out the clock, and it is the sole detector for a child that
+    // died before ever acquiring a lease (e.g. exec failure). Remote
+    // worker deaths are caught purely by expiry.
     while (!failed && !coordinator.waitForReports(0.2)) {
         int status = 0;
         pid_t pid = 0;
-        while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+        while (!failed &&
+               (pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
             const auto it = children.find(pid);
             if (it == children.end())
                 continue;
-            const std::size_t island = it->second;
+            const ChildSlot slot = it->second;
             children.erase(it);
             if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
                 continue; // clean exit after reporting
-            if (++restarts[island] > kMaxRestarts) {
-                std::fprintf(stderr,
-                             "error: island %zu worker keeps dying; "
-                             "giving up\n",
-                             island);
-                failed = true;
-                break;
+            if (slot.island != kNoIsland) {
+                // Revoke only the dead child's own lease (local
+                // worker ids embed the child pid). A replacement
+                // that died *failing* to join must not fence a live
+                // owner; and if somebody else holds the island,
+                // no respawn is needed — the expiry sweep below
+                // catches that owner if it dies too.
+                const std::string prefix =
+                    "cli-" + std::to_string(static_cast<long>(pid)) +
+                    "-";
+                bool owned_elsewhere = false;
+                for (const auto &l : coordinator.leases()) {
+                    if (l.island != slot.island)
+                        continue;
+                    if (l.owner.rfind(prefix, 0) == 0)
+                        coordinator.revokeLease(slot.island);
+                    else
+                        owned_elsewhere =
+                            !l.owner.empty() && !l.reported;
+                }
+                if (!owned_elsewhere)
+                    spawnReplacement(slot.island);
             }
-            std::fprintf(stderr,
-                         "island %zu worker died (status %d); "
-                         "respawning (%zu/%zu)\n",
-                         island, status, restarts[island],
-                         kMaxRestarts);
-            const pid_t fresh = spawnIslandWorker(
-                endpoint, island, dist.faultSpecs);
-            if (fresh < 0) {
-                std::fprintf(stderr,
-                             "error: cannot respawn worker %zu\n",
-                             island);
-                failed = true;
+            // Auto workers carry no island of record; whatever they
+            // owned is recovered by the expiry sweep below.
+        }
+        for (const std::size_t island :
+             coordinator.expiredIslands()) {
+            if (failed)
                 break;
-            }
-            children[fresh] = island;
+            ++lease_takeovers;
+            spawnReplacement(island);
         }
     }
 
     if (failed) {
         coordinator.stop();
-        for (const auto &[pid, island] : children) {
+        for (const auto &[pid, host_idx] : children) {
             ::kill(pid, SIGTERM);
             int status = 0;
             ::waitpid(pid, &status, 0);
@@ -545,7 +847,7 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
     }
 
     // All islands reported; reap the workers' clean exits.
-    for (const auto &[pid, island] : children) {
+    for (const auto &[pid, host_idx] : children) {
         int status = 0;
         ::waitpid(pid, &status, 0);
     }
@@ -579,6 +881,32 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
                 static_cast<unsigned long long>(cstats.migratePosts),
                 static_cast<unsigned long long>(cstats.waitAnswers),
                 static_cast<unsigned long long>(cstats.reports));
+    std::size_t total_respawns = 0;
+    for (std::size_t i = 0; i < respawns.size(); ++i) {
+        total_respawns += respawns[i];
+        if (respawns[i] > 0)
+            std::printf("supervision: island %zu respawned %zu "
+                        "time(s)\n",
+                        i, respawns[i]);
+    }
+    std::printf(
+        "supervision: respawns %zu, lease takeovers %zu, "
+        "lease expiries %llu, heartbeats %llu, stale %llu, "
+        "rejoins %llu\n",
+        total_respawns, lease_takeovers,
+        static_cast<unsigned long long>(cstats.leaseExpiries),
+        static_cast<unsigned long long>(cstats.heartbeats),
+        static_cast<unsigned long long>(cstats.staleHeartbeats),
+        static_cast<unsigned long long>(cstats.rejoins));
+    if (dist.asyncMigration)
+        std::printf(
+            "async migration: served %llu, stale %llu, empty %llu "
+            "(schedule journaled: %s)\n",
+            static_cast<unsigned long long>(cstats.migrantsServed),
+            static_cast<unsigned long long>(cstats.asyncStale),
+            static_cast<unsigned long long>(cstats.asyncEmpty),
+            copts.journalPath.empty() ? "no"
+                                      : copts.journalPath.c_str());
     std::printf("search metrics:\n%s",
                 metrics::renderEntries(result.metrics.entries())
                     .c_str());
@@ -890,7 +1218,7 @@ main(int argc, char **argv)
     unsigned long long retries = 0;
     bool distributed = false;
     bool island_worker = false;
-    unsigned long long worker_island = 0;
+    std::string worker_island;
     DistributedConfig dist;
     unsigned long long islands = 2, mig_interval = 4, migrants = 2;
     TuneConfig tunecfg;
@@ -983,11 +1311,49 @@ main(int argc, char **argv)
             dist.checkpointDir = v;
         } else if (a == "--island-worker") {
             const char *v = flagValue("--island-worker");
-            if (!v || !parseArg(std::string(v),
-                                "--island-worker value",
-                                worker_island))
+            if (!v)
                 return usage();
+            worker_island = v;
+            if (worker_island != "auto") {
+                unsigned long long idx = 0;
+                if (!parseArg(worker_island,
+                              "--island-worker value", idx))
+                    return usage();
+            }
             island_worker = true;
+        } else if (a == "--migration") {
+            const char *v = flagValue("--migration");
+            if (!v)
+                return usage();
+            const std::string mode = v;
+            if (mode != "sync" && mode != "async") {
+                std::fprintf(stderr,
+                             "error: bad --migration '%s' "
+                             "(sync|async)\n",
+                             v);
+                return usage();
+            }
+            dist.asyncMigration = mode == "async";
+        } else if (a == "--max-respawns") {
+            const char *v = flagValue("--max-respawns");
+            unsigned long long n = 0;
+            if (!v || !parseArg(std::string(v),
+                                "--max-respawns value", n))
+                return usage();
+            dist.maxRespawns = static_cast<std::size_t>(n);
+        } else if (a == "--lease-seconds") {
+            const char *v = flagValue("--lease-seconds");
+            double s = 0.0;
+            if (!v || !parseArg(std::string(v),
+                                "--lease-seconds value", s) ||
+                s <= 0.0)
+                return usage();
+            dist.leaseSeconds = s;
+        } else if (a == "--workers-file") {
+            const char *v = flagValue("--workers-file");
+            if (!v)
+                return usage();
+            dist.workersFile = v;
         } else if (a == "--fault") {
             const char *v = flagValue("--fault");
             if (!v)
