@@ -32,6 +32,27 @@ baseValueFor(const VarBasis &b, double x)
     return std::clamp(u, -0.25, 1.25);
 }
 
+/**
+ * Batched baseValueFor over one variable's gathered raw values, in
+ * place: stabilize the whole column in one pass (rung dispatch
+ * hoisted), then normalize and clamp in one vectorizable pass.
+ * Per-element arithmetic — including the division by (hi - lo) — is
+ * kept exactly as in baseValueFor so the cache stays bit-identical to
+ * per-record evaluation.
+ */
+void
+fillBaseColumn(const VarBasis &b, double *col, std::size_t m)
+{
+    b.stab.apply({col, m}, {col, m});
+    const double lo = b.lo;
+    const double hi = b.hi;
+#pragma omp simd
+    for (std::size_t r = 0; r < m; ++r) {
+        const double u = (col[r] - lo) / (hi - lo);
+        col[r] = std::clamp(u, -0.25, 1.25);
+    }
+}
+
 } // namespace
 
 std::size_t
@@ -111,11 +132,13 @@ DesignBuilder::baseValue(const ProfileRecord &rec, std::size_t var) const
 BaseCache::BaseCache(const Dataset &ds, const BasisTable &basis)
     : numRecords_(ds.size()), values_(kNumVars * ds.size())
 {
+    // Gather each variable's raw column out of the record structs,
+    // then run the whole column through one batched base-value pass.
     for (std::size_t v = 0; v < kNumVars; ++v) {
-        const VarBasis &b = basis[v];
         double *col = values_.data() + v * numRecords_;
         for (std::size_t r = 0; r < numRecords_; ++r)
-            col[r] = baseValueFor(b, ds[r].vars[v]);
+            col[r] = ds[r].vars[v];
+        fillBaseColumn(basis[v], col, numRecords_);
     }
 }
 
@@ -126,10 +149,10 @@ BaseCache::assignRows(std::span<const std::array<double, kNumVars>> rows,
     numRecords_ = rows.size();
     values_.resize(kNumVars * numRecords_);
     for (std::size_t v = 0; v < kNumVars; ++v) {
-        const VarBasis &b = basis[v];
         double *col = values_.data() + v * numRecords_;
         for (std::size_t r = 0; r < numRecords_; ++r)
-            col[r] = baseValueFor(b, rows[r][v]);
+            col[r] = rows[r][v];
+        fillBaseColumn(basis[v], col, numRecords_);
     }
 }
 
@@ -278,36 +301,50 @@ DesignBlockCache::varBlock(std::size_t v, GeneTx tx)
                    (static_cast<std::size_t>(tx) - 1)];
     if (block.empty()) {
         block.resize(m * k);
-        const std::span<const double> u = bases_->var(v);
+        const double *u = bases_->var(v).data();
         const auto &knots = (*basis_)[v].knots;
-        for (std::size_t r = 0; r < m; ++r) {
-            double *row = block.data() + r * k;
-            // Same arithmetic, in the same order, as fillRow — the
-            // assembled matrix must be bit-identical to build().
-            switch (tx) {
-              case GeneTx::Linear:
-                row[0] = u[r];
-                break;
-              case GeneTx::Quadratic:
-                row[0] = u[r];
-                row[1] = u[r] * u[r];
-                break;
-              case GeneTx::Cubic:
-                row[0] = u[r];
-                row[1] = u[r] * u[r];
-                row[2] = u[r] * u[r] * u[r];
-                break;
-              case GeneTx::Spline:
-                row[0] = u[r];
-                row[1] = u[r] * u[r];
-                row[2] = u[r] * u[r] * u[r];
-                row[3] = cubePlus(u[r] - knots[0]);
-                row[4] = cubePlus(u[r] - knots[1]);
-                row[5] = cubePlus(u[r] - knots[2]);
-                break;
-              default:
-                panic("unreachable gene value");
+        double *out = block.data();
+        // Same arithmetic, in the same order, as fillRow — the
+        // assembled matrix must be bit-identical to build(). The
+        // gene dispatch is hoisted out of the row loop so each case
+        // runs as one straight batched pass over the cached base
+        // column ((u*u)*u associates exactly as fillRow's u*u*u).
+        switch (tx) {
+          case GeneTx::Linear:
+#pragma omp simd
+            for (std::size_t r = 0; r < m; ++r)
+                out[r] = u[r];
+            break;
+          case GeneTx::Quadratic:
+#pragma omp simd
+            for (std::size_t r = 0; r < m; ++r) {
+                out[r * 2 + 0] = u[r];
+                out[r * 2 + 1] = u[r] * u[r];
             }
+            break;
+          case GeneTx::Cubic:
+#pragma omp simd
+            for (std::size_t r = 0; r < m; ++r) {
+                const double u2 = u[r] * u[r];
+                out[r * 3 + 0] = u[r];
+                out[r * 3 + 1] = u2;
+                out[r * 3 + 2] = u2 * u[r];
+            }
+            break;
+          case GeneTx::Spline:
+#pragma omp simd
+            for (std::size_t r = 0; r < m; ++r) {
+                const double u2 = u[r] * u[r];
+                out[r * 6 + 0] = u[r];
+                out[r * 6 + 1] = u2;
+                out[r * 6 + 2] = u2 * u[r];
+                out[r * 6 + 3] = cubePlus(u[r] - knots[0]);
+                out[r * 6 + 4] = cubePlus(u[r] - knots[1]);
+                out[r * 6 + 5] = cubePlus(u[r] - knots[2]);
+            }
+            break;
+          default:
+            panic("unreachable gene value");
         }
     }
     return block;
@@ -323,10 +360,12 @@ DesignBlockCache::interactionBlock(std::uint16_t a, std::uint16_t b)
     std::vector<double> &block = interBlocks_[a * kNumVars + b];
     if (block.empty()) {
         block.resize(m);
-        const std::span<const double> ua = bases_->var(a);
-        const std::span<const double> ub = bases_->var(b);
+        const double *ua = bases_->var(a).data();
+        const double *ub = bases_->var(b).data();
+        double *out = block.data();
+#pragma omp simd
         for (std::size_t r = 0; r < m; ++r)
-            block[r] = ua[r] * ub[r];
+            out[r] = ua[r] * ub[r];
     }
     return block;
 }

@@ -125,9 +125,32 @@ GeneticSearch::acquireScratch() const
     }
     auto scratch = std::make_unique<EvalScratch>();
     scratch->blocks.resize(folds_.size());
-    for (std::size_t f = 0; f < folds_.size(); ++f)
+    scratch->valBlocks.resize(folds_.size());
+    std::size_t max_train = 0, max_val = 0;
+    for (std::size_t f = 0; f < folds_.size(); ++f) {
         scratch->blocks[f].bind(folds_[f].trainBases, folds_[f].basis);
+        scratch->valBlocks[f].bind(folds_[f].valBases, folds_[f].basis);
+        max_train = std::max(max_train, folds_[f].train.size());
+        max_val = std::max(max_val, folds_[f].validation.size());
+    }
+    // Pre-size every reusable buffer to the worst case over folds and
+    // spec shapes, so steady-state evaluation is allocation-free (the
+    // growths assertion in evaluate() checks this in debug builds).
+    const std::size_t max_cols = maxDesignColumns();
+    scratch->fit.lstsq.reserve(max_train, max_cols);
+    scratch->fit.design.reshape(std::max(max_train, max_val), max_cols);
+    scratch->fit.row.reserve(max_cols);
+    scratch->predictions.reserve(max_val);
     return scratch;
+}
+
+std::size_t
+GeneticSearch::maxDesignColumns() const
+{
+    // Intercept + the widest per-variable block (spline, 6 columns)
+    // for every variable + the interaction cap.
+    return 1 + geneColumnCount(GeneTx::Spline) * kNumVars +
+           opts_.maxInteractions;
 }
 
 void
@@ -146,6 +169,9 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
     // work. The fast path reads only fold-invariant caches, so the
     // scores are bit-identical to fitting from raw profiles.
     std::unique_ptr<EvalScratch> scratch = acquireScratch();
+#ifndef NDEBUG
+    const std::uint64_t growths_before = scratch->fit.lstsq.growths;
+#endif
     double sum_err = 0.0;
     double penalties = 0.0;
     for (std::size_t f = 0; f < folds_.size(); ++f) {
@@ -155,8 +181,8 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
                            fold.zlogTrain, scratch->blocks[f],
                            scratch->fit, fold.weights);
         fitCount_.add();
-        model.predictAllFromBases(fold.valBases, scratch->fit,
-                                  scratch->predictions);
+        model.predictAllFromBases(fold.valBases, scratch->valBlocks[f],
+                                  scratch->fit, scratch->predictions);
         const stats::FitMetrics m = stats::evaluatePredictions(
             scratch->predictions, fold.valPerf);
         sum_err += m.medianAbsPctError;
@@ -165,6 +191,14 @@ GeneticSearch::evaluate(const ModelSpec &spec) const
         penalties += opts_.complexityPenalty *
             static_cast<double>(model.numColumns());
     }
+#ifndef NDEBUG
+    // The scratch was pre-sized for every spec within the option
+    // caps; a specification wider than the cap (only possible via a
+    // direct evaluate() call) is allowed to grow the buffers.
+    debugPanicIf(spec.interactions.size() <= opts_.maxInteractions &&
+                     scratch->fit.lstsq.growths != growths_before,
+                 "evaluate: pre-sized QR workspace reallocated");
+#endif
     releaseScratch(std::move(scratch));
     const auto n = static_cast<double>(folds_.size());
     return {sum_err / n + penalties / n, sum_err};

@@ -274,17 +274,26 @@ class GeneticSearch
 
     /**
      * Per-thread evaluation scratch: one design-block cache per fold
-     * plus the fit workspace and a predictions buffer. Instances are
-     * leased from a free list for the duration of one evaluate()
-     * call, so concurrent workers never share buffers and at most
-     * (workers + 1) instances ever exist.
+     * for the training design, one per fold for the validation
+     * design (the GEMM-shaped predict path), plus the fit workspace
+     * and a predictions buffer. Instances are leased from a free
+     * list for the duration of one evaluate() call, so concurrent
+     * workers never share buffers and at most (workers + 1)
+     * instances ever exist. At creation the QR workspace is
+     * pre-sized from the fold shapes and the spec space's maximum
+     * design width, so steady-state evaluation never reallocates
+     * (asserted in debug builds via LstsqWorkspace::growths).
      */
     struct EvalScratch
     {
-        std::vector<DesignBlockCache> blocks; ///< one per fold
+        std::vector<DesignBlockCache> blocks;    ///< train, per fold
+        std::vector<DesignBlockCache> valBlocks; ///< val, per fold
         FitWorkspace fit;
         std::vector<double> predictions;
     };
+
+    /** Widest design any spec within the option caps can produce. */
+    std::size_t maxDesignColumns() const;
 
     std::unique_ptr<EvalScratch> acquireScratch() const;
     void releaseScratch(std::unique_ptr<EvalScratch> scratch) const;

@@ -108,6 +108,23 @@ HwSwModel::predictAllFromBases(const BaseCache &bases, FitWorkspace &ws,
 }
 
 void
+HwSwModel::predictAllFromBases(const BaseCache &bases,
+                               DesignBlockCache &blocks,
+                               FitWorkspace &ws,
+                               std::vector<double> &out) const
+{
+    panicIf(!fitted(), "HwSwModel::predictAll before fit");
+    const std::size_t m = bases.numRecords();
+    out.resize(m);
+    builder_->buildFromBases(bases, blocks, ws.design);
+    lm_.predictInto(ws.design, {out.data(), m});
+    if (logResponse_) {
+        for (double &v : out)
+            v = boundedExp(v);
+    }
+}
+
+void
 HwSwModel::predictRows(
     std::span<const std::array<double, kNumVars>> rows,
     BatchPredictScratch &scratch, std::span<double> out) const

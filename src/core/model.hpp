@@ -113,6 +113,19 @@ class HwSwModel
                              std::vector<double> &out) const;
 
     /**
+     * GEMM-shaped validation fast path: assemble the whole design
+     * matrix from the block cache (memoized column blocks, memcpy
+     * assembly) and compute every prediction as one X·β product.
+     * Bit-identical to the per-row overload above; the genetic
+     * search's validation loop uses this with a per-fold block cache
+     * so candidates sharing genes also share validation columns.
+     * @pre blocks is bound to (bases, this model's basis table).
+     */
+    void predictAllFromBases(const BaseCache &bases,
+                             DesignBlockCache &blocks, FitWorkspace &ws,
+                             std::vector<double> &out) const;
+
+    /**
      * Serving batch fast path: assemble one design matrix for all
      * @p rows (block-cache memcpy assembly, zero per-row spec walks)
      * and compute every prediction as a single X·β product.

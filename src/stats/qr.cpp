@@ -1,6 +1,7 @@
 #include "stats/qr.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -11,131 +12,313 @@ namespace hwsw::stats {
 namespace {
 
 /**
- * Factor ws.factor (m x n row-major, ridge rows already folded in)
- * with column-pivoted Householder QR and back-substitute. ws.rhs
- * holds the m-length target. The loop body is allocation-free: every
- * buffer it touches lives in the workspace at full size.
+ * Grow a workspace buffer to at least @p len elements, charging the
+ * workspace growth counter when the allocator is actually involved.
+ * resize() (not reserve+assign) keeps the grow-to-high-water-mark
+ * semantics: repeated solves at or below the high-water shape never
+ * reallocate.
+ */
+template <typename T>
+T *
+growInto(LstsqWorkspace &ws, std::vector<T> &buf, std::size_t len)
+{
+    if (len > buf.capacity())
+        ++ws.growths;
+    if (buf.size() < len)
+        buf.resize(len);
+    return buf.data();
+}
+
+// ----- vectorized primitives ------------------------------------
+//
+// All hot loops run over contiguous column-major storage. `omp simd`
+// (active under -fopenmp-simd, a no-runtime flag) licenses the
+// reassociation that reductions need to vectorize; the loops still
+// compile and pass tests as scalar code when the pragma is inert.
+
+/** sum x[i]^2 */
+inline double
+sumSquares(const double *x, std::size_t len)
+{
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < len; ++i)
+        acc += x[i] * x[i];
+    return acc;
+}
+
+/** sum x[i] * y[i] */
+inline double
+dotProd(const double *x, const double *y, std::size_t len)
+{
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < len; ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+/** y[i] += a * x[i] */
+inline void
+axpy(double a, const double *x, double *y, std::size_t len)
+{
+#pragma omp simd
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] += a * x[i];
+}
+
+/**
+ * Rank-4 fused update: dst[i] -= f0 v0[i] + f1 v1[i] + f2 v2[i] +
+ * f3 v3[i]. The fusion is where the blocked kernel's speed comes
+ * from: each dst element is loaded and stored once per four
+ * reflectors instead of once per reflector, quadrupling the flops
+ * per memory operation of the trailing-matrix update.
+ */
+inline void
+axpy4Sub(const double *f, const double *v0, const double *v1,
+         const double *v2, const double *v3, double *dst,
+         std::size_t len)
+{
+    const double f0 = f[0], f1 = f[1], f2 = f[2], f3 = f[3];
+#pragma omp simd
+    for (std::size_t i = 0; i < len; ++i)
+        dst[i] -= f0 * v0[i] + f1 * v1[i] + f2 * v2[i] + f3 * v3[i];
+}
+
+/**
+ * dst[0:len) -= sum_i coeff(i) * v_i[0:len) for nv reflectors whose
+ * columns sit contiguously at vbase, vbase+ldv, ... @p coeff is
+ * indexed with stride @p cstride (the F matrix stores one column per
+ * reflector, so per-design-column coefficients are n apart).
+ */
+inline void
+applyReflectors(const double *vbase, std::size_t ldv, std::size_t nv,
+                const double *coeff, std::size_t cstride, double *dst,
+                std::size_t len)
+{
+    double f4[4];
+    std::size_t i = 0;
+    for (; i + 4 <= nv; i += 4) {
+        f4[0] = coeff[(i + 0) * cstride];
+        f4[1] = coeff[(i + 1) * cstride];
+        f4[2] = coeff[(i + 2) * cstride];
+        f4[3] = coeff[(i + 3) * cstride];
+        axpy4Sub(f4, vbase + (i + 0) * ldv, vbase + (i + 1) * ldv,
+                 vbase + (i + 2) * ldv, vbase + (i + 3) * ldv, dst,
+                 len);
+    }
+    for (; i < nv; ++i)
+        axpy(-coeff[i * cstride], vbase + i * ldv, dst, len);
+}
+
+/** Wall clock for the opt-in phase timers. */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Factor ws.factor (m x n COLUMN-major, ridge rows already folded in)
+ * with blocked column-pivoted Householder QR and back-substitute.
+ * ws.rhs holds the m-length target. The loop body is allocation-free
+ * once the workspace has grown to shape.
+ *
+ * Panel scheme (LAPACK dlaqps shape): within a panel of up to nb
+ * columns, reflector application to not-yet-pivoted columns is
+ * deferred. For each panel step t with global diagonal k = j0 + t:
+ *
+ *   1. pivot the largest downdated-norm trailing column into k
+ *      (swapping its pending-coefficient row of F along);
+ *   2. catch column k up by applying the panel's pending reflectors
+ *      to rows k..m — its exact remaining norm then drives the same
+ *      collinearity drop test as the scalar reference;
+ *   3. generate reflector t (v stored in the factor below the
+ *      diagonal, v's head parked in the diagonal slot until the
+ *      panel retires; R's diagonal stashed in panelAux);
+ *   4. compute the compact-WY coefficient column F(:, t) =
+ *      beta_t * (A - V F^T)^T v_t using dots against the stored
+ *      panel only (the auxv correction term);
+ *   5. update row k of the trailing matrix (one row of the deferred
+ *      update) so LINPACK-style norm downdating stays possible.
+ *
+ * The panel then retires: trailing rows/columns take the whole
+ * rank-jb update as fused rank-4 axpys (the matrix-matrix form), and
+ * when cancellation made any downdated norm unreliable the panel is
+ * cut short and every remaining norm is recomputed exactly from the
+ * now-updated trailing matrix — cheaper by a factor of the block
+ * size than the reference's per-column recompute, and more accurate.
  */
 LstsqResult
 solvePrepared(LstsqWorkspace &ws, std::size_t m, std::size_t n,
               double rcond, double ridge)
 {
-    double *a = ws.factor.data(); // hot loops use unchecked access
+    const double t0 = ws.collectPhaseTimes ? nowSeconds() : 0.0;
+
+    const std::size_t nb = std::clamp<std::size_t>(
+        ws.blockSize ? ws.blockSize : kQrBlockSize, 1, 64);
+
+    double *a = ws.factor.data(); // column c at a + c*m
     double *rhs = ws.rhs.data();
 
-    ws.perm.resize(n);
-    std::iota(ws.perm.begin(), ws.perm.end(), std::size_t{0});
-    std::size_t *perm = ws.perm.data();
+    std::size_t *perm = growInto(ws, ws.perm, n);
+    std::iota(perm, perm + n, std::size_t{0});
 
-    // Column squared norms for pivot selection.
-    ws.colNorm.assign(n, 0.0);
-    double *colNorm = ws.colNorm.data();
-    for (std::size_t r = 0; r < m; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            colNorm[c] += a[r * n + c] * a[r * n + c];
+    double *colNorm = growInto(ws, ws.colNorm, n);
+    for (std::size_t c = 0; c < n; ++c)
+        colNorm[c] = sumSquares(a + c * m, m);
 
-    ws.reflector.resize(m);
-    double *v = ws.reflector.data();
-    ws.dots.resize(n);
-    double *dots = ws.dots.data();
+    double *F = growInto(ws, ws.panelF, n * nb);
+    double *aux = growInto(ws, ws.panelAux, 3 * nb);
+    double *auxv = aux;          // panel-internal dot corrections
+    double *diagR = aux + nb;    // R diagonal parked during a panel
+    double *beta = aux + 2 * nb; // 2 / v'v per reflector
 
     const std::size_t steps = std::min(m, n);
     std::size_t rank = 0;
     double firstDiag = 0.0;
+    bool droppedRest = false;
 
-    for (std::size_t k = 0; k < steps; ++k) {
-        // Pivot: bring the column with the largest remaining norm to k.
-        std::size_t best = k;
-        for (std::size_t c = k + 1; c < n; ++c)
-            if (colNorm[c] > colNorm[best])
-                best = c;
-        if (best != k) {
-            for (std::size_t r = 0; r < m; ++r)
-                std::swap(a[r * n + k], a[r * n + best]);
-            std::swap(colNorm[k], colNorm[best]);
-            std::swap(perm[k], perm[best]);
-        }
+    for (std::size_t j0 = 0; j0 < steps && !droppedRest;) {
+        const std::size_t jbMax = std::min(nb, steps - j0);
+        std::size_t jb = 0;
+        bool staleNorms = false;
 
-        // Householder reflector for column k below the diagonal.
-        double norm = 0.0;
-        for (std::size_t r = k; r < m; ++r)
-            norm += a[r * n + k] * a[r * n + k];
-        norm = std::sqrt(norm);
+        for (std::size_t t = 0; t < jbMax && !staleNorms; ++t) {
+            const std::size_t k = j0 + t;
 
-        if (k == 0)
-            firstDiag = norm;
-        // A column whose remaining mass is only its ridge row is
-        // linearly dependent on already-factored columns: drop it so
-        // collinearity elimination (Section 3.1) still reports and
-        // removes redundant terms despite the regularization.
-        const double drop_threshold = std::max(
-            rcond * std::max(firstDiag, 1e-300),
-            ridge > 0.0 ? 3.0 * std::sqrt(ridge) : 0.0);
-        if (norm <= drop_threshold) {
-            break; // Remaining columns are numerically dependent.
-        }
-        ++rank;
-
-        const double alpha = (a[k * n + k] >= 0.0) ? -norm : norm;
-        const std::size_t vlen = m - k;
-        v[0] = a[k * n + k] - alpha;
-        for (std::size_t r = k + 1; r < m; ++r)
-            v[r - k] = a[r * n + k];
-        double vnorm2 = 0.0;
-        for (std::size_t i = 0; i < vlen; ++i)
-            vnorm2 += v[i] * v[i];
-        a[k * n + k] = alpha;
-        for (std::size_t r = k + 1; r < m; ++r)
-            a[r * n + k] = 0.0;
-        if (vnorm2 > 0.0) {
-            // Apply I - 2 v v'/v'v to trailing columns and the rhs,
-            // row-wise so the row-major storage streams once per
-            // sweep instead of once per column.
-            std::fill(dots, dots + (n - k - 1), 0.0);
-            for (std::size_t r = k; r < m; ++r) {
-                const double vr = v[r - k];
-                const double *row = a + r * n;
-                for (std::size_t c = k + 1; c < n; ++c)
-                    dots[c - k - 1] += vr * row[c];
-            }
+            // 1. Pivot: largest remaining downdated norm into k.
+            std::size_t best = k;
             for (std::size_t c = k + 1; c < n; ++c)
-                dots[c - k - 1] *= 2.0 / vnorm2;
-            for (std::size_t r = k; r < m; ++r) {
-                const double vr = v[r - k];
-                double *row = a + r * n;
-                for (std::size_t c = k + 1; c < n; ++c)
-                    row[c] -= dots[c - k - 1] * vr;
+                if (colNorm[c] > colNorm[best])
+                    best = c;
+            if (best != k) {
+                std::swap_ranges(a + k * m, a + k * m + m,
+                                 a + best * m);
+                std::swap(colNorm[k], colNorm[best]);
+                std::swap(perm[k], perm[best]);
+                for (std::size_t i = 0; i < t; ++i)
+                    std::swap(F[i * n + k], F[i * n + best]);
             }
-            double dot = 0.0;
-            for (std::size_t r = k; r < m; ++r)
-                dot += v[r - k] * rhs[r];
-            const double f = 2.0 * dot / vnorm2;
-            for (std::size_t r = k; r < m; ++r)
-                rhs[r] -= f * v[r - k];
+
+            // 2. Catch the pivot column up with the panel's pending
+            // reflectors (rows k..m; rows above k were finalized by
+            // the per-step row updates).
+            double *colk = a + k * m;
+            applyReflectors(a + j0 * m + k, m, t, F + k, n, colk + k,
+                            m - k);
+
+            const double norm =
+                std::sqrt(sumSquares(colk + k, m - k));
+            if (k == 0)
+                firstDiag = norm;
+            // A column whose remaining mass is only its ridge row is
+            // linearly dependent on already-factored columns: drop
+            // it so collinearity elimination (Section 3.1) still
+            // reports and removes redundant terms despite the
+            // regularization.
+            const double drop_threshold = std::max(
+                rcond * std::max(firstDiag, 1e-300),
+                ridge > 0.0 ? 3.0 * std::sqrt(ridge) : 0.0);
+            if (norm <= drop_threshold) {
+                droppedRest = true;
+                break; // Remaining columns are numerically dependent.
+            }
+            ++rank;
+            jb = t + 1;
+
+            // 3. Householder reflector: v = x - alpha e1, beta =
+            // 2 / v'v. The head of v sits in the diagonal slot until
+            // the panel retires (diagR keeps R's diagonal).
+            const double alpha = (colk[k] >= 0.0) ? -norm : norm;
+            colk[k] -= alpha;
+            const double vnorm2 = sumSquares(colk + k, m - k);
+            diagR[t] = alpha;
+            beta[t] = 2.0 / vnorm2; // vnorm2 >= (|x1|+norm)^2 > 0
+
+            // 4. F(:, t) = beta_t * (A - V F^T)^T v_t over rows
+            // k..m: raw dots against the stored columns, then the
+            // auxv correction for the deferred panel updates.
+            double *Ft = F + t * n;
+            std::fill(Ft, Ft + n, 0.0);
+            for (std::size_t c = k + 1; c < n; ++c)
+                Ft[c] =
+                    beta[t] * dotProd(a + c * m + k, colk + k, m - k);
+            for (std::size_t i = 0; i < t; ++i)
+                auxv[i] = -beta[t] * dotProd(a + (j0 + i) * m + k,
+                                             colk + k, m - k);
+            for (std::size_t i = 0; i < t; ++i)
+                axpy(auxv[i], F + i * n, Ft, n);
+
+            // Apply H_t to the right-hand side immediately (it is a
+            // single column; deferring it buys nothing).
+            const double d = dotProd(colk + k, rhs + k, m - k);
+            axpy(-beta[t] * d, colk + k, rhs + k, m - k);
+
+            // 5. Row k of the deferred update: finalizes R's row k
+            // and enables the norm downdate below.
+            for (std::size_t c = k + 1; c < n; ++c) {
+                double acc = 0.0;
+                for (std::size_t i = 0; i <= t; ++i)
+                    acc += a[(j0 + i) * m + k] * F[i * n + c];
+                a[c * m + k] -= acc;
+            }
+
+            // Downdate remaining column norms (LINPACK style):
+            // subtract the eliminated component; when cancellation
+            // makes any running value unreliable, cut the panel
+            // short so the exact recompute below sees fully updated
+            // columns.
+            for (std::size_t c = k + 1; c < n; ++c) {
+                const double elim = a[c * m + k] * a[c * m + k];
+                colNorm[c] -= elim;
+                if (colNorm[c] < 1e-6 * std::max(elim, 1e-12))
+                    staleNorms = true;
+            }
         }
 
-        // Downdate remaining column norms (LINPACK style): subtract
-        // the eliminated component, recomputing exactly only when
-        // cancellation makes the running value unreliable.
-        for (std::size_t c = k + 1; c < n; ++c) {
-            const double elim = a[k * n + c] * a[k * n + c];
-            colNorm[c] -= elim;
-            if (colNorm[c] < 1e-6 * std::max(elim, 1e-12)) {
-                double s = 0.0;
-                for (std::size_t r = k + 1; r < m; ++r)
-                    s += a[r * n + c] * a[r * n + c];
-                colNorm[c] = s;
-            }
+        // The panel retires: R's diagonal comes back first (the
+        // trailing update below only reads strictly below it).
+        for (std::size_t i = 0; i < jb; ++i)
+            a[(j0 + i) * m + (j0 + i)] = diagR[i];
+
+        if (droppedRest)
+            break; // dropped columns need no trailing update
+
+        // Compact-WY trailing update, the matrix-matrix form:
+        // A(rk:m, c) -= V * F(c, :)^T for every unprocessed column.
+        const std::size_t rk = j0 + jb;
+        if (jb > 0 && rk < m) {
+            for (std::size_t c = rk; c < n; ++c)
+                applyReflectors(a + j0 * m + rk, m, jb, F + c, n,
+                                a + c * m + rk, m - rk);
         }
+        if (staleNorms) {
+            for (std::size_t c = rk; c < n; ++c)
+                colNorm[c] = sumSquares(a + c * m + rk, m - rk);
+        }
+        if (jb == 0)
+            break; // unreachable without droppedRest; keep safe
+        j0 += jb;
     }
 
-    // Back-substitute within the numerical rank.
-    std::vector<double> y(rank, 0.0);
-    for (std::size_t i = rank; i-- > 0;) {
-        double acc = rhs[i];
-        for (std::size_t j = i + 1; j < rank; ++j)
-            acc -= a[i * n + j] * y[j];
-        y[i] = acc / a[i * n + i];
+    if (ws.collectPhaseTimes)
+        ws.factorSeconds += nowSeconds() - t0;
+    const double t1 = ws.collectPhaseTimes ? nowSeconds() : 0.0;
+
+    // Residual before back-substitution scribbles on the rhs head.
+    const double res = sumSquares(rhs + rank, m - rank);
+
+    // Column-oriented back-substitution within the numerical rank:
+    // each retired unknown is folded into the rhs with one
+    // contiguous, vectorizable axpy over R's column.
+    double *y = growInto(ws, ws.solution, n);
+    for (std::size_t j = rank; j-- > 0;) {
+        const double yj = rhs[j] / a[j * m + j];
+        y[j] = yj;
+        axpy(-yj, a + j * m, rhs, j);
     }
 
     LstsqResult out;
@@ -146,18 +329,18 @@ solvePrepared(LstsqWorkspace &ws, std::size_t m, std::size_t n,
     for (std::size_t i = rank; i < n; ++i)
         out.dropped.push_back(perm[i]);
     std::sort(out.dropped.begin(), out.dropped.end());
-
-    double res = 0.0;
-    for (std::size_t r = rank; r < m; ++r)
-        res += rhs[r] * rhs[r];
     out.residualNorm = std::sqrt(res);
+
+    if (ws.collectPhaseTimes)
+        ws.solveSeconds += nowSeconds() - t1;
     return out;
 }
 
 /**
  * Append sqrt(ridge) * I rows with zero targets below row m0 (the
  * intercept column, if any, is penalized too, but with these
- * magnitudes the bias is negligible). @pre the buffers hold m rows.
+ * magnitudes the bias is negligible). @pre the buffers hold m rows,
+ * column-major.
  */
 void
 foldInRidgeRows(LstsqWorkspace &ws, std::size_t m0, std::size_t m,
@@ -165,18 +348,65 @@ foldInRidgeRows(LstsqWorkspace &ws, std::size_t m0, std::size_t m,
 {
     if (ridge <= 0.0)
         return;
-    std::fill(ws.factor.begin() +
-                  static_cast<std::ptrdiff_t>(m0 * n),
-              ws.factor.begin() + static_cast<std::ptrdiff_t>(m * n),
-              0.0);
+    double *a = ws.factor.data();
+    for (std::size_t c = 0; c < n; ++c)
+        std::fill(a + c * m + m0, a + c * m + m, 0.0);
     const double s = std::sqrt(ridge);
     for (std::size_t c = 0; c < n; ++c)
-        ws.factor[(m0 + c) * n + c] = s;
+        a[c * m + (m0 + c)] = s;
     std::fill(ws.rhs.begin() + static_cast<std::ptrdiff_t>(m0),
               ws.rhs.begin() + static_cast<std::ptrdiff_t>(m), 0.0);
 }
 
+/**
+ * Transpose X (row-major) into the column-major factor buffer, row
+ * scales optional (WLS). Tiled over row bands so the strided side of
+ * the transpose stays within cache.
+ */
+void
+copyIntoFactor(LstsqWorkspace &ws, const Matrix &X,
+               const double *row_scale, std::size_t m)
+{
+    const std::size_t m0 = X.rows();
+    const std::size_t n = X.cols();
+    double *a = growInto(ws, ws.factor, m * n);
+    const double *x = X.data();
+    constexpr std::size_t kTile = 64;
+    for (std::size_t r0 = 0; r0 < m0; r0 += kTile) {
+        const std::size_t r1 = std::min(r0 + kTile, m0);
+        for (std::size_t c = 0; c < n; ++c) {
+            double *dst = a + c * m;
+            if (row_scale) {
+                for (std::size_t r = r0; r < r1; ++r)
+                    dst[r] = row_scale[r] * x[r * n + c];
+            } else {
+                for (std::size_t r = r0; r < r1; ++r)
+                    dst[r] = x[r * n + c];
+            }
+        }
+    }
+}
+
 } // namespace
+
+void
+LstsqWorkspace::reserve(std::size_t m_rows, std::size_t n_cols,
+                        bool with_ridge)
+{
+    const std::size_t m = with_ridge ? m_rows + n_cols : m_rows;
+    const std::size_t n = n_cols;
+    const std::size_t nb =
+        std::clamp<std::size_t>(blockSize ? blockSize : kQrBlockSize,
+                                1, 64);
+    growInto(*this, factor, m * n);
+    growInto(*this, rhs, m);
+    growInto(*this, panelF, n * nb);
+    growInto(*this, panelAux, 3 * nb);
+    growInto(*this, colNorm, n);
+    growInto(*this, solution, n);
+    growInto(*this, rowScale, m_rows);
+    growInto(*this, perm, n);
+}
 
 LstsqResult
 lstsq(const Matrix &X, std::span<const double> z, LstsqWorkspace &ws,
@@ -188,14 +418,13 @@ lstsq(const Matrix &X, std::span<const double> z, LstsqWorkspace &ws,
     fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
     fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
 
-    // Copy X straight into the factor buffer; ridge rows are folded
-    // in during the copy instead of materializing an augmented
-    // Matrix first.
+    // Copy X straight into the factor buffer (transposing to column
+    // major); ridge rows are folded in during the copy instead of
+    // materializing an augmented Matrix first.
     const std::size_t m = ridge > 0.0 ? m0 + n : m0;
-    ws.factor.resize(m * n);
-    std::copy(X.data(), X.data() + m0 * n, ws.factor.begin());
-    ws.rhs.resize(m);
-    std::copy(z.begin(), z.end(), ws.rhs.begin());
+    copyIntoFactor(ws, X, nullptr, m);
+    double *rhs = growInto(ws, ws.rhs, m);
+    std::copy(z.begin(), z.end(), rhs);
     foldInRidgeRows(ws, m0, m, n, ridge);
     return solvePrepared(ws, m, n, rcond, ridge);
 }
@@ -223,18 +452,15 @@ weightedLstsq(const Matrix &X, std::span<const double> z,
     // Scale rows by sqrt(w) while copying into the factor buffer; no
     // intermediate weighted design matrix is built.
     const std::size_t m = ridge > 0.0 ? m0 + n : m0;
-    ws.factor.resize(m * n);
-    ws.rhs.resize(m);
-    const double *x = X.data();
+    double *scale = growInto(ws, ws.rowScale, m0);
     for (std::size_t r = 0; r < m0; ++r) {
         fatalIf(w[r] < 0.0, "weightedLstsq: weights must be >= 0");
-        const double s = std::sqrt(w[r]);
-        const double *src = x + r * n;
-        double *dst = ws.factor.data() + r * n;
-        for (std::size_t c = 0; c < n; ++c)
-            dst[c] = s * src[c];
-        ws.rhs[r] = s * z[r];
+        scale[r] = std::sqrt(w[r]);
     }
+    copyIntoFactor(ws, X, scale, m);
+    double *rhs = growInto(ws, ws.rhs, m);
+    for (std::size_t r = 0; r < m0; ++r)
+        rhs[r] = scale[r] * z[r];
     foldInRidgeRows(ws, m0, m, n, ridge);
     return solvePrepared(ws, m, n, rcond, ridge);
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Least-squares solver built on Householder QR with column pivoting.
+ * Least-squares solver built on blocked Householder QR with column
+ * pivoting.
  *
  * Column pivoting matters for this library: software characteristics
  * are often collinear (Section 3.1 of the paper gives temporal vs.
@@ -8,17 +9,42 @@
  * would fail or produce wild coefficients. Rank-deficient columns are
  * detected and dropped, and the caller is told which ones so the
  * modeling heuristic can penalize or repair the specification.
+ *
+ * The kernel factors in panels of kQrBlockSize reflectors (LAPACK
+ * dlaqps-style deferred updates) and applies each panel to the
+ * trailing matrix as one compact-WY matrix-matrix update, with
+ * vectorized column-norm / dot / axpy inner loops over contiguous
+ * column-major workspace storage. Results are deterministic (same
+ * inputs, same bits, on any workspace state and thread count) but are
+ * NOT bit-identical to the scalar reference solver — the summation
+ * order differs. The divergence policy and the fixed reference kept
+ * for cross-checks (qr_reference.hpp) are documented in DESIGN.md
+ * section 5.12.
  */
 
 #ifndef HWSW_STATS_QR_HPP
 #define HWSW_STATS_QR_HPP
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "stats/matrix.hpp"
 
 namespace hwsw::stats {
+
+/**
+ * Panel width of the blocked factorization. 4 won the panel-width
+ * sweep on the baseline box for the search's design shapes (tens of
+ * columns, hundreds of rows — one fused rank-4 trailing update per
+ * panel with minimal deferral overhead); re-tune with the "panel
+ * width sweep" section of bench_lstsq and override via
+ * -DHWSW_QR_BLOCK=<n>.
+ */
+#ifndef HWSW_QR_BLOCK
+#define HWSW_QR_BLOCK 4
+#endif
+inline constexpr std::size_t kQrBlockSize = HWSW_QR_BLOCK;
 
 /** Outcome of a least-squares fit. */
 struct LstsqResult
@@ -41,21 +67,54 @@ struct LstsqResult
  *
  * A candidate evaluation in the genetic search performs one
  * factorization per CV fold; allocating the factor buffer, the
- * right-hand side, and the per-reflector scratch on every call
- * dominates the small-matrix solve cost. A workspace is owned by one
- * caller (one search worker thread) and passed to every lstsq call it
- * makes; buffers grow to the high-water mark and are reused. Contents
+ * right-hand side, and the panel scratch on every call dominates the
+ * small-matrix solve cost. A workspace is owned by one caller (one
+ * search worker thread) and passed to every lstsq call it makes;
+ * buffers grow to the high-water mark and are reused. Contents
  * between calls are meaningless — results are bit-identical whether a
  * workspace is fresh or has been reused a thousand times.
  */
 struct LstsqWorkspace
 {
-    std::vector<double> factor;  ///< in-place QR buffer (m_aug x n)
-    std::vector<double> rhs;     ///< Q' z accumulator
-    std::vector<double> reflector; ///< current Householder vector
-    std::vector<double> dots;    ///< per-column reflector dot products
-    std::vector<double> colNorm; ///< pivot-selection column norms
+    std::vector<double> factor; ///< column-major QR buffer (m_aug x n)
+    std::vector<double> rhs;    ///< Q' z accumulator
+    std::vector<double> panelF; ///< compact-WY F matrix (n x block)
+    std::vector<double> panelAux; ///< auxv + R diagonal + beta stash
+    std::vector<double> colNorm;  ///< pivot-selection column norms
+    std::vector<double> solution; ///< back-substitution output
+    std::vector<double> rowScale; ///< sqrt-weight row scales (WLS)
     std::vector<std::size_t> perm; ///< column permutation
+
+    /** Panel width override; 0 uses kQrBlockSize. Clamped to [1,64]. */
+    std::size_t blockSize = 0;
+
+    /**
+     * Buffer-growth events: incremented whenever a solve needs more
+     * capacity than any previous solve on this workspace. A workspace
+     * sized by reserve() in a steady-state loop must stay at its
+     * creation count — the genetic search asserts this in debug
+     * builds (the EvalScratch freelist pre-sizes from the spec
+     * space's maximum design width).
+     */
+    std::uint64_t growths = 0;
+
+    /**
+     * Opt-in per-phase wall-clock attribution (bench_lstsq): when
+     * true, each solve adds its panel-factorization and
+     * back-substitution time to the accumulators below. Off by
+     * default so the hot path never reads the clock.
+     */
+    bool collectPhaseTimes = false;
+    double factorSeconds = 0.0; ///< accumulated factorization time
+    double solveSeconds = 0.0;  ///< accumulated back-substitution time
+
+    /**
+     * Grow every buffer to the high-water mark of an (m_rows x
+     * n_cols) solve (plus ridge rows when ridge is used), so later
+     * solves within those bounds never touch the allocator.
+     */
+    void reserve(std::size_t m_rows, std::size_t n_cols,
+                 bool with_ridge = true);
 };
 
 /**

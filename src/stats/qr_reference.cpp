@@ -1,0 +1,167 @@
+// The pre-blocked scalar solver, verbatim. See qr_reference.hpp for
+// why this file must never be optimized or refactored.
+#include "stats/qr_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hwsw::stats {
+
+LstsqResult
+referenceLstsq(const Matrix &X, std::span<const double> z, double rcond,
+               double ridge)
+{
+    const std::size_t m0 = X.rows();
+    const std::size_t n = X.cols();
+    panicIf(z.size() != m0, "lstsq: z size must match X rows");
+    fatalIf(m0 == 0 || n == 0, "lstsq: empty design matrix");
+    fatalIf(ridge < 0.0, "lstsq: ridge must be >= 0");
+
+    const std::size_t m = ridge > 0.0 ? m0 + n : m0;
+    Matrix A(m, n);
+    for (std::size_t r = 0; r < m0; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            A(r, c) = X(r, c);
+    if (ridge > 0.0) {
+        const double s = std::sqrt(ridge);
+        for (std::size_t c = 0; c < n; ++c)
+            A(m0 + c, c) = s;
+    }
+    std::vector<double> rhs(z.begin(), z.end());
+    rhs.resize(m, 0.0);
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double *a = A.data();
+
+    std::vector<double> colNorm(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            colNorm[c] += a[r * n + c] * a[r * n + c];
+
+    const std::size_t steps = std::min(m, n);
+    std::size_t rank = 0;
+    double firstDiag = 0.0;
+
+    for (std::size_t k = 0; k < steps; ++k) {
+        std::size_t best = k;
+        for (std::size_t c = k + 1; c < n; ++c)
+            if (colNorm[c] > colNorm[best])
+                best = c;
+        if (best != k) {
+            for (std::size_t r = 0; r < m; ++r)
+                std::swap(a[r * n + k], a[r * n + best]);
+            std::swap(colNorm[k], colNorm[best]);
+            std::swap(perm[k], perm[best]);
+        }
+
+        double norm = 0.0;
+        for (std::size_t r = k; r < m; ++r)
+            norm += a[r * n + k] * a[r * n + k];
+        norm = std::sqrt(norm);
+
+        if (k == 0)
+            firstDiag = norm;
+        const double drop_threshold = std::max(
+            rcond * std::max(firstDiag, 1e-300),
+            ridge > 0.0 ? 3.0 * std::sqrt(ridge) : 0.0);
+        if (norm <= drop_threshold) {
+            break;
+        }
+        ++rank;
+
+        const double alpha = (a[k * n + k] >= 0.0) ? -norm : norm;
+        std::vector<double> v(m - k);
+        v[0] = a[k * n + k] - alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            v[r - k] = a[r * n + k];
+        double vnorm2 = 0.0;
+        for (double vi : v)
+            vnorm2 += vi * vi;
+        a[k * n + k] = alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            a[r * n + k] = 0.0;
+        if (vnorm2 > 0.0) {
+            std::vector<double> dots(n - k - 1, 0.0);
+            for (std::size_t r = k; r < m; ++r) {
+                const double vr = v[r - k];
+                const double *row = a + r * n;
+                for (std::size_t c = k + 1; c < n; ++c)
+                    dots[c - k - 1] += vr * row[c];
+            }
+            for (double &d : dots)
+                d *= 2.0 / vnorm2;
+            for (std::size_t r = k; r < m; ++r) {
+                const double vr = v[r - k];
+                double *row = a + r * n;
+                for (std::size_t c = k + 1; c < n; ++c)
+                    row[c] -= dots[c - k - 1] * vr;
+            }
+            double dot = 0.0;
+            for (std::size_t r = k; r < m; ++r)
+                dot += v[r - k] * rhs[r];
+            const double f = 2.0 * dot / vnorm2;
+            for (std::size_t r = k; r < m; ++r)
+                rhs[r] -= f * v[r - k];
+        }
+
+        for (std::size_t c = k + 1; c < n; ++c) {
+            const double elim = a[k * n + c] * a[k * n + c];
+            colNorm[c] -= elim;
+            if (colNorm[c] < 1e-6 * std::max(elim, 1e-12)) {
+                double s = 0.0;
+                for (std::size_t r = k + 1; r < m; ++r)
+                    s += a[r * n + c] * a[r * n + c];
+                colNorm[c] = s;
+            }
+        }
+    }
+
+    std::vector<double> y(rank, 0.0);
+    for (std::size_t i = rank; i-- > 0;) {
+        double acc = rhs[i];
+        for (std::size_t j = i + 1; j < rank; ++j)
+            acc -= a[i * n + j] * y[j];
+        y[i] = acc / a[i * n + i];
+    }
+
+    LstsqResult out;
+    out.rank = rank;
+    out.coeffs.assign(n, 0.0);
+    for (std::size_t i = 0; i < rank; ++i)
+        out.coeffs[perm[i]] = y[i];
+    for (std::size_t i = rank; i < n; ++i)
+        out.dropped.push_back(perm[i]);
+    std::sort(out.dropped.begin(), out.dropped.end());
+
+    double res = 0.0;
+    for (std::size_t r = rank; r < m; ++r)
+        res += rhs[r] * rhs[r];
+    out.residualNorm = std::sqrt(res);
+    return out;
+}
+
+LstsqResult
+referenceWeightedLstsq(const Matrix &X, std::span<const double> z,
+                       std::span<const double> w, double rcond,
+                       double ridge)
+{
+    const std::size_t m = X.rows();
+    panicIf(w.size() != m, "weightedLstsq: weight size must match rows");
+    panicIf(z.size() != m, "lstsq: z size must match X rows");
+    Matrix Xw(m, X.cols());
+    std::vector<double> zw(m);
+    for (std::size_t r = 0; r < m; ++r) {
+        fatalIf(w[r] < 0.0, "weightedLstsq: weights must be >= 0");
+        const double s = std::sqrt(w[r]);
+        for (std::size_t c = 0; c < X.cols(); ++c)
+            Xw(r, c) = s * X(r, c);
+        zw[r] = s * z[r];
+    }
+    return referenceLstsq(Xw, zw, rcond, ridge);
+}
+
+} // namespace hwsw::stats

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed reference least-squares solver: the scalar, allocating,
+ * one-rank-1-update-per-reflector pivoted Householder QR that shipped
+ * before the blocked kernel. It is kept verbatim, forever, for two
+ * jobs:
+ *
+ *  - cross-checking the blocked kernel (test_qr_workspace drives
+ *    randomized systems through both and bounds the divergence by the
+ *    relative-tolerance policy of DESIGN.md section 5.12), and
+ *  - serving as the timing baseline in bench_lstsq, so
+ *    lstsq_ratio_* measures the blocked kernel against a stable
+ *    yardstick instead of against itself.
+ *
+ * Do not optimize this file. Its value is that it never changes.
+ */
+
+#ifndef HWSW_STATS_QR_REFERENCE_HPP
+#define HWSW_STATS_QR_REFERENCE_HPP
+
+#include <span>
+
+#include "stats/qr.hpp"
+
+namespace hwsw::stats {
+
+/** Scalar reference for lstsq(); allocates every buffer per call. */
+LstsqResult referenceLstsq(const Matrix &X, std::span<const double> z,
+                           double rcond = 1e-10, double ridge = 1e-4);
+
+/** Scalar reference for weightedLstsq(). */
+LstsqResult referenceWeightedLstsq(const Matrix &X,
+                                   std::span<const double> z,
+                                   std::span<const double> w,
+                                   double rcond = 1e-10,
+                                   double ridge = 1e-4);
+
+} // namespace hwsw::stats
+
+#endif // HWSW_STATS_QR_REFERENCE_HPP

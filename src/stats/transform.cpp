@@ -4,9 +4,25 @@
 #include <cmath>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/descriptive.hpp"
 
 namespace hwsw::stats {
+
+namespace {
+
+/** One stabilizer rung over a whole column, clamp included. */
+template <typename Fn>
+void
+applyColumn(std::span<const double> x, std::span<double> out, Fn &&fn)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double v = x[i] < 0.0 ? 0.0 : x[i];
+        out[i] = fn(v);
+    }
+}
+
+} // namespace
 
 double
 Stabilizer::apply(double x) const
@@ -28,6 +44,35 @@ Stabilizer::apply(double x) const
         return std::log1p(x);
     }
     return x;
+}
+
+void
+Stabilizer::apply(std::span<const double> x, std::span<double> out) const
+{
+    panicIf(out.size() != x.size(), "Stabilizer::apply size mismatch");
+    switch (power_) {
+      case Power::Identity:
+        applyColumn(x, out, [](double v) { return v; });
+        return;
+      case Power::Sqrt:
+        applyColumn(x, out, [](double v) { return std::sqrt(v); });
+        return;
+      case Power::CubeRoot:
+        applyColumn(x, out, [](double v) { return std::cbrt(v); });
+        return;
+      case Power::FourthRoot:
+        applyColumn(x, out, [](double v) {
+            return std::sqrt(std::sqrt(v));
+        });
+        return;
+      case Power::FifthRoot:
+        applyColumn(x, out, [](double v) { return std::pow(v, 0.2); });
+        return;
+      case Power::Log1p:
+        applyColumn(x, out, [](double v) { return std::log1p(v); });
+        return;
+    }
+    applyColumn(x, out, [](double v) { return v; });
 }
 
 std::string

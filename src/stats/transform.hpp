@@ -39,6 +39,15 @@ class Stabilizer
     /** Apply to one value; negative inputs are clamped to zero. */
     double apply(double x) const;
 
+    /**
+     * Batched apply: out[i] = apply(x[i]) for every element, with the
+     * rung dispatch hoisted out of the loop so each rung runs as one
+     * straight (and, for the cheap rungs, vectorizable) pass.
+     * Bit-identical per element to the scalar overload; in-place use
+     * (out == x) is allowed. @pre out.size() == x.size().
+     */
+    void apply(std::span<const double> x, std::span<double> out) const;
+
     Power power() const { return power_; }
 
     /** Human-readable name, e.g. "x^(1/5)". */
