@@ -70,6 +70,11 @@ saveCheckpoint(const SearchCheckpoint &cp, std::ostream &os)
 {
     os << kMagic << " " << kVersion << "\n";
     os << std::setprecision(17);
+    // The strategy line postdates version 1 but stays within it:
+    // old files simply lack it (and load as "genetic"), so the
+    // version needs no bump for a purely additive, defaulted field.
+    os << "strategy "
+       << (cp.strategy.empty() ? "genetic" : cp.strategy) << "\n";
     os << "next_generation " << cp.nextGeneration << "\n";
     os << "rng " << cp.rng.s[0] << " " << cp.rng.s[1] << " "
        << cp.rng.s[2] << " " << cp.rng.s[3] << " "
@@ -108,7 +113,17 @@ loadCheckpoint(std::istream &is)
             "checkpoint load: unsupported version");
 
     SearchCheckpoint cp;
-    expectToken(is, "next_generation");
+    std::string tok;
+    is >> tok;
+    if (tok == "strategy") {
+        is >> cp.strategy;
+        fatalIf(cp.strategy.empty(),
+                "checkpoint load: empty strategy name");
+        is >> tok;
+    }
+    fatalIf(tok != "next_generation",
+            "checkpoint load: expected 'next_generation', got '" +
+                tok + "'");
     is >> cp.nextGeneration;
 
     expectToken(is, "rng");

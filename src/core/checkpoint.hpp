@@ -31,9 +31,18 @@
 
 namespace hwsw::core {
 
-/** Resumable genetic-search state at a generation boundary. */
+/** Resumable search state at a generation boundary. */
 struct SearchCheckpoint
 {
+    /**
+     * Registered strategy that wrote this checkpoint ("genetic",
+     * "anneal", ...). Resume refuses a mismatch — a population bred
+     * by one operator schedule must not silently continue under
+     * another. Absent in pre-registry checkpoint files, which load
+     * as "genetic" (the only strategy that could have written them).
+     */
+    std::string strategy = "genetic";
+
     /** Generation the resumed run evaluates first. */
     std::size_t nextGeneration = 0;
 

@@ -10,6 +10,7 @@
 
 #include "common/assert.hpp"
 #include "core/checkpoint.hpp"
+#include "core/search/strategy.hpp"
 
 namespace hwsw::core {
 
@@ -36,6 +37,11 @@ GeneticSearch::GeneticSearch(const Dataset &data, GaOptions opts)
             "population must hold at least 4 models");
     fatalIf(opts_.eliteFrac <= 0.0 || opts_.eliteFrac >= 1.0,
             "eliteFrac must be in (0,1)");
+    if (!opts_.search.empty()) {
+        std::string error;
+        fatalIf(!search::validateStrategySpec(opts_.search, &error),
+                "search strategy '" + opts_.search + "': " + error);
+    }
 
     Rng rng(opts_.seed);
     for (const std::string &app : data.appNames()) {
@@ -352,116 +358,33 @@ GeneticSearch::breedNext(std::span<const ScoredSpec> scored,
 GaResult
 GeneticSearch::run(std::span<const ModelSpec> seeds)
 {
+    const search::SearchStrategy strategy =
+        search::SearchStrategy::forEngine(*this);
     Rng rng(opts_.seed ^ 0xabcdef1234ULL);
-    std::vector<ModelSpec> population = initialPopulation(seeds, rng);
-    return runLoop(std::move(population), rng, 0, {});
+    std::vector<ModelSpec> population = strategy.populate(seeds, rng);
+    return strategy.runLoop(std::move(population), rng, 0, {});
 }
 
 GaResult
 GeneticSearch::resume(const SearchCheckpoint &cp)
 {
+    const search::SearchStrategy strategy =
+        search::SearchStrategy::forEngine(*this);
     fatalIf(cp.population.size() != opts_.populationSize,
             "resume: checkpoint population size mismatch");
+    fatalIf(cp.strategy != strategy.name(),
+            "resume: checkpoint strategy '" + cp.strategy +
+                "' does not match configured strategy '" +
+                strategy.name() + "'");
     // A checkpoint at or past the final generation means the run
     // already completed (a re-run of `train --resume` after success,
-    // or --generations lowered since): runLoop then runs zero
+    // or --generations lowered since): the loop then runs zero
     // generations and re-scores the checkpointed population, instead
     // of aborting a run that has nothing left to do.
     Rng rng(0);
     rng.setState(cp.rng);
-    return runLoop(cp.population, rng, cp.nextGeneration, cp.history);
-}
-
-GaResult
-GeneticSearch::runLoop(std::vector<ModelSpec> population, Rng rng,
-                       std::size_t start_generation,
-                       std::vector<GenerationStats> history)
-{
-    metrics::Timer run_timer;
-    metrics::ScopedTimer run_scope(run_timer);
-    const SearchMetrics before = metricsSnapshot();
-
-    GaResult result;
-    result.history = std::move(history);
-    std::vector<ScoredSpec> scored;
-
-    for (std::size_t gen = start_generation; gen < opts_.generations;
-         ++gen) {
-        const double eval_before = evalTimer_.seconds();
-        const std::uint64_t hits_before = hitCount_.value();
-        const std::uint64_t misses_before = missCount_.value();
-        scored = scorePopulation(population);
-        std::sort(scored.begin(), scored.end(),
-                  [](const ScoredSpec &a, const ScoredSpec &b) {
-                      return a.fitness < b.fitness;
-                  });
-
-        GenerationStats stats;
-        stats.generation = gen;
-        stats.wallSeconds = evalTimer_.seconds() - eval_before;
-        stats.cacheHits = hitCount_.value() - hits_before;
-        stats.cacheMisses = missCount_.value() - misses_before;
-        stats.bestFitness = scored.front().fitness;
-        stats.bestSumMedianError = scored.front().sumMedianError;
-        stats.meanFitness = 0.0;
-        for (const ScoredSpec &s : scored)
-            stats.meanFitness += s.fitness;
-        stats.meanFitness /= static_cast<double>(scored.size());
-        result.history.push_back(stats);
-
-        if (gen + 1 == opts_.generations)
-            break;
-
-        population = breedNext(scored, rng);
-
-        // Generation boundary: the bred population plus the RNG
-        // state is everything a restart needs to continue this run
-        // bit-identically (evaluation is deterministic).
-        if (!opts_.checkpointPath.empty() &&
-            (gen + 1) % std::max<std::size_t>(opts_.checkpointEvery,
-                                              1) ==
-                0) {
-            SearchCheckpoint cp;
-            cp.nextGeneration = gen + 1;
-            cp.rng = rng.state();
-            cp.population = population;
-            cp.history = result.history;
-            std::string error;
-            if (!saveCheckpointToFile(cp, opts_.checkpointPath,
-                                      &error)) {
-                // A failed checkpoint degrades durability, not the
-                // search: keep running on the previous checkpoint.
-                std::fprintf(stderr, "checkpoint: %s\n",
-                             error.c_str());
-            }
-        }
-    }
-
-    if (scored.empty()) {
-        // The loop ran zero generations (resume of an
-        // already-complete checkpoint): score the population once so
-        // the result still carries a best model. Evaluation is
-        // deterministic, so these scores equal the completed run's.
-        scored = scorePopulation(population);
-        std::sort(scored.begin(), scored.end(),
-                  [](const ScoredSpec &a, const ScoredSpec &b) {
-                      return a.fitness < b.fitness;
-                  });
-    }
-    result.best = scored.front();
-    result.population = std::move(scored);
-
-    // Per-run deltas: the search object's counters accumulate across
-    // run() calls, a GaResult describes only its own run.
-    const SearchMetrics after = metricsSnapshot();
-    result.metrics.evaluations = after.evaluations - before.evaluations;
-    result.metrics.cacheHits = after.cacheHits - before.cacheHits;
-    result.metrics.cacheMisses = after.cacheMisses - before.cacheMisses;
-    result.metrics.modelFits = after.modelFits - before.modelFits;
-    result.metrics.evalSeconds = after.evalSeconds - before.evalSeconds;
-    result.metrics.threadsUsed = after.threadsUsed;
-    result.metrics.totalSeconds = run_scope.elapsedSeconds();
-    return result;
+    return strategy.runLoop(cp.population, rng, cp.nextGeneration,
+                            cp.history);
 }
 
 } // namespace hwsw::core

@@ -102,6 +102,19 @@ struct GaOptions
 
     /** Generations between checkpoints (when a path is set). */
     std::size_t checkpointEvery = 1;
+
+    /**
+     * Search strategy config string, `name[:key=val,...]` against
+     * the stage registry (src/core/search/): "genetic" (default,
+     * the paper's GA), "anneal:t0=0.02,decay=0.9",
+     * "halving:keep=0.5", each optionally with "cost=<name>". All
+     * strategies share the scoring path (scratch pool, memo cache,
+     * thread pool) and the checkpoint format; checkpoints record
+     * the strategy name and refuse a mismatched resume. Empty is
+     * read as "genetic"; an invalid spec is a FatalError at
+     * construction.
+     */
+    std::string search = "genetic";
 };
 
 /** A specification with its evaluated fitness. */
@@ -164,7 +177,15 @@ struct GaResult
     SearchMetrics metrics;
 };
 
-/** Genetic search engine over a profile dataset. */
+/**
+ * Search engine over a profile dataset. Holds the per-application
+ * folds, the evaluation fast path (pooled EvalScratch, fitness memo
+ * cache, thread pool) and the genetic operator schedule; run() and
+ * resume() execute whatever registered strategy GaOptions::search
+ * names through the stage pipeline (src/core/search/), with the
+ * default "genetic" registration reproducing the paper's GA
+ * bit-identically.
+ */
 class GeneticSearch
 {
   public:
@@ -297,11 +318,6 @@ class GeneticSearch
 
     std::unique_ptr<EvalScratch> acquireScratch() const;
     void releaseScratch(std::unique_ptr<EvalScratch> scratch) const;
-
-    /** Shared generation loop for fresh and resumed runs. */
-    GaResult runLoop(std::vector<ModelSpec> population, Rng rng,
-                     std::size_t start_generation,
-                     std::vector<GenerationStats> history);
 
     GaOptions opts_;
     std::vector<AppFold> folds_;

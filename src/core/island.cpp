@@ -40,6 +40,15 @@ validateIslandOptions(const IslandOptions &opts)
             "migrants must be smaller than the island population");
     fatalIf(opts.ga.generations == 0,
             "island model needs at least 1 generation");
+    if (!opts.ga.search.empty()) {
+        // The spec crosses the wire as one handshake token, so it
+        // must be registry-valid (which also bans whitespace) on
+        // the coordinator before any worker is told to run it.
+        std::string error;
+        fatalIf(!search::validateStrategySpec(opts.ga.search, &error),
+                "island search strategy '" + opts.ga.search + "': " +
+                    error);
+    }
 }
 
 std::uint64_t
@@ -91,11 +100,12 @@ IslandEvolver::IslandEvolver(const Dataset &data,
                              std::size_t island)
     : opts_(opts), island_(island),
       search_(data, stripInnerCheckpoint(opts.ga)),
+      strategy_(search::SearchStrategy::forEngine(search_)),
       rng_(islandSeed(opts.ga.seed, island))
 {
     validateIslandOptions(opts_);
     fatalIf(island_ >= opts_.islands, "island index out of range");
-    population_ = search_.initialPopulation({}, rng_);
+    population_ = strategy_.populate({}, rng_);
 }
 
 bool
@@ -109,6 +119,10 @@ IslandEvolver::resumeFromCheckpoint()
         return false; // no checkpoint yet: fresh start
     fatalIf(cp->population.size() != opts_.ga.populationSize,
             "island resume: checkpoint population size mismatch");
+    fatalIf(cp->strategy != strategy_.name(),
+            "island resume: checkpoint strategy '" + cp->strategy +
+                "' does not match configured strategy '" +
+                strategy_.name() + "'");
     fatalIf(cp->nextGeneration >= opts_.ga.generations,
             "island resume: checkpoint past the final generation");
     gen_ = cp->nextGeneration;
@@ -165,10 +179,7 @@ IslandEvolver::advance()
         return false;
     for (;;) {
         const SearchMetrics before = search_.metricsSnapshot();
-        std::vector<ScoredSpec> scored =
-            search_.scorePopulation(population_);
-        std::sort(scored.begin(), scored.end(), fitnessLess);
-        scored_ = std::move(scored);
+        scored_ = strategy_.scoreAndSelect(population_);
 
         // Progress hook first (heartbeat/lease checks), then the
         // mid-generation kill/stall points: the work above is done
@@ -215,13 +226,11 @@ IslandEvolver::immigrate(std::span<const ScoredSpec> immigrants)
     panicIf(!atBarrier_, "immigrate: not paused at a barrier");
     fatalIf(immigrants.size() >= scored_.size(),
             "immigrate: migrant count must be below the population");
-    // Replace the worst residents (slot 0 is never reachable, so
-    // the local champion always survives), then restore fitness
-    // order. stable_sort keeps ties deterministic: residents first,
-    // then immigrants in their arrival order.
-    for (std::size_t k = 0; k < immigrants.size(); ++k)
-        scored_[scored_.size() - 1 - k] = immigrants[k];
-    std::stable_sort(scored_.begin(), scored_.end(), fitnessLess);
+    // The migrate stage replaces the worst residents (slot 0 is
+    // never reachable, so the local champion always survives) and
+    // restores cost order with a stable sort: residents first, then
+    // immigrants in their arrival order.
+    strategy_.migrate(scored_, immigrants);
     atBarrier_ = false;
     emigrants_.clear();
     breedAndCheckpoint();
@@ -230,13 +239,14 @@ IslandEvolver::immigrate(std::span<const ScoredSpec> immigrants)
 void
 IslandEvolver::breedAndCheckpoint()
 {
-    population_ = search_.breedNext(scored_, rng_);
+    population_ = strategy_.breed(scored_, rng_, gen_);
     ++gen_;
     const std::string path = islandCheckpointPath(opts_, island_);
     if (path.empty() ||
         gen_ % std::max<std::size_t>(opts_.ga.checkpointEvery, 1) != 0)
         return;
     SearchCheckpoint cp;
+    cp.strategy = strategy_.name();
     cp.nextGeneration = gen_;
     cp.rng = rng_.state();
     cp.population = population_;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/genetic.hpp"
+#include "core/search/strategy.hpp"
 
 namespace hwsw::core {
 
@@ -198,6 +199,14 @@ class IslandEvolver
     IslandOptions opts_;
     std::size_t island_;
     GeneticSearch search_;
+
+    /**
+     * The registered strategy opts_.ga.search names — whatever the
+     * coordinator's config handshake shipped. Every island of a run
+     * breeds (and checkpoints, and refuses mismatched resumes)
+     * through the same registration the single-search path uses.
+     */
+    search::SearchStrategy strategy_;
     Rng rng_;
     std::vector<ModelSpec> population_;
     std::vector<ScoredSpec> scored_; ///< current generation, sorted

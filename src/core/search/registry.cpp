@@ -1,0 +1,277 @@
+#include "core/search/registry.hpp"
+
+#include <cctype>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "core/genetic.hpp" // complete ScoredSpec for StageContext
+#include "core/search/stage.hpp"
+
+namespace hwsw::core::search {
+
+namespace {
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+bool
+fail(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+} // namespace
+
+const char *
+stageKindName(StageKind kind)
+{
+    switch (kind) {
+    case StageKind::Populate:
+        return "populate";
+    case StageKind::Score:
+        return "score";
+    case StageKind::Select:
+        return "select";
+    case StageKind::Breed:
+        return "breed";
+    case StageKind::Migrate:
+        return "migrate";
+    }
+    return "?";
+}
+
+const std::string *
+StrategyConfig::find(const std::string &key) const
+{
+    for (const auto &[k, v] : options)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+StrategyConfig::numberOr(const std::string &key, double fallback) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return fallback;
+    const auto parsed = parseDouble(*v);
+    fatalIf(!parsed, "strategy option '" + key + "': bad value '" +
+                         *v + "'");
+    return *parsed;
+}
+
+std::optional<StrategyConfig>
+parseStrategySpec(const std::string &spec, std::string *error)
+{
+    for (const char c : spec) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            fail(error, "strategy spec must not contain whitespace");
+            return std::nullopt;
+        }
+    }
+    StrategyConfig cfg;
+    const std::size_t colon = spec.find(':');
+    cfg.name = spec.substr(0, colon);
+    if (cfg.name.empty()) {
+        fail(error, "empty strategy name");
+        return std::nullopt;
+    }
+    if (colon == std::string::npos)
+        return cfg;
+
+    std::size_t pos = colon + 1;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        const std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size()) {
+            fail(error, "bad strategy option '" + item +
+                            "' (expected key=value)");
+            return std::nullopt;
+        }
+        cfg.options.emplace_back(item.substr(0, eq),
+                                 item.substr(eq + 1));
+        pos = comma + 1;
+        if (comma == spec.size())
+            break;
+    }
+    if (cfg.options.empty()) {
+        fail(error, "dangling ':' without options");
+        return std::nullopt;
+    }
+    return cfg;
+}
+
+StageRegistry &
+StageRegistry::instance()
+{
+    // The call below anchors stages.o (all built-in registrations)
+    // into any link that touches the registry; see registry.hpp.
+    linkBuiltinSearchStages();
+    static StageRegistry registry;
+    return registry;
+}
+
+void
+StageRegistry::registerStage(StageDescriptor d)
+{
+    fatalIf(d.name.empty() || !d.make,
+            "registerStage: descriptor needs a name and a factory");
+    const auto [it, inserted] = stages_.try_emplace(d.name);
+    fatalIf(!inserted, "registerStage: duplicate stage '" + d.name +
+                           "'");
+    it->second = std::move(d);
+}
+
+void
+StageRegistry::registerCost(CostDescriptor d)
+{
+    fatalIf(d.name.empty() || !d.fn,
+            "registerCost: descriptor needs a name and a function");
+    const auto [it, inserted] = costs_.try_emplace(d.name);
+    fatalIf(!inserted,
+            "registerCost: duplicate cost '" + d.name + "'");
+    it->second = std::move(d);
+}
+
+void
+StageRegistry::registerStrategy(StrategyDescriptor d)
+{
+    fatalIf(d.name.empty(),
+            "registerStrategy: descriptor needs a name");
+    const auto [it, inserted] = strategies_.try_emplace(d.name);
+    fatalIf(!inserted, "registerStrategy: duplicate strategy '" +
+                           d.name + "'");
+    it->second = std::move(d);
+}
+
+const StageDescriptor *
+StageRegistry::findStage(const std::string &name) const
+{
+    const auto it = stages_.find(name);
+    return it == stages_.end() ? nullptr : &it->second;
+}
+
+const CostDescriptor *
+StageRegistry::findCost(const std::string &name) const
+{
+    const auto it = costs_.find(name);
+    return it == costs_.end() ? nullptr : &it->second;
+}
+
+const StrategyDescriptor *
+StageRegistry::findStrategy(const std::string &name) const
+{
+    const auto it = strategies_.find(name);
+    return it == strategies_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+StageRegistry::stageNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(stages_.size());
+    for (const auto &[name, d] : stages_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+StageRegistry::costNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(costs_.size());
+    for (const auto &[name, d] : costs_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+StageRegistry::strategyNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(strategies_.size());
+    for (const auto &[name, d] : strategies_)
+        names.push_back(name);
+    return names;
+}
+
+bool
+validateStrategySpec(const std::string &spec, std::string *error)
+{
+    const auto cfg = parseStrategySpec(spec, error);
+    if (!cfg)
+        return false;
+    const StageRegistry &reg = StageRegistry::instance();
+    const StrategyDescriptor *strat = reg.findStrategy(cfg->name);
+    if (!strat)
+        return fail(error, "unknown strategy '" + cfg->name +
+                               "' (registered: " +
+                               joinNames(reg.strategyNames()) + ")");
+    for (const auto &[key, value] : cfg->options) {
+        if (key == "cost") {
+            if (!reg.findCost(value))
+                return fail(error,
+                            "unknown cost '" + value +
+                                "' (registered: " +
+                                joinNames(reg.costNames()) + ")");
+            continue;
+        }
+        bool known = false;
+        for (const std::string &k : strat->knownOptions)
+            known = known || k == key;
+        if (!known)
+            return fail(error,
+                        "strategy '" + cfg->name +
+                            "' does not accept option '" + key +
+                            "' (accepted: cost" +
+                            (strat->knownOptions.empty()
+                                 ? std::string()
+                                 : ", " +
+                                       joinNames(strat->knownOptions)) +
+                            ")");
+        if (!parseDouble(value))
+            return fail(error, "option '" + key + "': bad value '" +
+                                   value + "'");
+    }
+    // Dry-construct every slot: stage constructors range-check their
+    // options (FatalError), so a value like halving:keep=2 is
+    // rejected here — at the CLI flag, before any dataset work —
+    // instead of deep inside engine construction.
+    const std::string slots[] = {strat->populate, strat->score,
+                                 strat->select, strat->breed,
+                                 strat->migrate};
+    for (const std::string &slot : slots) {
+        const StageDescriptor *stage = reg.findStage(slot);
+        if (!stage)
+            return fail(error, "strategy '" + cfg->name +
+                                   "' names unregistered stage '" +
+                                   slot + "'");
+        try {
+            const auto built = stage->make(*cfg);
+            if (!built)
+                return fail(error, "stage '" + slot +
+                                       "' factory returned nothing");
+        } catch (const FatalError &e) {
+            return fail(error, e.what());
+        }
+    }
+    return true;
+}
+
+} // namespace hwsw::core::search

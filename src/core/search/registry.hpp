@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Self-registering stage/strategy registry for the search pipeline.
+ *
+ * The generation loop is decomposed into five named stage slots —
+ * populate → score → select → breed → migrate — and a search
+ * strategy is a declarative descriptor wiring one registered stage
+ * into each slot plus the cost function ranking candidates. Stages,
+ * cost functions, and strategies self-register at static
+ * initialization through the HWSW_REGISTER_* macros (the
+ * MV_REGISTER_PASS idiom), so adding a searcher is one translation
+ * unit: register a breed stage, register a strategy descriptor
+ * naming it, and every consumer — `hwsw train --search`, the island
+ * workers, checkpoint/resume, the head-to-head benchmark harness,
+ * the CI hygiene gate — picks it up by name with no other edits.
+ *
+ * Strategies are selected by config string, `name[:key=val,...]`,
+ * e.g. "genetic", "anneal:t0=0.1,decay=0.9", "halving:keep=0.25",
+ * "genetic:cost=sum-error". The grammar bans whitespace so a spec
+ * travels as one token of the island wire handshake. Parsing is
+ * strict (full-string from_chars; unknown names and unknown keys are
+ * defects): validateStrategySpec() is the single contract the CLI,
+ * the engine, and validateIslandOptions() all enforce.
+ */
+
+#ifndef HWSW_CORE_SEARCH_REGISTRY_HPP
+#define HWSW_CORE_SEARCH_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hwsw::core {
+struct ScoredSpec;
+}
+
+namespace hwsw::core::search {
+
+class SearchStage;
+
+/** The five slots of the generation loop, in execution order. */
+enum class StageKind { Populate, Score, Select, Breed, Migrate };
+
+/** Human-readable slot name ("populate", "score", ...). */
+const char *stageKindName(StageKind kind);
+
+/**
+ * A parsed strategy config string. Option values stay textual here;
+ * stages parse them strictly (from_chars) when they construct.
+ */
+struct StrategyConfig
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    /** Value of @p key, or nullptr when the spec did not set it. */
+    const std::string *find(const std::string &key) const;
+
+    /**
+     * Numeric option with a default. @pre the spec passed
+     * validateStrategySpec(), which proved the value parses.
+     */
+    double numberOr(const std::string &key, double fallback) const;
+};
+
+/**
+ * Split "name[:key=val,...]" into a StrategyConfig. Syntax only —
+ * no registry lookups. @return nullopt with @p error filled on
+ * malformed input (empty name, whitespace, dangling '=', ...).
+ */
+std::optional<StrategyConfig>
+parseStrategySpec(const std::string &spec, std::string *error);
+
+/** Ranking key over scored candidates; lower is better. */
+using CostFunction = double (*)(const ScoredSpec &);
+
+/** A registered cost function. */
+struct CostDescriptor
+{
+    std::string name;        ///< e.g. "fitness"
+    std::string description; ///< one line for listings
+    CostFunction fn = nullptr;
+};
+
+/**
+ * A registered pipeline stage: a name, the slot it can fill, and a
+ * factory building an instance for one strategy configuration.
+ */
+struct StageDescriptor
+{
+    std::string name;        ///< e.g. "breed.genetic"
+    StageKind kind = StageKind::Populate;
+    std::string description; ///< one line for listings
+    std::function<std::unique_ptr<SearchStage>(const StrategyConfig &)>
+        make;
+};
+
+/**
+ * A registered search strategy: declarative wiring of one stage per
+ * slot plus the option keys its config string accepts. The `cost`
+ * key is implicit on every strategy (all stages rank through the
+ * strategy's cost function).
+ */
+struct StrategyDescriptor
+{
+    std::string name;        ///< e.g. "anneal"
+    std::string description; ///< one line for --search listings
+    std::string populate;    ///< stage name per slot
+    std::string score;
+    std::string select;
+    std::string breed;
+    std::string migrate;
+    std::vector<std::string> knownOptions; ///< beyond "cost"
+};
+
+/**
+ * Process-wide registry. Duplicate names are defects (FatalError at
+ * registration); lookups return nullptr so callers own the error
+ * message. Listings iterate in name order, so every rendering of
+ * "registered: ..." is deterministic.
+ */
+class StageRegistry
+{
+  public:
+    static StageRegistry &instance();
+
+    void registerStage(StageDescriptor d);
+    void registerCost(CostDescriptor d);
+    void registerStrategy(StrategyDescriptor d);
+
+    const StageDescriptor *findStage(const std::string &name) const;
+    const CostDescriptor *findCost(const std::string &name) const;
+    const StrategyDescriptor *
+    findStrategy(const std::string &name) const;
+
+    std::vector<std::string> stageNames() const;
+    std::vector<std::string> costNames() const;
+    std::vector<std::string> strategyNames() const;
+
+  private:
+    StageRegistry() = default;
+
+    std::map<std::string, StageDescriptor> stages_;
+    std::map<std::string, CostDescriptor> costs_;
+    std::map<std::string, StrategyDescriptor> strategies_;
+};
+
+/**
+ * Full semantic validation of a strategy spec against the registry:
+ * syntax, known strategy, known option keys, cost names resolve,
+ * numeric values parse. The CLI calls this before touching a
+ * dataset (unknown --search → registered-name list + exit 2); the
+ * engine and validateIslandOptions() enforce the same contract.
+ */
+bool validateStrategySpec(const std::string &spec, std::string *error);
+
+/**
+ * Anchor pulling the built-in registrations (stages.cpp) out of the
+ * static library: a static archive member with no referenced symbol
+ * is never linked, and its self-registering globals with it.
+ * StageRegistry::instance() calls this no-op, making registry.o
+ * depend on stages.o.
+ */
+void linkBuiltinSearchStages();
+
+} // namespace hwsw::core::search
+
+// Self-registration at static initialization (the MV_REGISTER_PASS
+// idiom): expand one of these at namespace scope in the stage's
+// translation unit, passing a braced descriptor literal.
+#define HWSW_SEARCH_CONCAT_(a, b) a##b
+#define HWSW_SEARCH_CONCAT(a, b) HWSW_SEARCH_CONCAT_(a, b)
+#define HWSW_REGISTER_STAGE(...)                                       \
+    static const bool HWSW_SEARCH_CONCAT(hwswStageReg_, __LINE__) =    \
+        (::hwsw::core::search::StageRegistry::instance()               \
+             .registerStage(__VA_ARGS__),                              \
+         true)
+#define HWSW_REGISTER_COST(...)                                        \
+    static const bool HWSW_SEARCH_CONCAT(hwswCostReg_, __LINE__) =     \
+        (::hwsw::core::search::StageRegistry::instance()               \
+             .registerCost(__VA_ARGS__),                               \
+         true)
+#define HWSW_REGISTER_STRATEGY(...)                                    \
+    static const bool HWSW_SEARCH_CONCAT(hwswStratReg_, __LINE__) =    \
+        (::hwsw::core::search::StageRegistry::instance()               \
+             .registerStrategy(__VA_ARGS__),                           \
+         true)
+
+#endif // HWSW_CORE_SEARCH_REGISTRY_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The stage contract of the registered search pipeline.
+ *
+ * One generation of any strategy is the same five-slot loop the
+ * genetic path always ran — populate → score → select → breed →
+ * migrate — with each slot filled by a registered stage. A stage is
+ * a pure transformation of the StageContext: it reads and writes the
+ * population/scored vectors and draws from the strategy RNG, and it
+ * reaches evaluation only through the engine (GeneticSearch), so
+ * every strategy shares the EvalScratch pooling, the sharded fitness
+ * memo cache, the thread pool, and therefore the determinism
+ * contract (results are a pure function of the spec stream, not of
+ * thread count, scheduling, or cache hits).
+ *
+ * Stage invariants the driver relies on:
+ *  - populate: seeds + rng → population (exactly populationSize).
+ *  - score:    population → scored, slot for slot (unsorted).
+ *  - select:   sorts scored by the strategy cost, best first.
+ *  - breed:    scored (sorted) + rng + generation → next population.
+ *  - migrate:  splices immigrants into scored, restoring cost order
+ *              without ever displacing slot 0 (the local champion).
+ * RNG draws must be serial and depend only on prior state — never
+ * on timing, thread count, or cache occupancy — so a (population,
+ * rng-state) checkpoint resumes any strategy bit-identically.
+ */
+
+#ifndef HWSW_CORE_SEARCH_STAGE_HPP
+#define HWSW_CORE_SEARCH_STAGE_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/search/registry.hpp"
+#include "core/spec.hpp"
+
+namespace hwsw::core {
+class GeneticSearch;
+struct ScoredSpec;
+}
+
+namespace hwsw::core::search {
+
+/** Everything one generation threads through its stages. */
+struct StageContext
+{
+    /** Evaluation engine: folds, scratch pool, memo cache, pool. */
+    const GeneticSearch &engine;
+
+    /** The strategy's deterministic stream (checkpointed). */
+    Rng &rng;
+
+    /** Candidate ranking, lower is better (strategy `cost=` key). */
+    CostFunction cost = nullptr;
+
+    /** Warm-start seeds (populate input; empty for fresh runs). */
+    std::span<const ModelSpec> seeds{};
+
+    /** Current population (populate/breed output, score input). */
+    std::vector<ModelSpec> population{};
+
+    /** Scored population (score output; select sorts in place). */
+    std::vector<ScoredSpec> scored{};
+
+    /** Generation being processed (breed reads it for schedules). */
+    std::size_t generation = 0;
+
+    /** Inbound migrants (migrate input; empty otherwise). */
+    std::span<const ScoredSpec> immigrants{};
+};
+
+/** One pipeline stage; instances are per-strategy and stateless. */
+class SearchStage
+{
+  public:
+    virtual ~SearchStage() = default;
+    virtual void apply(StageContext &ctx) const = 0;
+};
+
+} // namespace hwsw::core::search
+
+#endif // HWSW_CORE_SEARCH_STAGE_HPP

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Built-in stages, cost functions, and strategy registrations.
+ *
+ * Everything here self-registers through the HWSW_REGISTER_* macros;
+ * linkBuiltinSearchStages() (called by StageRegistry::instance())
+ * anchors this object into static-library links. Three strategies
+ * ship built in:
+ *
+ *  - genetic: the paper's operator schedule (elitism + crossovers
+ *    C1-C3 + mutations M1-M2), re-expressed as the default wiring.
+ *    Bit-identical to the pre-registry GeneticSearch loop.
+ *  - anneal:  population of parallel simulated-annealing chains.
+ *    Each generation proposes one mutation-operator neighbor per
+ *    chain, scores the proposals through the shared evaluation
+ *    path, and accepts by the Metropolis rule at temperature
+ *    T(gen) = t0 * decay^gen. The best chain (slot 0 after select)
+ *    accepts greedily, so the incumbent champion never regresses
+ *    and the sorted front carries the best-ever candidate — which
+ *    keeps the (population, rng) checkpoint shape sufficient.
+ *  - halving: successive-halving random search. Each generation
+ *    keeps the top `keep` fraction and refills the rest with fresh
+ *    random specifications, rank-culling its way through the space.
+ *
+ * Every breed stage draws serially from the strategy RNG and scores
+ * only through GeneticSearch::scorePopulation, inheriting the
+ * EvalScratch pool, the fitness memo cache, and the thread-count
+ * independence of the genetic path.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/genetic.hpp"
+#include "core/search/stage.hpp"
+
+namespace hwsw::core::search {
+
+void
+linkBuiltinSearchStages()
+{
+    // Purely a link anchor; registration happens in the globals
+    // below at static initialization.
+}
+
+namespace {
+
+bool
+costLess(CostFunction cost, const ScoredSpec &a, const ScoredSpec &b)
+{
+    return cost(a) < cost(b);
+}
+
+// ---------------------------------------------------------------- //
+// Cost functions                                                    //
+// ---------------------------------------------------------------- //
+
+double
+costFitness(const ScoredSpec &s)
+{
+    return s.fitness;
+}
+
+double
+costSumError(const ScoredSpec &s)
+{
+    return s.sumMedianError;
+}
+
+HWSW_REGISTER_COST(CostDescriptor{
+    "fitness", "mean per-app median error + penalties (default)",
+    &costFitness});
+HWSW_REGISTER_COST(CostDescriptor{
+    "sum-error", "summed per-app median error, penalties ignored",
+    &costSumError});
+
+// ---------------------------------------------------------------- //
+// Shared slots: populate / score / select / migrate                 //
+// ---------------------------------------------------------------- //
+
+/** Seeds verbatim, remainder random — GeneticSearch's initializer. */
+class PopulateSeeded final : public SearchStage
+{
+  public:
+    void apply(StageContext &ctx) const override
+    {
+        ctx.population =
+            ctx.engine.initialPopulation(ctx.seeds, ctx.rng);
+    }
+};
+
+/** K-fold scoring through the engine (scratch pool + memo cache). */
+class ScoreKfold final : public SearchStage
+{
+  public:
+    void apply(StageContext &ctx) const override
+    {
+        ctx.scored = ctx.engine.scorePopulation(ctx.population);
+    }
+};
+
+/** Sort by the strategy cost, best first (ranking for breed). */
+class SelectCostSort final : public SearchStage
+{
+  public:
+    void apply(StageContext &ctx) const override
+    {
+        const CostFunction cost = ctx.cost;
+        std::sort(ctx.scored.begin(), ctx.scored.end(),
+                  [cost](const ScoredSpec &a, const ScoredSpec &b) {
+                      return costLess(cost, a, b);
+                  });
+    }
+};
+
+/**
+ * Ring migration: immigrants replace the worst residents (slot 0 is
+ * unreachable, so the local champion survives), then cost order is
+ * restored. stable_sort keeps ties deterministic: residents first,
+ * then immigrants in arrival order.
+ */
+class MigrateRing final : public SearchStage
+{
+  public:
+    void apply(StageContext &ctx) const override
+    {
+        const std::span<const ScoredSpec> in = ctx.immigrants;
+        for (std::size_t k = 0; k < in.size(); ++k)
+            ctx.scored[ctx.scored.size() - 1 - k] = in[k];
+        const CostFunction cost = ctx.cost;
+        std::stable_sort(
+            ctx.scored.begin(), ctx.scored.end(),
+            [cost](const ScoredSpec &a, const ScoredSpec &b) {
+                return costLess(cost, a, b);
+            });
+    }
+};
+
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "populate.seeded", StageKind::Populate,
+    "seeds verbatim, remainder random from the strategy stream",
+    [](const StrategyConfig &) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<PopulateSeeded>();
+    }});
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "score.kfold", StageKind::Score,
+    "per-app K-fold evaluation (pooled scratch, memo cache)",
+    [](const StrategyConfig &) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<ScoreKfold>();
+    }});
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "select.cost", StageKind::Select,
+    "sort the scored population by the strategy cost",
+    [](const StrategyConfig &) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<SelectCostSort>();
+    }});
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "migrate.ring", StageKind::Migrate,
+    "immigrants replace the worst residents, order restored",
+    [](const StrategyConfig &) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<MigrateRing>();
+    }});
+
+// ---------------------------------------------------------------- //
+// breed.genetic                                                     //
+// ---------------------------------------------------------------- //
+
+/** Elites + crossovers C1-C3 + mutations M1-M2 (the paper's GA). */
+class BreedGenetic final : public SearchStage
+{
+  public:
+    void apply(StageContext &ctx) const override
+    {
+        ctx.population = ctx.engine.breedNext(ctx.scored, ctx.rng);
+    }
+};
+
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "breed.genetic", StageKind::Breed,
+    "elitism + tournament crossovers C1-C3 + mutations M1-M2",
+    [](const StrategyConfig &) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<BreedGenetic>();
+    }});
+
+// ---------------------------------------------------------------- //
+// breed.anneal                                                      //
+// ---------------------------------------------------------------- //
+
+class BreedAnneal final : public SearchStage
+{
+  public:
+    explicit BreedAnneal(const StrategyConfig &cfg)
+        : t0_(cfg.numberOr("t0", 0.02)),
+          decay_(cfg.numberOr("decay", 0.9))
+    {
+        fatalIf(t0_ <= 0.0, "anneal: t0 must be positive");
+        fatalIf(decay_ <= 0.0 || decay_ > 1.0,
+                "anneal: decay must be in (0,1]");
+    }
+
+    void apply(StageContext &ctx) const override
+    {
+        const std::vector<ScoredSpec> &chains = ctx.scored;
+        const GaOptions &opts = ctx.engine.options();
+        const double temp = std::max(
+            t0_ * std::pow(decay_,
+                           static_cast<double>(ctx.generation)),
+            1e-12);
+
+        // One operator-schedule neighbor per chain, drawn serially
+        // so the stream is independent of thread count.
+        std::vector<ModelSpec> proposals;
+        proposals.reserve(chains.size());
+        for (const ScoredSpec &cur : chains) {
+            ModelSpec prop = cur.spec;
+            if (ctx.rng.nextBool(0.5))
+                mutateInteraction(prop, ctx.rng,
+                                  opts.maxInteractions);
+            else
+                mutateVariable(prop, ctx.rng);
+            prop.normalize();
+            proposals.push_back(std::move(prop));
+        }
+
+        // Proposals score through the shared evaluation path (and
+        // warm the memo cache for the next generation's re-score).
+        const std::vector<ScoredSpec> scored_props =
+            ctx.engine.scorePopulation(proposals);
+
+        const CostFunction cost = ctx.cost;
+        std::vector<ModelSpec> next;
+        next.reserve(chains.size());
+        for (std::size_t i = 0; i < chains.size(); ++i) {
+            const double d =
+                cost(scored_props[i]) - cost(chains[i]);
+            // A fixed draw per chain keeps the stream length
+            // independent of the acceptance outcomes.
+            const double u = ctx.rng.nextDouble();
+            bool accept = d < 0.0;
+            if (!accept && i > 0)
+                accept = u < std::exp(-d / temp);
+            next.push_back(accept ? scored_props[i].spec
+                                  : chains[i].spec);
+        }
+        ctx.population = std::move(next);
+    }
+
+  private:
+    double t0_;    ///< initial temperature
+    double decay_; ///< per-generation geometric cooling factor
+};
+
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "breed.anneal", StageKind::Breed,
+    "parallel SA chains: mutate, Metropolis-accept at T=t0*decay^g",
+    [](const StrategyConfig &cfg) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<BreedAnneal>(cfg);
+    }});
+
+// ---------------------------------------------------------------- //
+// breed.halving                                                     //
+// ---------------------------------------------------------------- //
+
+class BreedHalving final : public SearchStage
+{
+  public:
+    explicit BreedHalving(const StrategyConfig &cfg)
+        : keep_(cfg.numberOr("keep", 0.5))
+    {
+        fatalIf(keep_ <= 0.0 || keep_ > 1.0,
+                "halving: keep must be in (0,1]");
+    }
+
+    void apply(StageContext &ctx) const override
+    {
+        const std::vector<ScoredSpec> &ranked = ctx.scored;
+        const GaOptions &opts = ctx.engine.options();
+        const std::size_t n = ranked.size();
+        const std::size_t n_keep = std::min(
+            n, std::max<std::size_t>(
+                   1, static_cast<std::size_t>(
+                          keep_ * static_cast<double>(n))));
+
+        std::vector<ModelSpec> next;
+        next.reserve(n);
+        for (std::size_t i = 0; i < n_keep; ++i)
+            next.push_back(ranked[i].spec);
+        // Refill with fresh random draws — the same distribution the
+        // populate slot samples.
+        while (next.size() < n) {
+            next.push_back(ModelSpec::random(
+                ctx.rng, opts.includeProb,
+                opts.maxInteractions / 2));
+        }
+        ctx.population = std::move(next);
+    }
+
+  private:
+    double keep_; ///< surviving fraction per rung
+};
+
+HWSW_REGISTER_STAGE(StageDescriptor{
+    "breed.halving", StageKind::Breed,
+    "keep the top fraction, refill with fresh random candidates",
+    [](const StrategyConfig &cfg) -> std::unique_ptr<SearchStage> {
+        return std::make_unique<BreedHalving>(cfg);
+    }});
+
+// ---------------------------------------------------------------- //
+// Strategy descriptors                                              //
+// ---------------------------------------------------------------- //
+
+HWSW_REGISTER_STRATEGY(StrategyDescriptor{
+    "genetic",
+    "the paper's GA: elitism + crossovers C1-C3 + mutations M1-M2",
+    "populate.seeded", "score.kfold", "select.cost", "breed.genetic",
+    "migrate.ring",
+    {}});
+HWSW_REGISTER_STRATEGY(StrategyDescriptor{
+    "anneal",
+    "parallel simulated-annealing chains (options: t0, decay)",
+    "populate.seeded", "score.kfold", "select.cost", "breed.anneal",
+    "migrate.ring",
+    {"t0", "decay"}});
+HWSW_REGISTER_STRATEGY(StrategyDescriptor{
+    "halving",
+    "successive-halving random search (option: keep)",
+    "populate.seeded", "score.kfold", "select.cost", "breed.halving",
+    "migrate.ring",
+    {"keep"}});
+
+} // namespace
+} // namespace hwsw::core::search

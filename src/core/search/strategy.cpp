@@ -1,0 +1,213 @@
+#include "core/search/strategy.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/metrics.hpp"
+#include "core/checkpoint.hpp"
+
+namespace hwsw::core::search {
+
+namespace {
+
+std::unique_ptr<SearchStage>
+makeSlot(const StageRegistry &reg, const std::string &stage_name,
+         StageKind kind, const StrategyConfig &cfg)
+{
+    const StageDescriptor *d = reg.findStage(stage_name);
+    fatalIf(!d, "strategy '" + cfg.name + "': unregistered stage '" +
+                    stage_name + "'");
+    fatalIf(d->kind != kind,
+            "strategy '" + cfg.name + "': stage '" + stage_name +
+                "' fills slot " + stageKindName(d->kind) + ", not " +
+                stageKindName(kind));
+    std::unique_ptr<SearchStage> stage = d->make(cfg);
+    fatalIf(!stage, "stage '" + stage_name +
+                        "': factory returned nothing");
+    return stage;
+}
+
+} // namespace
+
+SearchStrategy
+SearchStrategy::forEngine(const GeneticSearch &engine)
+{
+    std::string spec = engine.options().search;
+    if (spec.empty())
+        spec = "genetic";
+    std::string error;
+    fatalIf(!validateStrategySpec(spec, &error),
+            "search strategy '" + spec + "': " + error);
+    auto cfg = parseStrategySpec(spec, &error);
+    panicIf(!cfg, "validated spec failed to parse");
+    return SearchStrategy(engine, std::move(*cfg));
+}
+
+SearchStrategy::SearchStrategy(const GeneticSearch &engine,
+                               StrategyConfig config)
+    : engine_(&engine), config_(std::move(config))
+{
+    const StageRegistry &reg = StageRegistry::instance();
+    const StrategyDescriptor *d = reg.findStrategy(config_.name);
+    panicIf(!d, "strategy vanished between validate and resolve");
+
+    const std::string *cost_name = config_.find("cost");
+    const CostDescriptor *cost =
+        reg.findCost(cost_name ? *cost_name : "fitness");
+    panicIf(!cost, "validated cost failed to resolve");
+    cost_ = cost->fn;
+
+    populate_ =
+        makeSlot(reg, d->populate, StageKind::Populate, config_);
+    score_ = makeSlot(reg, d->score, StageKind::Score, config_);
+    select_ = makeSlot(reg, d->select, StageKind::Select, config_);
+    breed_ = makeSlot(reg, d->breed, StageKind::Breed, config_);
+    migrate_ = makeSlot(reg, d->migrate, StageKind::Migrate, config_);
+}
+
+std::vector<ModelSpec>
+SearchStrategy::populate(std::span<const ModelSpec> seeds,
+                         Rng &rng) const
+{
+    StageContext ctx{*engine_, rng, cost_};
+    ctx.seeds = seeds;
+    populate_->apply(ctx);
+    return std::move(ctx.population);
+}
+
+std::vector<ScoredSpec>
+SearchStrategy::scoreAndSelect(
+    std::span<const ModelSpec> population) const
+{
+    // Score/select never draw from the strategy stream (evaluation
+    // is pure), so a throwaway generator keeps the context simple.
+    Rng unused(0);
+    StageContext ctx{*engine_, unused, cost_};
+    ctx.population.assign(population.begin(), population.end());
+    score_->apply(ctx);
+    select_->apply(ctx);
+    return std::move(ctx.scored);
+}
+
+std::vector<ModelSpec>
+SearchStrategy::breed(std::span<const ScoredSpec> scored, Rng &rng,
+                      std::size_t generation) const
+{
+    StageContext ctx{*engine_, rng, cost_};
+    ctx.scored.assign(scored.begin(), scored.end());
+    ctx.generation = generation;
+    breed_->apply(ctx);
+    return std::move(ctx.population);
+}
+
+void
+SearchStrategy::migrate(std::vector<ScoredSpec> &scored,
+                        std::span<const ScoredSpec> immigrants) const
+{
+    Rng unused(0);
+    StageContext ctx{*engine_, unused, cost_};
+    ctx.scored = std::move(scored);
+    ctx.immigrants = immigrants;
+    migrate_->apply(ctx);
+    scored = std::move(ctx.scored);
+}
+
+GaResult
+SearchStrategy::runLoop(std::vector<ModelSpec> population, Rng rng,
+                        std::size_t start_generation,
+                        std::vector<GenerationStats> history) const
+{
+    const GeneticSearch &engine = *engine_;
+    const GaOptions &opts = engine.options();
+
+    metrics::Timer run_timer;
+    metrics::ScopedTimer run_scope(run_timer);
+    const SearchMetrics before = engine.metricsSnapshot();
+
+    GaResult result;
+    result.history = std::move(history);
+    std::vector<ScoredSpec> scored;
+
+    StageContext ctx{engine, rng, cost_};
+    ctx.population = std::move(population);
+
+    for (std::size_t gen = start_generation; gen < opts.generations;
+         ++gen) {
+        const SearchMetrics at = engine.metricsSnapshot();
+        ctx.generation = gen;
+        score_->apply(ctx);
+        select_->apply(ctx);
+        scored = ctx.scored;
+
+        GenerationStats stats;
+        stats.generation = gen;
+        {
+            const SearchMetrics now = engine.metricsSnapshot();
+            stats.wallSeconds = now.evalSeconds - at.evalSeconds;
+            stats.cacheHits = now.cacheHits - at.cacheHits;
+            stats.cacheMisses = now.cacheMisses - at.cacheMisses;
+        }
+        stats.bestFitness = scored.front().fitness;
+        stats.bestSumMedianError = scored.front().sumMedianError;
+        stats.meanFitness = 0.0;
+        for (const ScoredSpec &s : scored)
+            stats.meanFitness += s.fitness;
+        stats.meanFitness /= static_cast<double>(scored.size());
+        result.history.push_back(stats);
+
+        if (gen + 1 == opts.generations)
+            break;
+
+        breed_->apply(ctx);
+
+        // Generation boundary: the bred population plus the RNG
+        // state is everything a restart needs to continue this run
+        // bit-identically (evaluation is deterministic).
+        if (!opts.checkpointPath.empty() &&
+            (gen + 1) % std::max<std::size_t>(opts.checkpointEvery,
+                                              1) ==
+                0) {
+            SearchCheckpoint cp;
+            cp.strategy = name();
+            cp.nextGeneration = gen + 1;
+            cp.rng = rng.state();
+            cp.population = ctx.population;
+            cp.history = result.history;
+            std::string error;
+            if (!saveCheckpointToFile(cp, opts.checkpointPath,
+                                      &error)) {
+                // A failed checkpoint degrades durability, not the
+                // search: keep running on the previous checkpoint.
+                std::fprintf(stderr, "checkpoint: %s\n",
+                             error.c_str());
+            }
+        }
+    }
+
+    if (scored.empty()) {
+        // The loop ran zero generations (resume of an
+        // already-complete checkpoint): score the population once so
+        // the result still carries a best model. Evaluation is
+        // deterministic, so these scores equal the completed run's.
+        score_->apply(ctx);
+        select_->apply(ctx);
+        scored = ctx.scored;
+    }
+    result.best = scored.front();
+    result.population = std::move(scored);
+
+    // Per-run deltas: the engine's counters accumulate across run()
+    // calls, a GaResult describes only its own run.
+    const SearchMetrics after = engine.metricsSnapshot();
+    result.metrics.evaluations = after.evaluations - before.evaluations;
+    result.metrics.cacheHits = after.cacheHits - before.cacheHits;
+    result.metrics.cacheMisses = after.cacheMisses - before.cacheMisses;
+    result.metrics.modelFits = after.modelFits - before.modelFits;
+    result.metrics.evalSeconds = after.evalSeconds - before.evalSeconds;
+    result.metrics.threadsUsed = after.threadsUsed;
+    result.metrics.totalSeconds = run_scope.elapsedSeconds();
+    return result;
+}
+
+} // namespace hwsw::core::search

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SearchStrategy: a resolved pipeline bound to one engine.
+ *
+ * Resolution happens once per engine (parse the config string, look
+ * up the strategy descriptor, instantiate its five stages and cost
+ * function); afterwards the strategy exposes the slot operations the
+ * drivers need. Two drivers exist and share every stage:
+ *
+ *  - runLoop(): the single-search generation loop GeneticSearch::run
+ *    and ::resume delegate to. For the "genetic" registration it
+ *    reproduces the pre-registry loop bit-identically — same stage
+ *    call order, same RNG stream, same sort comparator, same
+ *    checkpoint timing and contents (plus the strategy name).
+ *
+ *  - IslandEvolver: drives populate/scoreAndSelect/breed/migrate
+ *    itself so it can pause at migration barriers; whatever strategy
+ *    the coordinator's config handshake names runs on every island.
+ *
+ * Checkpoints written by either driver record the strategy *name*
+ * (not the option string — options are run configuration, like
+ * generation count); resume refuses a checkpoint whose recorded
+ * strategy differs from the engine's.
+ */
+
+#ifndef HWSW_CORE_SEARCH_STRATEGY_HPP
+#define HWSW_CORE_SEARCH_STRATEGY_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/genetic.hpp"
+#include "core/search/registry.hpp"
+#include "core/search/stage.hpp"
+
+namespace hwsw::core::search {
+
+class SearchStrategy
+{
+  public:
+    /**
+     * Resolve @p engine's configured strategy (GaOptions::search;
+     * empty means "genetic"). @throws FatalError on an invalid spec
+     * — unknown strategy/option/cost or malformed syntax.
+     */
+    static SearchStrategy forEngine(const GeneticSearch &engine);
+
+    SearchStrategy(SearchStrategy &&) = default;
+    SearchStrategy &operator=(SearchStrategy &&) = default;
+
+    /** Strategy name ("genetic", "anneal", ...), as checkpointed. */
+    const std::string &name() const { return config_.name; }
+
+    /** The ranking the select/migrate stages order by. */
+    CostFunction cost() const { return cost_; }
+
+    /** Populate slot: seeds verbatim, remainder drawn from @p rng. */
+    std::vector<ModelSpec>
+    populate(std::span<const ModelSpec> seeds, Rng &rng) const;
+
+    /** Score + select slots: evaluate and sort, best first. */
+    std::vector<ScoredSpec>
+    scoreAndSelect(std::span<const ModelSpec> population) const;
+
+    /** Breed slot: next population from a sorted generation. */
+    std::vector<ModelSpec> breed(std::span<const ScoredSpec> scored,
+                                 Rng &rng,
+                                 std::size_t generation) const;
+
+    /** Migrate slot: splice immigrants, restore cost order. */
+    void migrate(std::vector<ScoredSpec> &scored,
+                 std::span<const ScoredSpec> immigrants) const;
+
+    /**
+     * The shared generation-loop driver (score → select → stats →
+     * checkpoint → breed), starting from an already-populated
+     * generation. Checkpoints carry name(); per-run metric deltas
+     * are computed against the engine's counters exactly as the
+     * pre-registry loop did.
+     */
+    GaResult runLoop(std::vector<ModelSpec> population, Rng rng,
+                     std::size_t start_generation,
+                     std::vector<GenerationStats> history) const;
+
+  private:
+    SearchStrategy(const GeneticSearch &engine, StrategyConfig config);
+
+    const GeneticSearch *engine_;
+    StrategyConfig config_;
+    CostFunction cost_;
+    std::unique_ptr<SearchStage> populate_;
+    std::unique_ptr<SearchStage> score_;
+    std::unique_ptr<SearchStage> select_;
+    std::unique_ptr<SearchStage> breed_;
+    std::unique_ptr<SearchStage> migrate_;
+};
+
+} // namespace hwsw::core::search
+
+#endif // HWSW_CORE_SEARCH_STRATEGY_HPP

@@ -451,6 +451,9 @@ IslandCoordinator::handleJoin(std::span<const std::string_view> args)
         (opts_.asyncMigration ? "async" : "sync") + " " +
         std::to_string(static_cast<long long>(
             std::llround(copts_.leaseSeconds * 1000.0))) +
+        " " +
+        (opts_.ga.search.empty() ? std::string("genetic")
+                                 : opts_.ga.search) +
         "\n";
     out += extra_;
     return out;
@@ -752,7 +755,7 @@ fetchIslandConfig(Client &client, const std::string &island_spec,
         return std::nullopt;
     const auto [line, extra] = splitFirstLine(response);
     const auto tokens = splitTokens(line);
-    fatalIf(tokens.size() != 11 || tokens[0] != "ok" ||
+    fatalIf(tokens.size() != 12 || tokens[0] != "ok" ||
                 tokens[1] != "config",
             "island.join: bad response '" + std::string(line) + "'");
     IslandWireConfig cfg;
@@ -777,6 +780,9 @@ fetchIslandConfig(Client &client, const std::string &island_spec,
     cfg.seed = *seed;
     cfg.asyncMigration = tokens[9] == "async";
     cfg.leaseSeconds = static_cast<double>(*lease_ms) / 1000.0;
+    cfg.search = std::string(tokens[11]);
+    fatalIf(cfg.search.empty(),
+            "island.join: empty search strategy in config");
     cfg.extra = std::string(extra);
     return cfg;
 }
@@ -989,7 +995,10 @@ runIslandWorker(const core::Dataset &data,
                 cfg->populationSize != opts.ga.populationSize ||
                 cfg->generations != opts.ga.generations ||
                 cfg->seed != opts.ga.seed ||
-                cfg->asyncMigration != opts.asyncMigration,
+                cfg->asyncMigration != opts.asyncMigration ||
+                cfg->search != (opts.ga.search.empty()
+                                    ? "genetic"
+                                    : opts.ga.search),
             "island worker: coordinator configuration mismatch");
     const std::size_t island = cfg->island;
     fatalIf(island >= opts.islands,

@@ -11,7 +11,8 @@
  *   island.join <island|auto> <worker-id>
  *       -> "ok config <island> <islands> <interval> <migrants>
  *           <population> <generations> <seed> <sync|async>
- *           <lease-ms>\n<extra>"  |  "ok none"  |  "stop"
+ *           <lease-ms> <search-spec>\n<extra>"  |  "ok none"  |
+ *           "stop"
  *       Registration handshake: the worker claims the named island
  *       (or, with "auto", pulls the lowest-index island nobody holds
  *       a live lease on) and is granted a lease it must renew with
@@ -136,6 +137,14 @@ struct IslandWireConfig
 
     /** Lease granted per join/heartbeat, seconds. */
     double leaseSeconds = 5.0;
+
+    /**
+     * Registered search strategy spec every worker must run
+     * (strategy grammar bans whitespace, so it travels as one
+     * handshake token). Workers refuse a coordinator whose spec
+     * contradicts their own configuration.
+     */
+    std::string search = "genetic";
 
     /** Opaque application payload (e.g. dataset parameters). */
     std::string extra;

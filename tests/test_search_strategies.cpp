@@ -1,0 +1,420 @@
+// Registered-stage search pipeline: registry hygiene (names, parse,
+// validation, duplicate registration) and the per-strategy
+// conformance contract every registered searcher must honor —
+// determinism across thread counts and memo-cache settings,
+// checkpoint/kill/resume bit-identity, strategy-stamped checkpoints
+// that refuse a mismatched resume, and a distributed single-island
+// run matching the in-process reference. Part of the tier15_search
+// aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "core/checkpoint.hpp"
+#include "core/genetic.hpp"
+#include "core/island.hpp"
+#include "core/search/registry.hpp"
+#include "serve/island.hpp"
+#include "serve/server.hpp"
+
+namespace hwsw::core {
+namespace {
+
+/** Two-app dataset a tiny search separates in a few generations. */
+Dataset
+searchData(std::uint64_t seed)
+{
+    Dataset ds;
+    Rng rng(seed);
+    for (const char *app : {"a1", "a2"}) {
+        for (int i = 0; i < 60; ++i) {
+            ProfileRecord r;
+            r.app = app;
+            r.vars[1] = (app[1] == '1' ? 0.05 : 0.15) +
+                rng.nextUniform(0.0, 0.1);
+            r.vars[6] = rng.nextUniform(0.1, 0.6);
+            r.vars[kNumSw] = 1 << rng.nextInt(4);
+            r.perf = 0.5 + 4.0 * r.vars[1] + 2.0 * r.vars[6] +
+                3.0 / r.vars[kNumSw];
+            ds.add(r);
+        }
+    }
+    return ds;
+}
+
+GaOptions
+searchOpts(const std::string &search)
+{
+    GaOptions o;
+    o.populationSize = 10;
+    o.generations = 5;
+    o.numThreads = 1;
+    o.seed = 5;
+    o.search = search;
+    return o;
+}
+
+/** Bit-exact equality of everything deterministic in a GaResult. */
+void
+expectSameResult(const GaResult &a, const GaResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.best.spec, b.best.spec);
+    EXPECT_EQ(a.best.fitness, b.best.fitness);
+    EXPECT_EQ(a.best.sumMedianError, b.best.sumMedianError);
+
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        SCOPED_TRACE("generation " + std::to_string(g));
+        EXPECT_EQ(a.history[g].generation, b.history[g].generation);
+        EXPECT_EQ(a.history[g].bestFitness, b.history[g].bestFitness);
+        EXPECT_EQ(a.history[g].meanFitness, b.history[g].meanFitness);
+        EXPECT_EQ(a.history[g].bestSumMedianError,
+                  b.history[g].bestSumMedianError);
+    }
+
+    ASSERT_EQ(a.population.size(), b.population.size());
+    for (std::size_t i = 0; i < a.population.size(); ++i) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        EXPECT_EQ(a.population[i].spec, b.population[i].spec);
+        EXPECT_EQ(a.population[i].fitness, b.population[i].fitness);
+    }
+}
+
+TEST(SearchRegistry, BuiltinsAreRegistered)
+{
+    const auto &reg = search::StageRegistry::instance();
+    const auto strategies = reg.strategyNames();
+    for (const char *name : {"anneal", "genetic", "halving"})
+        EXPECT_NE(std::find(strategies.begin(), strategies.end(),
+                            name),
+                  strategies.end())
+            << name;
+
+    const auto costs = reg.costNames();
+    for (const char *name : {"fitness", "sum-error"})
+        EXPECT_NE(std::find(costs.begin(), costs.end(), name),
+                  costs.end())
+            << name;
+
+    const auto stages = reg.stageNames();
+    for (const char *name :
+         {"populate.seeded", "score.kfold", "select.cost",
+          "breed.genetic", "breed.anneal", "breed.halving",
+          "migrate.ring"})
+        EXPECT_NE(std::find(stages.begin(), stages.end(), name),
+                  stages.end())
+            << name;
+
+    // Every registered strategy wires five resolvable slots of the
+    // right kind and constructs from its bare name.
+    for (const std::string &name : strategies) {
+        SCOPED_TRACE(name);
+        const auto *d = reg.findStrategy(name);
+        ASSERT_NE(d, nullptr);
+        const std::pair<const std::string &, search::StageKind>
+            slots[] = {
+                {d->populate, search::StageKind::Populate},
+                {d->score, search::StageKind::Score},
+                {d->select, search::StageKind::Select},
+                {d->breed, search::StageKind::Breed},
+                {d->migrate, search::StageKind::Migrate},
+            };
+        for (const auto &[slot, kind] : slots) {
+            const auto *s = reg.findStage(slot);
+            ASSERT_NE(s, nullptr) << slot;
+            EXPECT_EQ(s->kind, kind) << slot;
+        }
+        std::string error;
+        EXPECT_TRUE(search::validateStrategySpec(name, &error))
+            << error;
+    }
+}
+
+TEST(SearchRegistry, ParseSpecGrammar)
+{
+    std::string error;
+    auto cfg = search::parseStrategySpec("genetic", &error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    EXPECT_EQ(cfg->name, "genetic");
+    EXPECT_TRUE(cfg->options.empty());
+
+    cfg = search::parseStrategySpec("anneal:t0=0.1,decay=0.9",
+                                    &error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    EXPECT_EQ(cfg->name, "anneal");
+    ASSERT_EQ(cfg->options.size(), 2u);
+    EXPECT_EQ(cfg->options[0].first, "t0");
+    EXPECT_EQ(cfg->options[0].second, "0.1");
+    EXPECT_EQ(*cfg->find("decay"), "0.9");
+    EXPECT_EQ(cfg->find("missing"), nullptr);
+    EXPECT_EQ(cfg->numberOr("t0", 7.0), 0.1);
+    EXPECT_EQ(cfg->numberOr("absent", 7.0), 7.0);
+
+    for (const char *bad : {"", ":t0=1", "anneal:", "anneal:t0",
+                            "anneal:t0=", "anneal:=1",
+                            "anneal :t0=1", "anneal\t"})
+        EXPECT_FALSE(search::parseStrategySpec(bad, &error).has_value())
+            << "'" << bad << "' parsed";
+}
+
+TEST(SearchRegistry, ValidateReportsRegisteredAlternatives)
+{
+    std::string error;
+    EXPECT_FALSE(search::validateStrategySpec("bogus", &error));
+    EXPECT_NE(error.find("unknown strategy 'bogus'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("genetic"), std::string::npos) << error;
+
+    EXPECT_FALSE(
+        search::validateStrategySpec("genetic:cost=bogus", &error));
+    EXPECT_NE(error.find("unknown cost"), std::string::npos) << error;
+    EXPECT_NE(error.find("fitness"), std::string::npos) << error;
+
+    EXPECT_FALSE(
+        search::validateStrategySpec("genetic:t0=0.1", &error));
+    EXPECT_NE(error.find("does not accept option 't0'"),
+              std::string::npos)
+        << error;
+}
+
+TEST(SearchRegistry, ValidateRejectsBadOptionValues)
+{
+    std::string error;
+    EXPECT_FALSE(
+        search::validateStrategySpec("anneal:t0=warm", &error));
+    // Range checks happen at validation (stage dry-construction),
+    // not later inside engine setup.
+    EXPECT_FALSE(search::validateStrategySpec("anneal:t0=0", &error));
+    EXPECT_FALSE(
+        search::validateStrategySpec("anneal:decay=1.5", &error));
+    EXPECT_FALSE(
+        search::validateStrategySpec("halving:keep=2", &error));
+    EXPECT_NE(error.find("keep"), std::string::npos) << error;
+
+    EXPECT_TRUE(search::validateStrategySpec(
+        "anneal:t0=0.1,decay=0.5,cost=sum-error", &error))
+        << error;
+    EXPECT_TRUE(search::validateStrategySpec("halving:keep=0.25",
+                                             &error))
+        << error;
+}
+
+TEST(SearchRegistry, DuplicateRegistrationIsFatal)
+{
+    auto &reg = search::StageRegistry::instance();
+    search::StageDescriptor stage;
+    stage.name = "score.kfold"; // already registered
+    stage.kind = search::StageKind::Score;
+    stage.make = [](const search::StrategyConfig &) {
+        return std::unique_ptr<search::SearchStage>();
+    };
+    EXPECT_THROW(reg.registerStage(std::move(stage)), FatalError);
+
+    search::CostDescriptor cost;
+    cost.name = "fitness";
+    cost.fn = [](const ScoredSpec &s) { return s.fitness; };
+    EXPECT_THROW(reg.registerCost(std::move(cost)), FatalError);
+
+    search::StrategyDescriptor strat;
+    strat.name = "genetic";
+    EXPECT_THROW(reg.registerStrategy(std::move(strat)), FatalError);
+}
+
+TEST(SearchRegistry, EngineRejectsBadSearchSpec)
+{
+    const Dataset data = searchData(11);
+    GaOptions opts = searchOpts("definitely-not-registered");
+    EXPECT_THROW(GeneticSearch(data, opts), FatalError);
+    opts.search = "genetic:cost=bogus";
+    EXPECT_THROW(GeneticSearch(data, opts), FatalError);
+}
+
+TEST(SearchRegistry, LegacyCheckpointWithoutStrategyLoadsAsGenetic)
+{
+    SearchCheckpoint cp;
+    cp.strategy = "anneal";
+    cp.nextGeneration = 2;
+    cp.rng = Rng(3).state();
+    cp.population.push_back(ModelSpec{});
+
+    std::string text = saveCheckpointToString(cp);
+    EXPECT_NE(text.find("strategy anneal\n"), std::string::npos);
+    EXPECT_EQ(loadCheckpointFromString(text).strategy, "anneal");
+
+    // A pre-registry file has no strategy line at all; only the
+    // genetic searcher existed then, so that is what it loads as.
+    const std::size_t at = text.find("strategy anneal\n");
+    text.erase(at, std::string("strategy anneal\n").size());
+    const SearchCheckpoint legacy = loadCheckpointFromString(text);
+    EXPECT_EQ(legacy.strategy, "genetic");
+    EXPECT_EQ(legacy.nextGeneration, 2u);
+}
+
+/** Conformance contract, per registered strategy spec. */
+class SearchStrategyConformance
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static std::string path()
+    {
+        return testing::TempDir() + "hwsw_test_strategy_" +
+            search::parseStrategySpec(GetParam(), nullptr)->name +
+            ".ckpt";
+    }
+
+    void TearDown() override { std::remove(path().c_str()); }
+};
+
+TEST_P(SearchStrategyConformance, DeterministicAcrossThreadsAndCache)
+{
+    const Dataset data = searchData(11);
+    const GaOptions base = searchOpts(GetParam());
+
+    GeneticSearch ref_engine(data, base);
+    const GaResult reference = ref_engine.run();
+    ASSERT_EQ(reference.history.size(), base.generations);
+    EXPECT_TRUE(std::isfinite(reference.best.fitness));
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        for (const bool memoize : {true, false}) {
+            GaOptions opts = base;
+            opts.numThreads = threads;
+            opts.memoizeFitness = memoize;
+            GeneticSearch engine(data, opts);
+            expectSameResult(reference, engine.run(),
+                             std::to_string(threads) + " threads, " +
+                                 (memoize ? "cache" : "no cache"));
+        }
+    }
+}
+
+TEST_P(SearchStrategyConformance, CheckpointResumeBitIdentity)
+{
+    const Dataset data = searchData(11);
+    const GaOptions opts = searchOpts(GetParam());
+
+    GeneticSearch full(data, opts);
+    const GaResult a = full.run();
+
+    // A "crashed" run: killed after generation 1; the checkpoint on
+    // disk is what the crash left behind.
+    GaOptions crashed = opts;
+    crashed.generations = 3;
+    crashed.checkpointPath = path();
+    GeneticSearch partial(data, crashed);
+    (void)partial.run();
+
+    const auto cp = loadCheckpointFromFile(path());
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_EQ(cp->strategy,
+              search::parseStrategySpec(GetParam(), nullptr)->name);
+    EXPECT_EQ(cp->nextGeneration, 2u);
+    ASSERT_EQ(cp->population.size(), opts.populationSize);
+
+    GeneticSearch resumed(data, opts);
+    expectSameResult(a, resumed.resume(*cp), "resumed vs full");
+}
+
+TEST_P(SearchStrategyConformance, ResumeRefusesStrategyMismatch)
+{
+    const Dataset data = searchData(11);
+    const GaOptions opts = searchOpts(GetParam());
+    const std::string mine =
+        search::parseStrategySpec(GetParam(), nullptr)->name;
+
+    GaOptions writer_opts = opts;
+    writer_opts.checkpointPath = path();
+    GeneticSearch writer(data, writer_opts);
+    (void)writer.run();
+
+    auto cp = loadCheckpointFromFile(path());
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_EQ(cp->strategy, mine);
+
+    // A population bred by one operator schedule must not silently
+    // continue under another.
+    GaOptions other_opts = opts;
+    other_opts.search = mine == "genetic" ? "anneal" : "genetic";
+    GeneticSearch other(data, other_opts);
+    EXPECT_THROW(other.resume(*cp), FatalError);
+
+    // The same stamp guards the island path.
+    IslandOptions iopts;
+    iopts.ga = other_opts;
+    iopts.islands = 1;
+    iopts.checkpointDir = testing::TempDir();
+    const std::string island_path = islandCheckpointPath(iopts, 0);
+    ASSERT_TRUE(saveCheckpointToFile(*cp, island_path));
+    IslandEvolver evolver(data, iopts, 0);
+    EXPECT_THROW(evolver.resumeFromCheckpoint(), FatalError);
+    std::remove(island_path.c_str());
+}
+
+TEST_P(SearchStrategyConformance, SingleIslandMatchesPlainRun)
+{
+    const Dataset data = searchData(11);
+    IslandOptions iopts;
+    iopts.ga = searchOpts(GetParam());
+    iopts.islands = 1;
+
+    GeneticSearch plain(data, iopts.ga);
+    const GaResult reference = plain.run();
+    expectSameResult(reference, runIslandModel(data, iopts),
+                     "1 island vs plain run");
+}
+
+TEST_P(SearchStrategyConformance, DistributedRunMatchesReference)
+{
+    const Dataset data = searchData(11);
+    IslandOptions iopts;
+    iopts.ga = searchOpts(GetParam());
+    iopts.ga.generations = 4;
+    iopts.islands = 2;
+    iopts.migrationInterval = 2;
+    iopts.migrants = 2;
+    const GaResult reference = runIslandModel(data, iopts);
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    serve::IslandCoordinator coordinator(iopts);
+    serve::Server server(registry, {}, nullptr, &coordinator);
+    server.start();
+
+    std::vector<std::thread> workers;
+    for (std::size_t island = 0; island < iopts.islands; ++island) {
+        workers.emplace_back([&data, &iopts, island, &server] {
+            serve::IslandWorkerOptions w;
+            w.port = server.port();
+            w.island = island;
+            w.pollSeconds = 0.005;
+            // The worker takes the strategy from the handshake;
+            // a mismatch would be a config-mismatch FatalError.
+            serve::runIslandWorker(data, iopts, w);
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+
+    ASSERT_TRUE(coordinator.waitForReports(30.0));
+    const GaResult distributed = coordinator.result();
+    server.stop();
+    expectSameResult(reference, distributed,
+                     "distributed vs in-process reference");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SearchStrategyConformance,
+    ::testing::Values("genetic", "anneal:t0=0.05,decay=0.8",
+                      "halving:keep=0.5"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return search::parseStrategySpec(info.param, nullptr)->name;
+    });
+
+} // namespace
+} // namespace hwsw::core

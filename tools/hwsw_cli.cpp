@@ -42,6 +42,7 @@
 #include "core/genetic.hpp"
 #include "core/island.hpp"
 #include "core/sampler.hpp"
+#include "core/search/registry.hpp"
 #include "core/serialize.hpp"
 #include "serve/client.hpp"
 #include "serve/island.hpp"
@@ -105,6 +106,11 @@ usage()
         "checkpoints\n"
         "  --resume             train: continue from --checkpoint "
         "FILE\n"
+        "  --search SPEC        train/save: registered search\n"
+        "                       strategy, name[:key=val,...] — e.g.\n"
+        "                       genetic, anneal:t0=0.02,decay=0.9,\n"
+        "                       halving:keep=0.5 (default: genetic;\n"
+        "                       unknown names list the registry)\n"
         "  --distributed        train: island-model search across\n"
         "                       worker processes (deterministic for\n"
         "                       fixed seed/islands/interval)\n"
@@ -264,7 +270,8 @@ struct TrainPersist
 core::HwSwModel
 trainModel(std::size_t pairs, std::size_t generations,
            unsigned threads, bool verbose,
-           const TrainPersist &persist = {})
+           const TrainPersist &persist = {},
+           const std::string &search = "genetic")
 {
     core::SamplerOptions sopts;
     sopts.shardLength = 16384;
@@ -279,7 +286,8 @@ trainModel(std::size_t pairs, std::size_t generations,
     ga.numThreads = threads;
     ga.checkpointPath = persist.checkpointPath;
     ga.checkpointEvery = persist.checkpointEvery;
-    core::GeneticSearch search(train, ga);
+    ga.search = search;
+    core::GeneticSearch engine(train, ga);
 
     core::GaResult result;
     if (persist.resume) {
@@ -291,9 +299,9 @@ trainModel(std::size_t pairs, std::size_t generations,
             std::printf("resuming from %s (generation %zu/%zu)\n",
                         persist.checkpointPath.c_str(),
                         cp->nextGeneration, generations);
-        result = search.resume(*cp);
+        result = engine.resume(*cp);
     } else {
-        result = search.run();
+        result = engine.run();
     }
 
     core::HwSwModel model;
@@ -317,10 +325,10 @@ trainModel(std::size_t pairs, std::size_t generations,
 
 int
 cmdTrain(std::size_t pairs, std::size_t generations, unsigned threads,
-         const TrainPersist &persist)
+         const TrainPersist &persist, const std::string &search)
 {
     trainModel(pairs, generations, threads, /*verbose=*/true,
-               persist);
+               persist, search);
     return 0;
 }
 
@@ -429,6 +437,9 @@ cmdIslandWorker(const std::string &endpoint,
         opts.ga.generations = cfg->generations;
         opts.ga.seed = cfg->seed;
         opts.ga.numThreads = threads;
+        // The strategy comes from the coordinator's handshake, so
+        // every island of the run breeds through one registration.
+        opts.ga.search = cfg->search;
         opts.islands = cfg->islands;
         opts.migrationInterval = cfg->migrationInterval;
         opts.migrants = cfg->migrants;
@@ -613,6 +624,9 @@ struct DistributedConfig
 
     /** Multi-host launch: ssh hosts file; empty = fork per island. */
     std::string workersFile;
+
+    /** Registered search strategy every island runs. */
+    std::string search = "genetic";
 };
 
 int
@@ -626,6 +640,7 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
     iopts.ga.populationSize = 24;
     iopts.ga.generations = generations;
     iopts.ga.numThreads = threads;
+    iopts.ga.search = dist.search;
     iopts.islands = dist.islands;
     iopts.migrationInterval = dist.migrationInterval;
     iopts.migrants = dist.migrants;
@@ -916,10 +931,11 @@ cmdTrainDistributed(std::size_t pairs, std::size_t generations,
 int
 cmdSave(const std::string &path, std::size_t pairs,
         std::size_t generations, unsigned threads,
-        const TrainPersist &persist)
+        const TrainPersist &persist, const std::string &search)
 {
-    const core::HwSwModel model = trainModel(
-        pairs, generations, threads, /*verbose=*/true, persist);
+    const core::HwSwModel model =
+        trainModel(pairs, generations, threads, /*verbose=*/true,
+                   persist, search);
     std::string error;
     // Atomic replace: a crash mid-save cannot leave a torn model
     // file for a later `hwsw serve` to choke on.
@@ -1220,6 +1236,7 @@ main(int argc, char **argv)
     bool island_worker = false;
     std::string worker_island;
     DistributedConfig dist;
+    std::string search_spec = "genetic";
     unsigned long long islands = 2, mig_interval = 4, migrants = 2;
     TuneConfig tunecfg;
     for (int i = 1; i < argc; ++i) {
@@ -1283,6 +1300,20 @@ main(int argc, char **argv)
                 return usage();
         } else if (a == "--resume") {
             persist.resume = true;
+        } else if (a == "--search") {
+            const char *v = flagValue("--search");
+            if (!v)
+                return usage();
+            // Same contract as the numeric flags: a spec the
+            // registry rejects prints the registered alternatives,
+            // then usage, and exits 2 — never a crash downstream.
+            std::string error;
+            if (!core::search::validateStrategySpec(v, &error)) {
+                std::fprintf(stderr, "error: bad --search '%s': %s\n",
+                             v, error.c_str());
+                return usage();
+            }
+            search_spec = v;
         } else if (a == "--distributed") {
             distributed = true;
         } else if (a == "--islands") {
@@ -1498,16 +1529,19 @@ main(int argc, char **argv)
                 dist.migrants = migrants;
                 dist.port = static_cast<std::uint16_t>(port);
                 dist.faultSpecs = fault_specs;
+                dist.search = search_spec;
                 return cmdTrainDistributed(pairs, gens, threads,
                                            dist);
             }
-            return cmdTrain(pairs, gens, threads, persist);
+            return cmdTrain(pairs, gens, threads, persist,
+                            search_spec);
         }
         if (cmd == "save" && nargs >= 2) {
             if (!parseArg(arg(2, "150"), "pairs-per-app", pairs) ||
                 !parseArg(arg(3, "12"), "generations", gens))
                 return usage();
-            return cmdSave(args[1], pairs, gens, threads, persist);
+            return cmdSave(args[1], pairs, gens, threads, persist,
+                           search_spec);
         }
         if (cmd == "tune" && nargs == 1)
             return cmdTune(tunecfg, threads);

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * CI hygiene gate for the search-stage registry.
+ *
+ * Self-registration is convenient but easy to rot: a strategy can
+ * name a stage that was renamed, a stage factory can start throwing
+ * on its own defaults, or a new searcher can ship without a
+ * benchmark row (so the head-to-head CI gate silently stops
+ * covering it). This tool makes every such defect a red build:
+ *
+ *   hwsw_registry_check [baseline-BENCH_search.json]
+ *
+ * Checks, in order:
+ *   1. The registry is non-empty and listings are duplicate-free
+ *      (name-ordered, so any duplicate is adjacent).
+ *   2. Every registered cost has a callable function.
+ *   3. Every registered stage constructs from an empty config (its
+ *      defaults must be valid defaults).
+ *   4. Every registered strategy passes full spec validation from
+ *      its bare name — five slots resolve, kinds match their slot,
+ *      and each stage dry-constructs.
+ *   5. With a baseline JSON argument: every strategy has its
+ *      search_<name>_best_fit and search_<name>_seconds rows, i.e.
+ *      it is benchmarked (and therefore regression-gated) in CI.
+ *
+ * Exit 0 when clean; exit 1 with one line per defect.
+ */
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/genetic.hpp" // complete ScoredSpec for StageContext
+#include "core/search/registry.hpp"
+#include "core/search/stage.hpp"
+
+using namespace hwsw;
+using core::search::StageRegistry;
+
+namespace {
+
+int g_defects = 0;
+
+void
+defect(const std::string &message)
+{
+    std::fprintf(stderr, "registry check: %s\n", message.c_str());
+    ++g_defects;
+}
+
+void
+checkUniqueSorted(const std::vector<std::string> &names,
+                  const char *what)
+{
+    if (names.empty())
+        defect(std::string("no registered ") + what);
+    for (std::size_t i = 1; i < names.size(); ++i)
+        if (names[i - 1] >= names[i])
+            defect(std::string(what) + " listing not unique/sorted: '" +
+                   names[i - 1] + "' then '" + names[i] + "'");
+}
+
+void
+checkCosts(const StageRegistry &reg)
+{
+    for (const std::string &name : reg.costNames()) {
+        const auto *d = reg.findCost(name);
+        if (!d || !d->fn) {
+            defect("cost '" + name + "' has no function");
+            continue;
+        }
+    }
+}
+
+void
+checkStages(const StageRegistry &reg)
+{
+    for (const std::string &name : reg.stageNames()) {
+        const auto *d = reg.findStage(name);
+        if (!d || !d->make) {
+            defect("stage '" + name + "' has no factory");
+            continue;
+        }
+        try {
+            if (!d->make(core::search::StrategyConfig{}))
+                defect("stage '" + name +
+                       "' factory returned nothing for defaults");
+        } catch (const FatalError &e) {
+            defect("stage '" + name +
+                   "' rejects its own defaults: " + e.what());
+        }
+    }
+}
+
+void
+checkStrategies(const StageRegistry &reg)
+{
+    for (const std::string &name : reg.strategyNames()) {
+        std::string error;
+        if (!core::search::validateStrategySpec(name, &error))
+            defect("strategy '" + name +
+                   "' fails validation from its bare name: " + error);
+    }
+}
+
+void
+checkBenchmarkRows(const StageRegistry &reg, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        defect("cannot read benchmark baseline " + path);
+        return;
+    }
+    const std::string json((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    for (const std::string &name : reg.strategyNames()) {
+        for (const char *metric : {"_best_fit", "_seconds"}) {
+            const std::string row =
+                "\"search_" + name + metric + "\"";
+            if (json.find(row) == std::string::npos)
+                defect("strategy '" + name + "' has no " + row +
+                       " row in " + path +
+                       " — add it to bench_search_strategies' "
+                       "baseline so CI gates it");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const StageRegistry &reg = StageRegistry::instance();
+
+    checkUniqueSorted(reg.stageNames(), "stages");
+    checkUniqueSorted(reg.costNames(), "costs");
+    checkUniqueSorted(reg.strategyNames(), "strategies");
+    checkCosts(reg);
+    checkStages(reg);
+    checkStrategies(reg);
+    if (argc > 1)
+        checkBenchmarkRows(reg, argv[1]);
+
+    if (g_defects) {
+        std::fprintf(stderr, "registry check: %d defect(s)\n",
+                     g_defects);
+        return 1;
+    }
+    std::printf("registry check: %zu stages, %zu costs, %zu "
+                "strategies — clean%s\n",
+                reg.stageNames().size(), reg.costNames().size(),
+                reg.strategyNames().size(),
+                argc > 1 ? " (benchmark rows verified)" : "");
+    return 0;
+}
